@@ -1,0 +1,51 @@
+//! Table 1 companion: wall-clock of the spiking algorithms (simulated)
+//! against the conventional baselines, plus the pruned-vs-faithful
+//! propagation ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgl_core::khop_pseudo::Propagation;
+use sgl_core::{khop_poly, khop_pseudo, sssp_pseudo};
+use sgl_graph::{bellman_ford, dijkstra, generators};
+
+fn bench_sssp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sssp");
+    group.sample_size(20);
+    for &n in &[256usize, 1024] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generators::gnm_connected(&mut rng, n, 6 * n, 1..=9);
+        group.bench_with_input(BenchmarkId::new("spiking_pseudo", n), &n, |b, _| {
+            b.iter(|| sssp_pseudo::SpikingSssp::new(&g, 0).solve_all().unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("dijkstra", n), &n, |b, _| {
+            b.iter(|| dijkstra::dijkstra(&g, 0));
+        });
+    }
+    group.finish();
+}
+
+fn bench_khop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("khop");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(13);
+    let g = generators::gnm_connected(&mut rng, 512, 3072, 1..=9);
+    for &k in &[8u32, 64] {
+        group.bench_with_input(BenchmarkId::new("poly_pruned", k), &k, |b, _| {
+            b.iter(|| khop_poly::solve(&g, 0, k, Propagation::Pruned));
+        });
+        group.bench_with_input(BenchmarkId::new("poly_faithful", k), &k, |b, _| {
+            b.iter(|| khop_poly::solve(&g, 0, k, Propagation::Faithful));
+        });
+        group.bench_with_input(BenchmarkId::new("ttl_pruned", k), &k, |b, _| {
+            b.iter(|| khop_pseudo::solve(&g, 0, k, Propagation::Pruned));
+        });
+        group.bench_with_input(BenchmarkId::new("bellman_ford", k), &k, |b, _| {
+            b.iter(|| bellman_ford::bellman_ford_khop(&g, 0, k));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sssp, bench_khop);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table 2 companion: wall-clock of evaluating the §5 circuits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgl_circuits::{adders, max_brute_force, max_wired_or};
+
+fn bench_max_circuits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_circuits");
+    group.sample_size(30);
+    for &d in &[4usize, 16, 64] {
+        let lambda = 8;
+        let wo = max_wired_or::build_max(d, lambda);
+        let bf = max_brute_force::build_max(d, lambda);
+        let vals: Vec<u64> = (0..d as u64).map(|i| (i * 37) % 256).collect();
+        group.bench_with_input(BenchmarkId::new("wired_or", d), &d, |b, _| {
+            b.iter(|| wo.eval(&vals));
+        });
+        group.bench_with_input(BenchmarkId::new("brute_force", d), &d, |b, _| {
+            b.iter(|| bf.eval(&vals));
+        });
+    }
+    group.finish();
+}
+
+fn bench_adders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adders");
+    group.sample_size(30);
+    for &lambda in &[8usize, 16, 32] {
+        let look = adders::build_lookahead_adder(lambda);
+        let ripple = adders::build_ripple_adder(lambda);
+        let x = (1u64 << (lambda - 1)) - 3;
+        let y = (1u64 << (lambda - 2)) + 11;
+        group.bench_with_input(BenchmarkId::new("lookahead", lambda), &lambda, |b, _| {
+            b.iter(|| look.eval(&[x, y]).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("ripple", lambda), &lambda, |b, _| {
+            b.iter(|| ripple.eval(&[x, y]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_max_circuits, bench_adders);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! §6 companion: wall-clock of the metered DISTANCE machine runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgl_distance::bellman_ford::bellman_ford_metered;
+use sgl_distance::dijkstra::dijkstra_metered;
+use sgl_distance::scan::scan;
+use sgl_distance::Placement;
+use sgl_graph::generators;
+
+fn bench_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_model");
+    group.sample_size(15);
+    for &m in &[1usize << 12, 1 << 16] {
+        group.bench_with_input(BenchmarkId::new("scan", m), &m, |b, &m| {
+            b.iter(|| scan(m, 4, Placement::CenterCluster));
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(17);
+    let g = generators::gnm_connected(&mut rng, 128, 2048, 1..=9);
+    group.bench_function("metered_dijkstra", |b| {
+        b.iter(|| dijkstra_metered(&g, 0, None, 4, Placement::CenterCluster));
+    });
+    group.bench_function("metered_bellman_ford_k8", |b| {
+        b.iter(|| bellman_ford_metered(&g, 0, 8, 4, Placement::CenterCluster));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation: dense (literal) vs event-driven SNN engines on the same
+//! delay-encoded SSSP network — the event-driven-communication argument
+//! of §2.1 as wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgl_core::sssp_pseudo::SpikingSssp;
+use sgl_graph::generators;
+use sgl_snn::engine::{DenseEngine, Engine, EventEngine, ParallelDenseEngine, RunConfig};
+use sgl_snn::NeuronId;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snn_engines");
+    group.sample_size(20);
+    for &n in &[64usize, 256, 1024] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::gnm_connected(&mut rng, n, 4 * n, 1..=9);
+        let net = SpikingSssp::new(&g, 0).build_network();
+        let cfg = RunConfig::until_quiescent(10 * n as u64);
+        group.bench_with_input(BenchmarkId::new("event", n), &n, |b, _| {
+            b.iter(|| EventEngine.run(&net, &[NeuronId(0)], &cfg).unwrap());
+        });
+        if n <= 256 {
+            group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+                b.iter(|| DenseEngine.run(&net, &[NeuronId(0)], &cfg).unwrap());
+            });
+            group.bench_with_input(BenchmarkId::new("parallel_dense", n), &n, |b, _| {
+                let engine = ParallelDenseEngine { threads: 4 };
+                b.iter(|| engine.run(&net, &[NeuronId(0)], &cfg).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Wall-clock of the max-flow algorithms: tidal flow vs Dinic (the §8
+//! future-work comparison point).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgl_graph::flow::{dinic, tidal_flow, FlowNetwork};
+
+fn random_network(seed: u64, n: usize, m: usize) -> FlowNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut f = FlowNetwork::new(n);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            f.add_edge(u, v, rng.gen_range(1..100));
+        }
+    }
+    f
+}
+
+fn bench_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxflow");
+    group.sample_size(20);
+    for &(n, m) in &[(64usize, 512usize), (256, 2048)] {
+        let f = random_network(41, n, m);
+        group.bench_with_input(BenchmarkId::new("tidal", n), &n, |b, _| {
+            b.iter(|| tidal_flow(&mut f.clone(), 0, n - 1));
+        });
+        group.bench_with_input(BenchmarkId::new("dinic", n), &n, |b, _| {
+            b.iter(|| dinic(&mut f.clone(), 0, n - 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

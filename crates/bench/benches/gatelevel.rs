@@ -1,0 +1,45 @@
+//! Wall-clock of building and running the compiled gate-level networks
+//! and the crossbar pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgl_core::gatelevel::khop::GateLevelKhop;
+use sgl_core::gatelevel::poly::GateLevelPoly;
+use sgl_crossbar::CrossbarScheduler;
+use sgl_graph::generators;
+
+fn bench_gatelevel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gatelevel");
+    group.sample_size(15);
+    let mut rng = StdRng::seed_from_u64(31);
+    for &n in &[8usize, 12] {
+        let g = generators::gnm_connected(&mut rng, n, 3 * n, 1..=4);
+        group.bench_with_input(BenchmarkId::new("ttl_build_and_run", n), &n, |b, _| {
+            b.iter(|| GateLevelKhop::build(&g, 0, 4).solve().unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("poly_build_and_run", n), &n, |b, _| {
+            b.iter(|| GateLevelPoly::build(&g, 0, 4).solve().unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_crossbar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar");
+    group.sample_size(15);
+    let mut rng = StdRng::seed_from_u64(37);
+    for &n in &[8usize, 16, 24] {
+        let g = generators::gnm_connected(&mut rng, n, 3 * n, 1..=6);
+        group.bench_with_input(BenchmarkId::new("embed_solve_unembed", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sched = CrossbarScheduler::new(n);
+                sched.run(&g, 0)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gatelevel, bench_crossbar);
+criterion_main!(benches);

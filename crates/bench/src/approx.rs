@@ -1,0 +1,118 @@
+//! Theorem 7.2 as an experiment: approximation quality and the neuron
+//! advantage of the §7 algorithm over the exact §4.2 algorithm.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgl_core::khop_pseudo::Propagation;
+use sgl_core::{approx_khop, khop_poly};
+use sgl_graph::{bellman_ford, generators};
+
+/// One measured point.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Graph nodes.
+    pub n: usize,
+    /// Graph edges.
+    pub m: usize,
+    /// Hop bound.
+    pub k: u32,
+    /// ε = 1/log n.
+    pub epsilon: f64,
+    /// Worst observed `estimate / dist_k` over nodes with both defined.
+    pub worst_ratio: f64,
+    /// Approximation's neuron count.
+    pub approx_neurons: u64,
+    /// Exact algorithm's neuron count.
+    pub exact_neurons: u64,
+}
+
+/// Sweeps graphs and hop bounds.
+#[must_use]
+pub fn sweep(seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    for &(n, m, u) in &[(32usize, 256usize, 9u64), (64, 1024, 20), (128, 4096, 50)] {
+        let g = generators::gnm_connected(&mut rng, n, m, 1..=u);
+        for &k in &[4u32, 16] {
+            let approx = approx_khop::solve(&g, 0, k);
+            let exact = bellman_ford::bellman_ford_khop(&g, 0, k);
+            let exact_cost = khop_poly::solve(&g, 0, k, Propagation::Pruned).cost;
+            let worst_ratio = (0..g.n())
+                .filter_map(|v| match (exact.distances[v], approx.estimates[v]) {
+                    (Some(d), Some(e)) if d > 0 => Some(e / d as f64),
+                    _ => None,
+                })
+                .fold(0.0f64, f64::max);
+            rows.push(Row {
+                n,
+                m,
+                k,
+                epsilon: approx.epsilon,
+                worst_ratio,
+                approx_neurons: approx.cost.neurons,
+                exact_neurons: exact_cost.neurons,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders for printing.
+#[must_use]
+pub fn render(rows: &[Row]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.m.to_string(),
+                r.k.to_string(),
+                format!("{:.4}", r.epsilon),
+                format!("{:.4}", r.worst_ratio),
+                format!("{:.4}", 1.0 + r.epsilon),
+                r.approx_neurons.to_string(),
+                r.exact_neurons.to_string(),
+            ]
+        })
+        .collect()
+}
+
+/// Header for [`render`].
+pub const HEADER: [&str; 8] = [
+    "n", "m", "k", "epsilon", "worst est/dist_k", "1+eps", "approx neurons", "exact neurons",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_ratio_within_one_plus_epsilon() {
+        for r in sweep(1) {
+            assert!(
+                r.worst_ratio <= 1.0 + r.epsilon + 1e-9,
+                "n={} k={}: {} > 1+{}",
+                r.n,
+                r.k,
+                r.worst_ratio,
+                r.epsilon
+            );
+        }
+    }
+
+    #[test]
+    fn neuron_advantage_on_dense_graphs() {
+        let rows = sweep(2);
+        let dense: Vec<&Row> = rows.iter().filter(|r| r.m >= 16 * r.n).collect();
+        assert!(!dense.is_empty());
+        for r in dense {
+            assert!(
+                r.approx_neurons < r.exact_neurons,
+                "n={} m={}: {} !< {}",
+                r.n,
+                r.m,
+                r.approx_neurons,
+                r.exact_neurons
+            );
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates the §7 experiment: approximation quality (within 1 + eps)
+//! and neuron advantage of the Nanongkai-based spiking algorithm.
+
+use sgl_bench::approx;
+use sgl_bench::tablefmt::print_table;
+
+fn main() {
+    println!("# Theorem 7.2 — (1 + o(1))-approximate k-hop SSSP\n");
+    let rows = approx::sweep(20210713);
+    print_table(&approx::HEADER, &approx::render(&rows));
+    println!("\nall worst-case ratios must be <= 1 + eps; neuron advantage appears on dense graphs");
+}

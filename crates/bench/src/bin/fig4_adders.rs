@@ -1,0 +1,30 @@
+//! Regenerates Figure 4's adder trade-off: depth-3 lookahead with
+//! exponential weights vs O(lambda)-depth ripple with small weights, plus
+//! the subtract-one circuit.
+
+use sgl_bench::tablefmt::print_table;
+use sgl_circuits::adders;
+use sgl_circuits::CircuitStats;
+
+fn main() {
+    println!("# Figure 4 — threshold adders (measured)\n");
+    let mut rows = Vec::new();
+    for lambda in [4usize, 8, 16, 24, 32] {
+        for (name, c) in [
+            ("lookahead", adders::build_lookahead_adder(lambda)),
+            ("ripple", adders::build_ripple_adder(lambda)),
+            ("decrement", adders::build_decrement(lambda)),
+        ] {
+            let s = CircuitStats::of(&c);
+            rows.push(vec![
+                name.into(),
+                lambda.to_string(),
+                s.internal_neurons.to_string(),
+                s.synapses.to_string(),
+                s.depth.to_string(),
+                format!("{:.0}", s.max_abs_weight),
+            ]);
+        }
+    }
+    print_table(&["circuit", "lambda", "neurons", "synapses", "depth", "|w|max"], &rows);
+}

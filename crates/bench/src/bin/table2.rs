@@ -1,0 +1,11 @@
+//! Regenerates Table 2: size/depth of the two §5 maximum circuits.
+
+use sgl_bench::table2::{self, HEADER};
+use sgl_bench::tablefmt::print_table;
+
+fn main() {
+    println!("# Table 2 — max-circuit resources (measured)\n");
+    println!("paper: brute force O(d^2) neurons depth 3; wired-or O(d*lambda) neurons depth O(lambda)\n");
+    let rows = table2::sweep(20210710);
+    print_table(&HEADER, &table2::render(&rows));
+}

@@ -1,0 +1,97 @@
+//! Parallel parameter sweeps for the experiment harness.
+//!
+//! Experiment points are independent (each derives its own RNG seed), so
+//! sweeps fan out across threads with `crossbeam::thread::scope`; results
+//! land in a `parking_lot`-guarded slot vector, preserving point order so
+//! tables stay deterministic regardless of scheduling.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item on up to `threads` worker threads, returning
+/// results in input order. Falls back to a sequential loop for a single
+/// thread or tiny inputs.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                slots.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Default worker count for sweeps: the machine's parallelism, capped so
+/// laptop runs stay polite.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(&items, 4, |&x| x * x);
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_fallback() {
+        let items = vec![1, 2, 3];
+        assert_eq!(par_map(&items, 1, |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u32> = vec![];
+        assert!(par_map(&items, 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_seeded_work() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let seeds: Vec<u64> = (0..32).collect();
+        let work = |&s: &u64| {
+            let mut rng = StdRng::seed_from_u64(s);
+            (0..100).map(|_| rng.gen_range(0..1000u64)).sum::<u64>()
+        };
+        assert_eq!(par_map(&seeds, 8, work), par_map(&seeds, 1, work));
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

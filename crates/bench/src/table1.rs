@@ -1,0 +1,334 @@
+//! Table 1 regeneration: neuromorphic vs conventional SSSP complexities,
+//! measured.
+//!
+//! For each of the four problem rows (SSSP / k-hop SSSP ×
+//! pseudopolynomial / polynomial) we sweep the parameter the paper's
+//! "better when" column hinges on and measure, per point:
+//!
+//! * `neuro_free` — neuromorphic model time with O(1) data movement
+//!   (`load + spiking_steps`, the Table 1 lower-half comparison);
+//! * `conv_ops` — the conventional baseline's elementary operations
+//!   (binary-heap Dijkstra / k-hop Bellman–Ford);
+//! * `neuro_xbar` — neuromorphic model time on the crossbar
+//!   (`load + n·spiking_steps`, §4.4/§4.5);
+//! * `distance_cost` — the conventional baseline's measured ℓ1 movement
+//!   on the DISTANCE machine, with its §6 lower bound.
+//!
+//! The absolute constants differ from any real machine, but the *shapes* —
+//! who wins, the crossover in `k` at `log(nU)`, the `L ≪ m` regime, the
+//! polynomial gap under DISTANCE — are the reproduction targets.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgl_core::accounting::DataMovement;
+use sgl_core::khop_pseudo::Propagation;
+use sgl_core::{khop_poly, khop_pseudo, sssp_poly, sssp_pseudo};
+use sgl_distance::bellman_ford::bellman_ford_metered;
+use sgl_distance::dijkstra::dijkstra_metered;
+use sgl_distance::Placement;
+use sgl_graph::{bellman_ford, dijkstra, generators, Graph};
+
+/// Registers assumed for the DISTANCE runs (`c = O(1)` per the paper).
+pub const C_REGISTERS: usize = 4;
+
+/// One measured point of a Table 1 sweep.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Swept parameter's name.
+    pub param: &'static str,
+    /// Swept parameter's value.
+    pub value: u64,
+    /// Graph size.
+    pub n: usize,
+    /// Edge count.
+    pub m: usize,
+    /// Largest edge length `U`.
+    pub u_max: u64,
+    /// `L` (length of the relevant shortest path) where applicable.
+    pub l: u64,
+    /// Neuromorphic model time, free data movement.
+    pub neuro_free: u64,
+    /// Conventional elementary operations (RAM model).
+    pub conv_ops: u64,
+    /// Neuromorphic model time on the crossbar.
+    pub neuro_xbar: u64,
+    /// Conventional measured DISTANCE movement cost.
+    pub distance_cost: u64,
+    /// §6 lower bound matching `distance_cost`.
+    pub distance_lb: f64,
+}
+
+impl Row {
+    /// True when the neuromorphic algorithm wins ignoring data movement.
+    #[must_use]
+    pub fn neuro_wins_free(&self) -> bool {
+        self.neuro_free < self.conv_ops
+    }
+
+    /// True when the neuromorphic algorithm wins with data-movement costs.
+    #[must_use]
+    pub fn neuro_wins_movement(&self) -> bool {
+        self.neuro_xbar < self.distance_cost
+    }
+}
+
+/// Row "k-hop SSSP, polynomial": sweep `k` on a fixed random graph. The
+/// paper's claim: neuromorphic `O(m log nU)` beats conventional `O(km)`
+/// exactly when `log(nU) = o(k)` — a crossover in `k`.
+#[must_use]
+pub fn poly_khop_sweep(seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (n, m, u) = (96usize, 768usize, 16u64);
+    let g = generators::gnm_connected(&mut rng, n, m, 1..=u);
+    [1u32, 2, 4, 8, 16, 32, 64]
+        .iter()
+        .map(|&k| {
+            let neuro = khop_poly::solve(&g, 0, k, Propagation::Faithful);
+            let conv = bellman_ford::bellman_ford_khop(&g, 0, k);
+            let metered =
+                bellman_ford_metered(&g, 0, k, C_REGISTERS, Placement::CenterCluster);
+            Row {
+                param: "k",
+                value: u64::from(k),
+                n,
+                m,
+                u_max: g.max_len(),
+                l: 0,
+                neuro_free: neuro.cost.total_time(DataMovement::Free),
+                conv_ops: conv.relaxations,
+                neuro_xbar: neuro.cost.total_time(DataMovement::Crossbar),
+                distance_cost: metered.cost,
+                distance_lb: metered.lower_bound,
+            }
+        })
+        .collect()
+}
+
+/// Row "SSSP, polynomial": sweep `m` at fixed `n`. Ignoring data movement
+/// the paper says the spiking algorithm is *never* better; with movement
+/// costs it wins once `m` is large (the `m^{3/2}` gap).
+#[must_use]
+pub fn poly_sssp_sweep(seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 128usize;
+    [384usize, 768, 1536, 3072, 6144]
+        .iter()
+        .map(|&m| {
+            let g = generators::gnm_connected(&mut rng, n, m, 1..=8);
+            let neuro = sssp_poly::solve(&g, 0);
+            let conv = dijkstra::dijkstra(&g, 0);
+            let metered = dijkstra_metered(&g, 0, None, C_REGISTERS, Placement::CenterCluster);
+            Row {
+                param: "m",
+                value: m as u64,
+                n,
+                m,
+                u_max: g.max_len(),
+                l: u64::from(neuro.alpha),
+                neuro_free: neuro.cost.total_time(DataMovement::Free),
+                conv_ops: conv.ops(n),
+                neuro_xbar: neuro.cost.total_time(DataMovement::Crossbar),
+                distance_cost: metered.cost,
+                distance_lb: metered.lower_bound,
+            }
+        })
+        .collect()
+}
+
+/// Row "SSSP, pseudopolynomial": two families — short-`L` grids (unit
+/// lengths, diameter ≈ 2√n) where the paper predicts the spiking
+/// algorithm wins (`L = o(m)` and `m, L = o(n log n)` — here `L ≪ m`),
+/// and long-`L` heavy paths where it loses. The swept value is the grid
+/// side / path length.
+#[must_use]
+pub fn pseudo_sssp_rows(seed: u64) -> (Vec<Row>, Vec<Row>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let grids: Vec<Row> = [8usize, 12, 16, 24, 32]
+        .iter()
+        .map(|&side| {
+            let g = generators::grid2d(&mut rng, side, side, 1..=1);
+            measure_pseudo_sssp(&g, side as u64)
+        })
+        .collect();
+    let paths: Vec<Row> = [64usize, 128, 256, 512]
+        .iter()
+        .map(|&len| {
+            let g = generators::path(&mut rng, len, 100..=100);
+            measure_pseudo_sssp(&g, len as u64)
+        })
+        .collect();
+    (grids, paths)
+}
+
+fn measure_pseudo_sssp(g: &Graph, value: u64) -> Row {
+    let run = sssp_pseudo::SpikingSssp::new(g, 0)
+        .solve_all()
+        .expect("simulation");
+    let conv = dijkstra::dijkstra(g, 0);
+    let metered = dijkstra_metered(g, 0, None, C_REGISTERS, Placement::CenterCluster);
+    Row {
+        param: "size",
+        value,
+        n: g.n(),
+        m: g.m(),
+        u_max: g.max_len(),
+        l: run.spike_time,
+        neuro_free: run.cost.total_time(DataMovement::Free),
+        conv_ops: conv.ops(g.n()),
+        neuro_xbar: run.cost.total_time(DataMovement::Crossbar),
+        distance_cost: metered.cost,
+        distance_lb: metered.lower_bound,
+    }
+}
+
+/// Row "k-hop SSSP, pseudopolynomial": sweep `k` on a unit-length grid
+/// (`L ≪ km`): spiking `O((L+m) log k)` vs conventional `O(km)` — the
+/// paper's `L = o(km / log k)` regime.
+#[must_use]
+pub fn pseudo_khop_sweep(seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = 16usize;
+    let g = generators::grid2d(&mut rng, side, side, 1..=1);
+    [2u32, 4, 8, 16, 30, 60]
+        .iter()
+        .map(|&k| {
+            let neuro = khop_pseudo::solve(&g, 0, k, Propagation::Pruned);
+            let conv = bellman_ford::bellman_ford_khop(&g, 0, k);
+            let metered =
+                bellman_ford_metered(&g, 0, k, C_REGISTERS, Placement::CenterCluster);
+            Row {
+                param: "k",
+                value: u64::from(k),
+                n: g.n(),
+                m: g.m(),
+                u_max: g.max_len(),
+                l: neuro.logical_time,
+                neuro_free: neuro.cost.total_time(DataMovement::Free),
+                conv_ops: conv.relaxations,
+                neuro_xbar: neuro.cost.total_time(DataMovement::Crossbar),
+                distance_cost: metered.cost,
+                distance_lb: metered.lower_bound,
+            }
+        })
+        .collect()
+}
+
+/// Renders a sweep as printable cells.
+#[must_use]
+pub fn render(rows: &[Row]) -> Vec<Vec<String>> {
+    use crate::tablefmt::fmt_count;
+    rows.iter()
+        .map(|r| {
+            vec![
+                format!("{}={}", r.param, r.value),
+                r.n.to_string(),
+                r.m.to_string(),
+                r.u_max.to_string(),
+                r.l.to_string(),
+                fmt_count(r.neuro_free),
+                fmt_count(r.conv_ops),
+                if r.neuro_wins_free() { "neuro" } else { "conv" }.into(),
+                fmt_count(r.neuro_xbar),
+                fmt_count(r.distance_cost),
+                format!("{:.0}", r.distance_lb),
+                if r.neuro_wins_movement() { "neuro" } else { "conv" }.into(),
+            ]
+        })
+        .collect()
+}
+
+/// Column header matching [`render`].
+pub const HEADER: [&str; 12] = [
+    "sweep", "n", "m", "U", "L", "neuro(free)", "conv ops", "winner", "neuro(xbar)",
+    "DISTANCE cost", "DIST lb", "winner",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poly_khop_has_the_log_nu_crossover() {
+        let rows = poly_khop_sweep(1);
+        // Small k: conventional wins; large k: neuromorphic wins.
+        assert!(!rows.first().unwrap().neuro_wins_free(), "k=1 should go conv");
+        assert!(rows.last().unwrap().neuro_wins_free(), "k=64 should go neuro");
+        // Monotone flip: once neuro wins it keeps winning (conv grows with
+        // k, neuro saturates).
+        let first_win = rows.iter().position(Row::neuro_wins_free).unwrap();
+        assert!(rows[first_win..].iter().all(Row::neuro_wins_free));
+    }
+
+    #[test]
+    fn poly_sssp_conv_always_wins_free_regime() {
+        // Table 1: "Neuromorphic is better when: never" (ignoring
+        // movement).
+        let rows = poly_sssp_sweep(2);
+        assert!(rows.iter().all(|r| !r.neuro_wins_free()));
+    }
+
+    #[test]
+    fn poly_sssp_neuro_wins_under_distance_for_large_m() {
+        let rows = poly_sssp_sweep(3);
+        assert!(
+            rows.last().unwrap().neuro_wins_movement(),
+            "dense graph should favour the spiking algorithm under DISTANCE"
+        );
+    }
+
+    #[test]
+    fn pseudo_sssp_grid_vs_path_regimes() {
+        let (grids, paths) = pseudo_sssp_rows(4);
+        // Short-L grids: spiking wins the free regime (L ≪ m ≪ n log n
+        // territory).
+        assert!(
+            grids.iter().all(Row::neuro_wins_free),
+            "unit grids should favour spiking SSSP"
+        );
+        // Long-L heavy paths: conventional wins (L = 100·n ≫ m).
+        assert!(
+            paths.iter().all(|r| !r.neuro_wins_free()),
+            "heavy paths should favour Dijkstra"
+        );
+    }
+
+    #[test]
+    fn pseudo_khop_neuro_advantage_grows_with_k() {
+        let rows = pseudo_khop_sweep(5);
+        let ratios: Vec<f64> = rows
+            .iter()
+            .map(|r| r.conv_ops as f64 / r.neuro_free as f64)
+            .collect();
+        // conv/neuro ratio should grow with k (conv pays km, neuro pays
+        // (L+m) log k).
+        assert!(
+            ratios.last().unwrap() > ratios.first().unwrap(),
+            "ratios {ratios:?}"
+        );
+        assert!(rows.last().unwrap().neuro_wins_free());
+    }
+
+    #[test]
+    fn distance_costs_beat_their_bounds() {
+        for rows in [poly_khop_sweep(6), poly_sssp_sweep(7)] {
+            for r in rows {
+                assert!(
+                    r.distance_cost as f64 >= r.distance_lb,
+                    "{}={}: {} < {}",
+                    r.param,
+                    r.value,
+                    r.distance_cost,
+                    r.distance_lb
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_arity_matches_header() {
+        let rows = poly_khop_sweep(8);
+        for cells in render(&rows) {
+            assert_eq!(cells.len(), HEADER.len());
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Table 3 regeneration: the platform survey plus a measured energy
+//! comparison.
+//!
+//! The platform constants are Appendix A's published figures
+//! (`sgl-platforms`); the energy rows combine them with *measured* spike
+//! counts from an actual spiking SSSP run and measured operation counts
+//! from Dijkstra on the same workload — the "orders of magnitude lower"
+//! energy claim of §1 as an experiment.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgl_core::sssp_pseudo::SpikingSssp;
+use sgl_graph::{dijkstra, generators};
+use sgl_platforms::{Platform, PLATFORMS};
+
+/// Renders the Table 3 survey rows.
+#[must_use]
+pub fn survey_rows() -> Vec<Vec<String>> {
+    PLATFORMS
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.into(),
+                p.organisation.into(),
+                format!("{:?}", p.design),
+                format!("{}nm", p.process_nm),
+                p.clock.into(),
+                p.neurons_per_core
+                    .map_or("-".into(), |v| v.to_string()),
+                p.cores_per_chip.map_or("-".into(), |v| v.to_string()),
+                p.pj_per_spike.map_or("-".into(), |v| format!("{v}")),
+                format!("{} W", p.power_watts),
+            ]
+        })
+        .collect()
+}
+
+/// Header for [`survey_rows`].
+pub const SURVEY_HEADER: [&str; 9] = [
+    "platform", "org", "design", "process", "clock", "neurons/core", "cores/chip", "pJ/spike",
+    "power",
+];
+
+/// One measured energy-comparison row.
+#[derive(Clone, Debug)]
+pub struct EnergyRow {
+    /// Platform the spiking workload is priced on.
+    pub platform: &'static str,
+    /// Measured spike events of the SSSP run.
+    pub spikes: u64,
+    /// Measured conventional operations.
+    pub ops: u64,
+    /// Spiking energy in joules.
+    pub spiking_j: f64,
+    /// CPU energy in joules.
+    pub cpu_j: f64,
+    /// CPU / spiking energy ratio.
+    pub advantage: f64,
+}
+
+/// Runs one SSSP workload and prices it on every platform with a
+/// published pJ/spike figure.
+#[must_use]
+pub fn energy_rows(seed: u64) -> Vec<EnergyRow> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = generators::gnm_connected(&mut rng, 256, 2048, 1..=9);
+    let spiking = SpikingSssp::new(&g, 0).solve_all().expect("simulation");
+    let conv = dijkstra::dijkstra(&g, 0);
+    let spikes = spiking.cost.spike_events;
+    let ops = conv.ops(g.n());
+
+    PLATFORMS
+        .iter()
+        .filter(|p| p.pj_per_spike.is_some())
+        .map(|p: &Platform| {
+            let cmp = sgl_platforms::EnergyComparison::new(p, spikes, ops);
+            EnergyRow {
+                platform: p.name,
+                spikes,
+                ops,
+                spiking_j: cmp.spiking_joules,
+                cpu_j: cmp.cpu_joules,
+                advantage: cmp.advantage(),
+            }
+        })
+        .collect()
+}
+
+/// Renders energy rows for printing.
+#[must_use]
+pub fn render_energy(rows: &[EnergyRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.platform.into(),
+                r.spikes.to_string(),
+                r.ops.to_string(),
+                format!("{:.3e} J", r.spiking_j),
+                format!("{:.3e} J", r.cpu_j),
+                format!("{:.0}x", r.advantage),
+            ]
+        })
+        .collect()
+}
+
+/// Header for [`render_energy`].
+pub const ENERGY_HEADER: [&str; 6] =
+    ["platform", "spikes", "conv ops", "spiking energy", "CPU energy", "advantage"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_covers_all_platforms() {
+        assert_eq!(survey_rows().len(), 5);
+        for row in survey_rows() {
+            assert_eq!(row.len(), SURVEY_HEADER.len());
+        }
+    }
+
+    #[test]
+    fn asic_platforms_show_orders_of_magnitude_advantage() {
+        let rows = energy_rows(1);
+        for r in rows.iter().filter(|r| r.platform != "SpiNNaker 1") {
+            assert!(
+                r.advantage > 100.0,
+                "{}: advantage {}",
+                r.platform,
+                r.advantage
+            );
+        }
+        // SpiNNaker 1 (ARM-based, nJ/spike) still wins but by less.
+        let spin = rows.iter().find(|r| r.platform == "SpiNNaker 1").unwrap();
+        assert!(spin.advantage > 1.0 && spin.advantage < 1000.0);
+    }
+
+    #[test]
+    fn spike_count_is_n_for_sssp() {
+        // The §3 run fires each reached node exactly once.
+        let rows = energy_rows(2);
+        assert_eq!(rows[0].spikes, 256);
+    }
+}

@@ -1,0 +1,80 @@
+//! Minimal aligned-markdown table printing for the experiment binaries.
+
+/// Prints `rows` as a GitHub-flavoured markdown table with aligned
+/// columns. `header` supplies the column names; every row must have the
+/// same arity.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(&header.iter().map(|s| (*s).to_string()).collect::<Vec<_>>());
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", rule.join("-|-"));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a large count with thousands separators for readability.
+#[must_use]
+pub fn fmt_count(x: u64) -> String {
+    let s = x.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Formats a ratio with a winner arrow: `>1` means the first operand is
+/// larger (second wins).
+#[must_use]
+pub fn fmt_ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        return "inf".into();
+    }
+    format!("{:.2}", a / b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_count_groups_digits() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1000), "1,000");
+        assert_eq!(fmt_count(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn fmt_ratio_handles_zero() {
+        assert_eq!(fmt_ratio(4.0, 2.0), "2.00");
+        assert_eq!(fmt_ratio(1.0, 0.0), "inf");
+    }
+
+    #[test]
+    fn print_table_smoke() {
+        print_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

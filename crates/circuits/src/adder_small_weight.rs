@@ -1,0 +1,171 @@
+//! The small-weight constant-depth adder (§5 "Sum Circuits").
+//!
+//! The paper cites Siu et al.'s depth-3, `O(λ²)`-neuron adder with
+//! polynomially bounded weights, the counterpoint to Ramos & Bohórquez's
+//! `O(λ)`-neuron design with exponential weights. We implement a
+//! transparent member of the same asymptotic class — constant depth,
+//! `O(λ²)` neurons, **unit** weights — via explicit generate/propagate
+//! carry look-ahead:
+//!
+//! ```text
+//! g_j = x_j AND y_j            (generate)     layer 1
+//! p_j = x_j OR  y_j            (propagate)    layer 1
+//! a_{j,i} = g_j AND p_{j+1} AND ... AND p_{i-1}   layer 2  (O(λ²) gates)
+//! c_i = OR_j a_{j,i}                              layer 3
+//! s_i = parity(x_i, y_i, c_i)                     layers 4–5
+//! ```
+//!
+//! Measured: depth 5, `Θ(λ²)` neurons, max weight 1 and fan-in ≤ λ — the
+//! trade-off surface Table 2's discussion contrasts with the
+//! exponential-weight designs.
+
+use crate::builder::{Circuit, CircuitBuilder};
+
+/// Builds the unit-weight constant-depth adder for two λ-bit operands;
+/// output has `λ + 1` bits, valid at depth 5.
+///
+/// # Panics
+/// Panics if `lambda == 0`.
+#[must_use]
+pub fn build_small_weight_adder(lambda: usize) -> Circuit {
+    assert!(lambda > 0);
+    let mut b = CircuitBuilder::new();
+    let x = b.input_bundle(lambda);
+    let y = b.input_bundle(lambda);
+
+    // Layer 1 (t = 1): generate and propagate signals.
+    let gen: Vec<_> = (0..lambda)
+        .map(|j| {
+            let g = b.gate_at_least(2);
+            b.wire(x[j], g, 1.0, 1);
+            b.wire(y[j], g, 1.0, 1);
+            g
+        })
+        .collect();
+    let prop: Vec<_> = (0..lambda)
+        .map(|j| {
+            let g = b.gate_at_least(1);
+            b.wire(x[j], g, 1.0, 1);
+            b.wire(y[j], g, 1.0, 1);
+            g
+        })
+        .collect();
+
+    // Layer 2 (t = 2): a_{j,i} = g_j AND p_{j+1..i-1}, for 0 <= j < i <= λ.
+    // Layer 3 (t = 3): c_i = OR_j a_{j,i} — the carry INTO position i.
+    let mut carries: Vec<Option<sgl_snn::NeuronId>> = vec![None; lambda + 1];
+    for i in 1..=lambda {
+        let mut ands = Vec::with_capacity(i);
+        for j in 0..i {
+            let span = (i - 1) - j; // number of propagate terms
+            let a = b.gate_at_least(span as u32 + 1);
+            b.wire(gen[j], a, 1.0, 1);
+            for t in (j + 1)..i {
+                b.wire(prop[t], a, 1.0, 1);
+            }
+            ands.push(a);
+        }
+        let c = b.gate_at_least(1);
+        for a in ands {
+            b.wire(a, c, 1.0, 1);
+        }
+        carries[i] = Some(c);
+    }
+
+    // Layers 4–5: s_i = parity(x_i, y_i, c_i) via the [≥1]−[≥2]+[≥3]
+    // threshold decomposition, aligned so all outputs fire at t = 5.
+    let mut outputs = Vec::with_capacity(lambda + 1);
+    for i in 0..lambda {
+        let max_sum = if i == 0 { 2 } else { 3 };
+        let gates: Vec<_> = (1..=max_sum)
+            .map(|k| {
+                let g = b.gate_at_least(k);
+                b.wire(x[i], g, 1.0, 4);
+                b.wire(y[i], g, 1.0, 4);
+                if let Some(c) = carries[i] {
+                    b.wire(c, g, 1.0, 1);
+                }
+                g
+            })
+            .collect();
+        let s = b.gate(0.5);
+        for (k, &g) in gates.iter().enumerate() {
+            let w = if k % 2 == 0 { 1.0 } else { -1.0 };
+            b.wire(g, s, w, 1);
+        }
+        outputs.push(s);
+    }
+    // Carry out: c_λ buffered from t = 3 to t = 5.
+    let carry_out = crate::logic::buffer(&mut b, carries[lambda].expect("lambda >= 1"), 2);
+    outputs.push(carry_out);
+
+    b.finish(outputs, 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::CircuitStats;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exhaustive_three_bits() {
+        let c = build_small_weight_adder(3);
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                assert_eq!(c.eval(&[x, y]).unwrap(), x + y, "{x} + {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_four_bits() {
+        let c = build_small_weight_adder(4);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                assert_eq!(c.eval(&[x, y]).unwrap(), x + y, "{x} + {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_bit() {
+        let c = build_small_weight_adder(1);
+        assert_eq!(c.eval(&[1, 1]).unwrap(), 2);
+        assert_eq!(c.eval(&[0, 1]).unwrap(), 1);
+        assert_eq!(c.eval(&[0, 0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn constant_depth_unit_weights_quadratic_size() {
+        for lambda in [4usize, 8, 16] {
+            let c = build_small_weight_adder(lambda);
+            let s = CircuitStats::of(&c);
+            assert_eq!(s.depth, 5, "constant depth");
+            assert_eq!(s.max_abs_weight, 1.0, "unit weights");
+            // Θ(λ²) a-gates dominate.
+            let quadratic = lambda * (lambda + 1) / 2;
+            assert!(s.internal_neurons >= quadratic, "λ={lambda}: {s:?}");
+            assert!(s.internal_neurons <= 8 * quadratic + 8 * lambda);
+            // Fan-in bounded by λ (+1), not 2^λ.
+            assert!(s.max_fan_in <= lambda + 2);
+        }
+    }
+
+    #[test]
+    fn agrees_with_other_designs() {
+        let small = build_small_weight_adder(6);
+        let look = crate::adders::build_lookahead_adder(6);
+        for (x, y) in [(0u64, 0u64), (63, 63), (21, 42), (17, 5), (32, 31)] {
+            assert_eq!(small.eval(&[x, y]).unwrap(), look.eval(&[x, y]).unwrap());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn matches_u64_add(x in 0u64..(1 << 12), y in 0u64..(1 << 12)) {
+            let c = build_small_weight_adder(12);
+            prop_assert_eq!(c.eval(&[x, y]).unwrap(), x + y);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Circuit resource accounting, the basis of Table 2.
+//!
+//! Reports the measured size (neurons), synapse count, depth (time steps
+//! until outputs are valid), maximum fan-in and maximum absolute weight of
+//! a built circuit — the quantities §5 trades off between designs
+//! ("Our bit-by-bit circuit sacrifices constant depth for reduced neuron
+//! counts. Our brute-force circuit uses larger synapse weights and
+//! fan-in.").
+
+use crate::builder::Circuit;
+use sgl_snn::Time;
+
+/// Measured resource profile of a circuit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CircuitStats {
+    /// Total neurons, including inputs and the bias.
+    pub neurons: usize,
+    /// Neurons excluding inputs and the bias — the circuit's "size" in the
+    /// paper's sense (input numbers pre-exist the circuit).
+    pub internal_neurons: usize,
+    /// Total synapses.
+    pub synapses: usize,
+    /// Depth in time steps.
+    pub depth: Time,
+    /// Largest in-degree of any gate.
+    pub max_fan_in: usize,
+    /// Largest absolute synaptic weight.
+    pub max_abs_weight: f64,
+}
+
+impl CircuitStats {
+    /// Profiles a built circuit.
+    #[must_use]
+    pub fn of(circuit: &Circuit) -> Self {
+        let net = &circuit.net;
+        let io: usize = 1 + circuit.inputs.iter().map(Vec::len).sum::<usize>();
+        Self {
+            neurons: net.neuron_count(),
+            internal_neurons: net.neuron_count().saturating_sub(io),
+            synapses: net.synapse_count(),
+            depth: circuit.depth,
+            max_fan_in: net.in_degrees().into_iter().max().unwrap_or(0),
+            max_abs_weight: net.max_abs_weight(),
+        }
+    }
+}
+
+impl std::fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} neurons ({} internal), {} synapses, depth {}, fan-in {}, |w|max {}",
+            self.neurons,
+            self.internal_neurons,
+            self.synapses,
+            self.depth,
+            self.max_fan_in,
+            self.max_abs_weight
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{max_brute_force, max_wired_or};
+
+    #[test]
+    fn table2_size_depth_tradeoff_holds() {
+        // Table 2: brute force = O(d^2) neurons, depth 3 (+2 readout);
+        // wired-or = O(dλ) neurons, depth O(λ).
+        let d = 12;
+        let lambda = 6;
+        let bf = CircuitStats::of(&max_brute_force::build_max(d, lambda).circuit);
+        let wo = CircuitStats::of(&max_wired_or::build_max(d, lambda).circuit);
+
+        // Depth: constant vs linear in λ.
+        assert_eq!(bf.depth, 5);
+        assert_eq!(wo.depth, 3 * lambda as u64 + 2);
+
+        // Size: quadratic in d vs linear in d.
+        assert!(bf.internal_neurons > d * (d - 1));
+        assert!(wo.internal_neurons < 4 * d * lambda + 2 * lambda);
+
+        // Weights: exponential vs constant.
+        assert_eq!(bf.max_abs_weight, (1u64 << (lambda - 1)) as f64);
+        assert_eq!(wo.max_abs_weight, 2.0);
+    }
+
+    #[test]
+    fn internal_count_excludes_io() {
+        let c = crate::adders::build_lookahead_adder(4);
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.neurons - s.internal_neurons, 1 + 8); // bias + 2 bundles
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let c = crate::adders::build_decrement(3);
+        let s = CircuitStats::of(&c);
+        let text = s.to_string();
+        assert!(text.contains("neurons") && text.contains("depth 3"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Circuit construction and evaluation scaffolding.
+
+use sgl_snn::{
+    engine::{Engine, EventEngine, RunConfig},
+    LifParams, Network, NeuronId, SnnError, Time,
+};
+
+/// Incrementally builds a feed-forward threshold circuit as an SNN.
+///
+/// The builder owns a [`Network`] under construction plus a *bias* neuron —
+/// an input that is always induced to spike at `t = 0` — used to realise
+/// constant-1 inputs (the `Eq`/`S` inputs of Figure 5) and NOT gates.
+#[derive(Debug)]
+pub struct CircuitBuilder {
+    net: Network,
+    bias: NeuronId,
+    input_bundles: Vec<Vec<NeuronId>>,
+}
+
+impl CircuitBuilder {
+    /// Creates a builder with a fresh bias neuron.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut net = Network::new();
+        let bias = net.add_neuron(LifParams::gate_at_least(1));
+        net.mark_input(bias);
+        Self {
+            net,
+            bias,
+            input_bundles: Vec::new(),
+        }
+    }
+
+    /// The always-1 bias neuron (spikes at `t = 0`).
+    #[must_use]
+    pub fn bias(&self) -> NeuronId {
+        self.bias
+    }
+
+    /// Read access to the network under construction.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Mutable access for advanced constructions.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Declares a bundle of `lambda` input neurons carrying one λ-bit
+    /// number (bit 0 first). Returns the bundle and records it so
+    /// [`Circuit::eval`] can present values to it positionally.
+    pub fn input_bundle(&mut self, lambda: usize) -> Vec<NeuronId> {
+        let bundle = self.net.add_neurons(LifParams::gate_at_least(1), lambda);
+        for &id in &bundle {
+            self.net.mark_input(id);
+        }
+        self.input_bundles.push(bundle.clone());
+        bundle
+    }
+
+    /// Declares a single input neuron (e.g. a recall line).
+    pub fn input(&mut self) -> NeuronId {
+        let id = self.net.add_neuron(LifParams::gate_at_least(1));
+        self.net.mark_input(id);
+        self.input_bundles.push(vec![id]);
+        id
+    }
+
+    /// Adds a bare threshold gate that fires when its incoming weighted sum
+    /// strictly exceeds `threshold`.
+    pub fn gate(&mut self, threshold: f64) -> NeuronId {
+        self.net.add_neuron(LifParams::gate(threshold))
+    }
+
+    /// Adds a gate firing when at least `k` unit inputs coincide.
+    pub fn gate_at_least(&mut self, k: u32) -> NeuronId {
+        self.net.add_neuron(LifParams::gate_at_least(k))
+    }
+
+    /// Wires `from -> to` with `weight` and `delay` (≥ 1).
+    ///
+    /// # Panics
+    /// Panics on invalid wiring; circuit construction bugs are programmer
+    /// errors, not runtime conditions.
+    pub fn wire(&mut self, from: NeuronId, to: NeuronId, weight: f64, delay: u32) {
+        self.net
+            .connect(from, to, weight, delay)
+            .expect("invalid circuit wiring");
+    }
+
+    /// Wires the bias so that a constant `weight` arrives at `to` for its
+    /// firing at time `at` (requires `at >= 1`).
+    pub fn constant(&mut self, to: NeuronId, weight: f64, at: u32) {
+        assert!(at >= 1, "constants cannot arrive at t = 0");
+        self.wire(self.bias, to, weight, at);
+    }
+
+    /// Finalises the circuit. `outputs` is the output bundle (bit 0 first)
+    /// and `depth` the time step at which outputs are valid.
+    #[must_use]
+    pub fn finish(mut self, outputs: Vec<NeuronId>, depth: Time) -> Circuit {
+        for &o in &outputs {
+            self.net.mark_output(o);
+        }
+        Circuit {
+            net: self.net,
+            bias: self.bias,
+            inputs: self.input_bundles,
+            outputs,
+            depth,
+        }
+    }
+}
+
+impl Default for CircuitBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A finished feed-forward threshold circuit.
+///
+/// `inputs` holds the declared input bundles in declaration order;
+/// `outputs` is the output bundle; `depth` is the time step at which the
+/// output neurons' firing state encodes the result.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    /// The underlying spiking network.
+    pub net: Network,
+    /// The always-1 bias neuron.
+    pub bias: NeuronId,
+    /// Input bundles, in declaration order (bit 0 first within a bundle).
+    pub inputs: Vec<Vec<NeuronId>>,
+    /// Output bundle (bit 0 first).
+    pub outputs: Vec<NeuronId>,
+    /// Time step at which outputs are valid.
+    pub depth: Time,
+}
+
+impl Circuit {
+    /// Evaluates the circuit on one value per input bundle and returns the
+    /// output value (bit `j` set iff `outputs[j]` fired at time `depth`).
+    ///
+    /// # Errors
+    /// Propagates simulator errors (none expected for well-formed
+    /// circuits).
+    ///
+    /// # Panics
+    /// Panics if `values.len()` differs from the number of input bundles or
+    /// a value does not fit its bundle width.
+    pub fn eval(&self, values: &[u64]) -> Result<u64, SnnError> {
+        let result = self.run(values)?;
+        Ok(self.read_output(&result))
+    }
+
+    /// Runs the circuit and returns the raw [`sgl_snn::RunResult`] for
+    /// callers that need access to internal spikes.
+    pub fn run(&self, values: &[u64]) -> Result<sgl_snn::RunResult, SnnError> {
+        assert_eq!(
+            values.len(),
+            self.inputs.len(),
+            "expected {} input values, got {}",
+            self.inputs.len(),
+            values.len()
+        );
+        let mut initial = vec![self.bias];
+        for (bundle, &v) in self.inputs.iter().zip(values) {
+            initial.extend(sgl_snn::encoding::spikes_for_value(bundle, v));
+        }
+        EventEngine.run(&self.net, &initial, &RunConfig::fixed(self.depth))
+    }
+
+    /// Reads the output value from a finished run: bit `j` is set iff
+    /// `outputs[j]` fired at exactly `depth`.
+    #[must_use]
+    pub fn read_output(&self, result: &sgl_snn::RunResult) -> u64 {
+        let bits: Vec<bool> = self
+            .outputs
+            .iter()
+            .map(|&o| result.last_spikes[o.index()] == Some(self.depth))
+            .collect();
+        sgl_snn::encoding::bits_to_value(&bits)
+    }
+
+    /// Output width in bits.
+    #[must_use]
+    pub fn output_width(&self) -> usize {
+        self.outputs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bias_fires_at_zero_and_constants_arrive_on_time() {
+        // out = NOT x, realised as bias(+1, t=1) + x(-1): fires iff x = 0.
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let not = b.gate(0.5);
+        b.constant(not, 1.0, 1);
+        b.wire(x, not, -1.0, 1);
+        let c = b.finish(vec![not], 1);
+        assert_eq!(c.eval(&[0]).unwrap(), 1);
+        assert_eq!(c.eval(&[1]).unwrap(), 0);
+    }
+
+    #[test]
+    fn buffer_passes_bits_through() {
+        let mut b = CircuitBuilder::new();
+        let xs = b.input_bundle(4);
+        let outs: Vec<NeuronId> = xs
+            .iter()
+            .map(|&x| {
+                let g = b.gate_at_least(1);
+                b.wire(x, g, 1.0, 1);
+                g
+            })
+            .collect();
+        let c = b.finish(outs, 1);
+        for v in 0..16 {
+            assert_eq!(c.eval(&[v]).unwrap(), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 1 input values")]
+    fn eval_arity_checked() {
+        let mut b = CircuitBuilder::new();
+        let _ = b.input_bundle(2);
+        let g = b.gate(0.5);
+        let c = b.finish(vec![g], 1);
+        let _ = c.eval(&[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot arrive at t = 0")]
+    fn zero_time_constant_rejected() {
+        let mut b = CircuitBuilder::new();
+        let g = b.gate(0.5);
+        b.constant(g, 1.0, 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! The Figure 5A threshold comparator.
+//!
+//! A single gate with power-of-two weights computes `b_x >= b_y`: the
+//! weighted sum `Σ_j 2^j (x_j − y_j) + Eq` is positive iff `b_x >= b_y`,
+//! where `Eq` is a constant 1 making the gate fire on equality. The
+//! complementary strict comparison `b_x > b_y` is the NOT of `b_y >= b_x`.
+
+use crate::builder::CircuitBuilder;
+use sgl_snn::NeuronId;
+
+/// Wires a gate that fires at time `at` iff `x >= y` (inputs fire at 0).
+///
+/// Weights grow as `2^(λ-1)` — the "larger synapse weights and fan-in" cost
+/// of the brute-force design the paper notes in §5.
+pub fn ge_gate_at(b: &mut CircuitBuilder, x: &[NeuronId], y: &[NeuronId], at: u32) -> NeuronId {
+    assert_eq!(x.len(), y.len(), "operand widths differ");
+    assert!(at >= 1);
+    // Sum = (x - y) + 1; integer-valued, so > 0.5 iff x >= y.
+    let g = b.gate(0.5);
+    for (j, (&xj, &yj)) in x.iter().zip(y).enumerate() {
+        let w = (1u64 << j) as f64;
+        b.wire(xj, g, w, at);
+        b.wire(yj, g, -w, at);
+    }
+    b.constant(g, 1.0, at); // the `Eq` input
+    g
+}
+
+/// Wires a gate that fires at time `at` iff `x > y` strictly.
+pub fn gt_gate_at(b: &mut CircuitBuilder, x: &[NeuronId], y: &[NeuronId], at: u32) -> NeuronId {
+    assert_eq!(x.len(), y.len(), "operand widths differ");
+    assert!(at >= 1);
+    // Sum = (x - y); > 0.5 iff x > y (integers).
+    let g = b.gate(0.5);
+    for (j, (&xj, &yj)) in x.iter().zip(y).enumerate() {
+        let w = (1u64 << j) as f64;
+        b.wire(xj, g, w, at);
+        b.wire(yj, g, -w, at);
+    }
+    g
+}
+
+/// Wires a gate that fires at `at` iff the bundle's value is `>= constant`
+/// (used for thresholding TTLs and termination tests).
+pub fn ge_const_gate_at(b: &mut CircuitBuilder, x: &[NeuronId], constant: u64, at: u32) -> NeuronId {
+    assert!(at >= 1);
+    if constant == 0 {
+        // Always true; a bias-driven gate (a zero-threshold gate would be
+        // spontaneously active, which the event engine rejects).
+        let g = b.gate(0.5);
+        b.constant(g, 1.0, at);
+        return g;
+    }
+    let g = b.gate(constant as f64 - 0.5);
+    for (j, &xj) in x.iter().enumerate() {
+        b.wire(xj, g, (1u64 << j) as f64, at);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    fn cmp_circuit(
+        lambda: usize,
+        f: impl Fn(&mut CircuitBuilder, &[NeuronId], &[NeuronId], u32) -> NeuronId,
+    ) -> crate::builder::Circuit {
+        let mut b = CircuitBuilder::new();
+        let x = b.input_bundle(lambda);
+        let y = b.input_bundle(lambda);
+        let g = f(&mut b, &x, &y, 1);
+        b.finish(vec![g], 1)
+    }
+
+    #[test]
+    fn ge_exhaustive_three_bits() {
+        let c = cmp_circuit(3, ge_gate_at);
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                assert_eq!(c.eval(&[x, y]).unwrap(), u64::from(x >= y), "{x} >= {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn gt_exhaustive_three_bits() {
+        let c = cmp_circuit(3, gt_gate_at);
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                assert_eq!(c.eval(&[x, y]).unwrap(), u64::from(x > y), "{x} > {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn ge_wide_operands() {
+        let c = cmp_circuit(12, ge_gate_at);
+        assert_eq!(c.eval(&[4095, 4094]).unwrap(), 1);
+        assert_eq!(c.eval(&[2048, 2049]).unwrap(), 0);
+        assert_eq!(c.eval(&[3000, 3000]).unwrap(), 1);
+    }
+
+    #[test]
+    fn ge_const_exhaustive() {
+        for k in 0..8u64 {
+            let mut b = CircuitBuilder::new();
+            let x = b.input_bundle(3);
+            let g = ge_const_gate_at(&mut b, &x, k, 1);
+            let c = b.finish(vec![g], 1);
+            for v in 0..8u64 {
+                assert_eq!(c.eval(&[v]).unwrap(), u64::from(v >= k), "{v} >= {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_gate_cost() {
+        // The comparator is one neuron regardless of width — the weight
+        // magnitude, not the neuron count, absorbs λ.
+        let mut b = CircuitBuilder::new();
+        let x = b.input_bundle(16);
+        let y = b.input_bundle(16);
+        let before = b.network().neuron_count();
+        let _ = ge_gate_at(&mut b, &x, &y, 1);
+        assert_eq!(b.network().neuron_count(), before + 1);
+        assert_eq!(b.network().max_abs_weight(), 32768.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Delay-free compilation: running delay-programmed networks on hardware
+//! without programmable delays.
+//!
+//! §2.2: "Although many neuromorphic platforms support delays natively,
+//! some do not. We can simulate delays by replacing a synaptic link with
+//! two neurons with feedback between them (see Figure 1)." — plus the
+//! "dummy neurons" the paper uses for synchronisation. This module is
+//! that statement as a compiler pass: it rewrites every synapse whose
+//! delay exceeds the target's native maximum into either
+//!
+//! * a **relay chain** of unit-delay buffer neurons (always correct;
+//!   `d − 1` neurons), or
+//! * a **Figure 1A counting block** (3 neurons regardless of `d`, but
+//!   correct only when consecutive spikes of the source are more than `d`
+//!   steps apart — e.g. the one-spike-per-neuron §3 wavefront).
+//!
+//! Blocks are shared across synapses with the same `(source, delay)`.
+
+use crate::delay_sim::build_delay_block;
+use sgl_snn::{LifParams, Network, NeuronId};
+use std::collections::HashMap;
+
+/// Compilation strategy for long delays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LongDelay {
+    /// Relay chains only: always semantics-preserving, `Θ(d)` neurons.
+    Chains,
+    /// Figure 1A blocks for delays ≥ 4 (chains below): `O(1)` neurons per
+    /// (source, delay), requires source inter-spike gaps > d.
+    Blocks,
+}
+
+/// What the compiler did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Synapses copied unchanged.
+    pub kept: usize,
+    /// Synapses rewritten.
+    pub rewritten: usize,
+    /// Neurons added.
+    pub neurons_added: usize,
+}
+
+/// Compiles `net` for a target whose largest native delay is
+/// `native_max ≥ 1`. Neuron ids `0..net.neuron_count()` are preserved, so
+/// existing spike-time readouts keep working; auxiliary neurons are
+/// appended after them.
+///
+/// # Panics
+/// Panics if `native_max == 0`.
+#[must_use]
+pub fn compile_delays(net: &Network, native_max: u32, strategy: LongDelay) -> (Network, CompileStats) {
+    assert!(native_max >= 1);
+    let mut out = Network::with_capacity(net.neuron_count());
+    for id in net.neuron_ids() {
+        let new = out.add_neuron(*net.params(id));
+        debug_assert_eq!(new, id);
+    }
+    for &i in net.inputs() {
+        out.mark_input(i);
+    }
+    for &o in net.outputs() {
+        out.mark_output(o);
+    }
+    if let Some(t) = net.terminal() {
+        out.set_terminal(t);
+    }
+
+    let mut stats = CompileStats::default();
+    // Shared Figure-1A blocks keyed by (source, delay): block output
+    // neuron, which fires `delay - 1` steps after the source (targets are
+    // then reached with one more native step).
+    let mut blocks: HashMap<(NeuronId, u32), NeuronId> = HashMap::new();
+    // Shared relay chains keyed by source: chain[i] fires i+1 steps after
+    // the source, extended lazily.
+    let mut chains: HashMap<NeuronId, Vec<NeuronId>> = HashMap::new();
+
+    for src in net.neuron_ids() {
+        for syn in net.synapses_from(src) {
+            if syn.delay <= native_max {
+                out.connect(src, syn.target, syn.weight, syn.delay)
+                    .expect("valid copy");
+                stats.kept += 1;
+                continue;
+            }
+            stats.rewritten += 1;
+            let d = syn.delay;
+            let use_block = strategy == LongDelay::Blocks && d >= 4;
+            if use_block {
+                let before = out.neuron_count();
+                let tap = *blocks.entry((src, d)).or_insert_with(|| {
+                    // Block input fires 1 after src; block output D = d - 2
+                    // later; one more native step reaches the target.
+                    let block = build_delay_block(&mut out, d - 2);
+                    out.connect(src, block.input, 1.0, 1)
+                        .expect("valid by construction");
+                    block.output
+                });
+                stats.neurons_added += out.neuron_count() - before;
+                out.connect(tap, syn.target, syn.weight, 1)
+                    .expect("valid by construction");
+            } else {
+                // Relay chain: need a tap firing d - 1 steps after src.
+                let need = (d - 1) as usize;
+                let before = out.neuron_count();
+                let chain = chains.entry(src).or_default();
+                while chain.len() < need {
+                    let prev = chain.last().copied().unwrap_or(src);
+                    let relay = out.add_neuron(LifParams::gate_at_least(1));
+                    out.connect(prev, relay, 1.0, 1).expect("valid");
+                    chain.push(relay);
+                }
+                stats.neurons_added += out.neuron_count() - before;
+                out.connect(chain[need - 1], syn.target, syn.weight, 1)
+                    .expect("valid by construction");
+            }
+        }
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sgl_snn::engine::{Engine, EventEngine, RunConfig};
+
+    /// A random feed-forward network with arbitrary delays.
+    fn random_ff_net(rng: &mut StdRng, n: usize) -> (Network, Vec<NeuronId>) {
+        let mut net = Network::new();
+        let ids = net.add_neurons(LifParams::gate_at_least(1), n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(0.4) {
+                    let d = rng.gen_range(1..=12);
+                    net.connect(ids[i], ids[j], 1.0, d).unwrap();
+                }
+            }
+        }
+        (net, ids)
+    }
+
+    #[test]
+    fn chain_compilation_preserves_all_spike_times() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let (net, ids) = random_ff_net(&mut rng, 8);
+            let (compiled, stats) = compile_delays(&net, 1, LongDelay::Chains);
+            assert!(compiled.max_delay() <= 1 || net.synapse_count() == 0);
+            let cfg = RunConfig::fixed(64);
+            let orig = EventEngine.run(&net, &[ids[0]], &cfg).unwrap();
+            let comp = EventEngine.run(&compiled, &[ids[0]], &cfg).unwrap();
+            for &id in &ids {
+                assert_eq!(
+                    orig.first_spikes[id.index()], comp.first_spikes[id.index()],
+                    "first spikes diverged (stats {stats:?})"
+                );
+                assert_eq!(
+                    orig.spike_counts[id.index()], comp.spike_counts[id.index()],
+                    "spike counts diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn native_max_three_leaves_short_delays_alone() {
+        let mut net = Network::new();
+        let ids = net.add_neurons(LifParams::gate_at_least(1), 3);
+        net.connect(ids[0], ids[1], 1.0, 3).unwrap();
+        net.connect(ids[0], ids[2], 1.0, 9).unwrap();
+        let (compiled, stats) = compile_delays(&net, 3, LongDelay::Chains);
+        assert_eq!(stats.kept, 1);
+        assert_eq!(stats.rewritten, 1);
+        assert!(compiled.max_delay() <= 3);
+        let r = EventEngine
+            .run(&compiled, &[ids[0]], &RunConfig::fixed(20))
+            .unwrap();
+        assert_eq!(r.first_spikes[ids[1].index()], Some(3));
+        assert_eq!(r.first_spikes[ids[2].index()], Some(9));
+    }
+
+    #[test]
+    fn block_compilation_matches_on_single_wave_networks() {
+        // Delay-encoded SSSP networks spike each node once — the regime
+        // Figure 1A blocks are safe in.
+        let mut net = Network::new();
+        let ids = net.add_neurons(LifParams::unit_integrator(), 5);
+        let edges = [(0usize, 1usize, 5u32), (0, 2, 9), (1, 3, 7), (2, 3, 4), (3, 4, 6)];
+        for &(u, v, d) in &edges {
+            net.connect(ids[u], ids[v], 1.0, d).unwrap();
+        }
+        for (v, id) in ids.iter().enumerate() {
+            let indeg = edges.iter().filter(|e| e.1 == v).count();
+            net.connect(*id, *id, -(indeg as f64 + 2.0), 1).unwrap();
+        }
+        let (compiled, stats) = compile_delays(&net, 1, LongDelay::Blocks);
+        assert!(stats.rewritten >= 5);
+        let cfg = RunConfig::fixed(64);
+        let orig = EventEngine.run(&net, &[ids[0]], &cfg).unwrap();
+        let comp = EventEngine.run(&compiled, &[ids[0]], &cfg).unwrap();
+        for &id in &ids {
+            assert_eq!(orig.first_spikes[id.index()], comp.first_spikes[id.index()]);
+        }
+    }
+
+    #[test]
+    fn blocks_are_shared_per_source_and_delay() {
+        let mut net = Network::new();
+        let ids = net.add_neurons(LifParams::gate_at_least(1), 4);
+        // Two synapses with the same (source, delay) share one block.
+        net.connect(ids[0], ids[1], 1.0, 10).unwrap();
+        net.connect(ids[0], ids[2], 1.0, 10).unwrap();
+        net.connect(ids[0], ids[3], 1.0, 10).unwrap();
+        let (_, stats) = compile_delays(&net, 1, LongDelay::Blocks);
+        assert_eq!(stats.rewritten, 3);
+        // One shared block: input relay + pacemaker + counter = 3 neurons.
+        assert_eq!(stats.neurons_added, 3);
+    }
+
+    #[test]
+    fn chains_are_shared_per_source() {
+        let mut net = Network::new();
+        let ids = net.add_neurons(LifParams::gate_at_least(1), 3);
+        net.connect(ids[0], ids[1], 1.0, 6).unwrap();
+        net.connect(ids[0], ids[2], 1.0, 4).unwrap();
+        let (_, stats) = compile_delays(&net, 1, LongDelay::Chains);
+        // Chain of 5 relays serves both taps (needs d-1 = 5 and 3).
+        assert_eq!(stats.neurons_added, 5);
+    }
+
+    #[test]
+    fn inhibitory_weights_survive_compilation() {
+        let mut net = Network::new();
+        let a = net.add_neuron(LifParams::gate_at_least(1));
+        let b = net.add_neuron(LifParams::gate_at_least(1));
+        let t = net.add_neuron(LifParams::gate_at_least(1));
+        net.connect(a, t, 1.0, 6).unwrap();
+        net.connect(b, t, -2.0, 6).unwrap();
+        let (compiled, _) = compile_delays(&net, 1, LongDelay::Chains);
+        // Both fire: inhibition cancels excitation at t = 6.
+        let r = EventEngine
+            .run(&compiled, &[a, b], &RunConfig::fixed(12))
+            .unwrap();
+        assert_eq!(r.first_spikes[t.index()], None);
+        // Only the excitatory source fires: target spikes at 6.
+        let r = EventEngine
+            .run(&compiled, &[a], &RunConfig::fixed(12))
+            .unwrap();
+        assert_eq!(r.first_spikes[t.index()], Some(6));
+    }
+}

@@ -1,0 +1,161 @@
+//! The Figure 1A delay-simulation circuit.
+//!
+//! "Circuit (A) uses neurons to simulate an O(d) synaptic delay on
+//! neuromorphic architectures that do not natively support such delays.
+//! When the first neuron activates, its feedback loop causes it to
+//! repeatedly fire until the second neuron receives d−1 spikes. When the
+//! second neuron fires, it stops the first neuron."
+//!
+//! Our version adds one inhibitory self-synapse on the counter neuron so
+//! the circuit returns to its resting state after each use, making it
+//! safely re-triggerable (the paper's two-neuron sketch is one-shot).
+
+use sgl_snn::{LifParams, Network, NeuronId};
+
+/// Handles to a delay-simulation block: a spike entering `input` produces a
+/// spike at `output` exactly `d` steps later, using only unit-delay
+/// synapses internally.
+#[derive(Debug, Clone, Copy)]
+pub struct DelayBlock {
+    /// Feed the spike to be delayed here.
+    pub input: NeuronId,
+    /// Emits the delayed spike.
+    pub output: NeuronId,
+    /// The self-exciting pacemaker neuron (Figure 1A's "first neuron").
+    pub pacemaker: NeuronId,
+}
+
+/// Number of neurons a delay block uses beyond its input line.
+pub const DELAY_BLOCK_NEURONS: usize = 2;
+
+/// Builds a block that delays a spike on `input` by exactly `d >= 2` steps
+/// using two neurons and unit-delay synapses only.
+///
+/// Timing: `input` fires at `t` → pacemaker `A` fires at `t+1 .. t+d`
+/// (stopped by inhibition) → the counter `B` accumulates `d−1` unit spikes
+/// arriving at `t+2 .. t+d` and fires at `t+d`.
+///
+/// Re-triggerable provided successive input spikes are more than `d` steps
+/// apart (a second spike arriving mid-count would corrupt the count — the
+/// same restriction physical delay FIFOs have).
+///
+/// # Panics
+/// Panics if `d < 2`; a delay of 1 is the native minimum and needs no
+/// simulation.
+pub fn build_delay_block(net: &mut Network, d: u32) -> DelayBlock {
+    assert!(d >= 2, "delays below 2 need no simulation circuit");
+    let input = net.add_neuron(LifParams::gate_at_least(1));
+
+    // A: pacemaker. Fires every step once triggered, until inhibited.
+    let a = net.add_neuron(LifParams::gate_at_least(1));
+    net.connect(input, a, 1.0, 1).expect("valid wiring");
+    net.connect(a, a, 1.0, 1).expect("valid wiring");
+
+    // B: counter. Integrates pacemaker spikes; fires after d-1 of them.
+    let bn = net.add_neuron(LifParams::integrator(f64::from(d - 1) - 0.5));
+    net.connect(a, bn, 1.0, 1).expect("valid wiring");
+    // Stop the pacemaker when the count completes.
+    net.connect(bn, a, -2.0, 1).expect("valid wiring");
+    // Cleanup: the pacemaker's final spike (at t+d) still lands on B at
+    // t+d+1 after B has fired and reset; cancel it so B returns to rest.
+    net.connect(bn, bn, -1.0, 1).expect("valid wiring");
+
+    DelayBlock {
+        input,
+        output: bn,
+        pacemaker: a,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_snn::engine::{Engine, EventEngine, RunConfig};
+
+    fn simulate(d: u32, input_times: &[u32], horizon: u64) -> (Vec<u64>, Network, DelayBlock) {
+        let mut net = Network::new();
+        let bias = net.add_neuron(LifParams::gate_at_least(1));
+        let block = build_delay_block(&mut net, d);
+        for &t in input_times {
+            if t == 0 {
+                // handled by inducing block.input below
+            } else {
+                net.connect(bias, block.input, 1.0, t).unwrap();
+            }
+        }
+        let mut init = vec![bias];
+        if input_times.contains(&0) {
+            init.push(block.input);
+        }
+        let res = EventEngine
+            .run(&net, &init, &RunConfig::fixed(horizon).with_raster())
+            .unwrap();
+        let outs = res.raster.as_ref().unwrap().spikes_of(block.output);
+        (outs, net, block)
+    }
+
+    #[test]
+    fn delays_match_native_for_small_d() {
+        for d in 2..=16 {
+            let (outs, _, _) = simulate(d, &[0], 64);
+            assert_eq!(outs, vec![u64::from(d)], "d = {d}");
+        }
+    }
+
+    #[test]
+    fn delays_match_native_for_large_d() {
+        for d in [31, 47, 64] {
+            let (outs, _, _) = simulate(d, &[0], 200);
+            assert_eq!(outs, vec![u64::from(d)], "d = {d}");
+        }
+    }
+
+    #[test]
+    fn pacemaker_stops_after_emission() {
+        let (outs, net, block) = simulate(8, &[0], 100);
+        assert_eq!(outs, vec![8]);
+        // Re-run with raster and check the pacemaker's last spike is t+d.
+        let res = EventEngine
+            .run(
+                &net,
+                &[sgl_snn::NeuronId(0), block.input],
+                &RunConfig::fixed(100).with_raster(),
+            )
+            .unwrap();
+        let pace = res.raster.as_ref().unwrap().spikes_of(block.pacemaker);
+        assert_eq!(*pace.last().unwrap(), 8);
+        assert_eq!(pace.len(), 8); // t = 1..=8
+    }
+
+    #[test]
+    fn retriggerable_when_spaced_beyond_d() {
+        // Two input spikes at t=0 and t=20 with d=6: outputs at 6 and 26.
+        let (outs, _, _) = simulate(6, &[0, 20], 64);
+        assert_eq!(outs, vec![6, 26]);
+    }
+
+    #[test]
+    fn three_uses_in_sequence() {
+        let (outs, _, _) = simulate(4, &[0, 10, 20], 64);
+        assert_eq!(outs, vec![4, 14, 24]);
+    }
+
+    #[test]
+    #[should_panic(expected = "delays below 2")]
+    fn rejects_trivial_delay() {
+        let mut net = Network::new();
+        let _ = build_delay_block(&mut net, 1);
+    }
+
+    #[test]
+    fn uses_constant_neuron_count() {
+        let mut net = Network::new();
+        let before = net.neuron_count();
+        let _ = build_delay_block(&mut net, 50);
+        // O(d) time from O(1) neurons — the whole point of Figure 1A.
+        assert_eq!(
+            net.neuron_count() - before,
+            DELAY_BLOCK_NEURONS + 1 // + the input relay neuron
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Neuromorphic memory: the latch of Figure 1B.
+//!
+//! "The self-loop on neuron M allows it to act as a latch, firing
+//! indefinitely once it has fired. The recall input at neuron C propagates
+//! the value of M to the output. Neuron M can be reset by an inhibitory
+//! (negative weighted) link from C to M." (§2.2, Figure 1B — we expose the
+//! reset on a separate line so recall is non-destructive.)
+
+use crate::builder::CircuitBuilder;
+use sgl_snn::NeuronId;
+
+/// Handles to the four lines of a one-bit memory latch.
+#[derive(Debug, Clone, Copy)]
+pub struct Latch {
+    /// Spiking this line stores a 1.
+    pub set: NeuronId,
+    /// Spiking this line clears the latch back to 0.
+    pub reset: NeuronId,
+    /// Spiking this line reads the latch non-destructively.
+    pub recall: NeuronId,
+    /// Fires two steps after `recall` iff the latch holds a 1.
+    pub out: NeuronId,
+    /// The internal memory neuron `M` (exposed for probing/tests).
+    pub memory: NeuronId,
+}
+
+/// Builds a one-bit latch inside `b`. The caller provides the set, reset
+/// and recall lines (any neurons — inputs or internal gates).
+pub fn build_latch(
+    b: &mut CircuitBuilder,
+    set: NeuronId,
+    reset: NeuronId,
+    recall: NeuronId,
+) -> Latch {
+    // M: once it receives a spike it re-excites itself every step.
+    let memory = b.gate_at_least(1);
+    b.wire(set, memory, 1.0, 1);
+    b.wire(memory, memory, 1.0, 1);
+    // Reset: a -2 overwhelms the +1 self-loop for one step, breaking the
+    // regenerative cycle. (-2 rather than -1 so reset also wins against a
+    // simultaneous `set`.)
+    b.wire(reset, memory, -2.0, 1);
+
+    // C: gated readout. Fires iff recall and M coincide; relays to out.
+    let c = b.gate_at_least(2);
+    b.wire(recall, c, 1.0, 1);
+    b.wire(memory, c, 1.0, 1);
+    let out = b.gate_at_least(1);
+    b.wire(c, out, 1.0, 1);
+
+    Latch {
+        set,
+        reset,
+        recall,
+        out,
+        memory,
+    }
+}
+
+/// Number of neurons a latch adds to the network (M, C, out).
+pub const LATCH_NEURONS: usize = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_snn::engine::{Engine, EventEngine, RunConfig};
+
+    struct Rig {
+        net: sgl_snn::Network,
+        latch: Latch,
+        bias: NeuronId,
+    }
+
+    /// Builds a latch driven by three dedicated input lines plus delayed
+    /// bias wires so we can schedule set/reset/recall pulses at chosen
+    /// times within a single run.
+    fn rig() -> Rig {
+        let mut b = CircuitBuilder::new();
+        let set = b.input();
+        let reset = b.input();
+        let recall = b.input();
+        let latch = build_latch(&mut b, set, reset, recall);
+        let bias = b.bias();
+        let c = b.finish(vec![latch.out], 0);
+        Rig {
+            net: c.net,
+            latch,
+            bias,
+        }
+    }
+
+    enum Line {
+        Set,
+        Reset,
+        Recall,
+    }
+
+    fn pulse(rig: &mut Rig, line: Line, at: u32) {
+        // Drive `line` from the bias with the requested delay so it fires
+        // at time `at`.
+        let target = match line {
+            Line::Set => rig.latch.set,
+            Line::Reset => rig.latch.reset,
+            Line::Recall => rig.latch.recall,
+        };
+        rig.net.connect(rig.bias, target, 1.0, at).unwrap();
+    }
+
+    fn run(rig: &Rig, steps: u64) -> sgl_snn::RunResult {
+        EventEngine
+            .run(&rig.net, &[rig.bias], &RunConfig::fixed(steps).with_raster())
+            .unwrap()
+    }
+
+    #[test]
+    fn latch_holds_and_recalls() {
+        let mut r = rig();
+        pulse(&mut r, Line::Set, 1);
+        pulse(&mut r, Line::Recall, 10);
+        let res = run(&r, 14);
+        // M latches from t=2 (set spike at 1, arrives 2) onward.
+        let m_spikes = res.raster.as_ref().unwrap().spikes_of(r.latch.memory);
+        assert!(m_spikes.contains(&2) && m_spikes.contains(&12));
+        // Recall at t=10 -> C at 11 -> out at 12.
+        assert_eq!(res.first_spike(r.latch.out), Some(12));
+    }
+
+    #[test]
+    fn recall_without_set_reads_zero() {
+        let mut r = rig();
+        pulse(&mut r, Line::Recall, 5);
+        let res = run(&r, 10);
+        assert_eq!(res.first_spike(r.latch.out), None);
+    }
+
+    #[test]
+    fn reset_clears_the_latch() {
+        let mut r = rig();
+        pulse(&mut r, Line::Set, 1);
+        pulse(&mut r, Line::Reset, 6);
+        pulse(&mut r, Line::Recall, 10);
+        let res = run(&r, 14);
+        // Reset spike at 6 arrives at 7: M silent from t=7 on.
+        let m_spikes = res.raster.as_ref().unwrap().spikes_of(r.latch.memory);
+        assert!(m_spikes.contains(&6));
+        assert!(!m_spikes.iter().any(|&t| t >= 7));
+        assert_eq!(res.first_spike(r.latch.out), None);
+    }
+
+    #[test]
+    fn set_after_reset_latches_again() {
+        let mut r = rig();
+        pulse(&mut r, Line::Set, 1);
+        pulse(&mut r, Line::Reset, 4);
+        pulse(&mut r, Line::Set, 8);
+        pulse(&mut r, Line::Recall, 12);
+        let res = run(&r, 16);
+        assert_eq!(res.first_spike(r.latch.out), Some(14));
+    }
+
+    #[test]
+    fn recall_is_non_destructive() {
+        let mut r = rig();
+        pulse(&mut r, Line::Set, 1);
+        pulse(&mut r, Line::Recall, 5);
+        pulse(&mut r, Line::Recall, 9);
+        let res = run(&r, 13);
+        let out_spikes = res.raster.as_ref().unwrap().spikes_of(r.latch.out);
+        assert_eq!(out_spikes, vec![7, 11]);
+    }
+
+    #[test]
+    fn simultaneous_set_and_reset_resolves_to_clear() {
+        let mut r = rig();
+        pulse(&mut r, Line::Set, 3);
+        pulse(&mut r, Line::Reset, 3);
+        pulse(&mut r, Line::Recall, 8);
+        let res = run(&r, 12);
+        assert_eq!(res.first_spike(r.latch.out), None);
+    }
+}

@@ -1,0 +1,60 @@
+//! # sgl-circuits — threshold-gate circuits as spiking neural networks
+//!
+//! Implements every circuit construction in §5 (and Figure 1) of Aimone et
+//! al., *Provable Advantages for Graph Algorithms in Spiking Neural
+//! Networks* (SPAA 2021):
+//!
+//! * [`logic`] — OR / AND / NOT / majority threshold gates, the building
+//!   blocks (non-recurrent SNNs of `tau = 1` neurons).
+//! * [`latch`] — the neuromorphic memory cell of Figure 1B: a self-looped
+//!   neuron latches a bit; a recall input propagates it; an inhibitory
+//!   reset clears it.
+//! * [`delay_sim`] — the Figure 1A circuit simulating an `O(d)` synaptic
+//!   delay with two neurons, for architectures without programmable delays.
+//! * [`max_wired_or`] — Theorem 5.1: max of `d` λ-bit numbers with
+//!   `O(dλ)` neurons and `O(λ)` depth (bit-by-bit elimination, inspired by
+//!   the Connection Machine 2's wired-OR).
+//! * [`max_brute_force`] — Theorem 5.2: max of `d` λ-bit numbers with
+//!   `O(d²)` pairwise comparators and constant depth.
+//! * [`comparator`] — the Figure 5A threshold comparator (`b_x >= b_y` in
+//!   one gate using power-of-two weights).
+//! * [`adders`] — binary adders: constant-depth carry-lookahead with
+//!   exponentially bounded weights (after Ramos & Bohórquez / Siu et al.,
+//!   Figure 4) and a small-weight `O(λ)`-depth ripple adder; plus the
+//!   subtract-one (TTL decrement) circuit used by the k-hop algorithm.
+//! * [`analysis`] — circuit resource accounting (neurons, depth, fan-in,
+//!   weight magnitudes) used to regenerate Table 2.
+//!
+//! ## Conventions
+//!
+//! Numbers are λ-bit nonnegative binary integers carried by bundles of
+//! neurons, bit 0 (least significant) first. A circuit's *depth* is the time
+//! step at which its outputs are valid: inputs spike at `t = 0` and every
+//! gate-to-gate synapse has delay ≥ 1, so a gate at layer `q` fires at time
+//! `q` — the paper's assumption that feed-forward threshold circuits run in
+//! time proportional to depth.
+//!
+//! Constants (the paper's "always 1" inputs `Eq` and `S` in Figure 5) are
+//! realised by a designated *bias* neuron that is induced to spike at
+//! `t = 0` and wired with the delay that makes it arrive at the right layer.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Indexed loops over several parallel per-node arrays are the house style
+// for the graph/neuron kernels here; iterator zips would obscure them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod adder_small_weight;
+pub mod adders;
+pub mod analysis;
+pub mod builder;
+pub mod comparator;
+pub mod delay_compile;
+pub mod delay_sim;
+pub mod latch;
+pub mod logic;
+pub mod max_brute_force;
+pub mod max_wired_or;
+
+pub use analysis::CircuitStats;
+pub use builder::{Circuit, CircuitBuilder};

@@ -1,0 +1,303 @@
+//! Theorem 5.1: the bit-by-bit ("wired-OR") maximum circuit.
+//!
+//! Computes the maximum of `d` λ-bit numbers with `O(dλ)` neurons and
+//! `O(λ)` depth, processing bits from most to least significant (Figure 3).
+//! At each bit position, any number with a 0 where some still-active number
+//! has a 1 is eliminated; after the last bit, the still-active numbers all
+//! equal the maximum, and two final layers filter and merge their bits onto
+//! the output bundle.
+//!
+//! Per bit `j` we realise Figure 3's `V`/`OR`/`I`/`a` gates with three
+//! layers (the `I` gate is folded into `a`'s threshold logic:
+//! `a_j = a_{j+1} AND (V_j OR NOT OR_j)` becomes a single gate with weights
+//! `+2 a_{j+1} − 1 OR_j + 1 V_j`, threshold ≥ 2 — the same function with
+//! one fewer neuron per number per bit; resource counts stay `O(dλ)` and
+//! the measured depth `3λ + 2` stays `O(λ)`, which is what Theorem 5.1
+//! claims and what Table 2 reports).
+
+use crate::builder::{Circuit, CircuitBuilder};
+use sgl_snn::{NeuronId, Time};
+
+/// A built max (or min) circuit with its winner indicators.
+#[derive(Debug, Clone)]
+pub struct MaxCircuit {
+    /// The underlying circuit: `d` input bundles of `lambda` bits, one
+    /// `lambda`-bit output bundle carrying the extreme value.
+    pub circuit: Circuit,
+    /// `active[i]` fires at [`Self::active_at`] iff input `i` attains the
+    /// extreme value (ties: all attaining inputs fire).
+    pub active: Vec<NeuronId>,
+    /// The time step at which the `active` indicators are valid.
+    pub active_at: Time,
+    /// Number of input operands.
+    pub d: usize,
+    /// Bit width of each operand.
+    pub lambda: usize,
+}
+
+impl MaxCircuit {
+    /// Evaluates the circuit on `values` (one per operand).
+    ///
+    /// # Panics
+    /// Panics if `values.len() != d` or a value exceeds `lambda` bits.
+    #[must_use]
+    pub fn eval(&self, values: &[u64]) -> u64 {
+        self.circuit.eval(values).expect("well-formed circuit")
+    }
+
+    /// Evaluates and also reports which operands attained the extreme.
+    #[must_use]
+    pub fn eval_with_winners(&self, values: &[u64]) -> (u64, Vec<bool>) {
+        let result = self.circuit.run(values).expect("well-formed circuit");
+        let value = self.circuit.read_output(&result);
+        let winners = self
+            .active
+            .iter()
+            .map(|&a| result.last_spikes[a.index()] == Some(self.active_at))
+            .collect();
+        (value, winners)
+    }
+
+    /// Total neurons in the circuit (for Table 2).
+    #[must_use]
+    pub fn neuron_count(&self) -> usize {
+        self.circuit.net.neuron_count()
+    }
+
+    /// Circuit depth in time steps (for Table 2).
+    #[must_use]
+    pub fn depth(&self) -> Time {
+        self.circuit.depth
+    }
+}
+
+/// Builds the Theorem 5.1 wired-OR maximum circuit for `d` operands of
+/// `lambda` bits each.
+///
+/// # Examples
+/// ```
+/// let max3 = sgl_circuits::max_wired_or::build_max(3, 4);
+/// assert_eq!(max3.eval(&[5, 11, 7]), 11);
+/// assert_eq!(max3.depth(), 3 * 4 + 2); // O(lambda) layers
+/// ```
+///
+/// # Panics
+/// Panics if `d == 0` or `lambda == 0`.
+#[must_use]
+pub fn build_max(d: usize, lambda: usize) -> MaxCircuit {
+    build(d, lambda, false)
+}
+
+/// The minimum variant: inputs are complemented before the elimination
+/// cascade (the NOT circuit of Figure 5A) and the original bits are used in
+/// the filter layer, per the remark after Theorem 5.1.
+#[must_use]
+pub fn build_min(d: usize, lambda: usize) -> MaxCircuit {
+    build(d, lambda, true)
+}
+
+fn build(d: usize, lambda: usize, minimum: bool) -> MaxCircuit {
+    assert!(d > 0 && lambda > 0, "need at least one operand and one bit");
+    let mut b = CircuitBuilder::new();
+    let inputs: Vec<Vec<NeuronId>> = (0..d).map(|_| b.input_bundle(lambda)).collect();
+    let bias = b.bias();
+
+    // For min, complement every bit at t = 1; the cascade below then runs
+    // one step later (offset 1).
+    let offset: u32 = if minimum { 1 } else { 0 };
+    let cascade_bits: Vec<Vec<NeuronId>> = if minimum {
+        inputs
+            .iter()
+            .map(|bundle| {
+                bundle
+                    .iter()
+                    .map(|&x| crate::logic::not_gate_at(&mut b, x, 1))
+                    .collect()
+            })
+            .collect()
+    } else {
+        inputs.clone()
+    };
+
+    // Elimination cascade, most significant bit (lambda-1) downward.
+    // `prev[i]` fires at `prev_fire` iff operand i is still active; the
+    // hardwired "all numbers start active" state is the bias, firing at 0.
+    let mut prev: Vec<NeuronId> = vec![bias; d];
+    let mut prev_fire: u32 = 0;
+    for level in 0..lambda {
+        let j = lambda - 1 - level;
+        // This level's layers fire at base+1 (V), base+2 (OR), base+3 (a),
+        // where `base` leaves room for the min variant's complement layer.
+        let base = offset + 3 * level as u32;
+
+        // V_i = prev_i AND bit_{i,j}, fires at base + 1.
+        let v: Vec<NeuronId> = (0..d)
+            .map(|i| {
+                let g = b.gate_at_least(2);
+                b.wire(prev[i], g, 1.0, base + 1 - prev_fire);
+                // cascade bit fires at `offset`; stretch its delay to land
+                // coincident with prev_i's arrival.
+                b.wire(cascade_bits[i][j], g, 1.0, base + 1 - offset);
+                g
+            })
+            .collect();
+
+        // OR over all V_i, fires at base + 2.
+        let or = b.gate_at_least(1);
+        for &vi in &v {
+            b.wire(vi, or, 1.0, 1);
+        }
+
+        // a_i = prev_i AND (V_i OR NOT OR): +2 prev, +1 V, -1 OR, θ ≥ 2.
+        // Fires at base + 3.
+        let a: Vec<NeuronId> = (0..d)
+            .map(|i| {
+                let g = b.gate(1.5);
+                b.wire(prev[i], g, 2.0, base + 3 - prev_fire);
+                b.wire(v[i], g, 1.0, 2);
+                b.wire(or, g, -1.0, 1);
+                g
+            })
+            .collect();
+
+        prev = a;
+        prev_fire = base + 3;
+    }
+    let t_prev = prev_fire;
+
+    // Filter layer (Figure 3C): c_{i,j} = winner_i AND original bit_{i,j},
+    // fires at t_prev + 1. The *original* bits are used even for min.
+    let t_filter = t_prev + 1;
+    let mut filters: Vec<Vec<NeuronId>> = Vec::with_capacity(d);
+    for i in 0..d {
+        let row: Vec<NeuronId> = (0..lambda)
+            .map(|j| {
+                let g = b.gate_at_least(2);
+                b.wire(prev[i], g, 1.0, 1);
+                b.wire(inputs[i][j], g, 1.0, t_filter);
+                g
+            })
+            .collect();
+        filters.push(row);
+    }
+
+    // Merge layer (Figure 3D): out_j = OR_i c_{i,j}, fires at t_filter + 1.
+    let outputs: Vec<NeuronId> = (0..lambda)
+        .map(|j| {
+            let g = b.gate_at_least(1);
+            for row in &filters {
+                b.wire(row[j], g, 1.0, 1);
+            }
+            g
+        })
+        .collect();
+
+    let depth = Time::from(t_filter + 1);
+    let active_at = Time::from(t_prev);
+    let active = prev;
+    let circuit = b.finish(outputs, depth);
+    MaxCircuit {
+        circuit,
+        active,
+        active_at,
+        d,
+        lambda,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_two_operands_two_bits() {
+        let c = build_max(2, 2);
+        for x in 0..4u64 {
+            for y in 0..4u64 {
+                assert_eq!(c.eval(&[x, y]), x.max(y), "max({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_three_operands_two_bits() {
+        let c = build_max(3, 2);
+        for x in 0..4u64 {
+            for y in 0..4u64 {
+                for z in 0..4u64 {
+                    assert_eq!(c.eval(&[x, y, z]), x.max(y).max(z), "max({x},{y},{z})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_min_two_operands_two_bits() {
+        let c = build_min(2, 2);
+        for x in 0..4u64 {
+            for y in 0..4u64 {
+                assert_eq!(c.eval(&[x, y]), x.min(y), "min({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_inputs_yield_zero() {
+        let c = build_max(4, 3);
+        assert_eq!(c.eval(&[0, 0, 0, 0]), 0);
+        let c = build_min(4, 3);
+        assert_eq!(c.eval(&[0, 0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn winners_mark_all_tied_maxima() {
+        let c = build_max(4, 4);
+        let (v, winners) = c.eval_with_winners(&[7, 9, 9, 3]);
+        assert_eq!(v, 9);
+        assert_eq!(winners, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn single_operand_passes_through() {
+        let c = build_max(1, 5);
+        for v in [0u64, 1, 17, 31] {
+            assert_eq!(c.eval(&[v]), v);
+        }
+    }
+
+    #[test]
+    fn depth_is_linear_in_lambda() {
+        for lambda in 1..=8 {
+            let c = build_max(4, lambda);
+            assert_eq!(c.depth(), 3 * lambda as u64 + 2);
+        }
+        // Min costs one extra complement layer.
+        assert_eq!(build_min(4, 5).depth(), 3 * 5 + 3);
+    }
+
+    #[test]
+    fn neuron_count_is_o_of_d_lambda() {
+        // Exact census: 1 bias + dλ inputs + λ(2d + 1) cascade + dλ filter
+        // + λ merge.
+        for (d, lambda) in [(2, 3), (5, 4), (8, 8)] {
+            let c = build_max(d, lambda);
+            let expect = 1 + d * lambda + lambda * (2 * d + 1) + d * lambda + lambda;
+            assert_eq!(c.neuron_count(), expect, "d={d} lambda={lambda}");
+        }
+    }
+
+    #[test]
+    fn wide_operands() {
+        let c = build_max(3, 10);
+        assert_eq!(c.eval(&[1000, 512, 1023]), 1023);
+        assert_eq!(c.eval(&[512, 513, 514]), 514);
+    }
+
+    #[test]
+    fn min_winners_mark_minima() {
+        let c = build_min(3, 4);
+        let (v, winners) = c.eval_with_winners(&[7, 2, 2]);
+        assert_eq!(v, 2);
+        assert_eq!(winners, vec![false, true, true]);
+    }
+}

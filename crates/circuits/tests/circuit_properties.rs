@@ -1,0 +1,71 @@
+//! Property tests across the circuit library: every construction must
+//! agree with native `u64` arithmetic on arbitrary operands, and the
+//! designs must agree with each other.
+
+use proptest::prelude::*;
+use sgl_circuits::{adder_small_weight, adders, max_brute_force, max_wired_or};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wired_or_max_matches_native(
+        d in 1usize..7,
+        lambda in 1usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let circuit = max_wired_or::build_max(d, lambda);
+        let vals: Vec<u64> = (0..d).map(|_| rng.gen_range(0..(1u64 << lambda))).collect();
+        prop_assert_eq!(circuit.eval(&vals), vals.iter().copied().max().unwrap());
+    }
+
+    #[test]
+    fn wired_or_min_matches_native(
+        d in 1usize..6,
+        lambda in 1usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let circuit = max_wired_or::build_min(d, lambda);
+        let vals: Vec<u64> = (0..d).map(|_| rng.gen_range(0..(1u64 << lambda))).collect();
+        prop_assert_eq!(circuit.eval(&vals), vals.iter().copied().min().unwrap());
+    }
+
+    #[test]
+    fn brute_force_agrees_with_wired_or(
+        d in 1usize..6,
+        lambda in 1usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = max_brute_force::build_max(d, lambda);
+        let b = max_wired_or::build_max(d, lambda);
+        let vals: Vec<u64> = (0..d).map(|_| rng.gen_range(0..(1u64 << lambda))).collect();
+        prop_assert_eq!(a.eval(&vals), b.eval(&vals));
+    }
+
+    #[test]
+    fn all_three_adders_agree(x in 0u64..256, y in 0u64..256) {
+        let lambda = 8;
+        let look = adders::build_lookahead_adder(lambda);
+        let ripple = adders::build_ripple_adder(lambda);
+        let small = adder_small_weight::build_small_weight_adder(lambda);
+        let expect = x + y;
+        prop_assert_eq!(look.eval(&[x, y]).unwrap(), expect);
+        prop_assert_eq!(ripple.eval(&[x, y]).unwrap(), expect);
+        prop_assert_eq!(small.eval(&[x, y]).unwrap(), expect);
+    }
+
+    #[test]
+    fn decrement_is_add_const_inverse(x in 0u64..255) {
+        // (x + 1) - 1 == x through two independent circuits.
+        let inc = adders::build_add_const(8, 1);
+        let dec = adders::build_decrement(9);
+        let plus_one = inc.eval(&[x]).unwrap();
+        prop_assert_eq!(dec.eval(&[plus_one]).unwrap(), x);
+    }
+}

@@ -1,0 +1,135 @@
+//! Neuromorphic resource accounting — the cost model behind Table 1.
+//!
+//! Each spiking algorithm reports a [`NeuromorphicCost`]: the number of
+//! model time steps its spiking portion takes, the `O(m)` load time for
+//! programming the graph/circuits into the architecture, and neuron /
+//! synapse / spike counts. Total time is evaluated under one of the
+//! paper's two data-movement regimes (§2.3):
+//!
+//! * [`DataMovement::Free`] — "O(1) intra-chip data movement": any pair of
+//!   neurons may be connected with minimum delay; the spiking time counts
+//!   as-is.
+//! * [`DataMovement::Crossbar`] — only the grid-like crossbar network is
+//!   available; the §4.4 embedding multiplies the spiking portion by the
+//!   `O(n)` embedding factor (edge lengths are scaled by `2n` so type-2
+//!   crossbar delays stay ≥ 1).
+
+use sgl_graph::Graph;
+
+/// The data-movement regime of the comparison (§2.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DataMovement {
+    /// O(1) movement: the SNN may use an arbitrary topology.
+    #[default]
+    Free,
+    /// Grid-like movement: the SNN must run on the crossbar `H_n`; the
+    /// §4.4 embedding inflates spiking time by a factor `Θ(n)`.
+    Crossbar,
+}
+
+/// Measured/declared resources of one neuromorphic algorithm run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NeuromorphicCost {
+    /// Time steps of the spiking portion (the execution time `T` of
+    /// Definition 3, already including any `log k` / `log(nU)` circuit
+    /// latency the construction pays per hop).
+    pub spiking_steps: u64,
+    /// Setup time: loading the graph and message circuits into the
+    /// architecture — `O(m)` for §3, `O(m log k)` for §4.1,
+    /// `O(m log nU)` for §4.2.
+    pub load_steps: u64,
+    /// Neurons used.
+    pub neurons: u64,
+    /// Synapses used.
+    pub synapses: u64,
+    /// Spike events observed (energy-proportional; see `sgl-platforms`).
+    pub spike_events: u64,
+    /// The `Θ(n)` multiplier the §4.4 crossbar embedding imposes on the
+    /// spiking portion. Algorithms set this to the input graph's `n`.
+    pub embedding_factor: u64,
+}
+
+impl NeuromorphicCost {
+    /// Total model time under the given data-movement regime: loading is
+    /// `O(m)` either way ("the time required to load the graph is still
+    /// O(m)", §4.4); the spiking portion pays the embedding factor only on
+    /// the crossbar.
+    #[must_use]
+    pub fn total_time(&self, regime: DataMovement) -> u64 {
+        match regime {
+            DataMovement::Free => self.load_steps + self.spiking_steps,
+            DataMovement::Crossbar => {
+                self.load_steps + self.spiking_steps.saturating_mul(self.embedding_factor)
+            }
+        }
+    }
+
+    /// Convenience: sets the embedding factor from a graph (`n`).
+    #[must_use]
+    pub fn with_embedding_from(mut self, g: &Graph) -> Self {
+        self.embedding_factor = g.n() as u64;
+        self
+    }
+}
+
+/// `⌈log2 x⌉` for `x ≥ 1` (0 for `x ≤ 1`) — the paper's `log` in resource
+/// bounds.
+#[must_use]
+pub fn ceil_log2(x: u64) -> u32 {
+    if x <= 1 {
+        0
+    } else {
+        64 - (x - 1).leading_zeros()
+    }
+}
+
+/// Bits needed to represent values `0..=x` (at least 1).
+#[must_use]
+pub fn bits_for(x: u64) -> usize {
+    (64 - x.leading_zeros()).max(1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_time_regimes() {
+        let c = NeuromorphicCost {
+            spiking_steps: 100,
+            load_steps: 50,
+            embedding_factor: 8,
+            ..Default::default()
+        };
+        assert_eq!(c.total_time(DataMovement::Free), 150);
+        assert_eq!(c.total_time(DataMovement::Crossbar), 50 + 800);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn bits_for_values() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(7), 3);
+        assert_eq!(bits_for(8), 4);
+    }
+
+    #[test]
+    fn embedding_from_graph() {
+        let g = sgl_graph::csr::from_edges(5, &[(0, 1, 1)]);
+        let c = NeuromorphicCost::default().with_embedding_from(&g);
+        assert_eq!(c.embedding_factor, 5);
+    }
+}

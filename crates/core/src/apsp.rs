@@ -1,0 +1,129 @@
+//! All-pairs shortest paths by parallel spiking wavefronts.
+//!
+//! The paper's single-chip comparison (§2.3) aggregates chips "in a
+//! similar fashion to form larger parallel systems" (Figure 7). APSP is
+//! the natural showcase: the §3 network is *reusable* — one copy of the
+//! graph-as-SNN per chip, each running an independent wavefront from a
+//! different source. This module runs the `n` wavefronts on host threads
+//! (each simulation is independent and deterministic) and aggregates the
+//! per-source costs as `n` parallel chips would.
+
+use crate::accounting::NeuromorphicCost;
+use crate::sssp_pseudo::SpikingSssp;
+use sgl_graph::{Graph, Len};
+
+/// Result of an all-pairs run.
+#[derive(Clone, Debug)]
+pub struct ApspRun {
+    /// `distances[s][v]` = shortest-path length from `s` to `v`.
+    pub distances: Vec<Vec<Option<Len>>>,
+    /// Longest single wavefront (`max_s L_s`) — the parallel makespan.
+    pub makespan_steps: u64,
+    /// Total spike events across all wavefronts (energy).
+    pub total_spikes: u64,
+    /// Aggregate cost: neurons are per-chip (one graph copy each), time is
+    /// the makespan.
+    pub cost: NeuromorphicCost,
+}
+
+/// Runs the §3 spiking SSSP from every source, fanning the independent
+/// simulations across `threads` host threads.
+///
+/// # Panics
+/// Panics if `threads == 0` or a simulation fails (cannot happen for
+/// valid graphs).
+#[must_use]
+pub fn solve(g: &Graph, threads: usize) -> ApspRun {
+    assert!(threads >= 1);
+    let n = g.n();
+    let mut distances: Vec<Vec<Option<Len>>> = vec![Vec::new(); n];
+    let mut per_source: Vec<(u64, u64)> = vec![(0, 0); n]; // (steps, spikes)
+
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let chunks = distances
+            .chunks_mut(chunk)
+            .zip(per_source.chunks_mut(chunk))
+            .enumerate();
+        for (ci, (dchunk, schunk)) in chunks {
+            scope.spawn(move || {
+                for (i, (dslot, sslot)) in dchunk.iter_mut().zip(schunk.iter_mut()).enumerate() {
+                    let s = ci * chunk + i;
+                    let run = SpikingSssp::new(g, s).solve_all().expect("simulation");
+                    *sslot = (run.spike_time, run.cost.spike_events);
+                    *dslot = run.distances;
+                }
+            });
+        }
+    });
+
+    let makespan_steps = per_source.iter().map(|&(t, _)| t).max().unwrap_or(0);
+    let total_spikes: u64 = per_source.iter().map(|&(_, s)| s).sum();
+    let cost = NeuromorphicCost {
+        spiking_steps: makespan_steps,
+        load_steps: g.m() as u64, // each chip loads its copy concurrently
+        neurons: (g.n() * g.n()) as u64, // n chips x n neurons
+        synapses: ((g.m() + g.n()) * g.n()) as u64,
+        spike_events: total_spikes,
+        embedding_factor: g.n() as u64,
+    };
+    ApspRun {
+        distances,
+        makespan_steps,
+        total_spikes,
+        cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgl_graph::{dijkstra, generators};
+
+    #[test]
+    fn matches_per_source_dijkstra() {
+        let mut rng = StdRng::seed_from_u64(501);
+        let g = generators::gnm_connected(&mut rng, 24, 96, 1..=7);
+        let run = solve(&g, 4);
+        for s in 0..g.n() {
+            let truth = dijkstra::dijkstra(&g, s);
+            assert_eq!(run.distances[s], truth.distances, "source {s}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let mut rng = StdRng::seed_from_u64(502);
+        let g = generators::gnm_connected(&mut rng, 16, 60, 1..=5);
+        let a = solve(&g, 1);
+        let b = solve(&g, 8);
+        assert_eq!(a.distances, b.distances);
+        assert_eq!(a.makespan_steps, b.makespan_steps);
+        assert_eq!(a.total_spikes, b.total_spikes);
+    }
+
+    #[test]
+    fn makespan_is_the_worst_eccentricity() {
+        let mut rng = StdRng::seed_from_u64(503);
+        let g = generators::path(&mut rng, 8, 3..=3);
+        let run = solve(&g, 2);
+        // On a directed path, the source at node 0 has the longest
+        // wavefront: 7 edges x 3.
+        assert_eq!(run.makespan_steps, 21);
+    }
+
+    #[test]
+    fn spikes_count_reachable_pairs() {
+        let mut rng = StdRng::seed_from_u64(504);
+        let g = generators::gnm_connected(&mut rng, 20, 80, 1..=4);
+        let run = solve(&g, 4);
+        let reachable: u64 = run
+            .distances
+            .iter()
+            .map(|row| row.iter().flatten().count() as u64)
+            .sum();
+        assert_eq!(run.total_spikes, reachable);
+    }
+}

@@ -1,0 +1,286 @@
+//! The CONGEST bridge (§2.2 "Comparison with distributed computing").
+//!
+//! The paper observes that NGAs resemble the LOCAL/CONGEST models: nodes
+//! are computational entities, edges are links, messages are λ-spike
+//! bundles. Two directions are made concrete here:
+//!
+//! * **NGA → CONGEST**: "NGAs may be readily simulated in LOCAL/CONGEST
+//!   with a constant-factor overhead" — [`simulate_nga`] wraps any
+//!   [`NgaProgram`] as a CONGEST execution and the tests verify message
+//!   state *and* round counts match the NGA executor exactly (constant
+//!   factor 1).
+//! * **SNN → CONGEST**: "for discrete-time SNNs, we may associate a
+//!   CONGEST graph node with each neuron and a round with each time step.
+//!   Each message is simply a single bit" — [`simulate_snn`] runs LIF
+//!   dynamics as a CONGEST protocol with 1-bit messages, handling the
+//!   paper's noted challenge (synaptic delays vs. 1-tick links) with
+//!   receiver-side delay queues (local computation is free in CONGEST).
+//!   Tests verify spike-for-spike equivalence with the reference engine,
+//!   with rounds = time steps.
+
+use crate::nga::NgaProgram;
+use sgl_graph::{Graph, Node};
+use sgl_snn::{Network, NeuronId, Time};
+
+/// Execution record of a CONGEST run.
+#[derive(Clone, Debug)]
+pub struct CongestRun<M> {
+    /// Final per-node message state (`None` = silent), NGA-compatible.
+    pub messages: Vec<Option<M>>,
+    /// Communication rounds executed.
+    pub rounds: u32,
+    /// Total messages sent over links.
+    pub link_messages: u64,
+    /// Declared message width in bits (CONGEST requires `O(log n)`).
+    pub message_bits: usize,
+}
+
+/// Simulates an NGA program in the CONGEST model: one communication round
+/// per NGA round (each node broadcasts its λ-bit message; receivers apply
+/// the edge function locally, which is legal because a CONGEST node knows
+/// its incident edges' lengths).
+pub fn simulate_nga<P: NgaProgram>(
+    g: &Graph,
+    program: &P,
+    init: &[(Node, P::Msg)],
+    max_rounds: u32,
+) -> CongestRun<P::Msg> {
+    let n = g.n();
+    let mut state: Vec<Option<P::Msg>> = vec![None; n];
+    for (v, m) in init {
+        state[*v] = Some(m.clone());
+    }
+
+    let mut link_messages = 0u64;
+    let mut rounds = 0u32;
+    let mut inboxes: Vec<Vec<P::Msg>> = vec![Vec::new(); n];
+    for _ in 0..max_rounds {
+        if state.iter().all(Option::is_none) {
+            break;
+        }
+        rounds += 1;
+        for inbox in &mut inboxes {
+            inbox.clear();
+        }
+        // CONGEST round: every node sends its message over every incident
+        // out-link; the receiver applies the edge transform.
+        for u in 0..n {
+            let Some(msg) = &state[u] else { continue };
+            for (v, len) in g.out_edges(u) {
+                link_messages += 1;
+                if let Some(m) = program.edge(u, v, len, msg) {
+                    inboxes[v].push(m);
+                }
+            }
+        }
+        for v in 0..n {
+            state[v] = if inboxes[v].is_empty() {
+                None
+            } else {
+                program.node(v, &inboxes[v])
+            };
+        }
+    }
+
+    CongestRun {
+        messages: state,
+        rounds,
+        link_messages,
+        message_bits: program.message_bits(),
+    }
+}
+
+/// Result of simulating an SNN as a CONGEST protocol.
+#[derive(Clone, Debug)]
+pub struct SnnCongestRun {
+    /// First spike round of each neuron-node.
+    pub first_spikes: Vec<Option<Time>>,
+    /// Per-neuron spike counts.
+    pub spike_counts: Vec<u32>,
+    /// Rounds executed (= simulated time steps).
+    pub rounds: u32,
+    /// 1-bit link messages sent.
+    pub link_messages: u64,
+}
+
+/// Runs a discrete-time SNN as a CONGEST protocol: neurons are nodes,
+/// rounds are time steps, link messages are single bits ("did I fire last
+/// step"). A synapse of delay `d` is realised by the *receiver* holding
+/// the bit for `d − 1` extra rounds in a local queue — message delivery
+/// still takes exactly one round per link, as CONGEST requires.
+///
+/// # Panics
+/// Panics on invalid initial neurons.
+pub fn simulate_snn(net: &Network, initial_spikes: &[NeuronId], rounds: u32) -> SnnCongestRun {
+    let n = net.neuron_count();
+    for &i in initial_spikes {
+        assert!(i.index() < n, "unknown initial neuron");
+    }
+    // Receiver-side delay queues: pending[v] = (due_round, weight).
+    let mut pending: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    let mut voltages: Vec<f64> = net.neuron_ids().map(|id| net.params(id).v_reset).collect();
+    let mut first_spikes: Vec<Option<Time>> = vec![None; n];
+    let mut spike_counts = vec![0u32; n];
+    let mut link_messages = 0u64;
+
+    let mut fired: Vec<bool> = vec![false; n];
+    for &i in initial_spikes {
+        fired[i.index()] = true;
+        first_spikes[i.index()] = Some(0);
+        spike_counts[i.index()] += 1;
+    }
+
+    let mut executed = 0u32;
+    for r in 1..=rounds {
+        executed = r;
+        // Communication: every neuron that fired last round sends one bit
+        // over each out-link; the receiver enqueues it with the synapse's
+        // remaining delay (it knows its incident synapses' parameters).
+        for u in 0..n {
+            if !fired[u] {
+                continue;
+            }
+            for syn in net.synapses_from(NeuronId(u as u32)) {
+                link_messages += 1;
+                // Sent at round r-1 (the firing round), arrives as a bit
+                // at round r; held until due round (r - 1) + d.
+                pending[syn.target.index()].push((r - 1 + syn.delay, syn.weight));
+            }
+        }
+        // Local computation: LIF update with the due inputs.
+        let mut next_fired = vec![false; n];
+        for v in 0..n {
+            let p = net.params(NeuronId(v as u32));
+            let mut syn_input = 0.0;
+            pending[v].retain(|&(due, w)| {
+                if due == r {
+                    syn_input += w;
+                    false
+                } else {
+                    true
+                }
+            });
+            let v_hat = voltages[v] - (voltages[v] - p.v_reset) * p.decay + syn_input;
+            if v_hat > p.v_threshold {
+                next_fired[v] = true;
+                voltages[v] = p.v_reset;
+                if first_spikes[v].is_none() {
+                    first_spikes[v] = Some(Time::from(r));
+                }
+                spike_counts[v] += 1;
+            } else {
+                voltages[v] = v_hat;
+            }
+        }
+        fired = next_fired;
+    }
+
+    SnnCongestRun {
+        first_spikes,
+        spike_counts,
+        rounds: executed,
+        link_messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matvec_nga::MatVecNga;
+    use crate::nga::run_nga;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sgl_graph::generators;
+    use sgl_graph::semiring::MinPlus;
+    use sgl_snn::engine::{DenseEngine, Engine, RunConfig};
+    use sgl_snn::LifParams;
+
+    #[test]
+    fn nga_simulation_is_constant_factor_one() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let g = generators::gnm_connected(&mut rng, 16, 48, 1..=5);
+        let program = MatVecNga::<MinPlus>::new(16);
+        let init = vec![(0usize, Some(0u64))];
+        for rounds in [1u32, 3, 7] {
+            let nga = run_nga(&g, &program, &init, rounds);
+            let congest = simulate_nga(&g, &program, &init, rounds);
+            assert_eq!(nga.messages, congest.messages, "rounds {rounds}");
+            assert_eq!(nga.rounds, congest.rounds, "round counts must match");
+            assert_eq!(nga.deliveries, congest.link_messages);
+        }
+    }
+
+    #[test]
+    fn congest_message_width_is_logarithmic() {
+        let program = MatVecNga::<MinPlus>::new(16);
+        let g = generators::path(&mut StdRng::seed_from_u64(92), 4, 1..=1);
+        let run = simulate_nga(&g, &program, &[(0, Some(0))], 3);
+        // λ = 16 bits for a 4-node graph: O(log(nU)) as CONGEST expects.
+        assert_eq!(run.message_bits, 16);
+    }
+
+    #[test]
+    fn snn_simulation_matches_reference_engine() {
+        let mut rng = StdRng::seed_from_u64(93);
+        for _ in 0..10 {
+            let n = rng.gen_range(3..10);
+            let mut net = Network::new();
+            let ids = net.add_neurons(LifParams::gate_at_least(1), n);
+            let extra = net.add_neuron(LifParams::integrator(1.5));
+            for _ in 0..rng.gen_range(2..16) {
+                let u = ids[rng.gen_range(0..n)];
+                let v = if rng.gen_bool(0.3) {
+                    extra
+                } else {
+                    ids[rng.gen_range(0..n)]
+                };
+                let w = if rng.gen_bool(0.2) { -1.0 } else { 1.0 };
+                net.connect(u, v, w, rng.gen_range(1..5)).unwrap();
+            }
+            let rounds = 24;
+            let reference = DenseEngine
+                .run(&net, &[ids[0]], &RunConfig::fixed(u64::from(rounds)))
+                .unwrap();
+            let congest = simulate_snn(&net, &[ids[0]], rounds);
+            assert_eq!(reference.first_spikes, congest.first_spikes);
+            assert_eq!(
+                reference.spike_counts,
+                congest.spike_counts.to_vec()
+            );
+        }
+    }
+
+    #[test]
+    fn snn_rounds_equal_time_steps() {
+        // The §3 SSSP network: CONGEST rounds = spike-time distances.
+        let mut rng = StdRng::seed_from_u64(94);
+        let g = generators::gnm_connected(&mut rng, 12, 40, 1..=4);
+        let solver = crate::sssp_pseudo::SpikingSssp::new(&g, 0);
+        let net = solver.build_network();
+        let run = simulate_snn(&net, &[NeuronId(0)], 64);
+        let truth = sgl_graph::dijkstra::dijkstra(&g, 0);
+        for v in 0..g.n() {
+            assert_eq!(
+                run.first_spikes[v],
+                truth.distances[v],
+                "node {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_bit_messages_only_on_firing() {
+        // Link messages = Σ over firings of out-degree: silent neurons
+        // send nothing (the event-driven economy carries over to CONGEST).
+        let mut net = Network::new();
+        let a = net.add_neuron(LifParams::gate_at_least(1));
+        let b = net.add_neuron(LifParams::gate_at_least(1));
+        let c = net.add_neuron(LifParams::gate_at_least(2)); // never fires
+        net.connect(a, b, 1.0, 2).unwrap();
+        net.connect(b, c, 1.0, 1).unwrap();
+        net.connect(c, a, 1.0, 1).unwrap();
+        let run = simulate_snn(&net, &[a], 10);
+        assert_eq!(run.link_messages, 2); // a->b bit, b->c bit
+        assert_eq!(run.first_spikes[c.index()], None);
+    }
+}

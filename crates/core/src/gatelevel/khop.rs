@@ -1,0 +1,438 @@
+//! §4.1 at gate level: the full TTL k-hop SSSP network of LIF neurons.
+//!
+//! Per node `v` with in-degree δ: a relay layer (λ TTL bits + 1 valid bit
+//! per in-edge), a wave detector `W = OR(valid lines)`, the wired-OR
+//! maximum cascade over the δ TTL operands, a `has_ttl = OR(max bits)`
+//! gate, the decrement circuit, and an output layer that gates the
+//! decremented TTL (and the outgoing valid bit) by `has_ttl` — realising
+//! "computes the largest TTL k' from any of the incoming spikes, and sends
+//! a spike encoding k'−1 to all its neighbors if k' ≥ 1".
+//!
+//! Total node latency is `Λ_node = 3λ + 7` steps; every edge `(u, v)` gets
+//! synapse delay `Λ·ℓ(uv) − Λ_node` with `Λ = Λ_node + 1`, so a message
+//! over a path of (graph) length `D` arrives exactly at time `Λ·D` — the
+//! §4.1 edge-scaling argument. Distances are read off first spike times of
+//! the wave detectors: `dist_k(v) = (first_W(v) − 1 + Λ_node) / Λ`.
+//!
+//! Neuron count is `O(m λ) = O(m log k)` and spiking time `O(Λ·L) =
+//! O(L log k)`, matching Theorem 4.2.
+
+use super::wave::{gate, wave_decrement, wave_max_cascade, wire_at};
+use crate::accounting::{bits_for, NeuromorphicCost};
+use sgl_graph::{Graph, Len, Node};
+use sgl_snn::engine::{Engine, EventEngine, RunConfig};
+use sgl_snn::{encoding, LifParams, Network, NeuronId, SnnError};
+
+/// Per-hop circuit latency `Λ_node` for λ-bit TTLs.
+#[must_use]
+pub fn node_latency(lambda: usize) -> u32 {
+    3 * lambda as u32 + 7
+}
+
+/// The compiled TTL network.
+#[derive(Debug)]
+pub struct GateLevelKhop {
+    net: Network,
+    /// Wave detector of each node (None for in-degree-0 nodes).
+    waves: Vec<Option<NeuronId>>,
+    /// Source injector neurons (fire at t = 0).
+    injectors: Vec<NeuronId>,
+    source: Node,
+    k: u32,
+    lambda: usize,
+    scale: u64,
+    graph_m: usize,
+    graph_umax: Len,
+}
+
+/// Result of running the gate-level network.
+#[derive(Clone, Debug)]
+pub struct GateLevelRun {
+    /// k-hop distances decoded from wave-detector spike times.
+    pub distances: Vec<Option<Len>>,
+    /// Raw termination time of the SNN run.
+    pub snn_steps: u64,
+    /// Resource accounting.
+    pub cost: NeuromorphicCost,
+}
+
+impl GateLevelKhop {
+    /// Compiles graph + algorithm into one SNN.
+    ///
+    /// # Panics
+    /// Panics if `source` is out of range or `k == 0`.
+    #[must_use]
+    pub fn build(g: &Graph, source: Node, k: u32) -> Self {
+        assert!(source < g.n(), "source out of range");
+        assert!(k >= 1, "k must be at least 1");
+        // TTL values range over 0..=k-1.
+        let lambda = bits_for(u64::from(k - 1).max(1));
+        let lam_node = node_latency(lambda);
+        let scale = u64::from(lam_node) + 1;
+
+        let mut net = Network::new();
+
+        // Relay layers: for each edge e = (u, v), a bundle of λ TTL relays
+        // + 1 valid relay at v. Indexed by edge position in u's out-list.
+        // We build per-node inboxes first.
+        struct Inbox {
+            ttl: Vec<Vec<NeuronId>>, // per in-edge, λ bits
+            valid: Vec<NeuronId>,    // per in-edge
+        }
+        let mut inboxes: Vec<Inbox> = (0..g.n())
+            .map(|_| Inbox {
+                ttl: Vec::new(),
+                valid: Vec::new(),
+            })
+            .collect();
+        // edge_slots[u] = per out-edge (target, slot index in target inbox)
+        let mut edge_slots: Vec<Vec<(Node, usize, Len)>> = vec![Vec::new(); g.n()];
+        for u in 0..g.n() {
+            for (v, len) in g.out_edges(u) {
+                let ttl = net.add_neurons(LifParams::gate_at_least(1), lambda);
+                let valid = net.add_neuron(LifParams::gate_at_least(1));
+                let slot = inboxes[v].valid.len();
+                inboxes[v].ttl.push(ttl);
+                inboxes[v].valid.push(valid);
+                edge_slots[u].push((v, slot, len));
+            }
+        }
+
+        // Node circuits.
+        let mut waves: Vec<Option<NeuronId>> = vec![None; g.n()];
+        let mut emissions: Vec<Option<(Vec<NeuronId>, NeuronId)>> = vec![None; g.n()];
+        for v in 0..g.n() {
+            let inbox = &inboxes[v];
+            if inbox.valid.is_empty() {
+                continue;
+            }
+            // W = OR over valid relays, rel 1.
+            let w = gate(&mut net, 1);
+            for &val in &inbox.valid {
+                wire_at(&mut net, val, 0, w, 1, 1.0);
+            }
+            waves[v] = Some(w);
+
+            // Max cascade over TTL operands (rel 0), constants from W.
+            let cas = wave_max_cascade(
+                &mut net,
+                w,
+                1,
+                &inbox.ttl,
+                0,
+                &inbox.ttl,
+                0,
+                lambda,
+            );
+            debug_assert_eq!(cas.output_at, 3 * lambda as u32 + 3);
+
+            // has_ttl = OR(max bits), rel 3λ+4.
+            let has = gate(&mut net, 1);
+            for &b in &cas.output {
+                wire_at(&mut net, b, cas.output_at, has, cas.output_at + 1, 1.0);
+            }
+
+            // Decrement the max, rel 3λ+6.
+            let (dec, dec_at) = wave_decrement(
+                &mut net,
+                w,
+                1,
+                &cas.output,
+                cas.output_at,
+                lambda,
+            );
+
+            // Gated emission at rel Λ_node = 3λ+7.
+            let emit_at = dec_at + 1;
+            debug_assert_eq!(emit_at, lam_node);
+            let out: Vec<NeuronId> = (0..lambda)
+                .map(|j| {
+                    let g_out = gate(&mut net, 2);
+                    wire_at(&mut net, dec[j], dec_at, g_out, emit_at, 1.0);
+                    wire_at(&mut net, has, cas.output_at + 1, g_out, emit_at, 1.0);
+                    g_out
+                })
+                .collect();
+            let valid_out = gate(&mut net, 1);
+            wire_at(&mut net, has, cas.output_at + 1, valid_out, emit_at, 1.0);
+            emissions[v] = Some((out, valid_out));
+        }
+
+        // Edge synapses: emission of u -> relays of v, delay Λ·ℓ − Λ_node.
+        let lam_node64 = u64::from(lam_node);
+        for u in 0..g.n() {
+            let Some((out, valid_out)) = &emissions[u] else {
+                // u never receives messages; only the source injector (below)
+                // will drive its out-edges if u is the source.
+                continue;
+            };
+            for &(v, slot, len) in &edge_slots[u] {
+                let delay = u32::try_from(scale * len - lam_node64)
+                    .expect("scaled delay exceeds u32");
+                for j in 0..lambda {
+                    net.connect(out[j], inboxes[v].ttl[slot][j], 1.0, delay)
+                        .expect("valid by construction");
+                }
+                net.connect(*valid_out, inboxes[v].valid[slot], 1.0, delay)
+                    .expect("valid by construction");
+            }
+        }
+
+        // Source injection: λ+1 injector neurons fire at t = 0 with the
+        // pattern (TTL = k−1, valid = 1), wired like the source's emission.
+        let inj_ttl = net.add_neurons(LifParams::gate_at_least(1), lambda);
+        let inj_valid = net.add_neuron(LifParams::gate_at_least(1));
+        for &(v, slot, len) in &edge_slots[source] {
+            let delay =
+                u32::try_from(scale * len - lam_node64).expect("scaled delay exceeds u32");
+            for j in 0..lambda {
+                net.connect(inj_ttl[j], inboxes[v].ttl[slot][j], 1.0, delay)
+                    .expect("valid by construction");
+            }
+            net.connect(inj_valid, inboxes[v].valid[slot], 1.0, delay)
+                .expect("valid by construction");
+        }
+        let mut injectors = encoding::spikes_for_value(&inj_ttl, u64::from(k - 1));
+        injectors.push(inj_valid);
+        for &i in &injectors {
+            net.mark_input(i);
+        }
+
+        Self {
+            net,
+            waves,
+            injectors,
+            source,
+            k,
+            lambda,
+            scale,
+            graph_m: g.m(),
+            graph_umax: g.max_len(),
+        }
+    }
+
+    /// The compiled network (for inspection / stats).
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Message bit width λ.
+    #[must_use]
+    pub fn lambda(&self) -> usize {
+        self.lambda
+    }
+
+    /// The edge-delay scale `Λ`.
+    #[must_use]
+    pub fn scale(&self) -> u64 {
+        self.scale
+    }
+
+    /// Single-destination run (Definition 3's terminal semantics): the
+    /// computation stops the moment `target`'s wave detector first spikes,
+    /// and only `target`'s distance is decoded.
+    ///
+    /// # Errors
+    /// Propagates simulator errors.
+    ///
+    /// # Panics
+    /// Panics if `target` is out of range.
+    pub fn solve_to(&self, target: Node) -> Result<GateLevelRun, SnnError> {
+        assert!(target < self.waves.len(), "target out of range");
+        let budget = self
+            .scale
+            .saturating_mul(u64::from(self.k) * self.graph_umax.max(1) + 2);
+        let mut net = self.net.clone();
+        let stop = match self.waves[target] {
+            Some(w) => {
+                net.set_terminal(w);
+                sgl_snn::engine::StopCondition::Terminal
+            }
+            // Target has no in-edges: it can never be reached; quiescence
+            // ends the run.
+            None => sgl_snn::engine::StopCondition::Quiescent,
+        };
+        let config = RunConfig {
+            max_steps: budget,
+            stop,
+            record_raster: false,
+            strict: false,
+        };
+        let result = EventEngine.run(&net, &self.injectors, &config)?;
+
+        let lam_node = u64::from(node_latency(self.lambda));
+        let n = self.waves.len();
+        let mut distances: Vec<Option<Len>> = vec![None; n];
+        distances[self.source] = Some(0);
+        if target != self.source {
+            if let Some(w) = self.waves[target] {
+                if let Some(t) = result.first_spikes[w.index()] {
+                    let num = t + lam_node - 1;
+                    debug_assert_eq!(num % self.scale, 0);
+                    distances[target] = Some(num / self.scale);
+                }
+            }
+        }
+        let cost = NeuromorphicCost {
+            spiking_steps: result.steps,
+            load_steps: (self.graph_m * self.lambda) as u64,
+            neurons: self.net.neuron_count() as u64,
+            synapses: self.net.synapse_count() as u64,
+            spike_events: result.stats.spike_events,
+            embedding_factor: n as u64,
+        };
+        Ok(GateLevelRun {
+            distances,
+            snn_steps: result.steps,
+            cost,
+        })
+    }
+
+    /// Runs the network to quiescence and decodes k-hop distances.
+    ///
+    /// # Errors
+    /// Propagates simulator errors.
+    pub fn solve(&self) -> Result<GateLevelRun, SnnError> {
+        // TTL decreases every hop: activity lasts at most k hops, each at
+        // most U long, so Λ·kU bounds the last event time.
+        let budget = self
+            .scale
+            .saturating_mul(u64::from(self.k) * self.graph_umax.max(1) + 2);
+        let config = RunConfig::until_quiescent(budget);
+        let result = EventEngine.run(&self.net, &self.injectors, &config)?;
+
+        let lam_node = u64::from(node_latency(self.lambda));
+        let n = self.waves.len();
+        let mut distances: Vec<Option<Len>> = vec![None; n];
+        distances[self.source] = Some(0);
+        for (v, wave) in self.waves.iter().enumerate() {
+            let Some(w) = wave else { continue };
+            if let Some(t) = result.first_spikes[w.index()] {
+                // W fires at Λ·dist − Λ_node + 1.
+                let num = t + lam_node - 1;
+                debug_assert_eq!(num % self.scale, 0, "misaligned wave time {t}");
+                let d = num / self.scale;
+                // The source's own wave (a cycle back) never beats 0.
+                if v != self.source {
+                    distances[v] = Some(d);
+                }
+            }
+        }
+
+        let cost = NeuromorphicCost {
+            spiking_steps: result.steps,
+            load_steps: (self.graph_m * self.lambda) as u64,
+            neurons: self.net.neuron_count() as u64,
+            synapses: self.net.synapse_count() as u64,
+            spike_events: result.stats.spike_events,
+            embedding_factor: n as u64,
+        };
+        Ok(GateLevelRun {
+            distances,
+            snn_steps: result.steps,
+            cost,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgl_graph::csr::from_edges;
+    use sgl_graph::{bellman_ford, generators};
+
+    fn check(g: &Graph, source: Node, k: u32) {
+        let gl = GateLevelKhop::build(g, source, k);
+        let run = gl.solve().unwrap();
+        let bf = bellman_ford::bellman_ford_khop(g, source, k);
+        assert_eq!(run.distances, bf.distances, "k = {k}");
+    }
+
+    #[test]
+    fn hoppy_graph_all_k() {
+        let g = from_edges(4, &[(0, 3, 10), (0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        for k in 1..=4 {
+            check(&g, 0, k);
+        }
+    }
+
+    #[test]
+    fn path_graph_exact_hops() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::path(&mut rng, 5, 1..=3);
+        for k in 1..=4 {
+            check(&g, 0, k);
+        }
+    }
+
+    #[test]
+    fn small_random_graphs_match_bellman_ford() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for trial in 0..4 {
+            let g = generators::gnm_connected(&mut rng, 8, 18, 1..=4);
+            for k in [1, 2, 3, 7] {
+                let gl = GateLevelKhop::build(&g, 0, k);
+                let run = gl.solve().unwrap();
+                let bf = bellman_ford::bellman_ford_khop(&g, 0, k);
+                assert_eq!(run.distances, bf.distances, "trial {trial} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_with_ttl_exhaustion() {
+        // Directed 4-cycle: with k = 2 only two nodes are reachable.
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::cycle(&mut rng, 4, 2..=2);
+        check(&g, 0, 2);
+        check(&g, 0, 3);
+        check(&g, 0, 4); // wraps fully; source stays 0
+    }
+
+    #[test]
+    fn k_one_reaches_only_neighbours() {
+        let g = from_edges(3, &[(0, 1, 5), (1, 2, 5)]);
+        check(&g, 0, 1);
+    }
+
+    #[test]
+    fn neuron_count_scales_with_m_lambda() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::gnm_connected(&mut rng, 10, 30, 1..=3);
+        let gl_small = GateLevelKhop::build(&g, 0, 2);
+        let gl_big = GateLevelKhop::build(&g, 0, 64);
+        // λ grows from 1 to 6 bits: neurons must grow, and stay O(mλ).
+        let n_small = gl_small.network().neuron_count();
+        let n_big = gl_big.network().neuron_count();
+        assert!(n_big > n_small);
+        assert!(n_big < 40 * g.m() * gl_big.lambda());
+    }
+
+    #[test]
+    fn single_destination_terminal_stops_early() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::path(&mut rng, 6, 1..=2);
+        let gl = GateLevelKhop::build(&g, 0, 5);
+        let full = gl.solve().unwrap();
+        let early = gl.solve_to(2).unwrap();
+        let bf = bellman_ford::bellman_ford_khop(&g, 0, 5);
+        assert_eq!(early.distances[2], bf.distances[2]);
+        assert!(early.snn_steps <= full.snn_steps);
+        // Unreachable-target variant: node 0 has no in-edges on a path.
+        let none = gl.solve_to(0).unwrap();
+        assert_eq!(none.distances[0], Some(0));
+    }
+
+    #[test]
+    fn spike_times_scale_with_lambda() {
+        let g = from_edges(2, &[(0, 1, 1)]);
+        let gl = GateLevelKhop::build(&g, 0, 4);
+        let run = gl.solve().unwrap();
+        assert_eq!(run.distances[1], Some(1));
+        // One hop of length 1 completes within ~Λ steps.
+        assert!(run.snn_steps <= 2 * gl.scale());
+    }
+}

@@ -1,0 +1,48 @@
+//! Gate-level realisations of the §4 algorithms: entire graphs compiled
+//! into networks of LIF neurons and executed by the `sgl-snn` engines.
+//!
+//! The §5 circuits assume inputs arrive at `t = 0` and constants can be
+//! scheduled from a bias. In a *recurrent* graph computation, message
+//! waves arrive at a node at arbitrary times, so constants must be
+//! generated locally: each node derives them from a **wave detector** `W`
+//! (an OR over the incoming message-valid lines), which fires exactly when
+//! a wave arrives and therefore supplies correctly-phased "always 1"
+//! inputs for the non-monotone gates of the max/min cascades. Idle nodes
+//! stay completely silent — the event-driven energy story of §2.1.
+//!
+//! Messages additionally carry an always-on **valid bit**, because the
+//! paper's "all-zeros message equates to none of the output neurons
+//! firing" makes the value 0 invisible; the valid line is what lets a
+//! receiver see a 0-TTL or 0-distance message arrive at all (and it
+//! doubles as the wave detector input).
+//!
+//! Timing discipline: within a node circuit every gate has a fixed firing
+//! time *relative to the wave's arrival*; synapse delays are differences
+//! of relative times, so consecutive waves pipeline through the circuit
+//! without interference (waves ≥ 1 step apart never mix because all gates
+//! are memoryless `τ = 1` neurons and alignment is relative). For the
+//! asynchronous TTL algorithm the per-hop circuit latency is folded into
+//! the edge delays — edge `(u,v)` gets delay `Λ·ℓ(uv) − Λ_node` with
+//! `Λ = Λ_node + 1` — so output spike times remain exactly proportional to
+//! path length, which is the paper's "scale all graph edges so that the
+//! minimum edge length is at least ⌈log k⌉" (§4.1) made concrete.
+
+pub mod khop;
+pub mod poly;
+mod wave;
+
+pub use khop::GateLevelKhop;
+pub use poly::GateLevelPoly;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn latency_constants_are_consistent() {
+        // Documented formulas: Λ_node = 3λ+7 (TTL) and per-hop Λ = 3λ+7
+        // (poly). These anchor the semantic modes' time accounting.
+        for lambda in 1..=8usize {
+            assert_eq!(super::khop::node_latency(lambda), 3 * lambda as u32 + 7);
+            assert_eq!(super::poly::hop_latency(lambda), 3 * lambda as u32 + 7);
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Wave-aligned circuit pieces shared by the gate-level algorithms.
+//!
+//! All times here are *relative* to a wave's arrival at a node's relay
+//! layer (relative time 0). `wire_at` turns relative times into synapse
+//! delays and catches misalignment bugs at construction time.
+
+use sgl_snn::{LifParams, Network, NeuronId};
+
+/// Wires `from` (firing at relative time `from_at`) to `to` (firing at
+/// `to_at`) with the delay that makes the spike arrive on time.
+///
+/// # Panics
+/// Panics if `to_at <= from_at` (a non-causal wire) — a construction bug.
+pub(crate) fn wire_at(
+    net: &mut Network,
+    from: NeuronId,
+    from_at: u32,
+    to: NeuronId,
+    to_at: u32,
+    weight: f64,
+) {
+    assert!(
+        to_at > from_at,
+        "non-causal wire: {from:?}@{from_at} -> {to:?}@{to_at}"
+    );
+    net.connect(from, to, weight, to_at - from_at)
+        .expect("valid by construction");
+}
+
+pub(crate) fn gate(net: &mut Network, k: u32) -> NeuronId {
+    net.add_neuron(LifParams::gate_at_least(k))
+}
+
+pub(crate) fn gate_thr(net: &mut Network, threshold: f64) -> NeuronId {
+    net.add_neuron(LifParams::gate(threshold))
+}
+
+/// A built wave-aligned maximum cascade (Theorem 5.1 adapted to recurrent
+/// use): eliminates operands bit by bit from the most significant end.
+pub(crate) struct Cascade {
+    /// Winner indicators (operand still active after the last bit); kept
+    /// for argmin/argmax readouts (e.g. predecessor extraction).
+    #[allow(dead_code)]
+    pub actives: Vec<NeuronId>,
+    /// Relative fire time of `actives`.
+    #[allow(dead_code)]
+    pub actives_at: u32,
+    /// Merged extreme value, λ bits (bit 0 first).
+    pub output: Vec<NeuronId>,
+    /// Relative fire time of `output`.
+    pub output_at: u32,
+}
+
+/// Builds the wired-OR maximum over `operands` (each a λ-bit bundle firing
+/// at `operands_at`), with constants sourced from the wave detector `wave`
+/// (firing at `wave_at`). The filter layer copies `filter_bits` (firing at
+/// `filter_at`) of the winning operand to the output — passing the
+/// *original* bits here while cascading over complemented bits is how the
+/// minimum variant works (§5).
+///
+/// The paper's timing: with `operands_at = 0`/`wave_at = 1` the output
+/// appears at relative time `3λ + 3`.
+#[allow(clippy::too_many_arguments)] // a circuit schema, not a call-site API
+pub(crate) fn wave_max_cascade(
+    net: &mut Network,
+    wave: NeuronId,
+    wave_at: u32,
+    operands: &[Vec<NeuronId>],
+    operands_at: u32,
+    filter_bits: &[Vec<NeuronId>],
+    filter_at: u32,
+    lambda: usize,
+) -> Cascade {
+    let d = operands.len();
+    assert!(d > 0 && lambda > 0);
+    assert_eq!(filter_bits.len(), d);
+
+    // Level 0's V gates need both the wave (prev) and the operand bits.
+    let v0 = operands_at.max(wave_at) + 1;
+
+    let mut prev: Vec<NeuronId> = vec![wave; d];
+    let mut prev_at = wave_at;
+    for level in 0..lambda {
+        let j = lambda - 1 - level; // msb first
+        let v_at = v0 + 3 * level as u32;
+        let or_at = v_at + 1;
+        let a_at = v_at + 2;
+
+        // V_i = prev_i AND bit_{i,j}.
+        let v: Vec<NeuronId> = (0..d)
+            .map(|i| {
+                let g = gate(net, 2);
+                wire_at(net, prev[i], prev_at, g, v_at, 1.0);
+                wire_at(net, operands[i][j], operands_at, g, v_at, 1.0);
+                g
+            })
+            .collect();
+
+        // OR over all V_i.
+        let or = gate(net, 1);
+        for &vi in &v {
+            wire_at(net, vi, v_at, or, or_at, 1.0);
+        }
+
+        // a_i = prev_i AND (V_i OR NOT OR): +2 prev, +1 V, −1 OR, θ ≥ 2.
+        let a: Vec<NeuronId> = (0..d)
+            .map(|i| {
+                let g = gate_thr(net, 1.5);
+                wire_at(net, prev[i], prev_at, g, a_at, 2.0);
+                wire_at(net, v[i], v_at, g, a_at, 1.0);
+                wire_at(net, or, or_at, g, a_at, -1.0);
+                g
+            })
+            .collect();
+
+        prev = a;
+        prev_at = a_at;
+    }
+
+    // Filter: c_{i,j} = active_i AND filter_bit_{i,j}; merge: OR over i.
+    let c_at = prev_at + 1;
+    let out_at = c_at + 1;
+    let mut outputs = Vec::with_capacity(lambda);
+    let mut filters: Vec<Vec<NeuronId>> = Vec::with_capacity(d);
+    for i in 0..d {
+        let row: Vec<NeuronId> = (0..lambda)
+            .map(|j| {
+                let g = gate(net, 2);
+                wire_at(net, prev[i], prev_at, g, c_at, 1.0);
+                wire_at(net, filter_bits[i][j], filter_at, g, c_at, 1.0);
+                g
+            })
+            .collect();
+        filters.push(row);
+    }
+    for j in 0..lambda {
+        let g = gate(net, 1);
+        for row in &filters {
+            wire_at(net, row[j], c_at, g, out_at, 1.0);
+        }
+        outputs.push(g);
+    }
+
+    Cascade {
+        actives: prev,
+        actives_at: prev_at,
+        output: outputs,
+        output_at: out_at,
+    }
+}
+
+/// Wave-aligned decrement: `x − 1` on a λ-bit bundle firing at `input_at`,
+/// constants from `wave`. Output fires at `input_at + 3`. The caller
+/// guarantees `x ≥ 1` (the k-hop algorithm gates by `has_ttl`).
+pub(crate) fn wave_decrement(
+    net: &mut Network,
+    wave: NeuronId,
+    wave_at: u32,
+    input: &[NeuronId],
+    input_at: u32,
+    lambda: usize,
+) -> (Vec<NeuronId>, u32) {
+    assert_eq!(input.len(), lambda);
+    let orlow_at = input_at + 1;
+    let mid_at = input_at + 2;
+    let out_at = input_at + 3;
+
+    let orlow: Vec<Option<NeuronId>> = (0..lambda)
+        .map(|j| {
+            (j > 0).then(|| {
+                let g = gate(net, 1);
+                for &xi in &input[..j] {
+                    wire_at(net, xi, input_at, g, orlow_at, 1.0);
+                }
+                g
+            })
+        })
+        .collect();
+
+    let outputs: Vec<NeuronId> = (0..lambda)
+        .map(|j| {
+            let g_and = gate(net, 2);
+            wire_at(net, input[j], input_at, g_and, mid_at, 1.0);
+            let g_nor = gate_thr(net, 0.5);
+            wire_at(net, wave, wave_at, g_nor, mid_at, 1.0);
+            wire_at(net, input[j], input_at, g_nor, mid_at, -1.0);
+            if let Some(ol) = orlow[j] {
+                wire_at(net, ol, orlow_at, g_and, mid_at, 1.0);
+                wire_at(net, ol, orlow_at, g_nor, mid_at, -1.0);
+            }
+            let s = gate(net, 1);
+            wire_at(net, g_and, mid_at, s, out_at, 1.0);
+            wire_at(net, g_nor, mid_at, s, out_at, 1.0);
+            s
+        })
+        .collect();
+
+    (outputs, out_at)
+}
+
+/// Wave-aligned add-constant (the §4.2 edge circuit): `x + c` on λ bits,
+/// firing at `input_at + 3`, with constants sourced from `valid` (the
+/// message's always-on valid line, firing at `input_at`). The result is
+/// truncated to λ bits — callers size λ so `x + c < 2^λ`.
+pub(crate) fn wave_add_const(
+    net: &mut Network,
+    valid: NeuronId,
+    input: &[NeuronId],
+    input_at: u32,
+    constant: u64,
+    lambda: usize,
+) -> (Vec<NeuronId>, u32) {
+    assert_eq!(input.len(), lambda);
+    assert!(
+        lambda >= 64 || constant < (1u64 << lambda),
+        "constant too wide"
+    );
+    let carry_at = input_at + 1;
+    let abc_at = input_at + 2;
+    let out_at = input_at + 3;
+
+    // Carry into position i: Σ_{j<i} 2^j (x_j + c_j) >= 2^i.
+    let carries: Vec<NeuronId> = (1..=lambda)
+        .map(|i| {
+            let g = gate_thr(net, (1u64 << i) as f64 - 0.5);
+            for j in 0..i {
+                let w = (1u64 << j) as f64;
+                wire_at(net, input[j], input_at, g, carry_at, w);
+                if (constant >> j) & 1 == 1 {
+                    wire_at(net, valid, input_at, g, carry_at, w);
+                }
+            }
+            g
+        })
+        .collect();
+
+    let outputs: Vec<NeuronId> = (0..lambda)
+        .map(|i| {
+            let max_sum = if i == 0 { 2 } else { 3 };
+            let gates: Vec<NeuronId> = (1..=max_sum)
+                .map(|t| {
+                    let g = gate(net, t);
+                    wire_at(net, input[i], input_at, g, abc_at, 1.0);
+                    if (constant >> i) & 1 == 1 {
+                        wire_at(net, valid, input_at, g, abc_at, 1.0);
+                    }
+                    if i > 0 {
+                        wire_at(net, carries[i - 1], carry_at, g, abc_at, 1.0);
+                    }
+                    g
+                })
+                .collect();
+            let s = gate_thr(net, 0.5);
+            for (t, &g) in gates.iter().enumerate() {
+                let w = if t % 2 == 0 { 1.0 } else { -1.0 };
+                wire_at(net, g, abc_at, s, out_at, w);
+            }
+            s
+        })
+        .collect();
+
+    (outputs, out_at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_snn::engine::{Engine, EventEngine, RunConfig};
+    use sgl_snn::encoding;
+
+    /// Evaluates a wave-aligned block at absolute time 0: operands and the
+    /// valid line are induced at t = 0 directly.
+    fn fire_run(net: &Network, init: Vec<NeuronId>, horizon: u64) -> sgl_snn::RunResult {
+        EventEngine
+            .run(net, &init, &RunConfig::fixed(horizon).with_raster())
+            .unwrap()
+    }
+
+    fn read_at(res: &sgl_snn::RunResult, bundle: &[NeuronId], t: u64) -> u64 {
+        let raster = res.raster.as_ref().unwrap();
+        let bits: Vec<bool> = bundle.iter().map(|&b| raster.fired_at(b, t)).collect();
+        let mut v = 0u64;
+        for (j, bit) in bits.iter().enumerate() {
+            v |= u64::from(*bit) << j;
+        }
+        v
+    }
+
+    #[test]
+    fn cascade_computes_max() {
+        let lambda = 4;
+        for vals in [[5u64, 9, 3], [0, 0, 0], [15, 15, 1], [1, 2, 3]] {
+            let mut net = Network::new();
+            let wave = net.add_neuron(LifParams::gate_at_least(1));
+            let operands: Vec<Vec<NeuronId>> = (0..3)
+                .map(|_| net.add_neurons(LifParams::gate_at_least(1), lambda))
+                .collect();
+            // Input bits conceptually fire at rel 0, wave at rel 1: shift
+            // everything by inducing bits at t=0 and wave via a relay that
+            // fires at t=1... simpler: treat both at their declared rel
+            // times by inducing wave one step later through a helper.
+            let w_src = net.add_neuron(LifParams::gate_at_least(1));
+            net.connect(w_src, wave, 1.0, 1).unwrap();
+            let cas = wave_max_cascade(&mut net, wave, 1, &operands, 0, &operands, 0, lambda);
+            let mut init = vec![w_src];
+            for (bundle, &v) in operands.iter().zip(&vals) {
+                init.extend(encoding::spikes_for_value(bundle, v));
+            }
+            let res = fire_run(&net, init, u64::from(cas.output_at) + 2);
+            let got = read_at(&res, &cas.output, u64::from(cas.output_at));
+            assert_eq!(got, *vals.iter().max().unwrap(), "vals {vals:?}");
+            assert_eq!(cas.output_at, 3 * lambda as u32 + 3);
+        }
+    }
+
+    #[test]
+    fn decrement_after_cascade_timing() {
+        let lambda = 3;
+        let mut net = Network::new();
+        let wave = net.add_neuron(LifParams::gate_at_least(1));
+        let w_src = net.add_neuron(LifParams::gate_at_least(1));
+        net.connect(w_src, wave, 1.0, 1).unwrap();
+        let x = net.add_neurons(LifParams::gate_at_least(1), lambda);
+        let (dec, dec_at) = wave_decrement(&mut net, wave, 1, &x, 0, lambda);
+        assert_eq!(dec_at, 3);
+        for v in 1..8u64 {
+            let mut init = vec![w_src];
+            init.extend(encoding::spikes_for_value(&x, v));
+            let res = fire_run(&net, init, 5);
+            assert_eq!(read_at(&res, &dec, 3), v - 1, "{v} - 1");
+        }
+    }
+
+    #[test]
+    fn add_const_with_valid_clock() {
+        let lambda = 5;
+        for c in [0u64, 1, 7, 12] {
+            let mut net = Network::new();
+            let valid = net.add_neuron(LifParams::gate_at_least(1));
+            let x = net.add_neurons(LifParams::gate_at_least(1), lambda);
+            let (out, out_at) = wave_add_const(&mut net, valid, &x, 0, c, lambda);
+            assert_eq!(out_at, 3);
+            for v in [0u64, 1, 9, 19] {
+                if v + c >= 32 {
+                    continue;
+                }
+                let mut init = vec![valid];
+                init.extend(encoding::spikes_for_value(&x, v));
+                let res = fire_run(&net, init, 5);
+                assert_eq!(read_at(&res, &out, 3), v + c, "{v} + {c}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-causal")]
+    fn non_causal_wire_panics() {
+        let mut net = Network::new();
+        let a = net.add_neuron(LifParams::gate_at_least(1));
+        let b = net.add_neuron(LifParams::gate_at_least(1));
+        wire_at(&mut net, a, 5, b, 5, 1.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! §4.3 "Constructing paths": hop-constrained path recovery.
+//!
+//! "The algorithms of this section only compute the *length* of the
+//! optimal shortest single-source (k-hop) paths. Constructing the path
+//! requires the algorithms to store additional information at each graph
+//! node. ... For the k-hop algorithms, the extra storage requires a
+//! multiplicative factor of O(k) additional neurons."
+//!
+//! This module runs the §4.1 TTL wavefront while latching, per node and
+//! per *remaining-TTL level*, the predecessor whose message arrived first
+//! — the k-level analogue of §3's ID latch, hence the O(k) neuron factor
+//! the paper states (one `⌈log n⌉`-bit latch bank per node per level).
+//! Reconstruction walks the levels monotonically, guaranteeing the
+//! returned path respects the hop budget and realises `dist_k` exactly.
+
+use crate::accounting::{bits_for, NeuromorphicCost};
+use crate::gatelevel::khop::node_latency;
+use sgl_graph::{Graph, Len, Node};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a path-constructing k-hop run.
+#[derive(Clone, Debug)]
+pub struct KhopPathsRun {
+    /// `distances[v] = dist_k(v)`.
+    pub distances: Vec<Option<Len>>,
+    /// Per (node, ttl-level) predecessor latches:
+    /// `latch[v][r]` = the neighbour whose TTL-`r` message first reached
+    /// `v`, together with its arrival time.
+    latches: Vec<Vec<Option<(Node, Len)>>>,
+    /// Resource accounting — note `neurons` carries the §4.3 `O(k)`
+    /// multiplicative factor over the length-only algorithm.
+    pub cost: NeuromorphicCost,
+    /// The hop budget the run used.
+    pub k: u32,
+    source: Node,
+}
+
+impl KhopPathsRun {
+    /// Reconstructs an optimal ≤k-hop path to `v` (node list from the
+    /// source). `None` if `v` is unreachable within the hop budget.
+    #[must_use]
+    pub fn path_to(&self, v: Node) -> Option<Vec<Node>> {
+        let d = self.distances[v]?;
+        if v == self.source {
+            return Some(vec![v]);
+        }
+        // Find the level whose arrival time equals dist_k(v) (the first
+        // arrival overall), then walk predecessors with strictly
+        // increasing TTL (decreasing hop count) back to the source.
+        let (mut level, &(mut pred, mut at)) = self.latches[v]
+            .iter()
+            .enumerate()
+            .filter_map(|(r, l)| l.as_ref().map(|x| (r, x)))
+            .find(|(_, &(_, t))| t == d)?;
+        let mut path = vec![v, pred];
+        while pred != self.source {
+            level += 1;
+            let lat = self.latches[pred]
+                .get(level)
+                .copied()
+                .flatten()
+                .filter(|&(_, t)| t < at)?;
+            pred = lat.0;
+            at = lat.1;
+            path.push(pred);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Runs the §4.1 TTL algorithm with per-level predecessor latching.
+///
+/// # Panics
+/// Panics if `source` is out of range or `k == 0`.
+#[must_use]
+pub fn solve_with_paths(g: &Graph, source: Node, k: u32) -> KhopPathsRun {
+    assert!(source < g.n(), "source out of range");
+    assert!(k >= 1, "k must be at least 1");
+    let n = g.n();
+    let lambda = bits_for(u64::from(k - 1).max(1));
+    let scale = u64::from(node_latency(lambda)) + 1;
+
+    // Event: (time, node, ttl, sender).
+    let mut queue: BinaryHeap<Reverse<(u64, u32, u32, u32)>> = BinaryHeap::new();
+    let mut distances: Vec<Option<Len>> = vec![None; n];
+    let mut latches: Vec<Vec<Option<(Node, Len)>>> = vec![vec![None; k as usize]; n];
+    let mut best_ttl: Vec<Option<u32>> = vec![None; n];
+    distances[source] = Some(0);
+
+    let mut messages = 0u64;
+    for (v, len) in g.out_edges(source) {
+        queue.push(Reverse((len, v as u32, k - 1, source as u32)));
+        messages += 1;
+    }
+
+    let mut logical_time = 0u64;
+    while let Some(&Reverse((t, v, _, _))) = queue.peek() {
+        let mut best: Option<(u32, u32)> = None; // (ttl, sender)
+        while let Some(&Reverse((t2, v2, ttl, s))) = queue.peek() {
+            if t2 != t || v2 != v {
+                break;
+            }
+            queue.pop();
+            // Largest TTL dominates; ties keep the smallest sender id.
+            let better = match best {
+                None => true,
+                Some((bt, bs)) => ttl > bt || (ttl == bt && s < bs),
+            };
+            if better {
+                best = Some((ttl, s));
+            }
+        }
+        let (kprime, sender) = best.expect("batch nonempty");
+        let v = v as Node;
+        logical_time = t;
+
+        if distances[v].is_none() {
+            distances[v] = Some(t);
+        }
+        // Latch the first arrival at this TTL level.
+        let level = kprime as usize;
+        if latches[v][level].is_none() {
+            latches[v][level] = Some((sender as Node, t));
+        }
+        if kprime >= 1 && best_ttl[v].is_none_or(|b| kprime > b) {
+            best_ttl[v] = Some(kprime);
+            for (w, len) in g.out_edges(v) {
+                queue.push(Reverse((t + len, w as u32, kprime - 1, v as u32)));
+                messages += 1;
+            }
+        }
+    }
+
+    let cost = NeuromorphicCost {
+        spiking_steps: logical_time * scale,
+        load_steps: (g.m() * lambda) as u64,
+        // §4.3: O(k) multiplicative factor of additional neurons for the
+        // per-level ⌈log n⌉-bit predecessor latches.
+        neurons: (g.m() * lambda) as u64
+            + (n as u64) * u64::from(k) * bits_for(n as u64 - 1) as u64,
+        synapses: (g.m() * (lambda + 1)) as u64,
+        spike_events: messages * lambda as u64 / 2 + messages,
+        embedding_factor: n as u64,
+    };
+    KhopPathsRun {
+        distances,
+        latches,
+        cost,
+        k,
+        source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgl_graph::csr::from_edges;
+    use sgl_graph::paths::{hop_count, path_length};
+    use sgl_graph::{bellman_ford, generators};
+
+    fn check_paths(g: &Graph, source: Node, k: u32) {
+        let run = solve_with_paths(g, source, k);
+        let truth = bellman_ford::bellman_ford_khop(g, source, k);
+        assert_eq!(run.distances, truth.distances, "distances k={k}");
+        for v in 0..g.n() {
+            let Some(d) = run.distances[v] else {
+                assert!(run.path_to(v).is_none());
+                continue;
+            };
+            let p = run
+                .path_to(v)
+                .unwrap_or_else(|| panic!("no path to {v} (k={k})"));
+            assert_eq!(p.first(), Some(&source), "k={k} v={v}");
+            assert_eq!(p.last(), Some(&v));
+            assert!(hop_count(&p) as u32 <= k, "k={k} v={v}: path {p:?}");
+            assert_eq!(path_length(g, &p), Some(d), "k={k} v={v}: path {p:?}");
+        }
+    }
+
+    #[test]
+    fn hoppy_graph_paths_respect_budget() {
+        let g = from_edges(4, &[(0, 3, 10), (0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        // k = 2: forced onto the expensive direct edge.
+        let run = solve_with_paths(&g, 0, 2);
+        assert_eq!(run.path_to(3), Some(vec![0, 3]));
+        // k = 3: the cheap 3-hop chain.
+        let run = solve_with_paths(&g, 0, 3);
+        assert_eq!(run.path_to(3), Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn random_graphs_all_paths_valid() {
+        let mut rng = StdRng::seed_from_u64(401);
+        for _ in 0..4 {
+            let g = generators::gnm_connected(&mut rng, 18, 70, 1..=6);
+            for k in [1, 2, 4, 8, 17] {
+                check_paths(&g, 0, k);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_paths() {
+        let mut rng = StdRng::seed_from_u64(402);
+        let g = generators::grid2d(&mut rng, 4, 4, 1..=3);
+        for k in [2, 6, 15] {
+            check_paths(&g, 0, k);
+        }
+    }
+
+    #[test]
+    fn neuron_count_carries_the_ok_factor() {
+        let mut rng = StdRng::seed_from_u64(403);
+        let g = generators::gnm_connected(&mut rng, 30, 120, 1..=5);
+        let with_paths = solve_with_paths(&g, 0, 16).cost.neurons;
+        let lengths_only =
+            crate::khop_pseudo::solve(&g, 0, 16, crate::khop_pseudo::Propagation::Pruned)
+                .cost
+                .neurons;
+        // The latch banks add Θ(n · k · log n) neurons.
+        let latch_neurons = 30 * 16 * crate::accounting::bits_for(29) as u64;
+        assert_eq!(with_paths, lengths_only + latch_neurons);
+    }
+
+    #[test]
+    fn source_path_is_trivial() {
+        let g = from_edges(2, &[(0, 1, 1)]);
+        let run = solve_with_paths(&g, 0, 1);
+        assert_eq!(run.path_to(0), Some(vec![0]));
+    }
+}

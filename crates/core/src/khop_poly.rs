@@ -1,0 +1,227 @@
+//! §4.2: the polynomial-time k-hop SSSP algorithm (semantic executor).
+//!
+//! Messages are `⌈log(nU)⌉`-spike bundles encoding path lengths; every
+//! synapse has the same delay `x = Θ(log(nU))` (the min/add circuit
+//! latency), so the computation proceeds in synchronous rounds: the
+//! messages a node receives in round `t` encode the lengths of `t`-edge
+//! paths from the source. Each node takes the min of simultaneous
+//! arrivals and re-broadcasts after the per-edge `+ℓ(uv)` circuits. After
+//! `k` rounds, `dist_k(v)` is the min over all rounds of the values `v`
+//! received. Running time `O(k·x + m) = O(k log(nU) + m)` plus loading;
+//! Theorem 4.3.
+//!
+//! The gate-level compiled version is [`crate::gatelevel::poly`]; tests
+//! cross-validate. Modes: **faithful** re-broadcasts every round's min
+//! (the memoryless circuit behaviour); **pruned** re-broadcasts only
+//! improvements — sound because every message in a round has the same hop
+//! count, so a non-improving value can only spawn dominated paths.
+
+use crate::accounting::{bits_for, NeuromorphicCost};
+use crate::gatelevel::poly::hop_latency;
+use crate::khop_pseudo::Propagation;
+use sgl_graph::{Graph, Len, Node};
+
+/// Result of a polynomial k-hop run.
+#[derive(Clone, Debug)]
+pub struct KhopPolyRun {
+    /// `distances[v] = dist_k(v)`.
+    pub distances: Vec<Option<Len>>,
+    /// Rounds executed (≤ k; fewer if the frontier died or the target
+    /// stopped the run).
+    pub rounds: u32,
+    /// Messages sent.
+    pub messages: u64,
+    /// Resource accounting; `spiking_steps = rounds · x` with
+    /// `x =` [`hop_latency`]`(λ)`.
+    pub cost: NeuromorphicCost,
+}
+
+/// Solves k-hop SSSP with λ-bit distance messages.
+///
+/// # Panics
+/// Panics if `source` is out of range or `k == 0`.
+#[must_use]
+pub fn solve(g: &Graph, source: Node, k: u32, mode: Propagation) -> KhopPolyRun {
+    solve_inner(g, source, k, mode, None)
+}
+
+/// Single-destination variant: stops the round loop once `target` has
+/// received any message ("terminates after kx time steps or when the node
+/// corresponding to v_t receives a spike, whichever occurs first").
+/// Note the early stop yields `target`'s *fewest-hop* distance; callers
+/// wanting the true `dist_k` run without a target.
+#[must_use]
+pub fn solve_to(g: &Graph, source: Node, target: Node, k: u32, mode: Propagation) -> KhopPolyRun {
+    assert!(target < g.n(), "target out of range");
+    solve_inner(g, source, k, mode, Some(target))
+}
+
+fn solve_inner(
+    g: &Graph,
+    source: Node,
+    k: u32,
+    mode: Propagation,
+    target: Option<Node>,
+) -> KhopPolyRun {
+    assert!(source < g.n(), "source out of range");
+    assert!(k >= 1, "k must be at least 1");
+    let n = g.n();
+    // λ = ⌈log(nU)⌉ bits: distances of ≤(n−1)-hop paths fit.
+    let lambda = bits_for((n as u64).saturating_mul(g.max_len().max(1)));
+    let x = u64::from(hop_latency(lambda));
+
+    let mut distances: Vec<Option<Len>> = vec![None; n];
+    distances[source] = Some(0);
+
+    // Round state: the value each node broadcasts this round.
+    let mut outbox: Vec<Option<Len>> = vec![None; n];
+    outbox[source] = Some(0);
+    let mut inbox: Vec<Option<Len>> = vec![None; n];
+
+    let mut messages = 0u64;
+    let mut rounds = 0u32;
+    'outer: for _ in 0..k {
+        if outbox.iter().all(Option::is_none) {
+            break;
+        }
+        rounds += 1;
+        inbox.fill(None);
+        for u in 0..n {
+            let Some(d) = outbox[u] else { continue };
+            for (v, len) in g.out_edges(u) {
+                let nd = d + len; // the per-edge add circuit
+                messages += 1;
+                // The per-node min circuit over simultaneous arrivals.
+                if inbox[v].is_none_or(|old| nd < old) {
+                    inbox[v] = Some(nd);
+                }
+            }
+        }
+        let mut target_hit = false;
+        for v in 0..n {
+            let Some(d) = inbox[v] else {
+                outbox[v] = None;
+                continue;
+            };
+            let improved = distances[v].is_none_or(|old| d < old);
+            if improved {
+                distances[v] = Some(distances[v].map_or(d, |old| old.min(d)));
+            }
+            outbox[v] = match mode {
+                Propagation::Faithful => Some(d),
+                Propagation::Pruned => improved.then_some(d),
+            };
+            if target == Some(v) {
+                target_hit = true;
+            }
+        }
+        if target_hit {
+            break 'outer;
+        }
+    }
+
+    let cost = NeuromorphicCost {
+        spiking_steps: u64::from(rounds) * x,
+        load_steps: (g.m() * lambda) as u64,
+        neurons: (g.m() * lambda) as u64, // O(m log nU) per §4.5
+        synapses: (g.m() * (lambda + 1)) as u64,
+        spike_events: messages * (lambda as u64 / 2 + 1),
+        embedding_factor: n as u64,
+    };
+    KhopPolyRun {
+        distances,
+        rounds,
+        messages,
+        cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgl_graph::csr::from_edges;
+    use sgl_graph::{bellman_ford, generators};
+
+    fn check_k_sweep(g: &Graph, source: Node, ks: &[u32]) {
+        for &k in ks {
+            let bf = bellman_ford::bellman_ford_khop(g, source, k);
+            for mode in [Propagation::Pruned, Propagation::Faithful] {
+                let run = solve(g, source, k, mode);
+                assert_eq!(run.distances, bf.distances, "k = {k}, {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hoppy_graph_matches_bellman_ford() {
+        let g = from_edges(4, &[(0, 3, 10), (0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        check_k_sweep(&g, 0, &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn random_graphs_match_bellman_ford() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..5 {
+            let g = generators::gnm_connected(&mut rng, 24, 72, 1..=6);
+            check_k_sweep(&g, 0, &[1, 2, 4, 8, 23]);
+        }
+    }
+
+    #[test]
+    fn grids_match_bellman_ford() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let g = generators::grid2d(&mut rng, 4, 5, 1..=7);
+        check_k_sweep(&g, 0, &[1, 3, 7, 19]);
+    }
+
+    #[test]
+    fn time_is_rounds_times_x() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let g = generators::path(&mut rng, 8, 1..=1);
+        let run = solve(&g, 0, 7, Propagation::Pruned);
+        assert_eq!(run.rounds, 7);
+        let lambda = crate::accounting::bits_for(8);
+        assert_eq!(
+            run.cost.spiking_steps,
+            7 * u64::from(hop_latency(lambda))
+        );
+    }
+
+    #[test]
+    fn pruned_frontier_dies_early() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let g = generators::path(&mut rng, 5, 1..=1);
+        // k = 100 but the frontier dies after 4 rounds.
+        let run = solve(&g, 0, 100, Propagation::Pruned);
+        assert_eq!(run.rounds, 5); // 4 productive + 1 empty-outbox detection round...
+        assert_eq!(run.distances[4], Some(4));
+    }
+
+    #[test]
+    fn faithful_and_pruned_agree_on_cycles() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let g = generators::cycle(&mut rng, 6, 2..=5);
+        check_k_sweep(&g, 0, &[1, 3, 6, 12]);
+    }
+
+    #[test]
+    fn target_mode_stops_on_first_arrival() {
+        let g = from_edges(3, &[(0, 1, 1), (1, 2, 1), (0, 2, 10)]);
+        let run = solve_to(&g, 0, 2, 3, Propagation::Pruned);
+        // Round 1 reaches the target via the heavy direct edge.
+        assert_eq!(run.rounds, 1);
+        assert_eq!(run.distances[2], Some(10));
+    }
+
+    #[test]
+    fn pruned_sends_no_more_messages() {
+        let mut rng = StdRng::seed_from_u64(36);
+        let g = generators::gnm_connected(&mut rng, 20, 80, 1..=3);
+        let p = solve(&g, 0, 15, Propagation::Pruned);
+        let f = solve(&g, 0, 15, Propagation::Faithful);
+        assert!(p.messages <= f.messages);
+        assert_eq!(p.distances, f.distances);
+    }
+}

@@ -1,0 +1,261 @@
+//! §4.1: the pseudopolynomial k-hop SSSP algorithm (semantic executor).
+//!
+//! Messages are `⌈log k⌉`-spike TTLs travelling over delay-encoded edges.
+//! "If a node v receives a spike message encoding the value k' at time t,
+//! then there is a path from source to v of length t that traverses k−k'
+//! edges." A node takes the max TTL among simultaneous arrivals and
+//! re-broadcasts `k'−1` if `k' ≥ 1`; the first arrival time is
+//! `dist_k(v)`.
+//!
+//! This module simulates those semantics directly on an event queue —
+//! scaling to the Table 1 sweeps — while reporting model time in SNN
+//! steps via the gate-level per-hop latency `Λ = 3λ + 8`
+//! ([`crate::gatelevel::khop::node_latency`] + 1), i.e. the `O(log k)`
+//! factor of Theorem 4.2. The bit-exact compiled network lives in
+//! [`crate::gatelevel::khop`]; tests cross-validate the two.
+//!
+//! Two propagation modes:
+//!
+//! * **faithful** — re-broadcast on every arrival wave, exactly as the
+//!   paper's circuit does (no memory across waves);
+//! * **pruned** (default) — re-broadcast only when the wave's max TTL
+//!   exceeds every previously sent TTL. Sound because an earlier send with
+//!   a ≥ TTL dominates any extension of the later one; changes spike
+//!   counts, never distances (ablated in the bench suite).
+
+use crate::accounting::{bits_for, NeuromorphicCost};
+use crate::gatelevel::khop::node_latency;
+use sgl_graph::{Graph, Len, Node};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Propagation mode (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Propagation {
+    /// Re-broadcast only on TTL improvement (default).
+    #[default]
+    Pruned,
+    /// Re-broadcast on every wave, like the memoryless circuit.
+    Faithful,
+}
+
+/// Result of a k-hop pseudopolynomial run.
+#[derive(Clone, Debug)]
+pub struct KhopPseudoRun {
+    /// `distances[v] = dist_k(v)`.
+    pub distances: Vec<Option<Len>>,
+    /// Unscaled arrival time of the last useful event (`≤ L`).
+    pub logical_time: u64,
+    /// Messages sent (spike-bundle count; energy proxy).
+    pub messages: u64,
+    /// Resource accounting; `spiking_steps = Λ · logical_time`.
+    pub cost: NeuromorphicCost,
+}
+
+/// Solves k-hop SSSP from `source` with the TTL algorithm.
+///
+/// # Examples
+/// ```
+/// use sgl_core::khop_pseudo::{solve, Propagation};
+/// use sgl_graph::csr::from_edges;
+/// let g = from_edges(3, &[(0, 2, 9), (0, 1, 1), (1, 2, 1)]);
+/// let hop1 = solve(&g, 0, 1, Propagation::Pruned);
+/// assert_eq!(hop1.distances[2], Some(9)); // one leg: direct edge only
+/// let hop2 = solve(&g, 0, 2, Propagation::Pruned);
+/// assert_eq!(hop2.distances[2], Some(2)); // two legs: via node 1
+/// ```
+///
+/// # Panics
+/// Panics if `source` is out of range or `k == 0`.
+#[must_use]
+pub fn solve(g: &Graph, source: Node, k: u32, mode: Propagation) -> KhopPseudoRun {
+    solve_inner(g, source, k, mode, None)
+}
+
+/// Single-destination variant: stops at `target`'s first arrival.
+#[must_use]
+pub fn solve_to(g: &Graph, source: Node, target: Node, k: u32, mode: Propagation) -> KhopPseudoRun {
+    assert!(target < g.n(), "target out of range");
+    solve_inner(g, source, k, mode, Some(target))
+}
+
+fn solve_inner(
+    g: &Graph,
+    source: Node,
+    k: u32,
+    mode: Propagation,
+    target: Option<Node>,
+) -> KhopPseudoRun {
+    assert!(source < g.n(), "source out of range");
+    assert!(k >= 1, "k must be at least 1");
+    let n = g.n();
+    let lambda = bits_for(u64::from(k - 1).max(1));
+    let scale = u64::from(node_latency(lambda)) + 1;
+
+    // Event = (arrival time, node, ttl). Batched per (time, node).
+    let mut queue: BinaryHeap<Reverse<(u64, u32, u32)>> = BinaryHeap::new();
+    let mut distances: Vec<Option<Len>> = vec![None; n];
+    let mut best_ttl: Vec<Option<u32>> = vec![None; n];
+    distances[source] = Some(0);
+
+    let mut messages = 0u64;
+    let broadcast = |queue: &mut BinaryHeap<Reverse<(u64, u32, u32)>>,
+                         messages: &mut u64,
+                         u: Node,
+                         t: u64,
+                         ttl: u32| {
+        for (v, len) in g.out_edges(u) {
+            queue.push(Reverse((t + len, v as u32, ttl)));
+            *messages += 1;
+        }
+    };
+
+    // Source sends TTL k−1 at t = 0.
+    broadcast(&mut queue, &mut messages, source, 0, k - 1);
+
+    let mut logical_time = 0u64;
+    'outer: while let Some(&Reverse((t, v, _))) = queue.peek() {
+        // Drain the whole (t, v) batch, keeping the max TTL.
+        let mut kprime = 0u32;
+        while let Some(&Reverse((t2, v2, ttl))) = queue.peek() {
+            if t2 != t || v2 != v {
+                break;
+            }
+            queue.pop();
+            kprime = kprime.max(ttl);
+        }
+        let v = v as Node;
+        logical_time = t;
+
+        if distances[v].is_none() {
+            distances[v] = Some(t);
+            if target == Some(v) {
+                break 'outer;
+            }
+        }
+        if kprime >= 1 {
+            let proceed = match mode {
+                Propagation::Faithful => true,
+                Propagation::Pruned => best_ttl[v].is_none_or(|b| kprime > b),
+            };
+            if proceed {
+                best_ttl[v] = Some(best_ttl[v].map_or(kprime, |b| b.max(kprime)));
+                broadcast(&mut queue, &mut messages, v, t, kprime - 1);
+            }
+        }
+    }
+
+    let cost = NeuromorphicCost {
+        spiking_steps: logical_time * scale,
+        load_steps: (g.m() * lambda) as u64,
+        neurons: (g.m() * lambda) as u64, // O(m log k) per §4.5
+        synapses: (g.m() * (lambda + 1)) as u64,
+        spike_events: messages * lambda as u64 / 2 + messages, // ~λ/2 TTL bits + valid per message
+        embedding_factor: n as u64,
+    };
+    KhopPseudoRun {
+        distances,
+        logical_time,
+        messages,
+        cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgl_graph::csr::from_edges;
+    use sgl_graph::{bellman_ford, generators};
+
+    fn check_k_sweep(g: &Graph, source: Node, ks: &[u32]) {
+        for &k in ks {
+            let bf = bellman_ford::bellman_ford_khop(g, source, k);
+            for mode in [Propagation::Pruned, Propagation::Faithful] {
+                let run = solve(g, source, k, mode);
+                assert_eq!(run.distances, bf.distances, "k = {k}, {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hoppy_graph_matches_bellman_ford() {
+        let g = from_edges(4, &[(0, 3, 10), (0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        check_k_sweep(&g, 0, &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn random_graphs_match_bellman_ford() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..5 {
+            let g = generators::gnm_connected(&mut rng, 24, 72, 1..=6);
+            check_k_sweep(&g, 0, &[1, 2, 4, 8, 23]);
+        }
+    }
+
+    #[test]
+    fn layered_dag_needs_exactly_depth_hops() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = generators::layered(&mut rng, 6, 3, 2, 1..=4);
+        check_k_sweep(&g, 0, &[1, 3, 5, 6]);
+    }
+
+    #[test]
+    fn pruned_sends_no_more_messages() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = generators::gnm_connected(&mut rng, 20, 80, 1..=3);
+        let pruned = solve(&g, 0, 10, Propagation::Pruned);
+        let faithful = solve(&g, 0, 10, Propagation::Faithful);
+        assert!(pruned.messages <= faithful.messages);
+        assert_eq!(pruned.distances, faithful.distances);
+    }
+
+    #[test]
+    fn logical_time_is_farthest_khop_distance() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let g = generators::path(&mut rng, 6, 2..=2);
+        let run = solve(&g, 0, 5, Propagation::Pruned);
+        assert_eq!(run.logical_time, 10);
+        // spiking_steps = Λ · L with λ = 3 bits (k−1 = 4): Λ = 3·3+8 = 17.
+        assert_eq!(run.cost.spiking_steps, 10 * 17);
+    }
+
+    #[test]
+    fn target_mode_stops_early() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let g = generators::path(&mut rng, 12, 1..=1);
+        let run = solve_to(&g, 0, 4, 11, Propagation::Pruned);
+        assert_eq!(run.distances[4], Some(4));
+        assert_eq!(run.logical_time, 4);
+        assert_eq!(run.distances[11], None);
+    }
+
+    #[test]
+    fn matches_gate_level_network() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let g = generators::gnm_connected(&mut rng, 7, 16, 1..=3);
+        for k in [1u32, 2, 3, 6] {
+            let sem = solve(&g, 0, k, Propagation::Faithful);
+            let gl = crate::gatelevel::khop::GateLevelKhop::build(&g, 0, k);
+            let glr = gl.solve().unwrap();
+            assert_eq!(sem.distances, glr.distances, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn k_one_is_direct_neighbours_only() {
+        let g = from_edges(3, &[(0, 1, 7), (1, 2, 7)]);
+        let run = solve(&g, 0, 1, Propagation::Pruned);
+        assert_eq!(run.distances, vec![Some(0), Some(7), None]);
+    }
+
+    #[test]
+    fn large_k_equals_unbounded_sssp() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let g = generators::gnm_connected(&mut rng, 30, 120, 1..=9);
+        let run = solve(&g, 0, (g.n() - 1) as u32, Propagation::Pruned);
+        let dj = sgl_graph::dijkstra::dijkstra(&g, 0);
+        assert_eq!(run.distances, dj.distances);
+    }
+}

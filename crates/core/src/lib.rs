@@ -1,0 +1,56 @@
+//! # sgl-core — the paper's neuromorphic graph algorithms
+//!
+//! The primary contribution of Aimone et al. (SPAA 2021): spiking
+//! algorithms for single-source shortest paths (SSSP) and k-hop SSSP, with
+//! the resource accounting that Table 1 compares against conventional
+//! algorithms.
+//!
+//! * [`nga`] — the Neuromorphic Graph Algorithm model (Definition 4):
+//!   rounds of λ-bit message broadcasting with per-edge and per-node
+//!   computation, plus its execution-time accounting `R(T_edge + T_node)`.
+//! * [`matvec_nga`] — the §2.2 example: computing `A^r m_0` as an NGA over
+//!   any semiring (min-plus gives k-hop shortest paths).
+//! * [`sssp_pseudo`] — §3: the delay-encoded spiking SSSP (Aibara et al. /
+//!   Aimone et al.); distances are literally spike times. `O(L + m)` with
+//!   O(1) data movement, `O(nL + m)` on a crossbar.
+//! * [`khop_pseudo`] — §4.1: pseudopolynomial k-hop SSSP with time-to-live
+//!   (TTL) messages; `O((L + m) log k)` / `O((nL + m) log k)`.
+//! * [`khop_poly`] — §4.2: polynomial k-hop SSSP with `⌈log nU⌉`-bit
+//!   distance messages; `O(m log(nU))` ignoring data movement,
+//!   `O((nk + m) log(nU))` otherwise.
+//! * [`sssp_poly`] — §4.2's SSSP specialisation (`k = α`).
+//! * [`approx_khop`] — §7: the spiking adaptation of Nanongkai's CONGEST
+//!   `(1 + o(1))`-approximation for k-hop SSSP.
+//! * [`gatelevel`] — full gate-level constructions: the algorithms above
+//!   compiled into actual networks of LIF neurons (wired-OR max/min
+//!   cascades, adders, TTL decrementers with wave-triggered constants) and
+//!   executed by the `sgl-snn` engines. Semantic and gate-level modes are
+//!   cross-validated in tests.
+//! * [`accounting`] — neuromorphic cost model: spiking time steps, load
+//!   time, neuron/synapse counts, and the crossbar embedding factor,
+//!   under the paper's two data-movement regimes.
+//! * [`paths`] — shortest-path-tree readout from spike times (the §3
+//!   ID-latching mechanism's observable output).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Indexed loops over several parallel per-node arrays are the house style
+// for the graph/neuron kernels here; iterator zips would obscure them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod accounting;
+pub mod approx_khop;
+pub mod apsp;
+pub mod congest;
+pub mod gatelevel;
+pub mod khop_paths;
+pub mod khop_poly;
+pub mod khop_pseudo;
+pub mod matvec_nga;
+pub mod nga;
+pub mod paths;
+pub mod sssp_poly;
+pub mod sssp_pseudo;
+pub mod tidal;
+
+pub use accounting::{DataMovement, NeuromorphicCost};

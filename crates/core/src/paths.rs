@@ -1,0 +1,119 @@
+//! Shortest-path-tree readout.
+//!
+//! §3 constructs paths neuromorphically: "When node v receives its first
+//! spike from node u, it sends a binary encoding of its ID to its
+//! neighbors, and latches (remembers) the ID u." The observable output of
+//! that mechanism is, for each node, an in-neighbour whose spike arrived
+//! first — equivalently an in-neighbour `u` with
+//! `dist(u) + ℓ(uv) = dist(v)`. [`preds_from_distances`] computes exactly
+//! that readout from the spike-time distances; the latch mechanism itself
+//! is demonstrated at gate level in `sgl-circuits::latch` and in this
+//! module's tests.
+
+use sgl_graph::{Graph, Len, Node};
+
+/// Derives shortest-path-tree predecessors from distances: `preds[v]` is
+/// the in-neighbour `u` minimising (and attaining) `dist(u) + ℓ(uv) =
+/// dist(v)`, ties broken by smallest `u` (the deterministic counterpart of
+/// "ties are fine").
+#[must_use]
+pub fn preds_from_distances(g: &Graph, distances: &[Option<Len>]) -> Vec<Option<Node>> {
+    let mut preds: Vec<Option<Node>> = vec![None; g.n()];
+    for u in 0..g.n() {
+        let Some(du) = distances[u] else { continue };
+        for (v, len) in g.out_edges(u) {
+            if distances[v] == Some(du + len) && du + len > 0 && preds[v].is_none_or(|p| u < p) {
+                preds[v] = Some(u);
+            }
+        }
+    }
+    preds
+}
+
+/// Reconstructs the path to `v` from [`preds_from_distances`] output.
+#[must_use]
+pub fn path_to(preds: &[Option<Node>], source: Node, v: Node) -> Option<Vec<Node>> {
+    sgl_graph::paths::reconstruct(preds, source, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_graph::csr::from_edges;
+    use sgl_graph::dijkstra::dijkstra;
+
+    #[test]
+    fn preds_match_tree_property() {
+        let g = from_edges(4, &[(0, 1, 2), (1, 3, 2), (0, 2, 1), (2, 3, 5)]);
+        let dj = dijkstra(&g, 0);
+        let preds = preds_from_distances(&g, &dj.distances);
+        assert_eq!(preds, vec![None, Some(0), Some(0), Some(1)]);
+        assert_eq!(path_to(&preds, 0, 3), Some(vec![0, 1, 3]));
+    }
+
+    #[test]
+    fn tie_breaks_to_smallest_in_neighbour() {
+        // Both 1 and 2 reach 3 at distance 4.
+        let g = from_edges(4, &[(0, 1, 2), (0, 2, 2), (1, 3, 2), (2, 3, 2)]);
+        let dj = dijkstra(&g, 0);
+        let preds = preds_from_distances(&g, &dj.distances);
+        assert_eq!(preds[3], Some(1));
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_pred() {
+        let g = from_edges(3, &[(0, 1, 1)]);
+        let dj = dijkstra(&g, 0);
+        let preds = preds_from_distances(&g, &dj.distances);
+        assert_eq!(preds[2], None);
+        assert_eq!(path_to(&preds, 0, 2), None);
+    }
+
+    /// Gate-level demonstration of the §3 ID-latching mechanism for one
+    /// node with two in-neighbours: the node latches the ID bits of
+    /// whichever neighbour's spike arrives first.
+    #[test]
+    fn id_latching_circuit_demo() {
+        use sgl_snn::engine::{Engine, EventEngine, RunConfig};
+        use sgl_snn::{LifParams, Network};
+
+        let mut net = Network::new();
+        // Two "neighbour" neurons u (id bits 01) and w (id bits 10) firing
+        // at different times; node v latches the first arrival's id.
+        let u = net.add_neuron(LifParams::gate_at_least(1));
+        let w = net.add_neuron(LifParams::gate_at_least(1));
+        // v's first-spike detector, with one-shot self-suppression.
+        let v = net.add_neuron(LifParams::unit_integrator());
+        net.connect(v, v, -4.0, 1).unwrap();
+        // Arrivals: u at delay 3, w at delay 5.
+        net.connect(u, v, 1.0, 3).unwrap();
+        net.connect(w, v, 1.0, 5).unwrap();
+        // ID bit latches (self-looping gates, Figure 1B) per bit position.
+        let bit0 = net.add_neuron(LifParams::gate_at_least(2));
+        let bit1 = net.add_neuron(LifParams::gate_at_least(2));
+        net.connect(bit0, bit0, 2.0, 1).unwrap();
+        net.connect(bit1, bit1, 2.0, 1).unwrap();
+        // Each neighbour drives its ID bits, gated by "v just fired its
+        // first spike": the latch needs BOTH the id line and v's enable.
+        // u (id 01) drives bit0; w (id 10) drives bit1. ID lines arrive
+        // with the same delay as the data spike, +1 to match v's fire.
+        net.connect(u, bit0, 1.0, 4).unwrap();
+        net.connect(w, bit1, 1.0, 6).unwrap();
+        // v's enable opens the latches only at its first spike (+1).
+        net.connect(v, bit0, 1.0, 1).unwrap();
+        net.connect(v, bit1, 1.0, 1).unwrap();
+        // But the enable must be one-shot: v fires once (suppressed after),
+        // so late id lines (w's) find no enable. That is the whole trick.
+
+        let res = EventEngine
+            .run(&net, &[u, w], &RunConfig::fixed(12).with_raster())
+            .unwrap();
+        // v fires at t=3 (u's spike); enable+u-id coincide at t=4 -> bit0
+        // latches; w's id line at t=6 finds no enable -> bit1 silent.
+        assert_eq!(res.first_spike(v), Some(3));
+        assert_eq!(res.first_spike(bit0), Some(4));
+        assert_eq!(res.first_spike(bit1), None);
+        // bit0 keeps firing (latched) so a later readout still sees id 01.
+        assert!(res.last_spikes[bit0.index()].unwrap() >= 10);
+    }
+}

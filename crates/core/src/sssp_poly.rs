@@ -1,0 +1,94 @@
+//! §4.2's SSSP specialisation: run the polynomial k-hop algorithm with
+//! `k = α`, the number of edges on the shortest path (Theorem 4.4:
+//! `O(m log nU)` ignoring data movement, `O((nα + m) log nU)` otherwise).
+//!
+//! `α` is not known in advance; the algorithm simply keeps rounding until
+//! the wavefront stops improving (at most `n − 1` rounds), and the number
+//! of productive rounds *is* `α_max` — the deepest shortest path in the
+//! tree (or the target's `α` in single-destination mode).
+
+use crate::accounting::NeuromorphicCost;
+use crate::khop_poly::{self, KhopPolyRun};
+use crate::khop_pseudo::Propagation;
+use sgl_graph::{Graph, Len, Node};
+
+/// Result of the polynomial SSSP run.
+#[derive(Clone, Debug)]
+pub struct SsspPolyRun {
+    /// Shortest-path distances (no hop bound).
+    pub distances: Vec<Option<Len>>,
+    /// `α`: rounds until distances stabilised — the hop count of the
+    /// deepest shortest path computed.
+    pub alpha: u32,
+    /// Resource accounting (spiking time `α · x`).
+    pub cost: NeuromorphicCost,
+}
+
+/// Solves unbounded SSSP with the §4.2 message-passing algorithm.
+///
+/// # Panics
+/// Panics if `source` is out of range.
+#[must_use]
+pub fn solve(g: &Graph, source: Node) -> SsspPolyRun {
+    // Pruned propagation: rounds after stabilisation send nothing, so the
+    // round loop ends by itself. k = n guarantees the final counted round
+    // is the unproductive frontier-death round (shortest paths have at
+    // most n−1 edges), making `rounds − 1` exactly the deepest α.
+    let k = g.n() as u32;
+    let run: KhopPolyRun = khop_poly::solve(g, source, k.max(1), Propagation::Pruned);
+    // The final round is the empty-frontier detection round when the
+    // frontier died early; every earlier round was productive.
+    let alpha = run.rounds.saturating_sub(1).max(1).min(k.max(1));
+    let x = run.cost.spiking_steps / u64::from(run.rounds.max(1));
+    let cost = NeuromorphicCost {
+        spiking_steps: u64::from(alpha) * x,
+        ..run.cost
+    };
+    SsspPolyRun {
+        distances: run.distances,
+        alpha,
+        cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgl_graph::{dijkstra, generators};
+
+    #[test]
+    fn matches_dijkstra_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(51);
+        for (n, m) in [(10, 30), (25, 100), (40, 200)] {
+            let g = generators::gnm_connected(&mut rng, n, m, 1..=7);
+            let run = solve(&g, 0);
+            let dj = dijkstra::dijkstra(&g, 0);
+            assert_eq!(run.distances, dj.distances, "n={n}");
+        }
+    }
+
+    #[test]
+    fn alpha_matches_deepest_shortest_path() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let g = generators::path(&mut rng, 9, 2..=2);
+        let run = solve(&g, 0);
+        assert_eq!(run.alpha, 8);
+    }
+
+    #[test]
+    fn star_alpha_is_one() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let g = generators::star(&mut rng, 12, 1..=4);
+        let run = solve(&g, 0);
+        assert_eq!(run.alpha, 1);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = sgl_graph::csr::from_edges(1, &[]);
+        let run = solve(&g, 0);
+        assert_eq!(run.distances, vec![Some(0)]);
+    }
+}

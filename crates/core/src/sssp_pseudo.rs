@@ -1,0 +1,313 @@
+//! §3: the pseudopolynomial-time spiking SSSP algorithm.
+//!
+//! One LIF neuron per graph node, one synapse per edge with delay equal to
+//! the edge length. The source spikes at `t = 0`; every spike wave-front
+//! arrival time *is* the shortest-path distance, so the spike timing plays
+//! the role of Dijkstra's priority queue. Runs in `O(L + m)` (loading is
+//! `O(m)`, the wave takes `L` steps) with O(1)-cost data movement, and
+//! `O(nL + m)` after crossbar embedding (Theorem 4.1).
+//!
+//! The paper suppresses re-firing ("every other neuron propagates only the
+//! first incoming spike it receives"). We realise the suppression with a
+//! single inhibitory self-synapse of weight `-(indeg(v) + 2)` on each
+//! integrator neuron: after the first spike the self-inhibition arrives
+//! one step later and, because every in-neighbour itself fires at most
+//! once (inductively), the total excitation a neuron can ever accumulate
+//! afterwards is at most `indeg(v)`, so it stays below threshold forever.
+//! This uses one neuron per node (the Figure 1B latch alternative costs
+//! three) and leaves the network quiescent after the wave passes, which
+//! also gives us clean termination detection.
+
+use crate::accounting::NeuromorphicCost;
+use crate::paths::preds_from_distances;
+use sgl_graph::{Graph, Len, Node};
+use sgl_snn::engine::{Engine, EventEngine, RunConfig, StopCondition};
+use sgl_snn::{LifParams, Network, NeuronId, SnnError};
+
+/// The §3 spiking SSSP solver.
+#[derive(Debug)]
+pub struct SpikingSssp<'g> {
+    graph: &'g Graph,
+    source: Node,
+    target: Option<Node>,
+    targets: Vec<Node>,
+}
+
+/// Result of a spiking SSSP run.
+#[derive(Clone, Debug)]
+pub struct SsspRun {
+    /// `distances[v]` — shortest-path length read off `v`'s first spike
+    /// time (`None`: no spike, unreachable).
+    pub distances: Vec<Option<Len>>,
+    /// Termination time `T` of the spiking computation.
+    pub spike_time: u64,
+    /// Resource accounting for Table 1.
+    pub cost: NeuromorphicCost,
+}
+
+impl SsspRun {
+    /// Shortest-path predecessors (the observable output of the paper's
+    /// ID-latching mechanism, §3: each node latches the id of the
+    /// neighbour whose spike arrived first).
+    #[must_use]
+    pub fn predecessors(&self, g: &Graph) -> Vec<Option<Node>> {
+        preds_from_distances(g, &self.distances)
+    }
+}
+
+impl<'g> SpikingSssp<'g> {
+    /// A solver for shortest paths from `source` in `graph`.
+    ///
+    /// # Panics
+    /// Panics if `source` is out of range.
+    #[must_use]
+    pub fn new(graph: &'g Graph, source: Node) -> Self {
+        assert!(source < graph.n(), "source out of range");
+        Self {
+            graph,
+            source,
+            target: None,
+            targets: Vec::new(),
+        }
+    }
+
+    /// Stop as soon as `target`'s neuron spikes (single-destination mode;
+    /// distances of nodes farther than the target stay unresolved).
+    #[must_use]
+    pub fn with_target(mut self, target: Node) -> Self {
+        assert!(target < self.graph.n(), "target out of range");
+        self.target = Some(target);
+        self
+    }
+
+    /// Multiple-destination mode (Table 1's "easily ... generalized to
+    /// multiple destinations"): stop once *every* listed node has spiked.
+    ///
+    /// # Panics
+    /// Panics if a target is out of range.
+    #[must_use]
+    pub fn with_targets(mut self, targets: Vec<Node>) -> Self {
+        for &t in &targets {
+            assert!(t < self.graph.n(), "target out of range");
+        }
+        self.targets = targets;
+        self
+    }
+
+    /// Builds the SNN: node `v` ↦ neuron `v`; edge `(u, v)` of length `ℓ`
+    /// ↦ synapse of weight 1 and delay `ℓ`; plus one inhibitory
+    /// self-synapse per node for first-spike suppression.
+    #[must_use]
+    pub fn build_network(&self) -> Network {
+        let g = self.graph;
+        let mut net = Network::with_capacity(g.n());
+        let in_deg = g.in_degrees();
+        for v in 0..g.n() {
+            let id = net.add_neuron(LifParams::unit_integrator());
+            debug_assert_eq!(id.index(), v);
+        }
+        for v in 0..g.n() {
+            let nv = NeuronId(v as u32);
+            for (w, len) in g.out_edges(v) {
+                let delay = u32::try_from(len).expect("edge length exceeds u32 delay range");
+                net.connect(nv, NeuronId(w as u32), 1.0, delay)
+                    .expect("valid by construction");
+            }
+            // One-shot permanent suppression (see module docs).
+            net.connect(nv, nv, -(in_deg[v] as f64 + 2.0), 1)
+                .expect("valid by construction");
+        }
+        net.mark_input(NeuronId(self.source as u32));
+        if let Some(t) = self.target {
+            net.set_terminal(NeuronId(t as u32));
+        }
+        net
+    }
+
+    /// Runs until the target spikes (if set) or the wave dies out.
+    ///
+    /// # Errors
+    /// Propagates simulator errors (none expected for valid graphs).
+    pub fn solve(&self) -> Result<SsspRun, SnnError> {
+        let g = self.graph;
+        let net = self.build_network();
+        // Upper bound on any finite distance: every node fires at most
+        // once, so the last spike is at most (n-1) * U.
+        let budget = (g.n() as u64).saturating_mul(g.max_len().max(1)) + 1;
+        let stop = if self.target.is_some() {
+            StopCondition::Terminal
+        } else if !self.targets.is_empty() {
+            StopCondition::AllOf(self.targets.iter().map(|&t| NeuronId(t as u32)).collect())
+        } else {
+            StopCondition::Quiescent
+        };
+        let config = RunConfig {
+            max_steps: budget,
+            stop,
+            record_raster: false,
+            strict: false,
+        };
+        let result = EventEngine.run(&net, &[NeuronId(self.source as u32)], &config)?;
+
+        let distances: Vec<Option<Len>> = (0..g.n())
+            .map(|v| result.first_spikes[v])
+            .collect();
+        // T = time of the last wavefront arrival. (`result.steps` can run
+        // one step past it: the self-inhibition synapses produce one final
+        // silent event after the last node fires.)
+        let spike_time = distances.iter().flatten().copied().max().unwrap_or(0);
+        let cost = NeuromorphicCost {
+            spiking_steps: spike_time,
+            load_steps: g.m() as u64,
+            neurons: g.n() as u64,
+            synapses: (g.m() + g.n()) as u64,
+            spike_events: result.stats.spike_events,
+            embedding_factor: g.n() as u64,
+        };
+        Ok(SsspRun {
+            distances,
+            spike_time,
+            cost,
+        })
+    }
+
+    /// Runs to completion over the whole graph (ignores any target).
+    ///
+    /// # Errors
+    /// Propagates simulator errors.
+    pub fn solve_all(&self) -> Result<SsspRun, SnnError> {
+        Self {
+            graph: self.graph,
+            source: self.source,
+            target: None,
+            targets: Vec::new(),
+        }
+        .solve()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgl_graph::csr::from_edges;
+    use sgl_graph::{dijkstra, generators};
+
+    #[test]
+    fn diamond_matches_dijkstra() {
+        let g = from_edges(4, &[(0, 1, 2), (1, 3, 2), (0, 2, 1), (2, 3, 5)]);
+        let run = SpikingSssp::new(&g, 0).solve_all().unwrap();
+        assert_eq!(
+            run.distances,
+            vec![Some(0), Some(2), Some(1), Some(4)]
+        );
+    }
+
+    #[test]
+    fn distances_are_spike_times_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for (n, m) in [(16, 40), (32, 120), (64, 256)] {
+            let g = generators::gnm_connected(&mut rng, n, m, 1..=9);
+            let run = SpikingSssp::new(&g, 0).solve_all().unwrap();
+            let dj = dijkstra::dijkstra(&g, 0);
+            assert_eq!(run.distances, dj.distances, "n={n} m={m}");
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_never_spike() {
+        let g = from_edges(3, &[(0, 1, 4)]);
+        let run = SpikingSssp::new(&g, 0).solve_all().unwrap();
+        assert_eq!(run.distances, vec![Some(0), Some(4), None]);
+    }
+
+    #[test]
+    fn termination_time_is_l() {
+        // Path graph: L = sum of lengths; quiescence right after the wave.
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::path(&mut rng, 6, 3..=3);
+        let run = SpikingSssp::new(&g, 0).solve_all().unwrap();
+        assert_eq!(run.spike_time, 15); // 5 edges * 3
+        assert_eq!(run.cost.spiking_steps, 15);
+        assert_eq!(run.cost.load_steps, g.m() as u64);
+    }
+
+    #[test]
+    fn every_node_fires_exactly_once() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::gnm_connected(&mut rng, 24, 96, 1..=5);
+        let run = SpikingSssp::new(&g, 0).solve_all().unwrap();
+        // n spikes total: one per node (the suppression works).
+        assert_eq!(run.cost.spike_events, g.n() as u64);
+    }
+
+    #[test]
+    fn target_mode_stops_at_target() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::path(&mut rng, 10, 2..=2);
+        let run = SpikingSssp::new(&g, 0).with_target(4).solve().unwrap();
+        assert_eq!(run.distances[4], Some(8));
+        assert_eq!(run.spike_time, 8);
+        // Nodes beyond the target were never reached before termination.
+        assert_eq!(run.distances[9], None);
+    }
+
+    #[test]
+    fn predecessors_form_shortest_path_tree() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::gnm_connected(&mut rng, 20, 70, 1..=6);
+        let run = SpikingSssp::new(&g, 0).solve_all().unwrap();
+        let preds = run.predecessors(&g);
+        let dj = dijkstra::dijkstra(&g, 0);
+        for v in 1..g.n() {
+            let p = preds[v].unwrap();
+            // Tree edge property: dist(v) = dist(p) + ℓ(p, v).
+            let len = g
+                .out_edges(p)
+                .filter(|&(w, _)| w == v)
+                .map(|(_, l)| l)
+                .min()
+                .unwrap();
+            assert_eq!(
+                dj.distances[p].unwrap() + len,
+                dj.distances[v].unwrap(),
+                "node {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn simultaneous_arrivals_are_fine() {
+        // Two equal-length paths to node 3 (ties are fine, §3).
+        let g = from_edges(4, &[(0, 1, 2), (0, 2, 2), (1, 3, 2), (2, 3, 2)]);
+        let run = SpikingSssp::new(&g, 0).solve_all().unwrap();
+        assert_eq!(run.distances[3], Some(4));
+        assert_eq!(run.cost.spike_events, 4);
+    }
+
+    #[test]
+    fn multi_destination_mode_stops_after_all_targets() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = generators::path(&mut rng, 12, 2..=2);
+        let run = SpikingSssp::new(&g, 0)
+            .with_targets(vec![3, 6])
+            .solve()
+            .unwrap();
+        assert_eq!(run.distances[3], Some(6));
+        assert_eq!(run.distances[6], Some(12));
+        // T = the farthest requested destination's distance.
+        assert_eq!(run.spike_time, 12);
+        // Nodes beyond the farthest target were never reached.
+        assert_eq!(run.distances[11], None);
+    }
+
+    #[test]
+    fn cost_model_embedding_factor() {
+        let g = from_edges(2, &[(0, 1, 3)]);
+        let run = SpikingSssp::new(&g, 0).solve_all().unwrap();
+        use crate::accounting::DataMovement;
+        assert_eq!(run.cost.total_time(DataMovement::Free), 1 + 3);
+        assert_eq!(run.cost.total_time(DataMovement::Crossbar), 1 + 2 * 3);
+    }
+}

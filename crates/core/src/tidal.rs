@@ -1,0 +1,192 @@
+//! §8's future-work direction, realised: a neuromorphic tidal-flow
+//! maximum-flow algorithm.
+//!
+//! "Tidal flow may be a promising starting point for a neuromorphic
+//! network-flow algorithm. Each iteration of tidal flow has a forward
+//! sweep from the source (breadth-first-search-like messages), a backward
+//! sweep from the sink and some local computation."
+//!
+//! This module runs the exact tidal-flow algorithm
+//! ([`sgl_graph::flow::tidal_flow`]'s TIDE sweeps) while accounting for it
+//! as a neuromorphic graph algorithm (Definition 4): each phase is one
+//! BFS wavefront (depth `D` rounds of 1-bit messages) plus, per TIDE,
+//! three sweeps of λ-bit messages across the `D` levels (the optimistic
+//! forward tide, the backward trim, the forward settle — each a round of
+//! message-broadcast + local min/add computation, with per-round latency
+//! `T_edge + T_node = O(λ)` from the §5 circuits). Message width is
+//! `λ = ⌈log(total capacity)⌉`, since tide heights never exceed the total
+//! outgoing capacity of the source.
+
+use crate::accounting::{bits_for, NeuromorphicCost};
+use crate::gatelevel::poly::hop_latency;
+use sgl_graph::flow::{tide, Cap, FlowNetwork, FlowStats};
+
+/// Result of a neuromorphic tidal-flow run.
+#[derive(Clone, Debug)]
+pub struct TidalRun {
+    /// The maximum flow value (provably equal to Dinic's).
+    pub max_flow: Cap,
+    /// Level-graph phases executed.
+    pub phases: u32,
+    /// TIDE sweeps executed.
+    pub tides: u32,
+    /// NGA rounds: BFS depth per phase + 3 × depth per TIDE.
+    pub nga_rounds: u64,
+    /// Messages broadcast (level-graph edges traversed per sweep).
+    pub messages: u64,
+    /// Resource accounting: `spiking_steps = nga_rounds × (T_edge+T_node)`.
+    pub cost: NeuromorphicCost,
+}
+
+/// Runs tidal flow with NGA accounting. The input network is consumed by
+/// value so the caller's copy is untouched.
+///
+/// # Panics
+/// Panics if `s == t` or either endpoint is out of range.
+#[must_use]
+pub fn solve(mut net: FlowNetwork, s: usize, t: usize) -> TidalRun {
+    assert!(s < net.n() && t < net.n() && s != t);
+    let total_cap: u128 = (0..net.m()).map(|e| u128::from(net.residual(2 * e))).sum();
+    let lambda = bits_for(u64::try_from(total_cap.min(u64::MAX as u128)).unwrap_or(u64::MAX).max(1));
+    let round_latency = u64::from(hop_latency(lambda));
+
+    let mut stats = FlowStats::default();
+    let mut total = 0;
+    let mut phases = 0u32;
+    let mut tides = 0u32;
+    let mut nga_rounds = 0u64;
+    let mut messages = 0u64;
+
+    loop {
+        let level = net.levels(s);
+        phases += 1;
+        let Some(depth) = level[t] else { break };
+        // The BFS wavefront itself: `depth` rounds of 1-bit messages.
+        nga_rounds += u64::from(depth);
+        loop {
+            let before = stats.edge_visits;
+            let pushed = tide(&mut net, s, t, &level, &mut stats);
+            let level_edges = stats.edge_visits - before;
+            if pushed == 0 {
+                break;
+            }
+            tides += 1;
+            total += pushed;
+            // Three sweeps (forward, backward, forward) of D rounds each;
+            // every sweep re-broadcasts along every level-graph edge.
+            nga_rounds += 3 * u64::from(depth);
+            messages += 3 * level_edges;
+        }
+    }
+
+    let cost = NeuromorphicCost {
+        spiking_steps: nga_rounds * round_latency,
+        load_steps: (net.m() * lambda) as u64,
+        neurons: (net.m() * lambda) as u64,
+        synapses: (net.m() * (lambda + 1)) as u64,
+        spike_events: messages * (lambda as u64 / 2 + 1),
+        embedding_factor: net.n() as u64,
+    };
+    TidalRun {
+        max_flow: total,
+        phases,
+        tides,
+        nga_rounds,
+        messages,
+        cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sgl_graph::flow::dinic;
+
+    fn random_net(rng: &mut StdRng, n: usize, m: usize) -> FlowNetwork {
+        let mut f = FlowNetwork::new(n);
+        for _ in 0..m {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                f.add_edge(u, v, rng.gen_range(1..50));
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn matches_dinic_on_random_networks() {
+        let mut rng = StdRng::seed_from_u64(88);
+        for _ in 0..15 {
+            let n = rng.gen_range(5..24);
+            let f = random_net(&mut rng, n, 4 * n);
+            let run = solve(f.clone(), 0, n - 1);
+            let mut f2 = f;
+            let (dv, _) = dinic(&mut f2, 0, n - 1);
+            assert_eq!(run.max_flow, dv);
+        }
+    }
+
+    #[test]
+    fn clrs_value_and_accounting() {
+        let mut f = FlowNetwork::new(6);
+        f.add_edge(0, 1, 16);
+        f.add_edge(0, 2, 13);
+        f.add_edge(1, 3, 12);
+        f.add_edge(2, 1, 4);
+        f.add_edge(2, 4, 14);
+        f.add_edge(3, 2, 9);
+        f.add_edge(3, 5, 20);
+        f.add_edge(4, 3, 7);
+        f.add_edge(4, 5, 4);
+        let run = solve(f, 0, 5);
+        assert_eq!(run.max_flow, 23);
+        assert!(run.tides >= 1);
+        assert!(run.nga_rounds >= 3);
+        assert!(run.messages > 0);
+        assert!(run.cost.spiking_steps > run.nga_rounds); // λ-latency factor
+    }
+
+    #[test]
+    fn rounds_scale_with_level_depth() {
+        // A long chain: one phase of depth n-1, one tide -> ~4(n-1) rounds.
+        let n = 20;
+        let mut f = FlowNetwork::new(n);
+        for i in 0..n - 1 {
+            f.add_edge(i, i + 1, 5);
+        }
+        let run = solve(f, 0, n - 1);
+        assert_eq!(run.max_flow, 5);
+        let d = (n - 1) as u64;
+        assert!(run.nga_rounds >= 4 * d, "rounds {}", run.nga_rounds);
+        assert!(run.nga_rounds <= 6 * d, "rounds {}", run.nga_rounds);
+    }
+
+    #[test]
+    fn zero_flow_costs_one_phase() {
+        let mut f = FlowNetwork::new(4);
+        f.add_edge(0, 1, 3); // sink unreachable
+        let run = solve(f, 0, 3);
+        assert_eq!(run.max_flow, 0);
+        assert_eq!(run.phases, 1);
+        assert_eq!(run.tides, 0);
+    }
+
+    #[test]
+    fn wide_shallow_networks_finish_in_few_rounds() {
+        // Star through parallel middle nodes: depth 2 regardless of width.
+        let width = 30;
+        let mut f = FlowNetwork::new(width + 2);
+        for i in 0..width {
+            f.add_edge(0, 1 + i, 2);
+            f.add_edge(1 + i, width + 1, 2);
+        }
+        let run = solve(f, 0, width + 1);
+        assert_eq!(run.max_flow, 2 * width as u64);
+        // One phase, one tide: 2 (BFS) + 6 (3 sweeps x depth 2) rounds,
+        // plus the final empty phase detection.
+        assert!(run.nga_rounds <= 16, "rounds {}", run.nga_rounds);
+    }
+}

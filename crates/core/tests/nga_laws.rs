@@ -1,0 +1,82 @@
+//! Algebraic laws of the NGA executor (Definition 4), property-tested:
+//! composition over rounds, semiring-linearity of the mat-vec program,
+//! and agreement between running `r1 + r2` rounds at once versus resuming.
+
+use proptest::prelude::*;
+use sgl_core::matvec_nga::matvec_power;
+use sgl_graph::csr::from_edges;
+use sgl_graph::semiring::MinPlus;
+use sgl_graph::Graph;
+
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (2usize..10).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 1u64..6), 1..20).prop_map(move |edges| {
+            let edges: Vec<_> = edges.into_iter().filter(|&(u, v, _)| u != v).collect();
+            if edges.is_empty() {
+                from_edges(n, &[(0, 1 % n.max(2), 1)])
+            } else {
+                from_edges(n, &edges)
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A^{r1+r2} x == A^{r2} (A^{r1} x): rounds compose.
+    #[test]
+    fn rounds_compose(g in graph_strategy(), r1 in 1u32..4, r2 in 1u32..4) {
+        let mut x: Vec<Option<u64>> = vec![None; g.n()];
+        x[0] = Some(0);
+        let direct = matvec_power::<MinPlus>(&g, &x, r1 + r2, 16);
+
+        let stage1 = matvec_power::<MinPlus>(&g, &x, r1, 16);
+        let mid: Vec<Option<u64>> = stage1.messages.iter().map(|m| m.flatten()).collect();
+        let stage2 = matvec_power::<MinPlus>(&g, &mid, r2, 16);
+
+        let d: Vec<Option<u64>> = direct.messages.iter().map(|m| m.flatten()).collect();
+        let s: Vec<Option<u64>> = stage2.messages.iter().map(|m| m.flatten()).collect();
+        prop_assert_eq!(d, s);
+    }
+
+    /// Min-plus linearity: A^r(min(x, y)) == min(A^r x, A^r y)
+    /// (the semiring "distributes" over the combine).
+    #[test]
+    fn minplus_linearity(g in graph_strategy(), r in 1u32..5, a in 0u64..20, b in 0u64..20) {
+        let n = g.n();
+        let mut x: Vec<Option<u64>> = vec![None; n];
+        x[0] = Some(a);
+        let mut y: Vec<Option<u64>> = vec![None; n];
+        y[n - 1] = Some(b);
+        // min(x, y) elementwise.
+        let combined: Vec<Option<u64>> = (0..n)
+            .map(|v| match (x[v], y[v]) {
+                (Some(p), Some(q)) => Some(p.min(q)),
+                (p, q) => p.or(q),
+            })
+            .collect();
+
+        let lhs = matvec_power::<MinPlus>(&g, &combined, r, 16);
+        let rx = matvec_power::<MinPlus>(&g, &x, r, 16);
+        let ry = matvec_power::<MinPlus>(&g, &y, r, 16);
+        for v in 0..n {
+            let l = lhs.messages[v].flatten();
+            let r_min = match (rx.messages[v].flatten(), ry.messages[v].flatten()) {
+                (Some(p), Some(q)) => Some(p.min(q)),
+                (p, q) => p.or(q),
+            };
+            prop_assert_eq!(l, r_min, "node {}", v);
+        }
+    }
+
+    /// Time accounting is exactly rounds x (T_edge + T_node).
+    #[test]
+    fn time_accounting_law(g in graph_strategy(), r in 1u32..6) {
+        let mut x: Vec<Option<u64>> = vec![None; g.n()];
+        x[0] = Some(0);
+        let run = matvec_power::<MinPlus>(&g, &x, r, 8);
+        prop_assert_eq!(run.time_steps, u64::from(run.rounds) * (8 + 8));
+        prop_assert!(run.rounds <= r);
+    }
+}

@@ -1,0 +1,322 @@
+//! §4.4: embedding arbitrary digraphs into the crossbar by programming
+//! type-2 delays.
+
+use crate::topology::{Crossbar, XbarVertex};
+use sgl_core::sssp_pseudo::SpikingSssp;
+use sgl_graph::{Graph, Len, Node};
+
+/// Record of one embedding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EmbedInfo {
+    /// The length-scaling factor applied so the minimum scaled length is at
+    /// least `2n` (making every type-2 delay ≥ 1).
+    pub scale: Len,
+    /// Type-2 delay writes this embedding performed (= `m`, §4.4).
+    pub writes: u64,
+}
+
+impl Crossbar {
+    /// Embeds `g` (which must have at most `n` vertices) by programming
+    /// one type-2 delay per edge: `ℓ'(ij) − 2|i−j| − 1` with `ℓ'` the
+    /// scaled length. Graph vertex `v` (0-based) maps to crossbar index
+    /// `v + 1` (1-based). Self-loops are skipped (they never shorten a
+    /// path); parallel edges keep the smallest delay.
+    ///
+    /// # Examples
+    /// ```
+    /// use sgl_crossbar::Crossbar;
+    /// use sgl_graph::csr::from_edges;
+    /// let g = from_edges(3, &[(0, 1, 2), (1, 2, 3)]);
+    /// let mut xbar = Crossbar::new(3);
+    /// let info = xbar.embed(&g);
+    /// assert_eq!(info.writes, 2); // one type-2 delay per edge
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `g.n() > self.n()` or `g` has no edges.
+    pub fn embed(&mut self, g: &Graph) -> EmbedInfo {
+        assert!(g.n() <= self.n(), "graph too large for this crossbar");
+        let min_len = g.min_len().expect("cannot embed an edgeless graph");
+        let target = 2 * self.n() as Len;
+        let scale = target.div_ceil(min_len);
+        let before = self.writes();
+
+        for (u, v, len) in g.edges() {
+            if u == v {
+                continue;
+            }
+            let (i, j) = (u + 1, v + 1);
+            let scaled = len * scale;
+            let gap = 2 * i.abs_diff(j) as Len + 1;
+            debug_assert!(scaled > gap, "scaling failed to clear the route");
+            let delay = scaled - gap;
+            let new = match self.type2_delay(i, j) {
+                Some(old) => old.min(delay),
+                None => delay,
+            };
+            self.write_type2(i, j, Some(new));
+        }
+
+        EmbedInfo {
+            scale,
+            writes: self.writes() - before,
+        }
+    }
+
+    /// Un-embeds `g`: disables exactly the type-2 edges `g` programmed
+    /// (`O(m)` writes), restoring the all-disabled resting state so the
+    /// next graph can be embedded (§4.4's multiplexing argument).
+    pub fn unembed(&mut self, g: &Graph) {
+        for (u, v, _) in g.edges() {
+            if u == v {
+                continue;
+            }
+            if self.type2_delay(u + 1, v + 1).is_some() {
+                self.write_type2(u + 1, v + 1, None);
+            }
+        }
+    }
+}
+
+/// Runs the §3 spiking SSSP *on the embedded crossbar* and reads out
+/// distances of the original graph: source/destination `v` of `G` maps to
+/// the crossbar's diagonal vertex `v⁻_(v+1)(v+1)`, and crossbar distances
+/// divide by the embedding scale.
+#[derive(Debug)]
+pub struct EmbeddedSssp {
+    xbar_graph: Graph,
+    scale: Len,
+    n_original: usize,
+}
+
+impl EmbeddedSssp {
+    /// Prepares a run on the crossbar's current state.
+    #[must_use]
+    pub fn new(xbar: &Crossbar, info: EmbedInfo, n_original: usize) -> Self {
+        Self {
+            xbar_graph: xbar.to_graph(),
+            scale: info.scale,
+            n_original,
+        }
+    }
+
+    /// Spiking SSSP from original-graph node `source`; returns original-
+    /// graph distances (descaled).
+    ///
+    /// # Panics
+    /// Panics if a crossbar distance is not a multiple of the scale (an
+    /// embedding bug) or the simulator fails.
+    #[must_use]
+    pub fn solve(&self, xbar: &Crossbar, source: Node) -> Vec<Option<Len>> {
+        let src = xbar.index(XbarVertex::Minus(source + 1, source + 1));
+        let run = SpikingSssp::new(&self.xbar_graph, src)
+            .solve_all()
+            .expect("crossbar simulation failed");
+        (0..self.n_original)
+            .map(|v| {
+                let idx = xbar.index(XbarVertex::Minus(v + 1, v + 1));
+                run.distances[idx].map(|d| {
+                    assert!(
+                        d % self.scale == 0,
+                        "crossbar distance {d} not a multiple of scale {}",
+                        self.scale
+                    );
+                    d / self.scale
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgl_graph::csr::from_edges;
+    use sgl_graph::{dijkstra, generators};
+
+    /// Dijkstra on the crossbar graph between diagonal − vertices must
+    /// reproduce scaled input-graph distances.
+    fn check_embedding(g: &Graph) {
+        let mut xbar = Crossbar::new(g.n());
+        let info = xbar.embed(g);
+        let xg = xbar.to_graph();
+        let truth = dijkstra::dijkstra(g, 0);
+        let src = xbar.index(XbarVertex::Minus(1, 1));
+        let xr = dijkstra::dijkstra(&xg, src);
+        for v in 0..g.n() {
+            let idx = xbar.index(XbarVertex::Minus(v + 1, v + 1));
+            let got = xr.distances[idx].map(|d| d / info.scale);
+            assert_eq!(got, truth.distances[v], "node {v}");
+            if let Some(d) = xr.distances[idx] {
+                assert_eq!(d % info.scale, 0, "non-multiple distance at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_edge_path_length_preserved() {
+        // The §4.4 identity: v⁻_ii to v⁻_jj costs exactly ℓ'(ij).
+        let g = from_edges(3, &[(0, 2, 5)]);
+        let mut xbar = Crossbar::new(3);
+        let info = xbar.embed(&g);
+        let xg = xbar.to_graph();
+        let src = xbar.index(XbarVertex::Minus(1, 1));
+        let dst = xbar.index(XbarVertex::Minus(3, 3));
+        let r = dijkstra::dijkstra(&xg, src);
+        assert_eq!(r.distances[dst], Some(5 * info.scale));
+    }
+
+    #[test]
+    fn diamond_distances_preserved() {
+        check_embedding(&from_edges(
+            4,
+            &[(0, 1, 2), (1, 3, 2), (0, 2, 1), (2, 3, 5)],
+        ));
+    }
+
+    #[test]
+    fn random_graphs_distances_preserved() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for _ in 0..3 {
+            let g = generators::gnm_connected(&mut rng, 10, 40, 1..=9);
+            check_embedding(&g);
+        }
+    }
+
+    #[test]
+    fn complete_graph_worst_case() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let g = generators::complete(&mut rng, 6, 1..=6);
+        check_embedding(&g);
+    }
+
+    #[test]
+    fn embedding_writes_exactly_m() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let g = generators::gnm_connected(&mut rng, 12, 50, 1..=4);
+        let mut xbar = Crossbar::new(12);
+        let info = xbar.embed(&g);
+        assert_eq!(info.writes, g.m() as u64);
+    }
+
+    #[test]
+    fn unembed_then_reembed_sequence() {
+        let mut rng = StdRng::seed_from_u64(74);
+        let g1 = generators::gnm_connected(&mut rng, 8, 24, 1..=5);
+        let g2 = generators::gnm_connected(&mut rng, 8, 30, 1..=5);
+        let mut xbar = Crossbar::new(8);
+
+        let i1 = xbar.embed(&g1);
+        assert_eq!(xbar.enabled_type2(), count_distinct_offdiag(&g1));
+        xbar.unembed(&g1);
+        assert_eq!(xbar.enabled_type2(), 0);
+        // Total writes so far ≈ 2·m1 (embed + unembed): O(m) multiplexing.
+        assert!(xbar.writes() <= 2 * g1.m() as u64);
+
+        let i2 = xbar.embed(&g2);
+        let truth = dijkstra::dijkstra(&g2, 0);
+        let xg = xbar.to_graph();
+        let src = xbar.index(XbarVertex::Minus(1, 1));
+        let xr = dijkstra::dijkstra(&xg, src);
+        for v in 0..g2.n() {
+            let idx = xbar.index(XbarVertex::Minus(v + 1, v + 1));
+            assert_eq!(
+                xr.distances[idx].map(|d| d / i2.scale),
+                truth.distances[v],
+                "node {v} after re-embedding"
+            );
+        }
+        let _ = i1;
+    }
+
+    #[test]
+    fn spiking_sssp_on_the_crossbar() {
+        // The full pipeline: embed, run the actual spiking algorithm on
+        // H_n, read out original distances — Theorem 4.1's O(nL + m) path.
+        let mut rng = StdRng::seed_from_u64(75);
+        let g = generators::gnm_connected(&mut rng, 8, 28, 1..=5);
+        let mut xbar = Crossbar::new(8);
+        let info = xbar.embed(&g);
+        let solver = EmbeddedSssp::new(&xbar, info, g.n());
+        let got = solver.solve(&xbar, 0);
+        let truth = dijkstra::dijkstra(&g, 0);
+        assert_eq!(got, truth.distances);
+    }
+
+    #[test]
+    fn smaller_graph_in_larger_crossbar() {
+        let g = from_edges(3, &[(0, 1, 3), (1, 2, 4)]);
+        let mut xbar = Crossbar::new(6);
+        let info = xbar.embed(&g);
+        let xg = xbar.to_graph();
+        let src = xbar.index(XbarVertex::Minus(1, 1));
+        let r = dijkstra::dijkstra(&xg, src);
+        let dst = xbar.index(XbarVertex::Minus(3, 3));
+        assert_eq!(r.distances[dst], Some(7 * info.scale));
+    }
+
+    #[test]
+    fn parallel_edges_keep_cheapest() {
+        let g = from_edges(2, &[(0, 1, 9), (0, 1, 3)]);
+        let mut xbar = Crossbar::new(2);
+        let info = xbar.embed(&g);
+        let xg = xbar.to_graph();
+        let src = xbar.index(XbarVertex::Minus(1, 1));
+        let r = dijkstra::dijkstra(&xg, src);
+        let dst = xbar.index(XbarVertex::Minus(2, 2));
+        assert_eq!(r.distances[dst], Some(3 * info.scale));
+    }
+
+    fn count_distinct_offdiag(g: &Graph) -> usize {
+        let mut set = std::collections::HashSet::new();
+        for (u, v, _) in g.edges() {
+            if u != v {
+                set.insert((u, v));
+            }
+        }
+        set.len()
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use sgl_graph::csr::from_edges;
+    use sgl_graph::dijkstra;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// §4.4 on arbitrary graphs: embedding preserves every SSSP
+        /// distance (scaled), for any random edge set.
+        #[test]
+        fn embedding_preserves_distances(
+            n in 2usize..10,
+            edges in proptest::collection::vec((0usize..10, 0usize..10, 1u64..12), 1..30),
+        ) {
+            let edges: Vec<(usize, usize, u64)> = edges
+                .into_iter()
+                .filter(|&(u, v, _)| u < n && v < n && u != v)
+                .collect();
+            prop_assume!(!edges.is_empty());
+            let g = from_edges(n, &edges);
+            let mut xbar = Crossbar::new(n);
+            let info = xbar.embed(&g);
+            let xg = xbar.to_graph();
+            let truth = dijkstra::dijkstra(&g, 0);
+            let src = xbar.index(crate::topology::XbarVertex::Minus(1, 1));
+            let xr = dijkstra::dijkstra(&xg, src);
+            for v in 0..n {
+                let idx = xbar.index(crate::topology::XbarVertex::Minus(v + 1, v + 1));
+                prop_assert_eq!(
+                    xr.distances[idx].map(|d| d / info.scale),
+                    truth.distances[v],
+                    "node {}", v
+                );
+            }
+        }
+    }
+}

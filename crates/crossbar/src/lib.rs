@@ -1,0 +1,32 @@
+//! # sgl-crossbar — the stacked-grid crossbar and the §4.4 embedding
+//!
+//! Implements the crossbar (stacked grid) `H_n` of Figure 2 — "a topology
+//! we may reasonably expect as a subset of every neuromorphic
+//! architecture" — and the §4.4 scheme embedding an arbitrary `n`-vertex
+//! digraph into it by programming delays, such that shortest paths in the
+//! crossbar equal (scaled) shortest paths in the input graph.
+//!
+//! `H_n` has `2n²` vertices `v⁻_ij`, `v⁺_ij` and six edge types. Vertex
+//! `i` of the input graph is represented by row `i` of `+` vertices
+//! (fanning out from the diagonal) and column `i` of `−` vertices (fanning
+//! into the diagonal); the graph edge `(i, j)` corresponds to the type-2
+//! crossbar edge `v⁺_ij → v⁻_ij`. All fixed-topology edges (types 1 and
+//! 3–6) carry the minimum delay; embedding a graph only writes the `m`
+//! type-2 delays `ℓ'(ij) − 2|i−j| − 1` (after scaling lengths so the
+//! minimum is `2n`), which is why embedding and un-embedding cost `O(m)`
+//! and a sequence of graphs can be multiplexed with constant-factor
+//! slowdown (§4.4 "Running time").
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Indexed loops over several parallel per-node arrays are the house style
+// for the graph/neuron kernels here; iterator zips would obscure them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod embedding;
+pub mod scheduler;
+pub mod topology;
+
+pub use embedding::{EmbedInfo, EmbeddedSssp};
+pub use scheduler::CrossbarScheduler;
+pub use topology::{Crossbar, XbarVertex};

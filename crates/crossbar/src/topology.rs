@@ -1,0 +1,250 @@
+//! The crossbar (stacked grid) `H_n` of Figure 2.
+
+use sgl_graph::{Graph, GraphBuilder, Len};
+
+/// A vertex of `H_n`: the paper's `v⁻_ij` / `v⁺_ij` with 1-based `i, j`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum XbarVertex {
+    /// `v⁻_ij` — the "collect" plane (column `j` routes into the diagonal).
+    Minus(usize, usize),
+    /// `v⁺_ij` — the "distribute" plane (row `i` routes out of the
+    /// diagonal).
+    Plus(usize, usize),
+}
+
+/// The crossbar `H_n` with programmable type-2 delays.
+///
+/// The fixed edges (types 1, 3, 4, 5, 6) always carry the minimum delay
+/// `δ = 1`; type-2 edges `v⁺_ij → v⁻_ij` (for `i ≠ j`) start *disabled*
+/// ("infinite delay") and are programmed by the embedder. Writes are
+/// counted so the `O(m)` embed/unembed claims are measurable.
+#[derive(Clone, Debug)]
+pub struct Crossbar {
+    n: usize,
+    /// Type-2 delay for pair `(i, j)`, row-major, `None` = disabled.
+    type2: Vec<Option<Len>>,
+    /// Number of type-2 delay writes performed so far (embed + unembed).
+    writes: u64,
+}
+
+impl Crossbar {
+    /// Builds `H_n` with all type-2 edges disabled.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        Self {
+            n,
+            type2: vec![None; n * n],
+            writes: 0,
+        }
+    }
+
+    /// Order `n` of the crossbar.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of delay writes performed so far.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Dense vertex index of a crossbar vertex (for graph/SNN views):
+    /// `v⁻_ij → (i−1)n + (j−1)`, `v⁺_ij → n² + (i−1)n + (j−1)`.
+    ///
+    /// # Panics
+    /// Panics if indices are outside `1..=n`.
+    #[must_use]
+    pub fn index(&self, v: XbarVertex) -> usize {
+        let n = self.n;
+        match v {
+            XbarVertex::Minus(i, j) => {
+                assert!((1..=n).contains(&i) && (1..=n).contains(&j));
+                (i - 1) * n + (j - 1)
+            }
+            XbarVertex::Plus(i, j) => {
+                assert!((1..=n).contains(&i) && (1..=n).contains(&j));
+                n * n + (i - 1) * n + (j - 1)
+            }
+        }
+    }
+
+    /// Total vertices: `2n²`.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        2 * self.n * self.n
+    }
+
+    /// Sets (or disables with `None`) the type-2 delay for pair `(i, j)`,
+    /// 1-based, `i ≠ j` or `i == j` both allowed storage-wise but only
+    /// `i ≠ j` type-2 edges exist.
+    pub(crate) fn write_type2(&mut self, i: usize, j: usize, delay: Option<Len>) {
+        self.type2[(i - 1) * self.n + (j - 1)] = delay;
+        self.writes += 1;
+    }
+
+    /// Currently programmed type-2 delay for `(i, j)`.
+    #[must_use]
+    pub fn type2_delay(&self, i: usize, j: usize) -> Option<Len> {
+        self.type2[(i - 1) * self.n + (j - 1)]
+    }
+
+    /// Number of enabled type-2 edges.
+    #[must_use]
+    pub fn enabled_type2(&self) -> usize {
+        self.type2.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Materialises the crossbar as a weighted digraph (edge length =
+    /// synapse delay), with disabled type-2 edges absent. Vertex ids
+    /// follow [`Self::index`].
+    #[must_use]
+    pub fn to_graph(&self) -> Graph {
+        let n = self.n;
+        let mut b = GraphBuilder::new(self.vertex_count());
+        let minus = |i: usize, j: usize| (i - 1) * n + (j - 1);
+        let plus = |i: usize, j: usize| n * n + (i - 1) * n + (j - 1);
+
+        // Type 1: v⁻_ii → v⁺_ii.
+        for i in 1..=n {
+            b.add_edge(minus(i, i), plus(i, i), 1);
+        }
+        // Type 2: v⁺_ij → v⁻_ij for i ≠ j, when enabled.
+        for i in 1..=n {
+            for j in 1..=n {
+                if i != j {
+                    if let Some(d) = self.type2_delay(i, j) {
+                        b.add_edge(plus(i, j), minus(i, j), d);
+                    }
+                }
+            }
+        }
+        // Type 3: v⁺_ij → v⁺_i(j+1) for i ≤ j; i, j ∈ [n−1].
+        for i in 1..n {
+            for j in i..n {
+                b.add_edge(plus(i, j), plus(i, j + 1), 1);
+            }
+        }
+        // Type 4: v⁺_i(j+1) → v⁺_ij for i > j (j + 1 ≤ n).
+        for j in 1..n {
+            for i in (j + 1)..=n {
+                b.add_edge(plus(i, j + 1), plus(i, j), 1);
+            }
+        }
+        // Type 5: v⁻_ij → v⁻_(i+1)j for i < j.
+        for j in 1..=n {
+            for i in 1..j {
+                b.add_edge(minus(i, j), minus(i + 1, j), 1);
+            }
+        }
+        // Type 6: v⁻_(i+1)j → v⁻_ij for i ≥ j; i, j ∈ [n−1].
+        for j in 1..n {
+            for i in j..n {
+                b.add_edge(minus(i + 1, j), minus(i, j), 1);
+            }
+        }
+        b.build()
+    }
+
+    /// Number of fixed (always present) edges of `H_n`:
+    /// `n` (type 1) + `2 · n(n−1)/2` (+ plane) + `2 · n(n−1)/2` (− plane).
+    #[must_use]
+    pub fn fixed_edge_count(&self) -> usize {
+        let n = self.n;
+        n + 2 * (n * (n - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h3_matches_figure_2_counts() {
+        let x = Crossbar::new(3);
+        assert_eq!(x.vertex_count(), 18);
+        let g = x.to_graph(); // no type-2 enabled
+        // type1: 3; type3: 3 (11→12, 12→13, 22→23); type4: 3 (22←21? ...)
+        // total fixed = 3 + 2·3 + 2·3 = 15.
+        assert_eq!(g.m(), x.fixed_edge_count());
+        assert_eq!(g.m(), 15);
+    }
+
+    #[test]
+    fn index_is_dense_and_distinct() {
+        let x = Crossbar::new(4);
+        let mut seen = std::collections::HashSet::new();
+        for i in 1..=4 {
+            for j in 1..=4 {
+                assert!(seen.insert(x.index(XbarVertex::Minus(i, j))));
+                assert!(seen.insert(x.index(XbarVertex::Plus(i, j))));
+            }
+        }
+        assert_eq!(seen.len(), 32);
+        assert!(seen.iter().all(|&v| v < 32));
+    }
+
+    #[test]
+    fn plus_plane_routes_away_from_diagonal() {
+        // From v⁺_ii one can reach every v⁺_ij along unit edges in
+        // |i−j| steps.
+        let x = Crossbar::new(5);
+        let g = x.to_graph();
+        let start = x.index(XbarVertex::Plus(2, 2));
+        let r = sgl_graph::dijkstra::dijkstra(&g, start);
+        for j in 1..=5 {
+            let idx = x.index(XbarVertex::Plus(2, j));
+            assert_eq!(
+                r.distances[idx],
+                Some((2i64 - j as i64).unsigned_abs()),
+                "v+_2{j}"
+            );
+        }
+    }
+
+    #[test]
+    fn minus_plane_routes_into_diagonal() {
+        let x = Crossbar::new(5);
+        let g = x.to_graph();
+        for j in 1..=5usize {
+            for i in 1..=5usize {
+                let start = x.index(XbarVertex::Minus(i, j));
+                let r = sgl_graph::dijkstra::dijkstra(&g, start);
+                let diag = x.index(XbarVertex::Minus(j, j));
+                assert_eq!(
+                    r.distances[diag],
+                    Some((i as i64 - j as i64).unsigned_abs()),
+                    "v-_{i}{j} -> diagonal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn type2_write_tracking() {
+        let mut x = Crossbar::new(3);
+        assert_eq!(x.enabled_type2(), 0);
+        x.write_type2(1, 2, Some(7));
+        x.write_type2(2, 3, Some(9));
+        assert_eq!(x.enabled_type2(), 2);
+        assert_eq!(x.writes(), 2);
+        x.write_type2(1, 2, None);
+        assert_eq!(x.enabled_type2(), 1);
+        assert_eq!(x.writes(), 3);
+        assert_eq!(x.type2_delay(2, 3), Some(9));
+    }
+
+    #[test]
+    fn vertex_and_edge_counts_are_quadratic() {
+        for n in [2usize, 4, 8, 16] {
+            let x = Crossbar::new(n);
+            assert_eq!(x.vertex_count(), 2 * n * n);
+            assert_eq!(x.to_graph().m(), n + 2 * n * (n - 1));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! k-hop Bellman–Ford executed on the DISTANCE machine (Theorem 6.2).
+//!
+//! Memory image: `dist` (n words), `next` (n), CSR offsets (n+1), edge
+//! targets (m), edge lengths (m) — all laid out in one centred square.
+//! Every round streams the full edge arrays and the distance arrays
+//! through the register file; with `c ≪ m` everything capacity-misses,
+//! which is exactly why each round pays the Theorem 6.1 scan bound.
+
+use crate::bounds::bellman_ford_khop_lb;
+use crate::machine::{DistanceMachine, Placement};
+use sgl_graph::{Graph, Len, Node};
+
+/// Result of a metered run.
+#[derive(Clone, Debug)]
+pub struct MeteredRun {
+    /// Computed distances (identical to the unmetered algorithm's).
+    pub distances: Vec<Option<Len>>,
+    /// Measured ℓ1 movement cost.
+    pub cost: u64,
+    /// Word accesses issued.
+    pub accesses: u64,
+    /// Register misses.
+    pub misses: u64,
+    /// The matching §6 lower bound.
+    pub lower_bound: f64,
+}
+
+/// Word-id map for the Bellman–Ford memory image.
+struct Words {
+    dist: u32,
+    next: u32,
+    offsets: u32,
+    targets: u32,
+    lengths: u32,
+    total: usize,
+}
+
+impl Words {
+    fn new(n: usize, m: usize) -> Self {
+        let dist = 0u32;
+        let next = dist + n as u32;
+        let offsets = next + n as u32;
+        let targets = offsets + n as u32 + 1;
+        let lengths = targets + m as u32;
+        let total = (lengths as usize) + m;
+        Self {
+            dist,
+            next,
+            offsets,
+            targets,
+            lengths,
+            total,
+        }
+    }
+}
+
+/// Runs k-hop Bellman–Ford from `source` on a `c`-register DISTANCE
+/// machine, relaxing all edges every round (the §6.2 algorithm).
+///
+/// # Panics
+/// Panics if `source` is out of range.
+#[must_use]
+pub fn bellman_ford_metered(
+    g: &Graph,
+    source: Node,
+    k: u32,
+    c: usize,
+    placement: Placement,
+) -> MeteredRun {
+    assert!(source < g.n(), "source out of range");
+    let n = g.n();
+    let m = g.m();
+    let words = Words::new(n, m);
+    let mut mach = DistanceMachine::new(words.total, c, placement);
+
+    let mut dist: Vec<Option<Len>> = vec![None; n];
+    dist[source] = Some(0);
+    mach.write(words.dist + source as u32);
+    let mut next = dist.clone();
+    mach.write(words.next + source as u32);
+
+    for _ in 0..k {
+        let mut edge_idx = 0u32;
+        for u in 0..n {
+            // Reading the CSR row bounds.
+            mach.read(words.offsets + u as u32);
+            mach.read(words.offsets + u as u32 + 1);
+            let du = {
+                mach.read(words.dist + u as u32);
+                dist[u]
+            };
+            for (v, len) in g.out_edges(u) {
+                mach.read(words.targets + edge_idx);
+                mach.read(words.lengths + edge_idx);
+                edge_idx += 1;
+                let Some(du) = du else { continue };
+                let nd = du + len;
+                mach.read(words.next + v as u32);
+                if next[v].is_none_or(|old| nd < old) {
+                    next[v] = Some(nd);
+                    mach.write(words.next + v as u32);
+                }
+            }
+        }
+        // dist ← next.
+        for v in 0..n {
+            mach.read(words.next + v as u32);
+            mach.write(words.dist + v as u32);
+        }
+        dist.copy_from_slice(&next);
+    }
+    mach.flush();
+
+    MeteredRun {
+        distances: dist,
+        cost: mach.cost(),
+        accesses: mach.accesses(),
+        misses: mach.misses(),
+        lower_bound: bellman_ford_khop_lb(u64::from(k), m as u64, c as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgl_graph::{bellman_ford, generators};
+
+    #[test]
+    fn distances_match_unmetered() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let g = generators::gnm_connected(&mut rng, 20, 60, 1..=5);
+        for k in [1, 3, 10] {
+            let metered = bellman_ford_metered(&g, 0, k, 4, Placement::CenterCluster);
+            let plain = bellman_ford::bellman_ford_khop(&g, 0, k);
+            assert_eq!(metered.distances, plain.distances, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn cost_exceeds_lower_bound() {
+        let mut rng = StdRng::seed_from_u64(82);
+        for &(n, m) in &[(32usize, 128usize), (64, 512)] {
+            let g = generators::gnm_connected(&mut rng, n, m, 1..=9);
+            for &c in &[1usize, 4, 16] {
+                for &p in &[Placement::CenterCluster, Placement::SpreadGrid] {
+                    let r = bellman_ford_metered(&g, 0, 8, c, p);
+                    assert!(
+                        r.cost as f64 >= r.lower_bound,
+                        "n={n} m={m} c={c} {p:?}: {} < {}",
+                        r.cost,
+                        r.lower_bound
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cost_scales_linearly_in_k() {
+        let mut rng = StdRng::seed_from_u64(83);
+        let g = generators::gnm_connected(&mut rng, 48, 256, 1..=5);
+        let c2 = bellman_ford_metered(&g, 0, 2, 4, Placement::CenterCluster).cost as f64;
+        let c8 = bellman_ford_metered(&g, 0, 8, 4, Placement::CenterCluster).cost as f64;
+        let ratio = c8 / c2;
+        assert!((2.5..6.0).contains(&ratio), "k-scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn cost_exponent_in_m_is_three_halves() {
+        let mut rng = StdRng::seed_from_u64(84);
+        let pts: Vec<(f64, f64)> = [(32usize, 256usize), (64, 1024), (128, 4096), (181, 8192)]
+            .iter()
+            .map(|&(n, m)| {
+                let g = generators::gnm_connected(&mut rng, n, m, 1..=5);
+                let r = bellman_ford_metered(&g, 0, 4, 1, Placement::CenterCluster);
+                (m as f64, r.cost as f64)
+            })
+            .collect();
+        let e = crate::bounds::fit_exponent(&pts);
+        assert!(
+            (1.3..1.7).contains(&e),
+            "measured Bellman–Ford movement exponent {e} should be ≈ 1.5"
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Closed-form DISTANCE lower bounds, exactly as derived in §6.
+
+/// Theorem 6.1: any algorithm reading an `m`-word input with `c` registers
+/// incurs at least `(m/2)·(√(m/c)/4)` movement — at most
+/// `(m/4c)·c < m/2` words lie within `√(m/c)/4` of their nearest register,
+/// so at least `m/2` words travel at least that far.
+#[must_use]
+pub fn input_scan_lb(m: u64, c: u64) -> f64 {
+    let m = m as f64;
+    let c = c.max(1) as f64;
+    (m / 2.0) * ((m / c).sqrt() / 4.0)
+}
+
+/// Theorem 6.2: the k-hop Bellman–Ford algorithm relaxes all `m` edges in
+/// each of `k` rounds, so each round pays the Theorem 6.1 scan bound.
+#[must_use]
+pub fn bellman_ford_khop_lb(k: u64, m: u64, c: u64) -> f64 {
+    k as f64 * input_scan_lb(m, c)
+}
+
+/// The 3-D variant noted after Theorem 6.1: with registers and disk in
+/// three dimensions, a cube of side `s` holds `s³` points; choosing
+/// `c·s³ = m/2` puts at least `m/2` words at distance ≥ `s/2 =
+/// (m/2c)^{1/3}/2` from their nearest register, giving `Ω(m^{4/3})` for
+/// constant `c`.
+#[must_use]
+pub fn input_scan_lb_3d(m: u64, c: u64) -> f64 {
+    let m = m as f64;
+    let c = c.max(1) as f64;
+    (m / 2.0) * ((m / (2.0 * c)).cbrt() / 2.0)
+}
+
+/// The fitted-exponent helper used by the benches: least-squares slope of
+/// `log(cost)` against `log(m)` — the empirical exponent that should land
+/// near 1.5 for the 2-D scan (and near 1 for RAM-model op counts).
+#[must_use]
+pub fn fit_exponent(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points to fit");
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let (lx, ly) = (x.ln(), y.ln());
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_bound_values() {
+        // m = 1024, c = 1: (512)·(32/4) = 4096.
+        assert_eq!(input_scan_lb(1024, 1), 4096.0);
+        // More registers weaken the bound by √c.
+        assert_eq!(input_scan_lb(1024, 4), 2048.0);
+    }
+
+    #[test]
+    fn bf_bound_is_k_times_scan() {
+        assert_eq!(
+            bellman_ford_khop_lb(7, 1024, 1),
+            7.0 * input_scan_lb(1024, 1)
+        );
+    }
+
+    #[test]
+    fn three_d_bound_grows_slower() {
+        assert!(input_scan_lb_3d(1 << 20, 1) < input_scan_lb(1 << 20, 1));
+        // Exponent check: quadrupling m should scale by ~4^{4/3}.
+        let r = input_scan_lb_3d(4 << 20, 1) / input_scan_lb_3d(1 << 20, 1);
+        assert!((r - 4f64.powf(4.0 / 3.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scan_bound_exponent_is_three_halves() {
+        let pts: Vec<(f64, f64)> = (8..16)
+            .map(|i| {
+                let m = 1u64 << i;
+                (m as f64, input_scan_lb(m, 1))
+            })
+            .collect();
+        let e = fit_exponent(&pts);
+        assert!((e - 1.5).abs() < 1e-9, "exponent {e}");
+    }
+
+    #[test]
+    fn fit_exponent_recovers_known_slopes() {
+        let pts: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, (i as f64).powi(2))).collect();
+        assert!((fit_exponent(&pts) - 2.0).abs() < 1e-9);
+    }
+}

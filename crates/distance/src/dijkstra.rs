@@ -1,0 +1,238 @@
+//! Binary-heap Dijkstra executed on the DISTANCE machine.
+//!
+//! Memory image: `dist` (n), `settled` (n), CSR offsets (n+1), targets
+//! (m), lengths (m), and a binary-heap array (one word per entry, capacity
+//! `m + 1`). Heap sifts and edge relaxations all stream through the
+//! register file, so the measured movement cost exhibits the
+//! `Ω(m^{3/2}/√c)` behaviour of Table 1's "SSSP (polynomial,
+//! data-movement)" row.
+
+use crate::bellman_ford::MeteredRun;
+use crate::bounds::input_scan_lb;
+use crate::machine::{DistanceMachine, Placement};
+use sgl_graph::{Graph, Len, Node};
+
+struct Words {
+    dist: u32,
+    settled: u32,
+    offsets: u32,
+    targets: u32,
+    lengths: u32,
+    heap: u32,
+    total: usize,
+}
+
+impl Words {
+    fn new(n: usize, m: usize) -> Self {
+        let dist = 0u32;
+        let settled = dist + n as u32;
+        let offsets = settled + n as u32;
+        let targets = offsets + n as u32 + 1;
+        let lengths = targets + m as u32;
+        let heap = lengths + m as u32;
+        let total = heap as usize + m + 1;
+        Self {
+            dist,
+            settled,
+            offsets,
+            targets,
+            lengths,
+            heap,
+            total,
+        }
+    }
+}
+
+/// Runs Dijkstra from `source` (optionally stopping at `target`) on a
+/// `c`-register DISTANCE machine.
+///
+/// # Panics
+/// Panics if `source` (or `target`) is out of range.
+#[must_use]
+pub fn dijkstra_metered(
+    g: &Graph,
+    source: Node,
+    target: Option<Node>,
+    c: usize,
+    placement: Placement,
+) -> MeteredRun {
+    assert!(source < g.n(), "source out of range");
+    if let Some(t) = target {
+        assert!(t < g.n(), "target out of range");
+    }
+    let n = g.n();
+    let m = g.m().max(1);
+    let words = Words::new(n, m);
+    let mut mach = DistanceMachine::new(words.total, c, placement);
+
+    let mut dist: Vec<Option<Len>> = vec![None; n];
+    let mut settled = vec![false; n];
+    // CSR row starts (edge index of each node's first out-edge).
+    let row_starts: Vec<usize> = {
+        let mut acc = 0usize;
+        (0..n)
+            .map(|u| {
+                let s = acc;
+                acc += g.out_degree(u);
+                s
+            })
+            .collect()
+    };
+    // The heap stores (d, v); each entry is one machine word.
+    let mut heap: Vec<(Len, u32)> = Vec::with_capacity(m + 1);
+
+    let sift_up = |mach: &mut DistanceMachine, heap: &mut Vec<(Len, u32)>, mut i: usize| {
+        while i > 0 {
+            let p = (i - 1) / 2;
+            mach.read(words.heap + p as u32);
+            if heap[p].0 <= heap[i].0 {
+                break;
+            }
+            heap.swap(p, i);
+            mach.write(words.heap + p as u32);
+            mach.write(words.heap + i as u32);
+            i = p;
+        }
+    };
+
+    dist[source] = Some(0);
+    mach.write(words.dist + source as u32);
+    heap.push((0, source as u32));
+    mach.write(words.heap);
+
+    let mut distances_done = false;
+    while !heap.is_empty() && !distances_done {
+        // Pop-min.
+        mach.read(words.heap);
+        let (d, u) = heap[0];
+        let last = heap.len() - 1;
+        mach.read(words.heap + last as u32);
+        heap[0] = heap[last];
+        heap.pop();
+        mach.write(words.heap);
+        // Sift-down.
+        let mut i = 0usize;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < heap.len() {
+                mach.read(words.heap + l as u32);
+                if heap[l].0 < heap[best].0 {
+                    best = l;
+                }
+            }
+            if r < heap.len() {
+                mach.read(words.heap + r as u32);
+                if heap[r].0 < heap[best].0 {
+                    best = r;
+                }
+            }
+            if best == i {
+                break;
+            }
+            heap.swap(best, i);
+            mach.write(words.heap + best as u32);
+            mach.write(words.heap + i as u32);
+            i = best;
+        }
+
+        let u = u as usize;
+        mach.read(words.settled + u as u32);
+        if settled[u] {
+            continue;
+        }
+        settled[u] = true;
+        mach.write(words.settled + u as u32);
+        if target == Some(u) {
+            distances_done = true;
+            continue;
+        }
+
+        mach.read(words.offsets + u as u32);
+        mach.read(words.offsets + u as u32 + 1);
+        let row_start = row_starts[u];
+        for (ei, (v, len)) in g.out_edges(u).enumerate() {
+            let base = (row_start + ei) as u32;
+            mach.read(words.targets + base);
+            mach.read(words.lengths + base);
+            let nd = d + len;
+            mach.read(words.dist + v as u32);
+            if dist[v].is_none_or(|old| nd < old) {
+                dist[v] = Some(nd);
+                mach.write(words.dist + v as u32);
+                heap.push((nd, v as u32));
+                let top = heap.len() - 1;
+                mach.write(words.heap + top as u32);
+                sift_up(&mut mach, &mut heap, top);
+            }
+        }
+    }
+    mach.flush();
+
+    MeteredRun {
+        distances: dist,
+        cost: mach.cost(),
+        accesses: mach.accesses(),
+        misses: mach.misses(),
+        lower_bound: input_scan_lb(m as u64, c as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgl_graph::{dijkstra, generators};
+
+    #[test]
+    fn distances_match_unmetered() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let g = generators::gnm_connected(&mut rng, 24, 96, 1..=7);
+        let metered = dijkstra_metered(&g, 0, None, 4, Placement::CenterCluster);
+        let plain = dijkstra::dijkstra(&g, 0);
+        assert_eq!(metered.distances, plain.distances);
+    }
+
+    #[test]
+    fn cost_exceeds_scan_bound() {
+        let mut rng = StdRng::seed_from_u64(92);
+        for &(n, m) in &[(32usize, 160usize), (64, 512)] {
+            let g = generators::gnm_connected(&mut rng, n, m, 1..=9);
+            for &c in &[1usize, 8] {
+                let r = dijkstra_metered(&g, 0, None, c, Placement::CenterCluster);
+                assert!(
+                    r.cost as f64 >= r.lower_bound,
+                    "n={n} m={m} c={c}: {} < {}",
+                    r.cost,
+                    r.lower_bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_at_target_costs_less() {
+        let mut rng = StdRng::seed_from_u64(93);
+        let g = generators::path(&mut rng, 64, 1..=3);
+        let full = dijkstra_metered(&g, 0, None, 4, Placement::CenterCluster);
+        let early = dijkstra_metered(&g, 0, Some(5), 4, Placement::CenterCluster);
+        assert!(early.cost < full.cost);
+        assert_eq!(early.distances[5], full.distances[5]);
+    }
+
+    #[test]
+    fn movement_exponent_is_super_linear() {
+        let mut rng = StdRng::seed_from_u64(94);
+        let pts: Vec<(f64, f64)> = [(32usize, 256usize), (64, 1024), (128, 4096)]
+            .iter()
+            .map(|&(n, m)| {
+                let g = generators::gnm_connected(&mut rng, n, m, 1..=5);
+                let r = dijkstra_metered(&g, 0, None, 1, Placement::CenterCluster);
+                (m as f64, r.cost as f64)
+            })
+            .collect();
+        let e = crate::bounds::fit_exponent(&pts);
+        assert!(e > 1.3, "Dijkstra movement exponent {e} should be ≈ 1.5");
+    }
+}

@@ -1,0 +1,36 @@
+//! # sgl-distance — the DISTANCE data-movement model (§2.3, Definition 5)
+//!
+//! A machine model that "more explicitly accounts for data movement in
+//! conventional algorithms, for a fair comparison with neuromorphic
+//! algorithms": memory words live at lattice points of a 2-D plane, `c` of
+//! those points are registers, any value must be moved to a register
+//! before an operation touches it, and movement is charged at ℓ1
+//! (Manhattan) distance.
+//!
+//! * [`machine`] — the metered machine: square word layout, register
+//!   placements, an LRU register file, and ℓ1-cost accounting per load,
+//!   store and binary operation (the Definition 5 operation cost).
+//! * [`scan`] — Theorem 6.1's experiment: reading an `m`-word input costs
+//!   `Ω(m^{3/2}/√c)` under *any* register placement.
+//! * [`dijkstra`] / [`bellman_ford`] — the conventional baselines executed
+//!   on the metered machine: binary-heap Dijkstra and k-hop Bellman–Ford,
+//!   whose measured movement costs reproduce the `Ω(m^{3/2}/√c)` and
+//!   `Ω(k·m^{3/2}/√c)` rows of Table 1 (Theorem 6.2).
+//! * [`bounds`] — closed-form lower bounds exactly as derived in the §6
+//!   proofs (2-D and the 3-D `Ω(m^{4/3})` variant).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Indexed loops over several parallel per-node arrays are the house style
+// for the graph/neuron kernels here; iterator zips would obscure them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod bellman_ford;
+pub mod bounds;
+pub mod dijkstra;
+pub mod machine;
+pub mod machine3d;
+pub mod matvec;
+pub mod scan;
+
+pub use machine::{DistanceMachine, Placement};

@@ -1,0 +1,312 @@
+//! The metered DISTANCE machine.
+
+/// A lattice point of the memory plane.
+pub type Point = (i32, i32);
+
+/// How the `c` registers are placed on the plane ("we can decide which
+/// lattice points are registers, but the locations of the registers are
+/// fixed for the duration of the computation", Definition 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// All registers in a tight block at the origin (a conventional CPU's
+    /// register file next to the ALU).
+    #[default]
+    CenterCluster,
+    /// Registers on an evenly spaced √c × √c grid across the data square
+    /// (the most favourable placement the lower-bound proof allows).
+    SpreadGrid,
+}
+
+/// ℓ1 distance between lattice points.
+#[must_use]
+pub fn l1(a: Point, b: Point) -> u64 {
+    (i64::from(a.0) - i64::from(b.0)).unsigned_abs()
+        + (i64::from(a.1) - i64::from(b.1)).unsigned_abs()
+}
+
+/// Lays `total` words out row-major in the smallest near-square block
+/// centred at the origin; word `w`'s home is `positions[w]`.
+#[must_use]
+pub fn square_layout(total: usize) -> Vec<Point> {
+    let side = (total as f64).sqrt().ceil() as i32;
+    let half = side / 2;
+    (0..total)
+        .map(|w| {
+            let x = (w as i32) % side - half;
+            let y = (w as i32) / side - half;
+            (x, y)
+        })
+        .collect()
+}
+
+/// Positions for `c` registers under a placement policy, given the data
+/// square's side length.
+#[must_use]
+pub fn register_positions(c: usize, placement: Placement, side: i32) -> Vec<Point> {
+    assert!(c >= 1);
+    match placement {
+        Placement::CenterCluster => {
+            // A compact block at the origin.
+            let rside = (c as f64).sqrt().ceil() as i32;
+            (0..c)
+                .map(|r| ((r as i32) % rside, (r as i32) / rside))
+                .collect()
+        }
+        Placement::SpreadGrid => {
+            let rside = (c as f64).sqrt().ceil() as i32;
+            let half = side / 2;
+            let step = (side / rside).max(1);
+            (0..c)
+                .map(|r| {
+                    let gx = (r as i32) % rside;
+                    let gy = (r as i32) / rside;
+                    (gx * step + step / 2 - half, gy * step + step / 2 - half)
+                })
+                .collect()
+        }
+    }
+}
+
+/// The Definition 5 machine: words with fixed homes, `c` registers with an
+/// LRU replacement policy, and ℓ1-metered traffic.
+///
+/// * A **read** of a word already in some register is free (it is in the
+///   smallest, fastest level).
+/// * A read miss moves the word from its home into the register file
+///   (occupying the slot LRU frees), charged at `ℓ1(home, nearest
+///   register)` — the cheapest route Definition 5 permits, which keeps
+///   measured costs conservative relative to the §6 lower bounds; if the
+///   evicted word was dirty it is first written back at the same metric.
+/// * A **write** behaves like a read (allocate) and marks the word dirty.
+///
+/// Total [`Self::cost`] is the movement cost of the algorithm in the
+/// DISTANCE model.
+#[derive(Clone, Debug)]
+pub struct DistanceMachine {
+    homes: Vec<Point>,
+    regs: Vec<Point>,
+    /// Register slot -> (word, dirty).
+    slots: Vec<Option<(u32, bool)>>,
+    /// Word -> register slot.
+    location: Vec<Option<u16>>,
+    /// LRU order: slot indices, least recent first.
+    lru: Vec<u16>,
+    cost: u64,
+    accesses: u64,
+    misses: u64,
+}
+
+impl DistanceMachine {
+    /// A machine over `total_words` words laid out in a centred square,
+    /// with `c` registers placed per `placement`.
+    ///
+    /// # Panics
+    /// Panics if `c == 0` or `c > u16::MAX as usize`.
+    #[must_use]
+    pub fn new(total_words: usize, c: usize, placement: Placement) -> Self {
+        assert!(c >= 1 && c <= u16::MAX as usize);
+        let homes = square_layout(total_words);
+        let side = (total_words as f64).sqrt().ceil() as i32;
+        let regs = register_positions(c, placement, side);
+        Self {
+            homes,
+            regs,
+            slots: vec![None; c],
+            location: vec![None; total_words],
+            lru: (0..c as u16).collect(),
+            cost: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of registers `c`.
+    #[must_use]
+    pub fn c(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Total ℓ1 movement cost so far.
+    #[must_use]
+    pub fn cost(&self) -> u64 {
+        self.cost
+    }
+
+    /// Total word accesses so far.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Register misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Home lattice point of a word.
+    #[must_use]
+    pub fn home(&self, word: u32) -> Point {
+        self.homes[word as usize]
+    }
+
+    /// Reads `word` (through the register file).
+    pub fn read(&mut self, word: u32) {
+        self.touch(word, false);
+    }
+
+    /// Writes `word` (allocate + dirty).
+    pub fn write(&mut self, word: u32) {
+        self.touch(word, true);
+    }
+
+    /// A binary operation `dst = f(a, b)`: reads both operands and writes
+    /// the destination — the Definition 5 "movement cost of an operation"
+    /// with the register residency the model's fastest level provides.
+    pub fn op2(&mut self, a: u32, b: u32, dst: u32) {
+        self.read(a);
+        self.read(b);
+        self.write(dst);
+    }
+
+    /// Flushes every dirty register back home (end-of-algorithm barrier).
+    pub fn flush(&mut self) {
+        for slot in 0..self.slots.len() {
+            if let Some((w, dirty)) = self.slots[slot] {
+                if dirty {
+                    self.cost += self.nearest_reg_distance(w);
+                    self.slots[slot] = Some((w, false));
+                }
+            }
+        }
+    }
+
+    /// ℓ1 distance from a word's home to its nearest register.
+    fn nearest_reg_distance(&self, word: u32) -> u64 {
+        let home = self.homes[word as usize];
+        self.regs.iter().map(|&r| l1(home, r)).min().expect("c >= 1")
+    }
+
+    fn touch(&mut self, word: u32, write: bool) {
+        self.accesses += 1;
+        if let Some(slot) = self.location[word as usize] {
+            // Hit: promote in LRU, possibly mark dirty.
+            let pos = self.lru.iter().position(|&s| s == slot).expect("slot in LRU");
+            self.lru.remove(pos);
+            self.lru.push(slot);
+            if write {
+                let (w, _) = self.slots[slot as usize].expect("occupied");
+                self.slots[slot as usize] = Some((w, true));
+            }
+            return;
+        }
+        // Miss: evict the LRU slot.
+        self.misses += 1;
+        let slot = self.lru.remove(0);
+        self.lru.push(slot);
+        if let Some((old, dirty)) = self.slots[slot as usize] {
+            self.location[old as usize] = None;
+            if dirty {
+                self.cost += self.nearest_reg_distance(old);
+            }
+        }
+        self.cost += self.nearest_reg_distance(word);
+        self.slots[slot as usize] = Some((word, write));
+        self.location[word as usize] = Some(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_distance() {
+        assert_eq!(l1((0, 0), (3, -4)), 7);
+        assert_eq!(l1((-2, 5), (-2, 5)), 0);
+    }
+
+    #[test]
+    fn square_layout_is_compact_and_distinct() {
+        let pos = square_layout(100);
+        let set: std::collections::HashSet<_> = pos.iter().collect();
+        assert_eq!(set.len(), 100);
+        assert!(pos.iter().all(|&(x, y)| x.abs() <= 5 && y.abs() <= 5));
+    }
+
+    #[test]
+    fn center_cluster_is_near_origin() {
+        let regs = register_positions(4, Placement::CenterCluster, 100);
+        assert!(regs.iter().all(|&p| l1(p, (0, 0)) <= 4));
+    }
+
+    #[test]
+    fn spread_grid_covers_the_square() {
+        let regs = register_positions(4, Placement::SpreadGrid, 100);
+        // Registers should be far apart.
+        assert!(l1(regs[0], regs[3]) > 50);
+    }
+
+    #[test]
+    fn hits_are_free_misses_cost_distance() {
+        let mut m = DistanceMachine::new(64, 2, Placement::CenterCluster);
+        let far_word = 0u32; // corner of the square
+        let d = l1(m.home(far_word), register_positions(2, Placement::CenterCluster, 8)[0]);
+        m.read(far_word);
+        assert_eq!(m.cost(), d);
+        m.read(far_word); // hit
+        assert_eq!(m.cost(), d);
+        assert_eq!(m.misses(), 1);
+        assert_eq!(m.accesses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut m = DistanceMachine::new(64, 2, Placement::CenterCluster);
+        m.read(0);
+        m.read(1);
+        m.read(0); // promote 0
+        m.read(2); // evicts 1
+        let before = m.misses();
+        m.read(0); // still resident
+        assert_eq!(m.misses(), before);
+        m.read(1); // miss again
+        assert_eq!(m.misses(), before + 1);
+    }
+
+    #[test]
+    fn dirty_eviction_pays_writeback() {
+        let mut m = DistanceMachine::new(64, 1, Placement::CenterCluster);
+        let h0 = m.home(0);
+        let h1 = m.home(1);
+        let r = register_positions(1, Placement::CenterCluster, 8)[0];
+        m.write(0);
+        m.read(1); // evicts dirty 0: writeback + load
+        assert_eq!(m.cost(), l1(h0, r) + l1(h0, r) + l1(h1, r));
+    }
+
+    #[test]
+    fn flush_writes_back_dirty_words() {
+        let mut m = DistanceMachine::new(64, 4, Placement::CenterCluster);
+        m.write(5);
+        let after_write = m.cost();
+        m.flush();
+        assert_eq!(m.cost(), 2 * after_write); // writeback mirrors the load
+        let c = m.cost();
+        m.flush(); // idempotent
+        assert_eq!(m.cost(), c);
+    }
+
+    #[test]
+    fn streaming_more_than_c_words_always_misses() {
+        let mut m = DistanceMachine::new(100, 4, Placement::CenterCluster);
+        for w in 0..100u32 {
+            m.read(w);
+        }
+        assert_eq!(m.misses(), 100);
+        for w in 0..100u32 {
+            m.read(w); // capacity-missed again (LRU, sequential sweep)
+        }
+        assert_eq!(m.misses(), 200);
+    }
+}

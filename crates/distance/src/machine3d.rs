@@ -1,0 +1,176 @@
+//! Three-dimensional and multi-plane DISTANCE variants.
+//!
+//! Definition 5's remarks: "Even if we assume the data reside on O(1)
+//! planes, rather than a single plane, we get lower bounds that are within
+//! a constant factor of the ones we derive... In addition, we get
+//! non-trivial lower bounds even if we only assume that the data reside in
+//! three dimensions" — the `Ω(m^{4/3})` bound noted after Theorem 6.1.
+//!
+//! This module measures both: a cube layout whose scan cost grows with
+//! exponent 4/3, and a constant-plane-count layout whose cost stays within
+//! a constant factor of the single-plane machine's.
+
+use crate::bounds::input_scan_lb_3d;
+
+/// A 3-D lattice point.
+pub type Point3 = (i32, i32, i32);
+
+/// ℓ1 distance in three dimensions.
+#[must_use]
+pub fn l1_3d(a: Point3, b: Point3) -> u64 {
+    (i64::from(a.0) - i64::from(b.0)).unsigned_abs()
+        + (i64::from(a.1) - i64::from(b.1)).unsigned_abs()
+        + (i64::from(a.2) - i64::from(b.2)).unsigned_abs()
+}
+
+/// Lays `total` words out in the smallest near-cube centred at the origin.
+#[must_use]
+pub fn cube_layout(total: usize) -> Vec<Point3> {
+    let side = (total as f64).cbrt().ceil() as i32;
+    let half = side / 2;
+    (0..total)
+        .map(|w| {
+            let w = w as i32;
+            (
+                w % side - half,
+                (w / side) % side - half,
+                w / (side * side) - half,
+            )
+        })
+        .collect()
+}
+
+/// Lays `total` words out across `planes` stacked 2-D squares (z = plane
+/// index) — the "O(1) planes" memory geometry.
+#[must_use]
+pub fn stacked_layout(total: usize, planes: usize) -> Vec<Point3> {
+    assert!(planes >= 1);
+    let per = total.div_ceil(planes);
+    let side = (per as f64).sqrt().ceil() as i32;
+    let half = side / 2;
+    (0..total)
+        .map(|w| {
+            let plane = w / per;
+            let i = (w % per) as i32;
+            (i % side - half, i / side - half, plane as i32)
+        })
+        .collect()
+}
+
+/// Result of a 3-D scan experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct Scan3dResult {
+    /// Measured cost: each word pays ℓ1 distance to the nearest of `c`
+    /// registers at the origin cluster.
+    pub cost: u64,
+    /// The `Ω(m^{4/3})`-class lower bound.
+    pub lower_bound: f64,
+}
+
+/// Scans all `m` words of a cube layout through `c` origin registers.
+#[must_use]
+pub fn scan_cube(m: usize, c: usize) -> Scan3dResult {
+    let homes = cube_layout(m);
+    let regs: Vec<Point3> = (0..c).map(|r| (r as i32, 0, 0)).collect();
+    let cost = homes
+        .iter()
+        .map(|&h| regs.iter().map(|&r| l1_3d(h, r)).min().unwrap_or(0))
+        .sum();
+    Scan3dResult {
+        cost,
+        lower_bound: input_scan_lb_3d(m as u64, c as u64),
+    }
+}
+
+/// Scans all `m` words of a `planes`-plane layout through `c` origin
+/// registers (on plane 0).
+#[must_use]
+pub fn scan_stacked(m: usize, planes: usize, c: usize) -> u64 {
+    let homes = stacked_layout(m, planes);
+    let regs: Vec<Point3> = (0..c).map(|r| (r as i32, 0, 0)).collect();
+    homes
+        .iter()
+        .map(|&h| regs.iter().map(|&r| l1_3d(h, r)).min().unwrap_or(0))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::fit_exponent;
+    use crate::machine::{register_positions, square_layout, Placement};
+
+    #[test]
+    fn l1_3d_distance() {
+        assert_eq!(l1_3d((0, 0, 0), (1, -2, 3)), 6);
+    }
+
+    #[test]
+    fn cube_layout_is_distinct_and_compact() {
+        let pts = cube_layout(1000);
+        let set: std::collections::HashSet<_> = pts.iter().collect();
+        assert_eq!(set.len(), 1000);
+        assert!(pts.iter().all(|&(x, y, z)| x.abs() <= 5 && y.abs() <= 5 && z.abs() <= 5));
+    }
+
+    #[test]
+    fn cube_scan_beats_the_four_thirds_bound() {
+        for &m in &[1usize << 9, 1 << 12, 1 << 15] {
+            for &c in &[1usize, 8] {
+                let r = scan_cube(m, c);
+                assert!(
+                    r.cost as f64 >= r.lower_bound,
+                    "m={m} c={c}: {} < {}",
+                    r.cost,
+                    r.lower_bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cube_scan_exponent_is_four_thirds() {
+        let pts: Vec<(f64, f64)> = (9..17)
+            .map(|i| {
+                let m = 1usize << i;
+                (m as f64, scan_cube(m, 1).cost as f64)
+            })
+            .collect();
+        let e = fit_exponent(&pts);
+        assert!(
+            (e - 4.0 / 3.0).abs() < 0.05,
+            "3-D scan exponent {e} should be ≈ 1.333"
+        );
+    }
+
+    #[test]
+    fn constant_planes_stay_within_constant_factor_of_one_plane() {
+        // Definition 5's remark: O(1) planes change the bound by at most a
+        // constant. Measure the single-plane scan vs 4 planes.
+        let m = 1 << 14;
+        let single: u64 = {
+            let homes = square_layout(m);
+            let regs = register_positions(1, Placement::CenterCluster, (m as f64).sqrt() as i32);
+            homes
+                .iter()
+                .map(|&h| crate::machine::l1(h, regs[0]))
+                .sum()
+        };
+        let four = scan_stacked(m, 4, 1);
+        let ratio = single as f64 / four as f64;
+        assert!(
+            (1.0..=4.0).contains(&ratio),
+            "4-plane layout should be cheaper by at most ~2x: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn more_planes_monotonically_cheaper_until_cube() {
+        let m = 1 << 12;
+        let p1 = scan_stacked(m, 1, 1);
+        let p4 = scan_stacked(m, 4, 1);
+        let cube = scan_cube(m, 1).cost;
+        assert!(p4 < p1);
+        assert!(cube < p4);
+    }
+}

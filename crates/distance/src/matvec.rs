@@ -1,0 +1,118 @@
+//! The §2.3 matrix–vector claim, measured.
+//!
+//! "Indeed, the standard O(n²) algorithm for computing a matrix-vector
+//! product with an n×n matrix becomes O(n³) if data-movement is taken
+//! into account in a fashion similar to DISTANCE, while a neuromorphic
+//! implementation remains an O(n²) algorithm [Agarwal et al.]."
+//!
+//! [`matvec_metered`] runs the textbook row-major dense mat-vec on the
+//! DISTANCE machine (matrix `n²` words + two `n`-word vectors, centred
+//! square layout): every multiply streams a matrix word through the
+//! register file from an average ℓ1 distance of `Θ(n)`, giving measured
+//! movement `Θ(n³)`. The neuromorphic counterpart keeps each weight at
+//! its synapse — its work is the `n²` synaptic events themselves — so the
+//! advantage factor grows linearly in `n`.
+
+use crate::machine::{DistanceMachine, Placement};
+
+/// Result of a metered dense mat-vec.
+#[derive(Clone, Copy, Debug)]
+pub struct MatVecRun {
+    /// Matrix dimension `n`.
+    pub n: usize,
+    /// Measured ℓ1 movement cost of `y = A x`.
+    pub cost: u64,
+    /// RAM-model operation count (`n²` multiply-adds).
+    pub ops: u64,
+    /// The neuromorphic work for the same product: one synaptic event per
+    /// matrix entry (`n²`), per the Agarwal et al. argument — weights are
+    /// resident at their synapses, nothing moves.
+    pub neuromorphic_events: u64,
+}
+
+/// Runs the standard row-major `y = A x` on a `c`-register DISTANCE
+/// machine. Memory image: `A` (`n²` words, row-major), `x` (`n`), `y`
+/// (`n`).
+#[must_use]
+pub fn matvec_metered(n: usize, c: usize, placement: Placement) -> MatVecRun {
+    let a0 = 0u32;
+    let x0 = (n * n) as u32;
+    let y0 = x0 + n as u32;
+    let total = n * n + 2 * n;
+    let mut mach = DistanceMachine::new(total, c, placement);
+
+    for i in 0..n as u32 {
+        // Accumulator lives in a register across the row (touch y once).
+        mach.write(y0 + i);
+        for j in 0..n as u32 {
+            mach.read(a0 + i * n as u32 + j);
+            mach.read(x0 + j);
+        }
+        mach.write(y0 + i);
+    }
+    mach.flush();
+
+    MatVecRun {
+        n,
+        cost: mach.cost(),
+        ops: (n * n) as u64,
+        neuromorphic_events: (n * n) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::fit_exponent;
+
+    #[test]
+    fn movement_exponent_is_cubic_in_n() {
+        let pts: Vec<(f64, f64)> = [16usize, 32, 64, 128]
+            .iter()
+            .map(|&n| {
+                let r = matvec_metered(n, 4, Placement::CenterCluster);
+                (n as f64, r.cost as f64)
+            })
+            .collect();
+        let e = fit_exponent(&pts);
+        assert!(
+            (2.7..3.2).contains(&e),
+            "mat-vec movement exponent {e} should be ≈ 3"
+        );
+    }
+
+    #[test]
+    fn ram_ops_stay_quadratic() {
+        let pts: Vec<(f64, f64)> = [16usize, 32, 64]
+            .iter()
+            .map(|&n| {
+                let r = matvec_metered(n, 4, Placement::CenterCluster);
+                (n as f64, r.ops as f64)
+            })
+            .collect();
+        let e = fit_exponent(&pts);
+        assert!((1.95..2.05).contains(&e), "ops exponent {e}");
+    }
+
+    #[test]
+    fn neuromorphic_advantage_grows_linearly() {
+        let small = matvec_metered(32, 4, Placement::CenterCluster);
+        let large = matvec_metered(128, 4, Placement::CenterCluster);
+        let adv_small = small.cost as f64 / small.neuromorphic_events as f64;
+        let adv_large = large.cost as f64 / large.neuromorphic_events as f64;
+        // 4x the dimension => ~4x the per-event movement advantage.
+        let growth = adv_large / adv_small;
+        assert!(
+            (2.5..6.0).contains(&growth),
+            "advantage growth {growth} should be ≈ 4"
+        );
+    }
+
+    #[test]
+    fn x_vector_caching_helps_with_more_registers(){
+        // More registers let x entries stay resident: cost drops.
+        let c1 = matvec_metered(48, 1, Placement::CenterCluster).cost;
+        let c64 = matvec_metered(48, 64, Placement::CenterCluster).cost;
+        assert!(c64 < c1);
+    }
+}

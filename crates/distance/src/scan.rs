@@ -1,0 +1,90 @@
+//! Theorem 6.1's experiment: the cost of reading the entire input.
+
+use crate::bounds::input_scan_lb;
+use crate::machine::{DistanceMachine, Placement};
+
+/// Result of a metered input scan.
+#[derive(Clone, Copy, Debug)]
+pub struct ScanResult {
+    /// Measured ℓ1 movement cost of reading all `m` words once.
+    pub cost: u64,
+    /// The Theorem 6.1 lower bound for the same `m`, `c`.
+    pub lower_bound: f64,
+}
+
+/// Reads all `m` words once through a `c`-register file under the given
+/// placement and reports measured cost vs. the bound.
+///
+/// # Examples
+/// ```
+/// use sgl_distance::{scan::scan, Placement};
+/// let r = scan(1024, 4, Placement::CenterCluster);
+/// assert!(r.cost as f64 >= r.lower_bound); // Theorem 6.1
+/// ```
+#[must_use]
+pub fn scan(m: usize, c: usize, placement: Placement) -> ScanResult {
+    let mut machine = DistanceMachine::new(m, c, placement);
+    for w in 0..m as u32 {
+        machine.read(w);
+    }
+    ScanResult {
+        cost: machine.cost(),
+        lower_bound: input_scan_lb(m as u64, c as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::fit_exponent;
+
+    #[test]
+    fn measured_cost_beats_the_bound_for_all_placements() {
+        for &placement in &[Placement::CenterCluster, Placement::SpreadGrid] {
+            for &m in &[256usize, 1024, 4096] {
+                for &c in &[1usize, 4, 16] {
+                    let r = scan(m, c, placement);
+                    assert!(
+                        r.cost as f64 >= r.lower_bound,
+                        "m={m} c={c} {placement:?}: {} < {}",
+                        r.cost,
+                        r.lower_bound
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spread_placement_is_cheaper_but_still_bounded() {
+        let center = scan(4096, 16, Placement::CenterCluster);
+        let spread = scan(4096, 16, Placement::SpreadGrid);
+        assert!(spread.cost < center.cost);
+        assert!(spread.cost as f64 >= spread.lower_bound);
+    }
+
+    #[test]
+    fn measured_exponent_is_three_halves() {
+        let pts: Vec<(f64, f64)> = (8..15)
+            .map(|i| {
+                let m = 1usize << i;
+                (m as f64, scan(m, 1, Placement::CenterCluster).cost as f64)
+            })
+            .collect();
+        let e = fit_exponent(&pts);
+        assert!(
+            (e - 1.5).abs() < 0.05,
+            "measured scan exponent {e} should be ≈ 1.5"
+        );
+    }
+
+    #[test]
+    fn more_registers_reduce_cost_as_sqrt_c() {
+        let c1 = scan(1 << 14, 1, Placement::SpreadGrid).cost as f64;
+        let c16 = scan(1 << 14, 16, Placement::SpreadGrid).cost as f64;
+        let ratio = c1 / c16;
+        // Theory predicts √16 = 4 (for spread registers each serves a
+        // quadrant); allow generous slack for lattice effects.
+        assert!(ratio > 2.0 && ratio < 8.0, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Invariants of the DISTANCE machine, property-tested: cost monotonicity
+//! in access sequences, placement independence of results, and the
+//! relationship between misses and cost.
+
+use proptest::prelude::*;
+use sgl_distance::machine::{l1, register_positions, square_layout, DistanceMachine, Placement};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cost only ever grows, and it is zero exactly while every access
+    /// has hit (no misses yet beyond free hits on resident words).
+    #[test]
+    fn cost_is_monotone_and_miss_driven(
+        accesses in proptest::collection::vec((0u32..64, proptest::bool::ANY), 1..60),
+        c in 1usize..8,
+    ) {
+        let mut m = DistanceMachine::new(64, c, Placement::CenterCluster);
+        let mut last_cost = 0;
+        for &(w, write) in &accesses {
+            if write { m.write(w) } else { m.read(w) }
+            prop_assert!(m.cost() >= last_cost, "cost decreased");
+            last_cost = m.cost();
+        }
+        prop_assert_eq!(m.accesses(), accesses.len() as u64);
+        prop_assert!(m.misses() <= m.accesses());
+    }
+
+    /// With c >= distinct words touched, every word misses exactly once
+    /// (compulsory misses only) regardless of the access pattern.
+    #[test]
+    fn no_capacity_misses_when_everything_fits(
+        accesses in proptest::collection::vec(0u32..8, 1..50),
+    ) {
+        let mut m = DistanceMachine::new(64, 8, Placement::CenterCluster);
+        for &w in &accesses {
+            m.read(w);
+        }
+        let distinct = accesses.iter().collect::<std::collections::HashSet<_>>().len();
+        prop_assert_eq!(m.misses(), distinct as u64);
+    }
+
+    /// Flushing twice is idempotent, and a read-only run flushes for free.
+    #[test]
+    fn flush_laws(reads in proptest::collection::vec(0u32..32, 0..30)) {
+        let mut m = DistanceMachine::new(32, 4, Placement::SpreadGrid);
+        for &w in &reads {
+            m.read(w);
+        }
+        let before = m.cost();
+        m.flush();
+        prop_assert_eq!(m.cost(), before, "clean words need no writeback");
+        m.flush();
+        prop_assert_eq!(m.cost(), before);
+    }
+
+    /// The layout is injective and the nearest-register distance is at
+    /// most the square's diameter.
+    #[test]
+    fn layout_geometry(total in 1usize..400, c in 1usize..16) {
+        let homes = square_layout(total);
+        let set: std::collections::HashSet<_> = homes.iter().collect();
+        prop_assert_eq!(set.len(), total);
+        let side = (total as f64).sqrt().ceil() as i64;
+        let regs = register_positions(c, Placement::CenterCluster, side as i32);
+        for &h in &homes {
+            let d = regs.iter().map(|&r| l1(h, r)).min().unwrap();
+            prop_assert!(d <= 2 * side as u64 + 2 * c as u64, "distance {} too large", d);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Instrumented k-hop Bellman–Ford — the paper's conventional baseline for
+//! hop-constrained shortest paths ("the best-known conventional algorithm
+//! ... runs in O(km) time", §6.2).
+//!
+//! Round `i` computes `dist_i(v)`, the shortest length among paths from the
+//! source using at most `i` edges, by relaxing every edge:
+//! `dist_i(v) ← min{ dist_{i−1}(v), dist_{i−1}(u) + ℓ(uv) }`.
+//!
+//! Path reconstruction keeps a per-round predecessor table — the classical
+//! analogue of the paper's §4.3 observation that constructing (rather than
+//! just measuring) k-hop paths costs an extra `O(k)` storage factor.
+
+use crate::csr::{Graph, Len, Node};
+
+/// Result of a k-hop Bellman–Ford run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BellmanFordResult {
+    /// `distances[v]` = `dist_k(v)`: shortest length over paths with at
+    /// most `k` edges, `None` if no such path exists.
+    pub distances: Vec<Option<Len>>,
+    /// Rounds actually executed (equals `k` in faithful mode; may be fewer
+    /// with `early_exit` when distances stabilise).
+    pub rounds: u32,
+    /// Total edge relaxations performed (`k · m` in faithful mode) — the
+    /// measured counterpart of the `O(km)` bound.
+    pub relaxations: u64,
+    /// Per-round predecessor table (present only when paths were
+    /// requested): `pred_table[i][v]` is the in-neighbour through which
+    /// `dist_{i+1}(v)` was improved in round `i+1`, or `None` if round
+    /// `i+1` left `v` unchanged.
+    pred_table: Option<Vec<Vec<Option<u32>>>>,
+}
+
+impl BellmanFordResult {
+    /// Reconstructs an optimal ≤k-hop path from the source to `v`, as a
+    /// node sequence starting at the source. Returns `None` if `v` is
+    /// unreachable within the hop budget or paths were not recorded.
+    #[must_use]
+    pub fn path_to(&self, source: Node, v: Node) -> Option<Vec<Node>> {
+        let table = self.pred_table.as_ref()?;
+        self.distances[v]?;
+        let mut path = vec![v];
+        let mut cur = v;
+        let mut round = table.len();
+        // Walk backward: find the latest round ≤ current in which `cur`
+        // was improved; its predecessor is the previous path node.
+        while cur != source {
+            let mut stepped = false;
+            while round > 0 {
+                round -= 1;
+                if let Some(p) = table[round][cur] {
+                    cur = p as Node;
+                    path.push(cur);
+                    stepped = true;
+                    break;
+                }
+            }
+            if !stepped {
+                return None; // inconsistent table (cannot happen for reachable v)
+            }
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Runs k-hop Bellman–Ford from `source`, relaxing all `m` edges in each of
+/// the `k` rounds, exactly as the paper's §6.2 algorithm does.
+///
+/// # Examples
+/// ```
+/// use sgl_graph::csr::from_edges;
+/// // Cheap 2-hop route vs expensive direct edge.
+/// let g = from_edges(3, &[(0, 2, 9), (0, 1, 1), (1, 2, 1)]);
+/// assert_eq!(sgl_graph::bellman_ford::bellman_ford_khop(&g, 0, 1).distances[2], Some(9));
+/// assert_eq!(sgl_graph::bellman_ford::bellman_ford_khop(&g, 0, 2).distances[2], Some(2));
+/// ```
+///
+/// # Panics
+/// Panics if `source >= g.n()`.
+#[must_use]
+pub fn bellman_ford_khop(g: &Graph, source: Node, k: u32) -> BellmanFordResult {
+    run(g, source, k, false, false)
+}
+
+/// Like [`bellman_ford_khop`] but records the per-round predecessor table
+/// so optimal ≤k-hop paths can be reconstructed (`O(kn)` extra memory).
+#[must_use]
+pub fn bellman_ford_khop_with_paths(g: &Graph, source: Node, k: u32) -> BellmanFordResult {
+    run(g, source, k, false, true)
+}
+
+/// Like [`bellman_ford_khop`] but stops as soon as a round changes nothing
+/// (a standard optimisation; changes `rounds`/`relaxations`, never the
+/// distances — a stabilised front stays stable).
+#[must_use]
+pub fn bellman_ford_khop_early_exit(g: &Graph, source: Node, k: u32) -> BellmanFordResult {
+    run(g, source, k, true, false)
+}
+
+fn run(g: &Graph, source: Node, k: u32, early_exit: bool, record_paths: bool) -> BellmanFordResult {
+    assert!(source < g.n(), "source out of range");
+    let n = g.n();
+    let mut dist: Vec<Option<Len>> = vec![None; n];
+    dist[source] = Some(0);
+
+    let mut relaxations = 0u64;
+    let mut rounds = 0u32;
+    let mut pred_table: Vec<Vec<Option<u32>>> = Vec::new();
+    let mut next = dist.clone();
+    for _ in 0..k {
+        rounds += 1;
+        let mut round_preds = record_paths.then(|| vec![None; n]);
+        let mut changed = false;
+        for u in 0..n {
+            let Some(du) = dist[u] else {
+                relaxations += g.out_degree(u) as u64;
+                continue;
+            };
+            for (v, len) in g.out_edges(u) {
+                relaxations += 1;
+                let nd = du + len;
+                if next[v].is_none_or(|old| nd < old) {
+                    next[v] = Some(nd);
+                    if let Some(p) = &mut round_preds {
+                        p[v] = Some(u as u32);
+                    }
+                    changed = true;
+                }
+            }
+        }
+        dist.copy_from_slice(&next);
+        if let Some(p) = round_preds {
+            pred_table.push(p);
+        }
+        if early_exit && !changed {
+            break;
+        }
+    }
+
+    BellmanFordResult {
+        distances: dist,
+        rounds,
+        relaxations,
+        pred_table: record_paths.then_some(pred_table),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::from_edges;
+    use crate::dijkstra::dijkstra;
+    use crate::paths::path_length;
+
+    /// A graph where the cheapest path needs many hops: direct expensive
+    /// edge 0 -> 3 (len 10) vs 3-hop path of length 3.
+    fn hoppy() -> Graph {
+        from_edges(4, &[(0, 3, 10), (0, 1, 1), (1, 2, 1), (2, 3, 1)])
+    }
+
+    #[test]
+    fn hop_limit_changes_answer() {
+        let g = hoppy();
+        assert_eq!(bellman_ford_khop(&g, 0, 1).distances[3], Some(10));
+        assert_eq!(bellman_ford_khop(&g, 0, 2).distances[3], Some(10));
+        assert_eq!(bellman_ford_khop(&g, 0, 3).distances[3], Some(3));
+    }
+
+    #[test]
+    fn zero_hops_only_source() {
+        let g = hoppy();
+        let r = bellman_ford_khop(&g, 0, 0);
+        assert_eq!(r.distances[0], Some(0));
+        assert!(r.distances[1..].iter().all(Option::is_none));
+        assert_eq!(r.rounds, 0);
+    }
+
+    #[test]
+    fn k_equals_n_minus_one_matches_dijkstra() {
+        let g = hoppy();
+        let bf = bellman_ford_khop(&g, 0, 3);
+        let dj = dijkstra(&g, 0);
+        assert_eq!(bf.distances, dj.distances);
+    }
+
+    #[test]
+    fn faithful_mode_does_km_relaxations() {
+        let g = hoppy();
+        let r = bellman_ford_khop(&g, 0, 3);
+        assert_eq!(r.relaxations, 3 * g.m() as u64);
+        assert_eq!(r.rounds, 3);
+    }
+
+    #[test]
+    fn early_exit_stops_but_agrees() {
+        let g = hoppy();
+        let full = bellman_ford_khop(&g, 0, 100);
+        let fast = bellman_ford_khop_early_exit(&g, 0, 100);
+        assert_eq!(full.distances, fast.distances);
+        assert!(fast.rounds < full.rounds);
+    }
+
+    #[test]
+    fn per_round_frontier_semantics() {
+        // Path 0 -> 1 -> 2: after round 1, node 2 must still be unreachable
+        // via dist_1 (needs two hops).
+        let g = from_edges(3, &[(0, 1, 1), (1, 2, 1)]);
+        let r1 = bellman_ford_khop(&g, 0, 1);
+        assert_eq!(r1.distances, vec![Some(0), Some(1), None]);
+        let r2 = bellman_ford_khop(&g, 0, 2);
+        assert_eq!(r2.distances, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn uses_fewer_hops_when_cheaper() {
+        // 2-hop path costs 2, 1-hop edge costs 1: k=2 must pick cost 1.
+        let g = from_edges(3, &[(0, 2, 1), (0, 1, 1), (1, 2, 1)]);
+        assert_eq!(bellman_ford_khop(&g, 0, 2).distances[2], Some(1));
+    }
+
+    #[test]
+    fn path_reconstruction_respects_hop_budget() {
+        let g = hoppy();
+        // k = 2: must take the direct edge (path 0 -> 3).
+        let r2 = bellman_ford_khop_with_paths(&g, 0, 2);
+        let p2 = r2.path_to(0, 3).unwrap();
+        assert_eq!(p2, vec![0, 3]);
+        assert_eq!(path_length(&g, &p2), Some(10));
+        // k = 3: the cheap 3-hop path.
+        let r3 = bellman_ford_khop_with_paths(&g, 0, 3);
+        let p3 = r3.path_to(0, 3).unwrap();
+        assert_eq!(p3, vec![0, 1, 2, 3]);
+        assert_eq!(path_length(&g, &p3), Some(3));
+    }
+
+    #[test]
+    fn paths_unavailable_without_recording() {
+        let g = hoppy();
+        let r = bellman_ford_khop(&g, 0, 3);
+        assert_eq!(r.path_to(0, 3), None);
+    }
+
+    #[test]
+    fn path_to_unreachable_is_none() {
+        let g = from_edges(3, &[(0, 1, 1)]);
+        let r = bellman_ford_khop_with_paths(&g, 0, 2);
+        assert_eq!(r.path_to(0, 2), None);
+    }
+
+    #[test]
+    fn reconstructed_path_length_matches_distance() {
+        // Random-ish fixed graph: check the invariant on every node.
+        let g = from_edges(
+            6,
+            &[
+                (0, 1, 4),
+                (0, 2, 1),
+                (2, 1, 1),
+                (1, 3, 7),
+                (2, 3, 9),
+                (3, 4, 1),
+                (2, 4, 20),
+                (4, 5, 1),
+                (0, 5, 30),
+            ],
+        );
+        for k in 1..=5u32 {
+            let r = bellman_ford_khop_with_paths(&g, 0, k);
+            for v in 0..g.n() {
+                if let Some(d) = r.distances[v] {
+                    let p = r.path_to(0, v).unwrap();
+                    assert!(p.len() as u32 - 1 <= k, "k={k} v={v} path {p:?}");
+                    assert_eq!(path_length(&g, &p), Some(d), "k={k} v={v}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Compressed-sparse-row directed graphs with positive integer lengths.
+
+/// Node index. Graphs of up to `u32::MAX` nodes are supported internally;
+/// the public API uses `usize` for ergonomics.
+pub type Node = usize;
+
+/// Edge length (the paper's `ℓ(uv)`): a positive integer. `U` denotes the
+/// maximum length in a graph.
+pub type Len = u64;
+
+/// A directed graph in CSR form: out-edges of node `u` occupy a contiguous
+/// slice, giving cache-friendly relaxation loops and O(1) degree queries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,  // n + 1 entries
+    targets: Vec<u32>,    // m entries
+    lengths: Vec<Len>,    // m entries
+    max_len: Len,
+}
+
+impl Graph {
+    /// Number of nodes `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Largest edge length `U` (0 for an edgeless graph).
+    #[must_use]
+    pub fn max_len(&self) -> Len {
+        self.max_len
+    }
+
+    /// Out-degree of `u`.
+    #[must_use]
+    pub fn out_degree(&self, u: Node) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Iterates over `(target, length)` pairs of `u`'s out-edges.
+    pub fn out_edges(&self, u: Node) -> impl Iterator<Item = (Node, Len)> + '_ {
+        let range = self.offsets[u]..self.offsets[u + 1];
+        self.targets[range.clone()]
+            .iter()
+            .zip(&self.lengths[range])
+            .map(|(&t, &l)| (t as Node, l))
+    }
+
+    /// Iterates over all edges as `(src, dst, length)`.
+    pub fn edges(&self) -> impl Iterator<Item = (Node, Node, Len)> + '_ {
+        (0..self.n()).flat_map(move |u| self.out_edges(u).map(move |(v, l)| (u, v, l)))
+    }
+
+    /// In-degrees of all nodes (the paper's node-circuit sizes scale with
+    /// `indeg(v)`).
+    #[must_use]
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.n()];
+        for &t in &self.targets {
+            deg[t as usize] += 1;
+        }
+        deg
+    }
+
+    /// Maximum degree Δ (max over nodes of out-degree; the §4.1 neuron
+    /// bound uses the maximum degree of the input graph).
+    #[must_use]
+    pub fn max_out_degree(&self) -> usize {
+        (0..self.n()).map(|u| self.out_degree(u)).max().unwrap_or(0)
+    }
+
+    /// Returns a copy with every edge length multiplied by `factor` —
+    /// the §4.4 scaling step ("scale all edge lengths in G so that the
+    /// smallest length is 2n").
+    ///
+    /// # Panics
+    /// Panics on overflow or `factor == 0`.
+    #[must_use]
+    pub fn scale_lengths(&self, factor: Len) -> Graph {
+        assert!(factor > 0);
+        let lengths: Vec<Len> = self
+            .lengths
+            .iter()
+            .map(|&l| l.checked_mul(factor).expect("length overflow"))
+            .collect();
+        Graph {
+            offsets: self.offsets.clone(),
+            targets: self.targets.clone(),
+            max_len: self.max_len * factor,
+            lengths,
+        }
+    }
+
+    /// Smallest edge length (`None` for an edgeless graph).
+    #[must_use]
+    pub fn min_len(&self) -> Option<Len> {
+        self.lengths.iter().copied().min()
+    }
+
+    /// Applies `f` to every edge length, returning a new graph (used by the
+    /// §7 approximation algorithm's length rounding `ℓ_i`).
+    #[must_use]
+    pub fn map_lengths(&self, mut f: impl FnMut(Len) -> Len) -> Graph {
+        let lengths: Vec<Len> = self.lengths.iter().map(|&l| f(l)).collect();
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        Graph {
+            offsets: self.offsets.clone(),
+            targets: self.targets.clone(),
+            lengths,
+            max_len,
+        }
+    }
+}
+
+/// Accumulates edges, then freezes them into a [`Graph`].
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32, Len)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(u32::try_from(n).is_ok(), "too many nodes");
+        Self {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds the directed edge `u -> v` with positive length `len`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or `len == 0` (the paper's graphs
+    /// have positive edge lengths; §7 additionally assumes ≥ 1).
+    pub fn add_edge(&mut self, u: Node, v: Node, len: Len) -> &mut Self {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range");
+        assert!(len > 0, "edge lengths must be positive");
+        self.edges.push((u as u32, v as u32, len));
+        self
+    }
+
+    /// True if the edge `u -> v` was already added (O(m); for generators).
+    #[must_use]
+    pub fn has_edge(&self, u: Node, v: Node) -> bool {
+        self.edges
+            .iter()
+            .any(|&(a, b, _)| a as usize == u && b as usize == v)
+    }
+
+    /// Number of edges added so far.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Freezes into CSR form. Parallel edges are kept (they are harmless
+    /// for shortest paths); edge order within a node follows insertion.
+    #[must_use]
+    pub fn build(mut self) -> Graph {
+        let mut offsets = vec![0usize; self.n + 1];
+        for &(u, _, _) in &self.edges {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..self.n {
+            offsets[i + 1] += offsets[i];
+        }
+        // Stable counting sort by source.
+        self.edges.sort_by_key(|&(u, _, _)| u);
+        let targets: Vec<u32> = self.edges.iter().map(|&(_, v, _)| v).collect();
+        let lengths: Vec<Len> = self.edges.iter().map(|&(_, _, l)| l).collect();
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        Graph {
+            offsets,
+            targets,
+            lengths,
+            max_len,
+        }
+    }
+}
+
+/// Convenience: builds a graph directly from an edge list.
+#[must_use]
+pub fn from_edges(n: usize, edges: &[(Node, Node, Len)]) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v, l) in edges {
+        b.add_edge(u, v, l);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        from_edges(4, &[(0, 1, 2), (1, 3, 2), (0, 2, 1), (2, 3, 5)])
+    }
+
+    #[test]
+    fn csr_layout_and_queries() {
+        let g = diamond();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.max_len(), 5);
+        assert_eq!(g.min_len(), Some(1));
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 0);
+        let out0: Vec<_> = g.out_edges(0).collect();
+        assert_eq!(out0, vec![(1, 2), (2, 1)]);
+        assert_eq!(g.in_degrees(), vec![0, 1, 1, 2]);
+        assert_eq!(g.max_out_degree(), 2);
+    }
+
+    #[test]
+    fn edges_iterator_covers_all() {
+        let g = diamond();
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1, 2), (0, 2, 1), (1, 3, 2), (2, 3, 5)]);
+    }
+
+    #[test]
+    fn scale_lengths_multiplies_everything() {
+        let g = diamond().scale_lengths(3);
+        assert_eq!(g.min_len(), Some(3));
+        assert_eq!(g.max_len(), 15);
+        assert_eq!(g.m(), 4);
+    }
+
+    #[test]
+    fn map_lengths_applies_function() {
+        let g = diamond().map_lengths(|l| l.div_ceil(2));
+        let out0: Vec<_> = g.out_edges(0).collect();
+        assert_eq!(out0, vec![(1, 1), (2, 1)]);
+        assert_eq!(g.max_len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_rejected() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2, 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = from_edges(3, &[]);
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_len(), 0);
+        assert_eq!(g.min_len(), None);
+        assert_eq!(g.max_out_degree(), 0);
+    }
+
+    #[test]
+    fn parallel_edges_kept() {
+        let g = from_edges(2, &[(0, 1, 3), (0, 1, 7)]);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.out_degree(0), 2);
+    }
+
+    #[test]
+    fn builder_has_edge() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        assert!(b.has_edge(0, 1));
+        assert!(!b.has_edge(1, 0));
+        assert_eq!(b.edge_count(), 1);
+    }
+}

@@ -1,0 +1,446 @@
+//! Maximum-flow substrate: residual networks, Dinic's algorithm (the
+//! conventional baseline), and **tidal flow** (Fontaine 2018) — the
+//! algorithm §8 of the paper singles out as "a promising starting point
+//! for a neuromorphic network-flow algorithm" because each iteration is a
+//! forward sweep of BFS-like messages, a backward sweep from the sink,
+//! and local computation. The neuromorphic (NGA) adaptation lives in
+//! `sgl-core::tidal`; this module provides the exact algorithms and the
+//! correctness baseline.
+
+use std::collections::VecDeque;
+
+/// Flow/capacity amount.
+pub type Cap = u64;
+
+/// A directed flow network with residual-edge pairing: edge `2i` is the
+/// forward edge, `2i + 1` its residual twin.
+#[derive(Clone, Debug)]
+pub struct FlowNetwork {
+    n: usize,
+    /// `(target, capacity)` per directed residual edge.
+    targets: Vec<u32>,
+    caps: Vec<Cap>,
+    /// Out-edge lists (edge indices) per node.
+    adj: Vec<Vec<u32>>,
+}
+
+impl FlowNetwork {
+    /// An empty network on `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            targets: Vec::new(),
+            caps: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of forward edges.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Adds a directed edge `u -> v` with capacity `cap`; returns its id.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints.
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: Cap) -> usize {
+        assert!(u < self.n && v < self.n, "edge out of range");
+        let id = self.targets.len();
+        self.targets.push(v as u32);
+        self.caps.push(cap);
+        self.adj[u].push(id as u32);
+        self.targets.push(u as u32);
+        self.caps.push(0);
+        self.adj[v].push(id as u32 + 1);
+        id
+    }
+
+    /// Remaining residual capacity of residual edge `e`.
+    #[must_use]
+    pub fn residual(&self, e: usize) -> Cap {
+        self.caps[e]
+    }
+
+    /// Flow currently assigned to forward edge id `e` (even ids).
+    #[must_use]
+    pub fn flow_on(&self, e: usize) -> Cap {
+        debug_assert!(e.is_multiple_of(2));
+        self.caps[e ^ 1]
+    }
+
+    fn push(&mut self, e: usize, amount: Cap) {
+        self.caps[e] -= amount;
+        self.caps[e ^ 1] += amount;
+    }
+
+    /// BFS levels from `s` over residual edges; `None` = unreachable.
+    #[must_use]
+    pub fn levels(&self, s: usize) -> Vec<Option<u32>> {
+        let mut level = vec![None; self.n];
+        level[s] = Some(0);
+        let mut queue = VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for &e in &self.adj[u] {
+                let v = self.targets[e as usize] as usize;
+                if self.caps[e as usize] > 0 && level[v].is_none() {
+                    level[v] = Some(level[u].unwrap() + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        level
+    }
+
+    /// Verifies `flow_value` is a feasible flow of that value from `s` to
+    /// `t`: capacity constraints hold by construction; checks conservation
+    /// and the net outflow of `s`.
+    #[must_use]
+    pub fn check_feasible(&self, s: usize, t: usize, flow_value: Cap) -> bool {
+        let mut net = vec![0i128; self.n];
+        for e in (0..self.targets.len()).step_by(2) {
+            let f = self.flow_on(e) as i128;
+            let u = self.targets[e ^ 1] as usize;
+            let v = self.targets[e] as usize;
+            net[u] -= f;
+            net[v] += f;
+        }
+        (0..self.n).all(|v| {
+            if v == s {
+                net[v] == -(flow_value as i128)
+            } else if v == t {
+                net[v] == flow_value as i128
+            } else {
+                net[v] == 0
+            }
+        })
+    }
+}
+
+/// Statistics of a max-flow run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Outer phases (level-graph rebuilds).
+    pub phases: u32,
+    /// Inner augmentation passes (DFS augments for Dinic, TIDE calls for
+    /// tidal flow).
+    pub passes: u32,
+    /// Edge inspections, the elementary-work proxy.
+    pub edge_visits: u64,
+}
+
+/// Dinic's algorithm — the conventional baseline. Returns the max-flow
+/// value; the network retains the final flow assignment.
+pub fn dinic(net: &mut FlowNetwork, s: usize, t: usize) -> (Cap, FlowStats) {
+    assert!(s < net.n && t < net.n && s != t);
+    let mut stats = FlowStats::default();
+    let mut total = 0;
+    loop {
+        let level = net.levels(s);
+        stats.phases += 1;
+        if level[t].is_none() {
+            break;
+        }
+        let mut it = vec![0usize; net.n];
+        loop {
+            let pushed = dinic_dfs(net, s, t, Cap::MAX, &level, &mut it, &mut stats);
+            if pushed == 0 {
+                break;
+            }
+            stats.passes += 1;
+            total += pushed;
+        }
+    }
+    (total, stats)
+}
+
+fn dinic_dfs(
+    net: &mut FlowNetwork,
+    u: usize,
+    t: usize,
+    limit: Cap,
+    level: &[Option<u32>],
+    it: &mut [usize],
+    stats: &mut FlowStats,
+) -> Cap {
+    if u == t {
+        return limit;
+    }
+    while it[u] < net.adj[u].len() {
+        let e = net.adj[u][it[u]] as usize;
+        stats.edge_visits += 1;
+        let v = net.targets[e] as usize;
+        if net.caps[e] > 0 && level[v] == level[u].map(|l| l + 1) {
+            let pushed = dinic_dfs(net, v, t, limit.min(net.caps[e]), level, it, stats);
+            if pushed > 0 {
+                net.push(e, pushed);
+                return pushed;
+            }
+        }
+        it[u] += 1;
+    }
+    0
+}
+
+/// One TIDE sweep over the current level graph (Fontaine 2018): a forward
+/// overestimate of the arriving tide, a backward pass trimming to the
+/// sink's intake, and a forward settling pass restoring conservation.
+/// Returns the amount pushed (0 iff the level graph carries nothing).
+pub fn tide(net: &mut FlowNetwork, s: usize, t: usize, level: &[Option<u32>], stats: &mut FlowStats) -> Cap {
+    // Collect level-graph edges in BFS order.
+    let mut order: Vec<u32> = Vec::new();
+    let mut nodes: Vec<usize> = (0..net.n).collect();
+    nodes.sort_by_key(|&v| level[v].unwrap_or(u32::MAX));
+    for &u in &nodes {
+        let Some(lu) = level[u] else { continue };
+        if level[t].is_some_and(|lt| lu >= lt) {
+            continue; // beyond the sink's layer, never useful
+        }
+        for &e in &net.adj[u] {
+            let v = net.targets[e as usize] as usize;
+            if net.caps[e as usize] > 0 && level[v] == Some(lu + 1) {
+                order.push(e);
+            }
+        }
+    }
+    stats.edge_visits += order.len() as u64;
+
+    // Pass 1 (forward): optimistic tide heights.
+    let mut h = vec![0u128; net.n];
+    h[s] = u128::MAX / 4;
+    let mut p: Vec<Cap> = Vec::with_capacity(order.len());
+    for &e in &order {
+        let u = net.targets[e as usize ^ 1] as usize;
+        let v = net.targets[e as usize] as usize;
+        let amount = (net.caps[e as usize] as u128).min(h[u]) as Cap;
+        p.push(amount);
+        h[v] += u128::from(amount);
+    }
+    if h[t] == 0 {
+        return 0;
+    }
+
+    // Pass 2 (backward): trim to what the sink actually drains.
+    let mut l = vec![0u128; net.n];
+    l[t] = h[t];
+    for (i, &e) in order.iter().enumerate().rev() {
+        let u = net.targets[e as usize ^ 1] as usize;
+        let v = net.targets[e as usize] as usize;
+        let amount = u128::from(p[i]).min(l[v]) as Cap;
+        p[i] = amount;
+        l[v] -= u128::from(amount);
+        l[u] += u128::from(amount);
+    }
+
+    // Pass 3 (forward): settle to actual arrivals (restores conservation).
+    let mut have = vec![0u128; net.n];
+    have[s] = u128::MAX / 4;
+    for (i, &e) in order.iter().enumerate() {
+        let u = net.targets[e as usize ^ 1] as usize;
+        let v = net.targets[e as usize] as usize;
+        let amount = u128::from(p[i]).min(have[u]) as Cap;
+        p[i] = amount;
+        have[u] -= u128::from(amount);
+        have[v] += u128::from(amount);
+    }
+    let pushed = have[t] as Cap;
+
+    // Apply.
+    for (i, &e) in order.iter().enumerate() {
+        if p[i] > 0 {
+            net.push(e as usize, p[i]);
+        }
+    }
+    pushed
+}
+
+/// Tidal flow (Fontaine 2018): repeat TIDE sweeps over fresh level graphs
+/// until the sink is unreachable. Returns the max-flow value.
+///
+/// # Examples
+/// ```
+/// use sgl_graph::flow::{tidal_flow, FlowNetwork};
+/// let mut net = FlowNetwork::new(3);
+/// net.add_edge(0, 1, 5);
+/// net.add_edge(1, 2, 3);
+/// let (value, _) = tidal_flow(&mut net, 0, 2);
+/// assert_eq!(value, 3);
+/// ```
+pub fn tidal_flow(net: &mut FlowNetwork, s: usize, t: usize) -> (Cap, FlowStats) {
+    assert!(s < net.n && t < net.n && s != t);
+    let mut stats = FlowStats::default();
+    let mut total = 0;
+    loop {
+        let level = net.levels(s);
+        stats.phases += 1;
+        if level[t].is_none() {
+            break;
+        }
+        // Multiple tides per level graph, like Dinic's blocking flow.
+        loop {
+            let pushed = tide(net, s, t, &level, &mut stats);
+            if pushed == 0 {
+                break;
+            }
+            stats.passes += 1;
+            total += pushed;
+        }
+    }
+    (total, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The CLRS classic: max flow 23.
+    fn clrs() -> FlowNetwork {
+        let mut f = FlowNetwork::new(6);
+        f.add_edge(0, 1, 16);
+        f.add_edge(0, 2, 13);
+        f.add_edge(1, 3, 12);
+        f.add_edge(2, 1, 4);
+        f.add_edge(2, 4, 14);
+        f.add_edge(3, 2, 9);
+        f.add_edge(3, 5, 20);
+        f.add_edge(4, 3, 7);
+        f.add_edge(4, 5, 4);
+        f
+    }
+
+    #[test]
+    fn dinic_solves_clrs() {
+        let mut f = clrs();
+        let (v, _) = dinic(&mut f, 0, 5);
+        assert_eq!(v, 23);
+        assert!(f.check_feasible(0, 5, v));
+    }
+
+    #[test]
+    fn tidal_solves_clrs() {
+        let mut f = clrs();
+        let (v, stats) = tidal_flow(&mut f, 0, 5);
+        assert_eq!(v, 23);
+        assert!(f.check_feasible(0, 5, v));
+        assert!(stats.passes >= 1);
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut f = FlowNetwork::new(2);
+        f.add_edge(0, 1, 7);
+        assert_eq!(tidal_flow(&mut f, 0, 1).0, 7);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut f = FlowNetwork::new(3);
+        f.add_edge(0, 1, 5);
+        assert_eq!(tidal_flow(&mut f, 0, 2).0, 0);
+        let mut f2 = FlowNetwork::new(3);
+        f2.add_edge(0, 1, 5);
+        assert_eq!(dinic(&mut f2, 0, 2).0, 0);
+    }
+
+    #[test]
+    fn parallel_and_antiparallel_edges() {
+        let mut f = FlowNetwork::new(2);
+        f.add_edge(0, 1, 3);
+        f.add_edge(0, 1, 4);
+        f.add_edge(1, 0, 9); // antiparallel, irrelevant
+        assert_eq!(tidal_flow(&mut f, 0, 1).0, 7);
+    }
+
+    #[test]
+    fn bipartite_matching_as_flow() {
+        // 3x3 bipartite: left {1,2,3}, right {4,5,6}; perfect matching
+        // exists.
+        let mut f = FlowNetwork::new(8);
+        for l in 1..=3 {
+            f.add_edge(0, l, 1);
+            f.add_edge(l + 3, 7, 1);
+        }
+        for (l, r) in [(1, 4), (1, 5), (2, 5), (3, 5), (3, 6)] {
+            f.add_edge(l, r, 1);
+        }
+        let (v, _) = tidal_flow(&mut f, 0, 7);
+        assert_eq!(v, 3);
+    }
+
+    #[test]
+    fn bottleneck_diamond() {
+        // Two wide paths through a 1-capacity middle edge + direct routes.
+        let mut f = FlowNetwork::new(4);
+        f.add_edge(0, 1, 10);
+        f.add_edge(0, 2, 10);
+        f.add_edge(1, 2, 1);
+        f.add_edge(1, 3, 10);
+        f.add_edge(2, 3, 10);
+        let mut f2 = f.clone();
+        let mut f3 = f.clone();
+        assert_eq!(tidal_flow(&mut f, 0, 3).0, dinic(&mut f2, 0, 3).0);
+        assert_eq!(tidal_flow(&mut f3, 0, 3).0, 20);
+    }
+
+    #[test]
+    fn tidal_matches_dinic_on_random_networks() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..25 {
+            let n = rng.gen_range(4..20);
+            let mut f = FlowNetwork::new(n);
+            for _ in 0..rng.gen_range(n..4 * n) {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    f.add_edge(u, v, rng.gen_range(1..30));
+                }
+            }
+            let mut f2 = f.clone();
+            let (tv, _) = tidal_flow(&mut f, 0, n - 1);
+            let (dv, _) = dinic(&mut f2, 0, n - 1);
+            assert_eq!(tv, dv, "trial {trial}");
+            assert!(f.check_feasible(0, n - 1, tv), "trial {trial} infeasible");
+        }
+    }
+
+    #[test]
+    fn flow_value_matches_a_cut() {
+        // Max-flow <= any cut; with the residual s-side cut it is equal.
+        let mut f = clrs();
+        let (v, _) = tidal_flow(&mut f, 0, 5);
+        let level = f.levels(0);
+        // Cut capacity: original caps of edges from reachable to
+        // unreachable.
+        let mut cut = 0;
+        for e in (0..f.targets.len()).step_by(2) {
+            let u = f.targets[e ^ 1] as usize;
+            let w = f.targets[e] as usize;
+            // Original capacity = residual + flow (reverse twin started 0).
+            let orig_cap = f.caps[e] + f.caps[e ^ 1];
+            if level[u].is_some() && level[w].is_none() {
+                cut += orig_cap;
+            }
+        }
+        assert_eq!(v, 23);
+        // Max-flow–min-cut: the residual-reachability cut is tight.
+        assert_eq!(cut, v, "cut {cut} vs flow {v}");
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let mut f = clrs();
+        let (_, stats) = tidal_flow(&mut f, 0, 5);
+        assert!(stats.phases >= 2); // at least one productive + final check
+        assert!(stats.edge_visits > 0);
+    }
+}

@@ -1,0 +1,494 @@
+//! Deterministic workload generators for the paper's experiments.
+//!
+//! Every generator takes an explicit RNG so each table regenerates
+//! byte-identically from a seed. Edge lengths are drawn uniformly from a
+//! caller-supplied inclusive range, letting experiments control the
+//! paper's `U` (maximum edge length) parameter independently of topology.
+
+use crate::csr::{Graph, GraphBuilder, Len, Node};
+use rand::Rng;
+use std::collections::HashSet;
+use std::ops::RangeInclusive;
+
+fn draw(rng: &mut impl Rng, lens: &RangeInclusive<Len>) -> Len {
+    rng.gen_range(lens.clone())
+}
+
+/// Erdős–Rényi G(n, m): exactly `m` distinct directed edges (no self
+/// loops, no parallel edges), lengths uniform in `lens`.
+///
+/// # Panics
+/// Panics if `m > n(n-1)` or `n == 0`.
+#[must_use]
+pub fn gnm(rng: &mut impl Rng, n: usize, m: usize, lens: RangeInclusive<Len>) -> Graph {
+    assert!(n > 0);
+    assert!(m <= n * (n - 1), "m too large for a simple digraph");
+    let mut b = GraphBuilder::new(n);
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(m);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && seen.insert((u as u32, v as u32)) {
+            b.add_edge(u, v, draw(rng, &lens));
+        }
+    }
+    b.build()
+}
+
+/// `G(n, m)` guaranteed connected from node 0: a random spanning arborescence
+/// first (each node `v > 0` gets an in-edge from a random earlier node),
+/// then random extra edges up to `m`.
+///
+/// # Panics
+/// Panics if `m < n - 1` or `m > n(n-1)`.
+#[must_use]
+pub fn gnm_connected(rng: &mut impl Rng, n: usize, m: usize, lens: RangeInclusive<Len>) -> Graph {
+    assert!(n > 0 && m >= n - 1, "need at least n-1 edges");
+    assert!(m <= n * (n - 1), "m too large for a simple digraph");
+    let mut b = GraphBuilder::new(n);
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(m);
+    for v in 1..n {
+        let u = rng.gen_range(0..v);
+        seen.insert((u as u32, v as u32));
+        b.add_edge(u, v, draw(rng, &lens));
+    }
+    while seen.len() < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && seen.insert((u as u32, v as u32)) {
+            b.add_edge(u, v, draw(rng, &lens));
+        }
+    }
+    b.build()
+}
+
+/// The complete digraph `K_n` with random lengths — the worst case the
+/// §4.4 embedding is analysed for.
+#[must_use]
+pub fn complete(rng: &mut impl Rng, n: usize, lens: RangeInclusive<Len>) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                b.add_edge(u, v, draw(rng, &lens));
+            }
+        }
+    }
+    b.build()
+}
+
+/// A directed path `0 -> 1 -> ... -> n-1`; distances grow linearly, giving
+/// the large-`L` regime where delay-encoded algorithms are stressed.
+#[must_use]
+pub fn path(rng: &mut impl Rng, n: usize, lens: RangeInclusive<Len>) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n.saturating_sub(1) {
+        b.add_edge(u, u + 1, draw(rng, &lens));
+    }
+    b.build()
+}
+
+/// A directed cycle on `n` nodes.
+#[must_use]
+pub fn cycle(rng: &mut impl Rng, n: usize, lens: RangeInclusive<Len>) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        b.add_edge(u, (u + 1) % n, draw(rng, &lens));
+    }
+    b.build()
+}
+
+/// A bidirected 2-D grid of `rows x cols` nodes — the small-diameter,
+/// small-`L` workload where the pseudopolynomial spiking algorithms shine
+/// (Table 1: "better when paths are short compared to the graph size").
+#[must_use]
+pub fn grid2d(rng: &mut impl Rng, rows: usize, cols: usize, lens: RangeInclusive<Len>) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::new(n);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1), draw(rng, &lens));
+                b.add_edge(id(r, c + 1), id(r, c), draw(rng, &lens));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c), draw(rng, &lens));
+                b.add_edge(id(r + 1, c), id(r, c), draw(rng, &lens));
+            }
+        }
+    }
+    b.build()
+}
+
+/// A layered DAG: `layers` layers of `width` nodes; every node of layer i
+/// connects to `fanout` random nodes of layer i+1. Shortest paths have
+/// exactly `layers - 1` hops, making the k-hop crossover sharp.
+#[must_use]
+pub fn layered(
+    rng: &mut impl Rng,
+    layers: usize,
+    width: usize,
+    fanout: usize,
+    lens: RangeInclusive<Len>,
+) -> Graph {
+    assert!(layers >= 1 && width >= 1);
+    let fanout = fanout.min(width);
+    let n = layers * width;
+    let mut b = GraphBuilder::new(n);
+    for layer in 0..layers.saturating_sub(1) {
+        for i in 0..width {
+            let u = layer * width + i;
+            let mut picked = HashSet::new();
+            while picked.len() < fanout {
+                let j = rng.gen_range(0..width);
+                if picked.insert(j) {
+                    b.add_edge(u, (layer + 1) * width + j, draw(rng, &lens));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// A unit-length path with `extra` random long "chord" edges whose length
+/// exceeds the path distance between their endpoints — so the shortest
+/// path still follows the spine (large `L`, large `α`) while `m` grows.
+/// Workload for the pseudopolynomial rows of Table 1.
+#[must_use]
+pub fn path_with_chords(rng: &mut impl Rng, n: usize, extra: usize) -> Graph {
+    assert!(n >= 2);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n - 1 {
+        b.add_edge(u, u + 1, 1);
+    }
+    for _ in 0..extra {
+        let u = rng.gen_range(0..n - 1);
+        let v = rng.gen_range(u + 1..n);
+        // Longer than the spine distance, so it never helps.
+        b.add_edge(u, v, (v - u) as Len + rng.gen_range(1..=4));
+    }
+    b.build()
+}
+
+/// Every node gets exactly `d` random distinct out-neighbours — the
+/// bounded-degree regime (Δ = d) the §4.1 neuron bound references.
+#[must_use]
+pub fn out_regular(rng: &mut impl Rng, n: usize, d: usize, lens: RangeInclusive<Len>) -> Graph {
+    assert!(d < n, "degree must be below n");
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        let mut picked = HashSet::new();
+        while picked.len() < d {
+            let v = rng.gen_range(0..n);
+            if v != u && picked.insert(v) {
+                b.add_edge(u, v, draw(rng, &lens));
+            }
+        }
+    }
+    b.build()
+}
+
+/// A star: node 0 connects to every other node and back. Diameter 2.
+#[must_use]
+pub fn star(rng: &mut impl Rng, n: usize, lens: RangeInclusive<Len>) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(0, v, draw(rng, &lens));
+        b.add_edge(v, 0, draw(rng, &lens));
+    }
+    b.build()
+}
+
+
+/// Watts–Strogatz small world: a bidirected ring lattice (each node linked
+/// to `k/2` neighbours on each side) with each edge's far endpoint rewired
+/// with probability `beta`. Small diameter with high clustering — the
+/// "brain-like" topology regime the paper's scalability discussion evokes.
+///
+/// # Panics
+/// Panics unless `2 <= k < n` and `k` is even.
+#[must_use]
+pub fn small_world(
+    rng: &mut impl Rng,
+    n: usize,
+    k: usize,
+    beta: f64,
+    lens: RangeInclusive<Len>,
+) -> Graph {
+    assert!(k >= 2 && k.is_multiple_of(2) && k < n, "need even 2 <= k < n");
+    let mut b = GraphBuilder::new(n);
+    let mut seen: HashSet<(usize, usize)> = HashSet::new();
+    for u in 0..n {
+        for off in 1..=(k / 2) {
+            let mut v = (u + off) % n;
+            if rng.gen_bool(beta) {
+                // Rewire to a uniform random non-self target.
+                for _ in 0..8 {
+                    let cand = rng.gen_range(0..n);
+                    if cand != u && !seen.contains(&(u, cand)) {
+                        v = cand;
+                        break;
+                    }
+                }
+            }
+            if u != v && seen.insert((u, v)) {
+                let len = draw(rng, &lens);
+                b.add_edge(u, v, len);
+                if seen.insert((v, u)) {
+                    b.add_edge(v, u, len);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: nodes arrive one at a time and
+/// attach `attach` bidirected edges to existing nodes with probability
+/// proportional to degree. Produces the heavy-tailed degree distributions
+/// real networks (and connectomes) show.
+///
+/// # Panics
+/// Panics unless `1 <= attach < n`.
+#[must_use]
+pub fn scale_free(rng: &mut impl Rng, n: usize, attach: usize, lens: RangeInclusive<Len>) -> Graph {
+    assert!(attach >= 1 && attach < n);
+    let mut b = GraphBuilder::new(n);
+    // Repeated-endpoint list: sampling uniformly from it is sampling
+    // proportional to degree.
+    let mut endpoints: Vec<usize> = Vec::new();
+    // Seed clique among the first `attach + 1` nodes.
+    for u in 0..=attach {
+        for v in 0..u {
+            let len = draw(rng, &lens);
+            b.add_edge(u, v, len);
+            b.add_edge(v, u, len);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for u in (attach + 1)..n {
+        let mut picked = HashSet::new();
+        let mut order = Vec::with_capacity(attach);
+        while picked.len() < attach {
+            let v = endpoints[rng.gen_range(0..endpoints.len())];
+            if v != u && picked.insert(v) {
+                // Keep insertion order: iterating the HashSet directly
+                // would make edge order (and drawn lengths) depend on the
+                // hasher's random state, breaking seed determinism.
+                order.push(v);
+            }
+        }
+        for &v in &order {
+            let len = draw(rng, &lens);
+            b.add_edge(u, v, len);
+            b.add_edge(v, u, len);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    b.build()
+}
+
+/// A random DAG: edges only from lower- to higher-numbered nodes, each
+/// present with probability `p`. Hop counts are bounded by `n - 1` and
+/// topological structure is explicit — handy for k-hop edge cases.
+#[must_use]
+pub fn random_dag(rng: &mut impl Rng, n: usize, p: f64, lens: RangeInclusive<Len>) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                b.add_edge(u, v, draw(rng, &lens));
+            }
+        }
+    }
+    b.build()
+}
+
+/// A complete bipartite digraph `K_{a,b}` (edges both ways), a stress case
+/// for the in-degree-proportional node circuits of §4.5.
+#[must_use]
+pub fn complete_bipartite(rng: &mut impl Rng, a: usize, bn: usize, lens: RangeInclusive<Len>) -> Graph {
+    let mut b = GraphBuilder::new(a + bn);
+    for u in 0..a {
+        for v in a..(a + bn) {
+            b.add_edge(u, v, draw(rng, &lens));
+            b.add_edge(v, u, draw(rng, &lens));
+        }
+    }
+    b.build()
+}
+
+/// Picks the farthest reachable node from `source` (by hop count, then by
+/// node id) — a canonical "single destination" for Table 1 experiments.
+#[must_use]
+pub fn far_node(g: &Graph, source: Node) -> Node {
+    let r = crate::dijkstra::dijkstra(g, source);
+    (0..g.n())
+        .filter(|&v| r.distances[v].is_some())
+        .max_by_key(|&v| (r.hops[v], v))
+        .unwrap_or(source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn gnm_counts_and_bounds() {
+        let g = gnm(&mut rng(1), 20, 60, 3..=9);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 60);
+        assert!(g.min_len().unwrap() >= 3 && g.max_len() <= 9);
+        // No self loops.
+        assert!(g.edges().all(|(u, v, _)| u != v));
+    }
+
+    #[test]
+    fn gnm_is_deterministic_per_seed() {
+        let a = gnm(&mut rng(7), 16, 40, 1..=5);
+        let b = gnm(&mut rng(7), 16, 40, 1..=5);
+        assert_eq!(a, b);
+        let c = gnm(&mut rng(8), 16, 40, 1..=5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnm_connected_reaches_everything() {
+        let g = gnm_connected(&mut rng(3), 30, 60, 1..=10);
+        let r = crate::dijkstra::dijkstra(&g, 0);
+        assert!(r.distances.iter().all(Option::is_some));
+        assert_eq!(g.m(), 60);
+    }
+
+    #[test]
+    fn complete_has_all_pairs() {
+        let g = complete(&mut rng(2), 6, 1..=1);
+        assert_eq!(g.m(), 30);
+        assert_eq!(g.max_out_degree(), 5);
+    }
+
+    #[test]
+    fn path_distances_are_prefix_sums() {
+        let g = path(&mut rng(4), 5, 2..=2);
+        let r = crate::dijkstra::dijkstra(&g, 0);
+        assert_eq!(
+            r.distances,
+            vec![Some(0), Some(2), Some(4), Some(6), Some(8)]
+        );
+    }
+
+    #[test]
+    fn cycle_wraps() {
+        let g = cycle(&mut rng(5), 4, 1..=1);
+        assert_eq!(g.m(), 4);
+        let r = crate::dijkstra::dijkstra(&g, 2);
+        assert_eq!(r.distances[1], Some(3));
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid2d(&mut rng(6), 3, 4, 1..=1);
+        assert_eq!(g.n(), 12);
+        // 2 * (rows*(cols-1) + (rows-1)*cols) directed edges.
+        assert_eq!(g.m(), 2 * (3 * 3 + 2 * 4));
+        let r = crate::dijkstra::dijkstra(&g, 0);
+        assert_eq!(r.distances[11], Some(5)); // Manhattan distance
+    }
+
+    #[test]
+    fn layered_hops_are_exact() {
+        let g = layered(&mut rng(7), 5, 4, 2, 1..=3);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 4 * 4 * 2);
+        let r = crate::dijkstra::dijkstra(&g, 0);
+        for v in 16..20 {
+            if r.distances[v].is_some() {
+                assert_eq!(r.hops[v], 4);
+            }
+        }
+    }
+
+    #[test]
+    fn chords_never_shorten_the_spine() {
+        let g = path_with_chords(&mut rng(8), 40, 60);
+        let r = crate::dijkstra::dijkstra(&g, 0);
+        for v in 0..40 {
+            assert_eq!(r.distances[v], Some(v as u64), "spine distance at {v}");
+        }
+        assert_eq!(g.m(), 39 + 60);
+    }
+
+    #[test]
+    fn out_regular_degrees() {
+        let g = out_regular(&mut rng(9), 15, 4, 1..=2);
+        for u in 0..15 {
+            assert_eq!(g.out_degree(u), 4);
+        }
+    }
+
+    #[test]
+    fn star_diameter_two() {
+        let g = star(&mut rng(10), 8, 1..=1);
+        let r = crate::dijkstra::dijkstra(&g, 3);
+        assert!(r.distances.iter().all(|d| d.unwrap() <= 2));
+    }
+
+
+    #[test]
+    fn small_world_is_connected_and_small_diameter() {
+        let g = small_world(&mut rng(20), 64, 4, 0.1, 1..=1);
+        let r = crate::dijkstra::dijkstra(&g, 0);
+        assert!(r.distances.iter().all(Option::is_some), "connected");
+        let diameter = r.distances.iter().flatten().max().unwrap();
+        // Ring lattice diameter would be 16; rewiring shrinks it.
+        assert!(*diameter <= 16, "diameter {diameter}");
+    }
+
+    #[test]
+    fn scale_free_has_heavy_tail() {
+        let g = scale_free(&mut rng(21), 200, 2, 1..=3);
+        let mut degs: Vec<usize> = (0..g.n()).map(|u| g.out_degree(u)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        // Hubs: the top node's degree far exceeds the minimum.
+        assert!(degs[0] >= 4 * 2, "max degree {}", degs[0]);
+        assert!(degs[degs.len() - 1] >= 2);
+    }
+
+    #[test]
+    fn random_dag_is_acyclic() {
+        let g = random_dag(&mut rng(22), 30, 0.2, 1..=5);
+        assert!(g.edges().all(|(u, v, _)| u < v));
+        // DAG: distances from 0 computable, no infinite loops possible by
+        // construction; spot check monotone reachability.
+        let r = crate::dijkstra::dijkstra(&g, 0);
+        assert_eq!(r.distances[0], Some(0));
+    }
+
+    #[test]
+    fn complete_bipartite_degrees() {
+        let g = complete_bipartite(&mut rng(23), 3, 5, 1..=1);
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.m(), 2 * 3 * 5);
+        for u in 0..3 {
+            assert_eq!(g.out_degree(u), 5);
+        }
+        for v in 3..8 {
+            assert_eq!(g.out_degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn far_node_finds_deep_target() {
+        let g = path(&mut rng(11), 10, 1..=1);
+        assert_eq!(far_node(&g, 0), 9);
+    }
+}

@@ -1,0 +1,35 @@
+//! # sgl-graph — conventional graph substrate and baselines
+//!
+//! The classical side of the paper's comparison: compact CSR digraphs with
+//! positive integer edge lengths, deterministic workload generators, and
+//! the two conventional algorithms the paper benchmarks against —
+//! binary-heap Dijkstra (`O(m + n log n)` class) and k-hop Bellman–Ford
+//! (`O(km)`) — instrumented with elementary-operation counters so their
+//! work can be compared against neuromorphic time steps under the paper's
+//! "ignoring data-movement costs" regime (Table 1, lower half). The
+//! DISTANCE-metered variants (data-movement regime) live in `sgl-distance`.
+//!
+//! Also provides the semiring sparse matrix–vector machinery underlying the
+//! paper's `A^k x` generalisation (§2.2): k-hop shortest paths are min-plus
+//! matrix powers applied to an indicator vector.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Indexed loops over several parallel per-node arrays are the house style
+// for the graph/neuron kernels here; iterator zips would obscure them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod bellman_ford;
+pub mod csr;
+pub mod dijkstra;
+pub mod flow;
+pub mod generators;
+pub mod io;
+pub mod matvec;
+pub mod paths;
+pub mod semiring;
+pub mod stats;
+
+pub use bellman_ford::{bellman_ford_khop, BellmanFordResult};
+pub use csr::{Graph, GraphBuilder, Len, Node};
+pub use dijkstra::{dijkstra, DijkstraResult};

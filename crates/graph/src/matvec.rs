@@ -1,0 +1,143 @@
+//! Semiring sparse matrix–vector products: the conventional baseline for
+//! the §2.2 `A^k x` NGA example.
+//!
+//! A graph *is* its adjacency matrix: `A[u][v] = ℓ(uv)` under min-plus, or
+//! an arbitrary weight under plus-times (we reuse the integer edge length
+//! as the matrix entry; callers needing real weights can map lengths).
+//! `spmv` computes `y = x A` (messages flow along edge direction:
+//! `y[v] = ⊕_u x[u] ⊗ A[u][v]`), and `power` iterates it `k` times — each
+//! iteration is one NGA round.
+
+use crate::csr::Graph;
+use crate::semiring::Semiring;
+
+/// One semiring sparse matrix–vector product along edge direction.
+/// Returns the result and the number of semiring multiplications (= `m`).
+pub fn spmv<S: Semiring>(g: &Graph, x: &[S::Elem]) -> (Vec<S::Elem>, u64) {
+    assert_eq!(x.len(), g.n(), "vector length must equal node count");
+    let mut y = vec![S::zero(); g.n()];
+    let mut muls = 0u64;
+    for u in 0..g.n() {
+        for (v, len) in g.out_edges(u) {
+            let contribution = S::mul(&x[u], &edge_elem::<S>(len));
+            y[v] = S::add(&y[v], &contribution);
+            muls += 1;
+        }
+    }
+    (y, muls)
+}
+
+/// `A^k x` by repeated [`spmv`]; returns the final vector and total
+/// multiplication count (`k · m`).
+pub fn power<S: Semiring>(g: &Graph, x: &[S::Elem], k: u32) -> (Vec<S::Elem>, u64) {
+    let mut v = x.to_vec();
+    let mut total = 0;
+    for _ in 0..k {
+        let (next, muls) = spmv::<S>(g, &v);
+        v = next;
+        total += muls;
+    }
+    (v, total)
+}
+
+/// k-hop distances via min-plus matrix powers, *including* shorter-hop
+/// paths: `dist_k = ⊕_{i≤k} (A^i x)` — implemented by augmenting each
+/// round with the identity (keep your own value), which is exactly the
+/// Bellman–Ford recurrence.
+#[must_use]
+pub fn minplus_khop_distances(g: &Graph, source: usize, k: u32) -> Vec<Option<u64>> {
+    use crate::semiring::MinPlus;
+    let mut x: Vec<Option<u64>> = vec![None; g.n()];
+    x[source] = Some(0);
+    for _ in 0..k {
+        let (y, _) = spmv::<MinPlus>(g, &x);
+        for (xi, yi) in x.iter_mut().zip(y) {
+            *xi = MinPlus::add(xi, &yi);
+        }
+    }
+    x
+}
+
+/// Converts an integer edge length into a semiring element. Min-plus uses
+/// the length itself; other semirings interpret it numerically.
+fn edge_elem<S: Semiring>(len: u64) -> S::Elem {
+    // Build `len` as a semiring element: fold `one + one + ...` would be
+    // O(len); instead we rely on the concrete types we ship. This is a
+    // small, closed set — a trait method would force every semiring to
+    // define a u64 embedding even when meaningless.
+    use std::any::TypeId;
+    let t = TypeId::of::<S::Elem>();
+    if t == TypeId::of::<Option<u64>>() {
+        // min-plus: the length itself.
+        let v: Box<dyn std::any::Any> = Box::new(Some(len));
+        *v.downcast::<S::Elem>().expect("type checked above")
+    } else if t == TypeId::of::<f64>() {
+        let v: Box<dyn std::any::Any> = Box::new(len as f64);
+        *v.downcast::<S::Elem>().expect("type checked above")
+    } else if t == TypeId::of::<bool>() {
+        let v: Box<dyn std::any::Any> = Box::new(true);
+        *v.downcast::<S::Elem>().expect("type checked above")
+    } else {
+        panic!("unsupported semiring element type")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::from_edges;
+    use crate::semiring::{BoolOrAnd, MinPlus, PlusTimes};
+
+    fn hoppy() -> Graph {
+        from_edges(4, &[(0, 3, 10), (0, 1, 1), (1, 2, 1), (2, 3, 1)])
+    }
+
+    #[test]
+    fn minplus_power_matches_bellman_ford() {
+        let g = hoppy();
+        for k in 0..=4u32 {
+            let mv = minplus_khop_distances(&g, 0, k);
+            let bf = crate::bellman_ford::bellman_ford_khop(&g, 0, k);
+            assert_eq!(mv, bf.distances, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn bool_power_is_khop_reachability() {
+        let g = from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        let mut x = vec![false; 4];
+        x[0] = true;
+        let (r1, _) = power::<BoolOrAnd>(&g, &x, 1);
+        assert_eq!(r1, vec![false, true, false, false]);
+        let (r3, _) = power::<BoolOrAnd>(&g, &x, 3);
+        assert_eq!(r3, vec![false, false, false, true]);
+    }
+
+    #[test]
+    fn plus_times_counts_weighted_walks() {
+        // 0 -> 1 (len 2), 0 -> 2 (len 3), 1 -> 3 (len 4), 2 -> 3 (len 5):
+        // (A^2 x)[3] with x = e0 is 2*4 + 3*5 = 23.
+        let g = from_edges(4, &[(0, 1, 2), (0, 2, 3), (1, 3, 4), (2, 3, 5)]);
+        let mut x = vec![0.0; 4];
+        x[0] = 1.0;
+        let (r, muls) = power::<PlusTimes>(&g, &x, 2);
+        assert_eq!(r[3], 23.0);
+        assert_eq!(muls, 2 * g.m() as u64);
+    }
+
+    #[test]
+    fn spmv_counts_m_multiplications() {
+        let g = hoppy();
+        let x = vec![Some(0); 4];
+        let (_, muls) = spmv::<MinPlus>(&g, &x);
+        assert_eq!(muls, g.m() as u64);
+    }
+
+    #[test]
+    fn zero_vector_stays_zero() {
+        let g = hoppy();
+        let x: Vec<Option<u64>> = vec![None; 4];
+        let (y, _) = spmv::<MinPlus>(&g, &x);
+        assert!(y.iter().all(Option::is_none));
+    }
+}

@@ -1,0 +1,94 @@
+//! Path utilities: reconstruction from predecessor arrays and validation.
+
+use crate::csr::{Graph, Len, Node};
+
+/// Reconstructs the path `source -> ... -> v` from a predecessor array
+/// (as produced by Dijkstra). Returns `None` if `v` has no recorded
+/// predecessor chain reaching `source`.
+#[must_use]
+pub fn reconstruct(preds: &[Option<Node>], source: Node, v: Node) -> Option<Vec<Node>> {
+    let mut path = vec![v];
+    let mut cur = v;
+    while cur != source {
+        cur = preds[cur]?;
+        path.push(cur);
+        if path.len() > preds.len() {
+            return None; // cycle guard: malformed predecessor array
+        }
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Sums the edge lengths along `path`, checking every consecutive pair is
+/// an actual edge (taking the cheapest parallel edge). Returns `None` if
+/// the path uses a non-edge.
+#[must_use]
+pub fn path_length(g: &Graph, path: &[Node]) -> Option<Len> {
+    let mut total = 0;
+    for w in path.windows(2) {
+        let len = g
+            .out_edges(w[0])
+            .filter(|&(v, _)| v == w[1])
+            .map(|(_, l)| l)
+            .min()?;
+        total += len;
+    }
+    Some(total)
+}
+
+/// Number of edges on a node path.
+#[must_use]
+pub fn hop_count(path: &[Node]) -> usize {
+    path.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::from_edges;
+    use crate::dijkstra::dijkstra;
+
+    #[test]
+    fn reconstruct_and_measure() {
+        let g = from_edges(4, &[(0, 1, 2), (1, 3, 2), (0, 2, 1), (2, 3, 5)]);
+        let r = dijkstra(&g, 0);
+        let p = reconstruct(&r.preds, 0, 3).unwrap();
+        assert_eq!(p, vec![0, 1, 3]);
+        assert_eq!(path_length(&g, &p), Some(4));
+        assert_eq!(hop_count(&p), 2);
+    }
+
+    #[test]
+    fn missing_pred_returns_none() {
+        let preds = vec![None, None];
+        assert_eq!(reconstruct(&preds, 0, 1), None);
+    }
+
+    #[test]
+    fn trivial_path_to_source() {
+        let preds = vec![None, None];
+        assert_eq!(reconstruct(&preds, 0, 0), Some(vec![0]));
+        let g = from_edges(1, &[]);
+        assert_eq!(path_length(&g, &[0]), Some(0));
+        assert_eq!(hop_count(&[0]), 0);
+    }
+
+    #[test]
+    fn invalid_path_detected() {
+        let g = from_edges(3, &[(0, 1, 1)]);
+        assert_eq!(path_length(&g, &[0, 2]), None);
+    }
+
+    #[test]
+    fn cyclic_preds_guarded() {
+        let preds = vec![Some(1), Some(0)]; // 0 <-> 1 cycle, no source
+        assert_eq!(reconstruct(&preds, 9, 0), None);
+    }
+
+    #[test]
+    fn parallel_edges_use_cheapest() {
+        let g = from_edges(2, &[(0, 1, 9), (0, 1, 3)]);
+        assert_eq!(path_length(&g, &[0, 1]), Some(3));
+    }
+}

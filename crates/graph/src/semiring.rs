@@ -1,0 +1,156 @@
+//! Semirings for the paper's `A^k x` generalisation (§2.2).
+//!
+//! "By summing entries of A with message values on the edges and taking the
+//! minimum of message values at the nodes, we obtain a well-known approach
+//! for computing k-hop shortest paths. ... our techniques carry over to the
+//! more general matrix-vector multiplication problem."
+//!
+//! A [`Semiring`] supplies the node combine (`add`) and edge transform
+//! (`mul`); min-plus recovers shortest paths, plus-times recovers ordinary
+//! linear algebra (counting walks, power iteration, etc.).
+
+/// An algebraic semiring `(S, add, mul, zero, one)`.
+pub trait Semiring {
+    /// Element type (`'static` so matrix entries can be built generically).
+    type Elem: Clone + PartialEq + std::fmt::Debug + 'static;
+    /// Additive identity (`add(zero, x) = x`); also the "no path/empty"
+    /// value.
+    fn zero() -> Self::Elem;
+    /// Multiplicative identity (`mul(one, x) = x`).
+    fn one() -> Self::Elem;
+    /// Node combine.
+    fn add(a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+    /// Edge transform.
+    fn mul(a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+}
+
+/// The tropical (min, +) semiring over `Option<u64>` lengths; `None` is
+/// +∞ (the additive identity). `A^k x` under min-plus computes k-hop
+/// shortest-path distances.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MinPlus;
+
+impl Semiring for MinPlus {
+    type Elem = Option<u64>;
+
+    fn zero() -> Self::Elem {
+        None
+    }
+
+    fn one() -> Self::Elem {
+        Some(0)
+    }
+
+    fn add(a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(*x.min(y)),
+            (Some(x), None) | (None, Some(x)) => Some(*x),
+            (None, None) => None,
+        }
+    }
+
+    fn mul(a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(x + y),
+            _ => None,
+        }
+    }
+}
+
+/// Ordinary (+, ×) arithmetic over `f64` — the deep-learning-style
+/// matrix-vector product of the §2.2 NGA example.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlusTimes;
+
+impl Semiring for PlusTimes {
+    type Elem = f64;
+
+    fn zero() -> Self::Elem {
+        0.0
+    }
+
+    fn one() -> Self::Elem {
+        1.0
+    }
+
+    fn add(a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        a + b
+    }
+
+    fn mul(a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        a * b
+    }
+}
+
+/// The (or, and) Boolean semiring — `A^k x` computes k-step reachability.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BoolOrAnd;
+
+impl Semiring for BoolOrAnd {
+    type Elem = bool;
+
+    fn zero() -> Self::Elem {
+        false
+    }
+
+    fn one() -> Self::Elem {
+        true
+    }
+
+    fn add(a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        *a || *b
+    }
+
+    fn mul(a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        *a && *b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_axioms<S: Semiring>(samples: &[S::Elem]) {
+        for a in samples {
+            assert_eq!(&S::add(&S::zero(), a), a, "zero is additive identity");
+            assert_eq!(&S::mul(&S::one(), a), a, "one is multiplicative identity");
+            for b in samples {
+                assert_eq!(S::add(a, b), S::add(b, a), "add commutes");
+                for c in samples {
+                    assert_eq!(
+                        S::add(&S::add(a, b), c),
+                        S::add(a, &S::add(b, c)),
+                        "add associates"
+                    );
+                    assert_eq!(
+                        S::mul(&S::mul(a, b), c),
+                        S::mul(a, &S::mul(b, c)),
+                        "mul associates"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_plus_axioms() {
+        check_axioms::<MinPlus>(&[None, Some(0), Some(1), Some(7), Some(100)]);
+    }
+
+    #[test]
+    fn bool_axioms() {
+        check_axioms::<BoolOrAnd>(&[false, true]);
+    }
+
+    #[test]
+    fn plus_times_behaves() {
+        assert_eq!(PlusTimes::add(&2.0, &3.0), 5.0);
+        assert_eq!(PlusTimes::mul(&2.0, &3.0), 6.0);
+    }
+
+    #[test]
+    fn min_plus_infinity_absorbs_mul() {
+        assert_eq!(MinPlus::mul(&None, &Some(3)), None);
+        assert_eq!(MinPlus::mul(&Some(3), &None), None);
+    }
+}

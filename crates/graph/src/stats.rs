@@ -1,0 +1,136 @@
+//! Graph statistics: the workload descriptors the paper's parameter
+//! regimes are phrased in (`n`, `m`, `U`, `L`, `α`, Δ, density).
+
+use crate::csr::{Graph, Len, Node};
+use crate::dijkstra::dijkstra;
+
+/// Summary statistics of a graph (from a given source's perspective for
+/// the distance-dependent ones).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Nodes `n`.
+    pub n: usize,
+    /// Edges `m`.
+    pub m: usize,
+    /// Largest edge length `U`.
+    pub u_max: Len,
+    /// Smallest edge length.
+    pub u_min: Option<Len>,
+    /// Edge density `m / (n(n-1))`.
+    pub density: f64,
+    /// Maximum out-degree Δ.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Nodes reachable from the source.
+    pub reachable: usize,
+    /// `L`: the largest finite distance from the source (eccentricity).
+    pub eccentricity: Option<Len>,
+    /// `α` of the farthest node: hops on its shortest path.
+    pub max_alpha: u32,
+}
+
+impl GraphStats {
+    /// Computes statistics with distances taken from `source`.
+    ///
+    /// # Panics
+    /// Panics if `source` is out of range.
+    #[must_use]
+    pub fn compute(g: &Graph, source: Node) -> Self {
+        assert!(source < g.n(), "source out of range");
+        let r = dijkstra(g, source);
+        let reachable = r.distances.iter().flatten().count();
+        let eccentricity = r.distances.iter().flatten().copied().max();
+        let max_alpha = (0..g.n())
+            .filter(|&v| r.distances[v].is_some())
+            .map(|v| r.hops[v])
+            .max()
+            .unwrap_or(0);
+        let n = g.n();
+        let denom = (n.max(2) * (n.max(2) - 1)) as f64;
+        Self {
+            n,
+            m: g.m(),
+            u_max: g.max_len(),
+            u_min: g.min_len(),
+            density: g.m() as f64 / denom,
+            max_out_degree: g.max_out_degree(),
+            max_in_degree: g.in_degrees().into_iter().max().unwrap_or(0),
+            reachable,
+            eccentricity,
+            max_alpha,
+        }
+    }
+
+    /// The paper's pseudopolynomial sweet spot: is `L` small relative to
+    /// `m` (Table 1's `L = o(m)` condition, evaluated concretely as
+    /// `L < m`)?
+    #[must_use]
+    pub fn short_l_regime(&self) -> bool {
+        self.eccentricity.is_some_and(|l| l < self.m as u64)
+    }
+}
+
+/// Out-degree histogram: `hist[d]` = number of nodes with out-degree `d`.
+#[must_use]
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let max = g.max_out_degree();
+    let mut hist = vec![0usize; max + 1];
+    for u in 0..g.n() {
+        hist[g.out_degree(u)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::from_edges;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn diamond_stats() {
+        let g = from_edges(4, &[(0, 1, 2), (1, 3, 2), (0, 2, 1), (2, 3, 5)]);
+        let s = GraphStats::compute(&g, 0);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.m, 4);
+        assert_eq!(s.u_max, 5);
+        assert_eq!(s.u_min, Some(1));
+        assert_eq!(s.reachable, 4);
+        assert_eq!(s.eccentricity, Some(4));
+        assert_eq!(s.max_alpha, 2);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 2);
+    }
+
+    #[test]
+    fn regimes_classified() {
+        let mut rng = StdRng::seed_from_u64(601);
+        // Unit grid: short-L regime.
+        let grid = crate::generators::grid2d(&mut rng, 8, 8, 1..=1);
+        assert!(GraphStats::compute(&grid, 0).short_l_regime());
+        // Heavy path: long-L regime.
+        let path = crate::generators::path(&mut rng, 32, 100..=100);
+        assert!(!GraphStats::compute(&path, 0).short_l_regime());
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let mut rng = StdRng::seed_from_u64(602);
+        let g = crate::generators::gnm(&mut rng, 30, 90, 1..=4);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 30);
+        let edges: usize = hist.iter().enumerate().map(|(d, &c)| d * c).sum();
+        assert_eq!(edges, 90);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = from_edges(1, &[]);
+        let s = GraphStats::compute(&g, 0);
+        assert_eq!(s.reachable, 1);
+        assert_eq!(s.eccentricity, Some(0));
+        assert_eq!(s.max_alpha, 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Laws relating the conventional baselines to each other, property
+//! tested: Dijkstra is the k→∞ limit of Bellman–Ford, flow duality on the
+//! residual cut, and semiring mat-vec ↔ Bellman–Ford agreement.
+
+use proptest::prelude::*;
+use sgl_graph::csr::from_edges;
+use sgl_graph::flow::{dinic, tidal_flow, FlowNetwork};
+use sgl_graph::matvec::minplus_khop_distances;
+use sgl_graph::{bellman_ford, dijkstra, Graph};
+
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 1u64..10), 1..(3 * n)).prop_map(move |edges| {
+            let edges: Vec<_> = edges.into_iter().filter(|&(u, v, _)| u != v).collect();
+            if edges.is_empty() {
+                from_edges(n, &[(0, 1 % n.max(2), 1)])
+            } else {
+                from_edges(n, &edges)
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// dist_{n-1} == Dijkstra distances (simple shortest paths need at
+    /// most n-1 edges).
+    #[test]
+    fn bellman_ford_converges_to_dijkstra(g in graph_strategy(14)) {
+        let k = (g.n() - 1) as u32;
+        let bf = bellman_ford::bellman_ford_khop(&g, 0, k.max(1));
+        let dj = dijkstra::dijkstra(&g, 0);
+        prop_assert_eq!(bf.distances, dj.distances);
+    }
+
+    /// Min-plus matrix powers implement the same recurrence.
+    #[test]
+    fn matvec_is_bellman_ford(g in graph_strategy(12), k in 0u32..10) {
+        let mv = minplus_khop_distances(&g, 0, k);
+        let bf = bellman_ford::bellman_ford_khop(&g, 0, k);
+        prop_assert_eq!(mv, bf.distances);
+    }
+
+    /// Tidal flow and Dinic agree, and both produce feasible flows.
+    #[test]
+    fn maxflow_algorithms_agree(
+        n in 3usize..12,
+        edges in proptest::collection::vec((0usize..12, 0usize..12, 1u64..25), 1..30),
+    ) {
+        let mut f = FlowNetwork::new(n);
+        for (u, v, c) in edges {
+            if u < n && v < n && u != v {
+                f.add_edge(u, v, c);
+            }
+        }
+        let mut f1 = f.clone();
+        let mut f2 = f;
+        let (tv, _) = tidal_flow(&mut f1, 0, n - 1);
+        let (dv, _) = dinic(&mut f2, 0, n - 1);
+        prop_assert_eq!(tv, dv);
+        prop_assert!(f1.check_feasible(0, n - 1, tv));
+        prop_assert!(f2.check_feasible(0, n - 1, dv));
+    }
+
+    /// Early-exit Bellman–Ford never changes answers.
+    #[test]
+    fn early_exit_is_sound(g in graph_strategy(12), k in 1u32..20) {
+        let full = bellman_ford::bellman_ford_khop(&g, 0, k);
+        let fast = bellman_ford::bellman_ford_khop_early_exit(&g, 0, k);
+        prop_assert_eq!(full.distances, fast.distances);
+        prop_assert!(fast.rounds <= full.rounds);
+    }
+
+    /// Dijkstra with an early target agrees on that target.
+    #[test]
+    fn target_mode_agrees(g in graph_strategy(12)) {
+        let full = dijkstra::dijkstra(&g, 0);
+        for t in 0..g.n() {
+            let early = dijkstra::dijkstra_to(&g, 0, Some(t));
+            prop_assert_eq!(early.distances[t], full.distances[t], "target {}", t);
+        }
+    }
+}

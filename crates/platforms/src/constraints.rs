@@ -1,0 +1,228 @@
+//! Hardware constraint checking: will this network actually fit?
+//!
+//! Real neuromorphic silicon restricts what the abstract SNN model
+//! allows: synaptic weights have fixed precision (e.g. Loihi's 8-bit
+//! mantissa), fan-in is bounded by per-core synaptic memory, delays have
+//! a hardware maximum, and neuron counts are capped per chip. The §5
+//! trade-off the paper describes — "our brute-force circuit uses larger
+//! synapse weights and fan-in" — becomes concrete here: a constant-depth
+//! circuit with `2^{λ−1}` weights simply does not map onto 8-bit-weight
+//! hardware once λ grows past 9, while the wired-OR design always fits.
+//!
+//! The checker consumes a dependency-free [`NetworkSummary`] (produce one
+//! from any simulator's network stats).
+
+/// The hardware-relevant footprint of a network.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkSummary {
+    /// Total neurons.
+    pub neurons: u64,
+    /// Largest in-degree of any neuron.
+    pub max_fan_in: u64,
+    /// Largest absolute synaptic weight.
+    pub max_abs_weight: f64,
+    /// Largest synaptic delay (time steps).
+    pub max_delay: u32,
+}
+
+/// Per-platform deployment constraints (representative published values;
+/// real chips have further tradespaces, per Appendix A's remark about
+/// memory trade-offs).
+#[derive(Clone, Copy, Debug)]
+pub struct Constraints {
+    /// Platform name (matches `PLATFORMS`).
+    pub platform: &'static str,
+    /// Maximum neurons on one chip.
+    pub max_neurons_per_chip: u64,
+    /// Maximum synaptic fan-in per neuron.
+    pub max_fan_in: u64,
+    /// Weight precision in bits (magnitude representable: `2^bits − 1`).
+    pub weight_bits: u32,
+    /// Largest programmable axonal delay, in time steps (`1` = delays not
+    /// programmable: use `sgl-circuits::delay_compile`).
+    pub max_delay: u32,
+}
+
+/// Representative constraint sets for the Table 3 ASIC platforms.
+pub const CONSTRAINT_SETS: [Constraints; 2] = [
+    Constraints {
+        platform: "TrueNorth",
+        max_neurons_per_chip: 1_048_576, // 4096 cores x 256
+        max_fan_in: 256,
+        weight_bits: 9, // 4 signed axon-type weights, 9-bit values
+        max_delay: 15,
+    },
+    Constraints {
+        platform: "Loihi",
+        max_neurons_per_chip: 131_072, // 128 cores x 1024
+        max_fan_in: 4096,
+        weight_bits: 8,
+        max_delay: 62,
+    },
+];
+
+/// A constraint violation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Violation {
+    /// Needs more neurons than one chip offers (multi-chip required).
+    TooManyNeurons {
+        /// Needed.
+        need: u64,
+        /// Available per chip.
+        have: u64,
+    },
+    /// Some neuron's fan-in exceeds the synaptic memory.
+    FanInTooLarge {
+        /// Needed.
+        need: u64,
+        /// Available.
+        have: u64,
+    },
+    /// Some weight exceeds the representable magnitude.
+    WeightOverflow {
+        /// Needed magnitude.
+        need: f64,
+        /// Largest representable.
+        have: f64,
+    },
+    /// Some delay exceeds the hardware maximum (delay compilation needed).
+    DelayTooLong {
+        /// Needed.
+        need: u32,
+        /// Maximum supported.
+        have: u32,
+    },
+}
+
+impl Constraints {
+    /// Checks a network summary, returning all violations (empty = fits).
+    #[must_use]
+    pub fn check(&self, s: &NetworkSummary) -> Vec<Violation> {
+        let mut v = Vec::new();
+        if s.neurons > self.max_neurons_per_chip {
+            v.push(Violation::TooManyNeurons {
+                need: s.neurons,
+                have: self.max_neurons_per_chip,
+            });
+        }
+        if s.max_fan_in > self.max_fan_in {
+            v.push(Violation::FanInTooLarge {
+                need: s.max_fan_in,
+                have: self.max_fan_in,
+            });
+        }
+        let max_weight = f64::from((1u32 << self.weight_bits) - 1);
+        if s.max_abs_weight > max_weight {
+            v.push(Violation::WeightOverflow {
+                need: s.max_abs_weight,
+                have: max_weight,
+            });
+        }
+        if s.max_delay > self.max_delay {
+            v.push(Violation::DelayTooLong {
+                need: s.max_delay,
+                have: self.max_delay,
+            });
+        }
+        v
+    }
+
+    /// Constraint set for a platform by name.
+    #[must_use]
+    pub fn for_platform(name: &str) -> Option<&'static Constraints> {
+        CONSTRAINT_SETS.iter().find(|c| c.platform == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wired_or_summary(d: u64, lambda: u64) -> NetworkSummary {
+        // Shapes from sgl-circuits measurements: weights ≤ 2, fan-in ≈ d.
+        NetworkSummary {
+            neurons: lambda * (3 * d + 2),
+            max_fan_in: d.max(4),
+            max_abs_weight: 2.0,
+            max_delay: (3 * lambda + 2) as u32,
+        }
+    }
+
+    fn brute_force_summary(d: u64, lambda: u64) -> NetworkSummary {
+        NetworkSummary {
+            neurons: d * d + 2 * d * lambda,
+            max_fan_in: 2 * lambda + 1,
+            max_abs_weight: 2f64.powi(lambda as i32 - 1),
+            max_delay: 5,
+        }
+    }
+
+    #[test]
+    fn wired_or_fits_loihi_at_any_width() {
+        let loihi = Constraints::for_platform("Loihi").unwrap();
+        for lambda in [4u64, 16, 20] {
+            assert!(
+                loihi.check(&wired_or_summary(64, lambda)).is_empty(),
+                "lambda {lambda}"
+            );
+        }
+    }
+
+    #[test]
+    fn brute_force_weights_overflow_loihi_past_nine_bits() {
+        let loihi = Constraints::for_platform("Loihi").unwrap();
+        assert!(loihi.check(&brute_force_summary(8, 8)).is_empty());
+        let violations = loihi.check(&brute_force_summary(8, 10));
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::WeightOverflow { .. })),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn truenorth_fan_in_limits_wide_gates() {
+        let tn = Constraints::for_platform("TrueNorth").unwrap();
+        let wide = wired_or_summary(1000, 8); // a 1000-operand max
+        assert!(tn
+            .check(&wide)
+            .iter()
+            .any(|v| matches!(v, Violation::FanInTooLarge { .. })));
+    }
+
+    #[test]
+    fn long_delays_flagged_for_compilation() {
+        let tn = Constraints::for_platform("TrueNorth").unwrap();
+        let s = NetworkSummary {
+            neurons: 100,
+            max_fan_in: 10,
+            max_abs_weight: 1.0,
+            max_delay: 500, // delay-encoded SSSP with long edges
+        };
+        assert!(tn
+            .check(&s)
+            .iter()
+            .any(|v| matches!(v, Violation::DelayTooLong { .. })));
+    }
+
+    #[test]
+    fn chip_capacity_enforced() {
+        let loihi = Constraints::for_platform("Loihi").unwrap();
+        let s = NetworkSummary {
+            neurons: 200_000,
+            max_fan_in: 4,
+            max_abs_weight: 1.0,
+            max_delay: 2,
+        };
+        assert!(matches!(
+            loihi.check(&s)[0],
+            Violation::TooManyNeurons { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_platform_is_none() {
+        assert!(Constraints::for_platform("SpiNNaker 2").is_none());
+    }
+}

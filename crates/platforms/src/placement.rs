@@ -1,0 +1,269 @@
+//! Core placement: mapping networks onto the hierarchical architecture of
+//! Appendix A / Figure 7.
+//!
+//! "Most neuromorphic systems use a hierarchical graph network
+//! architecture, with local cores containing up to 1,000 highly
+//! interconnected neurons and many cores networked together on each
+//! chip." Spikes between neurons on the same core are cheap; spikes that
+//! cross cores traverse the network-on-chip and cost more. This module
+//! assigns neurons to fixed-capacity cores, measures intra- vs
+//! inter-core spike traffic for a given run, and prices it with a
+//! configurable inter-core energy factor.
+//!
+//! The module is dependency-free: it consumes plain synapse lists and
+//! per-neuron spike counts (as produced by `sgl-snn`'s engines), so any
+//! simulator output can be analysed.
+
+/// An assignment of neurons to cores.
+#[derive(Clone, Debug)]
+pub struct CoreLayout {
+    assignment: Vec<u32>,
+    cores: u32,
+    capacity: u32,
+}
+
+/// Traffic measured under a layout.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Traffic {
+    /// Spike deliveries between neurons on the same core.
+    pub intra_core: u64,
+    /// Spike deliveries crossing cores (network-on-chip traffic).
+    pub inter_core: u64,
+}
+
+impl Traffic {
+    /// Total deliveries.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.intra_core + self.inter_core
+    }
+
+    /// Energy in joules: intra-core deliveries at `pj_per_spike`,
+    /// inter-core at `pj_per_spike × inter_factor` (NoC hops cost more;
+    /// e.g. TrueNorth's long-range router events).
+    #[must_use]
+    pub fn energy_joules(&self, pj_per_spike: f64, inter_factor: f64) -> f64 {
+        (self.intra_core as f64 + self.inter_core as f64 * inter_factor) * pj_per_spike * 1e-12
+    }
+}
+
+impl CoreLayout {
+    /// Sequential placement: neuron `i` goes to core `i / capacity`.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn sequential(neurons: usize, capacity: u32) -> Self {
+        assert!(capacity > 0);
+        let assignment: Vec<u32> = (0..neurons).map(|i| i as u32 / capacity).collect();
+        let cores = assignment.last().map_or(0, |&c| c + 1);
+        Self {
+            assignment,
+            cores,
+            capacity,
+        }
+    }
+
+    /// Traffic-aware greedy placement: repeatedly merges the neuron
+    /// clusters joined by the heaviest-traffic synapses (while merged
+    /// size fits one core), then packs clusters into cores first-fit.
+    /// `edges` are `(src, dst)` synapses; `spike_counts[src]` is the
+    /// traffic each contributes.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or an edge endpoint is out of range.
+    #[must_use]
+    pub fn greedy(
+        neurons: usize,
+        capacity: u32,
+        edges: &[(u32, u32)],
+        spike_counts: &[u32],
+    ) -> Self {
+        assert!(capacity > 0);
+        assert_eq!(spike_counts.len(), neurons);
+        // Union-find with size caps.
+        let mut parent: Vec<u32> = (0..neurons as u32).collect();
+        let mut size: Vec<u32> = vec![1; neurons];
+        fn find(parent: &mut [u32], x: u32) -> u32 {
+            let mut root = x;
+            while parent[root as usize] != root {
+                root = parent[root as usize];
+            }
+            let mut cur = x;
+            while parent[cur as usize] != root {
+                let next = parent[cur as usize];
+                parent[cur as usize] = root;
+                cur = next;
+            }
+            root
+        }
+        let mut weighted: Vec<(u64, u32, u32)> = edges
+            .iter()
+            .map(|&(u, v)| {
+                assert!((u as usize) < neurons && (v as usize) < neurons);
+                (u64::from(spike_counts[u as usize]), u, v)
+            })
+            .collect();
+        weighted.sort_unstable_by_key(|&(traffic, _, _)| std::cmp::Reverse(traffic));
+        for (traffic, u, v) in weighted {
+            if traffic == 0 {
+                break;
+            }
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv && size[ru as usize] + size[rv as usize] <= capacity {
+                parent[rv as usize] = ru;
+                size[ru as usize] += size[rv as usize];
+            }
+        }
+        // Pack clusters into cores first-fit.
+        let mut cluster_core: std::collections::HashMap<u32, u32> =
+            std::collections::HashMap::new();
+        let mut core_load: Vec<u32> = Vec::new();
+        let mut assignment = vec![0u32; neurons];
+        for i in 0..neurons as u32 {
+            let root = find(&mut parent, i);
+            let core = *cluster_core.entry(root).or_insert_with(|| {
+                let need = size[root as usize];
+                if let Some(c) = core_load.iter().position(|&l| l + need <= capacity) {
+                    core_load[c] += need;
+                    c as u32
+                } else {
+                    core_load.push(need);
+                    (core_load.len() - 1) as u32
+                }
+            });
+            assignment[i as usize] = core;
+        }
+        let cores = core_load.len() as u32;
+        Self {
+            assignment,
+            cores,
+            capacity,
+        }
+    }
+
+    /// Number of cores used.
+    #[must_use]
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Core of neuron `i`.
+    #[must_use]
+    pub fn core_of(&self, i: usize) -> u32 {
+        self.assignment[i]
+    }
+
+    /// Per-core capacity.
+    #[must_use]
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Measures intra/inter-core traffic: synapse `(u, v)` carries
+    /// `spike_counts[u]` deliveries.
+    #[must_use]
+    pub fn traffic(&self, edges: &[(u32, u32)], spike_counts: &[u32]) -> Traffic {
+        let mut t = Traffic::default();
+        for &(u, v) in edges {
+            let deliveries = u64::from(spike_counts[u as usize]);
+            if self.assignment[u as usize] == self.assignment[v as usize] {
+                t.intra_core += deliveries;
+            } else {
+                t.inter_core += deliveries;
+            }
+        }
+        t
+    }
+
+    /// Verifies no core exceeds its capacity.
+    #[must_use]
+    pub fn is_feasible(&self) -> bool {
+        let mut load = vec![0u32; self.cores as usize];
+        for &c in &self.assignment {
+            load[c as usize] += 1;
+        }
+        load.iter().all(|&l| l <= self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 4-neuron cliques joined by one bridge edge.
+    fn two_cliques() -> (usize, Vec<(u32, u32)>, Vec<u32>) {
+        let mut edges = Vec::new();
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in 0..4 {
+                    if i != j {
+                        edges.push((base + i, base + j));
+                    }
+                }
+            }
+        }
+        edges.push((3, 4)); // bridge
+        (8, edges, vec![10; 8])
+    }
+
+    #[test]
+    fn sequential_respects_capacity() {
+        let layout = CoreLayout::sequential(10, 4);
+        assert_eq!(layout.cores(), 3);
+        assert!(layout.is_feasible());
+        assert_eq!(layout.core_of(0), 0);
+        assert_eq!(layout.core_of(9), 2);
+    }
+
+    #[test]
+    fn greedy_finds_the_clique_split() {
+        let (n, edges, spikes) = two_cliques();
+        let layout = CoreLayout::greedy(n, 4, &edges, &spikes);
+        assert!(layout.is_feasible());
+        let t = layout.traffic(&edges, &spikes);
+        // Only the bridge edge should cross cores: 10 deliveries.
+        assert_eq!(t.inter_core, 10);
+        assert_eq!(t.intra_core, 240);
+    }
+
+    #[test]
+    fn greedy_never_worse_than_sequential_on_cliques() {
+        let (n, edges, spikes) = two_cliques();
+        // Sequential with capacity 4 happens to split at the clique
+        // boundary here, so shift the cliques to misalign it.
+        let shifted: Vec<(u32, u32)> = edges.iter().map(|&(u, v)| ((u + 2) % 8, (v + 2) % 8)).collect();
+        let seq = CoreLayout::sequential(n, 4).traffic(&shifted, &spikes);
+        let greedy = CoreLayout::greedy(n, 4, &shifted, &spikes).traffic(&shifted, &spikes);
+        assert!(greedy.inter_core <= seq.inter_core);
+    }
+
+    #[test]
+    fn traffic_energy_prices_inter_core_higher() {
+        let t = Traffic {
+            intra_core: 100,
+            inter_core: 100,
+        };
+        let cheap = t.energy_joules(20.0, 1.0);
+        let noc = t.energy_joules(20.0, 3.0);
+        assert!(noc > cheap);
+        assert!((noc - (100.0 + 300.0) * 20e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn silent_neurons_generate_no_traffic() {
+        let edges = vec![(0u32, 1u32), (1, 2)];
+        let spikes = vec![5, 0, 7];
+        let layout = CoreLayout::sequential(3, 1);
+        let t = layout.traffic(&edges, &spikes);
+        assert_eq!(t.total(), 5); // only neuron 0's synapse carries spikes
+    }
+
+    #[test]
+    fn empty_network() {
+        let layout = CoreLayout::sequential(0, 8);
+        assert_eq!(layout.cores(), 0);
+        assert!(layout.is_feasible());
+        assert_eq!(layout.traffic(&[], &[]).total(), 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Spike-train analytics and network export.
+//!
+//! Post-run analysis of rasters — firing rates, inter-spike intervals,
+//! activity histograms, ASCII raster rendering — plus Graphviz DOT export
+//! of networks for inspection. These are the release-library conveniences
+//! a simulator needs around the paper's core machinery.
+
+use crate::network::Network;
+use crate::raster::SpikeRaster;
+use crate::types::{NeuronId, Time};
+
+/// Firing statistics of one neuron over a run of `horizon` steps.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FiringStats {
+    /// Spike count.
+    pub spikes: usize,
+    /// Spikes per step.
+    pub rate: f64,
+    /// Mean inter-spike interval (`None` with fewer than two spikes).
+    pub mean_isi: Option<f64>,
+}
+
+/// Per-neuron firing statistics from a raster.
+#[must_use]
+pub fn firing_stats(raster: &SpikeRaster, neuron: NeuronId, horizon: Time) -> FiringStats {
+    let times = raster.spikes_of(neuron);
+    let spikes = times.len();
+    let mean_isi = (spikes >= 2).then(|| {
+        let total: u64 = times.windows(2).map(|w| w[1] - w[0]).sum();
+        total as f64 / (spikes - 1) as f64
+    });
+    FiringStats {
+        spikes,
+        rate: spikes as f64 / horizon.max(1) as f64,
+        mean_isi,
+    }
+}
+
+/// Number of spikes per time step over `0..=horizon` — the network
+/// activity profile (the wavefront of the §3 algorithm shows up as a
+/// travelling bump).
+#[must_use]
+pub fn activity_histogram(raster: &SpikeRaster, horizon: Time) -> Vec<usize> {
+    let mut hist = vec![0usize; horizon as usize + 1];
+    for &(t, _) in raster.events() {
+        if t <= horizon {
+            hist[t as usize] += 1;
+        }
+    }
+    hist
+}
+
+/// Renders a raster as ASCII art: one row per listed neuron, one column
+/// per time step, `|` at spikes. Suitable for terminal inspection of
+/// small runs (columns are capped at `max_cols`).
+#[must_use]
+pub fn render_raster(raster: &SpikeRaster, neurons: &[NeuronId], max_cols: usize) -> String {
+    let horizon = raster
+        .events()
+        .last()
+        .map_or(0, |&(t, _)| t as usize)
+        .min(max_cols.saturating_sub(1));
+    let mut out = String::new();
+    for &nid in neurons {
+        let times = raster.spikes_of(nid);
+        let mut row = vec![b'.'; horizon + 1];
+        for &t in &times {
+            if (t as usize) <= horizon {
+                row[t as usize] = b'|';
+            }
+        }
+        out.push_str(&format!("{nid:>6} "));
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Exports the network as Graphviz DOT: neurons labelled with their
+/// parameters, synapses with `weight@delay`. Inhibitory synapses are
+/// dashed; inputs are boxes; the terminal is a double circle.
+#[must_use]
+pub fn to_dot(net: &Network) -> String {
+    let mut out = String::from("digraph snn {\n  rankdir=LR;\n");
+    for id in net.neuron_ids() {
+        let p = net.params(id);
+        let shape = if net.inputs().contains(&id) {
+            "box"
+        } else if net.terminal() == Some(id) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        out.push_str(&format!(
+            "  n{} [shape={shape}, label=\"{}\\nθ={} τ={}\"];\n",
+            id.0, id.0, p.v_threshold, p.decay
+        ));
+    }
+    for id in net.neuron_ids() {
+        for s in net.synapses_from(id) {
+            let style = if s.weight < 0.0 { ", style=dashed" } else { "" };
+            out.push_str(&format!(
+                "  n{} -> n{} [label=\"{}@{}\"{style}];\n",
+                id.0, s.target.0, s.weight, s.delay
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EventEngine, RunConfig};
+    use crate::params::LifParams;
+
+    fn latch_raster() -> (SpikeRaster, NeuronId) {
+        let mut net = Network::new();
+        let m = net.add_neuron(LifParams::gate_at_least(1));
+        net.connect(m, m, 1.0, 2).unwrap();
+        let r = EventEngine
+            .run(&net, &[m], &RunConfig::fixed(10).with_raster())
+            .unwrap();
+        (r.raster.unwrap(), m)
+    }
+
+    #[test]
+    fn firing_stats_of_periodic_neuron() {
+        let (raster, m) = latch_raster();
+        let s = firing_stats(&raster, m, 10);
+        assert_eq!(s.spikes, 6); // t = 0, 2, 4, 6, 8, 10
+        assert_eq!(s.mean_isi, Some(2.0));
+        assert!((s.rate - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_silent_neuron() {
+        let (raster, _) = latch_raster();
+        let s = firing_stats(&raster, NeuronId(99), 10);
+        assert_eq!(s.spikes, 0);
+        assert_eq!(s.mean_isi, None);
+    }
+
+    #[test]
+    fn activity_histogram_counts_per_step() {
+        let (raster, _) = latch_raster();
+        let h = activity_histogram(&raster, 10);
+        assert_eq!(h.iter().sum::<usize>(), 6);
+        assert_eq!(h[0], 1);
+        assert_eq!(h[1], 0);
+        assert_eq!(h[2], 1);
+    }
+
+    #[test]
+    fn raster_rendering() {
+        let (raster, m) = latch_raster();
+        let art = render_raster(&raster, &[m], 80);
+        assert!(art.contains("|.|.|"));
+    }
+
+    #[test]
+    fn dot_export_structure() {
+        let mut net = Network::new();
+        let a = net.add_neuron(LifParams::gate_at_least(1));
+        let b = net.add_neuron(LifParams::gate_at_least(1));
+        net.connect(a, b, -1.5, 4).unwrap();
+        net.mark_input(a);
+        net.set_terminal(b);
+        let dot = to_dot(&net);
+        assert!(dot.contains("digraph snn"));
+        assert!(dot.contains("n0 [shape=box"));
+        assert!(dot.contains("n1 [shape=doublecircle"));
+        assert!(dot.contains("n0 -> n1 [label=\"-1.5@4\", style=dashed]"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Binary spike encodings of integers.
+//!
+//! The paper's polynomial-time algorithms exchange λ-bit messages encoding
+//! nonnegative integers as parallel spike patterns: bit `j` of a value is
+//! carried by the `j`-th neuron of a λ-neuron bundle firing (§2.2, §4).
+//! Helpers here convert between `u64` values, bit vectors, and the spike
+//! state of neuron bundles. Bit 0 is least significant throughout.
+
+use crate::engine::RunResult;
+use crate::types::{NeuronId, Time};
+
+/// Decomposes `value` into `lambda` bits, least-significant first.
+///
+/// # Panics
+/// Panics if `value` does not fit in `lambda` bits.
+#[must_use]
+pub fn value_to_bits(value: u64, lambda: usize) -> Vec<bool> {
+    assert!(
+        lambda >= 64 || value < (1u64 << lambda),
+        "value {value} does not fit in {lambda} bits"
+    );
+    (0..lambda).map(|j| (value >> j) & 1 == 1).collect()
+}
+
+/// Recomposes a value from bits (least-significant first).
+#[must_use]
+pub fn bits_to_value(bits: &[bool]) -> u64 {
+    assert!(bits.len() <= 64, "more than 64 bits");
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (j, &b)| acc | (u64::from(b) << j))
+}
+
+/// Number of bits needed to represent `value` (at least 1).
+#[must_use]
+pub fn bits_needed(value: u64) -> usize {
+    (64 - value.leading_zeros()).max(1) as usize
+}
+
+/// The input neurons of `bundle` that should be induced to spike at `t = 0`
+/// to present `value` to a circuit (bit 0 of `value` ↔ `bundle[0]`).
+#[must_use]
+pub fn spikes_for_value(bundle: &[NeuronId], value: u64) -> Vec<NeuronId> {
+    assert!(
+        bundle.len() >= 64 || value < (1u64 << bundle.len()),
+        "value {value} does not fit in a {}-neuron bundle",
+        bundle.len()
+    );
+    bundle
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| (value >> j) & 1 == 1)
+        .map(|(_, &id)| id)
+        .collect()
+}
+
+/// Reads the value a neuron bundle holds at time `t`: bit `j` is set iff
+/// `bundle[j]` fired at exactly `t` (requires the run to have recorded a
+/// raster; see [`read_value`] for the end-of-run variant that does not).
+#[must_use]
+pub fn read_value_at(result: &RunResult, bundle: &[NeuronId], t: Time) -> u64 {
+    let raster = result
+        .raster
+        .as_ref()
+        .expect("read_value_at requires raster recording");
+    bits_to_value(
+        &bundle
+            .iter()
+            .map(|&id| raster.fired_at(id, t))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Reads the value a neuron bundle holds at the end of the run (bit `j` set
+/// iff `bundle[j]` fired at the final step `T`) — the Definition 3 readout.
+#[must_use]
+pub fn read_value(result: &RunResult, bundle: &[NeuronId]) -> u64 {
+    bits_to_value(
+        &bundle
+            .iter()
+            .map(|&id| result.fired_at_end(id))
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        for v in [0u64, 1, 2, 3, 5, 127, 128, 255, 1 << 20] {
+            let lambda = bits_needed(v).max(21);
+            assert_eq!(bits_to_value(&value_to_bits(v, lambda)), v);
+        }
+    }
+
+    #[test]
+    fn bits_needed_boundaries() {
+        assert_eq!(bits_needed(0), 1);
+        assert_eq!(bits_needed(1), 1);
+        assert_eq!(bits_needed(2), 2);
+        assert_eq!(bits_needed(3), 2);
+        assert_eq!(bits_needed(4), 3);
+        assert_eq!(bits_needed(255), 8);
+        assert_eq!(bits_needed(256), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn value_too_large_panics() {
+        let _ = value_to_bits(8, 3);
+    }
+
+    #[test]
+    fn spikes_for_value_selects_set_bits() {
+        let bundle: Vec<NeuronId> = (0..4).map(NeuronId).collect();
+        assert_eq!(
+            spikes_for_value(&bundle, 0b1010),
+            vec![NeuronId(1), NeuronId(3)]
+        );
+        assert!(spikes_for_value(&bundle, 0).is_empty());
+    }
+
+    #[test]
+    fn full_width_64_bit_values() {
+        let v = u64::MAX;
+        let bits = value_to_bits(v, 64);
+        assert!(bits.iter().all(|&b| b));
+        assert_eq!(bits_to_value(&bits), v);
+    }
+}

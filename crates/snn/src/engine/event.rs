@@ -1,0 +1,288 @@
+//! Event-driven engine: work proportional to spike traffic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use super::{check_initial, Engine, Recorder, RunConfig, RunResult, StopCondition, StopReason};
+use crate::error::SnnError;
+use crate::network::Network;
+use crate::types::{NeuronId, Time};
+
+/// Event-driven engine with lazy voltage decay.
+///
+/// Only neurons that receive synaptic input in a given step are touched;
+/// decay over the intervening quiet interval `Δ` is applied in closed form,
+/// `v ← v_reset + (v - v_reset)(1 - τ)^Δ`. This is exact because between
+/// inputs an input-driven neuron's voltage moves monotonically toward
+/// `v_reset ≤ v_threshold` and therefore cannot cross the threshold, so
+/// firing can only happen at input-arrival steps.
+///
+/// Requires every neuron to satisfy `v_reset <= v_threshold`
+/// ([`crate::LifParams::is_input_driven`]); the run fails with
+/// [`SnnError::SpontaneousNeuron`] otherwise.
+///
+/// This engine embodies the event-driven-communication argument of §2.1:
+/// its work counters grow with spike events and synaptic deliveries, not
+/// with `neurons × steps`, which is why delay-encoded algorithms run in
+/// time `O(L + m)` rather than `O(n · L)` in practice.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EventEngine;
+
+/// A synaptic delivery scheduled for a future step. Ordered by (time,
+/// target, weight-bits) so heap pops are deterministic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Delivery {
+    time: Time,
+    target: NeuronId,
+    weight_bits: u64,
+}
+
+impl Delivery {
+    fn new(time: Time, target: NeuronId, weight: f64) -> Self {
+        Self {
+            time,
+            target,
+            // Total order over finite weights; sign-magnitude flip makes the
+            // bit order match numeric order, though any total order works
+            // for determinism.
+            weight_bits: {
+                let b = weight.to_bits();
+                if b >> 63 == 1 {
+                    !b
+                } else {
+                    b | (1 << 63)
+                }
+            },
+        }
+    }
+
+    fn weight(self) -> f64 {
+        let b = self.weight_bits;
+        f64::from_bits(if b >> 63 == 1 { b & !(1 << 63) } else { !b })
+    }
+}
+
+impl Engine for EventEngine {
+    fn run(
+        &self,
+        net: &Network,
+        initial_spikes: &[NeuronId],
+        config: &RunConfig,
+    ) -> Result<RunResult, SnnError> {
+        net.validate(true)?;
+        check_initial(net, initial_spikes)?;
+        let mut rec = Recorder::new(net, config)?;
+        let n = net.neuron_count();
+
+        let mut heap: BinaryHeap<Reverse<Delivery>> = BinaryHeap::new();
+        let mut voltages: Vec<f64> = net
+            .neuron_ids()
+            .map(|id| net.params(id).v_reset)
+            .collect();
+        let mut last_update: Vec<Time> = vec![0; n];
+
+        let mut fired: Vec<NeuronId> = initial_spikes.to_vec();
+        fired.sort_unstable();
+        fired.dedup();
+
+        let mut stop_hit = rec.record_step(0, &fired, &config.stop);
+        let mut deliveries = 0u64;
+        for &id in &fired {
+            for s in net.synapses_from(id) {
+                heap.push(Reverse(Delivery::new(
+                    Time::from(s.delay),
+                    s.target,
+                    s.weight,
+                )));
+                deliveries += 1;
+            }
+        }
+        rec.add_deliveries(deliveries);
+        if stop_hit && !matches!(config.stop, StopCondition::MaxSteps | StopCondition::Quiescent) {
+            return rec.finish(0, StopReason::ConditionMet, config);
+        }
+
+        let mut last_active: Time = 0;
+        let mut accum: Vec<f64> = vec![0.0; n];
+        let mut touched: Vec<NeuronId> = Vec::new();
+
+        while let Some(&Reverse(next)) = heap.peek() {
+            let t = next.time;
+            if t > config.max_steps {
+                break;
+            }
+
+            // Drain and accumulate every delivery arriving at step t.
+            let mut batch_deliveries = 0u64;
+            while let Some(&Reverse(d)) = heap.peek() {
+                if d.time != t {
+                    break;
+                }
+                heap.pop();
+                let i = d.target.index();
+                if accum[i] == 0.0 && !touched.contains(&d.target) {
+                    touched.push(d.target);
+                }
+                accum[i] += d.weight();
+                batch_deliveries += 1;
+            }
+            touched.sort_unstable();
+            rec.add_updates(touched.len() as u64);
+            let _ = batch_deliveries; // deliveries were counted when pushed
+
+            // Update each touched neuron: lazy decay, add input, threshold.
+            fired.clear();
+            for &id in &touched {
+                let i = id.index();
+                let p = net.params(id);
+                let dt = t - last_update[i];
+                let v0 = voltages[i];
+                // dt == 0 cannot happen (events batch per step), and
+                // decay 0 keeps the voltage; both leave v0 untouched.
+                let decayed = if dt == 0 || p.decay == 0.0 {
+                    v0
+                } else if p.decay == 1.0 {
+                    p.v_reset
+                } else {
+                    p.v_reset + (v0 - p.v_reset) * (1.0 - p.decay).powi(dt as i32)
+                };
+                let v_hat = decayed + accum[i];
+                if v_hat > p.v_threshold {
+                    fired.push(id);
+                    voltages[i] = p.v_reset;
+                } else {
+                    voltages[i] = v_hat;
+                }
+                last_update[i] = t;
+                accum[i] = 0.0;
+            }
+            touched.clear();
+            last_active = t;
+
+            stop_hit = rec.record_step(t, &fired, &config.stop);
+            let mut pushed = 0u64;
+            for &id in &fired {
+                for s in net.synapses_from(id) {
+                    heap.push(Reverse(Delivery::new(
+                        t + Time::from(s.delay),
+                        s.target,
+                        s.weight,
+                    )));
+                    pushed += 1;
+                }
+            }
+            rec.add_deliveries(pushed);
+
+            if stop_hit
+                && !matches!(config.stop, StopCondition::MaxSteps | StopCondition::Quiescent)
+            {
+                return rec.finish(t, StopReason::ConditionMet, config);
+            }
+        }
+
+        if heap.is_empty() {
+            rec.finish(last_active, StopReason::Quiescent, config)
+        } else {
+            rec.finish(config.max_steps, StopReason::MaxStepsReached, config)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::LifParams;
+
+    #[test]
+    fn delivery_weight_roundtrip() {
+        for &w in &[0.0, 1.0, -1.0, 3.5, -2.25, 1e-9, -1e9] {
+            let d = Delivery::new(3, NeuronId(1), w);
+            assert_eq!(d.weight(), w, "weight {w} did not roundtrip");
+        }
+    }
+
+    #[test]
+    fn delivery_ordering_by_time_then_target() {
+        let a = Delivery::new(1, NeuronId(5), 1.0);
+        let b = Delivery::new(2, NeuronId(0), 1.0);
+        let c = Delivery::new(1, NeuronId(6), 1.0);
+        assert!(a < b);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn matches_dense_on_delay_chain() {
+        let mut net = Network::new();
+        let ids = net.add_neurons(LifParams::gate_at_least(1), 3);
+        net.connect(ids[0], ids[1], 1.0, 4).unwrap();
+        net.connect(ids[1], ids[2], 1.0, 6).unwrap();
+        let r = EventEngine
+            .run(&net, &[ids[0]], &RunConfig::until_quiescent(100))
+            .unwrap();
+        assert_eq!(r.first_spike(ids[2]), Some(10));
+        assert_eq!(r.steps, 10);
+        assert_eq!(r.reason, StopReason::Quiescent);
+    }
+
+    #[test]
+    fn rejects_spontaneous_neurons() {
+        let mut net = Network::new();
+        net.add_neuron(LifParams {
+            v_reset: 2.0,
+            v_threshold: 1.0,
+            decay: 0.0,
+        });
+        assert!(matches!(
+            EventEngine.run(&net, &[], &RunConfig::until_quiescent(10)),
+            Err(SnnError::SpontaneousNeuron(_))
+        ));
+    }
+
+    #[test]
+    fn lazy_partial_decay_is_exact() {
+        // tau = 0.5: 0.6 arrives at t=1, then 0.6 at t=4.
+        // v(1)=0.6, decayed to t=4: 0.6 * 0.5^3 = 0.075; +0.6 = 0.675 < 0.9.
+        // Then 0.6 at t=5: 0.675*0.5 + 0.6 = 0.9375 > 0.9 -> fires at 5.
+        let mut net = Network::new();
+        let src = net.add_neuron(LifParams::gate_at_least(1));
+        let leaky = net.add_neuron(LifParams {
+            v_reset: 0.0,
+            v_threshold: 0.9,
+            decay: 0.5,
+        });
+        net.connect(src, leaky, 0.6, 1).unwrap();
+        net.connect(src, leaky, 0.6, 4).unwrap();
+        net.connect(src, leaky, 0.6, 5).unwrap();
+        let r = EventEngine
+            .run(&net, &[src], &RunConfig::until_quiescent(10))
+            .unwrap();
+        assert_eq!(r.first_spike(leaky), Some(5));
+    }
+
+    #[test]
+    fn latch_until_budget() {
+        let mut net = Network::new();
+        let m = net.add_neuron(LifParams::gate_at_least(1));
+        net.connect(m, m, 1.0, 1).unwrap();
+        let r = EventEngine.run(&net, &[m], &RunConfig::fixed(15)).unwrap();
+        assert_eq!(r.spike_counts[m.index()], 16);
+        assert_eq!(r.reason, StopReason::MaxStepsReached);
+        assert_eq!(r.steps, 15);
+    }
+
+    #[test]
+    fn updates_only_touched_neurons() {
+        // 1000 idle neurons, activity only along a 2-neuron path: event
+        // engine must not pay for the idle ones.
+        let mut net = Network::new();
+        let a = net.add_neuron(LifParams::gate_at_least(1));
+        let b = net.add_neuron(LifParams::gate_at_least(1));
+        net.connect(a, b, 1.0, 50).unwrap();
+        net.add_neurons(LifParams::gate_at_least(1), 1000);
+        let r = EventEngine
+            .run(&net, &[a], &RunConfig::until_quiescent(1000))
+            .unwrap();
+        assert_eq!(r.stats.neuron_updates, 1); // only b, once
+        assert_eq!(r.first_spike(b), Some(50));
+    }
+}

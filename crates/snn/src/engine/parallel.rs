@@ -1,0 +1,202 @@
+//! Thread-parallel time-stepped engine.
+//!
+//! Each LIF update (Eqs. (1)–(3)) touches only that neuron's state, so a
+//! synchronous step is embarrassingly parallel across neurons: the neuron
+//! range splits into per-thread chunks, every thread advances its chunk,
+//! and spike routing is merged after the barrier — the same
+//! compute/communicate cadence a multi-core neuromorphic chip follows
+//! every tick. Results are bit-identical to [`super::DenseEngine`]
+//! (verified by property tests): parallelism only reorders independent
+//! per-neuron work.
+
+use std::collections::HashMap;
+
+use super::{check_initial, Engine, Recorder, RunConfig, RunResult, StopCondition, StopReason};
+use crate::error::SnnError;
+use crate::network::Network;
+use crate::types::{NeuronId, Time};
+
+/// Dense engine with per-step neuron-range parallelism over `threads`
+/// worker threads (1 = sequential, identical to [`super::DenseEngine`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelDenseEngine {
+    /// Worker threads per step.
+    pub threads: usize,
+}
+
+impl Default for ParallelDenseEngine {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(8),
+        }
+    }
+}
+
+impl Engine for ParallelDenseEngine {
+    fn run(
+        &self,
+        net: &Network,
+        initial_spikes: &[NeuronId],
+        config: &RunConfig,
+    ) -> Result<RunResult, SnnError> {
+        let threads = self.threads.max(1);
+        net.validate(false)?;
+        check_initial(net, initial_spikes)?;
+        let mut rec = Recorder::new(net, config)?;
+        let n = net.neuron_count();
+
+        let mut pending: HashMap<Time, Vec<(NeuronId, f64)>> = HashMap::new();
+        let mut voltages: Vec<f64> = net.neuron_ids().map(|id| net.params(id).v_reset).collect();
+
+        let mut fired: Vec<NeuronId> = initial_spikes.to_vec();
+        fired.sort_unstable();
+        fired.dedup();
+
+        let mut stop_hit = rec.record_step(0, &fired, &config.stop);
+        route(net, &fired, 0, &mut pending, &mut rec);
+        if stop_hit && !matches!(config.stop, StopCondition::MaxSteps | StopCondition::Quiescent) {
+            return rec.finish(0, StopReason::ConditionMet, config);
+        }
+        let spontaneous = net.neuron_ids().any(|id| !net.params(id).is_input_driven());
+        if pending.is_empty() && !spontaneous {
+            return rec.finish(0, StopReason::Quiescent, config);
+        }
+
+        let mut syn = vec![0.0f64; n];
+        let chunk = n.div_ceil(threads).max(1);
+        for t in 1..=config.max_steps {
+            if let Some(batch) = pending.remove(&t) {
+                for (id, w) in batch {
+                    syn[id.index()] += w;
+                }
+            }
+
+            // Parallel phase: each thread updates a disjoint neuron chunk,
+            // collecting its own fired list and armed flag.
+            let mut results: Vec<(Vec<NeuronId>, bool)> = Vec::with_capacity(threads);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for (ci, (vchunk, schunk)) in voltages
+                    .chunks_mut(chunk)
+                    .zip(syn.chunks_mut(chunk))
+                    .enumerate()
+                {
+                    handles.push(scope.spawn(move || {
+                        let base = ci * chunk;
+                        let mut local_fired = Vec::new();
+                        let mut armed = false;
+                        for (i, (v, s)) in vchunk.iter_mut().zip(schunk.iter_mut()).enumerate() {
+                            let id = NeuronId((base + i) as u32);
+                            let p = net.params(id);
+                            let v_hat = *v - (*v - p.v_reset) * p.decay + *s;
+                            if v_hat > p.v_threshold {
+                                local_fired.push(id);
+                                *v = p.v_reset;
+                            } else {
+                                *v = v_hat;
+                            }
+                            *s = 0.0;
+                            let v_next = *v - (*v - p.v_reset) * p.decay;
+                            armed |= v_next > p.v_threshold;
+                        }
+                        (local_fired, armed)
+                    }));
+                }
+                for h in handles {
+                    results.push(h.join().expect("engine worker panicked"));
+                }
+            });
+            rec.add_updates(n as u64);
+            // Merge in chunk order: per-chunk lists are already id-sorted.
+            fired.clear();
+            let mut armed = false;
+            for (list, a) in results {
+                fired.extend(list);
+                armed |= a;
+            }
+
+            stop_hit = rec.record_step(t, &fired, &config.stop);
+            route(net, &fired, t, &mut pending, &mut rec);
+
+            if stop_hit
+                && !matches!(config.stop, StopCondition::MaxSteps | StopCondition::Quiescent)
+            {
+                return rec.finish(t, StopReason::ConditionMet, config);
+            }
+            if pending.is_empty() && !armed {
+                return rec.finish(t, StopReason::Quiescent, config);
+            }
+        }
+
+        rec.finish(config.max_steps, StopReason::MaxStepsReached, config)
+    }
+}
+
+fn route(
+    net: &Network,
+    fired: &[NeuronId],
+    t: Time,
+    pending: &mut HashMap<Time, Vec<(NeuronId, f64)>>,
+    rec: &mut Recorder,
+) {
+    let mut deliveries = 0u64;
+    for &id in fired {
+        for s in net.synapses_from(id) {
+            pending
+                .entry(t + Time::from(s.delay))
+                .or_default()
+                .push((s.target, s.weight));
+            deliveries += 1;
+        }
+    }
+    rec.add_deliveries(deliveries);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::DenseEngine;
+    use crate::params::LifParams;
+
+    #[test]
+    fn matches_dense_on_a_chain() {
+        let mut net = Network::new();
+        let ids = net.add_neurons(LifParams::gate_at_least(1), 5);
+        for w in ids.windows(2) {
+            net.connect(w[0], w[1], 1.0, 3).unwrap();
+        }
+        let cfg = RunConfig::until_quiescent(64).with_raster();
+        let par = ParallelDenseEngine { threads: 4 }
+            .run(&net, &[ids[0]], &cfg)
+            .unwrap();
+        let seq = DenseEngine.run(&net, &[ids[0]], &cfg).unwrap();
+        assert_eq!(par.first_spikes, seq.first_spikes);
+        assert_eq!(par.raster, seq.raster);
+        assert_eq!(par.steps, seq.steps);
+        assert_eq!(par.reason, seq.reason);
+    }
+
+    #[test]
+    fn one_thread_is_dense() {
+        let mut net = Network::new();
+        let a = net.add_neuron(LifParams::gate_at_least(1));
+        let b = net.add_neuron(LifParams::gate_at_least(1));
+        net.connect(a, b, 1.0, 2).unwrap();
+        let cfg = RunConfig::fixed(10);
+        let par = ParallelDenseEngine { threads: 1 }.run(&net, &[a], &cfg).unwrap();
+        let seq = DenseEngine.run(&net, &[a], &cfg).unwrap();
+        assert_eq!(par.first_spikes, seq.first_spikes);
+    }
+
+    #[test]
+    fn more_threads_than_neurons() {
+        let mut net = Network::new();
+        let a = net.add_neuron(LifParams::gate_at_least(1));
+        let cfg = RunConfig::fixed(3);
+        let r = ParallelDenseEngine { threads: 16 }.run(&net, &[a], &cfg).unwrap();
+        assert_eq!(r.first_spikes[a.index()], Some(0));
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for network construction and simulation.
+
+use crate::types::NeuronId;
+use std::fmt;
+
+/// Errors raised while building or simulating a spiking neural network.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SnnError {
+    /// A synapse referenced a neuron id that does not exist in the network.
+    UnknownNeuron(NeuronId),
+    /// Synaptic delays must be at least 1 (the paper prohibits zero delays:
+    /// "inherent latency when a spike traverses a synapse is a reasonable
+    /// physical assumption", §2.2).
+    ZeroDelay {
+        /// Source neuron of the offending synapse.
+        src: NeuronId,
+        /// Target neuron of the offending synapse.
+        dst: NeuronId,
+    },
+    /// A synaptic weight was NaN or infinite.
+    NonFiniteWeight {
+        /// Source neuron of the offending synapse.
+        src: NeuronId,
+        /// Target neuron of the offending synapse.
+        dst: NeuronId,
+    },
+    /// A neuron decay parameter was outside `[0, 1]`.
+    InvalidDecay(f64),
+    /// A neuron reset or threshold voltage was NaN or infinite.
+    NonFiniteVoltage,
+    /// The event-driven engine requires every neuron to satisfy
+    /// `v_reset <= v_threshold` (no spontaneous firing); this neuron
+    /// violates that.
+    SpontaneousNeuron(NeuronId),
+    /// The run configuration asked to stop at the terminal neuron but the
+    /// network has no terminal neuron designated.
+    NoTerminal,
+    /// The simulation hit `max_steps` while a stop condition other than
+    /// `MaxSteps` was requested and strict mode was enabled.
+    StepLimitExceeded {
+        /// The configured step budget that was exhausted.
+        max_steps: u64,
+    },
+}
+
+impl fmt::Display for SnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownNeuron(id) => write!(f, "unknown neuron {id}"),
+            Self::ZeroDelay { src, dst } => {
+                write!(f, "synapse {src} -> {dst} has delay 0 (minimum is 1)")
+            }
+            Self::NonFiniteWeight { src, dst } => {
+                write!(f, "synapse {src} -> {dst} has a non-finite weight")
+            }
+            Self::InvalidDecay(d) => write!(f, "decay {d} outside [0, 1]"),
+            Self::NonFiniteVoltage => write!(f, "non-finite reset or threshold voltage"),
+            Self::SpontaneousNeuron(id) => write!(
+                f,
+                "neuron {id} has v_reset > v_threshold (spontaneous firing); \
+                 unsupported by the event-driven engine"
+            ),
+            Self::NoTerminal => write!(f, "stop condition requires a terminal neuron, none set"),
+            Self::StepLimitExceeded { max_steps } => {
+                write!(f, "stop condition unmet after {max_steps} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_helpfully() {
+        let e = SnnError::ZeroDelay {
+            src: NeuronId(0),
+            dst: NeuronId(1),
+        };
+        assert!(e.to_string().contains("delay 0"));
+        assert!(SnnError::NoTerminal.to_string().contains("terminal"));
+        assert!(SnnError::StepLimitExceeded { max_steps: 10 }
+            .to_string()
+            .contains("10"));
+    }
+}

@@ -1,0 +1,332 @@
+//! The spiking neural network container (Definition 3 of the paper).
+
+use crate::error::SnnError;
+use crate::params::LifParams;
+use crate::types::NeuronId;
+
+/// A directed synapse with programmable weight and integer delay (≥ 1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Synapse {
+    /// Post-synaptic neuron.
+    pub target: NeuronId,
+    /// Synaptic weight `w_ij ∈ ℝ` (negative = inhibitory).
+    pub weight: f64,
+    /// Synaptic delay `d_ij ∈ ℕ, d_ij >= 1`, in time steps.
+    pub delay: u32,
+}
+
+/// A spiking neural network: a directed graph (cycles and self-loops
+/// allowed) whose vertices are LIF neurons and whose edges are synapses.
+///
+/// Designated subsets of neurons act as *inputs* (spikes may be induced in
+/// them at `t = 0`), *outputs* (their firing state is read out when the
+/// computation terminates), and an optional *terminal* neuron whose first
+/// spike ends the computation (Definition 3).
+#[derive(Clone, Debug, Default)]
+pub struct Network {
+    params: Vec<LifParams>,
+    synapses: Vec<Vec<Synapse>>,
+    inputs: Vec<NeuronId>,
+    outputs: Vec<NeuronId>,
+    terminal: Option<NeuronId>,
+    synapse_count: usize,
+    max_delay: u32,
+}
+
+impl Network {
+    /// Creates an empty network.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty network pre-sized for `neurons` neurons.
+    #[must_use]
+    pub fn with_capacity(neurons: usize) -> Self {
+        Self {
+            params: Vec::with_capacity(neurons),
+            synapses: Vec::with_capacity(neurons),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a neuron with the given parameters and returns its id.
+    pub fn add_neuron(&mut self, params: LifParams) -> NeuronId {
+        debug_assert!(params.validate().is_ok(), "invalid LIF parameters");
+        let id = NeuronId(u32::try_from(self.params.len()).expect("more than u32::MAX neurons"));
+        self.params.push(params);
+        self.synapses.push(Vec::new());
+        id
+    }
+
+    /// Adds `count` neurons sharing the same parameters; returns their ids.
+    pub fn add_neurons(&mut self, params: LifParams, count: usize) -> Vec<NeuronId> {
+        (0..count).map(|_| self.add_neuron(params)).collect()
+    }
+
+    /// Connects `src -> dst` with the given weight and delay.
+    ///
+    /// # Errors
+    /// Rejects unknown endpoints, zero delays and non-finite weights.
+    pub fn connect(
+        &mut self,
+        src: NeuronId,
+        dst: NeuronId,
+        weight: f64,
+        delay: u32,
+    ) -> Result<(), SnnError> {
+        if src.index() >= self.params.len() {
+            return Err(SnnError::UnknownNeuron(src));
+        }
+        if dst.index() >= self.params.len() {
+            return Err(SnnError::UnknownNeuron(dst));
+        }
+        if delay == 0 {
+            return Err(SnnError::ZeroDelay { src, dst });
+        }
+        if !weight.is_finite() {
+            return Err(SnnError::NonFiniteWeight { src, dst });
+        }
+        self.synapses[src.index()].push(Synapse {
+            target: dst,
+            weight,
+            delay,
+        });
+        self.synapse_count += 1;
+        self.max_delay = self.max_delay.max(delay);
+        Ok(())
+    }
+
+    /// Number of neurons (`n` in the paper's complexity bounds).
+    #[must_use]
+    pub fn neuron_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Number of synapses.
+    #[must_use]
+    pub fn synapse_count(&self) -> usize {
+        self.synapse_count
+    }
+
+    /// Largest synaptic delay in the network (0 for an edgeless network).
+    #[must_use]
+    pub fn max_delay(&self) -> u32 {
+        self.max_delay
+    }
+
+    /// Parameters of neuron `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a neuron of this network.
+    #[must_use]
+    pub fn params(&self, id: NeuronId) -> &LifParams {
+        &self.params[id.index()]
+    }
+
+    /// Mutable parameters of neuron `id` (reprogramming a deployed net).
+    pub fn params_mut(&mut self, id: NeuronId) -> &mut LifParams {
+        &mut self.params[id.index()]
+    }
+
+    /// Outgoing synapses of neuron `id`.
+    #[must_use]
+    pub fn synapses_from(&self, id: NeuronId) -> &[Synapse] {
+        &self.synapses[id.index()]
+    }
+
+    /// Mutable outgoing synapses of neuron `id` — used by the crossbar
+    /// embedder to re-program delays in place (§4.4).
+    pub fn synapses_from_mut(&mut self, id: NeuronId) -> &mut [Synapse] {
+        &mut self.synapses[id.index()]
+    }
+
+    /// Iterates over all neuron ids.
+    pub fn neuron_ids(&self) -> impl Iterator<Item = NeuronId> + '_ {
+        (0..self.params.len()).map(|i| NeuronId(i as u32))
+    }
+
+    /// Marks `id` as an input neuron (idempotent).
+    pub fn mark_input(&mut self, id: NeuronId) {
+        if !self.inputs.contains(&id) {
+            self.inputs.push(id);
+        }
+    }
+
+    /// Marks `id` as an output neuron (idempotent).
+    pub fn mark_output(&mut self, id: NeuronId) {
+        if !self.outputs.contains(&id) {
+            self.outputs.push(id);
+        }
+    }
+
+    /// Designates the terminal neuron `u_t` whose first spike ends the
+    /// computation (Definition 3).
+    pub fn set_terminal(&mut self, id: NeuronId) {
+        self.terminal = Some(id);
+    }
+
+    /// The designated input neurons `I ⊆ N`.
+    #[must_use]
+    pub fn inputs(&self) -> &[NeuronId] {
+        &self.inputs
+    }
+
+    /// The designated output neurons `O ⊆ N`.
+    #[must_use]
+    pub fn outputs(&self) -> &[NeuronId] {
+        &self.outputs
+    }
+
+    /// The designated terminal neuron, if any.
+    #[must_use]
+    pub fn terminal(&self) -> Option<NeuronId> {
+        self.terminal
+    }
+
+    /// In-degrees of every neuron (useful for circuit-size accounting:
+    /// the paper's node circuits scale with `indeg(v)`).
+    #[must_use]
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.params.len()];
+        for row in &self.synapses {
+            for s in row {
+                deg[s.target.index()] += 1;
+            }
+        }
+        deg
+    }
+
+    /// Largest absolute synaptic weight (circuit analyses in §5 distinguish
+    /// polynomially- from exponentially-bounded weights).
+    #[must_use]
+    pub fn max_abs_weight(&self) -> f64 {
+        self.synapses
+            .iter()
+            .flatten()
+            .map(|s| s.weight.abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Checks every neuron and synapse for model validity; additionally
+    /// verifies the event-engine precondition when `for_event_engine`.
+    pub fn validate(&self, for_event_engine: bool) -> Result<(), SnnError> {
+        for (i, p) in self.params.iter().enumerate() {
+            p.validate()?;
+            if for_event_engine && !p.is_input_driven() {
+                return Err(SnnError::SpontaneousNeuron(NeuronId(i as u32)));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_network() {
+        let mut net = Network::new();
+        let a = net.add_neuron(LifParams::gate(1.0));
+        let b = net.add_neuron(LifParams::gate(1.0));
+        net.connect(a, b, 2.0, 5).unwrap();
+        assert_eq!(net.neuron_count(), 2);
+        assert_eq!(net.synapse_count(), 1);
+        assert_eq!(net.max_delay(), 5);
+        assert_eq!(net.synapses_from(a).len(), 1);
+        assert_eq!(net.synapses_from(b).len(), 0);
+        assert_eq!(net.synapses_from(a)[0].target, b);
+    }
+
+    #[test]
+    fn zero_delay_rejected() {
+        let mut net = Network::new();
+        let a = net.add_neuron(LifParams::default());
+        let b = net.add_neuron(LifParams::default());
+        assert_eq!(
+            net.connect(a, b, 1.0, 0),
+            Err(SnnError::ZeroDelay { src: a, dst: b })
+        );
+    }
+
+    #[test]
+    fn unknown_neuron_rejected() {
+        let mut net = Network::new();
+        let a = net.add_neuron(LifParams::default());
+        let ghost = NeuronId(99);
+        assert_eq!(
+            net.connect(a, ghost, 1.0, 1),
+            Err(SnnError::UnknownNeuron(ghost))
+        );
+        assert_eq!(
+            net.connect(ghost, a, 1.0, 1),
+            Err(SnnError::UnknownNeuron(ghost))
+        );
+    }
+
+    #[test]
+    fn non_finite_weight_rejected() {
+        let mut net = Network::new();
+        let a = net.add_neuron(LifParams::default());
+        assert!(net.connect(a, a, f64::NAN, 1).is_err());
+        assert!(net.connect(a, a, f64::INFINITY, 1).is_err());
+    }
+
+    #[test]
+    fn self_loops_allowed() {
+        let mut net = Network::new();
+        let a = net.add_neuron(LifParams::integrator(0.5));
+        net.connect(a, a, 1.0, 1).unwrap();
+        assert_eq!(net.synapses_from(a)[0].target, a);
+    }
+
+    #[test]
+    fn io_and_terminal_designation() {
+        let mut net = Network::new();
+        let a = net.add_neuron(LifParams::default());
+        let b = net.add_neuron(LifParams::default());
+        net.mark_input(a);
+        net.mark_input(a); // idempotent
+        net.mark_output(b);
+        net.set_terminal(b);
+        assert_eq!(net.inputs(), &[a]);
+        assert_eq!(net.outputs(), &[b]);
+        assert_eq!(net.terminal(), Some(b));
+    }
+
+    #[test]
+    fn in_degrees_counted() {
+        let mut net = Network::new();
+        let ids = net.add_neurons(LifParams::default(), 3);
+        net.connect(ids[0], ids[2], 1.0, 1).unwrap();
+        net.connect(ids[1], ids[2], 1.0, 1).unwrap();
+        net.connect(ids[2], ids[0], 1.0, 1).unwrap();
+        assert_eq!(net.in_degrees(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn validate_flags_spontaneous_for_event_engine() {
+        let mut net = Network::new();
+        net.add_neuron(LifParams {
+            v_reset: 2.0,
+            v_threshold: 1.0,
+            decay: 0.0,
+        });
+        assert!(net.validate(false).is_ok());
+        assert!(matches!(
+            net.validate(true),
+            Err(SnnError::SpontaneousNeuron(_))
+        ));
+    }
+
+    #[test]
+    fn max_abs_weight_tracks_inhibitory() {
+        let mut net = Network::new();
+        let a = net.add_neuron(LifParams::default());
+        let b = net.add_neuron(LifParams::default());
+        net.connect(a, b, -3.5, 1).unwrap();
+        net.connect(b, a, 2.0, 1).unwrap();
+        assert_eq!(net.max_abs_weight(), 3.5);
+    }
+}

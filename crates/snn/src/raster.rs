@@ -1,0 +1,105 @@
+//! Spike raster: the full record of (time, neuron) firing events.
+
+use crate::types::{NeuronId, Time};
+
+/// A chronological record of every spike in a run.
+///
+/// Spikes are stored in nondecreasing time order (engines emit them that
+/// way); within a time step they are sorted by neuron id, making rasters
+/// deterministic and comparable across engines.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpikeRaster {
+    events: Vec<(Time, NeuronId)>,
+}
+
+impl SpikeRaster {
+    /// Creates an empty raster.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends all spikes of one time step. `neurons` must be sorted.
+    pub fn push_step(&mut self, t: Time, neurons: &[NeuronId]) {
+        debug_assert!(neurons.windows(2).all(|w| w[0] < w[1]), "unsorted step");
+        debug_assert!(
+            self.events.last().is_none_or(|&(last, _)| last <= t),
+            "time went backwards"
+        );
+        self.events.extend(neurons.iter().map(|&n| (t, n)));
+    }
+
+    /// All events in chronological order.
+    #[must_use]
+    pub fn events(&self) -> &[(Time, NeuronId)] {
+        &self.events
+    }
+
+    /// Total number of spike events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no spikes were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Firing times of a single neuron, in increasing order.
+    #[must_use]
+    pub fn spikes_of(&self, id: NeuronId) -> Vec<Time> {
+        self.events
+            .iter()
+            .filter(|&&(_, n)| n == id)
+            .map(|&(t, _)| t)
+            .collect()
+    }
+
+    /// Neurons that fired at exactly time `t`, in increasing id order.
+    #[must_use]
+    pub fn spikes_at(&self, t: Time) -> Vec<NeuronId> {
+        // Events are time-sorted; binary-search the window.
+        let start = self.events.partition_point(|&(et, _)| et < t);
+        let end = self.events.partition_point(|&(et, _)| et <= t);
+        self.events[start..end].iter().map(|&(_, n)| n).collect()
+    }
+
+    /// Whether neuron `id` fired at time `t`.
+    #[must_use]
+    pub fn fired_at(&self, id: NeuronId, t: Time) -> bool {
+        self.spikes_at(t).binary_search(&id).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NeuronId {
+        NeuronId(i)
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut r = SpikeRaster::new();
+        r.push_step(1, &[n(0), n(2)]);
+        r.push_step(3, &[n(1)]);
+        r.push_step(3, &[n(2)]); // second batch same step is fine if sorted overall by time
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.spikes_of(n(2)), vec![1, 3]);
+        assert_eq!(r.spikes_at(3), vec![n(1), n(2)]);
+        assert!(r.fired_at(n(0), 1));
+        assert!(!r.fired_at(n(0), 3));
+        assert!(r.spikes_at(2).is_empty());
+    }
+
+    #[test]
+    fn empty_raster() {
+        let r = SpikeRaster::new();
+        assert!(r.is_empty());
+        assert!(r.spikes_of(n(0)).is_empty());
+        assert!(r.spikes_at(0).is_empty());
+    }
+}

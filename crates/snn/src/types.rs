@@ -1,0 +1,64 @@
+//! Fundamental identifier and time types shared across the simulator.
+
+use std::fmt;
+
+/// Discrete simulation time, in time steps (`t ∈ ℕ`).
+///
+/// Computation starts with input spikes induced at `t = 0`; the earliest a
+/// downstream neuron can fire is `t = 1` (through a delay-1 synapse).
+pub type Time = u64;
+
+/// Identifier of a neuron within a [`crate::Network`].
+///
+/// Neuron ids are dense indices assigned in creation order, so they double
+/// as vector indices in the engines. A `u32` supports networks of up to
+/// ~4.3 billion neurons — comfortably beyond the 100M-neuron systems the
+/// paper surveys.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NeuronId(pub u32);
+
+impl NeuronId {
+    /// The neuron's dense index, usable to index per-neuron vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NeuronId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NeuronId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NeuronId> for usize {
+    fn from(id: NeuronId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neuron_id_roundtrip_and_format() {
+        let id = NeuronId(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+        assert_eq!(format!("{id}"), "n42");
+        assert_eq!(format!("{id:?}"), "n42");
+    }
+
+    #[test]
+    fn neuron_id_ordering_follows_index() {
+        assert!(NeuronId(1) < NeuronId(2));
+        assert_eq!(NeuronId(7), NeuronId(7));
+    }
+}

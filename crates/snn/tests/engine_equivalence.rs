@@ -1,0 +1,121 @@
+//! Property tests: the dense (literal) and event-driven engines must agree
+//! on every observable — spike times, counts, termination time and reason —
+//! across random networks. This validates the event engine's lazy-decay
+//! optimisation against the paper's verbatim dynamics.
+
+use proptest::prelude::*;
+use sgl_snn::{
+    engine::{DenseEngine, Engine, EventEngine, ParallelDenseEngine, RunConfig},
+    LifParams, Network, NeuronId,
+};
+
+/// A compact description of a random network we can generate shrinkable
+/// instances of.
+#[derive(Debug, Clone)]
+struct NetSpec {
+    neurons: Vec<(f64, u8)>, // (threshold, decay kind: 0 = integrator, 1 = gate, 2 = tau 0.5)
+    synapses: Vec<(usize, usize, i8, u8)>, // (src, dst, weight sign/mag, delay)
+    initial: Vec<usize>,
+}
+
+fn net_spec() -> impl Strategy<Value = NetSpec> {
+    let n_range = 2usize..10;
+    n_range.prop_flat_map(|n| {
+        let neurons = proptest::collection::vec((0.5f64..4.0, 0u8..3), n);
+        let synapse = (0..n, 0..n, -2i8..=3, 1u8..6);
+        let synapses = proptest::collection::vec(synapse, 1..25);
+        let initial = proptest::collection::vec(0..n, 1..4);
+        (neurons, synapses, initial).prop_map(|(neurons, synapses, initial)| NetSpec {
+            neurons,
+            synapses,
+            initial,
+        })
+    })
+}
+
+fn build(spec: &NetSpec) -> (Network, Vec<NeuronId>) {
+    let mut net = Network::new();
+    let ids: Vec<NeuronId> = spec
+        .neurons
+        .iter()
+        .map(|&(threshold, kind)| {
+            let params = match kind {
+                0 => LifParams::integrator(threshold),
+                1 => LifParams::gate(threshold),
+                _ => LifParams {
+                    v_reset: 0.0,
+                    v_threshold: threshold,
+                    decay: 0.5,
+                },
+            };
+            net.add_neuron(params)
+        })
+        .collect();
+    for &(s, d, w, delay) in &spec.synapses {
+        net.connect(ids[s], ids[d], f64::from(w), u32::from(delay))
+            .unwrap();
+    }
+    let initial: Vec<NeuronId> = spec.initial.iter().map(|&i| ids[i]).collect();
+    (net, initial)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn engines_agree_on_random_networks(spec in net_spec()) {
+        let (net, initial) = build(&spec);
+        let cfg = RunConfig::fixed(60).with_raster();
+        let dense = DenseEngine.run(&net, &initial, &cfg).unwrap();
+        let event = EventEngine.run(&net, &initial, &cfg).unwrap();
+
+        prop_assert_eq!(&dense.first_spikes, &event.first_spikes);
+        prop_assert_eq!(&dense.last_spikes, &event.last_spikes);
+        prop_assert_eq!(&dense.spike_counts, &event.spike_counts);
+        prop_assert_eq!(dense.raster.as_ref().unwrap(), event.raster.as_ref().unwrap());
+        prop_assert_eq!(dense.stats.spike_events, event.stats.spike_events);
+        prop_assert_eq!(dense.stats.synaptic_deliveries, event.stats.synaptic_deliveries);
+        prop_assert_eq!(dense.steps, event.steps);
+        prop_assert_eq!(dense.reason, event.reason);
+    }
+
+    #[test]
+    fn parallel_dense_is_bit_identical(spec in net_spec()) {
+        let (net, initial) = build(&spec);
+        let cfg = RunConfig::fixed(60).with_raster();
+        let dense = DenseEngine.run(&net, &initial, &cfg).unwrap();
+        let par = ParallelDenseEngine { threads: 4 }.run(&net, &initial, &cfg).unwrap();
+        prop_assert_eq!(&dense.first_spikes, &par.first_spikes);
+        prop_assert_eq!(&dense.last_spikes, &par.last_spikes);
+        prop_assert_eq!(&dense.spike_counts, &par.spike_counts);
+        prop_assert_eq!(dense.raster.as_ref().unwrap(), par.raster.as_ref().unwrap());
+        prop_assert_eq!(dense.steps, par.steps);
+        prop_assert_eq!(dense.reason, par.reason);
+    }
+
+    #[test]
+    fn engines_agree_with_terminal_stop(spec in net_spec()) {
+        let (mut net, initial) = build(&spec);
+        // Pick the last neuron as terminal; runs that never reach it stop on
+        // the budget in both engines.
+        let term = NeuronId((net.neuron_count() - 1) as u32);
+        net.set_terminal(term);
+        let cfg = RunConfig::until_terminal(60);
+        let dense = DenseEngine.run(&net, &initial, &cfg).unwrap();
+        let event = EventEngine.run(&net, &initial, &cfg).unwrap();
+        prop_assert_eq!(dense.steps, event.steps);
+        prop_assert_eq!(dense.reason, event.reason);
+        prop_assert_eq!(&dense.first_spikes, &event.first_spikes);
+    }
+
+    #[test]
+    fn event_engine_never_does_more_updates(spec in net_spec()) {
+        let (net, initial) = build(&spec);
+        let cfg = RunConfig::fixed(60);
+        let dense = DenseEngine.run(&net, &initial, &cfg).unwrap();
+        let event = EventEngine.run(&net, &initial, &cfg).unwrap();
+        // The event-driven advantage the paper banks on: touched-neuron
+        // updates are bounded by the dense engine's neurons-times-steps.
+        prop_assert!(event.stats.neuron_updates <= dense.stats.neuron_updates);
+    }
+}

@@ -1,0 +1,113 @@
+//! Coverage for the remaining stop-condition and readout surfaces:
+//! `AnyOf`, raster-based value reads, and Definition-3 output readout
+//! through the terminal path.
+
+use sgl_snn::encoding::{read_value_at, spikes_for_value};
+use sgl_snn::engine::{DenseEngine, Engine, EventEngine, RunConfig, StopCondition, StopReason};
+use sgl_snn::{LifParams, Network, NeuronId};
+
+fn chain(n: usize, delay: u32) -> (Network, Vec<NeuronId>) {
+    let mut net = Network::new();
+    let ids = net.add_neurons(LifParams::gate_at_least(1), n);
+    for w in ids.windows(2) {
+        net.connect(w[0], w[1], 1.0, delay).unwrap();
+    }
+    (net, ids)
+}
+
+#[test]
+fn any_of_stops_at_the_first_listed_spike() {
+    let (net, ids) = chain(6, 2);
+    let cfg = RunConfig {
+        max_steps: 50,
+        stop: StopCondition::AnyOf(vec![ids[3], ids[5]]),
+        record_raster: false,
+        strict: false,
+    };
+    for result in [
+        EventEngine.run(&net, &[ids[0]], &cfg).unwrap(),
+        DenseEngine.run(&net, &[ids[0]], &cfg).unwrap(),
+    ] {
+        assert_eq!(result.reason, StopReason::ConditionMet);
+        assert_eq!(result.steps, 6); // ids[3] fires at t = 3 * 2
+        assert_eq!(result.first_spikes[ids[3].index()], Some(6));
+        assert_eq!(result.first_spikes[ids[5].index()], None);
+    }
+}
+
+#[test]
+fn any_of_with_unreachable_neuron_quiesces() {
+    let (net, ids) = chain(3, 1);
+    let isolated = {
+        let mut net2 = net.clone();
+        let x = net2.add_neuron(LifParams::gate_at_least(1));
+        (net2, x)
+    };
+    let (net2, x) = isolated;
+    let cfg = RunConfig {
+        max_steps: 10,
+        stop: StopCondition::AnyOf(vec![x]),
+        record_raster: false,
+        strict: false,
+    };
+    let r = EventEngine.run(&net2, &[ids[0]], &cfg).unwrap();
+    // The chain quiesces long before the isolated neuron could ever fire.
+    assert_eq!(r.reason, StopReason::Quiescent);
+    assert_eq!(r.first_spikes[x.index()], None);
+}
+
+#[test]
+fn unknown_stop_target_is_rejected() {
+    let (net, ids) = chain(2, 1);
+    let cfg = RunConfig {
+        max_steps: 10,
+        stop: StopCondition::AnyOf(vec![NeuronId(99)]),
+        record_raster: false,
+        strict: false,
+    };
+    assert!(EventEngine.run(&net, &[ids[0]], &cfg).is_err());
+}
+
+#[test]
+fn read_value_at_decodes_bundles_mid_run() {
+    // A 4-bit bundle that relays its pattern two steps later.
+    let mut net = Network::new();
+    let inputs = net.add_neurons(LifParams::gate_at_least(1), 4);
+    let relays: Vec<NeuronId> = inputs
+        .iter()
+        .map(|&i| {
+            let r = net.add_neuron(LifParams::gate_at_least(1));
+            net.connect(i, r, 1.0, 2).unwrap();
+            r
+        })
+        .collect();
+    for value in [0u64, 5, 10, 15] {
+        let init = spikes_for_value(&inputs, value);
+        let result = EventEngine
+            .run(&net, &init, &RunConfig::fixed(4).with_raster())
+            .unwrap();
+        assert_eq!(read_value_at(&result, &relays, 2), value, "value {value}");
+        assert_eq!(read_value_at(&result, &relays, 1), 0, "nothing early");
+    }
+}
+
+#[test]
+fn output_bits_follow_the_terminal_readout() {
+    // Two outputs; only one coincides with the terminal spike.
+    let mut net = Network::new();
+    let src = net.add_neuron(LifParams::gate_at_least(1));
+    let o1 = net.add_neuron(LifParams::gate_at_least(1));
+    let o2 = net.add_neuron(LifParams::gate_at_least(1));
+    let term = net.add_neuron(LifParams::gate_at_least(1));
+    net.connect(src, o1, 1.0, 3).unwrap();
+    net.connect(src, o2, 1.0, 2).unwrap(); // fires early, not at T
+    net.connect(src, term, 1.0, 3).unwrap();
+    net.mark_output(o1);
+    net.mark_output(o2);
+    net.set_terminal(term);
+    let r = EventEngine
+        .run(&net, &[src], &RunConfig::until_terminal(10))
+        .unwrap();
+    assert_eq!(r.steps, 3);
+    assert_eq!(r.output_bits(&net), vec![true, false]);
+}

@@ -1,0 +1,55 @@
+//! Circuit playground: the §5 threshold-gate constructions, hands on.
+//!
+//! Builds each circuit, evaluates it on concrete inputs by actually
+//! simulating LIF spikes, and prints the measured size/depth trade-offs
+//! of Table 2 and Figure 4.
+//!
+//! Run with: `cargo run --example circuit_playground`
+
+use spiking_graphs::circuits::{adders, max_brute_force, max_wired_or, CircuitStats};
+
+fn main() {
+    let values = [23u64, 7, 31, 23, 12];
+    println!("inputs: {values:?} (5 operands, 5 bits)\n");
+
+    // Theorem 5.1: wired-OR max — O(dλ) neurons, O(λ) depth.
+    let wo = max_wired_or::build_max(5, 5);
+    let (max_v, winners) = wo.eval_with_winners(&values);
+    println!("wired-or max  = {max_v}, winners = {winners:?} (ties both marked)");
+    println!("  {}", CircuitStats::of(&wo.circuit));
+
+    // Theorem 5.2: brute-force max — O(d²) neurons, constant depth.
+    let bf = max_brute_force::build_max(5, 5);
+    let (max_b, winners_b) = bf.eval_with_winners(&values);
+    println!("brute-force max = {max_b}, winners = {winners_b:?} (smallest index wins ties)");
+    println!("  {}", CircuitStats::of(&bf.circuit));
+
+    // Min via input complementation.
+    let mn = max_wired_or::build_min(5, 5);
+    println!("wired-or min  = {}", mn.eval(&values));
+
+    // Adders (Figure 4): constant depth with exponential weights vs
+    // O(λ) depth with small weights.
+    println!("\n13 + 29:");
+    let look = adders::build_lookahead_adder(6);
+    let ripple = adders::build_ripple_adder(6);
+    println!(
+        "  lookahead = {}   [{}]",
+        look.eval(&[13, 29]).unwrap(),
+        CircuitStats::of(&look)
+    );
+    println!(
+        "  ripple    = {}   [{}]",
+        ripple.eval(&[13, 29]).unwrap(),
+        CircuitStats::of(&ripple)
+    );
+
+    // The TTL decrement circuit of §4.1.
+    let dec = adders::build_decrement(6);
+    println!("\nTTL decrement: 32 -> {}", dec.eval(&[32]).unwrap());
+    println!("  [{}]", CircuitStats::of(&dec));
+
+    // Per-edge add-a-constant (the §4.2 edge circuit).
+    let addc = adders::build_add_const(6, 17);
+    println!("\nedge circuit (+17): 42 -> {}", addc.eval(&[42]).unwrap());
+}

@@ -1,0 +1,56 @@
+//! Crossbar embedding: running graph algorithms on realistic hardware
+//! topology.
+//!
+//! Neuromorphic chips don't offer arbitrary connectivity; §4.4 shows any
+//! n-vertex graph embeds into the stacked-grid crossbar `H_n` by
+//! programming the `m` type-2 delays. This example embeds two different
+//! graphs into one crossbar in sequence (the O(m) multiplexing argument),
+//! runs the actual spiking SSSP on the crossbar each time, and reports
+//! the embedding cost the paper's Table 1 charges.
+//!
+//! Run with: `cargo run --example crossbar_demo`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spiking_graphs::crossbar::{Crossbar, EmbeddedSssp};
+use spiking_graphs::graph::{dijkstra, generators};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let n = 10;
+    let mut xbar = Crossbar::new(n);
+    println!(
+        "crossbar H_{n}: {} neurons, {} fixed synapses, {} programmable type-2 synapses\n",
+        xbar.vertex_count(),
+        xbar.fixed_edge_count(),
+        n * (n - 1)
+    );
+
+    for (label, m) in [("workload A", 30usize), ("workload B", 60)] {
+        let g = generators::gnm_connected(&mut rng, n, m, 1..=6);
+        let writes_before = xbar.writes();
+        let info = xbar.embed(&g);
+        println!("{label}: n = {n}, m = {m}");
+        println!(
+            "  embedded with {} delay writes (= m), length scale {}",
+            info.writes, info.scale
+        );
+
+        let solver = EmbeddedSssp::new(&xbar, info, g.n());
+        let spiking = solver.solve(&xbar, 0);
+        let truth = dijkstra::dijkstra(&g, 0);
+        assert_eq!(spiking, truth.distances);
+        println!(
+            "  spiking SSSP on the crossbar reproduced all {} distances exactly",
+            spiking.iter().flatten().count()
+        );
+
+        xbar.unembed(&g);
+        println!(
+            "  unembedded ({} total writes for this workload; resting state restored)\n",
+            xbar.writes() - writes_before
+        );
+    }
+
+    println!("every workload costs O(m) programming — the crossbar is multiplexed, not rebuilt.");
+}

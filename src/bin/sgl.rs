@@ -1,0 +1,230 @@
+//! `sgl` — command-line front end for the spiking-graphs library.
+//!
+//! Operates on DIMACS `.gr` files (9th DIMACS Challenge shortest-path
+//! format; edge lengths double as capacities for `flow`):
+//!
+//! ```text
+//! sgl info  <file.gr>                         graph statistics
+//! sgl gen   <kind> <n> <m> <umax> <seed>      emit a random instance
+//! sgl sssp  <file.gr> <source> [algo]         spiking | dijkstra | poly
+//! sgl khop  <file.gr> <source> <k> [algo]     ttl | poly | bf | approx
+//! sgl flow  <file.gr> <s> <t> [algo]          tidal | dinic
+//! ```
+//!
+//! Node ids on the command line are 0-based (matching library output);
+//! the DIMACS format itself is 1-based.
+
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spiking_graphs::algorithms::khop_pseudo::Propagation;
+use spiking_graphs::algorithms::sssp_pseudo::SpikingSssp;
+use spiking_graphs::algorithms::{approx_khop, khop_poly, khop_pseudo, sssp_poly, tidal};
+use spiking_graphs::graph::flow::{dinic, tidal_flow, FlowNetwork};
+use spiking_graphs::graph::{bellman_ford, dijkstra, generators, io, Graph};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  sgl info <file.gr>");
+            eprintln!("  sgl gen  <gnm|grid|layered> <n> <m> <umax> <seed>");
+            eprintln!("  sgl sssp <file.gr> <source> [spiking|dijkstra|poly]");
+            eprintln!("  sgl khop <file.gr> <source> <k> [ttl|poly|bf|approx]");
+            eprintln!("  sgl flow <file.gr> <s> <t> [tidal|dinic]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("info") => info(args.get(1).ok_or("missing file")?),
+        Some("gen") => gen(&args[1..]),
+        Some("sssp") => sssp(&args[1..]),
+        Some("khop") => khop(&args[1..]),
+        Some("flow") => flow(&args[1..]),
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("no command".into()),
+    }
+}
+
+fn load(path: &str) -> Result<Graph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    io::parse_dimacs(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], i: usize, what: &str) -> Result<T, String> {
+    args.get(i)
+        .ok_or(format!("missing {what}"))?
+        .parse()
+        .map_err(|_| format!("bad {what}"))
+}
+
+fn info(path: &str) -> Result<(), String> {
+    let g = load(path)?;
+    let s = spiking_graphs::graph::stats::GraphStats::compute(&g, 0);
+    println!("nodes: {}", s.n);
+    println!("edges: {}", s.m);
+    println!("max length U: {}", s.u_max);
+    println!("min length:   {}", s.u_min.unwrap_or(0));
+    println!("density: {:.4}", s.density);
+    println!("max out-degree: {} / in-degree: {}", s.max_out_degree, s.max_in_degree);
+    println!("reachable from node 0: {}", s.reachable);
+    if let Some(l) = s.eccentricity {
+        println!("eccentricity of node 0 (L): {l} (alpha up to {})", s.max_alpha);
+    }
+    println!(
+        "regime: {} (Table 1 pseudopolynomial condition L < m)",
+        if s.short_l_regime() { "short-L — spiking favoured" } else { "long-L — conventional favoured" }
+    );
+    Ok(())
+}
+
+fn gen(args: &[String]) -> Result<(), String> {
+    let kind: String = parse(args, 0, "kind")?;
+    let n: usize = parse(args, 1, "n")?;
+    let m: usize = parse(args, 2, "m")?;
+    let umax: u64 = parse(args, 3, "umax")?;
+    let seed: u64 = parse(args, 4, "seed")?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = match kind.as_str() {
+        "gnm" => generators::gnm_connected(&mut rng, n, m, 1..=umax.max(1)),
+        "grid" => {
+            let side = (n as f64).sqrt().ceil() as usize;
+            generators::grid2d(&mut rng, side, side, 1..=umax.max(1))
+        }
+        "layered" => generators::layered(&mut rng, n.max(2) / 4, 4, 3, 1..=umax.max(1)),
+        other => return Err(format!("unknown generator '{other}'")),
+    };
+    print!("{}", io::to_dimacs(&g, &format!("sgl gen {kind} n={n} m={m} seed={seed}")));
+    Ok(())
+}
+
+fn print_distances(distances: &[Option<u64>]) {
+    let reachable = distances.iter().flatten().count();
+    println!("reachable: {reachable}/{}", distances.len());
+    for (v, d) in distances.iter().enumerate() {
+        if let Some(d) = d {
+            println!("{v} {d}");
+        }
+    }
+}
+
+fn sssp(args: &[String]) -> Result<(), String> {
+    let g = load(args.first().ok_or("missing file")?)?;
+    let source: usize = parse(args, 1, "source")?;
+    if source >= g.n() {
+        return Err("source out of range".into());
+    }
+    let algo = args.get(2).map_or("spiking", String::as_str);
+    match algo {
+        "spiking" => {
+            let run = SpikingSssp::new(&g, source)
+                .solve_all()
+                .map_err(|e| e.to_string())?;
+            eprintln!(
+                "spiking: T = {} steps, {} spikes, {} neurons",
+                run.spike_time, run.cost.spike_events, run.cost.neurons
+            );
+            print_distances(&run.distances);
+        }
+        "dijkstra" => {
+            let r = dijkstra::dijkstra(&g, source);
+            eprintln!("dijkstra: {} ops", r.ops(g.n()));
+            print_distances(&r.distances);
+        }
+        "poly" => {
+            let run = sssp_poly::solve(&g, source);
+            eprintln!("poly: alpha = {}, {} model steps", run.alpha, run.cost.spiking_steps);
+            print_distances(&run.distances);
+        }
+        other => return Err(format!("unknown sssp algorithm '{other}'")),
+    }
+    Ok(())
+}
+
+fn khop(args: &[String]) -> Result<(), String> {
+    let g = load(args.first().ok_or("missing file")?)?;
+    let source: usize = parse(args, 1, "source")?;
+    let k: u32 = parse(args, 2, "k")?;
+    if source >= g.n() {
+        return Err("source out of range".into());
+    }
+    let algo = args.get(3).map_or("ttl", String::as_str);
+    match algo {
+        "ttl" => {
+            let run = khop_pseudo::solve(&g, source, k.max(1), Propagation::Pruned);
+            eprintln!(
+                "ttl: L = {}, {} messages, {} model steps",
+                run.logical_time, run.messages, run.cost.spiking_steps
+            );
+            print_distances(&run.distances);
+        }
+        "poly" => {
+            let run = khop_poly::solve(&g, source, k.max(1), Propagation::Pruned);
+            eprintln!("poly: {} rounds, {} model steps", run.rounds, run.cost.spiking_steps);
+            print_distances(&run.distances);
+        }
+        "bf" => {
+            let run = bellman_ford::bellman_ford_khop(&g, source, k);
+            eprintln!("bellman-ford: {} relaxations", run.relaxations);
+            print_distances(&run.distances);
+        }
+        "approx" => {
+            let run = approx_khop::solve(&g, source, k.max(1));
+            eprintln!(
+                "approx: eps = {:.4}, {} scales, {} neurons",
+                run.epsilon, run.scales, run.cost.neurons
+            );
+            for (v, e) in run.estimates.iter().enumerate() {
+                if let Some(e) = e {
+                    println!("{v} {e:.3}");
+                }
+            }
+        }
+        other => return Err(format!("unknown khop algorithm '{other}'")),
+    }
+    Ok(())
+}
+
+fn flow(args: &[String]) -> Result<(), String> {
+    let g = load(args.first().ok_or("missing file")?)?;
+    let s: usize = parse(args, 1, "s")?;
+    let t: usize = parse(args, 2, "t")?;
+    if s >= g.n() || t >= g.n() || s == t {
+        return Err("bad s/t".into());
+    }
+    let mut net = FlowNetwork::new(g.n());
+    for (u, v, len) in g.edges() {
+        net.add_edge(u, v, len);
+    }
+    let algo = args.get(3).map_or("tidal", String::as_str);
+    match algo {
+        "tidal" => {
+            let run = tidal::solve(net, s, t);
+            eprintln!(
+                "tidal: {} phases, {} tides, {} NGA rounds",
+                run.phases, run.tides, run.nga_rounds
+            );
+            println!("max flow: {}", run.max_flow);
+        }
+        "dinic" => {
+            let (v, stats) = dinic(&mut net, s, t);
+            eprintln!("dinic: {} phases, {} edge visits", stats.phases, stats.edge_visits);
+            println!("max flow: {v}");
+        }
+        "tidal-exact" => {
+            let (v, stats) = tidal_flow(&mut net, s, t);
+            eprintln!("tidal: {} phases, {} tides", stats.phases, stats.passes);
+            println!("max flow: {v}");
+        }
+        other => return Err(format!("unknown flow algorithm '{other}'")),
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! # spiking-graphs
+//!
+//! A production-quality Rust reproduction of *Provable Advantages for Graph
+//! Algorithms in Spiking Neural Networks* (Aimone et al., SPAA 2021).
+//!
+//! This facade crate re-exports the whole workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`snn`] — discrete-time LIF spiking neural network simulator
+//!   (Definitions 1–3 of the paper), with dense and event-driven engines.
+//! * [`circuits`] — threshold-gate circuit constructions (§5): max/min
+//!   circuits, adders, comparators, latches, delay lines.
+//! * [`graph`] — conventional graph substrate: CSR digraphs, generators,
+//!   instrumented Dijkstra and Bellman–Ford baselines.
+//! * [`algorithms`] — the paper's neuromorphic graph algorithms (§3, §4,
+//!   §7): spiking SSSP, k-hop SSSP (pseudopolynomial and polynomial), and
+//!   the Nanongkai-based approximation, plus the NGA framework (Def. 4).
+//! * [`crossbar`] — the stacked-grid crossbar topology and the §4.4
+//!   embedding of arbitrary graphs into it.
+//! * [`distance`] — the DISTANCE data-movement model (§2.3, §6) with
+//!   movement-metered conventional baselines and lower-bound calculators.
+//! * [`platforms`] — neuromorphic platform survey data (Table 3) and
+//!   energy models.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use spiking_graphs::graph::{Graph, generators};
+//! use spiking_graphs::algorithms::sssp_pseudo::SpikingSssp;
+//! use rand::SeedableRng;
+//!
+//! // A small random graph with integer edge lengths.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let g = generators::gnm(&mut rng, 32, 128, 1..=10);
+//!
+//! // Spiking single-source shortest paths: distances are spike times.
+//! let run = SpikingSssp::new(&g, 0).solve_all().unwrap();
+//! let dijkstra = spiking_graphs::graph::dijkstra::dijkstra(&g, 0);
+//! assert_eq!(run.distances, dijkstra.distances);
+//! ```
+
+pub use sgl_circuits as circuits;
+pub use sgl_core as algorithms;
+pub use sgl_crossbar as crossbar;
+pub use sgl_distance as distance;
+pub use sgl_graph as graph;
+pub use sgl_platforms as platforms;
+pub use sgl_snn as snn;

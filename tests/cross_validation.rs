@@ -1,0 +1,113 @@
+//! Property-based cross-validation: on arbitrary random graphs, every
+//! implementation of the same mathematical object must agree — the
+//! semantic executors, the gate-level compiled networks, the conventional
+//! baselines, and the semiring mat-vec formulation.
+
+use proptest::prelude::*;
+use spiking_graphs::algorithms::gatelevel::khop::GateLevelKhop;
+use spiking_graphs::algorithms::gatelevel::poly::GateLevelPoly;
+use spiking_graphs::algorithms::khop_pseudo::{self, Propagation};
+use spiking_graphs::algorithms::khop_poly;
+use spiking_graphs::algorithms::sssp_pseudo::SpikingSssp;
+use spiking_graphs::graph::csr::from_edges;
+use spiking_graphs::graph::matvec::minplus_khop_distances;
+use spiking_graphs::graph::{bellman_ford, dijkstra, Graph};
+
+/// Strategy: a connected-ish random digraph as an edge list.
+fn graph_strategy(max_n: usize, max_len: u64) -> impl Strategy<Value = Graph> {
+    (2usize..=max_n).prop_flat_map(move |n| {
+        // A spanning chain guarantees reachability; extra random edges.
+        let extra = proptest::collection::vec((0..n, 0..n, 1..=max_len), 0..(3 * n));
+        let chain = proptest::collection::vec(1..=max_len, n - 1);
+        (chain, extra).prop_map(move |(chain, extra)| {
+            let mut edges: Vec<(usize, usize, u64)> = chain
+                .into_iter()
+                .enumerate()
+                .map(|(i, len)| (i, i + 1, len))
+                .collect();
+            for (u, v, len) in extra {
+                if u != v {
+                    edges.push((u, v, len));
+                }
+            }
+            from_edges(n, &edges)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn spiking_sssp_equals_dijkstra(g in graph_strategy(24, 9)) {
+        let run = SpikingSssp::new(&g, 0).solve_all().unwrap();
+        let truth = dijkstra::dijkstra(&g, 0);
+        prop_assert_eq!(run.distances, truth.distances);
+    }
+
+    #[test]
+    fn khop_semantics_equal_bellman_ford_and_matvec(
+        g in graph_strategy(16, 6),
+        k in 1u32..10,
+    ) {
+        let truth = bellman_ford::bellman_ford_khop(&g, 0, k).distances;
+        let ttl = khop_pseudo::solve(&g, 0, k, Propagation::Pruned).distances;
+        let poly = khop_poly::solve(&g, 0, k, Propagation::Pruned).distances;
+        let mv = minplus_khop_distances(&g, 0, k);
+        prop_assert_eq!(&ttl, &truth);
+        prop_assert_eq!(&poly, &truth);
+        prop_assert_eq!(&mv, &truth);
+    }
+
+    #[test]
+    fn gate_level_ttl_network_equals_bellman_ford(
+        g in graph_strategy(7, 3),
+        k in 1u32..6,
+    ) {
+        let truth = bellman_ford::bellman_ford_khop(&g, 0, k).distances;
+        let run = GateLevelKhop::build(&g, 0, k).solve().unwrap();
+        prop_assert_eq!(run.distances, truth);
+    }
+
+    #[test]
+    fn gate_level_poly_network_equals_bellman_ford(
+        g in graph_strategy(6, 3),
+        k in 1u32..5,
+    ) {
+        let truth = bellman_ford::bellman_ford_khop(&g, 0, k).distances;
+        let run = GateLevelPoly::build(&g, 0, k).solve().unwrap();
+        prop_assert_eq!(run.distances, truth);
+    }
+
+    #[test]
+    fn pruning_never_changes_distances(
+        g in graph_strategy(14, 5),
+        k in 1u32..12,
+    ) {
+        let p = khop_pseudo::solve(&g, 0, k, Propagation::Pruned);
+        let f = khop_pseudo::solve(&g, 0, k, Propagation::Faithful);
+        prop_assert_eq!(&p.distances, &f.distances);
+        prop_assert!(p.messages <= f.messages);
+
+        let pp = khop_poly::solve(&g, 0, k, Propagation::Pruned);
+        let pf = khop_poly::solve(&g, 0, k, Propagation::Faithful);
+        prop_assert_eq!(&pp.distances, &pf.distances);
+        prop_assert!(pp.messages <= pf.messages);
+    }
+
+    #[test]
+    fn khop_distances_are_monotone_in_k(g in graph_strategy(14, 5)) {
+        let mut prev = khop_pseudo::solve(&g, 0, 1, Propagation::Pruned).distances;
+        for k in 2u32..8 {
+            let cur = khop_pseudo::solve(&g, 0, k, Propagation::Pruned).distances;
+            for v in 0..g.n() {
+                match (prev[v], cur[v]) {
+                    (Some(a), Some(b)) => prop_assert!(b <= a, "k={k} v={v}"),
+                    (Some(_), None) => prop_assert!(false, "reachability lost at k={k}"),
+                    _ => {}
+                }
+            }
+            prev = cur;
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Determinism guarantees: every experiment regenerates identically.
+//!
+//! The harness promises byte-identical tables across runs and machines
+//! (seeded workloads, deterministic engines, order-preserving parallel
+//! sweeps). These tests run the hot paths twice and compare every
+//! observable.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgl_bench::{table1, table2};
+use spiking_graphs::algorithms::khop_pseudo::{self, Propagation};
+use spiking_graphs::algorithms::sssp_pseudo::SpikingSssp;
+use spiking_graphs::graph::generators;
+use spiking_graphs::snn::engine::{Engine, EventEngine, RunConfig};
+use spiking_graphs::snn::NeuronId;
+
+#[test]
+fn generators_are_seed_deterministic() {
+    let g1 = generators::gnm_connected(&mut StdRng::seed_from_u64(7), 40, 160, 1..=9);
+    let g2 = generators::gnm_connected(&mut StdRng::seed_from_u64(7), 40, 160, 1..=9);
+    assert_eq!(g1, g2);
+    let s1 = generators::scale_free(&mut StdRng::seed_from_u64(9), 60, 2, 1..=4);
+    let s2 = generators::scale_free(&mut StdRng::seed_from_u64(9), 60, 2, 1..=4);
+    assert_eq!(s1, s2);
+}
+
+#[test]
+fn engine_runs_are_bitwise_repeatable() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let g = generators::gnm_connected(&mut rng, 32, 128, 1..=6);
+    let net = SpikingSssp::new(&g, 0).build_network();
+    let cfg = RunConfig::until_quiescent(4096).with_raster();
+    let a = EventEngine.run(&net, &[NeuronId(0)], &cfg).unwrap();
+    let b = EventEngine.run(&net, &[NeuronId(0)], &cfg).unwrap();
+    assert_eq!(a.first_spikes, b.first_spikes);
+    assert_eq!(a.raster, b.raster);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.steps, b.steps);
+}
+
+#[test]
+fn algorithm_costs_are_repeatable() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let g = generators::gnm_connected(&mut rng, 48, 200, 1..=8);
+    let a = khop_pseudo::solve(&g, 0, 9, Propagation::Pruned);
+    let b = khop_pseudo::solve(&g, 0, 9, Propagation::Pruned);
+    assert_eq!(a.distances, b.distances);
+    assert_eq!(a.messages, b.messages);
+    assert_eq!(a.cost, b.cost);
+}
+
+#[test]
+fn table1_sweeps_regenerate_identically() {
+    let a = table1::poly_khop_sweep(777);
+    let b = table1::poly_khop_sweep(777);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.neuro_free, y.neuro_free);
+        assert_eq!(x.conv_ops, y.conv_ops);
+        assert_eq!(x.distance_cost, y.distance_cost);
+    }
+}
+
+#[test]
+fn parallel_table2_sweep_matches_itself() {
+    // The sweep fans out across threads; per-point seeding must make the
+    // output independent of scheduling.
+    let a = table2::sweep(888);
+    let b = table2::sweep(888);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.design, y.design);
+        assert_eq!(x.d, y.d);
+        assert_eq!(x.lambda, y.lambda);
+        assert_eq!(x.stats, y.stats);
+        assert_eq!(x.verified, y.verified);
+    }
+}

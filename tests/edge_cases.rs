@@ -1,0 +1,115 @@
+//! Edge-case and failure-injection coverage across the public API:
+//! degenerate graphs, extreme parameters, and the error paths a
+//! downstream user will hit first.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spiking_graphs::algorithms::khop_pseudo::{self, Propagation};
+use spiking_graphs::algorithms::sssp_pseudo::SpikingSssp;
+use spiking_graphs::algorithms::{apsp, khop_paths, khop_poly};
+use spiking_graphs::graph::csr::from_edges;
+use spiking_graphs::graph::{bellman_ford, dijkstra, generators};
+
+#[test]
+fn single_node_graph_everywhere() {
+    let g = from_edges(1, &[]);
+    assert_eq!(
+        SpikingSssp::new(&g, 0).solve_all().unwrap().distances,
+        vec![Some(0)]
+    );
+    assert_eq!(
+        khop_pseudo::solve(&g, 0, 1, Propagation::Pruned).distances,
+        vec![Some(0)]
+    );
+    assert_eq!(
+        khop_poly::solve(&g, 0, 1, Propagation::Pruned).distances,
+        vec![Some(0)]
+    );
+    let a = apsp::solve(&g, 2);
+    assert_eq!(a.distances, vec![vec![Some(0)]]);
+}
+
+#[test]
+fn self_loops_are_harmless() {
+    // Positive-length self loops can never improve a shortest path.
+    let g = from_edges(3, &[(0, 0, 5), (0, 1, 2), (1, 1, 1), (1, 2, 2)]);
+    let truth = dijkstra::dijkstra(&g, 0).distances;
+    assert_eq!(truth, vec![Some(0), Some(2), Some(4)]);
+    assert_eq!(SpikingSssp::new(&g, 0).solve_all().unwrap().distances, truth);
+    for k in [1u32, 2, 4] {
+        assert_eq!(
+            khop_pseudo::solve(&g, 0, k, Propagation::Pruned).distances,
+            bellman_ford::bellman_ford_khop(&g, 0, k).distances,
+            "k = {k}"
+        );
+    }
+}
+
+#[test]
+fn k_exceeding_any_path_length_is_stable() {
+    let mut rng = StdRng::seed_from_u64(7001);
+    let g = generators::gnm_connected(&mut rng, 15, 50, 1..=4);
+    let at_n = khop_pseudo::solve(&g, 0, 15, Propagation::Pruned).distances;
+    let huge = khop_pseudo::solve(&g, 0, 10_000, Propagation::Pruned).distances;
+    assert_eq!(at_n, huge);
+}
+
+#[test]
+fn disconnected_components_stay_unreached() {
+    // Two components; everything in the second is None from source 0.
+    let g = from_edges(6, &[(0, 1, 1), (1, 2, 1), (3, 4, 1), (4, 5, 1)]);
+    let run = SpikingSssp::new(&g, 0).solve_all().unwrap();
+    assert_eq!(run.distances[3..], [None, None, None]);
+    let paths = khop_paths::solve_with_paths(&g, 0, 5);
+    for v in 3..6 {
+        assert!(paths.path_to(v).is_none());
+    }
+}
+
+#[test]
+fn maximum_length_edges_do_not_overflow_time() {
+    // Large-U edges: delays near a million steps, event-driven engine
+    // handles them in O(events).
+    let g = from_edges(3, &[(0, 1, 900_000), (1, 2, 900_000)]);
+    let run = SpikingSssp::new(&g, 0).solve_all().unwrap();
+    assert_eq!(run.distances[2], Some(1_800_000));
+    assert_eq!(run.spike_time, 1_800_000);
+    // The event engine's work was 3 spikes, not 1.8M steps.
+    assert_eq!(run.cost.spike_events, 3);
+}
+
+#[test]
+fn zero_reachability_khop_paths() {
+    let g = from_edges(2, &[(1, 0, 3)]); // only the wrong direction
+    let run = khop_paths::solve_with_paths(&g, 0, 1);
+    assert_eq!(run.distances, vec![Some(0), None]);
+    assert_eq!(run.path_to(1), None);
+    assert_eq!(run.path_to(0), Some(vec![0]));
+}
+
+#[test]
+fn parallel_edges_and_khop_interactions() {
+    // Parallel edges with different lengths: the short one must win at
+    // every k.
+    let g = from_edges(2, &[(0, 1, 9), (0, 1, 2), (0, 1, 5)]);
+    for k in 1..=3u32 {
+        assert_eq!(
+            khop_pseudo::solve(&g, 0, k, Propagation::Pruned).distances[1],
+            Some(2)
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "source out of range")]
+fn out_of_range_source_panics_cleanly() {
+    let g = from_edges(2, &[(0, 1, 1)]);
+    let _ = khop_pseudo::solve(&g, 5, 1, Propagation::Pruned);
+}
+
+#[test]
+#[should_panic(expected = "k must be at least 1")]
+fn zero_k_panics_cleanly() {
+    let g = from_edges(2, &[(0, 1, 1)]);
+    let _ = khop_pseudo::solve(&g, 0, 0, Propagation::Pruned);
+}

@@ -1,0 +1,133 @@
+//! End-to-end integration: every solver in the workspace agrees on the
+//! same workloads, across crates.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spiking_graphs::algorithms::khop_pseudo::Propagation;
+use spiking_graphs::algorithms::sssp_pseudo::SpikingSssp;
+use spiking_graphs::algorithms::{approx_khop, khop_poly, khop_pseudo, sssp_poly};
+use spiking_graphs::crossbar::{Crossbar, EmbeddedSssp};
+use spiking_graphs::distance::bellman_ford::bellman_ford_metered;
+use spiking_graphs::distance::dijkstra::dijkstra_metered;
+use spiking_graphs::distance::Placement;
+use spiking_graphs::graph::{bellman_ford, dijkstra, generators};
+
+#[test]
+fn all_sssp_solvers_agree() {
+    let mut rng = StdRng::seed_from_u64(1001);
+    for (n, m) in [(20usize, 60usize), (50, 250), (100, 600)] {
+        let g = generators::gnm_connected(&mut rng, n, m, 1..=9);
+        let truth = dijkstra::dijkstra(&g, 0).distances;
+
+        // §3 spiking (actual SNN run).
+        assert_eq!(
+            SpikingSssp::new(&g, 0).solve_all().unwrap().distances,
+            truth,
+            "spiking pseudo n={n}"
+        );
+        // §4.2 polynomial with k = α.
+        assert_eq!(sssp_poly::solve(&g, 0).distances, truth, "poly n={n}");
+        // DISTANCE-metered Dijkstra computes the same answers.
+        assert_eq!(
+            dijkstra_metered(&g, 0, None, 4, Placement::CenterCluster).distances,
+            truth,
+            "metered n={n}"
+        );
+        // k-hop with k = n-1 degenerates to SSSP.
+        let k = (n - 1) as u32;
+        assert_eq!(
+            khop_pseudo::solve(&g, 0, k, Propagation::Pruned).distances,
+            truth,
+            "ttl full-k n={n}"
+        );
+        assert_eq!(
+            khop_poly::solve(&g, 0, k, Propagation::Pruned).distances,
+            truth,
+            "poly full-k n={n}"
+        );
+    }
+}
+
+#[test]
+fn all_khop_solvers_agree_across_k() {
+    let mut rng = StdRng::seed_from_u64(1002);
+    let g = generators::gnm_connected(&mut rng, 30, 140, 1..=7);
+    for k in [1u32, 2, 3, 5, 8, 13, 21] {
+        let truth = bellman_ford::bellman_ford_khop(&g, 0, k).distances;
+        for mode in [Propagation::Pruned, Propagation::Faithful] {
+            assert_eq!(
+                khop_pseudo::solve(&g, 0, k, mode).distances,
+                truth,
+                "ttl k={k} {mode:?}"
+            );
+            assert_eq!(
+                khop_poly::solve(&g, 0, k, mode).distances,
+                truth,
+                "poly k={k} {mode:?}"
+            );
+        }
+        assert_eq!(
+            bellman_ford_metered(&g, 0, k, 4, Placement::CenterCluster).distances,
+            truth,
+            "metered k={k}"
+        );
+    }
+}
+
+#[test]
+fn crossbar_pipeline_preserves_spiking_sssp() {
+    let mut rng = StdRng::seed_from_u64(1003);
+    let g = generators::gnm_connected(&mut rng, 12, 50, 1..=8);
+    let truth = dijkstra::dijkstra(&g, 0).distances;
+    let mut xbar = Crossbar::new(g.n());
+    let info = xbar.embed(&g);
+    let got = EmbeddedSssp::new(&xbar, info, g.n()).solve(&xbar, 0);
+    assert_eq!(got, truth);
+}
+
+#[test]
+fn approximation_brackets_exact_for_every_k() {
+    let mut rng = StdRng::seed_from_u64(1004);
+    let g = generators::gnm_connected(&mut rng, 40, 200, 1..=12);
+    let unbounded = dijkstra::dijkstra(&g, 0);
+    for k in [3u32, 7, 15, 39] {
+        let approx = approx_khop::solve(&g, 0, k);
+        let exact = bellman_ford::bellman_ford_khop(&g, 0, k);
+        for v in 0..g.n() {
+            if let (Some(d), Some(e)) = (exact.distances[v], approx.estimates[v]) {
+                assert!(
+                    e <= (1.0 + approx.epsilon) * d as f64 + 1e-9,
+                    "k={k} v={v}: {e} > (1+eps)*{d}"
+                );
+            }
+            if let (Some(d), Some(e)) = (unbounded.distances[v], approx.estimates[v]) {
+                assert!(e >= d as f64 - 1e-9, "k={k} v={v}: {e} < {d}");
+            }
+        }
+    }
+}
+
+#[test]
+fn single_destination_modes_agree_on_the_target() {
+    let mut rng = StdRng::seed_from_u64(1005);
+    let g = generators::gnm_connected(&mut rng, 40, 160, 1..=9);
+    let target = generators::far_node(&g, 0);
+    let truth = dijkstra::dijkstra(&g, 0).distances[target];
+
+    let spiking = SpikingSssp::new(&g, 0).with_target(target).solve().unwrap();
+    assert_eq!(spiking.distances[target], truth);
+
+    let metered = dijkstra_metered(&g, 0, Some(target), 4, Placement::CenterCluster);
+    assert_eq!(metered.distances[target], truth);
+}
+
+#[test]
+fn energy_accounting_flows_from_simulation_to_platforms() {
+    let mut rng = StdRng::seed_from_u64(1006);
+    let g = generators::gnm_connected(&mut rng, 64, 256, 1..=5);
+    let run = SpikingSssp::new(&g, 0).solve_all().unwrap();
+    let loihi = spiking_graphs::platforms::by_name("Loihi").unwrap();
+    let joules = loihi.spike_energy_joules(run.cost.spike_events).unwrap();
+    // 64 spikes at 23.6 pJ.
+    assert!((joules - 64.0 * 23.6e-12).abs() < 1e-18);
+}

@@ -1,0 +1,198 @@
+//! Integration tests for the extension systems: tidal flow, the CONGEST
+//! bridge, delay-free compilation, core placement, and the crossbar
+//! scheduler — each exercised end-to-end across crates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spiking_graphs::algorithms::sssp_pseudo::SpikingSssp;
+use spiking_graphs::algorithms::{congest, tidal};
+use spiking_graphs::circuits::delay_compile::{compile_delays, LongDelay};
+use spiking_graphs::crossbar::CrossbarScheduler;
+use spiking_graphs::graph::flow::{dinic, FlowNetwork};
+use spiking_graphs::graph::{dijkstra, generators};
+use spiking_graphs::platforms::placement::CoreLayout;
+use spiking_graphs::snn::engine::{Engine, EventEngine, RunConfig};
+use spiking_graphs::snn::NeuronId;
+
+#[test]
+fn tidal_nga_matches_dinic_on_grid_like_networks() {
+    let mut rng = StdRng::seed_from_u64(2001);
+    for _ in 0..5 {
+        let n = rng.gen_range(6..20);
+        let mut f = FlowNetwork::new(n);
+        for _ in 0..3 * n {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                f.add_edge(u, v, rng.gen_range(1..20));
+            }
+        }
+        let run = tidal::solve(f.clone(), 0, n - 1);
+        let mut f2 = f;
+        assert_eq!(run.max_flow, dinic(&mut f2, 0, n - 1).0);
+    }
+}
+
+#[test]
+fn congest_snn_simulation_of_a_full_sssp_network() {
+    let mut rng = StdRng::seed_from_u64(2002);
+    let g = generators::gnm_connected(&mut rng, 20, 70, 1..=5);
+    let net = SpikingSssp::new(&g, 0).build_network();
+    let congest_run = congest::simulate_snn(&net, &[NeuronId(0)], 128);
+    let engine_run = EventEngine
+        .run(&net, &[NeuronId(0)], &RunConfig::fixed(128))
+        .unwrap();
+    assert_eq!(congest_run.first_spikes, engine_run.first_spikes);
+}
+
+#[test]
+fn compiled_sssp_network_runs_on_delay_free_hardware() {
+    let mut rng = StdRng::seed_from_u64(2003);
+    let g = generators::gnm_connected(&mut rng, 24, 96, 1..=12);
+    let solver = SpikingSssp::new(&g, 0);
+    let net = solver.build_network();
+    let truth = dijkstra::dijkstra(&g, 0);
+    for strategy in [LongDelay::Chains, LongDelay::Blocks] {
+        let (compiled, stats) = compile_delays(&net, 1, strategy);
+        assert!(stats.rewritten > 0);
+        let r = EventEngine
+            .run(&compiled, &[NeuronId(0)], &RunConfig::until_quiescent(4096))
+            .unwrap();
+        for v in 0..g.n() {
+            assert_eq!(
+                r.first_spikes[v], truth.distances[v],
+                "{strategy:?} node {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn placement_pipeline_from_simulation_to_energy() {
+    let mut rng = StdRng::seed_from_u64(2004);
+    let g = generators::gnm_connected(&mut rng, 64, 256, 1..=5);
+    let solver = SpikingSssp::new(&g, 0);
+    let net = solver.build_network();
+    let run = solver.solve_all().unwrap();
+
+    let edges: Vec<(u32, u32)> = net
+        .neuron_ids()
+        .flat_map(|u| {
+            net.synapses_from(u)
+                .iter()
+                .map(move |s| (u.0, s.target.0))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let spikes: Vec<u32> = (0..net.neuron_count())
+        .map(|v| u32::from(run.distances[v].is_some()))
+        .collect();
+
+    let seq = CoreLayout::sequential(net.neuron_count(), 16);
+    let greedy = CoreLayout::greedy(net.neuron_count(), 16, &edges, &spikes);
+    assert!(seq.is_feasible() && greedy.is_feasible());
+    let (ts, tg) = (seq.traffic(&edges, &spikes), greedy.traffic(&edges, &spikes));
+    // Total deliveries are placement-invariant.
+    assert_eq!(ts.total(), tg.total());
+    // Greedy should not route more across cores.
+    assert!(tg.inter_core <= ts.inter_core);
+    // Energy on Loihi constants is finite and positive.
+    let loihi = spiking_graphs::platforms::by_name("Loihi").unwrap();
+    let e = tg.energy_joules(loihi.pj_per_spike.unwrap(), 2.0);
+    assert!(e > 0.0 && e.is_finite());
+}
+
+#[test]
+fn scheduler_multiplexes_disjoint_workloads() {
+    let mut rng = StdRng::seed_from_u64(2005);
+    let mut sched = CrossbarScheduler::new(9);
+    let mut expected_writes = 0;
+    for _ in 0..3 {
+        let g = generators::gnm_connected(&mut rng, 9, 30, 1..=4);
+        expected_writes += 2 * g.m() as u64;
+        let run = sched.run(&g, 0);
+        assert_eq!(run.distances, dijkstra::dijkstra(&g, 0).distances);
+    }
+    assert_eq!(sched.total_writes(), expected_writes);
+}
+
+#[test]
+fn small_weight_adder_interoperates_with_gate_level_widths() {
+    // The alternative adder plugs into the same eval machinery.
+    let c = spiking_graphs::circuits::adder_small_weight::build_small_weight_adder(8);
+    for (x, y) in [(0u64, 0u64), (255, 255), (200, 56), (128, 127)] {
+        assert_eq!(c.eval(&[x, y]).unwrap(), x + y);
+    }
+}
+
+#[test]
+fn circuit_stats_feed_the_hardware_constraint_checker() {
+    use spiking_graphs::circuits::{max_brute_force, max_wired_or, CircuitStats};
+    use spiking_graphs::platforms::constraints::{Constraints, NetworkSummary, Violation};
+
+    let loihi = Constraints::for_platform("Loihi").unwrap();
+    let summarise = |c: &spiking_graphs::circuits::Circuit| NetworkSummary {
+        neurons: c.net.neuron_count() as u64,
+        max_fan_in: c.net.in_degrees().into_iter().max().unwrap_or(0) as u64,
+        max_abs_weight: c.net.max_abs_weight(),
+        max_delay: c.net.max_delay(),
+    };
+
+    // The §5 trade-off made concrete: the wired-OR max always maps onto
+    // Loihi's 8-bit weights; the brute-force comparator weights overflow
+    // once λ > 9.
+    for lambda in [4usize, 8, 12, 16] {
+        let wo = max_wired_or::build_max(16, lambda);
+        assert!(
+            loihi.check(&summarise(&wo.circuit)).is_empty(),
+            "wired-or λ={lambda} should fit"
+        );
+        let bf = max_brute_force::build_max(16, lambda);
+        let violations = loihi.check(&summarise(&bf.circuit));
+        if lambda <= 8 {
+            assert!(violations.is_empty(), "brute-force λ={lambda}: {violations:?}");
+        } else {
+            assert!(
+                violations
+                    .iter()
+                    .any(|v| matches!(v, Violation::WeightOverflow { .. })),
+                "brute-force λ={lambda} should overflow 8-bit weights"
+            );
+        }
+    }
+
+    // And CircuitStats agrees with the raw network census.
+    let wo = max_wired_or::build_max(8, 6);
+    let s = CircuitStats::of(&wo.circuit);
+    assert_eq!(s.neurons as u64, summarise(&wo.circuit).neurons);
+}
+
+#[test]
+fn audit_passes_on_generated_algorithm_networks() {
+    use spiking_graphs::snn::audit::{audit, Finding};
+    let mut rng = StdRng::seed_from_u64(2006);
+    let g = generators::gnm_connected(&mut rng, 16, 48, 1..=5);
+    let net = SpikingSssp::new(&g, 0).build_network();
+    // The §3 network: no unfirable or spontaneous neurons; sink nodes with
+    // no outgoing graph edges do have the self-inhibition synapse, so no
+    // dead ends either (suppression wiring counts as an output).
+    let findings = audit(&net);
+    assert!(
+        !findings
+            .iter()
+            .any(|f| matches!(f, Finding::Spontaneous(_) | Finding::Orphan(_))),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn dimacs_roundtrip_through_the_cli_formats() {
+    use spiking_graphs::graph::io;
+    let mut rng = StdRng::seed_from_u64(2007);
+    let g = generators::gnm_connected(&mut rng, 12, 40, 1..=7);
+    let text = io::to_dimacs(&g, "integration");
+    let back = io::parse_dimacs(&text).unwrap();
+    let a = dijkstra::dijkstra(&g, 0);
+    let b = dijkstra::dijkstra(&back, 0);
+    assert_eq!(a.distances, b.distances);
+}

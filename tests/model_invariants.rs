@@ -1,0 +1,94 @@
+//! Model-level invariants that hold across the whole system, asserted on
+//! random instances: cost-model consistency, monotonicity laws, and the
+//! relationships between the algorithms' resource reports.
+
+use proptest::prelude::*;
+use spiking_graphs::algorithms::khop_pseudo::{self, Propagation};
+use spiking_graphs::algorithms::sssp_pseudo::SpikingSssp;
+use spiking_graphs::algorithms::{khop_poly, DataMovement};
+use spiking_graphs::graph::csr::from_edges;
+use spiking_graphs::graph::Graph;
+
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (2usize..16).prop_flat_map(|n| {
+        let chain = proptest::collection::vec(1u64..8, n - 1);
+        let extra = proptest::collection::vec((0..n, 0..n, 1u64..8), 0..(2 * n));
+        (chain, extra).prop_map(move |(chain, extra)| {
+            let mut edges: Vec<(usize, usize, u64)> = chain
+                .into_iter()
+                .enumerate()
+                .map(|(i, len)| (i, i + 1, len))
+                .collect();
+            edges.extend(extra.into_iter().filter(|&(u, v, _)| u != v));
+            from_edges(n, &edges)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Crossbar time dominates free time (the embedding only ever adds).
+    #[test]
+    fn crossbar_regime_never_cheaper(g in graph_strategy()) {
+        let run = SpikingSssp::new(&g, 0).solve_all().unwrap();
+        prop_assert!(
+            run.cost.total_time(DataMovement::Crossbar)
+                >= run.cost.total_time(DataMovement::Free)
+        );
+        let kh = khop_pseudo::solve(&g, 0, 4, Propagation::Pruned);
+        prop_assert!(
+            kh.cost.total_time(DataMovement::Crossbar)
+                >= kh.cost.total_time(DataMovement::Free)
+        );
+    }
+
+    /// Spiking SSSP's T equals the largest finite distance, and its spike
+    /// count equals the number of reached nodes (one spike each).
+    #[test]
+    fn sssp_cost_identities(g in graph_strategy()) {
+        let run = SpikingSssp::new(&g, 0).solve_all().unwrap();
+        let reached = run.distances.iter().flatten().count() as u64;
+        prop_assert_eq!(run.cost.spike_events, reached);
+        let l = run.distances.iter().flatten().copied().max().unwrap_or(0);
+        prop_assert_eq!(run.spike_time, l);
+    }
+
+    /// Model time of the TTL algorithm is exactly Λ(λ(k)) · L — the
+    /// Theorem 4.2 accounting identity.
+    #[test]
+    fn ttl_time_identity(g in graph_strategy(), k in 1u32..12) {
+        let run = khop_pseudo::solve(&g, 0, k, Propagation::Pruned);
+        let lambda = 64 - u64::from(k - 1).max(1).leading_zeros() as u64;
+        let scale = 3 * lambda.max(1) + 8;
+        prop_assert_eq!(run.cost.spiking_steps, run.logical_time * scale);
+    }
+
+    /// Poly-algorithm rounds never exceed k, and messages never exceed
+    /// rounds · m.
+    #[test]
+    fn poly_work_bounds(g in graph_strategy(), k in 1u32..12) {
+        let run = khop_poly::solve(&g, 0, k, Propagation::Faithful);
+        prop_assert!(run.rounds <= k);
+        prop_assert!(run.messages <= u64::from(run.rounds) * g.m() as u64);
+    }
+
+    /// Increasing k never increases any distance and never loses
+    /// reachability (monotone refinement toward true SSSP).
+    #[test]
+    fn khop_monotone_in_k(g in graph_strategy()) {
+        let base = khop_poly::solve(&g, 0, 1, Propagation::Pruned).distances;
+        let mut prev = base;
+        for k in [2u32, 4, 8, 16] {
+            let cur = khop_poly::solve(&g, 0, k, Propagation::Pruned).distances;
+            for v in 0..g.n() {
+                match (prev[v], cur[v]) {
+                    (Some(a), Some(b)) => prop_assert!(b <= a),
+                    (Some(_), None) => prop_assert!(false, "lost reachability"),
+                    _ => {}
+                }
+            }
+            prev = cur;
+        }
+    }
+}
