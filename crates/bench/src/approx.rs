@@ -78,7 +78,14 @@ pub fn render(rows: &[Row]) -> Vec<Vec<String>> {
 
 /// Header for [`render`].
 pub const HEADER: [&str; 8] = [
-    "n", "m", "k", "epsilon", "worst est/dist_k", "1+eps", "approx neurons", "exact neurons",
+    "n",
+    "m",
+    "k",
+    "epsilon",
+    "worst est/dist_k",
+    "1+eps",
+    "approx neurons",
+    "exact neurons",
 ];
 
 #[cfg(test)]

@@ -33,10 +33,16 @@ fn main() {
             ev.steps.to_string(),
             ev.stats.neuron_updates.to_string(),
             de.stats.neuron_updates.to_string(),
-            format!("{:.0}x", de.stats.neuron_updates as f64 / ev.stats.neuron_updates.max(1) as f64),
+            format!(
+                "{:.0}x",
+                de.stats.neuron_updates as f64 / ev.stats.neuron_updates.max(1) as f64
+            ),
         ]);
     }
-    print_table(&["n", "steps T", "event updates", "dense updates", "saving"], &rows);
+    print_table(
+        &["n", "steps T", "event updates", "dense updates", "saving"],
+        &rows,
+    );
 
     println!("\n# Ablation 2 — propagation pruning (k-hop, G(128, 640), k = 16)\n");
     let g = generators::gnm_connected(&mut rng, 128, 640, 1..=6);
@@ -60,7 +66,15 @@ fn main() {
             format!("{:.1}x", faithful as f64 / pruned as f64),
         ]);
     }
-    print_table(&["algorithm", "pruned msgs", "faithful msgs", "traffic saving"], &rows);
+    print_table(
+        &[
+            "algorithm",
+            "pruned msgs",
+            "faithful msgs",
+            "traffic saving",
+        ],
+        &rows,
+    );
 
     println!("\n# Ablation 3 — core placement (SSSP on G(512, 2048), 64 neurons/core)\n");
     let g = generators::gnm_connected(&mut rng, 512, 2048, 1..=9);
@@ -81,7 +95,10 @@ fn main() {
         .collect();
     let seq = CoreLayout::sequential(net.neuron_count(), 64);
     let greedy = CoreLayout::greedy(net.neuron_count(), 64, &edges, &spikes);
-    let (ts, tg) = (seq.traffic(&edges, &spikes), greedy.traffic(&edges, &spikes));
+    let (ts, tg) = (
+        seq.traffic(&edges, &spikes),
+        greedy.traffic(&edges, &spikes),
+    );
     let loihi_pj = 23.6;
     let rows = vec![
         vec![
@@ -99,7 +116,16 @@ fn main() {
             format!("{:.3e} J", tg.energy_joules(loihi_pj, 3.0)),
         ],
     ];
-    print_table(&["placement", "cores", "intra spikes", "inter spikes", "energy (3x NoC)"], &rows);
+    print_table(
+        &[
+            "placement",
+            "cores",
+            "intra spikes",
+            "inter spikes",
+            "energy (3x NoC)",
+        ],
+        &rows,
+    );
 
     println!("\n# Ablation 4 — delay-free compilation strategies (SSSP net, U = 30)\n");
     let g = generators::gnm_connected(&mut rng, 48, 192, 1..=30);
@@ -120,5 +146,14 @@ fn main() {
             agree.to_string(),
         ]);
     }
-    print_table(&["strategy", "total neurons", "added", "spike events", "distances preserved"], &rows);
+    print_table(
+        &[
+            "strategy",
+            "total neurons",
+            "added",
+            "spike events",
+            "distances preserved",
+        ],
+        &rows,
+    );
 }

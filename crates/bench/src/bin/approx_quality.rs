@@ -8,5 +8,7 @@ fn main() {
     println!("# Theorem 7.2 — (1 + o(1))-approximate k-hop SSSP\n");
     let rows = approx::sweep(20210713);
     print_table(&approx::HEADER, &approx::render(&rows));
-    println!("\nall worst-case ratios must be <= 1 + eps; neuron advantage appears on dense graphs");
+    println!(
+        "\nall worst-case ratios must be <= 1 + eps; neuron advantage appears on dense graphs"
+    );
 }

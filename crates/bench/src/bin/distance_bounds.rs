@@ -32,7 +32,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["n", "RAM ops (n^2)", "DISTANCE cost", "neuromorphic events", "advantage"],
+        &[
+            "n",
+            "RAM ops (n^2)",
+            "DISTANCE cost",
+            "neuromorphic events",
+            "advantage",
+        ],
         &rows,
     );
     println!(

@@ -32,7 +32,15 @@ fn main() {
         assert_eq!(xbar.enabled_type2(), 0);
     }
     print_table(
-        &["n", "m", "xbar vertices", "xbar edges", "scale", "delay writes", "SSSP preserved"],
+        &[
+            "n",
+            "m",
+            "xbar vertices",
+            "xbar edges",
+            "scale",
+            "delay writes",
+            "SSSP preserved",
+        ],
         &rows,
     );
     println!("\ndelay writes = m per embedding; unembedding restores the resting crossbar (O(m) multiplexing).");

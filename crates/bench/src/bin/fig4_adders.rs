@@ -26,5 +26,10 @@ fn main() {
             ]);
         }
     }
-    print_table(&["circuit", "lambda", "neurons", "synapses", "depth", "|w|max"], &rows);
+    print_table(
+        &[
+            "circuit", "lambda", "neurons", "synapses", "depth", "|w|max",
+        ],
+        &rows,
+    );
 }

@@ -12,7 +12,12 @@ fn main() {
     println!("# Gate-level networks (measured)\n");
     let mut rng = StdRng::seed_from_u64(20210715);
     let mut rows = Vec::new();
-    for &(n, m, k) in &[(6usize, 14usize, 2u32), (8, 20, 4), (10, 28, 6), (12, 36, 8)] {
+    for &(n, m, k) in &[
+        (6usize, 14usize, 2u32),
+        (8, 20, 4),
+        (10, 28, 6),
+        (12, 36, 8),
+    ] {
         let g = generators::gnm_connected(&mut rng, n, m, 1..=4);
         let truth = bellman_ford::bellman_ford_khop(&g, 0, k);
 
@@ -33,7 +38,16 @@ fn main() {
         ]);
     }
     print_table(
-        &["instance", "TTL neurons", "TTL synapses", "TTL steps", "TTL = BF", "poly neurons", "poly steps", "poly = BF"],
+        &[
+            "instance",
+            "TTL neurons",
+            "TTL synapses",
+            "TTL steps",
+            "TTL = BF",
+            "poly neurons",
+            "poly steps",
+            "poly = BF",
+        ],
         &rows,
     );
 }

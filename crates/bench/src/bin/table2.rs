@@ -5,7 +5,9 @@ use sgl_bench::tablefmt::print_table;
 
 fn main() {
     println!("# Table 2 — max-circuit resources (measured)\n");
-    println!("paper: brute force O(d^2) neurons depth 3; wired-or O(d*lambda) neurons depth O(lambda)\n");
+    println!(
+        "paper: brute force O(d^2) neurons depth 3; wired-or O(d*lambda) neurons depth O(lambda)\n"
+    );
     let rows = table2::sweep(20210710);
     print_table(&HEADER, &table2::render(&rows));
 }

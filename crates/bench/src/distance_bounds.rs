@@ -36,16 +36,20 @@ pub fn scan_sweep() -> Vec<ScanRow> {
             }
         }
     }
-    crate::parallel::par_map(&points, crate::parallel::default_threads(), |&(placement, m, c)| {
-        let r = scan(m, c, placement);
-        ScanRow {
-            m,
-            c,
-            placement,
-            cost: r.cost,
-            lb: input_scan_lb(m as u64, c as u64),
-        }
-    })
+    crate::parallel::par_map(
+        &points,
+        crate::parallel::default_threads(),
+        |&(placement, m, c)| {
+            let r = scan(m, c, placement);
+            ScanRow {
+                m,
+                c,
+                placement,
+                cost: r.cost,
+                lb: input_scan_lb(m as u64, c as u64),
+            }
+        },
+    )
 }
 
 /// Fitted exponent of measured scan cost in `m` (should be ≈ 1.5).

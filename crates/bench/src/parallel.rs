@@ -1,12 +1,12 @@
 //! Parallel parameter sweeps for the experiment harness.
 //!
 //! Experiment points are independent (each derives its own RNG seed), so
-//! sweeps fan out across threads with `crossbeam::thread::scope`; results
-//! land in a `parking_lot`-guarded slot vector, preserving point order so
-//! tables stay deterministic regardless of scheduling.
+//! sweeps fan out across scoped worker threads pulling indices from a
+//! shared atomic counter; results land in per-slot cells, preserving point
+//! order so tables stay deterministic regardless of scheduling.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Applies `f` to every item on up to `threads` worker threads, returning
 /// results in input order. Falls back to a sequential loop for a single
@@ -22,26 +22,30 @@ where
         return items.iter().map(&f).collect();
     }
 
-    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    // One mutex per slot: writers never contend (each index is claimed by
+    // exactly one worker), so the locks only pay an uncontended CAS.
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
                 let r = f(&items[i]);
-                slots.lock()[i] = Some(r);
+                *slots[i].lock().expect("sweep slot poisoned") = Some(r);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     slots
-        .into_inner()
         .into_iter()
-        .map(|r| r.expect("every slot filled"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep slot poisoned")
+                .expect("every slot filled")
+        })
         .collect()
 }
 

@@ -85,8 +85,7 @@ pub fn poly_khop_sweep(seed: u64) -> Vec<Row> {
         .map(|&k| {
             let neuro = khop_poly::solve(&g, 0, k, Propagation::Faithful);
             let conv = bellman_ford::bellman_ford_khop(&g, 0, k);
-            let metered =
-                bellman_ford_metered(&g, 0, k, C_REGISTERS, Placement::CenterCluster);
+            let metered = bellman_ford_metered(&g, 0, k, C_REGISTERS, Placement::CenterCluster);
             Row {
                 param: "k",
                 value: u64::from(k),
@@ -194,8 +193,7 @@ pub fn pseudo_khop_sweep(seed: u64) -> Vec<Row> {
         .map(|&k| {
             let neuro = khop_pseudo::solve(&g, 0, k, Propagation::Pruned);
             let conv = bellman_ford::bellman_ford_khop(&g, 0, k);
-            let metered =
-                bellman_ford_metered(&g, 0, k, C_REGISTERS, Placement::CenterCluster);
+            let metered = bellman_ford_metered(&g, 0, k, C_REGISTERS, Placement::CenterCluster);
             Row {
                 param: "k",
                 value: u64::from(k),
@@ -231,7 +229,12 @@ pub fn render(rows: &[Row]) -> Vec<Vec<String>> {
                 fmt_count(r.neuro_xbar),
                 fmt_count(r.distance_cost),
                 format!("{:.0}", r.distance_lb),
-                if r.neuro_wins_movement() { "neuro" } else { "conv" }.into(),
+                if r.neuro_wins_movement() {
+                    "neuro"
+                } else {
+                    "conv"
+                }
+                .into(),
             ]
         })
         .collect()
@@ -239,8 +242,18 @@ pub fn render(rows: &[Row]) -> Vec<Vec<String>> {
 
 /// Column header matching [`render`].
 pub const HEADER: [&str; 12] = [
-    "sweep", "n", "m", "U", "L", "neuro(free)", "conv ops", "winner", "neuro(xbar)",
-    "DISTANCE cost", "DIST lb", "winner",
+    "sweep",
+    "n",
+    "m",
+    "U",
+    "L",
+    "neuro(free)",
+    "conv ops",
+    "winner",
+    "neuro(xbar)",
+    "DISTANCE cost",
+    "DIST lb",
+    "winner",
 ];
 
 #[cfg(test)]
@@ -251,8 +264,14 @@ mod tests {
     fn poly_khop_has_the_log_nu_crossover() {
         let rows = poly_khop_sweep(1);
         // Small k: conventional wins; large k: neuromorphic wins.
-        assert!(!rows.first().unwrap().neuro_wins_free(), "k=1 should go conv");
-        assert!(rows.last().unwrap().neuro_wins_free(), "k=64 should go neuro");
+        assert!(
+            !rows.first().unwrap().neuro_wins_free(),
+            "k=1 should go conv"
+        );
+        assert!(
+            rows.last().unwrap().neuro_wins_free(),
+            "k=64 should go neuro"
+        );
         // Monotone flip: once neuro wins it keeps winning (conv grows with
         // k, neuro saturates).
         let first_win = rows.iter().position(Row::neuro_wins_free).unwrap();

@@ -39,31 +39,34 @@ pub fn sweep(seed: u64) -> Vec<Row> {
             }
         }
     }
-    crate::parallel::par_map(&points, crate::parallel::default_threads(), |&(design, d, lambda)| {
-        let circuit = match design {
-            "wired-or" => max_wired_or::build_max(d, lambda),
-            _ => max_brute_force::build_max(d, lambda),
-        };
-        let stats = CircuitStats::of(&circuit.circuit);
-        let mut rng =
-            StdRng::seed_from_u64(seed ^ (d as u64) << 32 ^ (lambda as u64) << 8 ^ design.len() as u64);
-        let mut verified = 0;
-        for _ in 0..3 {
-            let vals: Vec<u64> = (0..d)
-                .map(|_| rng.gen_range(0..(1u64 << lambda)))
-                .collect();
-            if circuit.eval(&vals) == vals.iter().copied().max().unwrap() {
-                verified += 1;
+    crate::parallel::par_map(
+        &points,
+        crate::parallel::default_threads(),
+        |&(design, d, lambda)| {
+            let circuit = match design {
+                "wired-or" => max_wired_or::build_max(d, lambda),
+                _ => max_brute_force::build_max(d, lambda),
+            };
+            let stats = CircuitStats::of(&circuit.circuit);
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ (d as u64) << 32 ^ (lambda as u64) << 8 ^ design.len() as u64,
+            );
+            let mut verified = 0;
+            for _ in 0..3 {
+                let vals: Vec<u64> = (0..d).map(|_| rng.gen_range(0..(1u64 << lambda))).collect();
+                if circuit.eval(&vals) == vals.iter().copied().max().unwrap() {
+                    verified += 1;
+                }
             }
-        }
-        Row {
-            design,
-            d,
-            lambda,
-            stats,
-            verified,
-        }
-    })
+            Row {
+                design,
+                d,
+                lambda,
+                stats,
+                verified,
+            }
+        },
+    )
 }
 
 /// Renders the sweep for printing.

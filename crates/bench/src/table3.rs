@@ -25,8 +25,7 @@ pub fn survey_rows() -> Vec<Vec<String>> {
                 format!("{:?}", p.design),
                 format!("{}nm", p.process_nm),
                 p.clock.into(),
-                p.neurons_per_core
-                    .map_or("-".into(), |v| v.to_string()),
+                p.neurons_per_core.map_or("-".into(), |v| v.to_string()),
                 p.cores_per_chip.map_or("-".into(), |v| v.to_string()),
                 p.pj_per_spike.map_or("-".into(), |v| format!("{v}")),
                 format!("{} W", p.power_watts),
@@ -37,7 +36,14 @@ pub fn survey_rows() -> Vec<Vec<String>> {
 
 /// Header for [`survey_rows`].
 pub const SURVEY_HEADER: [&str; 9] = [
-    "platform", "org", "design", "process", "clock", "neurons/core", "cores/chip", "pJ/spike",
+    "platform",
+    "org",
+    "design",
+    "process",
+    "clock",
+    "neurons/core",
+    "cores/chip",
+    "pJ/spike",
     "power",
 ];
 
@@ -104,8 +110,14 @@ pub fn render_energy(rows: &[EnergyRow]) -> Vec<Vec<String>> {
 }
 
 /// Header for [`render_energy`].
-pub const ENERGY_HEADER: [&str; 6] =
-    ["platform", "spikes", "conv ops", "spiking energy", "CPU energy", "advantage"];
+pub const ENERGY_HEADER: [&str; 6] = [
+    "platform",
+    "spikes",
+    "conv ops",
+    "spiking energy",
+    "CPU energy",
+    "advantage",
+];
 
 #[cfg(test)]
 mod tests {

@@ -328,7 +328,10 @@ mod tests {
             let look = build_lookahead_adder(lambda);
             // 1 bias + 2λ inputs + λ carries + (3λ - 1) threshold gates +
             // λ sum gates + 1 carry-out buffer.
-            assert_eq!(look.net.neuron_count(), 1 + 2 * lambda + lambda + (3 * lambda - 1) + lambda + 1);
+            assert_eq!(
+                look.net.neuron_count(),
+                1 + 2 * lambda + lambda + (3 * lambda - 1) + lambda + 1
+            );
             let ripple = build_ripple_adder(lambda);
             assert_eq!(ripple.net.neuron_count(), look.net.neuron_count());
         }

@@ -42,7 +42,12 @@ pub fn gt_gate_at(b: &mut CircuitBuilder, x: &[NeuronId], y: &[NeuronId], at: u3
 
 /// Wires a gate that fires at `at` iff the bundle's value is `>= constant`
 /// (used for thresholding TTLs and termination tests).
-pub fn ge_const_gate_at(b: &mut CircuitBuilder, x: &[NeuronId], constant: u64, at: u32) -> NeuronId {
+pub fn ge_const_gate_at(
+    b: &mut CircuitBuilder,
+    x: &[NeuronId],
+    constant: u64,
+    at: u32,
+) -> NeuronId {
     assert!(at >= 1);
     if constant == 0 {
         // Always true; a bias-driven gate (a zero-threshold gate would be

@@ -49,7 +49,11 @@ pub struct CompileStats {
 /// # Panics
 /// Panics if `native_max == 0`.
 #[must_use]
-pub fn compile_delays(net: &Network, native_max: u32, strategy: LongDelay) -> (Network, CompileStats) {
+pub fn compile_delays(
+    net: &Network,
+    native_max: u32,
+    strategy: LongDelay,
+) -> (Network, CompileStats) {
     assert!(native_max >= 1);
     let mut out = Network::with_capacity(net.neuron_count());
     for id in net.neuron_ids() {
@@ -153,11 +157,13 @@ mod tests {
             let comp = EventEngine.run(&compiled, &[ids[0]], &cfg).unwrap();
             for &id in &ids {
                 assert_eq!(
-                    orig.first_spikes[id.index()], comp.first_spikes[id.index()],
+                    orig.first_spikes[id.index()],
+                    comp.first_spikes[id.index()],
                     "first spikes diverged (stats {stats:?})"
                 );
                 assert_eq!(
-                    orig.spike_counts[id.index()], comp.spike_counts[id.index()],
+                    orig.spike_counts[id.index()],
+                    comp.spike_counts[id.index()],
                     "spike counts diverged"
                 );
             }
@@ -187,7 +193,13 @@ mod tests {
         // Figure 1A blocks are safe in.
         let mut net = Network::new();
         let ids = net.add_neurons(LifParams::unit_integrator(), 5);
-        let edges = [(0usize, 1usize, 5u32), (0, 2, 9), (1, 3, 7), (2, 3, 4), (3, 4, 6)];
+        let edges = [
+            (0usize, 1usize, 5u32),
+            (0, 2, 9),
+            (1, 3, 7),
+            (2, 3, 4),
+            (3, 4, 6),
+        ];
         for &(u, v, d) in &edges {
             net.connect(ids[u], ids[v], 1.0, d).unwrap();
         }

@@ -108,7 +108,11 @@ mod tests {
 
     fn run(rig: &Rig, steps: u64) -> sgl_snn::RunResult {
         EventEngine
-            .run(&rig.net, &[rig.bias], &RunConfig::fixed(steps).with_raster())
+            .run(
+                &rig.net,
+                &[rig.bias],
+                &RunConfig::fixed(steps).with_raster(),
+            )
             .unwrap()
     }
 

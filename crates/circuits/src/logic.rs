@@ -76,7 +76,11 @@ mod tests {
     use super::*;
     use crate::builder::CircuitBuilder;
 
-    fn eval1(build: impl Fn(&mut CircuitBuilder, &[NeuronId]) -> NeuronId, bits: u64, n: usize) -> u64 {
+    fn eval1(
+        build: impl Fn(&mut CircuitBuilder, &[NeuronId]) -> NeuronId,
+        bits: u64,
+        n: usize,
+    ) -> u64 {
         let mut b = CircuitBuilder::new();
         let xs = b.input_bundle(n);
         let g = build(&mut b, &xs);
@@ -145,7 +149,7 @@ mod tests {
         let y = b.input();
         let y1 = buffer(&mut b, y, 1);
         let y2 = buffer(&mut b, y1, 1); // y2 fires at t=2
-        let g = and_gate_at(&mut b, &[(x, 3), (y2, 1)], );
+        let g = and_gate_at(&mut b, &[(x, 3), (y2, 1)]);
         let c = b.finish(vec![g], 3);
         assert_eq!(c.eval(&[1, 1]).unwrap(), 1);
         assert_eq!(c.eval(&[1, 0]).unwrap(), 0);

@@ -237,12 +237,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(64);
         let g = generators::gnm_connected(&mut rng, 32, 600, 1..=50);
         let approx = solve(&g, 0, 8);
-        let exact = crate::khop_poly::solve(
-            &g,
-            0,
-            8,
-            crate::khop_pseudo::Propagation::Pruned,
-        );
+        let exact = crate::khop_poly::solve(&g, 0, 8, crate::khop_pseudo::Propagation::Pruned);
         assert!(
             approx.cost.neurons < exact.cost.neurons,
             "approx {} !< exact {}",

@@ -243,10 +243,7 @@ mod tests {
                 .unwrap();
             let congest = simulate_snn(&net, &[ids[0]], rounds);
             assert_eq!(reference.first_spikes, congest.first_spikes);
-            assert_eq!(
-                reference.spike_counts,
-                congest.spike_counts.to_vec()
-            );
+            assert_eq!(reference.spike_counts, congest.spike_counts.to_vec());
         }
     }
 
@@ -260,11 +257,7 @@ mod tests {
         let run = simulate_snn(&net, &[NeuronId(0)], 64);
         let truth = sgl_graph::dijkstra::dijkstra(&g, 0);
         for v in 0..g.n() {
-            assert_eq!(
-                run.first_spikes[v],
-                truth.distances[v],
-                "node {v}"
-            );
+            assert_eq!(run.first_spikes[v], truth.distances[v], "node {v}");
         }
     }
 

@@ -114,16 +114,7 @@ impl GateLevelKhop {
             waves[v] = Some(w);
 
             // Max cascade over TTL operands (rel 0), constants from W.
-            let cas = wave_max_cascade(
-                &mut net,
-                w,
-                1,
-                &inbox.ttl,
-                0,
-                &inbox.ttl,
-                0,
-                lambda,
-            );
+            let cas = wave_max_cascade(&mut net, w, 1, &inbox.ttl, 0, &inbox.ttl, 0, lambda);
             debug_assert_eq!(cas.output_at, 3 * lambda as u32 + 3);
 
             // has_ttl = OR(max bits), rel 3λ+4.
@@ -133,14 +124,7 @@ impl GateLevelKhop {
             }
 
             // Decrement the max, rel 3λ+6.
-            let (dec, dec_at) = wave_decrement(
-                &mut net,
-                w,
-                1,
-                &cas.output,
-                cas.output_at,
-                lambda,
-            );
+            let (dec, dec_at) = wave_decrement(&mut net, w, 1, &cas.output, cas.output_at, lambda);
 
             // Gated emission at rel Λ_node = 3λ+7.
             let emit_at = dec_at + 1;
@@ -167,8 +151,8 @@ impl GateLevelKhop {
                 continue;
             };
             for &(v, slot, len) in &edge_slots[u] {
-                let delay = u32::try_from(scale * len - lam_node64)
-                    .expect("scaled delay exceeds u32");
+                let delay =
+                    u32::try_from(scale * len - lam_node64).expect("scaled delay exceeds u32");
                 for j in 0..lambda {
                     net.connect(out[j], inboxes[v].ttl[slot][j], 1.0, delay)
                         .expect("valid by construction");
@@ -183,8 +167,7 @@ impl GateLevelKhop {
         let inj_ttl = net.add_neurons(LifParams::gate_at_least(1), lambda);
         let inj_valid = net.add_neuron(LifParams::gate_at_least(1));
         for &(v, slot, len) in &edge_slots[source] {
-            let delay =
-                u32::try_from(scale * len - lam_node64).expect("scaled delay exceeds u32");
+            let delay = u32::try_from(scale * len - lam_node64).expect("scaled delay exceeds u32");
             for j in 0..lambda {
                 net.connect(inj_ttl[j], inboxes[v].ttl[slot][j], 1.0, delay)
                     .expect("valid by construction");

@@ -66,7 +66,11 @@ impl GateLevelPoly {
         assert!(source < g.n(), "source out of range");
         assert!(k >= 1, "k must be at least 1");
         let max_dist = (u64::from(k) + 1) * g.max_len().max(1);
-        let lambda = bits_for((g.n() as u64).saturating_mul(g.max_len().max(1)).max(max_dist));
+        let lambda = bits_for(
+            (g.n() as u64)
+                .saturating_mul(g.max_len().max(1))
+                .max(max_dist),
+        );
         assert!(lambda < 63, "message width too large");
 
         let mut net = Network::new();
@@ -136,7 +140,14 @@ impl GateLevelPoly {
             for &(v, slot, len) in &edge_slots[u] {
                 let (sum, sum_at) = wave_add_const(&mut net, valid_out, &out, e_at, len, lambda);
                 for j in 0..lambda {
-                    wire_at(&mut net, sum[j], sum_at, relays[v][slot][j], sum_at + 1, 1.0);
+                    wire_at(
+                        &mut net,
+                        sum[j],
+                        sum_at,
+                        relays[v][slot][j],
+                        sum_at + 1,
+                        1.0,
+                    );
                 }
                 // Valid passthrough to the relay layer.
                 wire_at(
@@ -159,7 +170,14 @@ impl GateLevelPoly {
         for &(v, slot, len) in &edge_slots[source] {
             let (sum, sum_at) = wave_add_const(&mut net, inj_valid, &inj_bits, e_at, len, lambda);
             for j in 0..lambda {
-                wire_at(&mut net, sum[j], sum_at, relays[v][slot][j], sum_at + 1, 1.0);
+                wire_at(
+                    &mut net,
+                    sum[j],
+                    sum_at,
+                    relays[v][slot][j],
+                    sum_at + 1,
+                    1.0,
+                );
             }
             wire_at(
                 &mut net,
@@ -312,12 +330,7 @@ mod tests {
         let g = generators::gnm_connected(&mut rng, 6, 14, 1..=5);
         for k in [1u32, 3, 5] {
             let gl = GateLevelPoly::build(&g, 0, k).solve().unwrap();
-            let sem = crate::khop_poly::solve(
-                &g,
-                0,
-                k,
-                crate::khop_pseudo::Propagation::Faithful,
-            );
+            let sem = crate::khop_poly::solve(&g, 0, k, crate::khop_pseudo::Propagation::Faithful);
             assert_eq!(gl.distances, sem.distances, "k = {k}");
         }
     }

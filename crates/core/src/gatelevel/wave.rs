@@ -265,8 +265,8 @@ pub(crate) fn wave_add_const(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sgl_snn::engine::{Engine, EventEngine, RunConfig};
     use sgl_snn::encoding;
+    use sgl_snn::engine::{Engine, EventEngine, RunConfig};
 
     /// Evaluates a wave-aligned block at absolute time 0: operands and the
     /// valid line are induced at t = 0 directly.

@@ -183,10 +183,7 @@ mod tests {
         let run = solve(&g, 0, 7, Propagation::Pruned);
         assert_eq!(run.rounds, 7);
         let lambda = crate::accounting::bits_for(8);
-        assert_eq!(
-            run.cost.spiking_steps,
-            7 * u64::from(hop_latency(lambda))
-        );
+        assert_eq!(run.cost.spiking_steps, 7 * u64::from(hop_latency(lambda)));
     }
 
     #[test]

@@ -100,10 +100,10 @@ fn solve_inner(
 
     let mut messages = 0u64;
     let broadcast = |queue: &mut BinaryHeap<Reverse<(u64, u32, u32)>>,
-                         messages: &mut u64,
-                         u: Node,
-                         t: u64,
-                         ttl: u32| {
+                     messages: &mut u64,
+                     u: Node,
+                     t: u64,
+                     ttl: u32| {
         for (v, len) in g.out_edges(u) {
             queue.push(Reverse((t + len, v as u32, ttl)));
             *messages += 1;

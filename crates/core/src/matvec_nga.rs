@@ -53,10 +53,7 @@ impl<S: Semiring> NgaProgram for MatVecNga<S> {
     }
 
     fn node(&self, _v: Node, incoming: &[S::Elem]) -> Option<S::Elem> {
-        incoming
-            .iter()
-            .cloned()
-            .reduce(|a, b| S::add(&a, &b))
+        incoming.iter().cloned().reduce(|a, b| S::add(&a, &b))
     }
 
     fn t_edge(&self) -> u64 {
@@ -85,7 +82,12 @@ fn edge_entry<S: Semiring>(len: Len) -> S::Elem {
 
 /// Computes `A^r m_0` as an NGA: `x` is `m_0` indexed by node (entries
 /// equal to the semiring zero start silent).
-pub fn matvec_power<S: Semiring>(g: &Graph, x: &[S::Elem], r: u32, lambda: usize) -> NgaRun<S::Elem> {
+pub fn matvec_power<S: Semiring>(
+    g: &Graph,
+    x: &[S::Elem],
+    r: u32,
+    lambda: usize,
+) -> NgaRun<S::Elem> {
     let program = MatVecNga::<S>::new(lambda);
     let init: Vec<(Node, S::Elem)> = x
         .iter()

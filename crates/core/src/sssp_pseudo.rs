@@ -149,9 +149,7 @@ impl<'g> SpikingSssp<'g> {
         };
         let result = EventEngine.run(&net, &[NeuronId(self.source as u32)], &config)?;
 
-        let distances: Vec<Option<Len>> = (0..g.n())
-            .map(|v| result.first_spikes[v])
-            .collect();
+        let distances: Vec<Option<Len>> = (0..g.n()).map(|v| result.first_spikes[v]).collect();
         // T = time of the last wavefront arrival. (`result.steps` can run
         // one step past it: the self-inhibition synapses produce one final
         // silent event after the last node fires.)
@@ -198,10 +196,7 @@ mod tests {
     fn diamond_matches_dijkstra() {
         let g = from_edges(4, &[(0, 1, 2), (1, 3, 2), (0, 2, 1), (2, 3, 5)]);
         let run = SpikingSssp::new(&g, 0).solve_all().unwrap();
-        assert_eq!(
-            run.distances,
-            vec![Some(0), Some(2), Some(1), Some(4)]
-        );
+        assert_eq!(run.distances, vec![Some(0), Some(2), Some(1), Some(4)]);
     }
 
     #[test]

@@ -47,7 +47,11 @@ pub struct TidalRun {
 pub fn solve(mut net: FlowNetwork, s: usize, t: usize) -> TidalRun {
     assert!(s < net.n() && t < net.n() && s != t);
     let total_cap: u128 = (0..net.m()).map(|e| u128::from(net.residual(2 * e))).sum();
-    let lambda = bits_for(u64::try_from(total_cap.min(u64::MAX as u128)).unwrap_or(u64::MAX).max(1));
+    let lambda = bits_for(
+        u64::try_from(total_cap.min(u64::MAX as u128))
+            .unwrap_or(u64::MAX)
+            .max(1),
+    );
     let round_latency = u64::from(hop_latency(lambda));
 
     let mut stats = FlowStats::default();

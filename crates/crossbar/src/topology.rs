@@ -169,8 +169,8 @@ mod tests {
         let x = Crossbar::new(3);
         assert_eq!(x.vertex_count(), 18);
         let g = x.to_graph(); // no type-2 enabled
-        // type1: 3; type3: 3 (11→12, 12→13, 22→23); type4: 3 (22←21? ...)
-        // total fixed = 3 + 2·3 + 2·3 = 15.
+                              // type1: 3; type3: 3 (11→12, 12→13, 22→23); type4: 3 (22←21? ...)
+                              // total fixed = 3 + 2·3 + 2·3 = 15.
         assert_eq!(g.m(), x.fixed_edge_count());
         assert_eq!(g.m(), 15);
     }

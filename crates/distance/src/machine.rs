@@ -184,14 +184,22 @@ impl DistanceMachine {
     /// ℓ1 distance from a word's home to its nearest register.
     fn nearest_reg_distance(&self, word: u32) -> u64 {
         let home = self.homes[word as usize];
-        self.regs.iter().map(|&r| l1(home, r)).min().expect("c >= 1")
+        self.regs
+            .iter()
+            .map(|&r| l1(home, r))
+            .min()
+            .expect("c >= 1")
     }
 
     fn touch(&mut self, word: u32, write: bool) {
         self.accesses += 1;
         if let Some(slot) = self.location[word as usize] {
             // Hit: promote in LRU, possibly mark dirty.
-            let pos = self.lru.iter().position(|&s| s == slot).expect("slot in LRU");
+            let pos = self
+                .lru
+                .iter()
+                .position(|&s| s == slot)
+                .expect("slot in LRU");
             self.lru.remove(pos);
             self.lru.push(slot);
             if write {
@@ -251,7 +259,10 @@ mod tests {
     fn hits_are_free_misses_cost_distance() {
         let mut m = DistanceMachine::new(64, 2, Placement::CenterCluster);
         let far_word = 0u32; // corner of the square
-        let d = l1(m.home(far_word), register_positions(2, Placement::CenterCluster, 8)[0]);
+        let d = l1(
+            m.home(far_word),
+            register_positions(2, Placement::CenterCluster, 8)[0],
+        );
         m.read(far_word);
         assert_eq!(m.cost(), d);
         m.read(far_word); // hit

@@ -110,7 +110,9 @@ mod tests {
         let pts = cube_layout(1000);
         let set: std::collections::HashSet<_> = pts.iter().collect();
         assert_eq!(set.len(), 1000);
-        assert!(pts.iter().all(|&(x, y, z)| x.abs() <= 5 && y.abs() <= 5 && z.abs() <= 5));
+        assert!(pts
+            .iter()
+            .all(|&(x, y, z)| x.abs() <= 5 && y.abs() <= 5 && z.abs() <= 5));
     }
 
     #[test]
@@ -151,10 +153,7 @@ mod tests {
         let single: u64 = {
             let homes = square_layout(m);
             let regs = register_positions(1, Placement::CenterCluster, (m as f64).sqrt() as i32);
-            homes
-                .iter()
-                .map(|&h| crate::machine::l1(h, regs[0]))
-                .sum()
+            homes.iter().map(|&h| crate::machine::l1(h, regs[0])).sum()
         };
         let four = scan_stacked(m, 4, 1);
         let ratio = single as f64 / four as f64;

@@ -109,7 +109,7 @@ mod tests {
     }
 
     #[test]
-    fn x_vector_caching_helps_with_more_registers(){
+    fn x_vector_caching_helps_with_more_registers() {
         // More registers let x entries stay resident: cost drops.
         let c1 = matvec_metered(48, 1, Placement::CenterCluster).cost;
         let c64 = matvec_metered(48, 64, Placement::CenterCluster).cost;

@@ -12,9 +12,9 @@ pub type Len = u64;
 /// slice, giving cache-friendly relaxation loops and O(1) degree queries.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Graph {
-    offsets: Vec<usize>,  // n + 1 entries
-    targets: Vec<u32>,    // m entries
-    lengths: Vec<Len>,    // m entries
+    offsets: Vec<usize>, // n + 1 entries
+    targets: Vec<u32>,   // m entries
+    lengths: Vec<Len>,   // m entries
     max_len: Len,
 }
 

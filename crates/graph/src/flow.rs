@@ -194,7 +194,13 @@ fn dinic_dfs(
 /// overestimate of the arriving tide, a backward pass trimming to the
 /// sink's intake, and a forward settling pass restoring conservation.
 /// Returns the amount pushed (0 iff the level graph carries nothing).
-pub fn tide(net: &mut FlowNetwork, s: usize, t: usize, level: &[Option<u32>], stats: &mut FlowStats) -> Cap {
+pub fn tide(
+    net: &mut FlowNetwork,
+    s: usize,
+    t: usize,
+    level: &[Option<u32>],
+    stats: &mut FlowStats,
+) -> Cap {
     // Collect level-graph edges in BFS order.
     let mut order: Vec<u32> = Vec::new();
     let mut nodes: Vec<usize> = (0..net.n).collect();

@@ -200,7 +200,6 @@ pub fn star(rng: &mut impl Rng, n: usize, lens: RangeInclusive<Len>) -> Graph {
     b.build()
 }
 
-
 /// Watts–Strogatz small world: a bidirected ring lattice (each node linked
 /// to `k/2` neighbours on each side) with each edge's far endpoint rewired
 /// with probability `beta`. Small diameter with high clustering — the
@@ -216,7 +215,10 @@ pub fn small_world(
     beta: f64,
     lens: RangeInclusive<Len>,
 ) -> Graph {
-    assert!(k >= 2 && k.is_multiple_of(2) && k < n, "need even 2 <= k < n");
+    assert!(
+        k >= 2 && k.is_multiple_of(2) && k < n,
+        "need even 2 <= k < n"
+    );
     let mut b = GraphBuilder::new(n);
     let mut seen: HashSet<(usize, usize)> = HashSet::new();
     for u in 0..n {
@@ -310,7 +312,12 @@ pub fn random_dag(rng: &mut impl Rng, n: usize, p: f64, lens: RangeInclusive<Len
 /// A complete bipartite digraph `K_{a,b}` (edges both ways), a stress case
 /// for the in-degree-proportional node circuits of §4.5.
 #[must_use]
-pub fn complete_bipartite(rng: &mut impl Rng, a: usize, bn: usize, lens: RangeInclusive<Len>) -> Graph {
+pub fn complete_bipartite(
+    rng: &mut impl Rng,
+    a: usize,
+    bn: usize,
+    lens: RangeInclusive<Len>,
+) -> Graph {
     let mut b = GraphBuilder::new(a + bn);
     for u in 0..a {
         for v in a..(a + bn) {
@@ -441,7 +448,6 @@ mod tests {
         let r = crate::dijkstra::dijkstra(&g, 3);
         assert!(r.distances.iter().all(|d| d.unwrap() <= 2));
     }
-
 
     #[test]
     fn small_world_is_connected_and_small_diameter() {

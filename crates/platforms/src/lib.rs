@@ -128,8 +128,7 @@ impl Platform {
     /// (`None` for platforms without a published pJ/spike figure).
     #[must_use]
     pub fn spike_energy_joules(&self, spike_events: u64) -> Option<f64> {
-        self.pj_per_spike
-            .map(|pj| pj * 1e-12 * spike_events as f64)
+        self.pj_per_spike.map(|pj| pj * 1e-12 * spike_events as f64)
     }
 
     /// Crude CPU energy model: TDP divided by peak ops/second from the
@@ -232,7 +231,10 @@ mod tests {
         let cpu = by_name("Core i7-9700T").unwrap();
         let e = cpu.cpu_energy_per_op_joules().unwrap();
         assert!(e > 1e-9 && e < 1e-8, "{e}");
-        assert!(by_name("Loihi").unwrap().cpu_energy_per_op_joules().is_none());
+        assert!(by_name("Loihi")
+            .unwrap()
+            .cpu_energy_per_op_joules()
+            .is_none());
     }
 
     #[test]

@@ -232,7 +232,10 @@ mod tests {
         let (n, edges, spikes) = two_cliques();
         // Sequential with capacity 4 happens to split at the clique
         // boundary here, so shift the cliques to misalign it.
-        let shifted: Vec<(u32, u32)> = edges.iter().map(|&(u, v)| ((u + 2) % 8, (v + 2) % 8)).collect();
+        let shifted: Vec<(u32, u32)> = edges
+            .iter()
+            .map(|&(u, v)| ((u + 2) % 8, (v + 2) % 8))
+            .collect();
         let seq = CoreLayout::sequential(n, 4).traffic(&shifted, &spikes);
         let greedy = CoreLayout::greedy(n, 4, &shifted, &spikes).traffic(&shifted, &spikes);
         assert!(greedy.inter_core <= seq.inter_core);

@@ -75,7 +75,8 @@ pub fn audit(net: &Network) -> Vec<Finding> {
         }
         if !is_input && !has_in[id.index()] {
             findings.push(Finding::Orphan(id));
-        } else if !is_input && positive_in[id.index()] + p.v_reset <= p.v_threshold
+        } else if !is_input
+            && positive_in[id.index()] + p.v_reset <= p.v_threshold
             && has_in[id.index()]
         {
             findings.push(Finding::Unfirable(id));

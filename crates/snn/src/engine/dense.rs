@@ -1,10 +1,9 @@
 //! Literal time-stepped engine: every neuron is updated every step.
 
-use std::collections::HashMap;
-
+use super::wheel::TimeWheel;
 use super::{check_initial, Engine, Recorder, RunConfig, RunResult, StopCondition, StopReason};
 use crate::error::SnnError;
-use crate::network::Network;
+use crate::network::{CsrTopology, Network};
 use crate::types::{NeuronId, Time};
 
 /// The reference engine. Implements Eqs. (1)–(3) verbatim: at every time
@@ -29,15 +28,15 @@ impl Engine for DenseEngine {
         check_initial(net, initial_spikes)?;
         let mut rec = Recorder::new(net, config)?;
         let n = net.neuron_count();
+        let csr = net.csr();
+        let params = net.params_slice();
 
-        // Pending synaptic deliveries keyed by arrival time. A HashMap (not
-        // a ring buffer) so that graphs with very large delay-encoded edge
-        // lengths do not force O(n * max_delay) memory.
-        let mut pending: HashMap<Time, Vec<(NeuronId, f64)>> = HashMap::new();
-        let mut voltages: Vec<f64> = net
-            .neuron_ids()
-            .map(|id| net.params(id).v_reset)
-            .collect();
+        // Pending synaptic deliveries live in a time wheel sized to the
+        // largest delay: O(1) scheduling/draining with slot capacity
+        // recycled across wraps, so the steady state never allocates.
+        let mut wheel = TimeWheel::new(net.max_delay());
+        let mut batch: Vec<(NeuronId, f64)> = Vec::new();
+        let mut voltages: Vec<f64> = params.iter().map(|p| p.v_reset).collect();
 
         let mut fired: Vec<NeuronId> = initial_spikes.to_vec();
         fired.sort_unstable();
@@ -45,38 +44,41 @@ impl Engine for DenseEngine {
 
         // t = 0: induced input spikes.
         let mut stop_hit = rec.record_step(0, &fired, &config.stop);
-        route_spikes(net, &fired, 0, &mut pending, &mut rec);
-        if stop_hit && !matches!(config.stop, StopCondition::MaxSteps | StopCondition::Quiescent) {
+        route_spikes(csr, &fired, 0, &mut wheel, &mut rec);
+        if stop_hit
+            && !matches!(
+                config.stop,
+                StopCondition::MaxSteps | StopCondition::Quiescent
+            )
+        {
             return rec.finish(0, StopReason::ConditionMet, config);
         }
         // A neuron is "armed" if it would fire next step with zero synaptic
         // input (possible only when v_reset > v_threshold, i.e. spontaneous
         // neurons, which the dense engine supports). Quiescence requires no
         // pending deliveries and no armed neurons.
-        let spontaneous = net
-            .neuron_ids()
-            .any(|id| !net.params(id).is_input_driven());
-        if pending.is_empty() && !spontaneous {
+        let spontaneous = params.iter().any(|p| !p.is_input_driven());
+        if wheel.is_empty() && !spontaneous {
             return rec.finish(0, StopReason::Quiescent, config);
         }
 
         let mut syn = vec![0.0f64; n];
         let mut touched: Vec<usize> = Vec::new();
         for t in 1..=config.max_steps {
-            if let Some(batch) = pending.remove(&t) {
-                for (id, w) in batch {
-                    let i = id.index();
-                    if syn[i] == 0.0 {
-                        touched.push(i);
-                    }
-                    syn[i] += w;
+            batch.clear();
+            wheel.drain_at(t, &mut batch);
+            for &(id, w) in &batch {
+                let i = id.index();
+                if syn[i] == 0.0 {
+                    touched.push(i);
                 }
+                syn[i] += w;
             }
 
             fired.clear();
             let mut armed = false;
             for i in 0..n {
-                let p = &net.params(NeuronId(i as u32));
+                let p = &params[i];
                 let v = voltages[i];
                 // Eq. (1): decay toward reset, then add synaptic input.
                 let v_hat = v - (v - p.v_reset) * p.decay + syn[i];
@@ -98,14 +100,17 @@ impl Engine for DenseEngine {
             touched.clear();
 
             stop_hit = rec.record_step(t, &fired, &config.stop);
-            route_spikes(net, &fired, t, &mut pending, &mut rec);
+            route_spikes(csr, &fired, t, &mut wheel, &mut rec);
 
             if stop_hit
-                && !matches!(config.stop, StopCondition::MaxSteps | StopCondition::Quiescent)
+                && !matches!(
+                    config.stop,
+                    StopCondition::MaxSteps | StopCondition::Quiescent
+                )
             {
                 return rec.finish(t, StopReason::ConditionMet, config);
             }
-            if pending.is_empty() && !armed {
+            if wheel.is_empty() && !armed {
                 // No spikes in flight and no neuron can fire without input:
                 // voltages only decay toward reset (<= threshold for
                 // input-driven neurons), so the network can never fire
@@ -118,20 +123,19 @@ impl Engine for DenseEngine {
     }
 }
 
-fn route_spikes(
-    net: &Network,
+/// Schedules the fan-out of every fired neuron, in (sorted firing id) ×
+/// (CSR synapse order) — the shared delivery order all engines follow.
+pub(super) fn route_spikes(
+    csr: &CsrTopology,
     fired: &[NeuronId],
     t: Time,
-    pending: &mut HashMap<Time, Vec<(NeuronId, f64)>>,
+    wheel: &mut TimeWheel,
     rec: &mut Recorder,
 ) {
     let mut deliveries = 0u64;
     for &id in fired {
-        for s in net.synapses_from(id) {
-            pending
-                .entry(t + Time::from(s.delay))
-                .or_default()
-                .push((s.target, s.weight));
+        for s in csr.out(id.index()) {
+            wheel.schedule(t + Time::from(s.delay), s.target, s.weight);
             deliveries += 1;
         }
     }

@@ -1,8 +1,7 @@
 //! Event-driven engine: work proportional to spike traffic.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
+use super::dense::route_spikes;
+use super::wheel::TimeWheel;
 use super::{check_initial, Engine, Recorder, RunConfig, RunResult, StopCondition, StopReason};
 use crate::error::SnnError;
 use crate::network::Network;
@@ -28,40 +27,6 @@ use crate::types::{NeuronId, Time};
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EventEngine;
 
-/// A synaptic delivery scheduled for a future step. Ordered by (time,
-/// target, weight-bits) so heap pops are deterministic.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-struct Delivery {
-    time: Time,
-    target: NeuronId,
-    weight_bits: u64,
-}
-
-impl Delivery {
-    fn new(time: Time, target: NeuronId, weight: f64) -> Self {
-        Self {
-            time,
-            target,
-            // Total order over finite weights; sign-magnitude flip makes the
-            // bit order match numeric order, though any total order works
-            // for determinism.
-            weight_bits: {
-                let b = weight.to_bits();
-                if b >> 63 == 1 {
-                    !b
-                } else {
-                    b | (1 << 63)
-                }
-            },
-        }
-    }
-
-    fn weight(self) -> f64 {
-        let b = self.weight_bits;
-        f64::from_bits(if b >> 63 == 1 { b & !(1 << 63) } else { !b })
-    }
-}
-
 impl Engine for EventEngine {
     fn run(
         &self,
@@ -73,12 +38,12 @@ impl Engine for EventEngine {
         check_initial(net, initial_spikes)?;
         let mut rec = Recorder::new(net, config)?;
         let n = net.neuron_count();
+        let csr = net.csr();
+        let params = net.params_slice();
 
-        let mut heap: BinaryHeap<Reverse<Delivery>> = BinaryHeap::new();
-        let mut voltages: Vec<f64> = net
-            .neuron_ids()
-            .map(|id| net.params(id).v_reset)
-            .collect();
+        let mut wheel = TimeWheel::new(net.max_delay());
+        let mut batch = Vec::new();
+        let mut voltages: Vec<f64> = params.iter().map(|p| p.v_reset).collect();
         let mut last_update: Vec<Time> = vec![0; n];
 
         let mut fired: Vec<NeuronId> = initial_spikes.to_vec();
@@ -86,55 +51,51 @@ impl Engine for EventEngine {
         fired.dedup();
 
         let mut stop_hit = rec.record_step(0, &fired, &config.stop);
-        let mut deliveries = 0u64;
-        for &id in &fired {
-            for s in net.synapses_from(id) {
-                heap.push(Reverse(Delivery::new(
-                    Time::from(s.delay),
-                    s.target,
-                    s.weight,
-                )));
-                deliveries += 1;
-            }
-        }
-        rec.add_deliveries(deliveries);
-        if stop_hit && !matches!(config.stop, StopCondition::MaxSteps | StopCondition::Quiescent) {
+        route_spikes(csr, &fired, 0, &mut wheel, &mut rec);
+        if stop_hit
+            && !matches!(
+                config.stop,
+                StopCondition::MaxSteps | StopCondition::Quiescent
+            )
+        {
             return rec.finish(0, StopReason::ConditionMet, config);
         }
 
         let mut last_active: Time = 0;
         let mut accum: Vec<f64> = vec![0.0; n];
+        // Membership bitmap for `touched`: O(1) dedup per delivery instead
+        // of a linear `contains` scan (which made dense delivery batches
+        // quadratic in the batch size).
+        let mut dirty: Vec<bool> = vec![false; n];
         let mut touched: Vec<NeuronId> = Vec::new();
 
-        while let Some(&Reverse(next)) = heap.peek() {
-            let t = next.time;
+        while let Some(t) = wheel.next_time() {
             if t > config.max_steps {
                 break;
             }
 
-            // Drain and accumulate every delivery arriving at step t.
-            let mut batch_deliveries = 0u64;
-            while let Some(&Reverse(d)) = heap.peek() {
-                if d.time != t {
-                    break;
+            // Drain and accumulate every delivery arriving at step t. The
+            // wheel yields deliveries in scheduling order — the same order
+            // the dense engines accumulate in — so per-target sums are
+            // bit-identical across engines.
+            batch.clear();
+            wheel.drain_at(t, &mut batch);
+            for &(id, w) in &batch {
+                let i = id.index();
+                if !dirty[i] {
+                    dirty[i] = true;
+                    touched.push(id);
                 }
-                heap.pop();
-                let i = d.target.index();
-                if accum[i] == 0.0 && !touched.contains(&d.target) {
-                    touched.push(d.target);
-                }
-                accum[i] += d.weight();
-                batch_deliveries += 1;
+                accum[i] += w;
             }
             touched.sort_unstable();
             rec.add_updates(touched.len() as u64);
-            let _ = batch_deliveries; // deliveries were counted when pushed
 
             // Update each touched neuron: lazy decay, add input, threshold.
             fired.clear();
             for &id in &touched {
                 let i = id.index();
-                let p = net.params(id);
+                let p = &params[i];
                 let dt = t - last_update[i];
                 let v0 = voltages[i];
                 // dt == 0 cannot happen (events batch per step), and
@@ -155,32 +116,25 @@ impl Engine for EventEngine {
                 }
                 last_update[i] = t;
                 accum[i] = 0.0;
+                dirty[i] = false;
             }
             touched.clear();
             last_active = t;
 
             stop_hit = rec.record_step(t, &fired, &config.stop);
-            let mut pushed = 0u64;
-            for &id in &fired {
-                for s in net.synapses_from(id) {
-                    heap.push(Reverse(Delivery::new(
-                        t + Time::from(s.delay),
-                        s.target,
-                        s.weight,
-                    )));
-                    pushed += 1;
-                }
-            }
-            rec.add_deliveries(pushed);
+            route_spikes(csr, &fired, t, &mut wheel, &mut rec);
 
             if stop_hit
-                && !matches!(config.stop, StopCondition::MaxSteps | StopCondition::Quiescent)
+                && !matches!(
+                    config.stop,
+                    StopCondition::MaxSteps | StopCondition::Quiescent
+                )
             {
                 return rec.finish(t, StopReason::ConditionMet, config);
             }
         }
 
-        if heap.is_empty() {
+        if wheel.is_empty() {
             rec.finish(last_active, StopReason::Quiescent, config)
         } else {
             rec.finish(config.max_steps, StopReason::MaxStepsReached, config)
@@ -194,20 +148,21 @@ mod tests {
     use crate::params::LifParams;
 
     #[test]
-    fn delivery_weight_roundtrip() {
-        for &w in &[0.0, 1.0, -1.0, 3.5, -2.25, 1e-9, -1e9] {
-            let d = Delivery::new(3, NeuronId(1), w);
-            assert_eq!(d.weight(), w, "weight {w} did not roundtrip");
-        }
-    }
-
-    #[test]
-    fn delivery_ordering_by_time_then_target() {
-        let a = Delivery::new(1, NeuronId(5), 1.0);
-        let b = Delivery::new(2, NeuronId(0), 1.0);
-        let c = Delivery::new(1, NeuronId(6), 1.0);
-        assert!(a < b);
-        assert!(a < c);
+    fn parallel_edges_count_one_touched_pair() {
+        // Two same-delay edges into the same target must accumulate into
+        // one neuron update, not two (the dirty bitmap dedups per step) —
+        // including when the weights cancel to exactly zero.
+        let mut net = Network::new();
+        let src = net.add_neuron(LifParams::gate_at_least(1));
+        let tgt = net.add_neuron(LifParams::gate_at_least(1));
+        net.connect(src, tgt, 2.0, 3).unwrap();
+        net.connect(src, tgt, -2.0, 3).unwrap();
+        let r = EventEngine
+            .run(&net, &[src], &RunConfig::until_quiescent(10))
+            .unwrap();
+        assert_eq!(r.stats.neuron_updates, 1);
+        assert_eq!(r.stats.synaptic_deliveries, 2);
+        assert!(!r.fired(tgt));
     }
 
     #[test]

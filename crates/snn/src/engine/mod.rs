@@ -10,6 +10,7 @@ mod dense;
 mod event;
 mod parallel;
 mod stepper;
+mod wheel;
 
 pub use dense::DenseEngine;
 pub use event::EventEngine;
@@ -142,8 +143,10 @@ pub struct SimStats {
     pub neuron_updates: u64,
 }
 
-/// Result of a run.
-#[derive(Clone, Debug)]
+/// Result of a run. `Eq` is exact — spike times, counts, raster, and work
+/// counters are all integers — which is what lets the differential tests
+/// demand bit-identical results across engines.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunResult {
     /// Termination time `T` (the execution time of Definition 3).
     pub steps: Time,
@@ -185,7 +188,10 @@ impl RunResult {
     /// neurons, whether it fired at `T` (in `Network::outputs()` order).
     #[must_use]
     pub fn output_bits(&self, net: &Network) -> Vec<bool> {
-        net.outputs().iter().map(|&o| self.fired_at_end(o)).collect()
+        net.outputs()
+            .iter()
+            .map(|&o| self.fired_at_end(o))
+            .collect()
     }
 
     /// Total number of spikes.
@@ -237,7 +243,14 @@ impl Recorder {
                         return Err(SnnError::UnknownNeuron(id));
                     }
                 }
-                v.len()
+                // Count *unique* targets: `record_step` decrements once per
+                // neuron (on its first spike), so counting duplicates would
+                // leave the condition permanently unsatisfiable and burn
+                // the whole step budget.
+                let mut uniq = v.clone();
+                uniq.sort_unstable();
+                uniq.dedup();
+                uniq.len()
             }
             StopCondition::AnyOf(v) => {
                 for &id in v {
@@ -249,6 +262,10 @@ impl Recorder {
             }
             _ => 0,
         };
+        // An empty `AllOf` is vacuously satisfied: stop at the first check
+        // (t = 0). An empty `AnyOf` stays unsatisfiable, as no listed
+        // neuron can ever fire.
+        let satisfied = pending_targets == 0 && matches!(&config.stop, StopCondition::AllOf(_));
         Ok(Self {
             first_spikes: vec![None; n],
             last_spikes: vec![None; n],
@@ -257,7 +274,7 @@ impl Recorder {
             stats: SimStats::default(),
             terminal,
             pending_targets,
-            satisfied: false,
+            satisfied,
         })
     }
 
@@ -380,6 +397,29 @@ mod tests {
         assert!(!rec.record_step(1, &[a], &cfg.stop));
         assert!(!rec.record_step(2, &[a], &cfg.stop)); // repeat spike doesn't double count
         assert!(rec.record_step(3, &[b], &cfg.stop));
+    }
+
+    #[test]
+    fn recorder_all_of_with_duplicate_ids() {
+        // Regression: duplicated ids used to inflate `pending_targets`
+        // beyond the number of distinct neurons, making the condition
+        // unsatisfiable (runs burned to max_steps).
+        let mut net = Network::new();
+        let a = net.add_neuron(LifParams::default());
+        let b = net.add_neuron(LifParams::default());
+        let cfg = RunConfig::until_all(vec![a, a, b, a], 10);
+        let mut rec = Recorder::new(&net, &cfg).unwrap();
+        assert!(!rec.record_step(1, &[a], &cfg.stop));
+        assert!(rec.record_step(2, &[b], &cfg.stop));
+    }
+
+    #[test]
+    fn recorder_empty_all_of_is_vacuously_satisfied() {
+        let mut net = Network::new();
+        net.add_neuron(LifParams::default());
+        let cfg = RunConfig::until_all(vec![], 10);
+        let mut rec = Recorder::new(&net, &cfg).unwrap();
+        assert!(rec.record_step(0, &[], &cfg.stop));
     }
 
     #[test]

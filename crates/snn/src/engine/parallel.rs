@@ -2,19 +2,31 @@
 //!
 //! Each LIF update (Eqs. (1)–(3)) touches only that neuron's state, so a
 //! synchronous step is embarrassingly parallel across neurons: the neuron
-//! range splits into per-thread chunks, every thread advances its chunk,
-//! and spike routing is merged after the barrier — the same
+//! range splits into per-worker chunks, every worker advances its chunk,
+//! and spike routing is merged after the step barrier — the same
 //! compute/communicate cadence a multi-core neuromorphic chip follows
 //! every tick. Results are bit-identical to [`super::DenseEngine`]
 //! (verified by property tests): parallelism only reorders independent
 //! per-neuron work.
+//!
+//! Workers are spawned once per run and kept alive across steps,
+//! synchronised by a pair of barriers per step. The previous
+//! implementation spawned `threads` fresh OS threads *every step*, which
+//! cost tens of microseconds per step — orders of magnitude more than the
+//! step's arithmetic for small networks.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex};
 
-use super::{check_initial, Engine, Recorder, RunConfig, RunResult, StopCondition, StopReason};
+use super::dense::route_spikes;
+use super::wheel::TimeWheel;
+use super::{
+    check_initial, DenseEngine, Engine, Recorder, RunConfig, RunResult, StopCondition, StopReason,
+};
 use crate::error::SnnError;
-use crate::network::Network;
-use crate::types::{NeuronId, Time};
+use crate::params::LifParams;
+use crate::types::NeuronId;
+use crate::Network;
 
 /// Dense engine with per-step neuron-range parallelism over `threads`
 /// worker threads (1 = sequential, identical to [`super::DenseEngine`]).
@@ -35,6 +47,17 @@ impl Default for ParallelDenseEngine {
     }
 }
 
+/// Per-worker mailboxes. The main thread writes `inbox` and reads
+/// `fired`/`armed` only while the worker is parked at a barrier, so the
+/// mutexes are never contended — they exist to satisfy `Sync`.
+struct WorkerCell {
+    /// Deliveries for this worker's chunk, in global-batch order
+    /// (preserves the accumulation order the dense engine uses).
+    inbox: Mutex<Vec<(usize, f64)>>,
+    /// (sorted fired ids, armed flag) produced by the last step.
+    out: Mutex<(Vec<NeuronId>, bool)>,
+}
+
 impl Engine for ParallelDenseEngine {
     fn run(
         &self,
@@ -42,117 +65,170 @@ impl Engine for ParallelDenseEngine {
         initial_spikes: &[NeuronId],
         config: &RunConfig,
     ) -> Result<RunResult, SnnError> {
-        let threads = self.threads.max(1);
+        let n = net.neuron_count();
+        let threads = self.threads.max(1).min(n.max(1));
+        if threads == 1 {
+            // Sequential case: exactly the dense engine, minus the pool.
+            return DenseEngine.run(net, initial_spikes, config);
+        }
         net.validate(false)?;
         check_initial(net, initial_spikes)?;
         let mut rec = Recorder::new(net, config)?;
-        let n = net.neuron_count();
+        let csr = net.csr();
+        let params = net.params_slice();
 
-        let mut pending: HashMap<Time, Vec<(NeuronId, f64)>> = HashMap::new();
-        let mut voltages: Vec<f64> = net.neuron_ids().map(|id| net.params(id).v_reset).collect();
+        let mut wheel = TimeWheel::new(net.max_delay());
+        let mut batch: Vec<(NeuronId, f64)> = Vec::new();
 
         let mut fired: Vec<NeuronId> = initial_spikes.to_vec();
         fired.sort_unstable();
         fired.dedup();
 
         let mut stop_hit = rec.record_step(0, &fired, &config.stop);
-        route(net, &fired, 0, &mut pending, &mut rec);
-        if stop_hit && !matches!(config.stop, StopCondition::MaxSteps | StopCondition::Quiescent) {
+        route_spikes(csr, &fired, 0, &mut wheel, &mut rec);
+        if stop_hit
+            && !matches!(
+                config.stop,
+                StopCondition::MaxSteps | StopCondition::Quiescent
+            )
+        {
             return rec.finish(0, StopReason::ConditionMet, config);
         }
-        let spontaneous = net.neuron_ids().any(|id| !net.params(id).is_input_driven());
-        if pending.is_empty() && !spontaneous {
+        let spontaneous = params.iter().any(|p| !p.is_input_driven());
+        if wheel.is_empty() && !spontaneous {
             return rec.finish(0, StopReason::Quiescent, config);
         }
 
-        let mut syn = vec![0.0f64; n];
-        let chunk = n.div_ceil(threads).max(1);
-        for t in 1..=config.max_steps {
-            if let Some(batch) = pending.remove(&t) {
-                for (id, w) in batch {
-                    syn[id.index()] += w;
+        // Partition by chunk size, then count the chunks that actually
+        // exist: `ceil(n / threads)`-sized chunks can cover `n` neurons in
+        // fewer than `threads` pieces (e.g. n = 5, threads = 4 -> two-wide
+        // chunks at 0, 2, 4), and every worker must own a non-empty range
+        // or the barriers would wait on idle threads.
+        let chunk = n.div_ceil(threads);
+        let workers = n.div_ceil(chunk);
+        let cells: Vec<WorkerCell> = (0..workers)
+            .map(|_| WorkerCell {
+                inbox: Mutex::new(Vec::new()),
+                out: Mutex::new((Vec::new(), false)),
+            })
+            .collect();
+        // Both barriers include the main thread. `start` opens a step (or,
+        // with `running` false, releases the workers to exit); `end` closes
+        // it, after which the workers' outboxes are safe to read.
+        let start = Barrier::new(workers + 1);
+        let end = Barrier::new(workers + 1);
+        let running = AtomicBool::new(true);
+
+        let (steps, reason) = std::thread::scope(|scope| {
+            for (wi, (cell, chunk_params)) in cells.iter().zip(params.chunks(chunk)).enumerate() {
+                let base = wi * chunk;
+                let (start, end, running) = (&start, &end, &running);
+                scope.spawn(move || {
+                    worker_loop(base, chunk_params, cell, start, end, running);
+                });
+            }
+
+            let outcome = 'run: {
+                for t in 1..=config.max_steps {
+                    batch.clear();
+                    wheel.drain_at(t, &mut batch);
+                    for &(id, w) in &batch {
+                        let i = id.index();
+                        cells[i / chunk]
+                            .inbox
+                            .lock()
+                            .expect("engine inbox poisoned")
+                            .push((i, w));
+                    }
+
+                    start.wait();
+                    // Workers run Eqs. (1)–(3) over their chunks.
+                    end.wait();
+                    rec.add_updates(n as u64);
+
+                    // Merge in chunk order: per-chunk lists are id-sorted,
+                    // so the concatenation is globally sorted.
+                    fired.clear();
+                    let mut armed = false;
+                    for cell in &cells {
+                        let out = cell.out.lock().expect("engine outbox poisoned");
+                        fired.extend_from_slice(&out.0);
+                        armed |= out.1;
+                    }
+
+                    stop_hit = rec.record_step(t, &fired, &config.stop);
+                    route_spikes(csr, &fired, t, &mut wheel, &mut rec);
+
+                    if stop_hit
+                        && !matches!(
+                            config.stop,
+                            StopCondition::MaxSteps | StopCondition::Quiescent
+                        )
+                    {
+                        break 'run (t, StopReason::ConditionMet);
+                    }
+                    if wheel.is_empty() && !armed {
+                        break 'run (t, StopReason::Quiescent);
+                    }
                 }
-            }
+                (config.max_steps, StopReason::MaxStepsReached)
+            };
 
-            // Parallel phase: each thread updates a disjoint neuron chunk,
-            // collecting its own fired list and armed flag.
-            let mut results: Vec<(Vec<NeuronId>, bool)> = Vec::with_capacity(threads);
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(threads);
-                for (ci, (vchunk, schunk)) in voltages
-                    .chunks_mut(chunk)
-                    .zip(syn.chunks_mut(chunk))
-                    .enumerate()
-                {
-                    handles.push(scope.spawn(move || {
-                        let base = ci * chunk;
-                        let mut local_fired = Vec::new();
-                        let mut armed = false;
-                        for (i, (v, s)) in vchunk.iter_mut().zip(schunk.iter_mut()).enumerate() {
-                            let id = NeuronId((base + i) as u32);
-                            let p = net.params(id);
-                            let v_hat = *v - (*v - p.v_reset) * p.decay + *s;
-                            if v_hat > p.v_threshold {
-                                local_fired.push(id);
-                                *v = p.v_reset;
-                            } else {
-                                *v = v_hat;
-                            }
-                            *s = 0.0;
-                            let v_next = *v - (*v - p.v_reset) * p.decay;
-                            armed |= v_next > p.v_threshold;
-                        }
-                        (local_fired, armed)
-                    }));
-                }
-                for h in handles {
-                    results.push(h.join().expect("engine worker panicked"));
-                }
-            });
-            rec.add_updates(n as u64);
-            // Merge in chunk order: per-chunk lists are already id-sorted.
-            fired.clear();
-            let mut armed = false;
-            for (list, a) in results {
-                fired.extend(list);
-                armed |= a;
-            }
+            // Release the pool before leaving the scope.
+            running.store(false, Ordering::Release);
+            start.wait();
+            outcome
+        });
 
-            stop_hit = rec.record_step(t, &fired, &config.stop);
-            route(net, &fired, t, &mut pending, &mut rec);
-
-            if stop_hit
-                && !matches!(config.stop, StopCondition::MaxSteps | StopCondition::Quiescent)
-            {
-                return rec.finish(t, StopReason::ConditionMet, config);
-            }
-            if pending.is_empty() && !armed {
-                return rec.finish(t, StopReason::Quiescent, config);
-            }
-        }
-
-        rec.finish(config.max_steps, StopReason::MaxStepsReached, config)
+        rec.finish(steps, reason, config)
     }
 }
 
-fn route(
-    net: &Network,
-    fired: &[NeuronId],
-    t: Time,
-    pending: &mut HashMap<Time, Vec<(NeuronId, f64)>>,
-    rec: &mut Recorder,
+/// One persistent worker: waits at `start`, applies its inbox, advances
+/// its neuron chunk one step, publishes (fired, armed), waits at `end`.
+fn worker_loop(
+    base: usize,
+    params: &[LifParams],
+    cell: &WorkerCell,
+    start: &Barrier,
+    end: &Barrier,
+    running: &AtomicBool,
 ) {
-    let mut deliveries = 0u64;
-    for &id in fired {
-        for s in net.synapses_from(id) {
-            pending
-                .entry(t + Time::from(s.delay))
-                .or_default()
-                .push((s.target, s.weight));
-            deliveries += 1;
+    let mut voltages: Vec<f64> = params.iter().map(|p| p.v_reset).collect();
+    let mut syn: Vec<f64> = vec![0.0; params.len()];
+    loop {
+        start.wait();
+        if !running.load(Ordering::Acquire) {
+            return;
         }
+        {
+            let mut inbox = cell.inbox.lock().expect("engine inbox poisoned");
+            for &(i, w) in inbox.iter() {
+                syn[i - base] += w;
+            }
+            inbox.clear();
+        }
+        {
+            let mut out = cell.out.lock().expect("engine outbox poisoned");
+            let (local_fired, armed) = &mut *out;
+            local_fired.clear();
+            *armed = false;
+            for (li, p) in params.iter().enumerate() {
+                let v = voltages[li];
+                let v_hat = v - (v - p.v_reset) * p.decay + syn[li];
+                if v_hat > p.v_threshold {
+                    local_fired.push(NeuronId((base + li) as u32));
+                    voltages[li] = p.v_reset;
+                } else {
+                    voltages[li] = v_hat;
+                }
+                syn[li] = 0.0;
+                let v_next = voltages[li] - (voltages[li] - p.v_reset) * p.decay;
+                *armed |= v_next > p.v_threshold;
+            }
+        }
+        end.wait();
     }
-    rec.add_deliveries(deliveries);
 }
 
 #[cfg(test)]
@@ -186,7 +262,9 @@ mod tests {
         let b = net.add_neuron(LifParams::gate_at_least(1));
         net.connect(a, b, 1.0, 2).unwrap();
         let cfg = RunConfig::fixed(10);
-        let par = ParallelDenseEngine { threads: 1 }.run(&net, &[a], &cfg).unwrap();
+        let par = ParallelDenseEngine { threads: 1 }
+            .run(&net, &[a], &cfg)
+            .unwrap();
         let seq = DenseEngine.run(&net, &[a], &cfg).unwrap();
         assert_eq!(par.first_spikes, seq.first_spikes);
     }
@@ -196,7 +274,9 @@ mod tests {
         let mut net = Network::new();
         let a = net.add_neuron(LifParams::gate_at_least(1));
         let cfg = RunConfig::fixed(3);
-        let r = ParallelDenseEngine { threads: 16 }.run(&net, &[a], &cfg).unwrap();
+        let r = ParallelDenseEngine { threads: 16 }
+            .run(&net, &[a], &cfg)
+            .unwrap();
         assert_eq!(r.first_spikes[a.index()], Some(0));
     }
 }

@@ -7,8 +7,7 @@
 //! advance one tick and observe who fired; call [`Stepper::inject`] to
 //! force spikes at the *next* step (external input electrodes).
 
-use std::collections::HashMap;
-
+use super::wheel::TimeWheel;
 use crate::network::Network;
 use crate::types::{NeuronId, Time};
 
@@ -17,7 +16,12 @@ use crate::types::{NeuronId, Time};
 pub struct Stepper<'n> {
     net: &'n Network,
     voltages: Vec<f64>,
-    pending: HashMap<Time, Vec<(NeuronId, f64)>>,
+    pending: TimeWheel,
+    /// Per-neuron synaptic input for the current step; entries listed in
+    /// `touched` are reset after each step so the buffer is reusable.
+    syn: Vec<f64>,
+    touched: Vec<usize>,
+    batch: Vec<(NeuronId, f64)>,
     injected: Vec<NeuronId>,
     now: Time,
     fired: Vec<NeuronId>,
@@ -38,11 +42,15 @@ impl<'n> Stepper<'n> {
         }
         fired.sort_unstable();
         fired.dedup();
-        let voltages = net.neuron_ids().map(|id| net.params(id).v_reset).collect();
+        let n = net.neuron_count();
+        let voltages = net.params_slice().iter().map(|p| p.v_reset).collect();
         let mut s = Self {
             net,
             voltages,
-            pending: HashMap::new(),
+            pending: TimeWheel::new(net.max_delay()),
+            syn: vec![0.0; n],
+            touched: Vec::new(),
+            batch: Vec::new(),
             injected: Vec::new(),
             now: 0,
             fired: fired.clone(),
@@ -88,20 +96,24 @@ impl<'n> Stepper<'n> {
         self.now += 1;
         let t = self.now;
         let n = self.net.neuron_count();
-        let mut syn = vec![0.0f64; n];
-        if let Some(batch) = self.pending.remove(&t) {
-            for (id, w) in batch {
-                syn[id.index()] += w;
+        self.batch.clear();
+        self.pending.drain_at(t, &mut self.batch);
+        for &(id, w) in &self.batch {
+            let i = id.index();
+            if self.syn[i] == 0.0 {
+                self.touched.push(i);
             }
+            self.syn[i] += w;
         }
         let injected = std::mem::take(&mut self.injected);
 
+        let params = self.net.params_slice();
         self.fired.clear();
         for v in 0..n {
             let id = NeuronId(v as u32);
-            let p = self.net.params(id);
+            let p = &params[v];
             let volt = self.voltages[v];
-            let v_hat = volt - (volt - p.v_reset) * p.decay + syn[v];
+            let v_hat = volt - (volt - p.v_reset) * p.decay + self.syn[v];
             if v_hat > p.v_threshold || injected.contains(&id) {
                 self.fired.push(id);
                 self.voltages[v] = p.v_reset;
@@ -109,18 +121,21 @@ impl<'n> Stepper<'n> {
                 self.voltages[v] = v_hat;
             }
         }
-        let fired = self.fired.clone();
+        for &i in &self.touched {
+            self.syn[i] = 0.0;
+        }
+        self.touched.clear();
+        let fired = std::mem::take(&mut self.fired);
         self.route(&fired);
+        self.fired = fired;
         &self.fired
     }
 
     fn route(&mut self, fired: &[NeuronId]) {
         for &id in fired {
-            for s in self.net.synapses_from(id) {
+            for s in self.net.csr().out(id.index()) {
                 self.pending
-                    .entry(self.now + Time::from(s.delay))
-                    .or_default()
-                    .push((s.target, s.weight));
+                    .schedule(self.now + Time::from(s.delay), s.target, s.weight);
             }
         }
     }

@@ -1,0 +1,232 @@
+//! Time-wheel (calendar queue) for pending synaptic deliveries.
+//!
+//! All engines schedule deliveries `delay` steps ahead and drain them in
+//! time order. The previous implementations paid per-step `HashMap`
+//! rehashing (dense engines) or per-delivery `BinaryHeap` churn (event
+//! engine); the wheel makes both O(1): a delivery lands in
+//! `slots[time % slots.len()]`, slots are drained in place (capacity is
+//! recycled, so steady-state runs stop allocating), and deliveries beyond
+//! the wheel horizon spill into an ordered overflow map.
+//!
+//! Determinism invariant: within one time step, deliveries drain in
+//! exactly the order they were scheduled. Engines schedule in (sorted
+//! firing id) × (CSR synapse order), so every engine accumulates synaptic
+//! input into a given target in the same order — which keeps floating
+//! point sums, and therefore entire `RunResult`s, bit-identical across
+//! engines.
+
+use std::collections::BTreeMap;
+
+use crate::types::{NeuronId, Time};
+
+/// One pending synaptic delivery: `weight` arriving at `target`.
+pub(crate) type Delivery = (NeuronId, f64);
+
+/// Wheel slots beyond this are not allocated up front; longer delays go to
+/// the overflow map. Bounds memory to O(cap) even for networks whose
+/// delay-encoded edges are enormous.
+const HORIZON_CAP: usize = 4096;
+
+/// A calendar queue over discrete time, sized to the network's maximum
+/// synaptic delay (capped; see [`HORIZON_CAP`]).
+#[derive(Clone, Debug)]
+pub(crate) struct TimeWheel {
+    /// `slots[t % slots.len()]` holds deliveries for time `t` whenever
+    /// `now < t <= now + slots.len()`.
+    slots: Vec<Vec<Delivery>>,
+    /// Deliveries scheduled beyond the wheel horizon, keyed by time.
+    overflow: BTreeMap<Time, Vec<Delivery>>,
+    /// All times `<= now` have been drained.
+    now: Time,
+    /// Total deliveries currently scheduled (wheel + overflow).
+    in_flight: usize,
+    /// Number of non-empty wheel slots, to short-circuit scans.
+    occupied: usize,
+    /// No occupied wheel slot lies strictly before this time; lets
+    /// [`Self::next_time`] resume scanning where the last scan stopped
+    /// instead of re-walking from `now + 1`.
+    scan_from: Time,
+}
+
+impl TimeWheel {
+    /// A wheel able to hold delays up to `max_delay` without overflow.
+    pub(crate) fn new(max_delay: u32) -> Self {
+        let len = (max_delay as usize).clamp(1, HORIZON_CAP);
+        Self {
+            slots: vec![Vec::new(); len],
+            overflow: BTreeMap::new(),
+            now: 0,
+            in_flight: 0,
+            occupied: 0,
+            scan_from: 1,
+        }
+    }
+
+    /// True when nothing is scheduled — the "no spikes in flight" half of
+    /// the quiescence test.
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.in_flight == 0
+    }
+
+    /// Schedules a delivery at absolute time `at`.
+    ///
+    /// `at` must be in the future (`at > now`); engines guarantee this
+    /// because synapse delays are >= 1.
+    #[inline]
+    pub(crate) fn schedule(&mut self, at: Time, target: NeuronId, weight: f64) {
+        debug_assert!(at > self.now, "delivery scheduled into the past");
+        self.in_flight += 1;
+        let len = self.slots.len() as Time;
+        if at - self.now <= len {
+            let slot = &mut self.slots[(at % len) as usize];
+            if slot.is_empty() {
+                self.occupied += 1;
+            }
+            slot.push((target, weight));
+            self.scan_from = self.scan_from.min(at);
+        } else {
+            self.overflow.entry(at).or_default().push((target, weight));
+        }
+    }
+
+    /// Advances to time `t` and appends every delivery due at `t` to
+    /// `out`, in scheduling order. Slot capacity is retained for reuse.
+    ///
+    /// Engines must visit times in non-decreasing order; times may be
+    /// skipped (the event engine jumps quiet intervals), in which case any
+    /// slots for the skipped times must be empty — guaranteed when `t`
+    /// comes from [`Self::next_time`].
+    pub(crate) fn drain_at(&mut self, t: Time, out: &mut Vec<Delivery>) {
+        debug_assert!(t >= self.now, "wheel rewound");
+        self.now = t;
+        self.scan_from = self.scan_from.max(t + 1);
+        let len = self.slots.len() as Time;
+        let slot = &mut self.slots[(t % len) as usize];
+        if !slot.is_empty() {
+            self.occupied -= 1;
+            self.in_flight -= slot.len();
+            out.append(slot);
+        }
+        // Overflow entries migrate straight to the drain when their time
+        // comes; anything still beyond the horizon stays put.
+        while let Some(entry) = self.overflow.first_entry() {
+            if *entry.key() != t {
+                break;
+            }
+            let batch = entry.remove();
+            self.in_flight -= batch.len();
+            out.extend(batch);
+        }
+    }
+
+    /// Earliest time after `now` with a scheduled delivery, if any — the
+    /// event engine's next step. Scans resume from the `scan_from` cursor
+    /// (which only moves backwards when a genuinely earlier delivery is
+    /// scheduled), so the cost is amortized O(1) per time unit advanced.
+    pub(crate) fn next_time(&mut self) -> Option<Time> {
+        let from_overflow = self.overflow.keys().next().copied();
+        if self.occupied == 0 {
+            return from_overflow;
+        }
+        let len = self.slots.len() as Time;
+        let start = self.scan_from.max(self.now + 1);
+        let from_wheel =
+            (start..=self.now + len).find(|t| !self.slots[(t % len) as usize].is_empty());
+        if let Some(w) = from_wheel {
+            // Everything before `w` is known empty; remember that.
+            self.scan_from = w;
+        }
+        match (from_wheel, from_overflow) {
+            (Some(w), Some(o)) => Some(w.min(o)),
+            (w, o) => w.or(o),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(wheel: &mut TimeWheel, t: Time) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        wheel.drain_at(t, &mut out);
+        out
+    }
+
+    #[test]
+    fn delivers_at_the_scheduled_time() {
+        let mut w = TimeWheel::new(8);
+        w.schedule(3, NeuronId(1), 1.5);
+        w.schedule(5, NeuronId(2), -2.0);
+        assert_eq!(w.next_time(), Some(3));
+        assert!(drain(&mut w, 1).is_empty());
+        assert_eq!(drain(&mut w, 3), vec![(NeuronId(1), 1.5)]);
+        assert_eq!(w.next_time(), Some(5));
+        assert_eq!(drain(&mut w, 5), vec![(NeuronId(2), -2.0)]);
+        assert!(w.is_empty());
+        assert_eq!(w.next_time(), None);
+    }
+
+    #[test]
+    fn preserves_scheduling_order_within_a_step() {
+        let mut w = TimeWheel::new(4);
+        for k in 0..10 {
+            w.schedule(2, NeuronId(k % 3), f64::from(k));
+        }
+        let got = drain(&mut w, 2);
+        let weights: Vec<f64> = got.iter().map(|&(_, x)| x).collect();
+        assert_eq!(weights, (0..10).map(f64::from).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wraps_around_and_recycles_slots() {
+        let mut w = TimeWheel::new(3);
+        for round in 0..50u64 {
+            let t = round + 1;
+            w.schedule(t + 2, NeuronId(0), 1.0);
+            let due = drain(&mut w, t);
+            if t > 2 {
+                assert_eq!(due.len(), 1, "t = {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn far_future_goes_to_overflow_and_comes_back() {
+        let mut w = TimeWheel::new(2);
+        w.schedule(1_000_000, NeuronId(7), 3.25);
+        w.schedule(1, NeuronId(1), 1.0);
+        assert_eq!(w.next_time(), Some(1));
+        assert_eq!(drain(&mut w, 1).len(), 1);
+        assert_eq!(w.next_time(), Some(1_000_000));
+        assert!(!w.is_empty());
+        assert_eq!(drain(&mut w, 1_000_000), vec![(NeuronId(7), 3.25)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn horizon_cap_bounds_slot_count() {
+        let w = TimeWheel::new(u32::MAX);
+        assert_eq!(w.slots.len(), HORIZON_CAP);
+    }
+
+    #[test]
+    fn zero_max_delay_still_valid() {
+        // Edgeless networks report max_delay 0; the wheel must still work
+        // for engines that never schedule anything.
+        let mut w = TimeWheel::new(0);
+        assert!(w.is_empty());
+        assert_eq!(w.next_time(), None);
+    }
+
+    #[test]
+    fn skipping_quiet_intervals_is_safe() {
+        let mut w = TimeWheel::new(16);
+        w.schedule(3, NeuronId(0), 1.0);
+        w.schedule(14, NeuronId(1), 2.0);
+        assert_eq!(drain(&mut w, 3), vec![(NeuronId(0), 1.0)]);
+        assert_eq!(w.next_time(), Some(14));
+        assert_eq!(drain(&mut w, 14), vec![(NeuronId(1), 2.0)]);
+    }
+}

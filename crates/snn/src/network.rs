@@ -1,5 +1,7 @@
 //! The spiking neural network container (Definition 3 of the paper).
 
+use std::sync::OnceLock;
+
 use crate::error::SnnError;
 use crate::params::LifParams;
 use crate::types::NeuronId;
@@ -15,6 +17,50 @@ pub struct Synapse {
     pub delay: u32,
 }
 
+/// Flat compressed-sparse-row view of a network's synapse table.
+///
+/// `offsets` has `n + 1` entries; the outgoing synapses of neuron `i` are
+/// the contiguous slice `synapses[offsets[i]..offsets[i + 1]]`, in the
+/// order the edges were `connect`ed. Engines iterate this instead of the
+/// build-side `Vec<Vec<Synapse>>` so spike routing walks one flat array
+/// (one cache stream) rather than chasing a pointer per neuron.
+///
+/// Invariants: `offsets` is non-decreasing, `offsets[0] == 0`,
+/// `offsets[n] == synapses.len() == Network::synapse_count()`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CsrTopology {
+    offsets: Vec<usize>,
+    synapses: Vec<Synapse>,
+}
+
+impl CsrTopology {
+    fn build(adjacency: &[Vec<Synapse>]) -> Self {
+        let total = adjacency.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(adjacency.len() + 1);
+        let mut synapses = Vec::with_capacity(total);
+        offsets.push(0);
+        for row in adjacency {
+            synapses.extend_from_slice(row);
+            offsets.push(synapses.len());
+        }
+        Self { offsets, synapses }
+    }
+
+    /// Outgoing synapses of neuron `i` (dense index).
+    #[inline]
+    #[must_use]
+    pub fn out(&self, i: usize) -> &[Synapse] {
+        &self.synapses[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Every synapse in the network as one flat slice.
+    #[inline]
+    #[must_use]
+    pub fn all(&self) -> &[Synapse] {
+        &self.synapses
+    }
+}
+
 /// A spiking neural network: a directed graph (cycles and self-loops
 /// allowed) whose vertices are LIF neurons and whose edges are synapses.
 ///
@@ -22,10 +68,15 @@ pub struct Synapse {
 /// them at `t = 0`), *outputs* (their firing state is read out when the
 /// computation terminates), and an optional *terminal* neuron whose first
 /// spike ends the computation (Definition 3).
+///
+/// Construction uses a per-neuron adjacency list (cheap appends); the
+/// engines read through [`Network::csr`], a flat CSR snapshot built
+/// lazily on first use and invalidated by any topology mutation.
 #[derive(Clone, Debug, Default)]
 pub struct Network {
     params: Vec<LifParams>,
     synapses: Vec<Vec<Synapse>>,
+    csr: OnceLock<CsrTopology>,
     inputs: Vec<NeuronId>,
     outputs: Vec<NeuronId>,
     terminal: Option<NeuronId>,
@@ -56,6 +107,7 @@ impl Network {
         let id = NeuronId(u32::try_from(self.params.len()).expect("more than u32::MAX neurons"));
         self.params.push(params);
         self.synapses.push(Vec::new());
+        self.csr.take();
         id
     }
 
@@ -92,9 +144,25 @@ impl Network {
             weight,
             delay,
         });
+        self.csr.take();
         self.synapse_count += 1;
         self.max_delay = self.max_delay.max(delay);
         Ok(())
+    }
+
+    /// Flat CSR view of the synapse table, built on first use and cached
+    /// until the topology next changes. Engines route spikes through this.
+    #[must_use]
+    pub fn csr(&self) -> &CsrTopology {
+        self.csr.get_or_init(|| CsrTopology::build(&self.synapses))
+    }
+
+    /// All neuron parameters as one dense slice (indexable by
+    /// [`NeuronId::index`]) — the engines' per-neuron lookup path.
+    #[inline]
+    #[must_use]
+    pub fn params_slice(&self) -> &[LifParams] {
+        &self.params
     }
 
     /// Number of neurons (`n` in the paper's complexity bounds).
@@ -136,8 +204,10 @@ impl Network {
     }
 
     /// Mutable outgoing synapses of neuron `id` — used by the crossbar
-    /// embedder to re-program delays in place (§4.4).
+    /// embedder to re-program delays in place (§4.4). Invalidates the
+    /// cached CSR view.
     pub fn synapses_from_mut(&mut self, id: NeuronId) -> &mut [Synapse] {
+        self.csr.take();
         &mut self.synapses[id.index()]
     }
 
@@ -210,11 +280,27 @@ impl Network {
 
     /// Checks every neuron and synapse for model validity; additionally
     /// verifies the event-engine precondition when `for_event_engine`.
+    ///
+    /// `connect` already rejects zero delays and non-finite weights, but
+    /// [`Self::synapses_from_mut`] permits in-place re-programming that
+    /// bypasses those checks, so the engines re-validate here before a run
+    /// rather than silently mis-scheduling corrupted synapses.
     pub fn validate(&self, for_event_engine: bool) -> Result<(), SnnError> {
         for (i, p) in self.params.iter().enumerate() {
             p.validate()?;
             if for_event_engine && !p.is_input_driven() {
                 return Err(SnnError::SpontaneousNeuron(NeuronId(i as u32)));
+            }
+        }
+        for (i, row) in self.synapses.iter().enumerate() {
+            let src = NeuronId(i as u32);
+            for s in row {
+                if s.delay == 0 {
+                    return Err(SnnError::ZeroDelay { src, dst: s.target });
+                }
+                if !s.weight.is_finite() {
+                    return Err(SnnError::NonFiniteWeight { src, dst: s.target });
+                }
             }
         }
         Ok(())
@@ -318,6 +404,56 @@ mod tests {
             net.validate(true),
             Err(SnnError::SpontaneousNeuron(_))
         ));
+    }
+
+    #[test]
+    fn csr_matches_adjacency_and_invalidates_on_mutation() {
+        let mut net = Network::new();
+        let ids = net.add_neurons(LifParams::default(), 4);
+        net.connect(ids[0], ids[1], 1.0, 1).unwrap();
+        net.connect(ids[0], ids[2], -2.0, 3).unwrap();
+        net.connect(ids[2], ids[3], 0.5, 2).unwrap();
+
+        let csr = net.csr();
+        assert_eq!(csr.all().len(), 3);
+        for id in [ids[0], ids[1], ids[2], ids[3]] {
+            assert_eq!(csr.out(id.index()), net.synapses_from(id), "{id}");
+        }
+
+        // Mutating the topology must refresh the snapshot.
+        net.connect(ids[3], ids[0], 4.0, 7).unwrap();
+        assert_eq!(net.csr().all().len(), 4);
+        assert_eq!(net.csr().out(ids[3].index()).len(), 1);
+
+        // Growing the neuron set must extend the offsets.
+        let e = net.add_neuron(LifParams::default());
+        assert_eq!(net.csr().out(e.index()).len(), 0);
+    }
+
+    #[test]
+    fn csr_empty_network() {
+        let net = Network::new();
+        assert!(net.csr().all().is_empty());
+    }
+
+    #[test]
+    fn validate_catches_in_place_weight_corruption() {
+        let mut net = Network::new();
+        let a = net.add_neuron(LifParams::default());
+        let b = net.add_neuron(LifParams::default());
+        net.connect(a, b, 1.0, 1).unwrap();
+        assert!(net.validate(false).is_ok());
+        net.synapses_from_mut(a)[0].weight = f64::NAN;
+        assert_eq!(
+            net.validate(false),
+            Err(SnnError::NonFiniteWeight { src: a, dst: b })
+        );
+        net.synapses_from_mut(a)[0].weight = 1.0;
+        net.synapses_from_mut(a)[0].delay = 0;
+        assert_eq!(
+            net.validate(false),
+            Err(SnnError::ZeroDelay { src: a, dst: b })
+        );
     }
 
     #[test]

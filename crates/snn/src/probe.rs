@@ -66,7 +66,10 @@ pub fn record_traces(
             tr.spikes.push(0);
         }
     }
-    let route = |net: &Network, fired: &[usize], t: Time, pending: &mut HashMap<Time, Vec<(usize, f64)>>| {
+    let route = |net: &Network,
+                 fired: &[usize],
+                 t: Time,
+                 pending: &mut HashMap<Time, Vec<(usize, f64)>>| {
         for &u in fired {
             for s in net.synapses_from(NeuronId(u as u32)) {
                 pending

@@ -14,8 +14,8 @@
 use spiking_graphs::algorithms::gatelevel::khop::GateLevelKhop;
 use spiking_graphs::algorithms::khop_pseudo::{self, Propagation};
 use spiking_graphs::algorithms::{approx_khop, khop_poly};
-use spiking_graphs::graph::csr::from_edges;
 use spiking_graphs::graph::bellman_ford;
+use spiking_graphs::graph::csr::from_edges;
 
 const CITIES: [&str; 7] = ["SFO", "DEN", "ORD", "ATL", "JFK", "AUS", "BOS"];
 
@@ -39,7 +39,10 @@ fn main() {
     );
     let (src, dst) = (0usize, 4usize); // SFO -> JFK
 
-    println!("Cheapest {} -> {} fare by maximum legs k:\n", CITIES[src], CITIES[dst]);
+    println!(
+        "Cheapest {} -> {} fare by maximum legs k:\n",
+        CITIES[src], CITIES[dst]
+    );
     println!("  k | TTL spiking | poly spiking | Bellman-Ford | itinerary class");
     for k in 1..=4u32 {
         let ttl = khop_pseudo::solve(&g, src, k, Propagation::Pruned);
@@ -87,7 +90,10 @@ fn main() {
         run.snn_steps,
         run.cost.spike_events
     );
-    assert_eq!(run.distances, bellman_ford::bellman_ford_khop(&g, src, 3).distances);
+    assert_eq!(
+        run.distances,
+        bellman_ford::bellman_ford_khop(&g, src, 3).distances
+    );
     println!(
         "  distances decoded from wave-detector spike times match Bellman-Ford: {:?}",
         run.distances

@@ -47,7 +47,10 @@ fn main() {
         let (conv, _) = matvec::power::<BoolOrAnd>(&g, &e0, k);
         assert_eq!(
             conv.to_vec(),
-            nga.messages.iter().map(|m| m.unwrap_or(false)).collect::<Vec<_>>()
+            nga.messages
+                .iter()
+                .map(|m| m.unwrap_or(false))
+                .collect::<Vec<_>>()
         );
     }
 
@@ -73,6 +76,9 @@ fn main() {
             .iter()
             .map(|m| m.flatten().map_or("-".into(), |v| v.to_string()))
             .collect();
-        println!("  k = {k}: {row:?}  ({} rounds, {} model steps)", nga.rounds, nga.time_steps);
+        println!(
+            "  k = {k}: {row:?}  ({} rounds, {} model steps)",
+            nga.rounds, nga.time_steps
+        );
     }
 }

@@ -21,7 +21,11 @@ fn main() {
     let solver = SpikingSssp::new(&g, 0);
     let net = solver.build_network();
     let result = EventEngine
-        .run(&net, &[NeuronId(0)], &RunConfig::until_quiescent(300).with_raster())
+        .run(
+            &net,
+            &[NeuronId(0)],
+            &RunConfig::until_quiescent(300).with_raster(),
+        )
         .unwrap();
     let raster = result.raster.as_ref().unwrap();
 

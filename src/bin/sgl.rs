@@ -74,14 +74,24 @@ fn info(path: &str) -> Result<(), String> {
     println!("max length U: {}", s.u_max);
     println!("min length:   {}", s.u_min.unwrap_or(0));
     println!("density: {:.4}", s.density);
-    println!("max out-degree: {} / in-degree: {}", s.max_out_degree, s.max_in_degree);
+    println!(
+        "max out-degree: {} / in-degree: {}",
+        s.max_out_degree, s.max_in_degree
+    );
     println!("reachable from node 0: {}", s.reachable);
     if let Some(l) = s.eccentricity {
-        println!("eccentricity of node 0 (L): {l} (alpha up to {})", s.max_alpha);
+        println!(
+            "eccentricity of node 0 (L): {l} (alpha up to {})",
+            s.max_alpha
+        );
     }
     println!(
         "regime: {} (Table 1 pseudopolynomial condition L < m)",
-        if s.short_l_regime() { "short-L — spiking favoured" } else { "long-L — conventional favoured" }
+        if s.short_l_regime() {
+            "short-L — spiking favoured"
+        } else {
+            "long-L — conventional favoured"
+        }
     );
     Ok(())
 }
@@ -102,7 +112,10 @@ fn gen(args: &[String]) -> Result<(), String> {
         "layered" => generators::layered(&mut rng, n.max(2) / 4, 4, 3, 1..=umax.max(1)),
         other => return Err(format!("unknown generator '{other}'")),
     };
-    print!("{}", io::to_dimacs(&g, &format!("sgl gen {kind} n={n} m={m} seed={seed}")));
+    print!(
+        "{}",
+        io::to_dimacs(&g, &format!("sgl gen {kind} n={n} m={m} seed={seed}"))
+    );
     Ok(())
 }
 
@@ -141,7 +154,10 @@ fn sssp(args: &[String]) -> Result<(), String> {
         }
         "poly" => {
             let run = sssp_poly::solve(&g, source);
-            eprintln!("poly: alpha = {}, {} model steps", run.alpha, run.cost.spiking_steps);
+            eprintln!(
+                "poly: alpha = {}, {} model steps",
+                run.alpha, run.cost.spiking_steps
+            );
             print_distances(&run.distances);
         }
         other => return Err(format!("unknown sssp algorithm '{other}'")),
@@ -168,7 +184,10 @@ fn khop(args: &[String]) -> Result<(), String> {
         }
         "poly" => {
             let run = khop_poly::solve(&g, source, k.max(1), Propagation::Pruned);
-            eprintln!("poly: {} rounds, {} model steps", run.rounds, run.cost.spiking_steps);
+            eprintln!(
+                "poly: {} rounds, {} model steps",
+                run.rounds, run.cost.spiking_steps
+            );
             print_distances(&run.distances);
         }
         "bf" => {
@@ -216,7 +235,10 @@ fn flow(args: &[String]) -> Result<(), String> {
         }
         "dinic" => {
             let (v, stats) = dinic(&mut net, s, t);
-            eprintln!("dinic: {} phases, {} edge visits", stats.phases, stats.edge_visits);
+            eprintln!(
+                "dinic: {} phases, {} edge visits",
+                stats.phases, stats.edge_visits
+            );
             println!("max flow: {v}");
         }
         "tidal-exact" => {

@@ -6,8 +6,8 @@
 use proptest::prelude::*;
 use spiking_graphs::algorithms::gatelevel::khop::GateLevelKhop;
 use spiking_graphs::algorithms::gatelevel::poly::GateLevelPoly;
-use spiking_graphs::algorithms::khop_pseudo::{self, Propagation};
 use spiking_graphs::algorithms::khop_poly;
+use spiking_graphs::algorithms::khop_pseudo::{self, Propagation};
 use spiking_graphs::algorithms::sssp_pseudo::SpikingSssp;
 use spiking_graphs::graph::csr::from_edges;
 use spiking_graphs::graph::matvec::minplus_khop_distances;

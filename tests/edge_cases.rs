@@ -35,7 +35,10 @@ fn self_loops_are_harmless() {
     let g = from_edges(3, &[(0, 0, 5), (0, 1, 2), (1, 1, 1), (1, 2, 2)]);
     let truth = dijkstra::dijkstra(&g, 0).distances;
     assert_eq!(truth, vec![Some(0), Some(2), Some(4)]);
-    assert_eq!(SpikingSssp::new(&g, 0).solve_all().unwrap().distances, truth);
+    assert_eq!(
+        SpikingSssp::new(&g, 0).solve_all().unwrap().distances,
+        truth
+    );
     for k in [1u32, 2, 4] {
         assert_eq!(
             khop_pseudo::solve(&g, 0, k, Propagation::Pruned).distances,

@@ -91,7 +91,10 @@ fn placement_pipeline_from_simulation_to_energy() {
     let seq = CoreLayout::sequential(net.neuron_count(), 16);
     let greedy = CoreLayout::greedy(net.neuron_count(), 16, &edges, &spikes);
     assert!(seq.is_feasible() && greedy.is_feasible());
-    let (ts, tg) = (seq.traffic(&edges, &spikes), greedy.traffic(&edges, &spikes));
+    let (ts, tg) = (
+        seq.traffic(&edges, &spikes),
+        greedy.traffic(&edges, &spikes),
+    );
     // Total deliveries are placement-invariant.
     assert_eq!(ts.total(), tg.total());
     // Greedy should not route more across cores.
@@ -150,7 +153,10 @@ fn circuit_stats_feed_the_hardware_constraint_checker() {
         let bf = max_brute_force::build_max(16, lambda);
         let violations = loihi.check(&summarise(&bf.circuit));
         if lambda <= 8 {
-            assert!(violations.is_empty(), "brute-force λ={lambda}: {violations:?}");
+            assert!(
+                violations.is_empty(),
+                "brute-force λ={lambda}: {violations:?}"
+            );
         } else {
             assert!(
                 violations
