@@ -7,27 +7,39 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sgl_bench::tablefmt::print_table;
+use sgl_bench::report::{sim_stats_json, ReportSink};
 use sgl_circuits::delay_compile::{compile_delays, LongDelay};
 use sgl_core::khop_pseudo::{self, Propagation};
 use sgl_core::{khop_poly, sssp_pseudo};
 use sgl_graph::generators;
 use sgl_platforms::placement::CoreLayout;
-use sgl_snn::engine::{DenseEngine, Engine, EventEngine, RunConfig};
+use sgl_snn::engine::{DenseEngine, Engine, EventEngine, RunConfig, TimeSeriesObserver};
 use sgl_snn::NeuronId;
 
 fn main() {
+    let mut sink = ReportSink::new("ablations");
     let mut rng = StdRng::seed_from_u64(20210716);
 
     println!("# Ablation 1 — engine work: event-driven vs dense (SSSP wave)\n");
     let mut rows = Vec::new();
     for &n in &[64usize, 256, 512] {
+        sink.phase("build");
         let g = generators::gnm_connected(&mut rng, n, 4 * n, 1..=9);
         let net = sssp_pseudo::SpikingSssp::new(&g, 0).build_network();
         let cfg = RunConfig::until_quiescent(64 * n as u64);
-        let ev = EventEngine.run(&net, &[NeuronId(0)], &cfg).unwrap();
+        sink.phase("run");
+        // The event run carries a TimeSeriesObserver so the committed
+        // report holds the full spikes-per-step wavefront profile.
+        let mut obs = TimeSeriesObserver::new();
+        let ev = EventEngine
+            .run_observed(&net, &[NeuronId(0)], &cfg, &mut obs)
+            .unwrap();
         let de = DenseEngine.run(&net, &[NeuronId(0)], &cfg).unwrap();
         assert_eq!(ev.first_spikes, de.first_spikes);
+        sink.phase("readout");
+        sink.section(&format!("sssp_event_series:n{n}"), obs.to_json());
+        sink.section(&format!("sssp_event_stats:n{n}"), sim_stats_json(&ev.stats));
+        sink.section(&format!("sssp_dense_stats:n{n}"), sim_stats_json(&de.stats));
         rows.push(vec![
             n.to_string(),
             ev.steps.to_string(),
@@ -39,12 +51,14 @@ fn main() {
             ),
         ]);
     }
-    print_table(
+    sink.table(
+        "engine_work",
         &["n", "steps T", "event updates", "dense updates", "saving"],
         &rows,
     );
 
     println!("\n# Ablation 2 — propagation pruning (k-hop, G(128, 640), k = 16)\n");
+    sink.phase("run");
     let g = generators::gnm_connected(&mut rng, 128, 640, 1..=6);
     let mut rows = Vec::new();
     for (alg, pruned, faithful) in [
@@ -66,7 +80,9 @@ fn main() {
             format!("{:.1}x", faithful as f64 / pruned as f64),
         ]);
     }
-    print_table(
+    sink.phase("readout");
+    sink.table(
+        "propagation_pruning",
         &[
             "algorithm",
             "pruned msgs",
@@ -77,6 +93,7 @@ fn main() {
     );
 
     println!("\n# Ablation 3 — core placement (SSSP on G(512, 2048), 64 neurons/core)\n");
+    sink.phase("build");
     let g = generators::gnm_connected(&mut rng, 512, 2048, 1..=9);
     let run = sssp_pseudo::SpikingSssp::new(&g, 0).solve_all().unwrap();
     let net = sssp_pseudo::SpikingSssp::new(&g, 0).build_network();
@@ -93,6 +110,7 @@ fn main() {
     let spikes: Vec<u32> = (0..net.neuron_count())
         .map(|v| u32::from(run.distances.get(v).is_some_and(Option::is_some)))
         .collect();
+    sink.phase("run");
     let seq = CoreLayout::sequential(net.neuron_count(), 64);
     let greedy = CoreLayout::greedy(net.neuron_count(), 64, &edges, &spikes);
     let (ts, tg) = (
@@ -116,7 +134,9 @@ fn main() {
             format!("{:.3e} J", tg.energy_joules(loihi_pj, 3.0)),
         ],
     ];
-    print_table(
+    sink.phase("readout");
+    sink.table(
+        "core_placement",
         &[
             "placement",
             "cores",
@@ -128,16 +148,19 @@ fn main() {
     );
 
     println!("\n# Ablation 4 — delay-free compilation strategies (SSSP net, U = 30)\n");
+    sink.phase("build");
     let g = generators::gnm_connected(&mut rng, 48, 192, 1..=30);
     let net = sssp_pseudo::SpikingSssp::new(&g, 0).build_network();
     let mut rows = Vec::new();
     for (name, strategy) in [("chains", LongDelay::Chains), ("blocks", LongDelay::Blocks)] {
         let (compiled, stats) = compile_delays(&net, 1, strategy);
+        sink.phase("run");
         let r = EventEngine
             .run(&compiled, &[NeuronId(0)], &RunConfig::until_quiescent(4096))
             .unwrap();
         let base = sssp_pseudo::SpikingSssp::new(&g, 0).solve_all().unwrap();
         let agree = (0..g.n()).all(|v| r.first_spikes[v] == base.distances[v]);
+        sink.phase("build");
         rows.push(vec![
             name.into(),
             compiled.neuron_count().to_string(),
@@ -146,7 +169,9 @@ fn main() {
             agree.to_string(),
         ]);
     }
-    print_table(
+    sink.phase("readout");
+    sink.table(
+        "delay_free",
         &[
             "strategy",
             "total neurons",
@@ -156,4 +181,5 @@ fn main() {
         ],
         &rows,
     );
+    sink.finish();
 }

@@ -2,13 +2,17 @@
 //! and neuron advantage of the Nanongkai-based spiking algorithm.
 
 use sgl_bench::approx;
-use sgl_bench::tablefmt::print_table;
+use sgl_bench::report::ReportSink;
 
 fn main() {
+    let mut sink = ReportSink::new("approx_quality");
     println!("# Theorem 7.2 — (1 + o(1))-approximate k-hop SSSP\n");
+    sink.phase("run");
     let rows = approx::sweep(20210713);
-    print_table(&approx::HEADER, &approx::render(&rows));
+    sink.phase("readout");
+    sink.table("sweep", &approx::HEADER, &approx::render(&rows));
     println!(
         "\nall worst-case ratios must be <= 1 + eps; neuron advantage appears on dense graphs"
     );
+    sink.finish();
 }

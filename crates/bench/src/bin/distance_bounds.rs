@@ -2,22 +2,30 @@
 //! Theorem 6.2 (k-hop Bellman–Ford bound) with fitted exponents.
 
 use sgl_bench::distance_bounds as db;
-use sgl_bench::tablefmt::print_table;
+use sgl_bench::report::ReportSink;
+use sgl_observe::Json;
 
 fn main() {
+    let mut sink = ReportSink::new("distance_bounds");
     println!("# Theorem 6.1 — input-scan movement cost vs Omega(m^1.5/sqrt(c))\n");
+    sink.phase("run");
     let rows = db::scan_sweep();
-    print_table(&db::SCAN_HEADER, &db::render_scan(&rows));
+    sink.phase("readout");
+    sink.table("scan", &db::SCAN_HEADER, &db::render_scan(&rows));
+    let exponent = db::scan_exponent(&rows);
     println!(
-        "\nfitted exponent of cost in m (c = 1, centered registers): {:.3} (theory: 1.5)\n",
-        db::scan_exponent(&rows)
+        "\nfitted exponent of cost in m (c = 1, centered registers): {exponent:.3} (theory: 1.5)\n"
     );
+    sink.section("scan_exponent", Json::Num(exponent));
 
     println!("# Theorem 6.2 — metered k-hop Bellman–Ford vs Omega(k·m^1.5/sqrt(c)), c = 4\n");
+    sink.phase("run");
     let rows = db::bf_sweep(20210712);
-    print_table(&db::BF_HEADER, &db::render_bf(&rows));
+    sink.phase("readout");
+    sink.table("bellman_ford", &db::BF_HEADER, &db::render_bf(&rows));
 
     println!("\n# §2.3 matrix-vector claim — O(n^2) RAM ops become O(n^3) movement\n");
+    sink.phase("run");
     let mut rows = Vec::new();
     let mut pts = Vec::new();
     for n in [16usize, 32, 64, 128, 256] {
@@ -31,7 +39,9 @@ fn main() {
             format!("{:.1}x", r.cost as f64 / r.neuromorphic_events as f64),
         ]);
     }
-    print_table(
+    sink.phase("readout");
+    sink.table(
+        "matvec",
         &[
             "n",
             "RAM ops (n^2)",
@@ -41,8 +51,10 @@ fn main() {
         ],
         &rows,
     );
+    let movement_exp = sgl_distance::bounds::fit_exponent(&pts);
     println!(
-        "\nfitted movement exponent in n: {:.2} (claim: 3; RAM ops stay quadratic)",
-        sgl_distance::bounds::fit_exponent(&pts)
+        "\nfitted movement exponent in n: {movement_exp:.2} (claim: 3; RAM ops stay quadratic)"
     );
+    sink.section("matvec_movement_exponent", Json::Num(movement_exp));
+    sink.finish();
 }

@@ -3,15 +3,18 @@
 //! (B) the memory latch stores, recalls and resets a bit; plus the
 //! delay-free compiler pass built on (A).
 
-use sgl_bench::tablefmt::print_table;
+use sgl_bench::report::ReportSink;
 use sgl_circuits::builder::CircuitBuilder;
 use sgl_circuits::delay_sim::build_delay_block;
 use sgl_circuits::latch::build_latch;
+use sgl_observe::Json;
 use sgl_snn::engine::{Engine, EventEngine, RunConfig};
 use sgl_snn::{LifParams, Network};
 
 fn main() {
+    let mut sink = ReportSink::new("fig1");
     println!("# Figure 1A — delay simulation with two neurons\n");
+    sink.phase("run");
     let mut rows = Vec::new();
     for d in [2u32, 4, 8, 16, 32, 64] {
         let mut net = Network::new();
@@ -38,12 +41,15 @@ fn main() {
             (out == Some(u64::from(d))).to_string(),
         ]);
     }
-    print_table(
+    sink.phase("readout");
+    sink.table(
+        "delay_sim",
         &["d", "output spike", "neurons", "pacemaker spikes", "exact"],
         &rows,
     );
 
     println!("\n# Figure 1B — memory latch (set @1, recall @6, reset @9, recall @13)\n");
+    sink.phase("build");
     let mut b = CircuitBuilder::new();
     let set = b.input();
     let reset = b.input();
@@ -56,11 +62,13 @@ fn main() {
     net.connect(bias, recall, 1.0, 6).unwrap();
     net.connect(bias, reset, 1.0, 9).unwrap();
     net.connect(bias, recall, 1.0, 13).unwrap();
+    sink.phase("run");
     let res = EventEngine
         .run(&net, &[bias], &RunConfig::fixed(18).with_raster())
         .unwrap();
     let outs = res.raster.as_ref().unwrap().spikes_of(latch.out);
     println!("latch output spikes at t = {outs:?} (expected [8]: first recall sees 1, post-reset recall sees 0)");
+    sink.section("latch_output_spikes", Json::uints(&outs));
 
     println!("\n# Delay-free compilation (the Fig 1A trick as a compiler pass)\n");
     let mut src = Network::new();
@@ -76,10 +84,18 @@ fn main() {
         let r = EventEngine
             .run(&compiled, &[ids[0]], &RunConfig::fixed(64))
             .unwrap();
+        let arrival = r.first_spikes[ids[3].index()];
         println!(
-            "{strategy:?}: chain 12+7+23 arrives at t = {:?} (native answer 42); {} extra neurons",
-            r.first_spikes[ids[3].index()],
+            "{strategy:?}: chain 12+7+23 arrives at t = {arrival:?} (native answer 42); {} extra neurons",
             stats.neurons_added
         );
+        sink.section(
+            &format!("delay_free:{strategy:?}"),
+            Json::obj(vec![
+                ("arrival", arrival.map_or(Json::Null, Json::UInt)),
+                ("neurons_added", Json::UInt(stats.neurons_added as u64)),
+            ]),
+        );
     }
+    sink.finish();
 }

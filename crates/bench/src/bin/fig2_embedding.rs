@@ -3,13 +3,15 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sgl_bench::tablefmt::print_table;
+use sgl_bench::report::ReportSink;
 use sgl_crossbar::{Crossbar, EmbeddedSssp};
 use sgl_graph::{dijkstra, generators};
 
 fn main() {
+    let mut sink = ReportSink::new("fig2_embedding");
     println!("# Figure 2 / §4.4 — crossbar embedding (measured)\n");
     let mut rng = StdRng::seed_from_u64(20210714);
+    sink.phase("run");
     let mut rows = Vec::new();
     for &(n, m) in &[(8usize, 24usize), (16, 64), (24, 160), (32, 320)] {
         let g = generators::gnm_connected(&mut rng, n, m, 1..=7);
@@ -31,7 +33,9 @@ fn main() {
         xbar.unembed(&g);
         assert_eq!(xbar.enabled_type2(), 0);
     }
-    print_table(
+    sink.phase("readout");
+    sink.table(
+        "embedding",
         &[
             "n",
             "m",
@@ -44,4 +48,5 @@ fn main() {
         &rows,
     );
     println!("\ndelay writes = m per embedding; unembedding restores the resting crossbar (O(m) multiplexing).");
+    sink.finish();
 }

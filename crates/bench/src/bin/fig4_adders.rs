@@ -2,12 +2,14 @@
 //! exponential weights vs O(lambda)-depth ripple with small weights, plus
 //! the subtract-one circuit.
 
-use sgl_bench::tablefmt::print_table;
+use sgl_bench::report::ReportSink;
 use sgl_circuits::adders;
 use sgl_circuits::CircuitStats;
 
 fn main() {
+    let mut sink = ReportSink::new("fig4_adders");
     println!("# Figure 4 — threshold adders (measured)\n");
+    sink.phase("run");
     let mut rows = Vec::new();
     for lambda in [4usize, 8, 16, 24, 32] {
         for (name, c) in [
@@ -26,10 +28,13 @@ fn main() {
             ]);
         }
     }
-    print_table(
+    sink.phase("readout");
+    sink.table(
+        "adders",
         &[
             "circuit", "lambda", "neurons", "synapses", "depth", "|w|max",
         ],
         &rows,
     );
+    sink.finish();
 }

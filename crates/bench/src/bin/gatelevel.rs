@@ -4,11 +4,12 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sgl_bench::tablefmt::print_table;
+use sgl_bench::report::{cost_json, ReportSink};
 use sgl_core::gatelevel::{khop::GateLevelKhop, poly::GateLevelPoly};
 use sgl_graph::{bellman_ford, generators};
 
 fn main() {
+    let mut sink = ReportSink::new("gatelevel");
     println!("# Gate-level networks (measured)\n");
     let mut rng = StdRng::seed_from_u64(20210715);
     let mut rows = Vec::new();
@@ -18,14 +19,19 @@ fn main() {
         (10, 28, 6),
         (12, 36, 8),
     ] {
+        sink.phase("build");
         let g = generators::gnm_connected(&mut rng, n, m, 1..=4);
         let truth = bellman_ford::bellman_ford_khop(&g, 0, k);
-
         let ttl = GateLevelKhop::build(&g, 0, k);
-        let ttl_run = ttl.solve().unwrap();
         let poly = GateLevelPoly::build(&g, 0, k);
+
+        sink.phase("run");
+        let ttl_run = ttl.solve().unwrap();
         let poly_run = poly.solve().unwrap();
 
+        sink.phase("readout");
+        sink.section(&format!("cost:ttl:n{n}k{k}"), cost_json(&ttl_run.cost));
+        sink.section(&format!("cost:poly:n{n}k{k}"), cost_json(&poly_run.cost));
         rows.push(vec![
             format!("n={n} m={m} k={k}"),
             ttl.network().neuron_count().to_string(),
@@ -37,7 +43,8 @@ fn main() {
             (poly_run.distances == truth.distances).to_string(),
         ]);
     }
-    print_table(
+    sink.table(
+        "gatelevel",
         &[
             "instance",
             "TTL neurons",
@@ -50,4 +57,5 @@ fn main() {
         ],
         &rows,
     );
+    sink.finish();
 }

@@ -1,0 +1,83 @@
+//! Compares two `SGL_BENCH_JSON` files (JSON lines emitted by the
+//! criterion shim) and reports per-benchmark median deltas.
+//!
+//! Usage: `perf_check <baseline.json> <current.json>`
+//!
+//! Regressions are warnings by default; the process exits non-zero only
+//! when a benchmark's median is more than 2x its baseline, so CI can run
+//! this on shared (noisy) runners without flaking.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use sgl_observe::parse_json;
+
+/// A benchmark's median is a hard failure past this ratio to baseline.
+const FAIL_RATIO: f64 = 2.0;
+/// Below this ratio the delta is reported as noise, not a regression.
+const WARN_RATIO: f64 = 1.10;
+
+fn load(path: &str) -> BTreeMap<String, u64> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("perf_check: cannot read {path}: {e}"));
+    let mut medians = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let v = parse_json(line)
+            .unwrap_or_else(|e| panic!("perf_check: bad JSON line in {path}: {e:?}"));
+        let (Some(group), Some(id), Some(median)) = (
+            v.get("group").and_then(|j| j.as_str()),
+            v.get("id").and_then(|j| j.as_str()),
+            v.get("median_ns").and_then(|j| j.as_u64()),
+        ) else {
+            panic!("perf_check: line in {path} is missing group/id/median_ns: {line}");
+        };
+        let full = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        // Keep the best (lowest) median if a benchmark appears twice.
+        let entry = medians.entry(full).or_insert(median);
+        *entry = (*entry).min(median);
+    }
+    medians
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline_path, current_path] = &args[..] else {
+        eprintln!("usage: perf_check <baseline.json> <current.json>");
+        return ExitCode::from(2);
+    };
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for (name, &cur) in &current {
+        let Some(&base) = baseline.get(name) else {
+            println!("NEW   {name}: {cur} ns (no baseline entry)");
+            continue;
+        };
+        compared += 1;
+        let ratio = cur as f64 / base.max(1) as f64;
+        if ratio > FAIL_RATIO {
+            println!("FAIL  {name}: {base} ns -> {cur} ns ({ratio:.2}x, limit {FAIL_RATIO}x)");
+            failures += 1;
+        } else if ratio > WARN_RATIO {
+            println!("WARN  {name}: {base} ns -> {cur} ns ({ratio:.2}x)");
+        } else {
+            println!("ok    {name}: {base} ns -> {cur} ns ({ratio:.2}x)");
+        }
+    }
+    for name in baseline.keys().filter(|n| !current.contains_key(*n)) {
+        println!("GONE  {name}: present in baseline, missing from current run");
+    }
+
+    println!("perf_check: {compared} compared, {failures} hard failure(s)");
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,35 +1,47 @@
 //! Regenerates Table 1: neuromorphic vs conventional shortest-path costs
 //! under both data-movement regimes.
 
+use sgl_bench::report::ReportSink;
 use sgl_bench::table1::{self, HEADER};
-use sgl_bench::tablefmt::print_table;
+use sgl_observe::Json;
 
 fn main() {
+    let mut sink = ReportSink::new("table1");
     println!("# Table 1 — neuromorphic vs conventional SSSP (measured)\n");
     println!("DISTANCE runs use c = {} registers.\n", table1::C_REGISTERS);
 
     println!("## k-hop SSSP, polynomial (sweep k; crossover near log(nU))\n");
+    sink.phase("run");
     let rows = table1::poly_khop_sweep(20210706);
-    print_table(&HEADER, &table1::render(&rows));
+    sink.phase("readout");
+    sink.table("poly_khop", &HEADER, &table1::render(&rows));
     if let Some(cross) = rows.iter().find(|r| r.neuro_wins_free()) {
         println!(
             "\ncrossover: neuromorphic wins (free regime) from k = {} on; log2(nU) = {:.1}\n",
             cross.value,
             ((cross.n as f64) * cross.u_max as f64).log2()
         );
+        sink.section("crossover_k", Json::UInt(cross.value));
     }
 
     println!("## SSSP, polynomial (sweep m; paper: 'never' better ignoring movement)\n");
+    sink.phase("run");
     let rows = table1::poly_sssp_sweep(20210707);
-    print_table(&HEADER, &table1::render(&rows));
+    sink.phase("readout");
+    sink.table("poly_sssp", &HEADER, &table1::render(&rows));
 
     println!("\n## SSSP, pseudopolynomial — short-L unit grids (spiking should win)\n");
+    sink.phase("run");
     let (grids, paths) = table1::pseudo_sssp_rows(20210708);
-    print_table(&HEADER, &table1::render(&grids));
+    sink.phase("readout");
+    sink.table("pseudo_sssp_grids", &HEADER, &table1::render(&grids));
     println!("\n## SSSP, pseudopolynomial — heavy paths, L = 100·n (Dijkstra should win)\n");
-    print_table(&HEADER, &table1::render(&paths));
+    sink.table("pseudo_sssp_paths", &HEADER, &table1::render(&paths));
 
     println!("\n## k-hop SSSP, pseudopolynomial (sweep k on a unit grid)\n");
+    sink.phase("run");
     let rows = table1::pseudo_khop_sweep(20210709);
-    print_table(&HEADER, &table1::render(&rows));
+    sink.phase("readout");
+    sink.table("pseudo_khop", &HEADER, &table1::render(&rows));
+    sink.finish();
 }

@@ -1,13 +1,17 @@
 //! Regenerates Table 2: size/depth of the two §5 maximum circuits.
 
+use sgl_bench::report::ReportSink;
 use sgl_bench::table2::{self, HEADER};
-use sgl_bench::tablefmt::print_table;
 
 fn main() {
+    let mut sink = ReportSink::new("table2");
     println!("# Table 2 — max-circuit resources (measured)\n");
     println!(
         "paper: brute force O(d^2) neurons depth 3; wired-or O(d*lambda) neurons depth O(lambda)\n"
     );
+    sink.phase("run");
     let rows = table2::sweep(20210710);
-    print_table(&HEADER, &table2::render(&rows));
+    sink.phase("readout");
+    sink.table("max_circuits", &HEADER, &table2::render(&rows));
+    sink.finish();
 }

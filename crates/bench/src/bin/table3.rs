@@ -1,13 +1,21 @@
 //! Regenerates Table 3: the platform survey plus a measured energy
 //! comparison on a spiking-SSSP workload.
 
+use sgl_bench::report::ReportSink;
 use sgl_bench::table3;
-use sgl_bench::tablefmt::print_table;
 
 fn main() {
+    let mut sink = ReportSink::new("table3");
     println!("# Table 3 — scalable neuromorphic platforms\n");
-    print_table(&table3::SURVEY_HEADER, &table3::survey_rows());
+    sink.table("survey", &table3::SURVEY_HEADER, &table3::survey_rows());
     println!("\n# Energy comparison (measured spikes/ops on G(256, 2048), U = 9)\n");
+    sink.phase("run");
     let rows = table3::energy_rows(20210711);
-    print_table(&table3::ENERGY_HEADER, &table3::render_energy(&rows));
+    sink.phase("readout");
+    sink.table(
+        "energy",
+        &table3::ENERGY_HEADER,
+        &table3::render_energy(&rows),
+    );
+    sink.finish();
 }

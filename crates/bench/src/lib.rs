@@ -18,6 +18,7 @@
 pub mod approx;
 pub mod distance_bounds;
 pub mod parallel;
+pub mod report;
 pub mod table1;
 pub mod table2;
 pub mod table3;

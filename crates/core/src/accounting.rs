@@ -70,6 +70,18 @@ impl NeuromorphicCost {
         self.embedding_factor = g.n() as u64;
         self
     }
+
+    /// Populates the observed spike count from an engine run's measured
+    /// [`SimStats`](sgl_snn::SimStats) — the bridge from simulator
+    /// telemetry to the cost model. Algorithms that actually run a
+    /// network use this instead of hand-copying counter fields;
+    /// analytic estimates (which have no run) set `spike_events`
+    /// directly.
+    #[must_use]
+    pub fn with_observed(mut self, stats: &sgl_snn::SimStats) -> Self {
+        self.spike_events = stats.spike_events;
+        self
+    }
 }
 
 /// `⌈log2 x⌉` for `x ≥ 1` (0 for `x ≤ 1`) — the paper's `log` in resource
@@ -124,6 +136,22 @@ mod tests {
         assert_eq!(bits_for(2), 2);
         assert_eq!(bits_for(7), 3);
         assert_eq!(bits_for(8), 4);
+    }
+
+    #[test]
+    fn observed_stats_populate_spike_events() {
+        let stats = sgl_snn::SimStats {
+            spike_events: 42,
+            synaptic_deliveries: 99,
+            neuron_updates: 7,
+        };
+        let c = NeuromorphicCost {
+            spiking_steps: 10,
+            ..Default::default()
+        }
+        .with_observed(&stats);
+        assert_eq!(c.spike_events, 42);
+        assert_eq!(c.spiking_steps, 10); // untouched
     }
 
     #[test]

@@ -262,9 +262,10 @@ impl GateLevelKhop {
             load_steps: (self.graph_m * self.lambda) as u64,
             neurons: self.net.neuron_count() as u64,
             synapses: self.net.synapse_count() as u64,
-            spike_events: result.stats.spike_events,
+            spike_events: 0,
             embedding_factor: n as u64,
-        };
+        }
+        .with_observed(&result.stats);
         Ok(GateLevelRun {
             distances,
             snn_steps: result.steps,
@@ -308,9 +309,10 @@ impl GateLevelKhop {
             load_steps: (self.graph_m * self.lambda) as u64,
             neurons: self.net.neuron_count() as u64,
             synapses: self.net.synapse_count() as u64,
-            spike_events: result.stats.spike_events,
+            spike_events: 0,
             embedding_factor: n as u64,
-        };
+        }
+        .with_observed(&result.stats);
         Ok(GateLevelRun {
             distances,
             snn_steps: result.steps,

@@ -261,9 +261,10 @@ impl GateLevelPoly {
             load_steps: (self.graph_m * self.lambda) as u64,
             neurons: self.net.neuron_count() as u64,
             synapses: self.net.synapse_count() as u64,
-            spike_events: result.stats.spike_events,
+            spike_events: 0,
             embedding_factor: n as u64,
-        };
+        }
+        .with_observed(&result.stats);
         Ok(GateLevelPolyRun {
             distances,
             snn_steps: result.steps,

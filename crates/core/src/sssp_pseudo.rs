@@ -159,9 +159,10 @@ impl<'g> SpikingSssp<'g> {
             load_steps: g.m() as u64,
             neurons: g.n() as u64,
             synapses: (g.m() + g.n()) as u64,
-            spike_events: result.stats.spike_events,
+            spike_events: 0,
             embedding_factor: g.n() as u64,
-        };
+        }
+        .with_observed(&result.stats);
         Ok(SsspRun {
             distances,
             spike_time,

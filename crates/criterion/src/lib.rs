@@ -207,7 +207,46 @@ impl Criterion {
             fmt_duration(mean),
             sorted.len(),
         );
+        append_json_line(group, id, median, min, mean, sorted.len());
     }
+}
+
+/// When `SGL_BENCH_JSON` names a file, appends one JSON line per measured
+/// benchmark (`{"group":..,"id":..,"median_ns":..,...}`) so CI can diff
+/// runs against a committed baseline. Hand-formatted: this shim must stay
+/// dependency-free so it can be swapped for the real criterion crate.
+fn append_json_line(
+    group: &str,
+    id: &str,
+    median: Duration,
+    min: Duration,
+    mean: Duration,
+    n: usize,
+) {
+    let Some(path) = std::env::var_os("SGL_BENCH_JSON") else {
+        return;
+    };
+    let line = format!(
+        "{{\"group\":\"{}\",\"id\":\"{}\",\"median_ns\":{},\"min_ns\":{},\"mean_ns\":{},\"samples\":{}}}\n",
+        escape(group),
+        escape(id),
+        median.as_nanos(),
+        min.as_nanos(),
+        mean.as_nanos(),
+        n,
+    );
+    let r = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = r {
+        eprintln!("SGL_BENCH_JSON: cannot append to {path:?}: {e}");
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -274,6 +313,30 @@ mod tests {
         let mut count = 0u32;
         c.bench_function("once", |b| b.iter(|| count += 1));
         assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn json_line_appends_to_env_path() {
+        let path = std::env::temp_dir().join(format!("sgl_shim_json_{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("SGL_BENCH_JSON", &path);
+        append_json_line(
+            "g",
+            "id/64",
+            Duration::from_nanos(1500),
+            Duration::from_nanos(1000),
+            Duration::from_nanos(1600),
+            5,
+        );
+        std::env::remove_var("SGL_BENCH_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            text.contains(
+                r#"{"group":"g","id":"id/64","median_ns":1500,"min_ns":1000,"mean_ns":1600,"samples":5}"#
+            ),
+            "unexpected file contents: {text}"
+        );
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Log-bucketed latency histogram (hand-rolled HDR-style recorder).
+//!
+//! Values (nanoseconds, counts — any `u64`) land in buckets whose width
+//! grows geometrically: each power-of-two range splits into
+//! `SUB_BUCKETS` linear sub-buckets, bounding relative quantile error to
+//! `1 / SUB_BUCKETS` (~6%) while using a fixed 1 KiB of counters for the
+//! full `u64` range. No allocation after construction and O(1) recording,
+//! so instrumented hot loops can record every step.
+
+/// Linear sub-buckets per power-of-two range: 16 ⇒ ≤ 6.25% relative error.
+const SUB_BUCKETS: u64 = 16;
+const SUB_SHIFT: u32 = 4; // log2(SUB_BUCKETS)
+/// Bucket count covering all of `u64`: values below `SUB_BUCKETS` get
+/// exact unit buckets, every doubling above adds `SUB_BUCKETS` more.
+const BUCKETS: usize = ((64 - SUB_SHIFT as usize) + 1) * SUB_BUCKETS as usize;
+
+/// A fixed-size logarithmic histogram over `u64` values.
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: Box::new([0; BUCKETS]),
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Index of the bucket holding `value`.
+    fn bucket(value: u64) -> usize {
+        if value < SUB_BUCKETS {
+            return value as usize; // exact unit buckets
+        }
+        // The top SUB_SHIFT+1 significant bits pick (range, sub-bucket).
+        let msb = 63 - value.leading_zeros(); // >= SUB_SHIFT here
+        let range = msb - SUB_SHIFT + 1;
+        let sub = (value >> (msb - SUB_SHIFT)) - SUB_BUCKETS; // 0..SUB_BUCKETS
+        (u64::from(range) * SUB_BUCKETS + SUB_BUCKETS + sub) as usize - SUB_BUCKETS as usize
+    }
+
+    /// Representative (lower-bound) value of bucket `i` — what quantile
+    /// queries report.
+    fn bucket_floor(i: usize) -> u64 {
+        let i = i as u64;
+        if i < SUB_BUCKETS {
+            return i;
+        }
+        let range = (i - SUB_BUCKETS) / SUB_BUCKETS + 1;
+        let sub = (i - SUB_BUCKETS) % SUB_BUCKETS;
+        (SUB_BUCKETS + sub) << (range - 1)
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket(value)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded value (`None` when empty).
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value (`None` when empty).
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded values (`None` when empty).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum as f64 / self.total as f64)
+    }
+
+    /// Value at quantile `q ∈ [0, 1]` (bucket lower bound; `None` when
+    /// empty). `q = 0.5` is the median, `q = 1.0` the max bucket.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        if rank >= self.total {
+            return Some(self.max);
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_floor(i).max(self.min).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Non-empty buckets as `(floor_value, count)` pairs, ascending.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_floor(i), c))
+            .collect()
+    }
+
+    /// Serializes summary + sparse buckets for a run report.
+    #[must_use]
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let buckets = self
+            .nonzero_buckets()
+            .into_iter()
+            .map(|(floor, count)| Json::Arr(vec![Json::UInt(floor), Json::UInt(count)]))
+            .collect();
+        Json::obj(vec![
+            ("count", Json::UInt(self.total)),
+            ("min", self.min().map_or(Json::Null, Json::UInt)),
+            ("max", self.max().map_or(Json::Null, Json::UInt)),
+            ("mean", self.mean().map_or(Json::Null, Json::Num)),
+            ("p50", self.quantile(0.5).map_or(Json::Null, Json::UInt)),
+            ("p90", self.quantile(0.9).map_or(Json::Null, Json::UInt)),
+            ("p99", self.quantile(0.99).map_or(Json::Null, Json::UInt)),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        assert_eq!(h.count(), SUB_BUCKETS);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(SUB_BUCKETS - 1));
+        // Unit buckets: every recorded value is its own bucket floor.
+        assert_eq!(h.nonzero_buckets().len(), SUB_BUCKETS as usize);
+    }
+
+    #[test]
+    fn bucket_floor_inverts_bucket() {
+        // The floor of a value's bucket never exceeds the value and is
+        // within the guaranteed relative error below it.
+        for &v in &[
+            1u64,
+            15,
+            16,
+            17,
+            100,
+            1_000,
+            65_535,
+            1 << 20,
+            (1 << 40) + 12345,
+            u64::MAX,
+        ] {
+            let floor = LogHistogram::bucket_floor(LogHistogram::bucket(v));
+            assert!(floor <= v, "floor({v}) = {floor}");
+            let width = (floor / SUB_BUCKETS).max(1);
+            assert!(v - floor <= width, "value {v} floor {floor} width {width}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p90 = h.quantile(0.9).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= p90 && p90 <= p99);
+        // ≤ 6.25% relative error per bucket.
+        assert!((4600..=5000).contains(&p50), "p50 = {p50}");
+        assert!((8400..=9000).contains(&p90), "p90 = {p90}");
+        assert_eq!(h.quantile(1.0), Some(h.max().unwrap()));
+    }
+
+    #[test]
+    fn empty_histogram_reports_none() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LogHistogram::new();
+        for v in [2u64, 4, 6] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), Some(4.0));
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut h = LogHistogram::new();
+        h.record(5);
+        h.record(500);
+        let j = h.to_json();
+        assert_eq!(j.get("count").and_then(crate::json::Json::as_u64), Some(2));
+        assert_eq!(j.get("min").and_then(crate::json::Json::as_u64), Some(5));
+        assert_eq!(
+            j.get("buckets")
+                .and_then(crate::json::Json::as_arr)
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+}

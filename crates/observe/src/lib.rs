@@ -1,0 +1,95 @@
+//! # sgl-observe — zero-cost run telemetry and machine-readable reports
+//!
+//! The measurement layer under the whole workspace, motivated by the
+//! observation (Kwisthout & Donselaar 2020; Bhattacharjee et al. 2023)
+//! that spike counts and data movement — not just end-of-run totals — are
+//! the complexity measures that make or break neuromorphic "advantage"
+//! claims. This crate provides:
+//!
+//! * [`RunObserver`] — per-step / per-batch / scheduler hooks the
+//!   simulation engines call. The default [`NullObserver`] monomorphizes
+//!   every hook to a no-op, so un-instrumented runs pay nothing.
+//! * [`TimeSeriesObserver`] — records spikes, deliveries and neuron
+//!   updates per step, wheel occupancy/overflow, barrier waits, and a
+//!   step-latency histogram. Series sum exactly to the engines' totals
+//!   (enforced by differential tests in `sgl-snn`).
+//! * [`PhaseProfiler`] — wall-clock build → load → run → readout split.
+//! * [`LogHistogram`] — hand-rolled HDR-style log-bucketed histogram
+//!   (the environment is offline; no external deps anywhere here).
+//! * [`RunReport`] + [`Json`] — a dependency-free JSON-lines format for
+//!   `BENCH_*.json` perf-trajectory artifacts, with a parser so CI can
+//!   diff reports against committed baselines.
+//!
+//! Dependency direction: this crate is a leaf. `sgl-snn` (the engines),
+//! `sgl-core` (accounting) and `sgl-bench` (the report sink) all depend
+//! on it; it depends on nothing, so the hooks stay available at every
+//! layer without cycles.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hist;
+pub mod json;
+pub mod observer;
+pub mod phase;
+pub mod report;
+
+pub use hist::LogHistogram;
+pub use json::{parse as parse_json, Json, JsonError};
+pub use observer::{NullObserver, RunObserver, SchedulerStats, StepRecord, TimeSeriesObserver};
+pub use phase::PhaseProfiler;
+pub use report::{table_json, RunReport, SCHEMA_VERSION};
+
+/// Renders a spikes-per-step series as a Unicode sparkline (`▁▂▃▄▅▆▇█`),
+/// downsampling to `width` columns by taking per-bucket maxima so narrow
+/// spikes stay visible. Empty input renders an empty string.
+#[must_use]
+pub fn sparkline(series: &[u64], width: usize) -> String {
+    const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if series.is_empty() || width == 0 {
+        return String::new();
+    }
+    let cols = width.min(series.len());
+    let mut maxima = vec![0u64; cols];
+    for (i, &v) in series.iter().enumerate() {
+        let c = i * cols / series.len();
+        maxima[c] = maxima[c].max(v);
+    }
+    let peak = maxima.iter().copied().max().unwrap_or(0).max(1);
+    maxima
+        .iter()
+        .map(|&v| {
+            // Scale into 0..8; any non-zero value gets at least one tick.
+            let mut level = (v * 8 / peak) as usize;
+            if v > 0 {
+                level = level.max(1);
+            }
+            RAMP[level.saturating_sub(1).min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_and_downsamples() {
+        let s = sparkline(&[0, 1, 2, 4, 8], 5);
+        assert_eq!(s.chars().count(), 5);
+        assert!(s.ends_with('█'));
+        assert!(s.starts_with('▁'));
+        // Downsample keeps the peak visible.
+        let wide: Vec<u64> = (0..100).map(|i| u64::from(i == 50)).collect();
+        let s = sparkline(&wide, 10);
+        assert_eq!(s.chars().count(), 10);
+        assert!(s.chars().any(|c| c != '▁'), "{s}");
+    }
+
+    #[test]
+    fn sparkline_edge_cases() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[5], 0), "");
+        assert_eq!(sparkline(&[0, 0], 2), "▁▁");
+    }
+}

@@ -1,0 +1,107 @@
+//! Wall-clock phase profiler: build → load → run → readout.
+//!
+//! Run reports split a workload's wall time into coarse named phases so
+//! perf trajectories show *where* time went, not just the total. Phases
+//! are sequential (starting one ends the previous), repeatable (re-entered
+//! phases accumulate), and cheap: two `Instant` reads per transition.
+
+use std::time::{Duration, Instant};
+
+/// A sequential wall-clock phase recorder.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseProfiler {
+    phases: Vec<(String, Duration)>,
+    current: Option<(usize, Instant)>,
+}
+
+impl PhaseProfiler {
+    /// A profiler with no phases started.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts (or re-enters) the named phase, ending any current one.
+    pub fn start(&mut self, name: &str) {
+        self.stop();
+        let idx = match self.phases.iter().position(|(n, _)| n == name) {
+            Some(i) => i,
+            None => {
+                self.phases.push((name.to_string(), Duration::ZERO));
+                self.phases.len() - 1
+            }
+        };
+        self.current = Some((idx, Instant::now()));
+    }
+
+    /// Ends the current phase, if any.
+    pub fn stop(&mut self) {
+        if let Some((idx, t0)) = self.current.take() {
+            self.phases[idx].1 += t0.elapsed();
+        }
+    }
+
+    /// Recorded `(name, duration)` pairs in first-start order. Ends the
+    /// current phase implicitly via [`Self::stop`] before reading.
+    #[must_use]
+    pub fn phases(&self) -> &[(String, Duration)] {
+        &self.phases
+    }
+
+    /// Total recorded time across all phases.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Serializes phases as `{name: nanos, ...}` plus a total.
+    #[must_use]
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let mut pairs: Vec<(String, Json)> = self
+            .phases
+            .iter()
+            .map(|(n, d)| (n.clone(), Json::UInt(d.as_nanos() as u64)))
+            .collect();
+        pairs.push((
+            "total_ns".to_string(),
+            Json::UInt(self.total().as_nanos() as u64),
+        ));
+        Json::Obj(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_in_order() {
+        let mut p = PhaseProfiler::new();
+        p.start("build");
+        p.start("run");
+        p.start("build"); // re-entered: accumulates, keeps position
+        p.stop();
+        let names: Vec<&str> = p.phases().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["build", "run"]);
+        assert!(p.total() >= p.phases()[0].1);
+    }
+
+    #[test]
+    fn stop_without_start_is_a_no_op() {
+        let mut p = PhaseProfiler::new();
+        p.stop();
+        assert!(p.phases().is_empty());
+        assert_eq!(p.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn json_has_every_phase_and_total() {
+        let mut p = PhaseProfiler::new();
+        p.start("load");
+        p.stop();
+        let j = p.to_json();
+        assert!(j.get("load").is_some());
+        assert!(j.get("total_ns").is_some());
+    }
+}

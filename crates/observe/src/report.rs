@@ -1,0 +1,206 @@
+//! Machine-readable run reports, serialized as JSON lines.
+//!
+//! A [`RunReport`] is a named sequence of sections (config, stats, time
+//! series, histograms, tables, audit findings — any [`Json`] value).
+//! On disk it is one JSON object per line:
+//!
+//! ```text
+//! {"report":"table1","schema":1,"section":"meta", ...}
+//! {"report":"table1","schema":1,"section":"phases","data":{...}}
+//! {"report":"table1","schema":1,"section":"table:poly_khop","data":{...}}
+//! ```
+//!
+//! Line-oriented output means a crashed run still leaves every completed
+//! section parseable, appends diff cleanly in version control, and any
+//! JSONL tool can slice one section without loading the rest.
+
+use crate::json::{parse, Json, JsonError};
+use std::io::Write;
+use std::path::Path;
+
+/// Schema version stamped on every line; bump on breaking shape changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A named report: an ordered list of `(section, value)` pairs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Report name (`table1`, `engines`, ...); becomes part of every line
+    /// and the `BENCH_<name>.json` file name.
+    pub name: String,
+    /// Sections in insertion order.
+    pub sections: Vec<(String, Json)>,
+}
+
+impl RunReport {
+    /// An empty report.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a section (later sections with the same name are kept —
+    /// a report is a log, not a map).
+    pub fn section(&mut self, name: &str, value: Json) -> &mut Self {
+        self.sections.push((name.to_string(), value));
+        self
+    }
+
+    /// First section with the given name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Json> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Serializes as JSON lines (one meta line, then one line per
+    /// section), each line a self-contained JSON object.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let meta = Json::obj(vec![
+            ("report", Json::Str(self.name.clone())),
+            ("schema", Json::UInt(SCHEMA_VERSION)),
+            ("section", Json::Str("meta".into())),
+            ("sections", Json::UInt(self.sections.len() as u64)),
+        ]);
+        out.push_str(&meta.to_string());
+        out.push('\n');
+        for (name, value) in &self.sections {
+            let line = Json::obj(vec![
+                ("report", Json::Str(self.name.clone())),
+                ("schema", Json::UInt(SCHEMA_VERSION)),
+                ("section", Json::Str(name.clone())),
+                ("data", value.clone()),
+            ]);
+            out.push_str(&line.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSON-lines report produced by [`Self::to_jsonl`]. Ignores
+    /// blank lines; the meta line is optional (tolerates truncation).
+    ///
+    /// # Errors
+    /// Fails if any non-blank line is not a JSON object with a `section`
+    /// string.
+    pub fn from_jsonl(text: &str) -> Result<Self, JsonError> {
+        let mut name = String::new();
+        let mut sections = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = parse(line)?;
+            let section = v
+                .get("section")
+                .and_then(Json::as_str)
+                .ok_or(JsonError {
+                    at: 0,
+                    msg: "line missing \"section\"",
+                })?
+                .to_string();
+            if let Some(r) = v.get("report").and_then(Json::as_str) {
+                name = r.to_string();
+            }
+            if section == "meta" {
+                continue;
+            }
+            let data = v.get("data").cloned().unwrap_or(Json::Null);
+            sections.push((section, data));
+        }
+        Ok(Self { name, sections })
+    }
+
+    /// Writes the report to `path` (JSON lines), replacing any existing
+    /// file.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_jsonl().as_bytes())
+    }
+}
+
+/// Builds a `table` section value from a header and rendered string rows —
+/// the machine-readable twin of the bins' printed markdown tables.
+#[must_use]
+pub fn table_json(header: &[&str], rows: &[Vec<String>]) -> Json {
+    Json::obj(vec![
+        ("header", Json::strings(header)),
+        (
+            "rows",
+            Json::Arr(rows.iter().map(|r| Json::strings(r)).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_round_trip() {
+        let mut r = RunReport::new("table1");
+        r.section("phases", Json::obj(vec![("build", Json::UInt(12))]));
+        r.section(
+            "table:sweep",
+            table_json(&["k", "cost"], &[vec!["1".into(), "2".into()]]),
+        );
+        let text = r.to_jsonl();
+        assert_eq!(text.lines().count(), 3); // meta + 2 sections
+        let back = RunReport::from_jsonl(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn every_line_is_self_contained_json() {
+        let mut r = RunReport::new("x");
+        r.section("a", Json::UInt(1));
+        r.section("b", Json::Str("two".into()));
+        for line in r.to_jsonl().lines() {
+            let v = parse(line).unwrap();
+            assert!(v.get("section").is_some());
+            assert_eq!(v.get("schema").and_then(Json::as_u64), Some(SCHEMA_VERSION));
+        }
+    }
+
+    #[test]
+    fn truncated_report_still_parses_completed_sections() {
+        let mut r = RunReport::new("t");
+        r.section("done", Json::UInt(1));
+        r.section("lost", Json::UInt(2));
+        let text = r.to_jsonl();
+        // Drop the last line (simulated crash mid-write).
+        let truncated: String = text.lines().take(2).collect::<Vec<_>>().join("\n");
+        let back = RunReport::from_jsonl(&truncated).unwrap();
+        assert_eq!(back.sections.len(), 1);
+        assert_eq!(back.get("done").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn write_and_read_file() {
+        let dir = std::env::temp_dir().join("sgl_observe_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let mut r = RunReport::new("test");
+        r.section("stats", Json::obj(vec![("spikes", Json::UInt(42))]));
+        r.write_to(&path).unwrap();
+        let back = RunReport::from_jsonl(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back, r);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn table_json_shape() {
+        let t = table_json(&["a"], &[vec!["1".into()], vec!["2".into()]]);
+        assert_eq!(t.get("rows").and_then(Json::as_arr).unwrap().len(), 2);
+        assert_eq!(t.get("header").and_then(Json::as_arr).unwrap().len(), 1);
+    }
+}

@@ -29,6 +29,12 @@ pub enum Finding {
         /// Target neuron.
         dst: NeuronId,
     },
+    /// Unreachable along synapses from every marked input and every
+    /// spontaneous neuron — no run seeded at the inputs can ever deliver
+    /// it a spike, so no observer will ever see it. (Skipped entirely when
+    /// the network marks no inputs and has no spontaneous neurons: the
+    /// entry points are unknown.)
+    NeverObserved(NeuronId),
 }
 
 impl std::fmt::Display for Finding {
@@ -39,6 +45,9 @@ impl std::fmt::Display for Finding {
             Self::Orphan(n) => write!(f, "{n}: no inputs and not an input neuron"),
             Self::DeadEnd(n) => write!(f, "{n}: no outputs and not an output/terminal"),
             Self::ZeroWeight { src, dst } => write!(f, "{src} -> {dst}: zero-weight synapse"),
+            Self::NeverObserved(n) => {
+                write!(f, "{n}: unreachable from every input/spontaneous neuron")
+            }
         }
     }
 }
@@ -83,6 +92,43 @@ pub fn audit(net: &Network) -> Vec<Finding> {
         }
         if net.synapses_from(id).is_empty() && !is_output {
             findings.push(Finding::DeadEnd(id));
+        }
+    }
+
+    // Reachability: one BFS over the CSR topology from every possible
+    // spike source (marked inputs plus spontaneous neurons). A neuron
+    // outside the reached set can never receive a delivery in any run
+    // seeded at the inputs. Skipped when there are no seeds — entry
+    // points are unknown, so every neuron would be flagged.
+    let csr = net.csr();
+    let mut seeds: Vec<NeuronId> = net.inputs().to_vec();
+    for id in net.neuron_ids() {
+        if !net.params(id).is_input_driven() {
+            seeds.push(id);
+        }
+    }
+    if !seeds.is_empty() {
+        let mut reached = vec![false; n];
+        let mut queue: Vec<usize> = Vec::new();
+        for &s in &seeds {
+            if !reached[s.index()] {
+                reached[s.index()] = true;
+                queue.push(s.index());
+            }
+        }
+        while let Some(u) = queue.pop() {
+            for syn in csr.out(u) {
+                let v = syn.target.index();
+                if !reached[v] {
+                    reached[v] = true;
+                    queue.push(v);
+                }
+            }
+        }
+        for id in net.neuron_ids() {
+            if !reached[id.index()] {
+                findings.push(Finding::NeverObserved(id));
+            }
         }
     }
     findings
@@ -174,8 +220,66 @@ mod tests {
     }
 
     #[test]
+    fn detects_never_observed_neuron() {
+        // a -> b is live; c -> d is a disconnected island (c has input
+        // synapses from nothing and is not marked input).
+        let mut net = Network::new();
+        let a = net.add_neuron(LifParams::gate_at_least(1));
+        let b = net.add_neuron(LifParams::gate_at_least(1));
+        let c = net.add_neuron(LifParams::gate_at_least(1));
+        let d = net.add_neuron(LifParams::gate_at_least(1));
+        net.connect(a, b, 1.0, 1).unwrap();
+        net.connect(c, d, 1.0, 1).unwrap();
+        net.mark_input(a);
+        net.mark_output(b);
+        net.mark_output(d);
+        let findings = audit(&net);
+        assert!(findings.contains(&Finding::NeverObserved(c)));
+        assert!(findings.contains(&Finding::NeverObserved(d)));
+        assert!(!findings.contains(&Finding::NeverObserved(a)));
+        assert!(!findings.contains(&Finding::NeverObserved(b)));
+    }
+
+    #[test]
+    fn reachability_skipped_without_seeds() {
+        // No marked inputs and no spontaneous neurons: entry points are
+        // unknown, so nothing is flagged NeverObserved.
+        let mut net = Network::new();
+        let a = net.add_neuron(LifParams::gate_at_least(1));
+        let b = net.add_neuron(LifParams::gate_at_least(1));
+        net.connect(a, b, 1.0, 1).unwrap();
+        net.mark_output(b);
+        assert!(!audit(&net)
+            .iter()
+            .any(|f| matches!(f, Finding::NeverObserved(_))));
+    }
+
+    #[test]
+    fn spontaneous_neurons_seed_reachability() {
+        // A spontaneous neuron reaches its target even with no inputs
+        // marked anywhere.
+        let mut net = Network::new();
+        let s = net.add_neuron(LifParams {
+            v_reset: 2.0,
+            v_threshold: 1.0,
+            decay: 0.0,
+        });
+        let t = net.add_neuron(LifParams::gate_at_least(1));
+        let lone = net.add_neuron(LifParams::gate_at_least(1));
+        net.connect(s, t, 1.0, 1).unwrap();
+        net.mark_output(t);
+        net.mark_output(lone);
+        let findings = audit(&net);
+        assert!(!findings.contains(&Finding::NeverObserved(t)));
+        assert!(findings.contains(&Finding::NeverObserved(lone)));
+    }
+
+    #[test]
     fn findings_display() {
         let f = Finding::Unfirable(NeuronId(3));
         assert!(f.to_string().contains("n3"));
+        assert!(Finding::NeverObserved(NeuronId(7))
+            .to_string()
+            .contains("unreachable"));
     }
 }

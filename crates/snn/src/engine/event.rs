@@ -1,5 +1,7 @@
 //! Event-driven engine: work proportional to spike traffic.
 
+use sgl_observe::{NullObserver, RunObserver, StepRecord};
+
 use super::dense::route_spikes;
 use super::wheel::TimeWheel;
 use super::{check_initial, Engine, Recorder, RunConfig, RunResult, StopCondition, StopReason};
@@ -34,6 +36,43 @@ impl Engine for EventEngine {
         initial_spikes: &[NeuronId],
         config: &RunConfig,
     ) -> Result<RunResult, SnnError> {
+        self.run_observed(net, initial_spikes, config, &mut NullObserver)
+    }
+}
+
+impl EventEngine {
+    /// [`Engine::run`] with telemetry hooks; see
+    /// [`DenseEngine::run_observed`](super::DenseEngine::run_observed).
+    /// `on_step` fires only at event times (the engine skips quiet
+    /// intervals), so the observer's series is sparse in `t` — exactly as
+    /// the stats are.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Engine::run`].
+    pub fn run_observed<O: RunObserver>(
+        &self,
+        net: &Network,
+        initial_spikes: &[NeuronId],
+        config: &RunConfig,
+        obs: &mut O,
+    ) -> Result<RunResult, SnnError> {
+        let result = self.run_inner(net, initial_spikes, config, obs)?;
+        obs.on_finish(
+            result.steps,
+            result.stats.spike_events,
+            result.stats.synaptic_deliveries,
+            result.stats.neuron_updates,
+        );
+        Ok(result)
+    }
+
+    fn run_inner<O: RunObserver>(
+        &self,
+        net: &Network,
+        initial_spikes: &[NeuronId],
+        config: &RunConfig,
+        obs: &mut O,
+    ) -> Result<RunResult, SnnError> {
         net.validate(true)?;
         check_initial(net, initial_spikes)?;
         let mut rec = Recorder::new(net, config)?;
@@ -51,7 +90,18 @@ impl Engine for EventEngine {
         fired.dedup();
 
         let mut stop_hit = rec.record_step(0, &fired, &config.stop);
-        route_spikes(csr, &fired, 0, &mut wheel, &mut rec);
+        let deliveries = route_spikes(csr, &fired, 0, &mut wheel, &mut rec);
+        obs.on_step(
+            0,
+            StepRecord {
+                spikes: fired.len() as u64,
+                deliveries,
+                updates: 0,
+            },
+        );
+        if O::ENABLED {
+            obs.on_scheduler(0, wheel.observe());
+        }
         if stop_hit
             && !matches!(
                 config.stop,
@@ -80,6 +130,7 @@ impl Engine for EventEngine {
             // bit-identical across engines.
             batch.clear();
             wheel.drain_at(t, &mut batch);
+            obs.on_spike_batch(t, batch.len() as u64);
             for &(id, w) in &batch {
                 let i = id.index();
                 if !dirty[i] {
@@ -89,7 +140,8 @@ impl Engine for EventEngine {
                 accum[i] += w;
             }
             touched.sort_unstable();
-            rec.add_updates(touched.len() as u64);
+            let updates = touched.len() as u64;
+            rec.add_updates(updates);
 
             // Update each touched neuron: lazy decay, add input, threshold.
             fired.clear();
@@ -122,7 +174,18 @@ impl Engine for EventEngine {
             last_active = t;
 
             stop_hit = rec.record_step(t, &fired, &config.stop);
-            route_spikes(csr, &fired, t, &mut wheel, &mut rec);
+            let deliveries = route_spikes(csr, &fired, t, &mut wheel, &mut rec);
+            obs.on_step(
+                t,
+                StepRecord {
+                    spikes: fired.len() as u64,
+                    deliveries,
+                    updates,
+                },
+            );
+            if O::ENABLED {
+                obs.on_scheduler(t, wheel.observe());
+            }
 
             if stop_hit
                 && !matches!(

@@ -10,12 +10,16 @@ mod dense;
 mod event;
 mod parallel;
 mod stepper;
-mod wheel;
+pub(crate) mod wheel;
 
 pub use dense::DenseEngine;
 pub use event::EventEngine;
 pub use parallel::ParallelDenseEngine;
 pub use stepper::Stepper;
+
+// Observer protocol, re-exported so engine users don't need a separate
+// `sgl_observe` import for the common case.
+pub use sgl_observe::{NullObserver, RunObserver, SchedulerStats, StepRecord, TimeSeriesObserver};
 
 use crate::error::SnnError;
 use crate::network::Network;

@@ -17,6 +17,9 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+
+use sgl_observe::{NullObserver, RunObserver, StepRecord};
 
 use super::dense::route_spikes;
 use super::wheel::TimeWheel;
@@ -65,12 +68,52 @@ impl Engine for ParallelDenseEngine {
         initial_spikes: &[NeuronId],
         config: &RunConfig,
     ) -> Result<RunResult, SnnError> {
+        self.run_observed(net, initial_spikes, config, &mut NullObserver)
+    }
+}
+
+impl ParallelDenseEngine {
+    /// [`Engine::run`] with telemetry hooks; see
+    /// [`DenseEngine::run_observed`](super::DenseEngine::run_observed).
+    /// Additionally reports the coordinator's per-step barrier-block time
+    /// via [`RunObserver::on_barrier_wait`] (only when `O::ENABLED`).
+    ///
+    /// # Errors
+    /// Same failure modes as [`Engine::run`].
+    pub fn run_observed<O: RunObserver>(
+        &self,
+        net: &Network,
+        initial_spikes: &[NeuronId],
+        config: &RunConfig,
+        obs: &mut O,
+    ) -> Result<RunResult, SnnError> {
         let n = net.neuron_count();
         let threads = self.threads.max(1).min(n.max(1));
         if threads == 1 {
             // Sequential case: exactly the dense engine, minus the pool.
-            return DenseEngine.run(net, initial_spikes, config);
+            // Delegating to the dense `run_observed` keeps the hook
+            // cadence (and `on_finish`) identical.
+            return DenseEngine.run_observed(net, initial_spikes, config, obs);
         }
+        let result = self.run_inner(net, initial_spikes, config, obs, threads)?;
+        obs.on_finish(
+            result.steps,
+            result.stats.spike_events,
+            result.stats.synaptic_deliveries,
+            result.stats.neuron_updates,
+        );
+        Ok(result)
+    }
+
+    fn run_inner<O: RunObserver>(
+        &self,
+        net: &Network,
+        initial_spikes: &[NeuronId],
+        config: &RunConfig,
+        obs: &mut O,
+        threads: usize,
+    ) -> Result<RunResult, SnnError> {
+        let n = net.neuron_count();
         net.validate(false)?;
         check_initial(net, initial_spikes)?;
         let mut rec = Recorder::new(net, config)?;
@@ -85,7 +128,18 @@ impl Engine for ParallelDenseEngine {
         fired.dedup();
 
         let mut stop_hit = rec.record_step(0, &fired, &config.stop);
-        route_spikes(csr, &fired, 0, &mut wheel, &mut rec);
+        let deliveries = route_spikes(csr, &fired, 0, &mut wheel, &mut rec);
+        obs.on_step(
+            0,
+            StepRecord {
+                spikes: fired.len() as u64,
+                deliveries,
+                updates: 0,
+            },
+        );
+        if O::ENABLED {
+            obs.on_scheduler(0, wheel.observe());
+        }
         if stop_hit
             && !matches!(
                 config.stop,
@@ -132,6 +186,7 @@ impl Engine for ParallelDenseEngine {
                 for t in 1..=config.max_steps {
                     batch.clear();
                     wheel.drain_at(t, &mut batch);
+                    obs.on_spike_batch(t, batch.len() as u64);
                     for &(id, w) in &batch {
                         let i = id.index();
                         cells[i / chunk]
@@ -141,9 +196,19 @@ impl Engine for ParallelDenseEngine {
                             .push((i, w));
                     }
 
-                    start.wait();
-                    // Workers run Eqs. (1)–(3) over their chunks.
-                    end.wait();
+                    if O::ENABLED {
+                        // Coordinator block time across both barriers: the
+                        // step's full compute+sync window as the
+                        // coordinator experiences it.
+                        let t0 = Instant::now();
+                        start.wait();
+                        end.wait();
+                        obs.on_barrier_wait(t, t0.elapsed().as_nanos() as u64);
+                    } else {
+                        start.wait();
+                        // Workers run Eqs. (1)–(3) over their chunks.
+                        end.wait();
+                    }
                     rec.add_updates(n as u64);
 
                     // Merge in chunk order: per-chunk lists are id-sorted,
@@ -157,7 +222,18 @@ impl Engine for ParallelDenseEngine {
                     }
 
                     stop_hit = rec.record_step(t, &fired, &config.stop);
-                    route_spikes(csr, &fired, t, &mut wheel, &mut rec);
+                    let deliveries = route_spikes(csr, &fired, t, &mut wheel, &mut rec);
+                    obs.on_step(
+                        t,
+                        StepRecord {
+                            spikes: fired.len() as u64,
+                            deliveries,
+                            updates: n as u64,
+                        },
+                    );
+                    if O::ENABLED {
+                        obs.on_scheduler(t, wheel.observe());
+                    }
 
                     if stop_hit
                         && !matches!(

@@ -17,6 +17,8 @@
 
 use std::collections::BTreeMap;
 
+use sgl_observe::SchedulerStats;
+
 use crate::types::{NeuronId, Time};
 
 /// One pending synaptic delivery: `weight` arriving at `target`.
@@ -46,6 +48,10 @@ pub(crate) struct TimeWheel {
     /// [`Self::next_time`] resume scanning where the last scan stopped
     /// instead of re-walking from `now + 1`.
     scan_from: Time,
+    /// Cumulative count of deliveries that missed the wheel horizon and
+    /// took the ordered-map slow path. Telemetry only; never read by the
+    /// scheduling logic.
+    overflow_hits: u64,
 }
 
 impl TimeWheel {
@@ -59,6 +65,7 @@ impl TimeWheel {
             in_flight: 0,
             occupied: 0,
             scan_from: 1,
+            overflow_hits: 0,
         }
     }
 
@@ -86,7 +93,20 @@ impl TimeWheel {
             slot.push((target, weight));
             self.scan_from = self.scan_from.min(at);
         } else {
+            self.overflow_hits += 1;
             self.overflow.entry(at).or_default().push((target, weight));
+        }
+    }
+
+    /// Occupancy snapshot for [`sgl_observe::RunObserver::on_scheduler`].
+    /// Engines only call this when the observer is enabled, so unobserved
+    /// runs never pay for it.
+    pub(crate) fn observe(&self) -> SchedulerStats {
+        SchedulerStats {
+            in_flight: self.in_flight as u64,
+            occupied_slots: self.occupied as u64,
+            overflow_entries: self.overflow.len() as u64,
+            overflow_hits: self.overflow_hits,
         }
     }
 
@@ -218,6 +238,28 @@ mod tests {
         let mut w = TimeWheel::new(0);
         assert!(w.is_empty());
         assert_eq!(w.next_time(), None);
+    }
+
+    #[test]
+    fn observe_tracks_occupancy_and_overflow() {
+        let mut w = TimeWheel::new(2);
+        w.schedule(1, NeuronId(0), 1.0);
+        w.schedule(2, NeuronId(1), 1.0);
+        w.schedule(1_000, NeuronId(2), 1.0); // beyond horizon
+        let s = w.observe();
+        assert_eq!(s.in_flight, 3);
+        assert_eq!(s.occupied_slots, 2);
+        assert_eq!(s.overflow_entries, 1);
+        assert_eq!(s.overflow_hits, 1);
+        drain(&mut w, 1);
+        drain(&mut w, 2);
+        drain(&mut w, 1_000);
+        let s = w.observe();
+        assert_eq!(s.in_flight, 0);
+        assert_eq!(s.occupied_slots, 0);
+        assert_eq!(s.overflow_entries, 0);
+        // Hits are cumulative: the slow path was taken once this run.
+        assert_eq!(s.overflow_hits, 1);
     }
 
     #[test]

@@ -69,8 +69,8 @@ pub mod types;
 
 pub use encoding::{read_value, value_to_bits};
 pub use engine::{
-    DenseEngine, Engine, EventEngine, ParallelDenseEngine, RunConfig, RunResult, SimStats,
-    StopCondition, StopReason,
+    DenseEngine, Engine, EventEngine, NullObserver, ParallelDenseEngine, RunConfig, RunObserver,
+    RunResult, SimStats, StopCondition, StopReason, TimeSeriesObserver,
 };
 pub use error::SnnError;
 pub use network::{Network, Synapse};

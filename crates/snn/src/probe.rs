@@ -6,9 +6,9 @@
 //! recording the *voltage* of selected neurons at every step — the `v(t)`
 //! series of Eq. (1)–(3), including the reset after each spike.
 
-use crate::network::Network;
+use crate::engine::wheel::TimeWheel;
+use crate::network::{CsrTopology, Network};
 use crate::types::{NeuronId, Time};
-use std::collections::HashMap;
 
 /// A recorded voltage trace: `trace[t]` is `v(t)` for `t = 0..=steps`.
 #[derive(Clone, Debug, PartialEq)]
@@ -33,6 +33,11 @@ impl VoltageTrace {
 /// recording voltage traces for `probes`. Initial spikes are induced at
 /// `t = 0` as usual.
 ///
+/// Pending deliveries go through the same [`TimeWheel`] the engines use,
+/// in the same (sorted firing id) × (CSR synapse order) scheduling order —
+/// so per-target floating-point sums, and therefore the recorded voltages
+/// and spike times, match the engines bit for bit.
+///
 /// # Panics
 /// Panics if a probe or initial neuron is out of range.
 #[must_use]
@@ -46,8 +51,11 @@ pub fn record_traces(
     for &p in probes.iter().chain(initial_spikes) {
         assert!(p.index() < n, "neuron {p} out of range");
     }
-    let mut voltages: Vec<f64> = net.neuron_ids().map(|id| net.params(id).v_reset).collect();
-    let mut pending: HashMap<Time, Vec<(usize, f64)>> = HashMap::new();
+    let csr = net.csr();
+    let params = net.params_slice();
+    let mut voltages: Vec<f64> = params.iter().map(|p| p.v_reset).collect();
+    let mut wheel = TimeWheel::new(net.max_delay());
+    let mut batch: Vec<(NeuronId, f64)> = Vec::new();
     let mut traces: Vec<VoltageTrace> = probes
         .iter()
         .map(|&p| VoltageTrace {
@@ -58,56 +66,62 @@ pub fn record_traces(
         .collect();
 
     // t = 0 spikes.
-    let mut fired: Vec<usize> = initial_spikes.iter().map(|i| i.index()).collect();
+    let mut fired: Vec<NeuronId> = initial_spikes.to_vec();
     fired.sort_unstable();
     fired.dedup();
     for tr in &mut traces {
-        if fired.contains(&tr.neuron.index()) {
+        if fired.contains(&tr.neuron) {
             tr.spikes.push(0);
         }
     }
-    let route = |net: &Network,
-                 fired: &[usize],
-                 t: Time,
-                 pending: &mut HashMap<Time, Vec<(usize, f64)>>| {
-        for &u in fired {
-            for s in net.synapses_from(NeuronId(u as u32)) {
-                pending
-                    .entry(t + Time::from(s.delay))
-                    .or_default()
-                    .push((s.target.index(), s.weight));
-            }
-        }
-    };
-    route(net, &fired, 0, &mut pending);
+    route(csr, &fired, 0, &mut wheel);
 
+    let mut syn = vec![0.0f64; n];
+    let mut touched: Vec<usize> = Vec::new();
     for t in 1..=steps {
-        let mut syn = vec![0.0f64; n];
-        if let Some(batch) = pending.remove(&t) {
-            for (v, w) in batch {
-                syn[v] += w;
+        batch.clear();
+        wheel.drain_at(t, &mut batch);
+        for &(id, w) in &batch {
+            let i = id.index();
+            if syn[i] == 0.0 {
+                touched.push(i);
             }
+            syn[i] += w;
         }
         fired.clear();
-        for v in 0..n {
-            let p = net.params(NeuronId(v as u32));
-            let v_hat = voltages[v] - (voltages[v] - p.v_reset) * p.decay + syn[v];
+        for (i, p) in params.iter().enumerate() {
+            let v = voltages[i];
+            let v_hat = v - (v - p.v_reset) * p.decay + syn[i];
             if v_hat > p.v_threshold {
-                fired.push(v);
-                voltages[v] = p.v_reset;
+                fired.push(NeuronId(i as u32));
+                voltages[i] = p.v_reset;
             } else {
-                voltages[v] = v_hat;
+                voltages[i] = v_hat;
             }
         }
-        route(net, &fired, t, &mut pending);
+        for &i in &touched {
+            syn[i] = 0.0;
+        }
+        touched.clear();
+        route(csr, &fired, t, &mut wheel);
         for tr in &mut traces {
             tr.voltages.push(voltages[tr.neuron.index()]);
-            if fired.contains(&tr.neuron.index()) {
+            if fired.contains(&tr.neuron) {
                 tr.spikes.push(t);
             }
         }
     }
     traces
+}
+
+/// Schedules fan-out exactly like the engines' `route_spikes` (without the
+/// stats recorder): sorted firing ids × CSR synapse order.
+fn route(csr: &CsrTopology, fired: &[NeuronId], t: Time, wheel: &mut TimeWheel) {
+    for &id in fired {
+        for s in csr.out(id.index()) {
+            wheel.schedule(t + Time::from(s.delay), s.target, s.weight);
+        }
+    }
 }
 
 #[cfg(test)]

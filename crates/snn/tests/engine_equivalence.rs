@@ -12,7 +12,10 @@
 
 use proptest::prelude::*;
 use sgl_snn::{
-    engine::{DenseEngine, Engine, EventEngine, ParallelDenseEngine, RunConfig, RunResult},
+    engine::{
+        DenseEngine, Engine, EventEngine, ParallelDenseEngine, RunConfig, RunResult,
+        TimeSeriesObserver,
+    },
     LifParams, Network, NeuronId,
 };
 
@@ -114,6 +117,42 @@ proptest! {
         let par = ParallelDenseEngine { threads: 3 }.run(&net, &initial, &cfg).unwrap();
         prop_assert_eq!(&dense, &par);
         assert_identical_modulo_updates(&dense, &event)?;
+    }
+
+    /// Observation must be a pure read: each engine's instrumented run is
+    /// bit-identical to its uninstrumented run, and the observer's series
+    /// sum exactly to the `SimStats` totals of that run.
+    #[test]
+    fn observation_does_not_perturb_results(spec in net_spec()) {
+        let (net, initial) = build(&spec);
+        for cfg in [
+            RunConfig::fixed(60).with_raster(),
+            RunConfig::until_quiescent(300).with_raster(),
+        ] {
+            let par_engine = ParallelDenseEngine { threads: 4 };
+            let plain: [RunResult; 3] = [
+                DenseEngine.run(&net, &initial, &cfg).unwrap(),
+                EventEngine.run(&net, &initial, &cfg).unwrap(),
+                par_engine.run(&net, &initial, &cfg).unwrap(),
+            ];
+            let mut observers = [
+                TimeSeriesObserver::new(),
+                TimeSeriesObserver::new(),
+                TimeSeriesObserver::new(),
+            ];
+            let observed: [RunResult; 3] = [
+                DenseEngine.run_observed(&net, &initial, &cfg, &mut observers[0]).unwrap(),
+                EventEngine.run_observed(&net, &initial, &cfg, &mut observers[1]).unwrap(),
+                par_engine.run_observed(&net, &initial, &cfg, &mut observers[2]).unwrap(),
+            ];
+            for (p, (o, obs)) in plain.iter().zip(observed.iter().zip(&observers)) {
+                prop_assert_eq!(p, o);
+                prop_assert_eq!(obs.total_spikes(), o.stats.spike_events);
+                prop_assert_eq!(obs.total_deliveries(), o.stats.synaptic_deliveries);
+                prop_assert_eq!(obs.total_updates(), o.stats.neuron_updates);
+                prop_assert_eq!(obs.final_step, o.steps);
+            }
+        }
     }
 
     #[test]

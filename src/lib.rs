@@ -21,6 +21,8 @@
 //!   movement-metered conventional baselines and lower-bound calculators.
 //! * [`platforms`] — neuromorphic platform survey data (Table 3) and
 //!   energy models.
+//! * [`observe`] — zero-cost run telemetry: observer hooks, per-step time
+//!   series, phase profiling, and machine-readable run reports.
 //!
 //! ## Quickstart
 //!
@@ -44,5 +46,6 @@ pub use sgl_core as algorithms;
 pub use sgl_crossbar as crossbar;
 pub use sgl_distance as distance;
 pub use sgl_graph as graph;
+pub use sgl_observe as observe;
 pub use sgl_platforms as platforms;
 pub use sgl_snn as snn;
