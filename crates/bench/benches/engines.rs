@@ -26,7 +26,7 @@ fn bench_engines(c: &mut Criterion) {
                 b.iter(|| DenseEngine.run(&net, &[NeuronId(0)], &cfg).unwrap());
             });
             group.bench_with_input(BenchmarkId::new("parallel_dense", n), &n, |b, _| {
-                let engine = ParallelDenseEngine { threads: 4 };
+                let engine = ParallelDenseEngine::new(4);
                 b.iter(|| engine.run(&net, &[NeuronId(0)], &cfg).unwrap());
             });
         }

@@ -6,6 +6,13 @@
 //! Regressions are warnings by default; the process exits non-zero only
 //! when a benchmark's median is more than 2x its baseline, so CI can run
 //! this on shared (noisy) runners without flaking.
+//!
+//! One *ordering* rule is absolute rather than baseline-relative: when the
+//! current run contains the `apsp_batch` pair, the batched APSP path must
+//! not be slower than the per-source-rebuild path it exists to beat — if
+//! batching ever loses to rebuilding, the batch runtime is pure
+//! complexity, and that fails CI even on a noisy runner (both medians come
+//! from the same run on the same machine, so the comparison is fair).
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -72,6 +79,24 @@ fn main() -> ExitCode {
     }
     for name in baseline.keys().filter(|n| !current.contains_key(*n)) {
         println!("GONE  {name}: present in baseline, missing from current run");
+    }
+
+    // Intra-run ordering rule: batched APSP must beat per-source rebuild.
+    if let (Some(&batch), Some(&rebuild)) = (
+        current.get("apsp_batch/batch/256"),
+        current.get("apsp_batch/rebuild/256"),
+    ) {
+        if batch > rebuild {
+            println!(
+                "FAIL  apsp_batch ordering: batch/256 ({batch} ns) slower than rebuild/256 \
+                 ({rebuild} ns) — the batch runtime must never lose to rebuilding"
+            );
+            failures += 1;
+        } else {
+            println!(
+                "ok    apsp_batch ordering: batch/256 ({batch} ns) <= rebuild/256 ({rebuild} ns)"
+            );
+        }
     }
 
     println!("perf_check: {compared} compared, {failures} hard failure(s)");

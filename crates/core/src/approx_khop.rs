@@ -28,7 +28,10 @@
 //! approximation targets.
 
 use crate::accounting::NeuromorphicCost;
+use crate::sssp_pseudo::SpikingSssp;
 use sgl_graph::{Graph, Len, Node};
+use sgl_snn::engine::{run_jobs, EngineChoice, RunConfig, RunSpec};
+use sgl_snn::{Network, NeuronId};
 
 /// Result of the approximation run.
 #[derive(Clone, Debug)]
@@ -85,23 +88,51 @@ pub fn solve(g: &Graph, source: Node, k: u32) -> ApproxKhopRun {
     let mut estimates: Vec<Option<f64>> = vec![None; n];
     estimates[source] = Some(0.0);
 
+    // One §3 network per scale — the rounding changes the delays, so these
+    // are genuinely different networks, which is what [`run_jobs`] (rather
+    // than a shared-network `BatchRunner`) is for: the scale runs fan out
+    // over the batch pool and each worker recycles its engine scratch
+    // across scales.
+    let jobs: Vec<(Network, RunSpec)> = (0..=max_scale)
+        .map(|i| {
+            let d_i = (1u64 << i.min(62)) as f64;
+            let gi = g.map_lengths(|l| {
+                let scaled = (two_k * l as f64 / (epsilon * d_i)).ceil() as Len;
+                // An edge longer than the cutoff can never sit on a
+                // ≤cutoff path, so clamping changes nothing downstream
+                // while keeping the delay inside the u32 the synapse
+                // stores even when the raw rounding overflows it.
+                scaled.clamp(1, cutoff + 1)
+            });
+            let net = SpikingSssp::new(&gi, source).build_network();
+            let spec = RunSpec::new(vec![NeuronId(source as u32)], RunConfig::fixed(cutoff));
+            (net, spec)
+        })
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map_or(1, usize::from)
+        .min(8);
+    let results = run_jobs(&jobs, threads, EngineChoice::Auto).expect("simulation");
+
+    let scales = results.len() as u32;
     let mut spiking_steps = 0u64;
     let mut spike_events = 0u64;
-    let mut scales = 0u32;
-    for i in 0..=max_scale {
-        scales += 1;
-        let d_i = (1u64 << i.min(62)) as f64;
-        let gi = g.map_lengths(|l| {
-            let scaled = (two_k * l as f64 / (epsilon * d_i)).ceil() as Len;
-            scaled.max(1)
-        });
+    for (i, run) in results.iter().enumerate() {
+        let d_i = (1u64 << (i as u32).min(62)) as f64;
         // Truncated pseudopolynomial spiking SSSP on (G, ℓ_i): distances
         // are first-spike times; we only trust values ≤ cutoff.
-        let run = truncated_spiking_sssp(&gi, source, cutoff);
-        spiking_steps += run.steps;
-        spike_events += run.spikes;
+        spiking_steps += run
+            .first_spikes
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        spike_events += run.stats.spike_events;
         for v in 0..n {
-            let Some(d) = run.distances[v] else { continue };
+            let Some(d) = run.first_spikes[v] else {
+                continue;
+            };
             if d <= cutoff {
                 let estimate = epsilon * d_i * d as f64 / two_k;
                 if estimates[v].is_none_or(|e| estimate < e) {
@@ -124,47 +155,6 @@ pub fn solve(g: &Graph, source: Node, k: u32) -> ApproxKhopRun {
         epsilon,
         scales,
         cost,
-    }
-}
-
-struct TruncatedRun {
-    distances: Vec<Option<Len>>,
-    steps: u64,
-    spikes: u64,
-}
-
-/// The §3 wavefront, cut off at `horizon` — semantically identical to
-/// `SpikingSssp` with a step budget, implemented directly on a monotone
-/// event queue so the per-scale runs stay cheap inside the i-loop.
-fn truncated_spiking_sssp(g: &Graph, source: Node, horizon: u64) -> TruncatedRun {
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
-    let n = g.n();
-    let mut dist: Vec<Option<Len>> = vec![None; n];
-    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
-    dist[source] = Some(0);
-    heap.push(Reverse((0, source as u32)));
-    let mut spikes = 0u64;
-    let mut last = 0u64;
-    while let Some(Reverse((t, v))) = heap.pop() {
-        let v = v as usize;
-        if dist[v].is_some_and(|d| d < t) {
-            continue;
-        }
-        spikes += 1;
-        last = t;
-        for (w, len) in g.out_edges(v) {
-            let nt = t + len;
-            if nt <= horizon && dist[w].is_none_or(|d| nt < d) {
-                dist[w] = Some(nt);
-                heap.push(Reverse((nt, w as u32)));
-            }
-        }
-    }
-    TruncatedRun {
-        distances: dist,
-        steps: last,
-        spikes,
     }
 }
 

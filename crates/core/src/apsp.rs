@@ -7,10 +7,22 @@
 //! different source. This module runs the `n` wavefronts on host threads
 //! (each simulation is independent and deterministic) and aggregates the
 //! per-source costs as `n` parallel chips would.
+//!
+//! [`solve`] builds the network **once** and fans the sources out over
+//! `sgl-snn`'s [`BatchRunner`]: the §3 topology is source-independent
+//! (only input-marking metadata differs per source, and the engines never
+//! read it), so swapping the `t = 0` stimulus is all a new source needs.
+//! Workers claim sources off an atomic index — work stealing, so one slow
+//! wavefront (a high-eccentricity source) never stalls a chunk of idle
+//! ones — and recycle their engine scratch between runs. [`solve_rebuild`]
+//! keeps the one-network-per-source path as the baseline the
+//! `apsp_batch` bench (and CI's `perf_check`) compares against.
 
 use crate::accounting::NeuromorphicCost;
 use crate::sssp_pseudo::SpikingSssp;
 use sgl_graph::{Graph, Len};
+use sgl_snn::engine::{BatchRunner, RunConfig, RunSpec};
+use sgl_snn::NeuronId;
 
 /// Result of an all-pairs run.
 #[derive(Clone, Debug)]
@@ -26,8 +38,9 @@ pub struct ApspRun {
     pub cost: NeuromorphicCost,
 }
 
-/// Runs the §3 spiking SSSP from every source, fanning the independent
-/// simulations across `threads` host threads.
+/// Runs the §3 spiking SSSP from every source over one shared network,
+/// fanning the independent simulations across `threads` host threads with
+/// per-worker recycled engine state.
 ///
 /// # Panics
 /// Panics if `threads == 0` or a simulation fails (cannot happen for
@@ -36,27 +49,77 @@ pub struct ApspRun {
 pub fn solve(g: &Graph, threads: usize) -> ApspRun {
     assert!(threads >= 1);
     let n = g.n();
+    // One network for every source: §3's graph-as-SNN encodes only the
+    // topology, so a source is nothing but a `t = 0` stimulus choice.
+    let net = SpikingSssp::new(g, 0).build_network();
+    // Same per-wavefront budget as `SpikingSssp::solve`: every node fires
+    // at most once, so no finite distance exceeds (n-1)·U.
+    let budget = (n as u64).saturating_mul(g.max_len().max(1)) + 1;
+    let specs: Vec<RunSpec> = (0..n)
+        .map(|s| RunSpec::new(vec![NeuronId(s as u32)], RunConfig::until_quiescent(budget)))
+        .collect();
+    let results = BatchRunner::new(&net)
+        .with_threads(threads)
+        .run(&specs)
+        .expect("simulation");
+
+    let mut distances: Vec<Vec<Option<Len>>> = Vec::with_capacity(n);
+    let mut per_source: Vec<(u64, u64)> = Vec::with_capacity(n);
+    for r in results {
+        let spike_time = r.first_spikes.iter().flatten().copied().max().unwrap_or(0);
+        per_source.push((spike_time, r.stats.spike_events));
+        // First spike times *are* the distances (§3): move the row out.
+        distances.push(r.first_spikes);
+    }
+    aggregate(g, distances, &per_source)
+}
+
+/// The pre-batching baseline: rebuilds the network (and reallocates all
+/// engine state) for every source. Kept for the `apsp_batch` benchmark,
+/// which holds [`solve`] to a ≥ 1× advantage over this path in CI; the
+/// results are bit-identical.
+///
+/// # Panics
+/// Panics if `threads == 0` or a simulation fails (cannot happen for
+/// valid graphs).
+#[must_use]
+pub fn solve_rebuild(g: &Graph, threads: usize) -> ApspRun {
+    assert!(threads >= 1);
+    let n = g.n();
     let mut distances: Vec<Vec<Option<Len>>> = vec![Vec::new(); n];
     let mut per_source: Vec<(u64, u64)> = vec![(0, 0); n]; // (steps, spikes)
 
-    let chunk = n.div_ceil(threads);
+    // Work-stealing over sources (an atomic claim index), mirroring the
+    // batch runner: static chunking let one slow wavefront stall a whole
+    // chunk of finished workers.
+    // A finished source's row: (distances, steps, spikes).
+    type SourceSlot = std::sync::Mutex<(Vec<Option<Len>>, u64, u64)>;
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<SourceSlot> = (0..n)
+        .map(|_| std::sync::Mutex::new((Vec::new(), 0, 0)))
+        .collect();
     std::thread::scope(|scope| {
-        let chunks = distances
-            .chunks_mut(chunk)
-            .zip(per_source.chunks_mut(chunk))
-            .enumerate();
-        for (ci, (dchunk, schunk)) in chunks {
-            scope.spawn(move || {
-                for (i, (dslot, sslot)) in dchunk.iter_mut().zip(schunk.iter_mut()).enumerate() {
-                    let s = ci * chunk + i;
-                    let run = SpikingSssp::new(g, s).solve_all().expect("simulation");
-                    *sslot = (run.spike_time, run.cost.spike_events);
-                    *dslot = run.distances;
+        for _ in 0..threads.min(n.max(1)) {
+            scope.spawn(|| loop {
+                let s = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if s >= n {
+                    break;
                 }
+                let run = SpikingSssp::new(g, s).solve_all().expect("simulation");
+                *slots[s].lock().expect("apsp slot poisoned") =
+                    (run.distances, run.spike_time, run.cost.spike_events);
             });
         }
     });
+    for (s, slot) in slots.into_iter().enumerate() {
+        let (dist, steps, spikes) = slot.into_inner().expect("apsp slot poisoned");
+        distances[s] = dist;
+        per_source[s] = (steps, spikes);
+    }
+    aggregate(g, distances, &per_source)
+}
 
+fn aggregate(g: &Graph, distances: Vec<Vec<Option<Len>>>, per_source: &[(u64, u64)]) -> ApspRun {
     let makespan_steps = per_source.iter().map(|&(t, _)| t).max().unwrap_or(0);
     let total_spikes: u64 = per_source.iter().map(|&(_, s)| s).sum();
     let cost = NeuromorphicCost {
@@ -102,6 +165,17 @@ mod tests {
         assert_eq!(a.distances, b.distances);
         assert_eq!(a.makespan_steps, b.makespan_steps);
         assert_eq!(a.total_spikes, b.total_spikes);
+    }
+
+    #[test]
+    fn batched_and_rebuild_paths_agree_exactly() {
+        let mut rng = StdRng::seed_from_u64(505);
+        let g = generators::gnm_connected(&mut rng, 20, 80, 1..=6);
+        let batched = solve(&g, 4);
+        let rebuilt = solve_rebuild(&g, 4);
+        assert_eq!(batched.distances, rebuilt.distances);
+        assert_eq!(batched.makespan_steps, rebuilt.makespan_steps);
+        assert_eq!(batched.total_spikes, rebuilt.total_spikes);
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Aggregation of many runs into one batch report.
+//!
+//! The paper's headline workloads are *many independent wavefronts over
+//! one network* (APSP runs the §3 circuit from every source; Figure 7
+//! aggregates chips executing the same graph-as-SNN in parallel), so the
+//! natural unit of telemetry is the batch, not the run: per-run makespans
+//! become a distribution, per-run work counters become totals. This
+//! module is the observe-side half of that story — the simulator's batch
+//! runtime records each finished run here and serializes the whole batch
+//! as a single [`RunReport`].
+
+use crate::hist::LogHistogram;
+use crate::json::Json;
+use crate::report::RunReport;
+
+/// Rollup of a batch of runs: distributions of per-run termination time
+/// and spike count (log-bucketed, O(1) per record) plus exact work-counter
+/// totals.
+///
+/// Thread-friendly by composition: each batch worker keeps its own
+/// summary and [`Self::merge`]s into the coordinator's at the end, so
+/// recording never contends.
+#[derive(Clone, Debug, Default)]
+pub struct BatchSummary {
+    /// Number of runs recorded.
+    pub runs: u64,
+    /// Distribution of per-run termination times `T` — the per-source
+    /// makespan spread of an APSP-style batch. `max` is the batch
+    /// makespan (the parallel-chips completion time of §2.3).
+    pub makespan: LogHistogram,
+    /// Distribution of per-run spike counts (the energy-relevant count).
+    pub spikes: LogHistogram,
+    /// Total spike events across the batch.
+    pub total_spikes: u64,
+    /// Total synaptic deliveries across the batch.
+    pub total_deliveries: u64,
+    /// Total neuron updates across the batch.
+    pub total_updates: u64,
+}
+
+impl BatchSummary {
+    /// An empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one finished run: its termination time and work totals.
+    pub fn record_run(&mut self, steps: u64, spikes: u64, deliveries: u64, updates: u64) {
+        self.runs += 1;
+        self.makespan.record(steps);
+        self.spikes.record(spikes);
+        self.total_spikes += spikes;
+        self.total_deliveries += deliveries;
+        self.total_updates += updates;
+    }
+
+    /// Merges another summary into this one (per-worker rollup).
+    pub fn merge(&mut self, other: &Self) {
+        self.runs += other.runs;
+        self.makespan.merge(&other.makespan);
+        self.spikes.merge(&other.spikes);
+        self.total_spikes += other.total_spikes;
+        self.total_deliveries += other.total_deliveries;
+        self.total_updates += other.total_updates;
+    }
+
+    /// The batch makespan: the slowest run's termination time (`None`
+    /// when no run was recorded).
+    #[must_use]
+    pub fn makespan_steps(&self) -> Option<u64> {
+        self.makespan.max()
+    }
+
+    /// Serializes the summary as one JSON value (histograms included).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("runs", Json::UInt(self.runs)),
+            ("makespan", self.makespan.to_json()),
+            ("spikes_per_run", self.spikes.to_json()),
+            ("total_spikes", Json::UInt(self.total_spikes)),
+            ("total_deliveries", Json::UInt(self.total_deliveries)),
+            ("total_updates", Json::UInt(self.total_updates)),
+        ])
+    }
+
+    /// Wraps the summary into a named [`RunReport`] — one report for the
+    /// whole batch, in the same JSON-lines format single runs use.
+    #[must_use]
+    pub fn to_report(&self, name: &str) -> RunReport {
+        let mut report = RunReport::new(name);
+        report.section("batch", self.to_json());
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_totals() {
+        let mut s = BatchSummary::new();
+        s.record_run(10, 5, 20, 50);
+        s.record_run(30, 7, 28, 90);
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.makespan_steps(), Some(30));
+        assert_eq!(s.makespan.min(), Some(10));
+        assert_eq!(s.total_spikes, 12);
+        assert_eq!(s.total_deliveries, 48);
+        assert_eq!(s.total_updates, 140);
+    }
+
+    #[test]
+    fn merge_equals_single_recorder() {
+        let mut a = BatchSummary::new();
+        let mut b = BatchSummary::new();
+        let mut whole = BatchSummary::new();
+        for (t, sp) in [(3u64, 1u64), (9, 2), (40, 3)] {
+            a.record_run(t, sp, sp * 2, sp * 3);
+            whole.record_run(t, sp, sp * 2, sp * 3);
+        }
+        for (t, sp) in [(100u64, 8u64), (2, 1)] {
+            b.record_run(t, sp, sp * 2, sp * 3);
+            whole.record_run(t, sp, sp * 2, sp * 3);
+        }
+        a.merge(&b);
+        assert_eq!(a.runs, whole.runs);
+        assert_eq!(a.makespan_steps(), whole.makespan_steps());
+        assert_eq!(a.total_spikes, whole.total_spikes);
+        assert_eq!(
+            a.makespan.nonzero_buckets(),
+            whole.makespan.nonzero_buckets()
+        );
+    }
+
+    #[test]
+    fn report_shape() {
+        let mut s = BatchSummary::new();
+        s.record_run(4, 2, 2, 2);
+        let r = s.to_report("apsp_batch");
+        assert_eq!(r.name, "apsp_batch");
+        let batch = r.get("batch").unwrap();
+        assert_eq!(batch.get("runs").and_then(Json::as_u64), Some(1));
+        assert!(batch.get("makespan").is_some());
+        // Round-trips through the JSON-lines format.
+        let back = RunReport::from_jsonl(&r.to_jsonl()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn empty_summary_has_no_makespan() {
+        let s = BatchSummary::new();
+        assert_eq!(s.makespan_steps(), None);
+        assert_eq!(s.to_json().get("runs").and_then(Json::as_u64), Some(0));
+    }
+}

@@ -77,6 +77,19 @@ impl LogHistogram {
         self.max = self.max.max(value);
     }
 
+    /// Merges another histogram into this one (bucket-wise addition).
+    /// Per-worker recorders in batch runs merge into one distribution at
+    /// the end, so the hot loop never shares a histogram across threads.
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of recorded values.
     #[must_use]
     pub fn count(&self) -> u64 {
@@ -219,6 +232,30 @@ mod tests {
         assert_eq!(h.max(), None);
         assert_eq!(h.mean(), None);
         assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut both = LogHistogram::new();
+        for v in [1u64, 7, 100, 5_000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [3u64, 9_999, 12] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+        assert_eq!(a.mean(), both.mean());
+        assert_eq!(a.nonzero_buckets(), both.nonzero_buckets());
+        // Merging an empty histogram changes nothing.
+        a.merge(&LogHistogram::new());
+        assert_eq!(a.nonzero_buckets(), both.nonzero_buckets());
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   updates per step, wheel occupancy/overflow, barrier waits, and a
 //!   step-latency histogram. Series sum exactly to the engines' totals
 //!   (enforced by differential tests in `sgl-snn`).
+//! * [`BatchSummary`] — rollup of many runs over one network (per-run
+//!   makespan/spike distributions plus exact work totals), the telemetry
+//!   unit for APSP-style batched workloads.
 //! * [`PhaseProfiler`] — wall-clock build → load → run → readout split.
 //! * [`LogHistogram`] — hand-rolled HDR-style log-bucketed histogram
 //!   (the environment is offline; no external deps anywhere here).
@@ -28,12 +31,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod hist;
 pub mod json;
 pub mod observer;
 pub mod phase;
 pub mod report;
 
+pub use batch::BatchSummary;
 pub use hist::LogHistogram;
 pub use json::{parse as parse_json, Json, JsonError};
 pub use observer::{NullObserver, RunObserver, SchedulerStats, StepRecord, TimeSeriesObserver};

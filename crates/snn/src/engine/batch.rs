@@ -1,0 +1,559 @@
+//! Batched execution: one network, many runs, recycled state.
+//!
+//! The paper's headline workloads are many independent wavefronts over
+//! one network — APSP launches the §3 SSSP circuit from every source, and
+//! §2.3 aggregates chips executing the same graph-as-SNN in parallel. For
+//! those workloads per-run setup (network validation, wheel and buffer
+//! allocation) dominates once the runs themselves are fast, which is the
+//! same observation the SpiNNaker "road to scalability" line makes: graph
+//! search throughput comes from reusing the loaded network across
+//! queries, not from per-query programming.
+//!
+//! This module provides that reuse in three pieces:
+//!
+//! * [`RunScratch`] — every transient buffer a run needs (time wheel,
+//!   voltages, synaptic accumulators, spike lists). [`RunScratch::reset`]
+//!   restores the exact observable state a fresh construction would
+//!   have, *without* releasing capacity, so recycled runs are
+//!   bit-identical to fresh ones (a proptest in `tests/batch_identity.rs`
+//!   holds all three engines to this).
+//! * [`BatchRunner`] — executes a set of [`RunSpec`]s against one shared
+//!   network across a worker pool; each worker owns one scratch and
+//!   claims runs off an atomic work-stealing index, so a slow wavefront
+//!   never stalls the others. The network is validated once per batch,
+//!   not once per run.
+//! * [`run_jobs`] — the same pool for heterogeneous jobs (each with its
+//!   own network), used by the §7 approximate k-hop ensemble where every
+//!   scale rounds edge lengths differently.
+//!
+//! Engine selection is per batch via [`EngineChoice`]: `Auto` picks the
+//! event engine unless the network forces dense stepping (spontaneous
+//! neurons) or is dense enough that per-step sorting of touched neurons
+//! costs more than a linear sweep.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use sgl_observe::{BatchSummary, NullObserver};
+
+use super::wheel::TimeWheel;
+use super::{DenseEngine, EventEngine, ParallelDenseEngine, RunConfig, RunResult};
+use crate::error::SnnError;
+use crate::network::Network;
+use crate::types::{NeuronId, Time};
+
+/// Reusable per-run engine state: everything a run allocates that is not
+/// part of its [`RunResult`].
+///
+/// A scratch starts empty and is sized to the network on first use; the
+/// engines call [`Self::reset`] on entry, so any scratch can be handed to
+/// any run against any network. Reset clears — it never shrinks — so a
+/// worker cycling through same-sized runs reaches a steady state with no
+/// allocation at all.
+#[derive(Debug, Default)]
+pub struct RunScratch {
+    /// Pending synaptic deliveries (calendar queue over delays).
+    pub(super) wheel: TimeWheel,
+    /// Per-step drained delivery batch.
+    pub(super) batch: Vec<(NeuronId, f64)>,
+    /// Neurons that fired in the current step (sorted).
+    pub(super) fired: Vec<NeuronId>,
+    /// Membrane potentials, reset to each neuron's `v_reset`.
+    pub(super) voltages: Vec<f64>,
+    /// Event engine: last step each neuron's lazy decay was applied.
+    pub(super) last_update: Vec<Time>,
+    /// Synaptic input accumulator (all zeros between steps); the event
+    /// engine uses it as its per-step `accum`.
+    pub(super) syn: Vec<f64>,
+    /// Event engine: membership bitmap for `touched_ids`.
+    pub(super) dirty: Vec<bool>,
+    /// Dense engine: indices with nonzero `syn` this step.
+    pub(super) touched_idx: Vec<usize>,
+    /// Event engine: neurons receiving input this step.
+    pub(super) touched_ids: Vec<NeuronId>,
+}
+
+impl RunScratch {
+    /// An empty scratch; the first run sizes it to its network.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restores the state a fresh engine construction would produce for
+    /// `net`: wheel re-sized to the network's delay horizon and emptied
+    /// (including calendar overflow), voltages at `v_reset`, accumulators
+    /// zeroed, spike lists cleared. Capacity is retained, so resetting
+    /// between same-sized runs never allocates.
+    pub fn reset(&mut self, net: &Network) {
+        let n = net.neuron_count();
+        self.wheel.reset(net.max_delay());
+        self.batch.clear();
+        self.fired.clear();
+        self.voltages.clear();
+        self.voltages
+            .extend(net.params_slice().iter().map(|p| p.v_reset));
+        self.last_update.clear();
+        self.last_update.resize(n, 0);
+        self.syn.clear();
+        self.syn.resize(n, 0.0);
+        self.dirty.clear();
+        self.dirty.resize(n, false);
+        self.touched_idx.clear();
+        self.touched_ids.clear();
+    }
+}
+
+/// Which engine a batch (or job) runs on.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum EngineChoice {
+    /// Pick per network: [`DenseEngine`] when the network has spontaneous
+    /// neurons (the event engine rejects them) or when its topology is
+    /// dense enough that a per-step linear sweep beats sorting the
+    /// touched set (≥ `n²/2` synapses); [`EventEngine`] otherwise — the
+    /// right default for the sparse, delay-encoded graph circuits the
+    /// paper builds.
+    #[default]
+    Auto,
+    /// Always the reference dense engine.
+    Dense,
+    /// Always the event-driven engine (fails on spontaneous neurons).
+    Event,
+    /// Always the given thread-parallel dense engine. Note the batch
+    /// runner already parallelizes *across* runs; nesting a parallel
+    /// engine inside it oversubscribes unless the batch pool is small.
+    Parallel(ParallelDenseEngine),
+}
+
+impl EngineChoice {
+    /// Resolves `Auto` against a concrete network (identity for explicit
+    /// choices). Exposed so callers can log or override what a batch
+    /// would pick.
+    #[must_use]
+    pub fn resolve(self, net: &Network) -> Self {
+        match self {
+            Self::Auto => {
+                let n = net.neuron_count();
+                let spontaneous = net.params_slice().iter().any(|p| !p.is_input_driven());
+                let near_complete = n > 0 && net.synapse_count() >= n.saturating_mul(n) / 2;
+                if spontaneous || near_complete {
+                    Self::Dense
+                } else {
+                    Self::Event
+                }
+            }
+            explicit => explicit,
+        }
+    }
+
+    /// Whether the resolved engine needs event-mode network validation.
+    fn event_mode(self) -> bool {
+        matches!(self, Self::Event)
+    }
+}
+
+/// One run of a batch: which neurons spike at `t = 0` and how the run is
+/// configured/stopped. The network is shared batch-wide, so swapping the
+/// stimulus is how APSP swaps sources without rebuilding anything.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    /// Neurons with induced spikes at `t = 0`.
+    pub initial_spikes: Vec<NeuronId>,
+    /// Run configuration (budget, stop condition, raster).
+    pub config: RunConfig,
+}
+
+impl RunSpec {
+    /// A spec inducing `initial_spikes` at `t = 0` under `config`.
+    #[must_use]
+    pub fn new(initial_spikes: Vec<NeuronId>, config: RunConfig) -> Self {
+        Self {
+            initial_spikes,
+            config,
+        }
+    }
+}
+
+/// Executes many runs against one shared [`Network`] with per-worker
+/// recycled [`RunScratch`]es.
+///
+/// ```
+/// use sgl_snn::{Network, LifParams, NeuronId};
+/// use sgl_snn::engine::{BatchRunner, RunConfig, RunSpec};
+///
+/// let mut net = Network::new();
+/// let ids = net.add_neurons(LifParams::gate_at_least(1), 3);
+/// net.connect(ids[0], ids[1], 1.0, 2).unwrap();
+/// net.connect(ids[1], ids[2], 1.0, 3).unwrap();
+///
+/// // One spec per source: the network is built (and validated) once.
+/// let specs: Vec<RunSpec> = ids
+///     .iter()
+///     .map(|&s| RunSpec::new(vec![s], RunConfig::until_quiescent(100)))
+///     .collect();
+/// let results = BatchRunner::new(&net).run(&specs).unwrap();
+/// assert_eq!(results[0].first_spike(ids[2]), Some(5));
+/// assert_eq!(results[2].first_spike(ids[2]), Some(0));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct BatchRunner<'a> {
+    net: &'a Network,
+    threads: usize,
+    choice: EngineChoice,
+}
+
+impl<'a> BatchRunner<'a> {
+    /// A runner over `net` with [`EngineChoice::Auto`] and one worker per
+    /// available core (capped at 8, like [`ParallelDenseEngine`]).
+    #[must_use]
+    pub fn new(net: &'a Network) -> Self {
+        Self {
+            net,
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(8),
+            choice: EngineChoice::Auto,
+        }
+    }
+
+    /// Sets the worker-pool size (clamped to at least 1; a single worker
+    /// runs the batch inline on the calling thread).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the engine-selection heuristic.
+    #[must_use]
+    pub fn with_engine(mut self, choice: EngineChoice) -> Self {
+        self.choice = choice;
+        self
+    }
+
+    /// Runs every spec, returning results in spec order. The network is
+    /// validated once; each worker recycles one scratch across the runs
+    /// it claims.
+    ///
+    /// # Errors
+    /// Same failure modes as [`super::Engine::run`] (the first failing
+    /// run's error is returned; specs are independent, so which one
+    /// surfaces is unspecified when several fail).
+    pub fn run(&self, specs: &[RunSpec]) -> Result<Vec<RunResult>, SnnError> {
+        let choice = self.choice.resolve(self.net);
+        self.net.validate(choice.event_mode())?;
+        let net = self.net;
+        drive(specs.len(), self.threads, |i, scratch| {
+            run_resolved(choice, net, &specs[i], scratch)
+        })
+    }
+
+    /// [`Self::run`] plus a [`BatchSummary`] of the per-run makespan and
+    /// spike distributions.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Self::run`].
+    pub fn run_summarized(
+        &self,
+        specs: &[RunSpec],
+    ) -> Result<(Vec<RunResult>, BatchSummary), SnnError> {
+        let results = self.run(specs)?;
+        let summary = summarize(&results);
+        Ok((results, summary))
+    }
+}
+
+/// Executes heterogeneous `(network, spec)` jobs over the same
+/// work-stealing pool and scratch recycling as [`BatchRunner`]. Engine
+/// choice resolves (and the network validates) per job, since every job
+/// may carry a different network — the approximate k-hop ensemble runs
+/// one differently-rounded network per scale.
+///
+/// # Errors
+/// Same failure modes as [`BatchRunner::run`].
+pub fn run_jobs(
+    jobs: &[(Network, RunSpec)],
+    threads: usize,
+    choice: EngineChoice,
+) -> Result<Vec<RunResult>, SnnError> {
+    drive(jobs.len(), threads, |i, scratch| {
+        let (net, spec) = &jobs[i];
+        let resolved = choice.resolve(net);
+        net.validate(resolved.event_mode())?;
+        run_resolved(resolved, net, spec, scratch)
+    })
+}
+
+/// Rolls a slice of results into a [`BatchSummary`] (makespan and spike
+/// distributions plus exact work totals).
+#[must_use]
+pub fn summarize(results: &[RunResult]) -> BatchSummary {
+    let mut summary = BatchSummary::new();
+    for r in results {
+        summary.record_run(
+            r.steps,
+            r.stats.spike_events,
+            r.stats.synaptic_deliveries,
+            r.stats.neuron_updates,
+        );
+    }
+    summary
+}
+
+/// Dispatches one pre-validated run to the resolved engine's hot path.
+fn run_resolved(
+    choice: EngineChoice,
+    net: &Network,
+    spec: &RunSpec,
+    scratch: &mut RunScratch,
+) -> Result<RunResult, SnnError> {
+    let obs = &mut NullObserver;
+    match choice {
+        // `Auto` cannot survive `resolve`; dense is the safe fallback.
+        EngineChoice::Dense | EngineChoice::Auto => {
+            DenseEngine.run_core(net, &spec.initial_spikes, &spec.config, scratch, obs)
+        }
+        EngineChoice::Event => {
+            EventEngine.run_core(net, &spec.initial_spikes, &spec.config, scratch, obs)
+        }
+        EngineChoice::Parallel(engine) => {
+            engine.run_core(net, &spec.initial_spikes, &spec.config, scratch, obs)
+        }
+    }
+}
+
+/// The worker pool: `workers` threads claim indices `0..count` off an
+/// atomic counter (work stealing — a slow run never stalls the others,
+/// unlike static chunking), each with one recycled scratch. Results land
+/// in per-index slots; the pool is scoped, so one batch costs `workers`
+/// thread spawns total, not one per run.
+fn drive<F>(count: usize, threads: usize, job: F) -> Result<Vec<RunResult>, SnnError>
+where
+    F: Fn(usize, &mut RunScratch) -> Result<RunResult, SnnError> + Sync,
+{
+    let workers = threads.max(1).min(count.max(1));
+    if workers == 1 {
+        let mut scratch = RunScratch::new();
+        return (0..count).map(|i| job(i, &mut scratch)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<RunResult, SnnError>>>> =
+        (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut scratch = RunScratch::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    // Each slot is written exactly once, by the worker
+                    // that claimed its index; the mutex exists for `Sync`.
+                    *slots[i].lock().expect("batch slot poisoned") = Some(job(i, &mut scratch));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("batch slot poisoned")
+                .expect("every index below `count` was claimed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, StopReason};
+    use crate::params::LifParams;
+
+    fn chain(n: usize, delay: u32) -> (Network, Vec<NeuronId>) {
+        let mut net = Network::new();
+        let ids = net.add_neurons(LifParams::gate_at_least(1), n);
+        for w in ids.windows(2) {
+            net.connect(w[0], w[1], 1.0, delay).unwrap();
+        }
+        (net, ids)
+    }
+
+    #[test]
+    fn reset_clears_wheel_overflow_state() {
+        // A delay beyond the wheel's horizon cap parks deliveries in the
+        // calendar overflow; a recycled scratch must not leak them (or the
+        // overflow-hit counter) into the next run.
+        let mut net = Network::new();
+        let a = net.add_neuron(LifParams::gate_at_least(1));
+        let b = net.add_neuron(LifParams::gate_at_least(1));
+        net.connect(a, b, 1.0, 5000).unwrap();
+
+        let mut scratch = RunScratch::new();
+        let r = DenseEngine
+            .run_with_scratch(&net, &[a], &RunConfig::fixed(3), &mut scratch)
+            .unwrap();
+        assert_eq!(r.reason, StopReason::MaxStepsReached);
+        // The t=0 spike scheduled a delivery at t=5000: still parked.
+        let stats = scratch.wheel.observe();
+        assert_eq!(stats.overflow_entries, 1);
+        assert_eq!(stats.in_flight, 1);
+        assert!(stats.overflow_hits >= 1);
+
+        scratch.reset(&net);
+        let stats = scratch.wheel.observe();
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.occupied_slots, 0);
+        assert_eq!(stats.overflow_entries, 0);
+        assert_eq!(stats.overflow_hits, 0);
+
+        // And the recycled scratch behaves exactly like a fresh one.
+        let recycled = DenseEngine
+            .run_with_scratch(&net, &[a], &RunConfig::until_quiescent(6000), &mut scratch)
+            .unwrap();
+        let fresh = DenseEngine
+            .run(&net, &[a], &RunConfig::until_quiescent(6000))
+            .unwrap();
+        assert_eq!(recycled, fresh);
+    }
+
+    #[test]
+    fn batch_matches_sequential_per_source() {
+        let (net, ids) = chain(6, 3);
+        let specs: Vec<RunSpec> = ids
+            .iter()
+            .map(|&s| RunSpec::new(vec![s], RunConfig::until_quiescent(100).with_raster()))
+            .collect();
+        let batch = BatchRunner::new(&net).with_threads(3).run(&specs).unwrap();
+        for (spec, got) in specs.iter().zip(&batch) {
+            let want = EventEngine
+                .run(&net, &spec.initial_spikes, &spec.config)
+                .unwrap();
+            assert_eq!(*got, want);
+        }
+    }
+
+    #[test]
+    fn auto_picks_event_for_sparse_input_driven_nets() {
+        let (net, _) = chain(4, 1);
+        assert!(matches!(
+            EngineChoice::Auto.resolve(&net),
+            EngineChoice::Event
+        ));
+    }
+
+    #[test]
+    fn auto_picks_dense_for_spontaneous_neurons() {
+        let mut net = Network::new();
+        net.add_neuron(LifParams {
+            v_reset: 2.0,
+            v_threshold: 1.0,
+            decay: 0.0,
+        });
+        assert!(matches!(
+            EngineChoice::Auto.resolve(&net),
+            EngineChoice::Dense
+        ));
+        // And a batch over it still runs (the event engine would reject).
+        let specs = [RunSpec::new(vec![], RunConfig::fixed(3))];
+        let results = BatchRunner::new(&net).run(&specs).unwrap();
+        assert_eq!(results[0].spike_counts[0], 3);
+    }
+
+    #[test]
+    fn auto_picks_dense_for_near_complete_topologies() {
+        // Complete digraph on 4 nodes: 12 synapses >= 16 / 2.
+        let mut net = Network::new();
+        let ids = net.add_neurons(LifParams::gate_at_least(1), 4);
+        for &u in &ids {
+            for &v in &ids {
+                if u != v {
+                    net.connect(u, v, 0.1, 1).unwrap();
+                }
+            }
+        }
+        assert!(matches!(
+            EngineChoice::Auto.resolve(&net),
+            EngineChoice::Dense
+        ));
+    }
+
+    #[test]
+    fn explicit_choice_survives_resolve() {
+        let (net, _) = chain(3, 1);
+        assert!(matches!(
+            EngineChoice::Dense.resolve(&net),
+            EngineChoice::Dense
+        ));
+        assert!(matches!(
+            EngineChoice::Parallel(ParallelDenseEngine::new(2)).resolve(&net),
+            EngineChoice::Parallel(_)
+        ));
+    }
+
+    #[test]
+    fn run_jobs_handles_heterogeneous_networks() {
+        // Different sizes and delay horizons per job, single pool.
+        let jobs: Vec<(Network, RunSpec)> = [(3usize, 2u32), (5, 7), (2, 5000)]
+            .iter()
+            .map(|&(n, d)| {
+                let (net, ids) = chain(n, d);
+                let spec = RunSpec::new(vec![ids[0]], RunConfig::until_quiescent(20_000));
+                (net, spec)
+            })
+            .collect();
+        let results = run_jobs(&jobs, 2, EngineChoice::Auto).unwrap();
+        assert_eq!(results.len(), 3);
+        for ((net, spec), got) in jobs.iter().zip(&results) {
+            let want = EventEngine
+                .run(net, &spec.initial_spikes, &spec.config)
+                .unwrap();
+            assert_eq!(got, &want);
+        }
+        // Sanity: the long-delay job really exercised the overflow path.
+        assert_eq!(results[2].first_spikes[1], Some(5000));
+    }
+
+    #[test]
+    fn invalid_spec_surfaces_error() {
+        let (net, _) = chain(2, 1);
+        let specs = [RunSpec::new(
+            vec![NeuronId(99)],
+            RunConfig::until_quiescent(10),
+        )];
+        assert!(matches!(
+            BatchRunner::new(&net).run(&specs),
+            Err(SnnError::UnknownNeuron(_))
+        ));
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let (net, _) = chain(2, 1);
+        let results = BatchRunner::new(&net).run(&[]).unwrap();
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn summary_reconciles_with_results() {
+        let (net, ids) = chain(5, 2);
+        let specs: Vec<RunSpec> = ids
+            .iter()
+            .map(|&s| RunSpec::new(vec![s], RunConfig::until_quiescent(100)))
+            .collect();
+        let (results, summary) = BatchRunner::new(&net)
+            .with_threads(2)
+            .run_summarized(&specs)
+            .unwrap();
+        assert_eq!(summary.runs, results.len() as u64);
+        assert_eq!(
+            summary.total_spikes,
+            results.iter().map(|r| r.stats.spike_events).sum::<u64>()
+        );
+        // Worst per-source makespan: the full-chain wavefront, 4 hops × 2.
+        assert_eq!(summary.makespan_steps(), Some(8));
+    }
+}

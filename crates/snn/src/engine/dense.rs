@@ -2,6 +2,7 @@
 
 use sgl_observe::{NullObserver, RunObserver, StepRecord};
 
+use super::batch::RunScratch;
 use super::wheel::TimeWheel;
 use super::{check_initial, Engine, Recorder, RunConfig, RunResult, StopCondition, StopReason};
 use crate::error::SnnError;
@@ -45,7 +46,42 @@ impl DenseEngine {
         config: &RunConfig,
         obs: &mut O,
     ) -> Result<RunResult, SnnError> {
-        let result = self.run_inner(net, initial_spikes, config, obs)?;
+        let mut scratch = RunScratch::new();
+        self.run_with_scratch_observed(net, initial_spikes, config, &mut scratch, obs)
+    }
+
+    /// [`Engine::run`] over recycled buffers: all transient run state
+    /// (time wheel, voltages, synaptic accumulators, spike lists) comes
+    /// from `scratch`, which is reset — not reallocated — on entry.
+    /// Results are bit-identical to a fresh [`Engine::run`]; the batch
+    /// bit-identity proptests enforce this.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Engine::run`].
+    pub fn run_with_scratch(
+        &self,
+        net: &Network,
+        initial_spikes: &[NeuronId],
+        config: &RunConfig,
+        scratch: &mut RunScratch,
+    ) -> Result<RunResult, SnnError> {
+        self.run_with_scratch_observed(net, initial_spikes, config, scratch, &mut NullObserver)
+    }
+
+    /// [`Self::run_with_scratch`] with telemetry hooks.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Engine::run`].
+    pub fn run_with_scratch_observed<O: RunObserver>(
+        &self,
+        net: &Network,
+        initial_spikes: &[NeuronId],
+        config: &RunConfig,
+        scratch: &mut RunScratch,
+        obs: &mut O,
+    ) -> Result<RunResult, SnnError> {
+        net.validate(false)?;
+        let result = self.run_core(net, initial_spikes, config, scratch, obs)?;
         obs.on_finish(
             result.steps,
             result.stats.spike_events,
@@ -55,14 +91,16 @@ impl DenseEngine {
         Ok(result)
     }
 
-    fn run_inner<O: RunObserver>(
+    /// The hot path, minus network validation (the batch runner validates
+    /// the shared network once per batch rather than once per run).
+    pub(super) fn run_core<O: RunObserver>(
         &self,
         net: &Network,
         initial_spikes: &[NeuronId],
         config: &RunConfig,
+        scratch: &mut RunScratch,
         obs: &mut O,
     ) -> Result<RunResult, SnnError> {
-        net.validate(false)?;
         check_initial(net, initial_spikes)?;
         let mut rec = Recorder::new(net, config)?;
         let n = net.neuron_count();
@@ -72,17 +110,27 @@ impl DenseEngine {
         // Pending synaptic deliveries live in a time wheel sized to the
         // largest delay: O(1) scheduling/draining with slot capacity
         // recycled across wraps, so the steady state never allocates.
-        let mut wheel = TimeWheel::new(net.max_delay());
-        let mut batch: Vec<(NeuronId, f64)> = Vec::new();
-        let mut voltages: Vec<f64> = params.iter().map(|p| p.v_reset).collect();
+        // All of this state comes from the scratch: reset restores the
+        // exact observable state a fresh construction would have, so
+        // recycled runs stay bit-identical.
+        scratch.reset(net);
+        let RunScratch {
+            wheel,
+            batch,
+            fired,
+            voltages,
+            syn,
+            touched_idx: touched,
+            ..
+        } = scratch;
 
-        let mut fired: Vec<NeuronId> = initial_spikes.to_vec();
+        fired.extend_from_slice(initial_spikes);
         fired.sort_unstable();
         fired.dedup();
 
         // t = 0: induced input spikes.
-        let mut stop_hit = rec.record_step(0, &fired, &config.stop);
-        let deliveries = route_spikes(csr, &fired, 0, &mut wheel, &mut rec);
+        let mut stop_hit = rec.record_step(0, fired, &config.stop);
+        let deliveries = route_spikes(csr, fired, 0, wheel, &mut rec);
         obs.on_step(
             0,
             StepRecord {
@@ -111,13 +159,11 @@ impl DenseEngine {
             return rec.finish(0, StopReason::Quiescent, config);
         }
 
-        let mut syn = vec![0.0f64; n];
-        let mut touched: Vec<usize> = Vec::new();
         for t in 1..=config.max_steps {
             batch.clear();
-            wheel.drain_at(t, &mut batch);
+            wheel.drain_at(t, batch);
             obs.on_spike_batch(t, batch.len() as u64);
-            for &(id, w) in &batch {
+            for &(id, w) in batch.iter() {
                 let i = id.index();
                 if syn[i] == 0.0 {
                     touched.push(i);
@@ -144,13 +190,13 @@ impl DenseEngine {
                 armed |= v_next > p.v_threshold;
             }
             rec.add_updates(n as u64);
-            for &i in &touched {
+            for &i in touched.iter() {
                 syn[i] = 0.0;
             }
             touched.clear();
 
-            stop_hit = rec.record_step(t, &fired, &config.stop);
-            let deliveries = route_spikes(csr, &fired, t, &mut wheel, &mut rec);
+            stop_hit = rec.record_step(t, fired, &config.stop);
+            let deliveries = route_spikes(csr, fired, t, wheel, &mut rec);
             obs.on_step(
                 t,
                 StepRecord {

@@ -2,8 +2,8 @@
 
 use sgl_observe::{NullObserver, RunObserver, StepRecord};
 
+use super::batch::RunScratch;
 use super::dense::route_spikes;
-use super::wheel::TimeWheel;
 use super::{check_initial, Engine, Recorder, RunConfig, RunResult, StopCondition, StopReason};
 use crate::error::SnnError;
 use crate::network::Network;
@@ -56,7 +56,39 @@ impl EventEngine {
         config: &RunConfig,
         obs: &mut O,
     ) -> Result<RunResult, SnnError> {
-        let result = self.run_inner(net, initial_spikes, config, obs)?;
+        let mut scratch = RunScratch::new();
+        self.run_with_scratch_observed(net, initial_spikes, config, &mut scratch, obs)
+    }
+
+    /// [`Engine::run`] over recycled buffers; see
+    /// [`DenseEngine::run_with_scratch`](super::DenseEngine::run_with_scratch).
+    ///
+    /// # Errors
+    /// Same failure modes as [`Engine::run`].
+    pub fn run_with_scratch(
+        &self,
+        net: &Network,
+        initial_spikes: &[NeuronId],
+        config: &RunConfig,
+        scratch: &mut RunScratch,
+    ) -> Result<RunResult, SnnError> {
+        self.run_with_scratch_observed(net, initial_spikes, config, scratch, &mut NullObserver)
+    }
+
+    /// [`Self::run_with_scratch`] with telemetry hooks.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Engine::run`].
+    pub fn run_with_scratch_observed<O: RunObserver>(
+        &self,
+        net: &Network,
+        initial_spikes: &[NeuronId],
+        config: &RunConfig,
+        scratch: &mut RunScratch,
+        obs: &mut O,
+    ) -> Result<RunResult, SnnError> {
+        net.validate(true)?;
+        let result = self.run_core(net, initial_spikes, config, scratch, obs)?;
         obs.on_finish(
             result.steps,
             result.stats.spike_events,
@@ -66,31 +98,42 @@ impl EventEngine {
         Ok(result)
     }
 
-    fn run_inner<O: RunObserver>(
+    /// The hot path, minus network validation (the batch runner validates
+    /// the shared network once per batch rather than once per run).
+    pub(super) fn run_core<O: RunObserver>(
         &self,
         net: &Network,
         initial_spikes: &[NeuronId],
         config: &RunConfig,
+        scratch: &mut RunScratch,
         obs: &mut O,
     ) -> Result<RunResult, SnnError> {
-        net.validate(true)?;
         check_initial(net, initial_spikes)?;
         let mut rec = Recorder::new(net, config)?;
-        let n = net.neuron_count();
         let csr = net.csr();
         let params = net.params_slice();
 
-        let mut wheel = TimeWheel::new(net.max_delay());
-        let mut batch = Vec::new();
-        let mut voltages: Vec<f64> = params.iter().map(|p| p.v_reset).collect();
-        let mut last_update: Vec<Time> = vec![0; n];
+        scratch.reset(net);
+        let RunScratch {
+            wheel,
+            batch,
+            fired,
+            voltages,
+            last_update,
+            // The dense engines' synaptic accumulator doubles as the event
+            // engine's per-step `accum`; both are all-zeros between steps.
+            syn: accum,
+            dirty,
+            touched_ids: touched,
+            ..
+        } = scratch;
 
-        let mut fired: Vec<NeuronId> = initial_spikes.to_vec();
+        fired.extend_from_slice(initial_spikes);
         fired.sort_unstable();
         fired.dedup();
 
-        let mut stop_hit = rec.record_step(0, &fired, &config.stop);
-        let deliveries = route_spikes(csr, &fired, 0, &mut wheel, &mut rec);
+        let mut stop_hit = rec.record_step(0, fired, &config.stop);
+        let deliveries = route_spikes(csr, fired, 0, wheel, &mut rec);
         obs.on_step(
             0,
             StepRecord {
@@ -112,13 +155,6 @@ impl EventEngine {
         }
 
         let mut last_active: Time = 0;
-        let mut accum: Vec<f64> = vec![0.0; n];
-        // Membership bitmap for `touched`: O(1) dedup per delivery instead
-        // of a linear `contains` scan (which made dense delivery batches
-        // quadratic in the batch size).
-        let mut dirty: Vec<bool> = vec![false; n];
-        let mut touched: Vec<NeuronId> = Vec::new();
-
         while let Some(t) = wheel.next_time() {
             if t > config.max_steps {
                 break;
@@ -129,9 +165,9 @@ impl EventEngine {
             // the dense engines accumulate in — so per-target sums are
             // bit-identical across engines.
             batch.clear();
-            wheel.drain_at(t, &mut batch);
+            wheel.drain_at(t, batch);
             obs.on_spike_batch(t, batch.len() as u64);
-            for &(id, w) in &batch {
+            for &(id, w) in batch.iter() {
                 let i = id.index();
                 if !dirty[i] {
                     dirty[i] = true;
@@ -145,7 +181,7 @@ impl EventEngine {
 
             // Update each touched neuron: lazy decay, add input, threshold.
             fired.clear();
-            for &id in &touched {
+            for &id in touched.iter() {
                 let i = id.index();
                 let p = &params[i];
                 let dt = t - last_update[i];
@@ -173,8 +209,8 @@ impl EventEngine {
             touched.clear();
             last_active = t;
 
-            stop_hit = rec.record_step(t, &fired, &config.stop);
-            let deliveries = route_spikes(csr, &fired, t, &mut wheel, &mut rec);
+            stop_hit = rec.record_step(t, fired, &config.stop);
+            let deliveries = route_spikes(csr, fired, t, wheel, &mut rec);
             obs.on_step(
                 t,
                 StepRecord {

@@ -6,16 +6,21 @@
 //! terminal neuron fires at time `T`, at which point the output neurons'
 //! firing state *at time `T`* may be read out).
 
+mod batch;
 mod dense;
 mod event;
 mod parallel;
 mod stepper;
 pub(crate) mod wheel;
 
+pub use batch::{run_jobs, summarize, BatchRunner, EngineChoice, RunScratch, RunSpec};
 pub use dense::DenseEngine;
 pub use event::EventEngine;
-pub use parallel::ParallelDenseEngine;
+pub use parallel::{ParallelDenseEngine, DEFAULT_MIN_CHUNK};
 pub use stepper::Stepper;
+
+// Batch aggregation, re-exported alongside the runner that produces it.
+pub use sgl_observe::BatchSummary;
 
 // Observer protocol, re-exported so engine users don't need a separate
 // `sgl_observe` import for the common case.

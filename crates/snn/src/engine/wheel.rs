@@ -54,6 +54,14 @@ pub(crate) struct TimeWheel {
     overflow_hits: u64,
 }
 
+impl Default for TimeWheel {
+    /// A minimal one-slot wheel; [`Self::reset`] re-sizes it on first use
+    /// (this is what an empty `RunScratch` starts from).
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
 impl TimeWheel {
     /// A wheel able to hold delays up to `max_delay` without overflow.
     pub(crate) fn new(max_delay: u32) -> Self {
@@ -67,6 +75,31 @@ impl TimeWheel {
             scan_from: 1,
             overflow_hits: 0,
         }
+    }
+
+    /// Returns the wheel to its freshly-constructed state for a network
+    /// whose maximum delay is `max_delay`, keeping slot capacity.
+    ///
+    /// This is the batch-runtime recycling path: slots are cleared (not
+    /// reallocated), the overflow map and its cumulative hit counter are
+    /// emptied, and the clock/scan cursors rewind, so a recycled wheel is
+    /// observationally identical to `TimeWheel::new(max_delay)` — which is
+    /// what keeps re-runs over recycled scratch bit-identical to fresh
+    /// runs. Resizing only trims or appends empty slots; retained slots
+    /// keep their capacity, so steady-state batches stop allocating.
+    pub(crate) fn reset(&mut self, max_delay: u32) {
+        let len = (max_delay as usize).clamp(1, HORIZON_CAP);
+        self.slots.truncate(len);
+        for slot in &mut self.slots {
+            slot.clear();
+        }
+        self.slots.resize(len, Vec::new());
+        self.overflow.clear();
+        self.now = 0;
+        self.in_flight = 0;
+        self.occupied = 0;
+        self.scan_from = 1;
+        self.overflow_hits = 0;
     }
 
     /// True when nothing is scheduled — the "no spikes in flight" half of
@@ -260,6 +293,28 @@ mod tests {
         assert_eq!(s.overflow_entries, 0);
         // Hits are cumulative: the slow path was taken once this run.
         assert_eq!(s.overflow_hits, 1);
+    }
+
+    #[test]
+    fn reset_restores_pristine_state_and_resizes() {
+        let mut w = TimeWheel::new(4);
+        w.schedule(2, NeuronId(0), 1.0);
+        w.schedule(10_000, NeuronId(1), 2.0); // overflow path
+        drain(&mut w, 1); // advance the clock without clearing everything
+        assert!(!w.is_empty());
+        w.reset(7);
+        assert!(w.is_empty());
+        assert_eq!(w.next_time(), None);
+        let s = w.observe();
+        assert_eq!(s.in_flight, 0);
+        assert_eq!(s.occupied_slots, 0);
+        assert_eq!(s.overflow_entries, 0);
+        assert_eq!(s.overflow_hits, 0);
+        assert_eq!(w.slots.len(), 7);
+        // A recycled wheel behaves exactly like a fresh one.
+        w.schedule(3, NeuronId(2), 4.0);
+        assert_eq!(w.next_time(), Some(3));
+        assert_eq!(drain(&mut w, 3), vec![(NeuronId(2), 4.0)]);
     }
 
     #[test]

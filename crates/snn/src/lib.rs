@@ -69,8 +69,9 @@ pub mod types;
 
 pub use encoding::{read_value, value_to_bits};
 pub use engine::{
-    DenseEngine, Engine, EventEngine, NullObserver, ParallelDenseEngine, RunConfig, RunObserver,
-    RunResult, SimStats, StopCondition, StopReason, TimeSeriesObserver,
+    run_jobs, BatchRunner, DenseEngine, Engine, EngineChoice, EventEngine, NullObserver,
+    ParallelDenseEngine, RunConfig, RunObserver, RunResult, RunScratch, RunSpec, SimStats,
+    StopCondition, StopReason, TimeSeriesObserver,
 };
 pub use error::SnnError;
 pub use network::{Network, Synapse};

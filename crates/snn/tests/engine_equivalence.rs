@@ -96,7 +96,7 @@ proptest! {
         ] {
             let dense = DenseEngine.run(&net, &initial, &cfg).unwrap();
             let event = EventEngine.run(&net, &initial, &cfg).unwrap();
-            let par = ParallelDenseEngine { threads: 4 }.run(&net, &initial, &cfg).unwrap();
+            let par = ParallelDenseEngine { threads: 4, min_chunk: 1 }.run(&net, &initial, &cfg).unwrap();
             // Parallel dense shares the dense engine's update semantics, so
             // its whole result (work counters included) must match exactly.
             prop_assert_eq!(&dense, &par);
@@ -114,7 +114,7 @@ proptest! {
         let cfg = RunConfig::until_terminal(60).with_raster();
         let dense = DenseEngine.run(&net, &initial, &cfg).unwrap();
         let event = EventEngine.run(&net, &initial, &cfg).unwrap();
-        let par = ParallelDenseEngine { threads: 3 }.run(&net, &initial, &cfg).unwrap();
+        let par = ParallelDenseEngine { threads: 3, min_chunk: 1 }.run(&net, &initial, &cfg).unwrap();
         prop_assert_eq!(&dense, &par);
         assert_identical_modulo_updates(&dense, &event)?;
     }
@@ -129,7 +129,7 @@ proptest! {
             RunConfig::fixed(60).with_raster(),
             RunConfig::until_quiescent(300).with_raster(),
         ] {
-            let par_engine = ParallelDenseEngine { threads: 4 };
+            let par_engine = ParallelDenseEngine { threads: 4, min_chunk: 1 };
             let plain: [RunResult; 3] = [
                 DenseEngine.run(&net, &initial, &cfg).unwrap(),
                 EventEngine.run(&net, &initial, &cfg).unwrap(),

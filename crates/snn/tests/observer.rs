@@ -44,9 +44,12 @@ fn series_reconcile_with_sim_stats_on_all_engines() {
         }),
         ("parallel", {
             let mut obs = TimeSeriesObserver::new();
-            let r = ParallelDenseEngine { threads: 2 }
-                .run_observed(&net, &initial, &cfg, &mut obs)
-                .unwrap();
+            let r = ParallelDenseEngine {
+                threads: 2,
+                min_chunk: 1,
+            }
+            .run_observed(&net, &initial, &cfg, &mut obs)
+            .unwrap();
             (r, obs)
         }),
     ];
@@ -138,9 +141,12 @@ fn barrier_waits_only_from_the_parallel_coordinator() {
     let cfg = RunConfig::until_quiescent(64);
 
     let mut par = TimeSeriesObserver::new();
-    ParallelDenseEngine { threads: 3 }
-        .run_observed(&net, &[ids[0]], &cfg, &mut par)
-        .unwrap();
+    ParallelDenseEngine {
+        threads: 3,
+        min_chunk: 1,
+    }
+    .run_observed(&net, &[ids[0]], &cfg, &mut par)
+    .unwrap();
     assert!(
         par.barrier_wait.count() > 0,
         "coordinator never timed a barrier"
@@ -149,9 +155,12 @@ fn barrier_waits_only_from_the_parallel_coordinator() {
 
     // threads == 1 delegates to the dense engine: no barriers exist.
     let mut single = TimeSeriesObserver::new();
-    let one = ParallelDenseEngine { threads: 1 }
-        .run_observed(&net, &[ids[0]], &cfg, &mut single)
-        .unwrap();
+    let one = ParallelDenseEngine {
+        threads: 1,
+        min_chunk: 1,
+    }
+    .run_observed(&net, &[ids[0]], &cfg, &mut single)
+    .unwrap();
     assert_eq!(single.barrier_wait.count(), 0);
     assert!(
         single.finished.is_some(),

@@ -32,7 +32,13 @@ fn engines() -> Vec<(&'static str, Box<dyn Engine>)> {
     vec![
         ("dense", Box::new(DenseEngine)),
         ("event", Box::new(EventEngine)),
-        ("parallel", Box::new(ParallelDenseEngine { threads: 3 })),
+        (
+            "parallel",
+            Box::new(ParallelDenseEngine {
+                threads: 3,
+                min_chunk: 1,
+            }),
+        ),
     ]
 }
 

@@ -1,7 +1,9 @@
 //! Run telemetry end to end: builds a spiking SSSP network, runs it under
 //! a [`TimeSeriesObserver`] with wall-clock phases, prints a terminal
 //! summary (sparkline wavefront, latency quantiles, scheduler pressure,
-//! audit findings), and writes the whole thing as a JSON-lines
+//! audit findings), then re-runs the *same network* from every source as
+//! one batch (the APSP workload) and renders the per-source makespan and
+//! spike distributions. Everything is also written as a JSON-lines
 //! [`RunReport`] — the same format the `sgl-bench` bins commit under
 //! `artifacts/`.
 //!
@@ -10,10 +12,29 @@
 use rand::SeedableRng;
 use spiking_graphs::algorithms::sssp_pseudo::SpikingSssp;
 use spiking_graphs::graph::generators;
-use spiking_graphs::observe::{sparkline, Json, PhaseProfiler, RunReport};
+use spiking_graphs::observe::{sparkline, Json, LogHistogram, PhaseProfiler, RunReport};
 use spiking_graphs::snn::audit::audit;
-use spiking_graphs::snn::engine::{EventEngine, RunConfig, TimeSeriesObserver};
+use spiking_graphs::snn::engine::{
+    BatchRunner, EventEngine, RunConfig, RunSpec, TimeSeriesObserver,
+};
 use spiking_graphs::snn::NeuronId;
+
+/// Renders a [`LogHistogram`] as quantiles plus a bucket-count sparkline —
+/// the distribution view for "n independent runs" that a single run's
+/// time series cannot give.
+fn print_histogram(label: &str, hist: &LogHistogram) {
+    let (Some(min), Some(max)) = (hist.min(), hist.max()) else {
+        println!("{label}: empty");
+        return;
+    };
+    let quantiles: Vec<String> = [0.1, 0.5, 0.9, 0.99]
+        .iter()
+        .filter_map(|&q| hist.quantile(q).map(|v| format!("p{:.0} {v}", q * 100.0)))
+        .collect();
+    let counts: Vec<u64> = hist.nonzero_buckets().iter().map(|&(_, c)| c).collect();
+    println!("\n{label}: min {min}, {}, max {max}", quantiles.join(", "));
+    println!("  {}", sparkline(&counts, 64));
+}
 
 fn main() {
     let mut phases = PhaseProfiler::new();
@@ -85,6 +106,28 @@ fn main() {
         println!("  - {f}");
     }
 
+    // batch: the APSP workload — the same network, one wavefront per
+    // source, executed over the batch runtime's recycled worker scratch.
+    phases.start("batch");
+    let specs: Vec<RunSpec> = (0..g.n())
+        .map(|s| RunSpec::new(vec![NeuronId(s as u32)], cfg.clone()))
+        .collect();
+    let (_, batch) = BatchRunner::new(&net)
+        .run_summarized(&specs)
+        .expect("batch simulation");
+    phases.stop();
+
+    println!("\n# Batch: {} wavefronts, one per source\n", batch.runs);
+    println!(
+        "total: {} spikes, {} deliveries, {} updates; batch makespan {} steps",
+        batch.total_spikes,
+        batch.total_deliveries,
+        batch.total_updates,
+        batch.makespan_steps().unwrap_or(0),
+    );
+    print_histogram("per-source makespan (steps)", &batch.makespan);
+    print_histogram("per-source spikes", &batch.spikes);
+
     // The machine-readable twin of everything printed above.
     let mut report = RunReport::new("run_report_example");
     report.section("phases", phases.to_json());
@@ -105,6 +148,7 @@ fn main() {
         "audit",
         Json::strings(&findings.iter().map(ToString::to_string).collect::<Vec<_>>()),
     );
+    report.section("batch", batch.to_json());
     let path = std::env::temp_dir().join("sgl_run_report_example.json");
     report.write_to(&path).expect("write report");
     println!(
