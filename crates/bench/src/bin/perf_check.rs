@@ -81,6 +81,24 @@ fn main() -> ExitCode {
         println!("GONE  {name}: present in baseline, missing from current run");
     }
 
+    // Intra-run ordering rule: a warm compiled-network cache hit must be
+    // strictly cheaper than a cold compile+run — otherwise the serve
+    // cache is pure overhead. Same-run medians, so noise-fair.
+    if let (Some(&warm), Some(&cold)) = (
+        current.get("serve/sssp_warm/256"),
+        current.get("serve/sssp_cold/256"),
+    ) {
+        if warm >= cold {
+            println!(
+                "FAIL  serve ordering: sssp_warm/256 ({warm} ns) not strictly below \
+                 sssp_cold/256 ({cold} ns) — the compiled-network cache must pay for itself"
+            );
+            failures += 1;
+        } else {
+            println!("ok    serve ordering: sssp_warm/256 ({warm} ns) < sssp_cold/256 ({cold} ns)");
+        }
+    }
+
     // Intra-run ordering rule: batched APSP must beat per-source rebuild.
     if let (Some(&batch), Some(&rebuild)) = (
         current.get("apsp_batch/batch/256"),

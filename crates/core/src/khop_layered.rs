@@ -1,0 +1,201 @@
+//! Hop-bounded SSSP as a layered (Bellman–Ford-unrolled) spiking network.
+//!
+//! The §3 graph-as-SNN answers *unbounded* shortest-path queries; a k-hop
+//! query needs the hop count carried somewhere. The §4.1 circuit carries
+//! it as a λ-bit TTL message, which is gate-exact but expensive to keep
+//! resident per query. This module uses the classic DP unrolling instead:
+//! one neuron per `(node, hops)` pair across `k + 1` layers, an edge
+//! `(u, v, ℓ)` becoming a delay-`ℓ` synapse from `(u, i)` to `(v, i + 1)`
+//! for every `i < k`. The first spike of `(v, i)` is the length of the
+//! shortest *exactly-i-hop* walk from the source, so
+//! `dist_k(v) = min_i first_spike(v, i)` — which equals the ≤ k-hop
+//! shortest *path* length for nonnegative lengths, i.e. exactly what
+//! [`sgl_graph::bellman_ford::bellman_ford_khop`] computes.
+//!
+//! The network is **source-independent** (a source is a `t = 0` stimulus
+//! at layer 0, just like §3), which is what makes it worth holding
+//! resident in `sgl-serve`'s compiled-network cache under the key
+//! `(graph fingerprint, "khop", k)`: every `(source)` variation of a
+//! `(graph, k)` query reuses the same construction and only swaps the
+//! initial spike. Re-firing is suppressed with the same one-shot
+//! inhibitory self-synapse as [`crate::sssp_pseudo`], so the network is
+//! quiescent once the deepest wave has passed.
+
+use sgl_graph::{Graph, Len, Node};
+use sgl_snn::engine::{Engine, EventEngine, RunConfig, RunResult};
+use sgl_snn::{LifParams, Network, NeuronId, SnnError};
+
+/// Neuron id of `(node, layer)` in the layered network: layers are laid
+/// out contiguously, `layer * n + node`.
+#[must_use]
+pub fn neuron(node: Node, layer: u32, n: usize) -> NeuronId {
+    NeuronId(layer * n as u32 + node as u32)
+}
+
+/// Builds the layered k-hop network for `g`: `(k + 1) · n` neurons,
+/// `k · m` graph synapses plus one inhibitory self-synapse per neuron.
+///
+/// # Panics
+/// Panics if `k == 0`, an edge length exceeds the `u32` delay range, or
+/// `(k + 1) · n` overflows the `u32` neuron-id space.
+#[must_use]
+pub fn build_network(g: &Graph, k: u32) -> Network {
+    assert!(k >= 1, "k must be at least 1");
+    let n = g.n();
+    let layers = k as usize + 1;
+    assert!(
+        u32::try_from(layers * n.max(1)).is_ok(),
+        "layered network exceeds the u32 neuron-id space"
+    );
+    let mut net = Network::with_capacity(layers * n);
+    for _ in 0..layers * n {
+        net.add_neuron(LifParams::unit_integrator());
+    }
+    let in_deg = g.in_degrees();
+    for layer in 0..=k {
+        for v in 0..n {
+            let id = neuron(v, layer, n);
+            if layer < k {
+                for (w, len) in g.out_edges(v) {
+                    let delay = u32::try_from(len).expect("edge length exceeds u32 delay range");
+                    net.connect(id, neuron(w, layer + 1, n), 1.0, delay)
+                        .expect("valid by construction");
+                }
+            }
+            // One-shot permanent suppression, as in the §3 network: after
+            // the first spike the self-inhibition outweighs any excitation
+            // the layer can still deliver (each in-neighbour fires at most
+            // once per layer, inductively).
+            let inhibition = if layer == 0 { 0.0 } else { in_deg[v] as f64 };
+            net.connect(id, id, -(inhibition + 2.0), 1)
+                .expect("valid by construction");
+        }
+    }
+    net
+}
+
+/// Step budget for a quiescent run: no finite ≤ k-hop distance exceeds
+/// `k · U`, and the trailing self-inhibition event lands one step later.
+#[must_use]
+pub fn step_budget(g: &Graph, k: u32) -> u64 {
+    u64::from(k).saturating_mul(g.max_len().max(1)) + 2
+}
+
+/// Reads `dist_k` off a finished run: per node, the minimum first-spike
+/// time across all `k + 1` layer copies (`None`: unreachable in ≤ k hops).
+#[must_use]
+pub fn distances_from(result: &RunResult, n: usize, k: u32) -> Vec<Option<Len>> {
+    (0..n)
+        .map(|v| {
+            (0..=k)
+                .filter_map(|layer| result.first_spikes[layer as usize * n + v])
+                .min()
+        })
+        .collect()
+}
+
+/// Convenience one-shot solve: builds, runs, and decodes in one call —
+/// the per-query baseline `sgl-serve`'s cache exists to amortise.
+///
+/// # Errors
+/// Propagates simulator errors (none expected for valid graphs).
+///
+/// # Panics
+/// Panics if `source` is out of range (and as [`build_network`]).
+pub fn solve(g: &Graph, source: Node, k: u32) -> Result<Vec<Option<Len>>, SnnError> {
+    assert!(source < g.n(), "source out of range");
+    let net = build_network(g, k);
+    let config = RunConfig::until_quiescent(step_budget(g, k));
+    let result = EventEngine.run(&net, &[neuron(source, 0, g.n())], &config)?;
+    Ok(distances_from(&result, g.n(), k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgl_graph::bellman_ford::bellman_ford_khop;
+    use sgl_graph::csr::from_edges;
+    use sgl_graph::generators;
+
+    #[test]
+    fn hop_limit_forces_the_direct_edge() {
+        // Two-hop detour is shorter, but k = 1 may only use the direct arc.
+        let g = from_edges(3, &[(0, 2, 9), (0, 1, 1), (1, 2, 1)]);
+        assert_eq!(solve(&g, 0, 1).unwrap()[2], Some(9));
+        assert_eq!(solve(&g, 0, 2).unwrap()[2], Some(2));
+    }
+
+    #[test]
+    fn matches_bellman_ford_khop_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for (n, m) in [(12, 36), (20, 70), (32, 120)] {
+            let g = generators::gnm_connected(&mut rng, n, m, 1..=9);
+            for k in [1u32, 2, 3, 5] {
+                for source in [0, n / 2, n - 1] {
+                    let got = solve(&g, source, k).unwrap();
+                    let want = bellman_ford_khop(&g, source, k).distances;
+                    assert_eq!(got, want, "n={n} m={m} k={k} source={source}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn network_is_source_independent() {
+        // One build, many sources: swapping the t=0 stimulus is all a new
+        // source needs — the property the serve cache relies on.
+        let mut rng = StdRng::seed_from_u64(43);
+        let g = generators::gnm_connected(&mut rng, 16, 56, 1..=6);
+        let k = 3;
+        let net = build_network(&g, k);
+        let config = RunConfig::until_quiescent(step_budget(&g, k));
+        for source in 0..g.n() {
+            let r = EventEngine
+                .run(&net, &[neuron(source, 0, g.n())], &config)
+                .unwrap();
+            let got = distances_from(&r, g.n(), k);
+            assert_eq!(got, bellman_ford_khop(&g, source, k).distances);
+        }
+    }
+
+    #[test]
+    fn unreachable_within_k_hops_never_spikes() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let g = generators::path(&mut rng, 6, 2..=2);
+        let d = solve(&g, 0, 2).unwrap();
+        assert_eq!(d[2], Some(4));
+        assert_eq!(d[3], None); // three hops away
+        assert_eq!(d[5], None);
+    }
+
+    #[test]
+    fn quiescent_within_budget_and_fires_once_per_reached_copy() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let g = generators::gnm_connected(&mut rng, 14, 48, 1..=5);
+        let k = 4;
+        let net = build_network(&g, k);
+        let r = EventEngine
+            .run(
+                &net,
+                &[neuron(0, 0, g.n())],
+                &RunConfig::until_quiescent(step_budget(&g, k)),
+            )
+            .unwrap();
+        assert_eq!(
+            r.reason,
+            sgl_snn::engine::StopReason::Quiescent,
+            "wave must die out inside the budget"
+        );
+        // Suppression: no neuron fires twice.
+        assert!(r.spike_counts.iter().all(|&c| c <= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_panics() {
+        let g = from_edges(2, &[(0, 1, 1)]);
+        let _ = build_network(&g, 0);
+    }
+}

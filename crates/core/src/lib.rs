@@ -43,6 +43,7 @@ pub mod approx_khop;
 pub mod apsp;
 pub mod congest;
 pub mod gatelevel;
+pub mod khop_layered;
 pub mod khop_paths;
 pub mod khop_poly;
 pub mod khop_pseudo;

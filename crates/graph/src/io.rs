@@ -18,6 +18,8 @@ use std::fmt::Write as _;
 pub enum DimacsError {
     /// The `p sp n m` problem line is missing or malformed.
     BadProblemLine(usize),
+    /// A second `p` line appeared (would silently discard earlier arcs).
+    DuplicateProblemLine(usize),
     /// An arc line failed to parse.
     BadArc(usize),
     /// A node id was 0 or exceeded the declared node count.
@@ -35,6 +37,7 @@ impl std::fmt::Display for DimacsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::BadProblemLine(l) => write!(f, "line {l}: malformed or missing 'p sp n m' line"),
+            Self::DuplicateProblemLine(l) => write!(f, "line {l}: duplicate 'p' line"),
             Self::BadArc(l) => write!(f, "line {l}: malformed arc line"),
             Self::NodeOutOfRange(l) => write!(f, "line {l}: node id out of range"),
             Self::ArcCountMismatch { declared, found } => {
@@ -49,6 +52,11 @@ impl std::error::Error for DimacsError {}
 /// Parses a DIMACS `.gr` document into a [`Graph`] (node ids shift to
 /// 0-based).
 ///
+/// Tolerant of the variation found in files in the wild: `c` *and* `#`
+/// comment lines, blank lines, leading/trailing whitespace, tab- or
+/// multi-space-separated fields, and CRLF line endings. Every rejection
+/// carries the 1-based line number of the offending line.
+///
 /// # Errors
 /// Returns a [`DimacsError`] describing the first malformed line.
 pub fn parse_dimacs(text: &str) -> Result<Graph, DimacsError> {
@@ -57,50 +65,56 @@ pub fn parse_dimacs(text: &str) -> Result<Graph, DimacsError> {
     let mut found_arcs = 0usize;
     let mut n = 0usize;
 
-    for (i, line) in text.lines().enumerate() {
+    for (i, raw) in text.lines().enumerate() {
         let lineno = i + 1;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('c') {
+        // `lines()` keeps the `\r` of CRLF endings; trim drops it along
+        // with any indentation.
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('#') {
             continue;
         }
-        if let Some(rest) = line.strip_prefix("p ") {
-            let mut parts = rest.split_whitespace();
-            if parts.next() != Some("sp") {
-                return Err(DimacsError::BadProblemLine(lineno));
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("p") => {
+                if builder.is_some() {
+                    return Err(DimacsError::DuplicateProblemLine(lineno));
+                }
+                if parts.next() != Some("sp") {
+                    return Err(DimacsError::BadProblemLine(lineno));
+                }
+                n = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(DimacsError::BadProblemLine(lineno))?;
+                declared_arcs = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(DimacsError::BadProblemLine(lineno))?;
+                builder = Some(GraphBuilder::new(n));
             }
-            n = parts
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or(DimacsError::BadProblemLine(lineno))?;
-            declared_arcs = parts
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or(DimacsError::BadProblemLine(lineno))?;
-            builder = Some(GraphBuilder::new(n));
-        } else if let Some(rest) = line.strip_prefix("a ") {
-            let b = builder
-                .as_mut()
-                .ok_or(DimacsError::BadProblemLine(lineno))?;
-            let mut parts = rest.split_whitespace();
-            let u: usize = parts
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or(DimacsError::BadArc(lineno))?;
-            let v: usize = parts
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or(DimacsError::BadArc(lineno))?;
-            let len: Len = parts
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or(DimacsError::BadArc(lineno))?;
-            if u == 0 || v == 0 || u > n || v > n || len == 0 {
-                return Err(DimacsError::NodeOutOfRange(lineno));
+            Some("a") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or(DimacsError::BadProblemLine(lineno))?;
+                let u: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(DimacsError::BadArc(lineno))?;
+                let v: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(DimacsError::BadArc(lineno))?;
+                let len: Len = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(DimacsError::BadArc(lineno))?;
+                if u == 0 || v == 0 || u > n || v > n || len == 0 {
+                    return Err(DimacsError::NodeOutOfRange(lineno));
+                }
+                b.add_edge(u - 1, v - 1, len);
+                found_arcs += 1;
             }
-            b.add_edge(u - 1, v - 1, len);
-            found_arcs += 1;
-        } else {
-            return Err(DimacsError::BadArc(lineno));
+            _ => return Err(DimacsError::BadArc(lineno)),
         }
     }
     if found_arcs != declared_arcs {
@@ -163,6 +177,45 @@ mod tests {
         let text = "c a\n\nc b\np sp 2 1\nc inline\na 1 2 7\n";
         let g = parse_dimacs(text).unwrap();
         assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn hash_comments_crlf_and_tabs_tolerated() {
+        // The same graph as `comments_and_blank_lines_ignored`, but in the
+        // messy shape real files arrive in: `#` comments, CRLF endings,
+        // indentation, and tab-separated fields.
+        let text = "# exported graph\r\n\r\nc legacy comment\r\n  p\tsp\t2\t1\r\n\ta 1\t2  7\r\n";
+        let g = parse_dimacs(text).unwrap();
+        assert_eq!((g.n(), g.m()), (2, 1));
+        assert_eq!(g.edges().next(), Some((0, 1, 7)));
+    }
+
+    #[test]
+    fn tolerant_forms_roundtrip() {
+        // Parse a messy document, serialise it, parse the clean output:
+        // both parses must agree.
+        let messy = "# header\r\np sp 3 3\r\na 1 2 2\r\n\r\nc mid\r\na 2 3 4\r\na 1 3 9\r\n";
+        let g = parse_dimacs(messy).unwrap();
+        let back = parse_dimacs(&to_dimacs(&g, "clean")).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn rejects_duplicate_problem_line() {
+        assert_eq!(
+            parse_dimacs("p sp 2 1\na 1 2 3\np sp 4 0\n"),
+            Err(DimacsError::DuplicateProblemLine(3))
+        );
+    }
+
+    #[test]
+    fn error_line_numbers_count_skipped_lines() {
+        // Line numbers refer to the original document, comments and
+        // blanks included.
+        assert_eq!(
+            parse_dimacs("# one\r\n\r\nc three\r\np sp 2 1\r\na 1 nope 3\r\n"),
+            Err(DimacsError::BadArc(5))
+        );
     }
 
     #[test]

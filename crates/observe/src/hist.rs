@@ -162,6 +162,7 @@ impl LogHistogram {
             ("mean", self.mean().map_or(Json::Null, Json::Num)),
             ("p50", self.quantile(0.5).map_or(Json::Null, Json::UInt)),
             ("p90", self.quantile(0.9).map_or(Json::Null, Json::UInt)),
+            ("p95", self.quantile(0.95).map_or(Json::Null, Json::UInt)),
             ("p99", self.quantile(0.99).map_or(Json::Null, Json::UInt)),
             ("buckets", Json::Arr(buckets)),
         ])
@@ -222,6 +223,48 @@ mod tests {
         assert!((4600..=5000).contains(&p50), "p50 = {p50}");
         assert!((8400..=9000).contains(&p90), "p90 = {p90}");
         assert_eq!(h.quantile(1.0), Some(h.max().unwrap()));
+    }
+
+    #[test]
+    fn single_bucket_histogram_quantiles_are_exact() {
+        // All mass in one bucket: every quantile must report that value
+        // exactly (the floor is clamped into [min, max]).
+        let mut h = LogHistogram::new();
+        for _ in 0..1000 {
+            h.record(1234);
+        }
+        for q in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(1234), "q = {q}");
+        }
+        assert_eq!(h.mean(), Some(1234.0));
+        assert_eq!(h.nonzero_buckets().len(), 1);
+    }
+
+    #[test]
+    fn saturating_histogram_stays_sane() {
+        // Values at the top of the u64 range: `sum` saturates, but counts,
+        // extrema and quantiles must remain correct and ordered.
+        let mut h = LogHistogram::new();
+        for _ in 0..3 {
+            h.record(u64::MAX);
+        }
+        h.record(u64::MAX - 1);
+        h.record(1);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= p99);
+        // Saturated sum: the mean is still defined and within range.
+        let mean = h.mean().unwrap();
+        assert!(mean > 0.0 && mean <= u64::MAX as f64);
+        // Merging two saturated histograms must not wrap.
+        let mut other = h.clone();
+        other.merge(&h);
+        assert_eq!(other.count(), 10);
+        assert_eq!(other.max(), Some(u64::MAX));
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! Admission control: the bounded queue between request intake and the
+//! worker pool, plus the server lifecycle it enforces.
+//!
+//! The contract (and the overload test's assertions):
+//!
+//! * The queue is **bounded**. A push against a full queue fails
+//!   *synchronously* — the caller turns that into a typed `overloaded`
+//!   response. Nothing ever blocks on admission, so intake threads stay
+//!   responsive no matter how far behind the workers are.
+//! * Lifecycle is monotone: `Running → Draining → Stopped`. Draining
+//!   rejects new work (typed `draining`) but **every job already admitted
+//!   is still answered** — workers keep popping until the queue is empty,
+//!   then observe `Draining` and exit. That invariant is what makes the
+//!   caller's blocking wait on a [`ResponseSlot`] safe: an admitted job's
+//!   slot is always filled, by execution or by a deadline rejection.
+//! * Deadlines are checked at *pop* time against the enqueue timestamp:
+//!   a job that out-waited its deadline is answered `deadline_exceeded`
+//!   without being executed, so a backed-up queue sheds stale work
+//!   instead of burning workers on answers nobody is waiting for.
+//!   (The check lives in the worker loop; this module carries the data.)
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::protocol::{Envelope, Response};
+
+/// Server lifecycle states (monotone).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lifecycle {
+    /// Accepting and executing work.
+    Running,
+    /// Rejecting new work; admitted work still completes.
+    Draining,
+    /// All workers have exited; the queue is empty.
+    Stopped,
+}
+
+/// One-shot response rendezvous between the admitting thread and the
+/// worker that executes the job. `fill` is called exactly once per
+/// admitted job (the drain invariant above).
+#[derive(Debug, Default)]
+pub struct ResponseSlot {
+    value: Mutex<Option<Response>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    /// An empty slot.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Delivers the response and wakes the waiter.
+    ///
+    /// # Panics
+    /// Panics if the slot lock is poisoned.
+    pub fn fill(&self, response: Response) {
+        let mut v = self.value.lock().expect("slot lock");
+        *v = Some(response);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the response arrives.
+    ///
+    /// # Panics
+    /// Panics if the slot lock is poisoned.
+    #[must_use]
+    pub fn wait(&self) -> Response {
+        let mut v = self.value.lock().expect("slot lock");
+        loop {
+            if let Some(r) = v.take() {
+                return r;
+            }
+            v = self.ready.wait(v).expect("slot lock");
+        }
+    }
+}
+
+/// An admitted job: the request, when it was admitted, its queue-wait
+/// deadline, and where to deliver the answer.
+#[derive(Debug)]
+pub struct Job {
+    /// The request envelope.
+    pub envelope: Envelope,
+    /// Admission timestamp (queue-wait measurement and deadline base).
+    pub enqueued: Instant,
+    /// Maximum tolerated queue wait, if any.
+    pub deadline: Option<Duration>,
+    /// Response rendezvous shared with the admitting thread.
+    pub slot: std::sync::Arc<ResponseSlot>,
+}
+
+/// Why admission failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The queue is at capacity — shed.
+    Full,
+    /// The server is draining or stopped.
+    Draining,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    lifecycle: Lifecycle,
+}
+
+/// The bounded admission queue (push: any intake thread; pop: workers).
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    state: Mutex<QueueState>,
+    takeable: Condvar,
+    capacity: usize,
+}
+
+impl AdmissionQueue {
+    /// A queue that admits at most `capacity` waiting jobs.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero (the server could never admit work).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(capacity),
+                lifecycle: Lifecycle::Running,
+            }),
+            takeable: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admits a job, or fails synchronously (never blocks).
+    ///
+    /// # Errors
+    /// [`AdmissionError::Full`] when at capacity (load shed),
+    /// [`AdmissionError::Draining`] after drain began.
+    ///
+    /// # Panics
+    /// Panics if the queue lock is poisoned.
+    pub fn try_push(&self, job: Job) -> Result<(), AdmissionError> {
+        let mut s = self.state.lock().expect("queue lock");
+        if s.lifecycle != Lifecycle::Running {
+            return Err(AdmissionError::Draining);
+        }
+        if s.jobs.len() >= self.capacity {
+            return Err(AdmissionError::Full);
+        }
+        s.jobs.push_back(job);
+        drop(s);
+        self.takeable.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job. Returns `None` exactly when the server is
+    /// draining **and** the queue is empty — the worker's signal to exit.
+    /// Admitted jobs are always handed out before any `None`.
+    ///
+    /// # Panics
+    /// Panics if the queue lock is poisoned.
+    #[must_use]
+    pub fn pop(&self) -> Option<Job> {
+        let mut s = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(job) = s.jobs.pop_front() {
+                return Some(job);
+            }
+            if s.lifecycle != Lifecycle::Running {
+                return None;
+            }
+            s = self.takeable.wait(s).expect("queue lock");
+        }
+    }
+
+    /// Begins draining: no new admissions, workers finish the backlog and
+    /// exit. Idempotent.
+    ///
+    /// # Panics
+    /// Panics if the queue lock is poisoned.
+    pub fn drain(&self) {
+        let mut s = self.state.lock().expect("queue lock");
+        if s.lifecycle == Lifecycle::Running {
+            s.lifecycle = Lifecycle::Draining;
+        }
+        drop(s);
+        self.takeable.notify_all();
+    }
+
+    /// Marks the server fully stopped (workers joined).
+    ///
+    /// # Panics
+    /// Panics if the queue lock is poisoned.
+    pub fn mark_stopped(&self) {
+        self.state.lock().expect("queue lock").lifecycle = Lifecycle::Stopped;
+    }
+
+    /// Current lifecycle.
+    ///
+    /// # Panics
+    /// Panics if the queue lock is poisoned.
+    #[must_use]
+    pub fn lifecycle(&self) -> Lifecycle {
+        self.state.lock().expect("queue lock").lifecycle
+    }
+
+    /// Jobs currently waiting (recorded into the depth histogram at pop).
+    ///
+    /// # Panics
+    /// Panics if the queue lock is poisoned.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock").jobs.len()
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Request;
+    use std::sync::Arc;
+
+    fn job() -> Job {
+        Job {
+            envelope: Envelope::of(Request::ServerStats),
+            enqueued: Instant::now(),
+            deadline: None,
+            slot: Arc::new(ResponseSlot::new()),
+        }
+    }
+
+    #[test]
+    fn sheds_synchronously_at_capacity() {
+        let q = AdmissionQueue::new(2);
+        assert!(q.try_push(job()).is_ok());
+        assert!(q.try_push(job()).is_ok());
+        assert_eq!(q.try_push(job()), Err(AdmissionError::Full));
+        assert_eq!(q.depth(), 2, "shed push must not grow the queue");
+    }
+
+    #[test]
+    fn drain_rejects_new_but_hands_out_backlog() {
+        let q = AdmissionQueue::new(4);
+        q.try_push(job()).unwrap();
+        q.try_push(job()).unwrap();
+        q.drain();
+        assert_eq!(q.try_push(job()), Err(AdmissionError::Draining));
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none(), "empty + draining terminates workers");
+        assert_eq!(q.lifecycle(), Lifecycle::Draining);
+    }
+
+    #[test]
+    fn pop_blocks_until_push_or_drain() {
+        let q = Arc::new(AdmissionQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop().is_some());
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(job()).unwrap();
+        assert!(t.join().unwrap());
+
+        let q3 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q3.pop().is_none());
+        std::thread::sleep(Duration::from_millis(20));
+        q.drain();
+        assert!(t.join().unwrap(), "drain must release blocked workers");
+    }
+
+    #[test]
+    fn response_slot_delivers_across_threads() {
+        let slot = Arc::new(ResponseSlot::new());
+        let s2 = Arc::clone(&slot);
+        let t = std::thread::spawn(move || s2.wait());
+        std::thread::sleep(Duration::from_millis(10));
+        slot.fill(Response::error(crate::protocol::ErrorKind::Internal, "x"));
+        assert_eq!(
+            t.join().unwrap().error_kind(),
+            Some(crate::protocol::ErrorKind::Internal)
+        );
+    }
+
+    #[test]
+    fn drain_is_idempotent() {
+        let q = AdmissionQueue::new(1);
+        q.drain();
+        q.drain();
+        assert_eq!(q.lifecycle(), Lifecycle::Draining);
+        q.mark_stopped();
+        assert_eq!(q.lifecycle(), Lifecycle::Stopped);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = AdmissionQueue::new(0);
+    }
+}

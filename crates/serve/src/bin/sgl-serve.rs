@@ -1,0 +1,82 @@
+//! `sgl-serve` — the graph-query daemon.
+//!
+//! ```text
+//! sgl-serve [--addr 127.0.0.1:7687] [--workers N] [--queue-capacity N]
+//!           [--deadline-ms MS]
+//! ```
+//!
+//! Serves the JSON-lines protocol until a `shutdown` request arrives,
+//! then drains (admitted queries finish, new ones get `draining`) and
+//! exits 0. Argument parsing is hand-rolled: the workspace is offline,
+//! and two flags don't justify a dependency.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use sgl_serve::session::{ServerConfig, Session};
+use sgl_serve::tcp;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sgl-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N] [--deadline-ms MS]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7687".to_string();
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else {
+            eprintln!("missing value for {flag}");
+            return usage();
+        };
+        let parsed = match flag.as_str() {
+            "--addr" => {
+                addr = value;
+                Ok(())
+            }
+            "--workers" => value.parse().map(|v| config.workers = v).map_err(|_| ()),
+            "--queue-capacity" => value
+                .parse()
+                .map(|v| config.queue_capacity = v)
+                .map_err(|_| ()),
+            "--deadline-ms" => value
+                .parse()
+                .map(|v| config.default_deadline_ms = Some(v))
+                .map_err(|_| ()),
+            _ => {
+                eprintln!("unknown flag {flag}");
+                return usage();
+            }
+        };
+        if parsed.is_err() {
+            eprintln!("bad value for {flag}");
+            return usage();
+        }
+    }
+    if config.workers == 0 || config.queue_capacity == 0 {
+        eprintln!("--workers and --queue-capacity must be positive");
+        return usage();
+    }
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound = listener
+        .local_addr()
+        .map_or(addr.clone(), |a| a.to_string());
+    println!(
+        "sgl-serve listening on {bound} ({} workers, queue capacity {})",
+        config.workers, config.queue_capacity
+    );
+    let session = Session::open(config);
+    tcp::serve(&listener, &session);
+    session.shutdown();
+    println!("sgl-serve drained cleanly");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,299 @@
+//! `sgl-stress` — cql-stress-style load harness for `sgl-serve`.
+//!
+//! ```text
+//! sgl-stress [--addr HOST:PORT]        target a running server
+//!            [--ops N] [--concurrency N] [--rate OPS_PER_SEC]
+//!            [--n NODES] [--m EDGES] [--seed S]
+//!            [--mix sssp=6,khop3=2,apsp_row=1,graph_stats=1]
+//!            [--deadline-ms MS] [--interval-ms MS | --quiet]
+//!            [--samples N] [--expect-clean]
+//! ```
+//!
+//! Without `--addr`, spawns a loopback server in-process (workers = 4),
+//! runs the workload against it over real TCP, and shuts it down — the
+//! CI smoke configuration. Always: generates a G(n, m) reference graph,
+//! loads it, drives the mixed workload (closed loop, or open loop with
+//! `--rate`), then measures cold-compile vs warm-cache `sssp` latency.
+//!
+//! Outputs: a live interval table (cql-stress style), a final summary,
+//! a `BENCH_serve.json` run report (into `$SGL_BENCH_DIR` or the working
+//! directory), and — when `$SGL_BENCH_JSON` is set — `group: "serve"`
+//! measurement lines (`sssp_cold/<n>`, `sssp_warm/<n>`) in the shared
+//! bench-line format, over which `perf_check` enforces the
+//! warm-strictly-below-cold ordering rule.
+//!
+//! `--expect-clean` exits non-zero if any operation failed or was shed —
+//! the CI smoke job's low-load assertion.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgl_bench::report::ReportSink;
+use sgl_graph::generators;
+use sgl_graph::io::to_dimacs;
+use sgl_observe::Json;
+use sgl_serve::protocol::{Envelope, Request, Response};
+use sgl_serve::session::ServerConfig;
+use sgl_serve::stress::{
+    measure_cold_warm, run_stress, Client, LoopMode, Mix, StressConfig, TcpClient,
+};
+use sgl_serve::tcp::LoopbackServer;
+
+struct Args {
+    addr: Option<SocketAddr>,
+    ops: u64,
+    concurrency: usize,
+    rate: Option<f64>,
+    n: usize,
+    m: usize,
+    seed: u64,
+    mix: Mix,
+    deadline_ms: Option<u64>,
+    interval_ms: Option<u64>,
+    samples: usize,
+    expect_clean: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            addr: None,
+            ops: 2000,
+            concurrency: 4,
+            rate: None,
+            n: 256,
+            m: 1024,
+            seed: 7,
+            mix: Mix::default(),
+            deadline_ms: None,
+            interval_ms: Some(1000),
+            samples: 15,
+            expect_clean: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args::default();
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        if flag == "--quiet" {
+            out.interval_ms = None;
+            continue;
+        }
+        if flag == "--expect-clean" {
+            out.expect_clean = true;
+            continue;
+        }
+        let value = argv
+            .next()
+            .ok_or_else(|| format!("missing value for {flag}"))?;
+        let bad = |what: &str| format!("bad {what} for {flag}: {value:?}");
+        match flag.as_str() {
+            "--addr" => out.addr = Some(value.parse().map_err(|_| bad("address"))?),
+            "--ops" => out.ops = value.parse().map_err(|_| bad("count"))?,
+            "--concurrency" => out.concurrency = value.parse().map_err(|_| bad("count"))?,
+            "--rate" => out.rate = Some(value.parse().map_err(|_| bad("rate"))?),
+            "--n" => out.n = value.parse().map_err(|_| bad("count"))?,
+            "--m" => out.m = value.parse().map_err(|_| bad("count"))?,
+            "--seed" => out.seed = value.parse().map_err(|_| bad("seed"))?,
+            "--mix" => out.mix = Mix::parse(&value)?,
+            "--deadline-ms" => out.deadline_ms = Some(value.parse().map_err(|_| bad("ms"))?),
+            "--interval-ms" => out.interval_ms = Some(value.parse().map_err(|_| bad("ms"))?),
+            "--samples" => out.samples = value.parse().map_err(|_| bad("count"))?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if out.concurrency == 0 || out.ops == 0 || out.n < 2 || out.samples == 0 {
+        return Err("--concurrency, --ops, --n and --samples must be positive".into());
+    }
+    Ok(out)
+}
+
+/// Same line format as the criterion shim / `apsp_batch`, so `perf_check`
+/// consumes serve measurements like any other group.
+fn append_bench_line(id: &str, samples_us: &[u64]) {
+    let Some(path) = std::env::var_os("SGL_BENCH_JSON") else {
+        return;
+    };
+    let mut sorted = samples_us.to_vec();
+    sorted.sort_unstable();
+    let to_ns = |us: u64| us.saturating_mul(1000);
+    let median = to_ns(sorted[sorted.len() / 2]);
+    let min = to_ns(sorted[0]);
+    let mean = to_ns(sorted.iter().sum::<u64>() / sorted.len() as u64);
+    let line = format!(
+        "{{\"group\":\"serve\",\"id\":\"{id}\",\"median_ns\":{median},\"min_ns\":{min},\"mean_ns\":{mean},\"samples\":{}}}\n",
+        sorted.len(),
+    );
+    let r = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = r {
+        eprintln!("SGL_BENCH_JSON: cannot append to {path:?}: {e}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sgl-stress: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Target: an external server, or a spawned loopback one.
+    let spawned = if args.addr.is_none() {
+        Some(LoopbackServer::start(ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            default_deadline_ms: None,
+        }))
+    } else {
+        None
+    };
+    let addr = args
+        .addr
+        .unwrap_or_else(|| spawned.as_ref().expect("spawned").addr);
+
+    let connect = |what: &str| match TcpClient::connect(addr) {
+        Ok(c) => Ok(c),
+        Err(e) => {
+            eprintln!("sgl-stress: cannot connect to {addr} for {what}: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    };
+
+    // Load the reference graph.
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let graph = generators::gnm_connected(&mut rng, args.n, args.m, 1..=9);
+    let mut setup = match connect("setup") {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let resp = setup.call(Envelope::of(Request::LoadGraph {
+        name: "stress".into(),
+        dimacs: to_dimacs(&graph, "sgl-stress reference graph"),
+    }));
+    if !resp.is_ok() {
+        eprintln!("sgl-stress: load_graph failed: {resp:?}");
+        return ExitCode::FAILURE;
+    }
+
+    let mode = args.rate.map_or(LoopMode::Closed, LoopMode::Open);
+    println!(
+        "sgl-stress: {} ops, {} threads, {:?}, graph n={} m={} against {addr}",
+        args.ops, args.concurrency, mode, args.n, args.m
+    );
+    let config = StressConfig {
+        graph: "stress".into(),
+        graph_n: args.n,
+        concurrency: args.concurrency,
+        total_ops: args.ops,
+        mode,
+        mix: args.mix.clone(),
+        deadline_ms: args.deadline_ms,
+        seed: args.seed,
+        report_interval: args.interval_ms.map(Duration::from_millis),
+    };
+    // One TCP connection per driver thread; a connect failure inside the
+    // run surfaces as counted internal errors, not a panic.
+    let summary = run_stress(
+        |i| {
+            TcpClient::connect(addr)
+                .unwrap_or_else(|e| panic!("thread {i}: cannot connect to {addr}: {e}"))
+        },
+        &config,
+    );
+
+    println!(
+        "\n{} ops in {:?} ({:.0} ops/s), ok {}, errors {} (shed {}, deadline {})",
+        summary.issued,
+        summary.elapsed,
+        summary.ops_per_sec(),
+        summary.ok,
+        summary.errors(),
+        summary.errors_of(sgl_serve::protocol::ErrorKind::Overloaded),
+        summary.errors_of(sgl_serve::protocol::ErrorKind::DeadlineExceeded),
+    );
+    for q in [0.5, 0.95, 0.99] {
+        if let Some(v) = summary.overall_us.quantile(q) {
+            println!("  p{:02.0} {v} µs", q * 100.0);
+        }
+    }
+
+    // Cold vs warm compiled-network measurement (the perf artifact).
+    let mut probe = match connect("cold/warm measurement") {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let cold_warm = measure_cold_warm(&mut probe, "stress", args.n, args.samples);
+    println!(
+        "cache: cold median {} µs, warm median {} µs ({:.2}x)",
+        cold_warm.cold_median_us(),
+        cold_warm.warm_median_us(),
+        cold_warm.cold_median_us() as f64 / cold_warm.warm_median_us().max(1) as f64,
+    );
+    append_bench_line(&format!("sssp_cold/{}", args.n), &cold_warm.cold_us);
+    append_bench_line(&format!("sssp_warm/{}", args.n), &cold_warm.warm_us);
+
+    // Server-side view for the report artifact.
+    let server_stats = match probe.call(Envelope::of(Request::ServerStats)) {
+        Response::Ok { data, .. } => data,
+        Response::Error { message, .. } => {
+            eprintln!("sgl-stress: server_stats failed: {message}");
+            Json::Null
+        }
+    };
+
+    let mut sink = ReportSink::new("serve");
+    sink.phase("run");
+    sink.section(
+        "config",
+        Json::obj(vec![
+            ("ops", Json::UInt(args.ops)),
+            ("concurrency", Json::UInt(args.concurrency as u64)),
+            (
+                "mode",
+                Json::Str(match mode {
+                    LoopMode::Closed => "closed".into(),
+                    LoopMode::Open(r) => format!("open@{r}"),
+                }),
+            ),
+            ("graph_n", Json::UInt(args.n as u64)),
+            ("graph_m", Json::UInt(graph.m() as u64)),
+            ("seed", Json::UInt(args.seed)),
+        ]),
+    );
+    sink.section("summary", summary.to_json());
+    sink.section("cold_warm", cold_warm.to_json());
+    sink.section("server_stats", server_stats);
+    let path = sink.finish();
+    println!("report: {}", path.display());
+
+    // Drain the spawned server (also proves clean shutdown end-to-end).
+    if let Some(server) = spawned {
+        let resp = probe.call(Envelope::of(Request::Shutdown));
+        if !resp.is_ok() {
+            eprintln!("sgl-stress: shutdown failed: {resp:?}");
+            return ExitCode::FAILURE;
+        }
+        server.stop();
+        println!("spawned server drained cleanly");
+    }
+
+    if args.expect_clean && summary.errors() > 0 {
+        eprintln!(
+            "sgl-stress: --expect-clean but {} operations failed",
+            summary.errors()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,472 @@
+//! Graph registry and the compiled-network cache.
+//!
+//! The server's economic argument is the same one that makes
+//! [`sgl_core::apsp`] batched: the §3 SSSP network and the layered k-hop
+//! network are **source-independent** — a query's source is nothing but a
+//! `t = 0` stimulus. Compiling the network (allocating neurons, sorting
+//! synapses into CSR, computing suppression weights) is the expensive,
+//! shareable part; the run itself reuses it untouched. So compiled
+//! networks are cached under the key
+//!
+//! ```text
+//! (graph fingerprint, algorithm, algorithm params)
+//! ```
+//!
+//! where the fingerprint is a structural hash of the graph (not its
+//! registry name: re-loading the same graph under another name, or
+//! re-loading an identical graph after a restart of the client, still
+//! hits). A k-hop entry is keyed by `k` because the unrolled network has
+//! `(k + 1) · n` neurons; SSSP and APSP rows share one entry since an
+//! APSP row *is* an SSSP query.
+//!
+//! Entries hold `Arc<CompiledNet>` so workers run on a cache entry without
+//! holding the cache lock — eviction (on graph replacement) just drops the
+//! map's reference while in-flight runs finish on theirs.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use sgl_core::{khop_layered, sssp_pseudo::SpikingSssp};
+use sgl_graph::{Graph, Len};
+use sgl_snn::engine::{DenseEngine, EngineChoice, EventEngine, RunConfig, RunResult, RunScratch};
+use sgl_snn::{Network, NeuronId, SnnError};
+
+/// Structural fingerprint of a graph: 64-bit FNV-1a over `(n, m)` and the
+/// CSR edge list. Two graphs with the same node count and identical
+/// ordered edge lists collide by construction — which is exactly the
+/// "same compiled network" equivalence the cache wants.
+#[must_use]
+pub fn fingerprint(g: &Graph) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(g.n() as u64);
+    mix(g.m() as u64);
+    for (u, v, len) in g.edges() {
+        mix(u as u64);
+        mix(v as u64);
+        mix(len);
+    }
+    h
+}
+
+/// A graph registered with the server.
+#[derive(Debug)]
+pub struct GraphHandle {
+    /// Registry name.
+    pub name: String,
+    /// The graph itself.
+    pub graph: Graph,
+    /// Structural hash (see [`fingerprint`]).
+    pub fingerprint: u64,
+}
+
+/// Named-graph registry. Replacing a name drops the old handle's registry
+/// reference; in-flight queries keep theirs alive.
+#[derive(Debug, Default)]
+pub struct GraphRegistry {
+    graphs: Mutex<HashMap<String, Arc<GraphHandle>>>,
+}
+
+impl GraphRegistry {
+    /// Registers `graph` under `name`, replacing any previous entry.
+    /// Returns the new handle.
+    ///
+    /// # Panics
+    /// Panics if the registry lock is poisoned (a worker panicked).
+    pub fn insert(&self, name: &str, graph: Graph) -> Arc<GraphHandle> {
+        let handle = Arc::new(GraphHandle {
+            name: name.to_string(),
+            fingerprint: fingerprint(&graph),
+            graph,
+        });
+        self.graphs
+            .lock()
+            .expect("registry lock")
+            .insert(name.to_string(), Arc::clone(&handle));
+        handle
+    }
+
+    /// Looks up a graph by name.
+    ///
+    /// # Panics
+    /// Panics if the registry lock is poisoned.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<GraphHandle>> {
+        self.graphs
+            .lock()
+            .expect("registry lock")
+            .get(name)
+            .cloned()
+    }
+
+    /// Number of registered graphs.
+    ///
+    /// # Panics
+    /// Panics if the registry lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.graphs.lock().expect("registry lock").len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Which compiled construction a cache entry holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// The §3 single-layer SSSP network (shared by `sssp` and `apsp_row`).
+    Sssp,
+    /// The layered ≤ k-hop network.
+    Khop(u32),
+}
+
+/// Cache key: structural graph identity × construction × params.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NetKey {
+    /// [`fingerprint`] of the graph.
+    pub fingerprint: u64,
+    /// Construction and its parameters.
+    pub algo: Algo,
+}
+
+/// A compiled, resident, source-independent network plus everything
+/// needed to run a query on it without consulting the graph again.
+#[derive(Debug)]
+pub struct CompiledNet {
+    net: Network,
+    engine: EngineChoice,
+    budget: u64,
+    n: usize,
+    algo: Algo,
+}
+
+impl CompiledNet {
+    /// Compiles the network for `algo` over `g`.
+    ///
+    /// # Panics
+    /// Panics on parameter/graph combinations the caller must pre-validate
+    /// (`k == 0`, edge lengths beyond the `u32` delay range, neuron-id
+    /// overflow) — the session layer rejects those as `bad_request` before
+    /// reaching here.
+    #[must_use]
+    pub fn compile(g: &Graph, algo: Algo) -> Self {
+        let (net, budget) = match algo {
+            Algo::Sssp => {
+                let net = SpikingSssp::new(g, 0).build_network();
+                let budget = (g.n() as u64).saturating_mul(g.max_len().max(1)) + 1;
+                (net, budget)
+            }
+            Algo::Khop(k) => (
+                khop_layered::build_network(g, k),
+                khop_layered::step_budget(g, k),
+            ),
+        };
+        let engine = EngineChoice::Auto.resolve(&net);
+        Self {
+            net,
+            engine,
+            budget,
+            n: g.n(),
+            algo,
+        }
+    }
+
+    /// The `t = 0` stimulus that makes this network answer for `source`.
+    #[must_use]
+    pub fn initial_spikes(&self, source: usize) -> [NeuronId; 1] {
+        match self.algo {
+            Algo::Sssp => [NeuronId(source as u32)],
+            Algo::Khop(_) => [khop_layered::neuron(source, 0, self.n)],
+        }
+    }
+
+    /// Step budget for a quiescent run.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Neuron count (for sizing diagnostics).
+    #[must_use]
+    pub fn neurons(&self) -> usize {
+        self.net.neuron_count()
+    }
+
+    /// Runs a query from `source` over the worker's recycled scratch.
+    /// `target` (SSSP only) stops the run at the target's first spike.
+    ///
+    /// # Errors
+    /// Propagates simulator errors (none expected for validated inputs).
+    pub fn run(
+        &self,
+        source: usize,
+        target: Option<usize>,
+        scratch: &mut RunScratch,
+    ) -> Result<RunResult, SnnError> {
+        let config = match (self.algo, target) {
+            // Target-directed stop lives in the RunConfig, not the
+            // network, so the cached network stays target-independent.
+            (Algo::Sssp, Some(t)) => RunConfig::until_all(vec![NeuronId(t as u32)], self.budget),
+            _ => RunConfig::until_quiescent(self.budget),
+        };
+        let spikes = self.initial_spikes(source);
+        match self.engine {
+            EngineChoice::Dense => {
+                DenseEngine.run_with_scratch(&self.net, &spikes, &config, scratch)
+            }
+            _ => EventEngine.run_with_scratch(&self.net, &spikes, &config, scratch),
+        }
+    }
+
+    /// Decodes per-node distances from a finished run.
+    #[must_use]
+    pub fn decode(&self, result: &RunResult) -> Vec<Option<Len>> {
+        match self.algo {
+            Algo::Sssp => (0..self.n).map(|v| result.first_spikes[v]).collect(),
+            Algo::Khop(k) => khop_layered::distances_from(result, self.n, k),
+        }
+    }
+}
+
+/// Whether a query found its network resident.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Reused a resident network.
+    Hit,
+    /// Compiled (and cached) a new one.
+    Miss,
+    /// Compiled a throwaway network on request (`cache: "bypass"`);
+    /// counted as a miss.
+    Bypass,
+}
+
+impl CacheOutcome {
+    /// Wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Hit => "hit",
+            Self::Miss => "miss",
+            Self::Bypass => "bypass",
+        }
+    }
+}
+
+/// The compiled-network cache. Unbounded by entry count but bounded in
+/// practice by the registry: entries are evicted when their graph is
+/// replaced (same name, new fingerprint) via [`Self::evict_fingerprint`].
+#[derive(Debug, Default)]
+pub struct NetCache {
+    map: Mutex<HashMap<NetKey, Arc<CompiledNet>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl NetCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the resident network for `(g, algo)`, compiling and
+    /// inserting it on a miss.
+    ///
+    /// The compile happens **outside** the cache lock: concurrent misses
+    /// on the same key may both compile, last insert wins — wasted work
+    /// under a cold-start race, never a wrong answer, and no worker ever
+    /// blocks on another's compile.
+    ///
+    /// # Panics
+    /// Panics if the cache lock is poisoned, or as [`CompiledNet::compile`].
+    pub fn get_or_compile(
+        &self,
+        g: &Graph,
+        fingerprint: u64,
+        algo: Algo,
+    ) -> (Arc<CompiledNet>, CacheOutcome) {
+        let key = NetKey { fingerprint, algo };
+        if let Some(hit) = self.map.lock().expect("cache lock").get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (hit, CacheOutcome::Hit);
+        }
+        let compiled = Arc::new(CompiledNet::compile(g, algo));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map
+            .lock()
+            .expect("cache lock")
+            .insert(key, Arc::clone(&compiled));
+        (compiled, CacheOutcome::Miss)
+    }
+
+    /// Compiles a throwaway network, skipping the cache (the stress
+    /// harness's repeatable cold path). Counts as a miss.
+    ///
+    /// # Panics
+    /// As [`CompiledNet::compile`].
+    pub fn compile_bypass(&self, g: &Graph, algo: Algo) -> (Arc<CompiledNet>, CacheOutcome) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        (
+            Arc::new(CompiledNet::compile(g, algo)),
+            CacheOutcome::Bypass,
+        )
+    }
+
+    /// Drops every entry compiled from the given graph fingerprint
+    /// (called when a registry name is re-bound to a different graph).
+    ///
+    /// # Panics
+    /// Panics if the cache lock is poisoned.
+    pub fn evict_fingerprint(&self, fingerprint: u64) {
+        self.map
+            .lock()
+            .expect("cache lock")
+            .retain(|k, _| k.fingerprint != fingerprint);
+    }
+
+    /// (hits, misses) so far. Bypass compiles count as misses.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of resident entries.
+    ///
+    /// # Panics
+    /// Panics if the cache lock is poisoned.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgl_graph::csr::from_edges;
+    use sgl_graph::{bellman_ford_khop, dijkstra, generators};
+
+    fn ref_graph(seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::gnm_connected(&mut rng, 24, 96, 1..=7)
+    }
+
+    #[test]
+    fn fingerprint_is_structural_not_nominal() {
+        let g1 = from_edges(3, &[(0, 1, 2), (1, 2, 3)]);
+        let g2 = from_edges(3, &[(0, 1, 2), (1, 2, 3)]);
+        let g3 = from_edges(3, &[(0, 1, 2), (1, 2, 4)]);
+        assert_eq!(fingerprint(&g1), fingerprint(&g2));
+        assert_ne!(fingerprint(&g1), fingerprint(&g3));
+        // Node count matters even with identical edge lists.
+        let g4 = from_edges(4, &[(0, 1, 2), (1, 2, 3)]);
+        assert_ne!(fingerprint(&g1), fingerprint(&g4));
+    }
+
+    #[test]
+    fn compiled_sssp_matches_dijkstra_for_every_source() {
+        let g = ref_graph(101);
+        let compiled = CompiledNet::compile(&g, Algo::Sssp);
+        let mut scratch = RunScratch::new();
+        for s in 0..g.n() {
+            let r = compiled.run(s, None, &mut scratch).unwrap();
+            assert_eq!(compiled.decode(&r), dijkstra(&g, s).distances, "source {s}");
+        }
+    }
+
+    #[test]
+    fn compiled_khop_matches_bellman_ford() {
+        let g = ref_graph(102);
+        for k in [1u32, 3] {
+            let compiled = CompiledNet::compile(&g, Algo::Khop(k));
+            let mut scratch = RunScratch::new();
+            for s in [0, g.n() / 2] {
+                let r = compiled.run(s, None, &mut scratch).unwrap();
+                assert_eq!(
+                    compiled.decode(&r),
+                    bellman_ford_khop(&g, s, k).distances,
+                    "k={k} source={s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn targeted_run_resolves_the_target() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::path(&mut rng, 10, 2..=2);
+        let compiled = CompiledNet::compile(&g, Algo::Sssp);
+        let mut scratch = RunScratch::new();
+        let r = compiled.run(0, Some(4), &mut scratch).unwrap();
+        assert_eq!(compiled.decode(&r)[4], Some(8));
+    }
+
+    #[test]
+    fn cache_hits_after_first_compile_and_keys_by_params() {
+        let g = ref_graph(103);
+        let fp = fingerprint(&g);
+        let cache = NetCache::new();
+        let (a, o1) = cache.get_or_compile(&g, fp, Algo::Sssp);
+        let (b, o2) = cache.get_or_compile(&g, fp, Algo::Sssp);
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert_eq!(o2, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&a, &b), "hit must be the same network");
+        let (_, o3) = cache.get_or_compile(&g, fp, Algo::Khop(2));
+        let (_, o4) = cache.get_or_compile(&g, fp, Algo::Khop(3));
+        assert_eq!(o3, CacheOutcome::Miss, "k is part of the key");
+        assert_eq!(o4, CacheOutcome::Miss);
+        assert_eq!(cache.counters(), (1, 3));
+        assert_eq!(cache.entries(), 3);
+    }
+
+    #[test]
+    fn bypass_never_populates_the_cache() {
+        let g = ref_graph(104);
+        let cache = NetCache::new();
+        let (_, o) = cache.compile_bypass(&g, Algo::Sssp);
+        assert_eq!(o, CacheOutcome::Bypass);
+        assert_eq!(cache.entries(), 0);
+        assert_eq!(cache.counters(), (0, 1));
+    }
+
+    #[test]
+    fn eviction_removes_all_entries_of_a_fingerprint() {
+        let g1 = ref_graph(105);
+        let g2 = ref_graph(106);
+        let cache = NetCache::new();
+        cache.get_or_compile(&g1, fingerprint(&g1), Algo::Sssp);
+        cache.get_or_compile(&g1, fingerprint(&g1), Algo::Khop(2));
+        cache.get_or_compile(&g2, fingerprint(&g2), Algo::Sssp);
+        cache.evict_fingerprint(fingerprint(&g1));
+        assert_eq!(cache.entries(), 1);
+    }
+
+    #[test]
+    fn registry_replacement_changes_the_handle() {
+        let reg = GraphRegistry::default();
+        reg.insert("g", ref_graph(107));
+        let first = reg.get("g").unwrap();
+        reg.insert("g", ref_graph(108));
+        let second = reg.get("g").unwrap();
+        assert_ne!(first.fingerprint, second.fingerprint);
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get("absent").is_none());
+    }
+}

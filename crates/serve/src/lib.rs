@@ -1,0 +1,43 @@
+//! # sgl-serve — a graph-query service over compiled spiking networks
+//!
+//! The paper's constructions have an unusual serving profile: the §3 SSSP
+//! network and the layered k-hop network are **source-independent** — a
+//! query's source is a `t = 0` stimulus, nothing more. So the expensive
+//! step (compiling a graph into a resident spiking network) is shared
+//! across every query against that graph, and a long-running service
+//! amortizes it the way `sgl_core::apsp` does within one batch. This
+//! crate is that service:
+//!
+//! * [`protocol`] — JSON-lines requests/responses with typed errors
+//!   (`overloaded`, `draining`, `deadline_exceeded`, …).
+//! * [`cache`] — the graph registry and the compiled-network cache, keyed
+//!   by `(graph fingerprint, algorithm, params)`.
+//! * [`admission`] — bounded queue, load shedding, deadlines, and the
+//!   `Running → Draining → Stopped` lifecycle.
+//! * [`stats`] — cql-stress-style sharded statistics: per-worker
+//!   [`sgl_observe::LogHistogram`] shards, combined on read.
+//! * [`session`] — the server core and in-process client ([`Session`]):
+//!   the full service without sockets, for tests and embedding.
+//! * [`tcp`] — `std::net` JSON-lines transport and [`tcp::LoopbackServer`].
+//! * [`stress`] — the load harness behind the `sgl-stress` binary:
+//!   closed- and open-loop generators, live interval reporting, and the
+//!   cold/warm cache measurement committed as `BENCH_serve.json`.
+//!
+//! Binaries: `sgl-serve` (the daemon) and `sgl-stress` (the harness).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod admission;
+pub mod cache;
+pub mod protocol;
+pub mod session;
+pub mod stats;
+pub mod stress;
+pub mod tcp;
+
+pub use admission::Lifecycle;
+pub use cache::{Algo, CacheOutcome, CompiledNet, NetCache};
+pub use protocol::{CacheMode, Envelope, ErrorKind, OpKind, Request, Response};
+pub use session::{ServerConfig, Session};
+pub use tcp::LoopbackServer;

@@ -1,0 +1,791 @@
+//! The server core and its in-process client API.
+//!
+//! [`Session`] owns the whole service: graph registry, compiled-network
+//! cache, admission queue, worker pool, and statistics. The TCP layer
+//! ([`crate::tcp`]) is a thin framing adapter over [`Session::call_line`];
+//! tests and the stress harness's in-process mode talk to [`Session`]
+//! directly, so the entire admission/caching/drain machinery is exercised
+//! without sockets.
+//!
+//! Request routing:
+//!
+//! * **Query ops** (`sssp`, `khop`, `apsp_row`) go through the bounded
+//!   admission queue to the worker pool. Each worker owns a
+//!   [`RunScratch`] (the `BatchRunner` recycling pattern), so steady-state
+//!   queries allocate nothing in the simulator.
+//! * **Control ops** (`load_graph`, `graph_stats`, `server_stats`,
+//!   `shutdown`) execute inline on the calling thread. `server_stats` and
+//!   `shutdown` **must** bypass the queue: they are exactly the requests
+//!   that have to keep working while the queue is full or draining — an
+//!   operator's view into an overloaded server, and the way out of it.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sgl_graph::io::parse_dimacs;
+use sgl_graph::stats::GraphStats;
+use sgl_observe::{parse_json, Json};
+use sgl_snn::engine::RunScratch;
+
+use crate::admission::{AdmissionError, AdmissionQueue, Job, Lifecycle, ResponseSlot};
+use crate::cache::{Algo, GraphRegistry, NetCache};
+use crate::protocol::{
+    distances_json, parse_request, CacheMode, Envelope, ErrorKind, OpKind, Request, Response,
+};
+use crate::stats::{latency_json, Counters, ShardedStats};
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing queued queries.
+    pub workers: usize,
+    /// Admission-queue capacity (jobs waiting beyond this are shed).
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that don't carry their own
+    /// `deadline_ms` (`None`: no default deadline).
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// Shared server state (everything the workers and intake threads touch).
+pub(crate) struct ServerInner {
+    pub(crate) registry: GraphRegistry,
+    pub(crate) cache: NetCache,
+    pub(crate) queue: AdmissionQueue,
+    pub(crate) stats: ShardedStats,
+    pub(crate) counters: Counters,
+    pub(crate) config: ServerConfig,
+    started: Instant,
+}
+
+/// A running server plus its in-process client handle.
+pub struct Session {
+    inner: Arc<ServerInner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+fn micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+impl Session {
+    /// Starts a server: spawns the worker pool, ready for [`Self::call`].
+    ///
+    /// # Panics
+    /// Panics if `config.workers` is zero or thread spawning fails.
+    #[must_use]
+    pub fn open(config: ServerConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        let inner = Arc::new(ServerInner {
+            registry: GraphRegistry::default(),
+            cache: NetCache::new(),
+            queue: AdmissionQueue::new(config.queue_capacity),
+            stats: ShardedStats::new(config.workers),
+            counters: Counters::default(),
+            config: config.clone(),
+            started: Instant::now(),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("sgl-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner, i))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// A server with default tuning.
+    #[must_use]
+    pub fn open_default() -> Self {
+        Self::open(ServerConfig::default())
+    }
+
+    /// Executes one request to completion (queueing query ops, inline for
+    /// control ops) and returns its response. Never panics on bad input;
+    /// every failure is a typed error response.
+    #[must_use]
+    pub fn call(&self, envelope: Envelope) -> Response {
+        match envelope.request.kind() {
+            OpKind::Sssp | OpKind::Khop | OpKind::ApspRow => self.admit(envelope),
+            _ => self.execute_inline(&envelope.request),
+        }
+    }
+
+    /// [`Self::call`] with a bare request (no id, no deadline).
+    #[must_use]
+    pub fn call_request(&self, request: Request) -> Response {
+        self.call(Envelope::of(request))
+    }
+
+    /// Full wire round trip: parses one JSON request line, executes it,
+    /// and renders the response line (without trailing newline). The TCP
+    /// handler and any JSONL transport are this function plus framing.
+    #[must_use]
+    pub fn call_line(&self, line: &str) -> String {
+        let parsed = match parse_json(line) {
+            Ok(v) => v,
+            Err(e) => {
+                return Response::error(ErrorKind::BadRequest, format!("invalid JSON: {e}"))
+                    .to_json(None)
+                    .to_string()
+            }
+        };
+        match parse_request(&parsed) {
+            Ok(env) => {
+                let id = env.id;
+                self.call(env).to_json(id).to_string()
+            }
+            Err(msg) => {
+                // Echo the id even for malformed requests when present.
+                let id = parsed.get("id").and_then(Json::as_u64);
+                Response::error(ErrorKind::BadRequest, msg)
+                    .to_json(id)
+                    .to_string()
+            }
+        }
+    }
+
+    /// Current lifecycle state.
+    #[must_use]
+    pub fn lifecycle(&self) -> Lifecycle {
+        self.inner.queue.lifecycle()
+    }
+
+    /// Drains and stops the server: rejects new work, lets workers finish
+    /// the backlog, joins them. Idempotent; safe to call concurrently
+    /// with in-flight requests (they complete or get typed rejections).
+    ///
+    /// # Panics
+    /// Panics if a worker thread panicked (it never should — all request
+    /// failures are typed responses).
+    pub fn shutdown(&self) {
+        self.inner.queue.drain();
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("worker list")
+            .drain(..)
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        self.inner.queue.mark_stopped();
+    }
+
+    /// Queue depth right now (test/diagnostic hook).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.depth()
+    }
+
+    fn admit(&self, envelope: Envelope) -> Response {
+        let inner = &self.inner;
+        let deadline = envelope
+            .deadline_ms
+            .or(inner.config.default_deadline_ms)
+            .map(Duration::from_millis);
+        let slot = Arc::new(ResponseSlot::new());
+        let job = Job {
+            envelope,
+            enqueued: Instant::now(),
+            deadline,
+            slot: Arc::clone(&slot),
+        };
+        match inner.queue.try_push(job) {
+            Ok(()) => {
+                Counters::bump(&inner.counters.admitted);
+                slot.wait()
+            }
+            Err(AdmissionError::Full) => {
+                Counters::bump(&inner.counters.shed);
+                Response::error(
+                    ErrorKind::Overloaded,
+                    format!(
+                        "admission queue full ({} waiting); retry later",
+                        inner.queue.capacity()
+                    ),
+                )
+            }
+            Err(AdmissionError::Draining) => {
+                Counters::bump(&inner.counters.rejected_draining);
+                Response::error(ErrorKind::Draining, "server is draining")
+            }
+        }
+    }
+
+    fn execute_inline(&self, request: &Request) -> Response {
+        let inner = &self.inner;
+        let t0 = Instant::now();
+        let response = execute_control(inner, request);
+        let shard = inner.stats.overflow_shard();
+        inner.stats.with_shard(shard, |s| {
+            s.record(request.kind(), micros(t0.elapsed()), response.is_ok());
+        });
+        response
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &ServerInner, shard: usize) {
+    let mut scratch = RunScratch::new();
+    while let Some(job) = inner.queue.pop() {
+        let waited = job.enqueued.elapsed();
+        let depth = inner.queue.depth() as u64;
+        inner.stats.with_shard(shard, |s| {
+            s.queue_wait_us.record(micros(waited));
+            s.queue_depth.record(depth);
+        });
+        let kind = job.envelope.request.kind();
+        if job.deadline.is_some_and(|d| waited > d) {
+            Counters::bump(&inner.counters.deadline_exceeded);
+            inner.stats.with_shard(shard, |s| s.record(kind, 0, false));
+            job.slot.fill(Response::error(
+                ErrorKind::DeadlineExceeded,
+                format!("waited {} µs in queue, past the deadline", micros(waited)),
+            ));
+            continue;
+        }
+        let t0 = Instant::now();
+        let response = execute_query(inner, &job.envelope.request, &mut scratch);
+        inner.stats.with_shard(shard, |s| {
+            s.record(kind, micros(t0.elapsed()), response.is_ok());
+        });
+        // Every admitted job is answered — the drain-safety invariant.
+        job.slot.fill(response);
+    }
+}
+
+/// Looks a graph up or produces the typed miss.
+fn lookup(inner: &ServerInner, name: &str) -> Result<Arc<crate::cache::GraphHandle>, Response> {
+    inner.registry.get(name).ok_or_else(|| {
+        Response::error(
+            ErrorKind::UnknownGraph,
+            format!("no graph named {name:?} is loaded"),
+        )
+    })
+}
+
+fn check_node(n: usize, node: usize, what: &str) -> Result<(), Response> {
+    if node < n {
+        Ok(())
+    } else {
+        Err(Response::error(
+            ErrorKind::BadRequest,
+            format!("{what} {node} out of range for a graph with {n} nodes"),
+        ))
+    }
+}
+
+/// Executes a query op on a worker thread. All panicking preconditions of
+/// the compiled constructions are validated here first, so workers never
+/// die: every failure becomes a typed response.
+fn execute_query(inner: &ServerInner, request: &Request, scratch: &mut RunScratch) -> Response {
+    let result = match request {
+        Request::Sssp {
+            graph,
+            source,
+            target,
+            cache,
+        } => run_distance_query(
+            inner,
+            OpKind::Sssp,
+            graph,
+            *source,
+            *target,
+            None,
+            *cache,
+            scratch,
+        ),
+        Request::ApspRow {
+            graph,
+            source,
+            cache,
+        } => run_distance_query(
+            inner,
+            OpKind::ApspRow,
+            graph,
+            *source,
+            None,
+            None,
+            *cache,
+            scratch,
+        ),
+        Request::Khop {
+            graph,
+            source,
+            k,
+            cache,
+        } => run_distance_query(
+            inner,
+            OpKind::Khop,
+            graph,
+            *source,
+            None,
+            Some(*k),
+            *cache,
+            scratch,
+        ),
+        other => Err(Response::error(
+            ErrorKind::Internal,
+            format!("{} is not a query op", other.kind().name()),
+        )),
+    };
+    match result {
+        Ok(resp) | Err(resp) => resp,
+    }
+}
+
+/// Shared body of the three distance queries. `k = None` is the §3 SSSP
+/// construction (also serving `apsp_row`); `k = Some(_)` the layered one.
+#[allow(clippy::too_many_arguments)] // the three call sites are the enum arms above
+fn run_distance_query(
+    inner: &ServerInner,
+    op: OpKind,
+    graph: &str,
+    source: usize,
+    target: Option<usize>,
+    k: Option<u32>,
+    cache: CacheMode,
+    scratch: &mut RunScratch,
+) -> Result<Response, Response> {
+    let handle = lookup(inner, graph)?;
+    let g = &handle.graph;
+    check_node(g.n(), source, "source")?;
+    if let Some(t) = target {
+        check_node(g.n(), t, "target")?;
+    }
+    let algo = match k {
+        None => Algo::Sssp,
+        Some(0) => {
+            return Err(Response::error(
+                ErrorKind::BadRequest,
+                "k must be at least 1",
+            ))
+        }
+        Some(k) => {
+            let neurons = (u64::from(k) + 1).saturating_mul(g.n() as u64);
+            if u32::try_from(neurons).is_err() {
+                return Err(Response::error(
+                    ErrorKind::BadRequest,
+                    format!("(k + 1) · n = {neurons} exceeds the neuron-id space"),
+                ));
+            }
+            Algo::Khop(k)
+        }
+    };
+    let (net, outcome) = match cache {
+        CacheMode::Bypass => inner.cache.compile_bypass(g, algo),
+        CacheMode::Default => inner.cache.get_or_compile(g, handle.fingerprint, algo),
+    };
+    let run = net
+        .run(source, target, scratch)
+        .map_err(|e| Response::error(ErrorKind::Internal, format!("simulation failed: {e}")))?;
+    let distances = net.decode(&run);
+    let mut fields = vec![("source", Json::UInt(source as u64))];
+    if let Some(k) = k {
+        fields.push(("k", Json::UInt(u64::from(k))));
+    }
+    if let Some(t) = target {
+        // Targeted runs stop early; only the target's entry is
+        // authoritative, so the full (partial) row is withheld.
+        fields.push(("target", Json::UInt(t as u64)));
+        fields.push(("distance", distances[t].map_or(Json::Null, Json::UInt)));
+    } else {
+        fields.push((
+            "reachable",
+            Json::UInt(distances.iter().flatten().count() as u64),
+        ));
+        fields.push(("distances", distances_json(&distances)));
+    }
+    fields.push(("cache", Json::Str(outcome.as_str().into())));
+    Ok(Response::Ok {
+        op,
+        data: Json::obj(fields),
+    })
+}
+
+/// Executes a control op inline on the calling thread.
+fn execute_control(inner: &ServerInner, request: &Request) -> Response {
+    match request {
+        Request::LoadGraph { name, dimacs } => load_graph(inner, name, dimacs),
+        Request::GraphStats { graph } => match lookup(inner, graph) {
+            Err(resp) => resp,
+            Ok(handle) => {
+                let s = GraphStats::compute(&handle.graph, 0);
+                Response::Ok {
+                    op: OpKind::GraphStats,
+                    data: Json::obj(vec![
+                        ("name", Json::Str(handle.name.clone())),
+                        ("fingerprint", Json::UInt(handle.fingerprint)),
+                        ("n", Json::UInt(s.n as u64)),
+                        ("m", Json::UInt(s.m as u64)),
+                        ("u_max", Json::UInt(s.u_max)),
+                        ("density", Json::Num(s.density)),
+                        ("max_out_degree", Json::UInt(s.max_out_degree as u64)),
+                        ("reachable_from_0", Json::UInt(s.reachable as u64)),
+                        (
+                            "eccentricity_from_0",
+                            s.eccentricity.map_or(Json::Null, Json::UInt),
+                        ),
+                    ]),
+                }
+            }
+        },
+        Request::ServerStats => server_stats(inner),
+        Request::Shutdown => {
+            inner.queue.drain();
+            Response::Ok {
+                op: OpKind::Shutdown,
+                data: Json::obj(vec![("draining", Json::Bool(true))]),
+            }
+        }
+        other => Response::error(
+            ErrorKind::Internal,
+            format!("{} is not a control op", other.kind().name()),
+        ),
+    }
+}
+
+fn load_graph(inner: &ServerInner, name: &str, dimacs: &str) -> Response {
+    let graph = match parse_dimacs(dimacs) {
+        Ok(g) => g,
+        Err(e) => return Response::error(ErrorKind::BadRequest, format!("DIMACS: {e}")),
+    };
+    if u32::try_from(graph.max_len()).is_err() {
+        return Response::error(
+            ErrorKind::BadRequest,
+            "an edge length exceeds the u32 synapse-delay range",
+        );
+    }
+    // Replacing a name evicts the old graph's compiled networks (unless
+    // the new graph is structurally identical — then they stay warm).
+    if let Some(old) = inner.registry.get(name) {
+        let new_fp = crate::cache::fingerprint(&graph);
+        if old.fingerprint != new_fp {
+            inner.cache.evict_fingerprint(old.fingerprint);
+        }
+    }
+    let handle = inner.registry.insert(name, graph);
+    Response::Ok {
+        op: OpKind::LoadGraph,
+        data: Json::obj(vec![
+            ("name", Json::Str(handle.name.clone())),
+            ("n", Json::UInt(handle.graph.n() as u64)),
+            ("m", Json::UInt(handle.graph.m() as u64)),
+            ("fingerprint", Json::UInt(handle.fingerprint)),
+        ]),
+    }
+}
+
+fn counter_json(c: &AtomicU64) -> Json {
+    Json::UInt(Counters::read(c))
+}
+
+fn server_stats(inner: &ServerInner) -> Response {
+    let combined = inner.stats.combined();
+    let (hits, misses) = inner.cache.counters();
+    let hit_ratio = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    let ops = Json::obj(
+        OpKind::ALL
+            .iter()
+            .map(|&op| {
+                let i = op.index();
+                let mut j = latency_json(&combined.latency_us[i]);
+                if let Json::Obj(pairs) = &mut j {
+                    pairs.push(("ok".into(), Json::UInt(combined.ok[i])));
+                    pairs.push(("errors".into(), Json::UInt(combined.errors[i])));
+                }
+                (op.name(), j)
+            })
+            .collect(),
+    );
+    let lifecycle = match inner.queue.lifecycle() {
+        Lifecycle::Running => "running",
+        Lifecycle::Draining => "draining",
+        Lifecycle::Stopped => "stopped",
+    };
+    Response::Ok {
+        op: OpKind::ServerStats,
+        data: Json::obj(vec![
+            (
+                "uptime_ms",
+                Json::UInt(u64::try_from(inner.started.elapsed().as_millis()).unwrap_or(u64::MAX)),
+            ),
+            ("lifecycle", Json::Str(lifecycle.into())),
+            ("workers", Json::UInt(inner.config.workers as u64)),
+            (
+                "queue",
+                Json::obj(vec![
+                    ("capacity", Json::UInt(inner.queue.capacity() as u64)),
+                    ("depth", Json::UInt(inner.queue.depth() as u64)),
+                    ("wait", latency_json(&combined.queue_wait_us)),
+                    (
+                        "depth_at_pop",
+                        Json::obj(vec![
+                            ("count", Json::UInt(combined.queue_depth.count())),
+                            (
+                                "p50",
+                                combined
+                                    .queue_depth
+                                    .quantile(0.5)
+                                    .map_or(Json::Null, Json::UInt),
+                            ),
+                            (
+                                "max",
+                                combined.queue_depth.max().map_or(Json::Null, Json::UInt),
+                            ),
+                        ]),
+                    ),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::UInt(hits)),
+                    ("misses", Json::UInt(misses)),
+                    ("entries", Json::UInt(inner.cache.entries() as u64)),
+                    ("hit_ratio", Json::Num(hit_ratio)),
+                ]),
+            ),
+            ("graphs", Json::UInt(inner.registry.len() as u64)),
+            ("admitted", counter_json(&inner.counters.admitted)),
+            ("shed", counter_json(&inner.counters.shed)),
+            (
+                "rejected_draining",
+                counter_json(&inner.counters.rejected_draining),
+            ),
+            (
+                "deadline_exceeded",
+                counter_json(&inner.counters.deadline_exceeded),
+            ),
+            ("ops", ops),
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgl_graph::io::to_dimacs;
+    use sgl_graph::{dijkstra, generators};
+
+    fn load(session: &Session, name: &str, seed: u64, n: usize, m: usize) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnm_connected(&mut rng, n, m, 1..=9);
+        let resp = session.call_request(Request::LoadGraph {
+            name: name.into(),
+            dimacs: to_dimacs(&g, "test graph"),
+        });
+        assert!(resp.is_ok(), "{resp:?}");
+    }
+
+    #[test]
+    fn full_inline_round_trip() {
+        let session = Session::open_default();
+        load(&session, "g", 1, 24, 90);
+        let resp = session.call_request(Request::Sssp {
+            graph: "g".into(),
+            source: 0,
+            target: None,
+            cache: CacheMode::Default,
+        });
+        let Response::Ok { data, .. } = &resp else {
+            panic!("{resp:?}");
+        };
+        assert_eq!(data.get("cache").and_then(Json::as_str), Some("miss"));
+        // Second call on the same compiled network: hit.
+        let resp = session.call_request(Request::Sssp {
+            graph: "g".into(),
+            source: 3,
+            target: None,
+            cache: CacheMode::Default,
+        });
+        let Response::Ok { data, .. } = &resp else {
+            panic!("{resp:?}");
+        };
+        assert_eq!(data.get("cache").and_then(Json::as_str), Some("hit"));
+        session.shutdown();
+        assert_eq!(session.lifecycle(), Lifecycle::Stopped);
+    }
+
+    #[test]
+    fn typed_errors_for_bad_inputs() {
+        let session = Session::open_default();
+        let err = |r: Response| r.error_kind().unwrap();
+        assert_eq!(
+            err(session.call_request(Request::Sssp {
+                graph: "missing".into(),
+                source: 0,
+                target: None,
+                cache: CacheMode::Default,
+            })),
+            ErrorKind::UnknownGraph
+        );
+        load(&session, "g", 2, 8, 20);
+        assert_eq!(
+            err(session.call_request(Request::Sssp {
+                graph: "g".into(),
+                source: 99,
+                target: None,
+                cache: CacheMode::Default,
+            })),
+            ErrorKind::BadRequest
+        );
+        assert_eq!(
+            err(session.call_request(Request::Khop {
+                graph: "g".into(),
+                source: 0,
+                k: 0,
+                cache: CacheMode::Default,
+            })),
+            ErrorKind::BadRequest
+        );
+        assert_eq!(
+            err(session.call_request(Request::LoadGraph {
+                name: "bad".into(),
+                dimacs: "p sp 2 1\na 1 9 5\n".into(),
+            })),
+            ErrorKind::BadRequest
+        );
+    }
+
+    #[test]
+    fn call_line_survives_garbage() {
+        let session = Session::open_default();
+        for line in ["", "not json", "{\"op\":12}", "{}", "[1,2,3]"] {
+            let out = session.call_line(line);
+            let v = parse_json(&out).expect("response is valid JSON");
+            assert_eq!(v.get("status").and_then(Json::as_str), Some("error"));
+        }
+        // A malformed request that still carries an id echoes it.
+        let out = session.call_line(r#"{"op":"warp","id":9}"#);
+        let v = parse_json(&out).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(9));
+    }
+
+    #[test]
+    fn targeted_query_reports_the_distance() {
+        let session = Session::open_default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::gnm_connected(&mut rng, 20, 70, 1..=6);
+        let resp = session.call_request(Request::LoadGraph {
+            name: "g".into(),
+            dimacs: to_dimacs(&g, ""),
+        });
+        assert!(resp.is_ok(), "{resp:?}");
+        let want = dijkstra(&g, 2).distances[17];
+        let resp = session.call_request(Request::Sssp {
+            graph: "g".into(),
+            source: 2,
+            target: Some(17),
+            cache: CacheMode::Default,
+        });
+        let Response::Ok { data, .. } = &resp else {
+            panic!("{resp:?}");
+        };
+        assert_eq!(data.get("distance").and_then(Json::as_u64), want);
+        assert!(data.get("distances").is_none(), "partial rows are withheld");
+    }
+
+    #[test]
+    fn server_stats_reflect_activity() {
+        let session = Session::open_default();
+        load(&session, "g", 7, 16, 50);
+        for source in 0..4 {
+            let resp = session.call_request(Request::Sssp {
+                graph: "g".into(),
+                source,
+                target: None,
+                cache: CacheMode::Default,
+            });
+            assert!(resp.is_ok(), "{resp:?}");
+        }
+        let resp = session.call_request(Request::ServerStats);
+        let Response::Ok { data, .. } = &resp else {
+            panic!("{resp:?}");
+        };
+        let cache = data.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(3));
+        assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+        let sssp = data.get("ops").and_then(|o| o.get("sssp")).unwrap();
+        assert_eq!(sssp.get("ok").and_then(Json::as_u64), Some(4));
+        assert!(sssp.get("p50_us").and_then(Json::as_u64).is_some());
+        assert_eq!(data.get("admitted").and_then(Json::as_u64), Some(4));
+        assert_eq!(data.get("shed").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn graph_replacement_evicts_compiled_networks() {
+        let session = Session::open_default();
+        load(&session, "g", 11, 12, 40);
+        let resp = session.call_request(Request::Sssp {
+            graph: "g".into(),
+            source: 0,
+            target: None,
+            cache: CacheMode::Default,
+        });
+        assert!(resp.is_ok(), "{resp:?}");
+        // Same name, different graph: the old compiled network must go.
+        load(&session, "g", 12, 12, 40);
+        let resp = session.call_request(Request::Sssp {
+            graph: "g".into(),
+            source: 0,
+            target: None,
+            cache: CacheMode::Default,
+        });
+        let Response::Ok { data, .. } = &resp else {
+            panic!("{resp:?}");
+        };
+        assert_eq!(
+            data.get("cache").and_then(Json::as_str),
+            Some("miss"),
+            "stale compiled network must not serve the new graph"
+        );
+    }
+
+    #[test]
+    fn draining_rejects_queries_with_typed_error() {
+        let session = Session::open_default();
+        load(&session, "g", 13, 8, 20);
+        let resp = session.call_request(Request::Shutdown);
+        assert!(resp.is_ok());
+        let resp = session.call_request(Request::Sssp {
+            graph: "g".into(),
+            source: 0,
+            target: None,
+            cache: CacheMode::Default,
+        });
+        assert_eq!(resp.error_kind(), Some(ErrorKind::Draining));
+        // Control ops still work while draining.
+        assert!(session.call_request(Request::ServerStats).is_ok());
+        session.shutdown();
+    }
+}

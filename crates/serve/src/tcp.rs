@@ -1,0 +1,226 @@
+//! TCP transport: JSON-lines over `std::net`, one request per line.
+//!
+//! Deliberately thin — every request line is handed to
+//! [`Session::call_line`], so the socket layer adds framing and lifecycle
+//! polling, nothing else. The accept loop runs non-blocking and polls the
+//! session lifecycle between accepts; connection handlers run as scoped
+//! threads with a short read timeout so they notice a drain within
+//! ~[`POLL_INTERVAL`] even while idle. During drain, in-flight requests
+//! finish (the session answers them — admitted work is always answered)
+//! and idle connections are closed.
+
+use std::io::{BufRead, BufReader, ErrorKind as IoErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::admission::Lifecycle;
+use crate::session::{ServerConfig, Session};
+
+/// How often the accept loop and idle connections check the lifecycle.
+pub const POLL_INTERVAL: Duration = Duration::from_millis(5);
+
+/// Read timeout on client sockets — the drain-notice latency bound for
+/// idle connections.
+const READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// Serves `session` on `listener` until the session drains. Blocks the
+/// calling thread; connection handlers are scoped threads, all joined
+/// before this returns, so a clean return means no handler is left.
+///
+/// # Panics
+/// Panics if the listener cannot be switched to non-blocking mode.
+pub fn serve(listener: &TcpListener, session: &Session) {
+    listener
+        .set_nonblocking(true)
+        .expect("set_nonblocking on listener");
+    std::thread::scope(|scope| {
+        while session.lifecycle() == Lifecycle::Running {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    scope.spawn(move || handle_connection(stream, session));
+                }
+                Err(e) if e.kind() == IoErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                // Transient accept errors (e.g. aborted handshakes) must
+                // not take the server down.
+                Err(_) => std::thread::sleep(POLL_INTERVAL),
+            }
+        }
+        // Scope exit joins every connection handler: each sees the drain
+        // via its read timeout and returns.
+    });
+}
+
+fn handle_connection(stream: TcpStream, session: &Session) {
+    stream
+        .set_read_timeout(Some(READ_TIMEOUT))
+        .expect("set_read_timeout");
+    // One small JSON line each way per request: Nagle + delayed ACK would
+    // add tens of milliseconds per round trip.
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                let response = session.call_line(trimmed);
+                if writer
+                    .write_all(response.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == IoErrorKind::WouldBlock || e.kind() == IoErrorKind::TimedOut => {
+                // Idle poll: drop idle connections once draining.
+                if session.lifecycle() != Lifecycle::Running {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// A server on an ephemeral loopback port, for tests, the CI smoke job,
+/// and `sgl-stress --spawn`: bind `127.0.0.1:0`, serve on a background
+/// thread, stop cleanly on [`Self::stop`].
+pub struct LoopbackServer {
+    /// The bound address to connect to.
+    pub addr: SocketAddr,
+    session: Arc<Session>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LoopbackServer {
+    /// Binds an ephemeral loopback port and starts serving.
+    ///
+    /// # Panics
+    /// Panics if binding the loopback interface fails.
+    #[must_use]
+    pub fn start(config: ServerConfig) -> Self {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr");
+        let session = Arc::new(Session::open(config));
+        let session2 = Arc::clone(&session);
+        let thread = std::thread::Builder::new()
+            .name("sgl-serve-accept".into())
+            .spawn(move || serve(&listener, &session2))
+            .expect("spawn accept loop");
+        Self {
+            addr,
+            session,
+            thread: Some(thread),
+        }
+    }
+
+    /// The server's session (e.g. to inspect stats without a socket).
+    #[must_use]
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Drains the server, joins the accept loop and all workers.
+    ///
+    /// # Panics
+    /// Panics if the accept thread panicked.
+    pub fn stop(mut self) {
+        self.session.shutdown();
+        if let Some(t) = self.thread.take() {
+            t.join().expect("accept loop panicked");
+        }
+    }
+}
+
+impl Drop for LoopbackServer {
+    fn drop(&mut self) {
+        self.session.shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{ErrorKind, Request};
+    use sgl_observe::{parse_json, Json};
+
+    fn send(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Json {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut out = String::new();
+        reader.read_line(&mut out).unwrap();
+        parse_json(out.trim()).expect("valid response JSON")
+    }
+
+    fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+        let stream = TcpStream::connect(addr).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        (stream, reader)
+    }
+
+    #[test]
+    fn loopback_round_trip_and_clean_stop() {
+        let server = LoopbackServer::start(ServerConfig::default());
+        let (mut stream, mut reader) = connect(server.addr);
+        let v = send(
+            &mut stream,
+            &mut reader,
+            r#"{"op":"load_graph","name":"g","dimacs":"p sp 3 3\na 1 2 2\na 2 3 2\na 1 3 5\n","id":1}"#,
+        );
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(1));
+        let v = send(
+            &mut stream,
+            &mut reader,
+            r#"{"op":"sssp","graph":"g","source":0,"id":2}"#,
+        );
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+        let d = v.get("data").and_then(|d| d.get("distances")).unwrap();
+        assert_eq!(
+            crate::protocol::parse_distances(d).unwrap(),
+            vec![Some(0), Some(2), Some(4)]
+        );
+        // Garbage on the wire gets an error response, not a hangup.
+        let v = send(&mut stream, &mut reader, "{{{not json");
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("error"));
+        let v = send(&mut stream, &mut reader, r#"{"op":"server_stats"}"#);
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+        server.stop();
+    }
+
+    #[test]
+    fn shutdown_over_the_wire_drains_and_disconnects() {
+        let server = LoopbackServer::start(ServerConfig::default());
+        let addr = server.addr;
+        let (mut stream, mut reader) = connect(addr);
+        let v = send(&mut stream, &mut reader, r#"{"op":"shutdown","id":5}"#);
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+        // The accept loop exits; idle connections get closed. A fresh
+        // query on the session is rejected as draining.
+        let resp = server.session().call_request(Request::Sssp {
+            graph: "g".into(),
+            source: 0,
+            target: None,
+            cache: crate::protocol::CacheMode::Default,
+        });
+        assert_eq!(resp.error_kind(), Some(ErrorKind::Draining));
+        server.stop();
+    }
+}

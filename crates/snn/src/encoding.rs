@@ -83,6 +83,44 @@ pub fn read_value(result: &RunResult, bundle: &[NeuronId]) -> u64 {
     )
 }
 
+/// Sentinel spike time for "this neuron never spiked" in packed form.
+///
+/// First-spike readouts are `Option<Time>` in memory (`None` =
+/// unreachable, §3.2); a flat `u64` stream is easier to ship across FFI,
+/// sockets, and bench artifacts, so packing maps `None` to this value.
+/// Real spike times can never reach it: engines cap runs at a step
+/// budget far below `u64::MAX`.
+pub const NEVER_SPIKED: Time = Time::MAX;
+
+/// Packs first-spike times into a flat `u64` stream, mapping `None`
+/// (never spiked = unreachable) to [`NEVER_SPIKED`].
+///
+/// # Panics
+/// Panics if an actual spike time equals the sentinel — that would make
+/// the packing ambiguous.
+#[must_use]
+pub fn pack_spike_times(times: &[Option<Time>]) -> Vec<u64> {
+    times
+        .iter()
+        .map(|t| match *t {
+            Some(t) => {
+                assert_ne!(t, NEVER_SPIKED, "spike time collides with sentinel");
+                t
+            }
+            None => NEVER_SPIKED,
+        })
+        .collect()
+}
+
+/// Inverse of [`pack_spike_times`]: [`NEVER_SPIKED`] becomes `None`.
+#[must_use]
+pub fn unpack_spike_times(packed: &[u64]) -> Vec<Option<Time>> {
+    packed
+        .iter()
+        .map(|&t| (t != NEVER_SPIKED).then_some(t))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +166,70 @@ mod tests {
         let bits = value_to_bits(v, 64);
         assert!(bits.iter().all(|&b| b));
         assert_eq!(bits_to_value(&bits), v);
+    }
+
+    #[test]
+    fn spike_time_packing_roundtrips_with_sentinel() {
+        let times = vec![Some(0), None, Some(17), None, Some(Time::MAX - 1)];
+        let packed = pack_spike_times(&times);
+        assert_eq!(packed[1], NEVER_SPIKED);
+        assert_eq!(unpack_spike_times(&packed), times);
+    }
+
+    #[test]
+    #[should_panic(expected = "collides with sentinel")]
+    fn packing_a_sentinel_valued_spike_time_panics() {
+        let _ = pack_spike_times(&[Some(NEVER_SPIKED)]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One first-spike readout entry: unreachable, or a plausible time
+    /// (incl. 0 and values near the sentinel boundary).
+    fn arb_spike_time() -> impl Strategy<Value = Option<Time>> {
+        (0u8..4, 0u64..1000).prop_map(|(kind, t)| match kind {
+            0 => None,
+            1 => Some(t),
+            2 => Some(Time::MAX - 1 - t), // near the sentinel, still valid
+            _ => Some(0),
+        })
+    }
+
+    proptest! {
+        /// Value ↔ bit-vector round trip across widths.
+        #[test]
+        fn value_bits_roundtrip(value in 0u64..u64::MAX, extra in 0usize..8) {
+            let lambda = (bits_needed(value) + extra).min(64);
+            prop_assert_eq!(bits_to_value(&value_to_bits(value, lambda)), value);
+        }
+
+        /// Bundle presentation agrees with the bit decomposition: neuron j
+        /// is stimulated iff bit j is set.
+        #[test]
+        fn spikes_match_bits(value in 0u64..(1u64 << 16), lambda in 16usize..24) {
+            let bundle: Vec<NeuronId> = (0..lambda as u32).map(NeuronId).collect();
+            let spikes = spikes_for_value(&bundle, value);
+            let bits = value_to_bits(value, lambda);
+            for (j, &bit) in bits.iter().enumerate() {
+                prop_assert_eq!(spikes.contains(&bundle[j]), bit);
+            }
+        }
+
+        /// First-spike packing round-trips, never-spiked sentinel included.
+        #[test]
+        fn spike_times_roundtrip(
+            times in proptest::collection::vec(arb_spike_time(), 0..64)
+        ) {
+            let packed = pack_spike_times(&times);
+            prop_assert_eq!(packed.len(), times.len());
+            for (p, t) in packed.iter().zip(&times) {
+                prop_assert_eq!(*p == NEVER_SPIKED, t.is_none());
+            }
+            prop_assert_eq!(unpack_spike_times(&packed), times);
+        }
     }
 }

@@ -8,6 +8,12 @@
 //! `artifacts/`.
 //!
 //! Run with: `cargo run --release --example run_report`
+//!
+//! Given a path to a `BENCH_serve.json` report (as written by
+//! `sgl-stress`), it instead renders the serve-side view: per-op latency
+//! quantiles with a p50 sparkline across ops, queue pressure, and the
+//! compiled-network cache hit ratio:
+//! `cargo run --release --example run_report -- artifacts/BENCH_serve.json`
 
 use rand::SeedableRng;
 use spiking_graphs::algorithms::sssp_pseudo::SpikingSssp;
@@ -36,7 +42,110 @@ fn print_histogram(label: &str, hist: &LogHistogram) {
     println!("  {}", sparkline(&counts, 64));
 }
 
+/// Renders the serve-side view of a `BENCH_serve.json` report written by
+/// `sgl-stress`: per-op latency quantiles (p50 sparkline across ops),
+/// queue pressure, and the compiled-network cache hit ratio.
+fn render_serve_report(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let report = RunReport::from_jsonl(&text).unwrap_or_else(|e| panic!("bad report: {e:?}"));
+    println!("# sgl-serve report `{}` ({path})\n", report.name);
+
+    if let Some(config) = report.get("config") {
+        let field = |k: &str| config.get(k).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "workload: {} ops, {} threads, mode {}, graph n={} m={}",
+            field("ops"),
+            field("concurrency"),
+            config.get("mode").and_then(Json::as_str).unwrap_or("?"),
+            field("graph_n"),
+            field("graph_m"),
+        );
+    }
+
+    let Some(stats) = report.get("server_stats") else {
+        println!("(no server_stats section)");
+        return;
+    };
+
+    // Per-op latency table + a p50 sparkline across ops.
+    if let Some(Json::Obj(ops)) = stats.get("ops") {
+        let mut p50s = Vec::new();
+        println!("\nop latency (µs):");
+        println!(
+            "  {:<14} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "op", "count", "p50", "p95", "p99", "max"
+        );
+        for (op, v) in ops {
+            let q = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
+            if q("count") == 0 {
+                continue;
+            }
+            p50s.push(q("p50_us"));
+            println!(
+                "  {:<14} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                op,
+                q("count"),
+                q("p50_us"),
+                q("p95_us"),
+                q("p99_us"),
+                q("max_us"),
+            );
+        }
+        if !p50s.is_empty() {
+            println!("  p50 across ops: {}", sparkline(&p50s, 32));
+        }
+    }
+
+    if let Some(queue) = stats.get("queue") {
+        let wait = queue.get("wait").cloned().unwrap_or(Json::Null);
+        println!(
+            "\nqueue: capacity {}, wait p50 {} µs / p99 {} µs",
+            queue.get("capacity").and_then(Json::as_u64).unwrap_or(0),
+            wait.get("p50_us").and_then(Json::as_u64).unwrap_or(0),
+            wait.get("p99_us").and_then(Json::as_u64).unwrap_or(0),
+        );
+    }
+
+    // The cache verdict: hit ratio plus the cold/warm medians the
+    // perf_check ordering rule is enforced over.
+    if let Some(cache) = stats.get("cache") {
+        let hits = cache.get("hits").and_then(Json::as_u64).unwrap_or(0);
+        let misses = cache.get("misses").and_then(Json::as_u64).unwrap_or(0);
+        let ratio = cache.get("hit_ratio").and_then(Json::as_f64).unwrap_or(0.0);
+        let bar_len = (ratio * 32.0).round() as usize;
+        println!(
+            "\ncompiled-network cache: {hits} hits / {misses} misses ({:.1}% hit ratio)",
+            ratio * 100.0
+        );
+        println!(
+            "  [{}{}]",
+            "#".repeat(bar_len),
+            "-".repeat(32 - bar_len.min(32))
+        );
+    }
+    if let Some(cw) = report.get("cold_warm") {
+        println!(
+            "cold compile median {} µs vs warm hit median {} µs",
+            cw.get("cold_median_us").and_then(Json::as_u64).unwrap_or(0),
+            cw.get("warm_median_us").and_then(Json::as_u64).unwrap_or(0),
+        );
+    }
+    println!(
+        "\nshed {} / deadline_exceeded {} / admitted {}",
+        stats.get("shed").and_then(Json::as_u64).unwrap_or(0),
+        stats
+            .get("deadline_exceeded")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        stats.get("admitted").and_then(Json::as_u64).unwrap_or(0),
+    );
+}
+
 fn main() {
+    if let Some(path) = std::env::args().nth(1) {
+        render_serve_report(&path);
+        return;
+    }
     let mut phases = PhaseProfiler::new();
 
     // build: graph + network construction.

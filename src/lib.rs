@@ -23,6 +23,9 @@
 //!   energy models.
 //! * [`observe`] — zero-cost run telemetry: observer hooks, per-step time
 //!   series, phase profiling, and machine-readable run reports.
+//! * [`serve`] — the `sgl-serve` graph-query service: JSON-lines protocol
+//!   over TCP or in-process, compiled-network caching, admission control,
+//!   and the `sgl-stress` load harness.
 //!
 //! ## Quickstart
 //!
@@ -48,4 +51,5 @@ pub use sgl_distance as distance;
 pub use sgl_graph as graph;
 pub use sgl_observe as observe;
 pub use sgl_platforms as platforms;
+pub use sgl_serve as serve;
 pub use sgl_snn as snn;
