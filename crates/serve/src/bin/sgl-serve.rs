@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! sgl-serve [--addr 127.0.0.1:7687] [--workers N] [--queue-capacity N]
-//!           [--deadline-ms MS]
+//!           [--deadline-ms MS] [--max-connections N]
 //! ```
 //!
 //! Serves the JSON-lines protocol until a `shutdown` request arrives,
@@ -18,7 +18,7 @@ use sgl_serve::tcp;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: sgl-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N] [--deadline-ms MS]"
+        "usage: sgl-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N] [--deadline-ms MS] [--max-connections N]"
     );
     ExitCode::FAILURE
 }
@@ -46,6 +46,10 @@ fn main() -> ExitCode {
                 .parse()
                 .map(|v| config.default_deadline_ms = Some(v))
                 .map_err(|_| ()),
+            "--max-connections" => value
+                .parse()
+                .map(|v| config.max_connections = v)
+                .map_err(|_| ()),
             _ => {
                 eprintln!("unknown flag {flag}");
                 return usage();
@@ -56,8 +60,8 @@ fn main() -> ExitCode {
             return usage();
         }
     }
-    if config.workers == 0 || config.queue_capacity == 0 {
-        eprintln!("--workers and --queue-capacity must be positive");
+    if config.workers == 0 || config.queue_capacity == 0 || config.max_connections == 0 {
+        eprintln!("--workers, --queue-capacity and --max-connections must be positive");
         return usage();
     }
     let listener = match TcpListener::bind(&addr) {

@@ -153,7 +153,7 @@ fn main() -> ExitCode {
         Some(LoopbackServer::start(ServerConfig {
             workers: 4,
             queue_capacity: 64,
-            default_deadline_ms: None,
+            ..ServerConfig::default()
         }))
     } else {
         None

@@ -6,22 +6,28 @@
 //! `t = 0` stimulus. Compiling the network (allocating neurons, sorting
 //! synapses into CSR, computing suppression weights) is the expensive,
 //! shareable part; the run itself reuses it untouched. So compiled
-//! networks are cached under the key
+//! networks are cached **on the [`GraphHandle`] they were compiled from**,
+//! keyed by `(algorithm, algorithm params)`.
 //!
-//! ```text
-//! (graph fingerprint, algorithm, algorithm params)
-//! ```
+//! Scoping entries to the handle (rather than a global map keyed by a
+//! graph hash) is a correctness decision, not a convenience: this is an
+//! untrusted-input server, and a 64-bit FNV fingerprint collision between
+//! two loaded graphs is constructible by an adversarial client. With
+//! handle-scoped entries a collision can never serve answers computed on
+//! the wrong graph, and eviction is structural — replacing a registry
+//! name drops the old handle, and its compiled networks die with it once
+//! in-flight queries release their references. A worker that raced a
+//! replacement inserts into the *old* handle's map, which is garbage, not
+//! a leak. The [`fingerprint`] survives as a cheap pre-filter (identical
+//! reloads keep the old handle — and its warm networks — after a full
+//! structural check, see [`same_structure`]) and as a wire-visible id.
 //!
-//! where the fingerprint is a structural hash of the graph (not its
-//! registry name: re-loading the same graph under another name, or
-//! re-loading an identical graph after a restart of the client, still
-//! hits). A k-hop entry is keyed by `k` because the unrolled network has
+//! A k-hop entry is keyed by `k` because the unrolled network has
 //! `(k + 1) · n` neurons; SSSP and APSP rows share one entry since an
 //! APSP row *is* an SSSP query.
 //!
 //! Entries hold `Arc<CompiledNet>` so workers run on a cache entry without
-//! holding the cache lock — eviction (on graph replacement) just drops the
-//! map's reference while in-flight runs finish on theirs.
+//! holding the per-handle lock — compilation happens *outside* it too.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,8 +40,11 @@ use sgl_snn::{Network, NeuronId, SnnError};
 
 /// Structural fingerprint of a graph: 64-bit FNV-1a over `(n, m)` and the
 /// CSR edge list. Two graphs with the same node count and identical
-/// ordered edge lists collide by construction — which is exactly the
-/// "same compiled network" equivalence the cache wants.
+/// ordered edge lists collide by construction. The fingerprint is a cheap
+/// pre-filter and a wire-visible identity — **never** a cache key on its
+/// own: adversarial collisions are constructible against a
+/// non-cryptographic 64-bit hash, so every equality decision that affects
+/// answers is confirmed with [`same_structure`].
 #[must_use]
 pub fn fingerprint(g: &Graph) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -57,7 +66,18 @@ pub fn fingerprint(g: &Graph) -> u64 {
     h
 }
 
-/// A graph registered with the server.
+/// Exact structural equality: same node count and identical ordered edge
+/// lists. O(m); the confirmation step behind every [`fingerprint`] match
+/// that would let one graph's compiled networks answer for another.
+#[must_use]
+pub fn same_structure(a: &Graph, b: &Graph) -> bool {
+    a.n() == b.n() && a.m() == b.m() && a.edges().eq(b.edges())
+}
+
+/// A graph registered with the server, plus the compiled networks built
+/// from it. Scoping the cache to the handle ties every compiled network's
+/// lifetime to the exact graph instance it answers for (see the module
+/// docs for why a global fingerprint-keyed map is not sound here).
 #[derive(Debug)]
 pub struct GraphHandle {
     /// Registry name.
@@ -66,6 +86,30 @@ pub struct GraphHandle {
     pub graph: Graph,
     /// Structural hash (see [`fingerprint`]).
     pub fingerprint: u64,
+    /// Compiled networks built from `graph`, by construction/params.
+    nets: Mutex<HashMap<Algo, Arc<CompiledNet>>>,
+}
+
+impl GraphHandle {
+    /// Wraps `graph` in a fresh handle (empty compiled-network cache).
+    #[must_use]
+    pub fn new(name: &str, graph: Graph) -> Self {
+        Self {
+            name: name.to_string(),
+            fingerprint: fingerprint(&graph),
+            graph,
+            nets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of compiled networks resident on this handle.
+    ///
+    /// # Panics
+    /// Panics if the handle's cache lock is poisoned.
+    #[must_use]
+    pub fn resident_nets(&self) -> usize {
+        self.nets.lock().expect("handle cache lock").len()
+    }
 }
 
 /// Named-graph registry. Replacing a name drops the old handle's registry
@@ -82,11 +126,7 @@ impl GraphRegistry {
     /// # Panics
     /// Panics if the registry lock is poisoned (a worker panicked).
     pub fn insert(&self, name: &str, graph: Graph) -> Arc<GraphHandle> {
-        let handle = Arc::new(GraphHandle {
-            name: name.to_string(),
-            fingerprint: fingerprint(&graph),
-            graph,
-        });
+        let handle = Arc::new(GraphHandle::new(name, graph));
         self.graphs
             .lock()
             .expect("registry lock")
@@ -121,6 +161,23 @@ impl GraphRegistry {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Total compiled networks resident across registered handles (the
+    /// `server_stats` "entries" figure). Networks on replaced handles are
+    /// excluded: they are unreachable for new queries and freed as soon as
+    /// in-flight ones finish.
+    ///
+    /// # Panics
+    /// Panics if the registry lock is poisoned.
+    #[must_use]
+    pub fn resident_entries(&self) -> usize {
+        self.graphs
+            .lock()
+            .expect("registry lock")
+            .values()
+            .map(|h| h.resident_nets())
+            .sum()
+    }
 }
 
 /// Which compiled construction a cache entry holds.
@@ -130,15 +187,6 @@ pub enum Algo {
     Sssp,
     /// The layered ≤ k-hop network.
     Khop(u32),
-}
-
-/// Cache key: structural graph identity × construction × params.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct NetKey {
-    /// [`fingerprint`] of the graph.
-    pub fingerprint: u64,
-    /// Construction and its parameters.
-    pub algo: Algo,
 }
 
 /// A compiled, resident, source-independent network plus everything
@@ -264,50 +312,56 @@ impl CacheOutcome {
     }
 }
 
-/// The compiled-network cache. Unbounded by entry count but bounded in
-/// practice by the registry: entries are evicted when their graph is
-/// replaced (same name, new fingerprint) via [`Self::evict_fingerprint`].
+/// The compiled-network cache front: per-handle entry storage (see
+/// [`GraphHandle`]) plus the server-wide hit/miss counters. There is no
+/// global entry map and no explicit eviction — replacing a registry name
+/// drops the old handle, and its networks with it.
 #[derive(Debug, Default)]
 pub struct NetCache {
-    map: Mutex<HashMap<NetKey, Arc<CompiledNet>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl NetCache {
-    /// An empty cache.
+    /// A cache with zeroed counters.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Returns the resident network for `(g, algo)`, compiling and
+    /// Returns the resident network for `(handle, algo)`, compiling and
     /// inserting it on a miss.
     ///
-    /// The compile happens **outside** the cache lock: concurrent misses
-    /// on the same key may both compile, last insert wins — wasted work
-    /// under a cold-start race, never a wrong answer, and no worker ever
-    /// blocks on another's compile.
+    /// The compile happens **outside** the handle's lock: concurrent
+    /// misses on the same key may both compile, last insert wins — wasted
+    /// work under a cold-start race, never a wrong answer, and no worker
+    /// ever blocks on another's compile.
     ///
     /// # Panics
-    /// Panics if the cache lock is poisoned, or as [`CompiledNet::compile`].
+    /// Panics if the handle's cache lock is poisoned, or as
+    /// [`CompiledNet::compile`].
     pub fn get_or_compile(
         &self,
-        g: &Graph,
-        fingerprint: u64,
+        handle: &GraphHandle,
         algo: Algo,
     ) -> (Arc<CompiledNet>, CacheOutcome) {
-        let key = NetKey { fingerprint, algo };
-        if let Some(hit) = self.map.lock().expect("cache lock").get(&key).cloned() {
+        if let Some(hit) = handle
+            .nets
+            .lock()
+            .expect("handle cache lock")
+            .get(&algo)
+            .cloned()
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (hit, CacheOutcome::Hit);
         }
-        let compiled = Arc::new(CompiledNet::compile(g, algo));
+        let compiled = Arc::new(CompiledNet::compile(&handle.graph, algo));
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.map
+        handle
+            .nets
             .lock()
-            .expect("cache lock")
-            .insert(key, Arc::clone(&compiled));
+            .expect("handle cache lock")
+            .insert(algo, Arc::clone(&compiled));
         (compiled, CacheOutcome::Miss)
     }
 
@@ -324,18 +378,6 @@ impl NetCache {
         )
     }
 
-    /// Drops every entry compiled from the given graph fingerprint
-    /// (called when a registry name is re-bound to a different graph).
-    ///
-    /// # Panics
-    /// Panics if the cache lock is poisoned.
-    pub fn evict_fingerprint(&self, fingerprint: u64) {
-        self.map
-            .lock()
-            .expect("cache lock")
-            .retain(|k, _| k.fingerprint != fingerprint);
-    }
-
     /// (hits, misses) so far. Bypass compiles count as misses.
     #[must_use]
     pub fn counters(&self) -> (u64, u64) {
@@ -343,15 +385,6 @@ impl NetCache {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
-    }
-
-    /// Number of resident entries.
-    ///
-    /// # Panics
-    /// Panics if the cache lock is poisoned.
-    #[must_use]
-    pub fn entries(&self) -> usize {
-        self.map.lock().expect("cache lock").len()
     }
 }
 
@@ -419,43 +452,65 @@ mod tests {
     }
 
     #[test]
+    fn same_structure_is_exact() {
+        let g1 = from_edges(3, &[(0, 1, 2), (1, 2, 3)]);
+        let g2 = from_edges(3, &[(0, 1, 2), (1, 2, 3)]);
+        let g3 = from_edges(3, &[(0, 1, 2), (1, 2, 4)]);
+        let g4 = from_edges(4, &[(0, 1, 2), (1, 2, 3)]);
+        assert!(same_structure(&g1, &g2));
+        assert!(!same_structure(&g1, &g3), "edge length differs");
+        assert!(!same_structure(&g1, &g4), "node count differs");
+    }
+
+    #[test]
     fn cache_hits_after_first_compile_and_keys_by_params() {
-        let g = ref_graph(103);
-        let fp = fingerprint(&g);
+        let handle = GraphHandle::new("g", ref_graph(103));
         let cache = NetCache::new();
-        let (a, o1) = cache.get_or_compile(&g, fp, Algo::Sssp);
-        let (b, o2) = cache.get_or_compile(&g, fp, Algo::Sssp);
+        let (a, o1) = cache.get_or_compile(&handle, Algo::Sssp);
+        let (b, o2) = cache.get_or_compile(&handle, Algo::Sssp);
         assert_eq!(o1, CacheOutcome::Miss);
         assert_eq!(o2, CacheOutcome::Hit);
         assert!(Arc::ptr_eq(&a, &b), "hit must be the same network");
-        let (_, o3) = cache.get_or_compile(&g, fp, Algo::Khop(2));
-        let (_, o4) = cache.get_or_compile(&g, fp, Algo::Khop(3));
+        let (_, o3) = cache.get_or_compile(&handle, Algo::Khop(2));
+        let (_, o4) = cache.get_or_compile(&handle, Algo::Khop(3));
         assert_eq!(o3, CacheOutcome::Miss, "k is part of the key");
         assert_eq!(o4, CacheOutcome::Miss);
         assert_eq!(cache.counters(), (1, 3));
-        assert_eq!(cache.entries(), 3);
+        assert_eq!(handle.resident_nets(), 3);
     }
 
     #[test]
     fn bypass_never_populates_the_cache() {
-        let g = ref_graph(104);
+        let handle = GraphHandle::new("g", ref_graph(104));
         let cache = NetCache::new();
-        let (_, o) = cache.compile_bypass(&g, Algo::Sssp);
+        let (_, o) = cache.compile_bypass(&handle.graph, Algo::Sssp);
         assert_eq!(o, CacheOutcome::Bypass);
-        assert_eq!(cache.entries(), 0);
+        assert_eq!(handle.resident_nets(), 0);
         assert_eq!(cache.counters(), (0, 1));
     }
 
     #[test]
-    fn eviction_removes_all_entries_of_a_fingerprint() {
-        let g1 = ref_graph(105);
-        let g2 = ref_graph(106);
+    fn replaced_handle_takes_its_compiled_networks_with_it() {
+        let reg = GraphRegistry::default();
         let cache = NetCache::new();
-        cache.get_or_compile(&g1, fingerprint(&g1), Algo::Sssp);
-        cache.get_or_compile(&g1, fingerprint(&g1), Algo::Khop(2));
-        cache.get_or_compile(&g2, fingerprint(&g2), Algo::Sssp);
-        cache.evict_fingerprint(fingerprint(&g1));
-        assert_eq!(cache.entries(), 1);
+        let old = reg.insert("g", ref_graph(105));
+        cache.get_or_compile(&old, Algo::Sssp);
+        cache.get_or_compile(&old, Algo::Khop(2));
+        assert_eq!(reg.resident_entries(), 2);
+        let new = reg.insert("g", ref_graph(106));
+        // The new handle starts cold; the old handle's entries are no
+        // longer reachable through the registry.
+        assert_eq!(reg.resident_entries(), 0);
+        // A worker that raced the replacement and still holds the old
+        // handle populates the *old* handle's map — invisible to the new
+        // one, freed with the handle, never a global leak.
+        let (_, o) = cache.get_or_compile(&old, Algo::Khop(3));
+        assert_eq!(o, CacheOutcome::Miss);
+        assert_eq!(old.resident_nets(), 3);
+        assert_eq!(new.resident_nets(), 0);
+        assert_eq!(reg.resident_entries(), 0);
+        drop(old);
+        assert_eq!(reg.resident_entries(), 0);
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //!
 //! * [`protocol`] — JSON-lines requests/responses with typed errors
 //!   (`overloaded`, `draining`, `deadline_exceeded`, …).
-//! * [`cache`] — the graph registry and the compiled-network cache, keyed
-//!   by `(graph fingerprint, algorithm, params)`.
+//! * [`cache`] — the graph registry and the compiled-network cache:
+//!   entries live on their [`cache::GraphHandle`], keyed by
+//!   `(algorithm, params)`, so a network can only ever answer for the
+//!   exact graph it was compiled from.
 //! * [`admission`] — bounded queue, load shedding, deadlines, and the
 //!   `Running → Draining → Stopped` lifecycle.
 //! * [`stats`] — cql-stress-style sharded statistics: per-worker

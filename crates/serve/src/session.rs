@@ -46,6 +46,12 @@ pub struct ServerConfig {
     /// Deadline applied to requests that don't carry their own
     /// `deadline_ms` (`None`: no default deadline).
     pub default_deadline_ms: Option<u64>,
+    /// Maximum concurrent TCP connection handlers. Connections beyond
+    /// this get a typed `overloaded` response and are closed — the
+    /// admission queue bounds *queued jobs*, this bounds *threads held by
+    /// idle or slow clients* (in-process [`Session`] callers are not
+    /// counted; they bring their own threads).
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +60,7 @@ impl Default for ServerConfig {
             workers: 2,
             queue_capacity: 64,
             default_deadline_ms: None,
+            max_connections: 128,
         }
     }
 }
@@ -170,20 +177,23 @@ impl Session {
 
     /// Drains and stops the server: rejects new work, lets workers finish
     /// the backlog, joins them. Idempotent; safe to call concurrently
-    /// with in-flight requests (they complete or get typed rejections).
+    /// with in-flight requests (they complete or get typed rejections)
+    /// and with other `shutdown` calls: the worker-list lock is held
+    /// across the join, so a concurrent caller blocks until the workers
+    /// are actually joined, and `Stopped` is only ever reported after the
+    /// backlog has finished. Exactly one caller — the one that drained a
+    /// non-empty handle list — runs the join and the `Stopped` transition.
     ///
     /// # Panics
     /// Panics if a worker thread panicked (it never should — all request
     /// failures are typed responses).
     pub fn shutdown(&self) {
         self.inner.queue.drain();
-        let handles: Vec<_> = self
-            .workers
-            .lock()
-            .expect("worker list")
-            .drain(..)
-            .collect();
-        for h in handles {
+        let mut workers = self.workers.lock().expect("worker list");
+        if workers.is_empty() {
+            return; // Another caller joined (or is past joining) them.
+        }
+        for h in workers.drain(..) {
             h.join().expect("worker panicked");
         }
         self.inner.queue.mark_stopped();
@@ -193,6 +203,13 @@ impl Session {
     #[must_use]
     pub fn queue_depth(&self) -> usize {
         self.inner.queue.depth()
+    }
+
+    /// The server's configuration (the TCP layer reads its connection cap
+    /// from here).
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.inner.config
     }
 
     fn admit(&self, envelope: Envelope) -> Response {
@@ -397,7 +414,7 @@ fn run_distance_query(
     };
     let (net, outcome) = match cache {
         CacheMode::Bypass => inner.cache.compile_bypass(g, algo),
-        CacheMode::Default => inner.cache.get_or_compile(g, handle.fingerprint, algo),
+        CacheMode::Default => inner.cache.get_or_compile(&handle, algo),
     };
     let run = net
         .run(source, target, scratch)
@@ -479,15 +496,22 @@ fn load_graph(inner: &ServerInner, name: &str, dimacs: &str) -> Response {
             "an edge length exceeds the u32 synapse-delay range",
         );
     }
-    // Replacing a name evicts the old graph's compiled networks (unless
-    // the new graph is structurally identical — then they stay warm).
-    if let Some(old) = inner.registry.get(name) {
-        let new_fp = crate::cache::fingerprint(&graph);
-        if old.fingerprint != new_fp {
-            inner.cache.evict_fingerprint(old.fingerprint);
+    // Re-loading a structurally identical graph keeps the existing
+    // handle — and the compiled networks resident on it — warm. The
+    // fingerprint is only a pre-filter; the full structural check is what
+    // prevents an adversarial hash collision from keeping the *wrong*
+    // graph's networks alive. Any other replacement installs a fresh,
+    // cold handle; the old one (and its networks) is freed once in-flight
+    // queries release it.
+    let handle = match inner.registry.get(name) {
+        Some(old)
+            if old.fingerprint == crate::cache::fingerprint(&graph)
+                && crate::cache::same_structure(&old.graph, &graph) =>
+        {
+            old
         }
-    }
-    let handle = inner.registry.insert(name, graph);
+        _ => inner.registry.insert(name, graph),
+    };
     Response::Ok {
         op: OpKind::LoadGraph,
         data: Json::obj(vec![
@@ -569,7 +593,10 @@ fn server_stats(inner: &ServerInner) -> Response {
                 Json::obj(vec![
                     ("hits", Json::UInt(hits)),
                     ("misses", Json::UInt(misses)),
-                    ("entries", Json::UInt(inner.cache.entries() as u64)),
+                    (
+                        "entries",
+                        Json::UInt(inner.registry.resident_entries() as u64),
+                    ),
                     ("hit_ratio", Json::Num(hit_ratio)),
                 ]),
             ),
@@ -769,6 +796,78 @@ mod tests {
             Some("miss"),
             "stale compiled network must not serve the new graph"
         );
+    }
+
+    #[test]
+    fn identical_reload_keeps_the_cache_warm() {
+        let session = Session::open_default();
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = generators::gnm_connected(&mut rng, 12, 40, 1..=5);
+        let dimacs = to_dimacs(&g, "");
+        for _ in 0..2 {
+            let resp = session.call_request(Request::LoadGraph {
+                name: "g".into(),
+                dimacs: dimacs.clone(),
+            });
+            assert!(resp.is_ok(), "{resp:?}");
+        }
+        let resp = session.call_request(Request::Sssp {
+            graph: "g".into(),
+            source: 0,
+            target: None,
+            cache: CacheMode::Default,
+        });
+        assert!(resp.is_ok(), "{resp:?}");
+        // Reload the byte-identical graph: the handle (and its compiled
+        // network) must survive, so the next query hits.
+        let resp = session.call_request(Request::LoadGraph {
+            name: "g".into(),
+            dimacs,
+        });
+        assert!(resp.is_ok(), "{resp:?}");
+        let resp = session.call_request(Request::Sssp {
+            graph: "g".into(),
+            source: 5,
+            target: None,
+            cache: CacheMode::Default,
+        });
+        let Response::Ok { data, .. } = &resp else {
+            panic!("{resp:?}");
+        };
+        assert_eq!(data.get("cache").and_then(Json::as_str), Some("hit"));
+    }
+
+    #[test]
+    fn concurrent_shutdown_reports_stopped_only_after_the_backlog() {
+        let session = Session::open(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        load(&session, "g", 17, 64, 256);
+        std::thread::scope(|scope| {
+            // Keep the single worker busy while two shutdowns race.
+            for source in 0..4 {
+                let session = &session;
+                scope.spawn(move || {
+                    let _ = session.call_request(Request::Sssp {
+                        graph: "g".into(),
+                        source,
+                        target: None,
+                        cache: CacheMode::Default,
+                    });
+                });
+            }
+            for _ in 0..2 {
+                let session = &session;
+                scope.spawn(move || {
+                    session.shutdown();
+                    // Whichever caller returns first: the workers must be
+                    // joined by then, never "Stopped with jobs running".
+                    assert_eq!(session.lifecycle(), Lifecycle::Stopped);
+                    assert_eq!(session.queue_depth(), 0);
+                });
+            }
+        });
     }
 
     #[test]

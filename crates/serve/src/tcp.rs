@@ -11,10 +11,12 @@
 
 use std::io::{BufRead, BufReader, ErrorKind as IoErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::admission::Lifecycle;
+use crate::protocol::{ErrorKind, Response};
 use crate::session::{ServerConfig, Session};
 
 /// How often the accept loop and idle connections check the lifecycle.
@@ -24,9 +26,19 @@ pub const POLL_INTERVAL: Duration = Duration::from_millis(5);
 /// idle connections.
 const READ_TIMEOUT: Duration = Duration::from_millis(50);
 
+/// Hard cap on one request line. A client streaming an endless line
+/// would otherwise grow the accumulation buffer without bound; past this
+/// it gets a `bad_request` and the connection is closed (framing can't be
+/// resynchronized mid-line). Generous enough for `load_graph` DIMACS
+/// payloads in the hundreds of thousands of edges.
+const MAX_LINE_BYTES: usize = 16 << 20;
+
 /// Serves `session` on `listener` until the session drains. Blocks the
 /// calling thread; connection handlers are scoped threads, all joined
-/// before this returns, so a clean return means no handler is left.
+/// before this returns, so a clean return means no handler is left. At
+/// most [`ServerConfig::max_connections`] handlers run at once; excess
+/// connections get one typed `overloaded` response line and are closed,
+/// so idle or slow clients cannot exhaust threads.
 ///
 /// # Panics
 /// Panics if the listener cannot be switched to non-blocking mode.
@@ -34,11 +46,22 @@ pub fn serve(listener: &TcpListener, session: &Session) {
     listener
         .set_nonblocking(true)
         .expect("set_nonblocking on listener");
+    let max_connections = session.config().max_connections.max(1);
+    let active = AtomicUsize::new(0);
     std::thread::scope(|scope| {
+        let active = &active;
         while session.lifecycle() == Lifecycle::Running {
             match listener.accept() {
                 Ok((stream, _peer)) => {
-                    scope.spawn(move || handle_connection(stream, session));
+                    if active.load(Ordering::Acquire) >= max_connections {
+                        reject_connection(stream);
+                        continue;
+                    }
+                    active.fetch_add(1, Ordering::AcqRel);
+                    scope.spawn(move || {
+                        handle_connection(stream, session);
+                        active.fetch_sub(1, Ordering::AcqRel);
+                    });
                 }
                 Err(e) if e.kind() == IoErrorKind::WouldBlock => {
                     std::thread::sleep(POLL_INTERVAL);
@@ -53,6 +76,38 @@ pub fn serve(listener: &TcpListener, session: &Session) {
     });
 }
 
+/// Tells an over-cap client why it is being dropped (one typed line, then
+/// close). Best-effort: the client may already be gone.
+fn reject_connection(mut stream: TcpStream) {
+    let line = Response::error(
+        ErrorKind::Overloaded,
+        "connection limit reached; retry later",
+    )
+    .to_json(None)
+    .to_string();
+    let _ = stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"));
+}
+
+/// Answers one complete request line (raw bytes, possibly with the
+/// trailing newline). Returns `false` when the response could not be
+/// written — the handler's signal to hang up. Non-UTF-8 bytes survive as
+/// replacement characters into JSON parsing, which answers `bad_request`.
+fn respond(writer: &mut TcpStream, session: &Session, raw: &[u8]) -> bool {
+    let line = String::from_utf8_lossy(raw);
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return true;
+    }
+    let response = session.call_line(trimmed);
+    writer
+        .write_all(response.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .is_ok()
+}
+
 fn handle_connection(stream: TcpStream, session: &Session) {
     stream
         .set_read_timeout(Some(READ_TIMEOUT))
@@ -65,33 +120,54 @@ fn handle_connection(stream: TcpStream, session: &Session) {
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    // Accumulates exactly one request line across reads. Bytes survive
+    // read timeouts: `read_until` may append a partial line before
+    // returning `WouldBlock`/`TimedOut`, and the request resumes from
+    // those bytes — a request spanning a pause mid-line must not be
+    // truncated or re-framed. The buffer is cleared only after a line is
+    // fully processed.
+    let mut buf = Vec::new();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => {
+                // Client closed. Answer a final unterminated line (a
+                // client may half-close after its last request) before
+                // hanging up.
+                let _ = respond(&mut writer, session, &buf);
+                return;
+            }
             Ok(_) => {
-                let trimmed = line.trim();
-                if trimmed.is_empty() {
-                    continue;
+                if buf.last() == Some(&b'\n') {
+                    if !respond(&mut writer, session, &buf) {
+                        return;
+                    }
+                    buf.clear();
                 }
-                let response = session.call_line(trimmed);
-                if writer
-                    .write_all(response.as_bytes())
-                    .and_then(|()| writer.write_all(b"\n"))
-                    .and_then(|()| writer.flush())
-                    .is_err()
-                {
-                    return;
-                }
+                // No newline means `read_until` stopped at EOF mid-line;
+                // the next read returns `Ok(0)` and answers the rest.
             }
             Err(e) if e.kind() == IoErrorKind::WouldBlock || e.kind() == IoErrorKind::TimedOut => {
-                // Idle poll: drop idle connections once draining.
+                // Idle/slow poll: keep accumulated bytes, drop the
+                // connection once draining.
                 if session.lifecycle() != Lifecycle::Running {
                     return;
                 }
             }
             Err(_) => return,
+        }
+        if buf.len() > MAX_LINE_BYTES {
+            // An over-long line is unframeable; synthesize the typed
+            // rejection directly rather than parsing 16 MiB of it.
+            let line = Response::error(
+                ErrorKind::BadRequest,
+                format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+            )
+            .to_json(None)
+            .to_string();
+            let _ = writer
+                .write_all(line.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"));
+            return;
         }
     }
 }
@@ -202,6 +278,114 @@ mod tests {
         assert_eq!(v.get("status").and_then(Json::as_str), Some("error"));
         let v = send(&mut stream, &mut reader, r#"{"op":"server_stats"}"#);
         assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+        server.stop();
+    }
+
+    /// The high-severity regression this loop was rewritten for: a
+    /// request whose bytes arrive with pauses longer than the socket read
+    /// timeout must be answered intact — partial reads accumulate across
+    /// `WouldBlock`/`TimedOut` polls instead of being dropped and
+    /// re-framed as garbage.
+    #[test]
+    fn request_spanning_read_timeouts_mid_line_is_not_corrupted() {
+        let server = LoopbackServer::start(ServerConfig::default());
+        let (mut stream, mut reader) = connect(server.addr);
+        let v = send(
+            &mut stream,
+            &mut reader,
+            r#"{"op":"load_graph","name":"g","dimacs":"p sp 3 3\na 1 2 2\na 2 3 2\na 1 3 5\n","id":1}"#,
+        );
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+        // Three chunks, each gap several read-timeout periods long, with
+        // the splits inside the JSON — not at a line boundary.
+        let request = "{\"op\":\"sssp\",\"graph\":\"g\",\"source\":0,\"id\":42}\n";
+        for chunk in [&request[..14], &request[14..30], &request[30..]] {
+            stream.write_all(chunk.as_bytes()).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(120));
+        }
+        let mut out = String::new();
+        reader.read_line(&mut out).unwrap();
+        let v = parse_json(out.trim()).expect("valid response JSON");
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"), "{out}");
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(42));
+        let d = v.get("data").and_then(|d| d.get("distances")).unwrap();
+        assert_eq!(
+            crate::protocol::parse_distances(d).unwrap(),
+            vec![Some(0), Some(2), Some(4)]
+        );
+        // The connection stays usable afterwards.
+        let v = send(&mut stream, &mut reader, r#"{"op":"server_stats"}"#);
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+        server.stop();
+    }
+
+    /// A final request whose line is never newline-terminated (client
+    /// half-closes after writing) is still answered.
+    #[test]
+    fn unterminated_final_line_is_answered_at_eof() {
+        let server = LoopbackServer::start(ServerConfig::default());
+        let (mut stream, mut reader) = connect(server.addr);
+        stream
+            .write_all(br#"{"op":"server_stats","id":7}"#)
+            .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut out = String::new();
+        reader.read_line(&mut out).unwrap();
+        let v = parse_json(out.trim()).expect("valid response JSON");
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(7));
+        server.stop();
+    }
+
+    /// Connections beyond `max_connections` get one typed `overloaded`
+    /// line and are closed; they never tie up a handler thread.
+    #[test]
+    fn excess_connections_are_rejected_typed() {
+        let server = LoopbackServer::start(ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        });
+        let (mut stream, mut reader) = connect(server.addr);
+        // A round trip guarantees the first handler is up and counted
+        // before the second connection races the accept loop.
+        let v = send(&mut stream, &mut reader, r#"{"op":"server_stats"}"#);
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+
+        let (_stream2, mut reader2) = connect(server.addr);
+        let mut out = String::new();
+        reader2.read_line(&mut out).unwrap();
+        let v = parse_json(out.trim()).expect("valid rejection JSON");
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("error"));
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("overloaded")
+        );
+        assert_eq!(reader2.read_line(&mut out).unwrap(), 0, "then closed");
+
+        // The first connection is unaffected; freeing it readmits others.
+        let v = send(&mut stream, &mut reader, r#"{"op":"server_stats"}"#);
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+        drop(stream);
+        drop(reader);
+        let admitted = std::time::Instant::now();
+        loop {
+            let (mut s3, mut r3) = connect(server.addr);
+            s3.write_all(b"{\"op\":\"server_stats\"}\n").unwrap();
+            let mut out = String::new();
+            r3.read_line(&mut out).unwrap();
+            let v = parse_json(out.trim()).unwrap();
+            if v.get("status").and_then(Json::as_str) == Some("ok") {
+                break;
+            }
+            assert!(
+                admitted.elapsed() < Duration::from_secs(5),
+                "slot never freed after the first connection closed"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
         server.stop();
     }
 

@@ -127,7 +127,7 @@ fn overload_sheds_typed_stays_responsive_and_drains_cleanly() {
     let session = Session::open(ServerConfig {
         workers: 1,
         queue_capacity: 2,
-        default_deadline_ms: None,
+        ..ServerConfig::default()
     });
     let mut rng = StdRng::seed_from_u64(9);
     // Big enough that each query takes measurable work, so the flood
@@ -209,7 +209,7 @@ fn queued_work_past_its_deadline_is_rejected_typed() {
     let session = Session::open(ServerConfig {
         workers: 1,
         queue_capacity: 8,
-        default_deadline_ms: None,
+        ..ServerConfig::default()
     });
     let mut rng = StdRng::seed_from_u64(10);
     let g = generators::gnm_connected(&mut rng, 300, 1200, 1..=9);
