@@ -117,6 +117,36 @@ fn main() -> ExitCode {
         }
     }
 
+    // Intra-run ordering rule: bulk compilation must never lose to the
+    // incremental path it replaced, at any construction and size the
+    // compile bench measures. Every `compile/<x>_bulk/<n>` entry is
+    // checked against its `compile/<x>_incremental/<n>` sibling.
+    for (name, &bulk) in current.range("compile/".to_string()..) {
+        let Some(rest) = name.strip_prefix("compile/") else {
+            break; // past the compile group in BTreeMap order
+        };
+        let Some((arm, size)) = rest.rsplit_once('/') else {
+            continue;
+        };
+        let Some(construction) = arm.strip_suffix("_bulk") else {
+            continue;
+        };
+        let sibling = format!("compile/{construction}_incremental/{size}");
+        let Some(&incremental) = current.get(&sibling) else {
+            println!("WARN  compile ordering: {name} has no {sibling} sibling");
+            continue;
+        };
+        if bulk > incremental {
+            println!(
+                "FAIL  compile ordering: {name} ({bulk} ns) slower than {sibling} \
+                 ({incremental} ns) — the bulk kernel must never lose to per-edge connect"
+            );
+            failures += 1;
+        } else {
+            println!("ok    compile ordering: {name} ({bulk} ns) <= {sibling} ({incremental} ns)");
+        }
+    }
+
     println!("perf_check: {compared} compared, {failures} hard failure(s)");
     if failures > 0 {
         ExitCode::FAILURE

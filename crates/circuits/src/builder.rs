@@ -2,17 +2,20 @@
 
 use sgl_snn::{
     engine::{Engine, EventEngine, RunConfig},
-    LifParams, Network, NeuronId, SnnError, Time,
+    LifParams, Network, NetworkBuilder, NeuronId, SnnError, Time,
 };
 
 /// Incrementally builds a feed-forward threshold circuit as an SNN.
 ///
-/// The builder owns a [`Network`] under construction plus a *bias* neuron —
-/// an input that is always induced to spike at `t = 0` — used to realise
-/// constant-1 inputs (the `Eq`/`S` inputs of Figure 5) and NOT gates.
+/// The builder stages gates and wires into a [`NetworkBuilder`] — the bulk
+/// compilation path, so [`CircuitBuilder::finish`] counting-sorts the whole
+/// circuit into CSR in one pass and the resulting [`Circuit`] holds a
+/// frozen network with no adjacency-list overhead. A *bias* neuron — an
+/// input that is always induced to spike at `t = 0` — realises constant-1
+/// inputs (the `Eq`/`S` inputs of Figure 5) and NOT gates.
 #[derive(Debug)]
 pub struct CircuitBuilder {
-    net: Network,
+    net: NetworkBuilder,
     bias: NeuronId,
     input_bundles: Vec<Vec<NeuronId>>,
 }
@@ -21,7 +24,7 @@ impl CircuitBuilder {
     /// Creates a builder with a fresh bias neuron.
     #[must_use]
     pub fn new() -> Self {
-        let mut net = Network::new();
+        let mut net = NetworkBuilder::new();
         let bias = net.add_neuron(LifParams::gate_at_least(1));
         net.mark_input(bias);
         Self {
@@ -37,15 +40,17 @@ impl CircuitBuilder {
         self.bias
     }
 
-    /// Read access to the network under construction.
+    /// Number of neurons (bias + inputs + gates) staged so far.
     #[must_use]
-    pub fn network(&self) -> &Network {
-        &self.net
+    pub fn neuron_count(&self) -> usize {
+        self.net.neuron_count()
     }
 
-    /// Mutable access for advanced constructions.
-    pub fn network_mut(&mut self) -> &mut Network {
-        &mut self.net
+    /// Largest absolute wire weight staged so far — the §5 analyses
+    /// distinguish polynomially- from exponentially-bounded weights.
+    #[must_use]
+    pub fn max_abs_weight(&self) -> f64 {
+        self.net.max_abs_weight()
     }
 
     /// Declares a bundle of `lambda` input neurons carrying one λ-bit
@@ -83,11 +88,21 @@ impl CircuitBuilder {
     ///
     /// # Panics
     /// Panics on invalid wiring; circuit construction bugs are programmer
-    /// errors, not runtime conditions.
+    /// errors, not runtime conditions. (The checks mirror the ones
+    /// [`NetworkBuilder::build`] re-runs in bulk, so a bad wire fails here
+    /// at the call site rather than at [`CircuitBuilder::finish`].)
     pub fn wire(&mut self, from: NeuronId, to: NeuronId, weight: f64, delay: u32) {
-        self.net
-            .connect(from, to, weight, delay)
-            .expect("invalid circuit wiring");
+        assert!(
+            from.index() < self.net.neuron_count(),
+            "unknown source gate"
+        );
+        assert!(to.index() < self.net.neuron_count(), "unknown target gate");
+        assert!(delay >= 1, "invalid circuit wiring: zero delay");
+        assert!(
+            weight.is_finite(),
+            "invalid circuit wiring: non-finite weight"
+        );
+        self.net.connect(from, to, weight, delay);
     }
 
     /// Wires the bias so that a constant `weight` arrives at `to` for its
@@ -97,15 +112,19 @@ impl CircuitBuilder {
         self.wire(self.bias, to, weight, at);
     }
 
-    /// Finalises the circuit. `outputs` is the output bundle (bit 0 first)
-    /// and `depth` the time step at which outputs are valid.
+    /// Finalises the circuit: bulk-compiles the staged gates and wires
+    /// into a frozen [`Network`]. `outputs` is the output bundle (bit 0
+    /// first) and `depth` the time step at which outputs are valid.
     #[must_use]
     pub fn finish(mut self, outputs: Vec<NeuronId>, depth: Time) -> Circuit {
         for &o in &outputs {
             self.net.mark_output(o);
         }
         Circuit {
-            net: self.net,
+            net: self
+                .net
+                .build()
+                .expect("wires validated by CircuitBuilder::wire"),
             bias: self.bias,
             inputs: self.input_bundles,
             outputs,

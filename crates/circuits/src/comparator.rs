@@ -127,9 +127,9 @@ mod tests {
         let mut b = CircuitBuilder::new();
         let x = b.input_bundle(16);
         let y = b.input_bundle(16);
-        let before = b.network().neuron_count();
+        let before = b.neuron_count();
         let _ = ge_gate_at(&mut b, &x, &y, 1);
-        assert_eq!(b.network().neuron_count(), before + 1);
-        assert_eq!(b.network().max_abs_weight(), 32768.0);
+        assert_eq!(b.neuron_count(), before + 1);
+        assert_eq!(b.max_abs_weight(), 32768.0);
     }
 }

@@ -16,8 +16,8 @@
 //!
 //! Blocks are shared across synapses with the same `(source, delay)`.
 
-use crate::delay_sim::build_delay_block;
-use sgl_snn::{LifParams, Network, NeuronId};
+use crate::delay_sim::stage_delay_block;
+use sgl_snn::{LifParams, Network, NetworkBuilder, NeuronId};
 use std::collections::HashMap;
 
 /// Compilation strategy for long delays.
@@ -46,6 +46,12 @@ pub struct CompileStats {
 /// existing spike-time readouts keep working; auxiliary neurons are
 /// appended after them.
 ///
+/// The rewritten network is assembled through the bulk path
+/// ([`NetworkBuilder`]) — one counting-sort pass over every kept and
+/// rewritten synapse — so the result is born frozen. The input is read
+/// through [`Network::synapses_from`], which works whether or not `net`
+/// itself is frozen.
+///
 /// # Panics
 /// Panics if `native_max == 0`.
 #[must_use]
@@ -55,7 +61,7 @@ pub fn compile_delays(
     strategy: LongDelay,
 ) -> (Network, CompileStats) {
     assert!(native_max >= 1);
-    let mut out = Network::with_capacity(net.neuron_count());
+    let mut out = NetworkBuilder::with_capacity(net.neuron_count(), net.synapse_count());
     for id in net.neuron_ids() {
         let new = out.add_neuron(*net.params(id));
         debug_assert_eq!(new, id);
@@ -82,8 +88,7 @@ pub fn compile_delays(
     for src in net.neuron_ids() {
         for syn in net.synapses_from(src) {
             if syn.delay <= native_max {
-                out.connect(src, syn.target, syn.weight, syn.delay)
-                    .expect("valid copy");
+                out.connect(src, syn.target, syn.weight, syn.delay);
                 stats.kept += 1;
                 continue;
             }
@@ -95,14 +100,12 @@ pub fn compile_delays(
                 let tap = *blocks.entry((src, d)).or_insert_with(|| {
                     // Block input fires 1 after src; block output D = d - 2
                     // later; one more native step reaches the target.
-                    let block = build_delay_block(&mut out, d - 2);
-                    out.connect(src, block.input, 1.0, 1)
-                        .expect("valid by construction");
+                    let block = stage_delay_block(&mut out, d - 2);
+                    out.connect(src, block.input, 1.0, 1);
                     block.output
                 });
                 stats.neurons_added += out.neuron_count() - before;
-                out.connect(tap, syn.target, syn.weight, 1)
-                    .expect("valid by construction");
+                out.connect(tap, syn.target, syn.weight, 1);
             } else {
                 // Relay chain: need a tap firing d - 1 steps after src.
                 let need = (d - 1) as usize;
@@ -111,16 +114,15 @@ pub fn compile_delays(
                 while chain.len() < need {
                     let prev = chain.last().copied().unwrap_or(src);
                     let relay = out.add_neuron(LifParams::gate_at_least(1));
-                    out.connect(prev, relay, 1.0, 1).expect("valid");
+                    out.connect(prev, relay, 1.0, 1);
                     chain.push(relay);
                 }
                 stats.neurons_added += out.neuron_count() - before;
-                out.connect(chain[need - 1], syn.target, syn.weight, 1)
-                    .expect("valid by construction");
+                out.connect(chain[need - 1], syn.target, syn.weight, 1);
             }
         }
     }
-    (out, stats)
+    (out.build().expect("valid by construction"), stats)
 }
 
 #[cfg(test)]

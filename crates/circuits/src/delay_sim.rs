@@ -10,7 +10,7 @@
 //! the circuit returns to its resting state after each use, making it
 //! safely re-triggerable (the paper's two-neuron sketch is one-shot).
 
-use sgl_snn::{LifParams, Network, NeuronId};
+use sgl_snn::{LifParams, Network, NetworkBuilder, NeuronId};
 
 /// Handles to a delay-simulation block: a spike entering `input` produces a
 /// spike at `output` exactly `d` steps later, using only unit-delay
@@ -59,6 +59,33 @@ pub fn build_delay_block(net: &mut Network, d: u32) -> DelayBlock {
     // Cleanup: the pacemaker's final spike (at t+d) still lands on B at
     // t+d+1 after B has fired and reset; cancel it so B returns to rest.
     net.connect(bn, bn, -1.0, 1).expect("valid wiring");
+
+    DelayBlock {
+        input,
+        output: bn,
+        pacemaker: a,
+    }
+}
+
+/// [`build_delay_block`] for the bulk compilation path: stages the same
+/// three neurons and five unit-delay synapses into a [`NetworkBuilder`]
+/// (used by [`crate::delay_compile::compile_delays`], which assembles the
+/// whole rewritten network in one counting-sort pass).
+///
+/// # Panics
+/// Panics if `d < 2` (as [`build_delay_block`]).
+pub fn stage_delay_block(b: &mut NetworkBuilder, d: u32) -> DelayBlock {
+    assert!(d >= 2, "delays below 2 need no simulation circuit");
+    let input = b.add_neuron(LifParams::gate_at_least(1));
+
+    let a = b.add_neuron(LifParams::gate_at_least(1));
+    b.connect(input, a, 1.0, 1);
+    b.connect(a, a, 1.0, 1);
+
+    let bn = b.add_neuron(LifParams::integrator(f64::from(d - 1) - 0.5));
+    b.connect(a, bn, 1.0, 1);
+    b.connect(bn, a, -2.0, 1);
+    b.connect(bn, bn, -1.0, 1);
 
     DelayBlock {
         input,
@@ -145,6 +172,25 @@ mod tests {
     fn rejects_trivial_delay() {
         let mut net = Network::new();
         let _ = build_delay_block(&mut net, 1);
+    }
+
+    #[test]
+    fn staged_block_is_identical_to_incremental() {
+        for d in [2u32, 5, 16] {
+            let mut net = Network::new();
+            let inc = build_delay_block(&mut net, d);
+
+            let mut b = NetworkBuilder::new();
+            let stg = stage_delay_block(&mut b, d);
+            let bulk = b.build().unwrap();
+
+            assert_eq!(
+                (inc.input, inc.output, inc.pacemaker),
+                (stg.input, stg.output, stg.pacemaker)
+            );
+            assert_eq!(bulk.csr(), net.csr(), "d = {d}");
+            assert_eq!(bulk.params_slice(), net.params_slice());
+        }
     }
 
     #[test]

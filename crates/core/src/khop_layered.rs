@@ -23,7 +23,7 @@
 
 use sgl_graph::{Graph, Len, Node};
 use sgl_snn::engine::{Engine, EventEngine, RunConfig, RunResult};
-use sgl_snn::{LifParams, Network, NeuronId, SnnError};
+use sgl_snn::{LifParams, Network, NetworkBuilder, NeuronId, SnnError};
 
 /// Neuron id of `(node, layer)` in the layered network: layers are laid
 /// out contiguously, `layer * n + node`.
@@ -34,6 +34,11 @@ pub fn neuron(node: Node, layer: u32, n: usize) -> NeuronId {
 
 /// Builds the layered k-hop network for `g`: `(k + 1) · n` neurons,
 /// `k · m` graph synapses plus one inhibitory self-synapse per neuron.
+///
+/// Bulk-compiled ([`NetworkBuilder`]): all `k·m + (k+1)·n` synapses are
+/// staged flat and counting-sorted straight into CSR, so the returned
+/// network is born frozen — this is the serve cold path, and at `k` layers
+/// the layered net is the largest construction in the repo.
 ///
 /// # Panics
 /// Panics if `k == 0`, an edge length exceeds the `u32` delay range, or
@@ -47,10 +52,8 @@ pub fn build_network(g: &Graph, k: u32) -> Network {
         u32::try_from(layers * n.max(1)).is_ok(),
         "layered network exceeds the u32 neuron-id space"
     );
-    let mut net = Network::with_capacity(layers * n);
-    for _ in 0..layers * n {
-        net.add_neuron(LifParams::unit_integrator());
-    }
+    let mut b = NetworkBuilder::with_capacity(layers * n, k as usize * g.m() + layers * n);
+    b.add_neurons(LifParams::unit_integrator(), layers * n);
     let in_deg = g.in_degrees();
     for layer in 0..=k {
         for v in 0..n {
@@ -58,8 +61,7 @@ pub fn build_network(g: &Graph, k: u32) -> Network {
             if layer < k {
                 for (w, len) in g.out_edges(v) {
                     let delay = u32::try_from(len).expect("edge length exceeds u32 delay range");
-                    net.connect(id, neuron(w, layer + 1, n), 1.0, delay)
-                        .expect("valid by construction");
+                    b.connect(id, neuron(w, layer + 1, n), 1.0, delay);
                 }
             }
             // One-shot permanent suppression, as in the §3 network: after
@@ -67,11 +69,10 @@ pub fn build_network(g: &Graph, k: u32) -> Network {
             // the layer can still deliver (each in-neighbour fires at most
             // once per layer, inductively).
             let inhibition = if layer == 0 { 0.0 } else { in_deg[v] as f64 };
-            net.connect(id, id, -(inhibition + 2.0), 1)
-                .expect("valid by construction");
+            b.connect(id, id, -(inhibition + 2.0), 1);
         }
     }
-    net
+    b.build().expect("valid by construction")
 }
 
 /// Step budget for a quiescent run: no finite ≤ k-hop distance exceeds

@@ -22,7 +22,7 @@ use crate::accounting::NeuromorphicCost;
 use crate::paths::preds_from_distances;
 use sgl_graph::{Graph, Len, Node};
 use sgl_snn::engine::{Engine, EventEngine, RunConfig, StopCondition};
-use sgl_snn::{LifParams, Network, NeuronId, SnnError};
+use sgl_snn::{LifParams, Network, NetworkBuilder, NeuronId, SnnError};
 
 /// The §3 spiking SSSP solver.
 #[derive(Debug)]
@@ -97,31 +97,31 @@ impl<'g> SpikingSssp<'g> {
     /// Builds the SNN: node `v` ↦ neuron `v`; edge `(u, v)` of length `ℓ`
     /// ↦ synapse of weight 1 and delay `ℓ`; plus one inhibitory
     /// self-synapse per node for first-spike suppression.
+    ///
+    /// Bulk-compiled ([`NetworkBuilder`]): the `m + n` synapses are staged
+    /// flat and counting-sorted straight into CSR, so the returned network
+    /// is born frozen — no per-neuron adjacency is ever allocated.
     #[must_use]
     pub fn build_network(&self) -> Network {
         let g = self.graph;
-        let mut net = Network::with_capacity(g.n());
+        let mut b = NetworkBuilder::with_capacity(g.n(), g.m() + g.n());
         let in_deg = g.in_degrees();
-        for v in 0..g.n() {
-            let id = net.add_neuron(LifParams::unit_integrator());
-            debug_assert_eq!(id.index(), v);
-        }
+        let ids = b.add_neurons(LifParams::unit_integrator(), g.n());
+        debug_assert_eq!(ids.len(), g.n());
         for v in 0..g.n() {
             let nv = NeuronId(v as u32);
             for (w, len) in g.out_edges(v) {
                 let delay = u32::try_from(len).expect("edge length exceeds u32 delay range");
-                net.connect(nv, NeuronId(w as u32), 1.0, delay)
-                    .expect("valid by construction");
+                b.connect(nv, NeuronId(w as u32), 1.0, delay);
             }
             // One-shot permanent suppression (see module docs).
-            net.connect(nv, nv, -(in_deg[v] as f64 + 2.0), 1)
-                .expect("valid by construction");
+            b.connect(nv, nv, -(in_deg[v] as f64 + 2.0), 1);
         }
-        net.mark_input(NeuronId(self.source as u32));
+        b.mark_input(NeuronId(self.source as u32));
         if let Some(t) = self.target {
-            net.set_terminal(NeuronId(t as u32));
+            b.set_terminal(NeuronId(t as u32));
         }
-        net
+        b.build().expect("valid by construction")
     }
 
     /// Runs until the target spikes (if set) or the wave dies out.

@@ -32,9 +32,11 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use sgl_core::{khop_layered, sssp_pseudo::SpikingSssp};
 use sgl_graph::{Graph, Len};
+use sgl_observe::PhaseProfiler;
 use sgl_snn::engine::{DenseEngine, EngineChoice, EventEngine, RunConfig, RunResult, RunScratch};
 use sgl_snn::{Network, NeuronId, SnnError};
 
@@ -198,10 +200,16 @@ pub struct CompiledNet {
     budget: u64,
     n: usize,
     algo: Algo,
+    compile: Duration,
 }
 
 impl CompiledNet {
-    /// Compiles the network for `algo` over `g`.
+    /// Compiles the network for `algo` over `g` (the bulk path: both
+    /// constructions stage their edges through
+    /// [`sgl_snn::NetworkBuilder`]). The graph→SNN build is timed as an
+    /// [`sgl_observe::PhaseProfiler`] "build" phase and exposed via
+    /// [`Self::compile_time`] so the serve layer can histogram the
+    /// cold-path cost per compile.
     ///
     /// # Panics
     /// Panics on parameter/graph combinations the caller must pre-validate
@@ -210,6 +218,8 @@ impl CompiledNet {
     /// reaching here.
     #[must_use]
     pub fn compile(g: &Graph, algo: Algo) -> Self {
+        let mut profiler = PhaseProfiler::new();
+        profiler.start("build");
         let (net, budget) = match algo {
             Algo::Sssp => {
                 let net = SpikingSssp::new(g, 0).build_network();
@@ -222,13 +232,27 @@ impl CompiledNet {
             ),
         };
         let engine = EngineChoice::Auto.resolve(&net);
+        profiler.stop();
         Self {
             net,
             engine,
             budget,
             n: g.n(),
             algo,
+            compile: profiler.total(),
         }
+    }
+
+    /// Wall-clock time the graph→SNN compile took (the "build" phase).
+    #[must_use]
+    pub fn compile_time(&self) -> Duration {
+        self.compile
+    }
+
+    /// Resident heap bytes of the compiled network (CSR + parameters).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.net.memory_bytes()
     }
 
     /// The `t = 0` stimulus that makes this network answer for `source`.
@@ -438,6 +462,20 @@ mod tests {
                     "k={k} source={s}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn compiled_networks_are_born_frozen_and_timed() {
+        let g = ref_graph(109);
+        for algo in [Algo::Sssp, Algo::Khop(3)] {
+            let c = CompiledNet::compile(&g, algo);
+            assert!(
+                c.net.is_frozen(),
+                "bulk compile must not leave adjacency resident"
+            );
+            assert!(c.compile_time() > Duration::ZERO);
+            assert!(c.memory_bytes() > 0);
         }
     }
 

@@ -30,7 +30,7 @@ use sgl_observe::{parse_json, Json};
 use sgl_snn::engine::RunScratch;
 
 use crate::admission::{AdmissionError, AdmissionQueue, Job, Lifecycle, ResponseSlot};
-use crate::cache::{Algo, GraphRegistry, NetCache};
+use crate::cache::{Algo, CacheOutcome, GraphRegistry, NetCache};
 use crate::protocol::{
     distances_json, parse_request, CacheMode, Envelope, ErrorKind, OpKind, Request, Response,
 };
@@ -285,7 +285,7 @@ fn worker_loop(inner: &ServerInner, shard: usize) {
             continue;
         }
         let t0 = Instant::now();
-        let response = execute_query(inner, &job.envelope.request, &mut scratch);
+        let response = execute_query(inner, &job.envelope.request, &mut scratch, shard);
         inner.stats.with_shard(shard, |s| {
             s.record(kind, micros(t0.elapsed()), response.is_ok());
         });
@@ -318,7 +318,12 @@ fn check_node(n: usize, node: usize, what: &str) -> Result<(), Response> {
 /// Executes a query op on a worker thread. All panicking preconditions of
 /// the compiled constructions are validated here first, so workers never
 /// die: every failure becomes a typed response.
-fn execute_query(inner: &ServerInner, request: &Request, scratch: &mut RunScratch) -> Response {
+fn execute_query(
+    inner: &ServerInner,
+    request: &Request,
+    scratch: &mut RunScratch,
+    shard: usize,
+) -> Response {
     let result = match request {
         Request::Sssp {
             graph,
@@ -334,6 +339,7 @@ fn execute_query(inner: &ServerInner, request: &Request, scratch: &mut RunScratc
             None,
             *cache,
             scratch,
+            shard,
         ),
         Request::ApspRow {
             graph,
@@ -348,6 +354,7 @@ fn execute_query(inner: &ServerInner, request: &Request, scratch: &mut RunScratc
             None,
             *cache,
             scratch,
+            shard,
         ),
         Request::Khop {
             graph,
@@ -363,6 +370,7 @@ fn execute_query(inner: &ServerInner, request: &Request, scratch: &mut RunScratc
             Some(*k),
             *cache,
             scratch,
+            shard,
         ),
         other => Err(Response::error(
             ErrorKind::Internal,
@@ -386,6 +394,7 @@ fn run_distance_query(
     k: Option<u32>,
     cache: CacheMode,
     scratch: &mut RunScratch,
+    shard: usize,
 ) -> Result<Response, Response> {
     let handle = lookup(inner, graph)?;
     let g = &handle.graph;
@@ -416,6 +425,14 @@ fn run_distance_query(
         CacheMode::Bypass => inner.cache.compile_bypass(g, algo),
         CacheMode::Default => inner.cache.get_or_compile(&handle, algo),
     };
+    if outcome != CacheOutcome::Hit {
+        // This worker paid for a compile: histogram its wall time so the
+        // cold-path cost shows up in server_stats, not just in benches.
+        let compile_us = micros(net.compile_time());
+        inner
+            .stats
+            .with_shard(shard, |s| s.record_compile(compile_us));
+    }
     let run = net
         .run(source, target, scratch)
         .map_err(|e| Response::error(ErrorKind::Internal, format!("simulation failed: {e}")))?;
@@ -598,6 +615,9 @@ fn server_stats(inner: &ServerInner) -> Response {
                         Json::UInt(inner.registry.resident_entries() as u64),
                     ),
                     ("hit_ratio", Json::Num(hit_ratio)),
+                    // Per-compile wall time (misses + bypasses): the
+                    // cold-path cost as production sees it.
+                    ("compile", latency_json(&combined.compile_us)),
                 ]),
             ),
             ("graphs", Json::UInt(inner.registry.len() as u64)),
@@ -767,6 +787,34 @@ mod tests {
         assert!(sssp.get("p50_us").and_then(Json::as_u64).is_some());
         assert_eq!(data.get("admitted").and_then(Json::as_u64), Some(4));
         assert_eq!(data.get("shed").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn server_stats_histogram_compile_time_per_compile() {
+        let session = Session::open_default();
+        load(&session, "g", 9, 16, 50);
+        // One miss, one hit, one bypass: exactly two compiles happened.
+        for cache in [CacheMode::Default, CacheMode::Default, CacheMode::Bypass] {
+            let resp = session.call_request(Request::Sssp {
+                graph: "g".into(),
+                source: 0,
+                target: None,
+                cache,
+            });
+            assert!(resp.is_ok(), "{resp:?}");
+        }
+        let resp = session.call_request(Request::ServerStats);
+        let Response::Ok { data, .. } = &resp else {
+            panic!("{resp:?}");
+        };
+        let compile = data.get("cache").and_then(|c| c.get("compile")).unwrap();
+        assert_eq!(
+            compile.get("count").and_then(Json::as_u64),
+            Some(2),
+            "hits must not re-record the cached network's compile time"
+        );
+        assert!(compile.get("p50_us").is_some());
+        assert!(compile.get("p95_us").is_some());
     }
 
     #[test]

@@ -33,6 +33,10 @@ pub struct WorkerStats {
     pub queue_wait_us: LogHistogram,
     /// Queue depth observed at each pop (how far behind the pool runs).
     pub queue_depth: LogHistogram,
+    /// Wall time of each graph→SNN compile this worker performed (cache
+    /// misses and bypasses), µs — the cold-path cost, observable in
+    /// production via `server_stats` rather than only in benches.
+    pub compile_us: LogHistogram,
     /// Jobs completed successfully, per op kind.
     pub ok: [u64; N_OPS],
     /// Jobs answered with an error (any kind), per op kind.
@@ -45,6 +49,7 @@ impl Default for WorkerStats {
             latency_us: std::array::from_fn(|_| LogHistogram::new()),
             queue_wait_us: LogHistogram::new(),
             queue_depth: LogHistogram::new(),
+            compile_us: LogHistogram::new(),
             ok: [0; N_OPS],
             errors: [0; N_OPS],
         }
@@ -63,6 +68,11 @@ impl WorkerStats {
         }
     }
 
+    /// Records one graph→SNN compile (a cache miss or bypass).
+    pub fn record_compile(&mut self, compile_us: u64) {
+        self.compile_us.record(compile_us);
+    }
+
     /// Folds another shard into this one.
     pub fn merge(&mut self, other: &Self) {
         for i in 0..N_OPS {
@@ -72,6 +82,7 @@ impl WorkerStats {
         }
         self.queue_wait_us.merge(&other.queue_wait_us);
         self.queue_depth.merge(&other.queue_depth);
+        self.compile_us.merge(&other.compile_us);
     }
 
     /// Total completed jobs (ok + error) across all ops.

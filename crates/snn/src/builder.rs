@@ -1,0 +1,375 @@
+//! Bulk network compilation: stage edges flat, validate in one pass,
+//! counting-sort straight into CSR.
+//!
+//! The incremental path ([`Network::connect`]) is right for single-edge
+//! edits: it validates eagerly and keeps a per-neuron adjacency list. For
+//! *mass construction* — compiling a whole graph into a Definition-3
+//! network — it pays for that flexibility three times over: one `Vec`
+//! allocation per neuron, one [`OnceLock`](std::sync::OnceLock)
+//! invalidation per edge, and a full O(m) copy into CSR form on first
+//! simulation, leaving the network holding ~2× its synapse memory.
+//!
+//! [`NetworkBuilder`] removes all three costs. Edges are staged in one
+//! flat buffer, validated in a single pass (same [`SnnError`]s, same
+//! per-edge check order, first staged offender wins — exactly the error
+//! the incremental path would have returned at that `connect` call), and
+//! counting-sorted directly into the final CSR arrays. The counting sort
+//! is stable per source, so the resulting [`CsrTopology`] is
+//! *bit-identical* to what the incremental path builds from the same edge
+//! sequence. The produced [`Network`] is born frozen: the adjacency-list
+//! side never materialises.
+//!
+//! ```
+//! use sgl_snn::{NetworkBuilder, LifParams};
+//!
+//! let mut b = NetworkBuilder::with_capacity(2, 1);
+//! let a = b.add_neuron(LifParams::gate(1.0));
+//! let t = b.add_neuron(LifParams::gate(1.0));
+//! b.connect(a, t, 1.5, 3); // staged, not yet validated
+//! b.mark_input(a);
+//! b.set_terminal(t);
+//! let net = b.build().unwrap(); // validate + counting-sort into CSR
+//! assert!(net.is_frozen());
+//! assert_eq!(net.synapse_count(), 1);
+//! ```
+
+use crate::error::SnnError;
+use crate::network::{CsrTopology, Network, Synapse};
+use crate::params::LifParams;
+use crate::types::NeuronId;
+
+/// One staged `(src, dst, weight, delay)` record awaiting compilation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct StagedEdge {
+    src: NeuronId,
+    dst: NeuronId,
+    weight: f64,
+    delay: u32,
+}
+
+/// Stages neurons and edges for one-pass bulk compilation into a frozen
+/// [`Network`] (see the [module docs](self) for why and when).
+///
+/// Unlike [`Network::connect`], [`NetworkBuilder::connect`] is infallible:
+/// validation is deferred to [`NetworkBuilder::build`], which checks every
+/// staged edge in one pass and reports the first offender with the same
+/// [`SnnError`] the incremental path would have produced.
+#[derive(Clone, Debug, Default)]
+pub struct NetworkBuilder {
+    params: Vec<LifParams>,
+    edges: Vec<StagedEdge>,
+    inputs: Vec<NeuronId>,
+    outputs: Vec<NeuronId>,
+    terminal: Option<NeuronId>,
+}
+
+impl NetworkBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-sized for `neurons` neurons and `edges` edges
+    /// — both buffers are flat, so this is the only allocation mass
+    /// construction needs.
+    #[must_use]
+    pub fn with_capacity(neurons: usize, edges: usize) -> Self {
+        Self {
+            params: Vec::with_capacity(neurons),
+            edges: Vec::with_capacity(edges),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a neuron with the given parameters and returns its id.
+    pub fn add_neuron(&mut self, params: LifParams) -> NeuronId {
+        debug_assert!(params.validate().is_ok(), "invalid LIF parameters");
+        let id = NeuronId(u32::try_from(self.params.len()).expect("more than u32::MAX neurons"));
+        self.params.push(params);
+        id
+    }
+
+    /// Adds `count` neurons sharing the same parameters; returns their ids.
+    pub fn add_neurons(&mut self, params: LifParams, count: usize) -> Vec<NeuronId> {
+        debug_assert!(params.validate().is_ok(), "invalid LIF parameters");
+        let start = self.params.len();
+        u32::try_from(start + count).expect("more than u32::MAX neurons");
+        self.params.reserve(count);
+        for _ in 0..count {
+            self.params.push(params);
+        }
+        (start..start + count).map(|i| NeuronId(i as u32)).collect()
+    }
+
+    /// Stages the edge `src -> dst`; validated later by
+    /// [`NetworkBuilder::build`].
+    pub fn connect(&mut self, src: NeuronId, dst: NeuronId, weight: f64, delay: u32) {
+        self.edges.push(StagedEdge {
+            src,
+            dst,
+            weight,
+            delay,
+        });
+    }
+
+    /// Marks `id` as an input neuron (idempotent).
+    pub fn mark_input(&mut self, id: NeuronId) {
+        if !self.inputs.contains(&id) {
+            self.inputs.push(id);
+        }
+    }
+
+    /// Marks `id` as an output neuron (idempotent).
+    pub fn mark_output(&mut self, id: NeuronId) {
+        if !self.outputs.contains(&id) {
+            self.outputs.push(id);
+        }
+    }
+
+    /// Designates the terminal neuron whose first spike ends the
+    /// computation (Definition 3).
+    pub fn set_terminal(&mut self, id: NeuronId) {
+        self.terminal = Some(id);
+    }
+
+    /// Number of neurons staged so far.
+    #[must_use]
+    pub fn neuron_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Number of edges staged so far.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Largest absolute weight staged so far (0 for no edges) — circuit
+    /// analyses in §5 distinguish polynomially- from exponentially-bounded
+    /// weights before the network is even compiled.
+    #[must_use]
+    pub fn max_abs_weight(&self) -> f64 {
+        self.edges
+            .iter()
+            .map(|e| e.weight.abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Compiles the staged neurons and edges into a frozen [`Network`].
+    ///
+    /// One validation pass (per edge, in staging order: unknown source,
+    /// unknown destination, zero delay, non-finite weight — the same
+    /// checks, in the same order, as [`Network::connect`]), then a stable
+    /// counting sort scatters the edges into the final CSR arrays. No
+    /// per-neuron allocation is ever made and the adjacency-list
+    /// representation never exists; the result answers every read-only
+    /// accessor identically to an incrementally-built network, with
+    /// bit-identical CSR layout.
+    ///
+    /// # Errors
+    /// The first staged edge that the incremental path would have
+    /// rejected, with the same [`SnnError`].
+    pub fn build(self) -> Result<Network, SnnError> {
+        let n = self.params.len();
+        let m = self.edges.len();
+
+        // Pass 1: validate every edge, count out-degrees, track max delay.
+        let mut counts = vec![0usize; n];
+        let mut max_delay = 0u32;
+        for e in &self.edges {
+            if e.src.index() >= n {
+                return Err(SnnError::UnknownNeuron(e.src));
+            }
+            if e.dst.index() >= n {
+                return Err(SnnError::UnknownNeuron(e.dst));
+            }
+            if e.delay == 0 {
+                return Err(SnnError::ZeroDelay {
+                    src: e.src,
+                    dst: e.dst,
+                });
+            }
+            if !e.weight.is_finite() {
+                return Err(SnnError::NonFiniteWeight {
+                    src: e.src,
+                    dst: e.dst,
+                });
+            }
+            counts[e.src.index()] += 1;
+            max_delay = max_delay.max(e.delay);
+        }
+
+        // Prefix-sum the counts into CSR offsets.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        debug_assert_eq!(acc, m);
+
+        // Pass 2: stable scatter — walking the staged edges in order and
+        // bumping a per-source cursor preserves each source's relative
+        // edge order, so the layout matches CsrTopology::build on the
+        // adjacency list the incremental path would have grown.
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        let mut synapses = vec![
+            Synapse {
+                target: NeuronId(0),
+                weight: 0.0,
+                delay: 1,
+            };
+            m
+        ];
+        for e in &self.edges {
+            let slot = cursor[e.src.index()];
+            cursor[e.src.index()] = slot + 1;
+            synapses[slot] = Synapse {
+                target: e.dst,
+                weight: e.weight,
+                delay: e.delay,
+            };
+        }
+
+        Ok(Network::from_frozen(
+            self.params,
+            CsrTopology::from_parts(offsets, synapses),
+            self.inputs,
+            self.outputs,
+            self.terminal,
+            max_delay,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulk_build_matches_incremental_layout() {
+        let mut b = NetworkBuilder::with_capacity(4, 5);
+        let ids = b.add_neurons(LifParams::default(), 4);
+        // Interleave sources to exercise the scatter's stability.
+        b.connect(ids[2], ids[0], 1.0, 2);
+        b.connect(ids[0], ids[1], 2.0, 1);
+        b.connect(ids[2], ids[3], -3.0, 4);
+        b.connect(ids[0], ids[2], 0.5, 7);
+        b.connect(ids[2], ids[2], -1.5, 1);
+        b.mark_input(ids[0]);
+        b.mark_output(ids[3]);
+        b.set_terminal(ids[3]);
+        let bulk = b.build().unwrap();
+
+        let mut net = Network::with_capacity(4);
+        let jds = net.add_neurons(LifParams::default(), 4);
+        net.connect(jds[2], jds[0], 1.0, 2).unwrap();
+        net.connect(jds[0], jds[1], 2.0, 1).unwrap();
+        net.connect(jds[2], jds[3], -3.0, 4).unwrap();
+        net.connect(jds[0], jds[2], 0.5, 7).unwrap();
+        net.connect(jds[2], jds[2], -1.5, 1).unwrap();
+        net.mark_input(jds[0]);
+        net.mark_output(jds[3]);
+        net.set_terminal(jds[3]);
+
+        assert!(bulk.is_frozen());
+        assert_eq!(bulk.csr(), net.csr());
+        assert_eq!(bulk.neuron_count(), net.neuron_count());
+        assert_eq!(bulk.synapse_count(), net.synapse_count());
+        assert_eq!(bulk.max_delay(), net.max_delay());
+        assert_eq!(bulk.inputs(), net.inputs());
+        assert_eq!(bulk.outputs(), net.outputs());
+        assert_eq!(bulk.terminal(), net.terminal());
+        assert_eq!(bulk.in_degrees(), net.in_degrees());
+        assert!(bulk.validate(false).is_ok());
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_network() {
+        let net = NetworkBuilder::new().build().unwrap();
+        assert_eq!(net.neuron_count(), 0);
+        assert_eq!(net.synapse_count(), 0);
+        assert_eq!(net.max_delay(), 0);
+        assert!(net.csr().all().is_empty());
+    }
+
+    #[test]
+    fn validation_errors_match_incremental() {
+        let mk = || {
+            let mut b = NetworkBuilder::new();
+            let ids = b.add_neurons(LifParams::default(), 2);
+            (b, ids)
+        };
+
+        let (mut b, ids) = mk();
+        let ghost = NeuronId(99);
+        b.connect(ghost, ids[0], 1.0, 1);
+        assert_eq!(b.build().unwrap_err(), SnnError::UnknownNeuron(ghost));
+
+        let (mut b, ids) = mk();
+        b.connect(ids[0], ghost, 1.0, 1);
+        assert_eq!(b.build().unwrap_err(), SnnError::UnknownNeuron(ghost));
+
+        let (mut b, ids) = mk();
+        b.connect(ids[0], ids[1], 1.0, 0);
+        assert_eq!(
+            b.build().unwrap_err(),
+            SnnError::ZeroDelay {
+                src: ids[0],
+                dst: ids[1]
+            }
+        );
+
+        let (mut b, ids) = mk();
+        b.connect(ids[0], ids[1], f64::NAN, 1);
+        assert_eq!(
+            b.build().unwrap_err(),
+            SnnError::NonFiniteWeight {
+                src: ids[0],
+                dst: ids[1]
+            }
+        );
+
+        // First staged offender wins, and per-edge checks run in the
+        // incremental order (src before dst before delay before weight).
+        let (mut b, ids) = mk();
+        b.connect(ids[0], ids[1], 1.0, 1);
+        b.connect(ghost, ids[1], f64::NAN, 0); // src check fires first
+        b.connect(ids[0], ids[1], 1.0, 0); // never reached
+        assert_eq!(b.build().unwrap_err(), SnnError::UnknownNeuron(ghost));
+    }
+
+    #[test]
+    fn builder_accessors_track_staging() {
+        let mut b = NetworkBuilder::new();
+        let ids = b.add_neurons(LifParams::default(), 3);
+        assert_eq!(b.neuron_count(), 3);
+        assert_eq!(b.edge_count(), 0);
+        assert_eq!(b.max_abs_weight(), 0.0);
+        b.connect(ids[0], ids[1], -4.0, 1);
+        b.connect(ids[1], ids[2], 2.0, 1);
+        assert_eq!(b.edge_count(), 2);
+        assert_eq!(b.max_abs_weight(), 4.0);
+    }
+
+    #[test]
+    fn built_network_simulates_like_incremental() {
+        use crate::engine::{DenseEngine, Engine, EventEngine, RunConfig};
+
+        let mut b = NetworkBuilder::new();
+        let a = b.add_neuron(LifParams::gate(1.0));
+        let t = b.add_neuron(LifParams::gate(1.0));
+        b.connect(a, t, 1.5, 3);
+        b.mark_input(a);
+        b.set_terminal(t);
+        let net = b.build().unwrap();
+
+        let cfg = RunConfig::until_terminal(100);
+        let dense = DenseEngine.run(&net, &[a], &cfg).unwrap();
+        let event = EventEngine.run(&net, &[a], &cfg).unwrap();
+        assert_eq!(dense.first_spike(t), Some(3));
+        assert_eq!(event.first_spike(t), Some(3));
+    }
+}

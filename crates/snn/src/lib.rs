@@ -58,6 +58,7 @@
 
 pub mod analysis;
 pub mod audit;
+pub mod builder;
 pub mod encoding;
 pub mod engine;
 pub mod error;
@@ -67,6 +68,7 @@ pub mod probe;
 pub mod raster;
 pub mod types;
 
+pub use builder::NetworkBuilder;
 pub use encoding::{read_value, value_to_bits};
 pub use engine::{
     run_jobs, BatchRunner, DenseEngine, Engine, EngineChoice, EventEngine, NullObserver,

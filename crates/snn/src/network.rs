@@ -34,6 +34,23 @@ pub struct CsrTopology {
 }
 
 impl CsrTopology {
+    /// Assembles a topology from pre-sorted parts — the bulk compiler's
+    /// entry point ([`crate::builder::NetworkBuilder`] counting-sorts
+    /// straight into these arrays; no per-neuron allocations, no
+    /// build-side adjacency ever exists).
+    pub(crate) fn from_parts(offsets: Vec<usize>, synapses: Vec<Synapse>) -> Self {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0);
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert_eq!(*offsets.last().unwrap(), synapses.len());
+        Self { offsets, synapses }
+    }
+
+    /// Resident bytes of the two flat arrays.
+    pub(crate) fn memory_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.synapses.capacity() * std::mem::size_of::<Synapse>()
+    }
+
     fn build(adjacency: &[Vec<Synapse>]) -> Self {
         let total = adjacency.iter().map(Vec::len).sum();
         let mut offsets = Vec::with_capacity(adjacency.len() + 1);
@@ -69,14 +86,34 @@ impl CsrTopology {
 /// computation terminates), and an optional *terminal* neuron whose first
 /// spike ends the computation (Definition 3).
 ///
-/// Construction uses a per-neuron adjacency list (cheap appends); the
-/// engines read through [`Network::csr`], a flat CSR snapshot built
-/// lazily on first use and invalidated by any topology mutation.
+/// Construction has two paths:
+///
+/// * **Incremental** — [`Network::connect`] appends to a per-neuron
+///   adjacency list (cheap single-edge edits); the engines read through
+///   [`Network::csr`], a flat CSR snapshot built lazily on first use and
+///   invalidated by any topology mutation. [`Network::freeze`] drops the
+///   build-side adjacency once the CSR exists, halving resident synapse
+///   memory for a network that is done being built.
+/// * **Bulk** — [`crate::builder::NetworkBuilder`] stages edges in one
+///   flat buffer and counting-sorts them straight into the CSR arrays;
+///   the resulting network is *born frozen* and the adjacency list never
+///   materialises. This is the fast path for mass construction
+///   (graph → SNN compilation).
+///
+/// A frozen network is read-only through the cheap accessors; any
+/// mutation ([`Network::connect`], [`Network::add_neuron`],
+/// [`Network::synapses_from_mut`]) transparently [`Network::thaw`]s it
+/// back into adjacency-list form first (one O(m) copy), so the two
+/// representations are observationally identical.
 #[derive(Clone, Debug, Default)]
 pub struct Network {
     params: Vec<LifParams>,
+    /// Build-side adjacency; empty (never allocated) while `frozen`.
     synapses: Vec<Vec<Synapse>>,
     csr: OnceLock<CsrTopology>,
+    /// When set, `csr` is the authoritative topology and `synapses` is
+    /// dropped.
+    frozen: bool,
     inputs: Vec<NeuronId>,
     outputs: Vec<NeuronId>,
     terminal: Option<NeuronId>,
@@ -101,9 +138,38 @@ impl Network {
         }
     }
 
+    /// Assembles a *born-frozen* network from bulk-compiled parts: the CSR
+    /// is authoritative from the start and the build-side adjacency never
+    /// exists. Callers ([`crate::builder::NetworkBuilder::build`]) have
+    /// already validated every synapse.
+    pub(crate) fn from_frozen(
+        params: Vec<LifParams>,
+        csr: CsrTopology,
+        inputs: Vec<NeuronId>,
+        outputs: Vec<NeuronId>,
+        terminal: Option<NeuronId>,
+        max_delay: u32,
+    ) -> Self {
+        let synapse_count = csr.all().len();
+        let lock = OnceLock::new();
+        lock.set(csr).expect("fresh lock");
+        Self {
+            params,
+            synapses: Vec::new(),
+            csr: lock,
+            frozen: true,
+            inputs,
+            outputs,
+            terminal,
+            synapse_count,
+            max_delay,
+        }
+    }
+
     /// Adds a neuron with the given parameters and returns its id.
     pub fn add_neuron(&mut self, params: LifParams) -> NeuronId {
         debug_assert!(params.validate().is_ok(), "invalid LIF parameters");
+        self.thaw();
         let id = NeuronId(u32::try_from(self.params.len()).expect("more than u32::MAX neurons"));
         self.params.push(params);
         self.synapses.push(Vec::new());
@@ -112,8 +178,23 @@ impl Network {
     }
 
     /// Adds `count` neurons sharing the same parameters; returns their ids.
+    ///
+    /// Reserves capacity for all `count` neurons up front and invalidates
+    /// the cached CSR snapshot once, not per neuron.
     pub fn add_neurons(&mut self, params: LifParams, count: usize) -> Vec<NeuronId> {
-        (0..count).map(|_| self.add_neuron(params)).collect()
+        debug_assert!(params.validate().is_ok(), "invalid LIF parameters");
+        self.thaw();
+        self.csr.take();
+        self.params.reserve(count);
+        self.synapses.reserve(count);
+        let start = self.params.len();
+        u32::try_from(start + count).expect("more than u32::MAX neurons");
+        let ids = (start..start + count).map(|i| NeuronId(i as u32)).collect();
+        for _ in 0..count {
+            self.params.push(params);
+            self.synapses.push(Vec::new());
+        }
+        ids
     }
 
     /// Connects `src -> dst` with the given weight and delay.
@@ -139,6 +220,7 @@ impl Network {
         if !weight.is_finite() {
             return Err(SnnError::NonFiniteWeight { src, dst });
         }
+        self.thaw();
         self.synapses[src.index()].push(Synapse {
             target: dst,
             weight,
@@ -152,9 +234,81 @@ impl Network {
 
     /// Flat CSR view of the synapse table, built on first use and cached
     /// until the topology next changes. Engines route spikes through this.
+    /// For a frozen network the CSR *is* the topology — no build, no copy.
     #[must_use]
     pub fn csr(&self) -> &CsrTopology {
         self.csr.get_or_init(|| CsrTopology::build(&self.synapses))
+    }
+
+    /// Builds the CSR snapshot (if not already cached) and **drops the
+    /// build-side adjacency**, roughly halving resident synapse memory.
+    /// Call when construction is done and the network will be simulated
+    /// (possibly many times) but not edited. Mutations after `freeze` are
+    /// still legal — they [`Self::thaw`] first (one O(m) copy).
+    pub fn freeze(&mut self) {
+        if self.frozen {
+            return;
+        }
+        if self.csr.get().is_none() {
+            let built = CsrTopology::build(&self.synapses);
+            self.csr.set(built).expect("csr lock checked empty");
+        }
+        self.synapses = Vec::new();
+        self.frozen = true;
+    }
+
+    /// Rematerialises the build-side adjacency from the CSR and leaves the
+    /// frozen state; a no-op on non-frozen networks. Mutating accessors
+    /// call this implicitly, so it rarely needs calling by hand.
+    pub fn thaw(&mut self) {
+        if !self.frozen {
+            return;
+        }
+        let csr = self.csr.take().expect("frozen implies a resident CSR");
+        self.synapses = (0..self.params.len())
+            .map(|i| csr.out(i).to_vec())
+            .collect();
+        self.frozen = false;
+    }
+
+    /// Whether the CSR is authoritative and the build-side adjacency has
+    /// been dropped (see [`Self::freeze`]).
+    #[must_use]
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Approximate resident heap bytes of the topology: parameters,
+    /// build-side adjacency (rows + per-row buffers), the cached CSR, and
+    /// the designation lists. The figure the `compile` bench reports to
+    /// show what [`Self::freeze`] / bulk construction save.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut total = self.params.capacity() * size_of::<LifParams>();
+        total += self.synapses.capacity() * size_of::<Vec<Synapse>>();
+        for row in &self.synapses {
+            total += row.capacity() * size_of::<Synapse>();
+        }
+        if let Some(csr) = self.csr.get() {
+            total += csr.memory_bytes();
+        }
+        total += (self.inputs.capacity() + self.outputs.capacity()) * size_of::<NeuronId>();
+        total
+    }
+
+    /// Outgoing synapses of dense index `i`, from whichever representation
+    /// is live.
+    #[inline]
+    fn row(&self, i: usize) -> &[Synapse] {
+        if self.frozen {
+            self.csr
+                .get()
+                .expect("frozen implies a resident CSR")
+                .out(i)
+        } else {
+            &self.synapses[i]
+        }
     }
 
     /// All neuron parameters as one dense slice (indexable by
@@ -200,13 +354,14 @@ impl Network {
     /// Outgoing synapses of neuron `id`.
     #[must_use]
     pub fn synapses_from(&self, id: NeuronId) -> &[Synapse] {
-        &self.synapses[id.index()]
+        self.row(id.index())
     }
 
     /// Mutable outgoing synapses of neuron `id` — used by the crossbar
     /// embedder to re-program delays in place (§4.4). Invalidates the
-    /// cached CSR view.
+    /// cached CSR view (thawing a frozen network first).
     pub fn synapses_from_mut(&mut self, id: NeuronId) -> &mut [Synapse] {
+        self.thaw();
         self.csr.take();
         &mut self.synapses[id.index()]
     }
@@ -259,8 +414,8 @@ impl Network {
     #[must_use]
     pub fn in_degrees(&self) -> Vec<usize> {
         let mut deg = vec![0usize; self.params.len()];
-        for row in &self.synapses {
-            for s in row {
+        for i in 0..self.params.len() {
+            for s in self.row(i) {
                 deg[s.target.index()] += 1;
             }
         }
@@ -271,9 +426,8 @@ impl Network {
     /// polynomially- from exponentially-bounded weights).
     #[must_use]
     pub fn max_abs_weight(&self) -> f64 {
-        self.synapses
-            .iter()
-            .flatten()
+        (0..self.params.len())
+            .flat_map(|i| self.row(i))
             .map(|s| s.weight.abs())
             .fold(0.0, f64::max)
     }
@@ -292,9 +446,9 @@ impl Network {
                 return Err(SnnError::SpontaneousNeuron(NeuronId(i as u32)));
             }
         }
-        for (i, row) in self.synapses.iter().enumerate() {
+        for i in 0..self.params.len() {
             let src = NeuronId(i as u32);
-            for s in row {
+            for s in self.row(i) {
                 if s.delay == 0 {
                     return Err(SnnError::ZeroDelay { src, dst: s.target });
                 }
@@ -464,5 +618,70 @@ mod tests {
         net.connect(a, b, -3.5, 1).unwrap();
         net.connect(b, a, 2.0, 1).unwrap();
         assert_eq!(net.max_abs_weight(), 3.5);
+    }
+
+    #[test]
+    fn freeze_drops_adjacency_and_keeps_reads_identical() {
+        let mut net = Network::new();
+        let ids = net.add_neurons(LifParams::default(), 4);
+        net.connect(ids[0], ids[1], 1.0, 1).unwrap();
+        net.connect(ids[0], ids[2], -2.0, 3).unwrap();
+        net.connect(ids[2], ids[3], 0.5, 2).unwrap();
+        net.mark_input(ids[0]);
+        net.set_terminal(ids[3]);
+
+        let before_rows: Vec<Vec<Synapse>> = net
+            .neuron_ids()
+            .map(|id| net.synapses_from(id).to_vec())
+            .collect();
+        let before_deg = net.in_degrees();
+        let before_mem = net.memory_bytes();
+
+        net.freeze();
+        assert!(net.is_frozen());
+        assert!(
+            net.memory_bytes() < before_mem,
+            "freeze must shed the adjacency"
+        );
+
+        // Every cheap accessor answers identically off the CSR.
+        for (id, row) in net.neuron_ids().zip(&before_rows) {
+            assert_eq!(net.synapses_from(id), row.as_slice());
+        }
+        assert_eq!(net.in_degrees(), before_deg);
+        assert_eq!(net.max_abs_weight(), 2.0);
+        assert_eq!(net.synapse_count(), 3);
+        assert!(net.validate(false).is_ok());
+        assert_eq!(net.csr().all().len(), 3);
+    }
+
+    #[test]
+    fn frozen_network_thaws_on_mutation() {
+        let mut net = Network::new();
+        let ids = net.add_neurons(LifParams::default(), 3);
+        net.connect(ids[0], ids[1], 1.0, 1).unwrap();
+        net.freeze();
+
+        // connect thaws implicitly and the edge lands after the existing one.
+        net.connect(ids[0], ids[2], 2.0, 4).unwrap();
+        assert!(!net.is_frozen());
+        assert_eq!(net.synapses_from(ids[0]).len(), 2);
+        assert_eq!(net.synapses_from(ids[0])[1].target, ids[2]);
+        assert_eq!(net.csr().out(0).len(), 2);
+
+        net.freeze();
+        net.synapses_from_mut(ids[0])[0].weight = -9.0;
+        assert!(!net.is_frozen());
+        assert_eq!(net.csr().out(0)[0].weight, -9.0);
+
+        net.freeze();
+        let d = net.add_neuron(LifParams::default());
+        assert!(!net.is_frozen());
+        assert_eq!(net.csr().out(d.index()).len(), 0);
+
+        // freeze is idempotent.
+        net.freeze();
+        net.freeze();
+        assert!(net.is_frozen());
     }
 }

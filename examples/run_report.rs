@@ -9,11 +9,17 @@
 //!
 //! Run with: `cargo run --release --example run_report`
 //!
-//! Given a path to a `BENCH_serve.json` report (as written by
-//! `sgl-stress`), it instead renders the serve-side view: per-op latency
-//! quantiles with a p50 sparkline across ops, queue pressure, and the
-//! compiled-network cache hit ratio:
-//! `cargo run --release --example run_report -- artifacts/BENCH_serve.json`
+//! Given a path to a committed report it instead renders that report's
+//! view, dispatching on the report name:
+//!
+//! - `BENCH_serve.json` (written by `sgl-stress`): per-op latency
+//!   quantiles with a p50 sparkline across ops, queue pressure, and the
+//!   compiled-network cache hit ratio:
+//!   `cargo run --release --example run_report -- artifacts/BENCH_serve.json`
+//! - `BENCH_compile.json` (written by the `compile` bench): bulk vs
+//!   incremental graph→SNN construction medians, speedups, and resident
+//!   synapse memory at each size:
+//!   `cargo run --release --example run_report -- artifacts/BENCH_compile.json`
 
 use rand::SeedableRng;
 use spiking_graphs::algorithms::sssp_pseudo::SpikingSssp;
@@ -42,12 +48,70 @@ fn print_histogram(label: &str, hist: &LogHistogram) {
     println!("  {}", sparkline(&counts, 64));
 }
 
+/// Renders a committed report file, dispatching on the report name
+/// (`serve` and `compile` have dedicated views).
+fn render_report_file(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let report = RunReport::from_jsonl(&text).unwrap_or_else(|e| panic!("bad report: {e:?}"));
+    match report.name.as_str() {
+        "serve" => render_serve_report(&report, path),
+        "compile" => render_compile_report(&report, path),
+        other => panic!("no renderer for report `{other}` (expected serve or compile)"),
+    }
+}
+
+/// Renders a `BENCH_compile.json` report written by the `compile` bench:
+/// one row per (construction, n) pair with bulk vs incremental medians,
+/// the speedup, and the resident memory of each form — plus a speedup
+/// sparkline so a regression is visible at a glance.
+fn render_compile_report(report: &RunReport, path: &str) {
+    println!(
+        "# graph→SNN compilation report `{}` ({path})\n",
+        report.name
+    );
+    println!(
+        "  {:<12} {:>12} {:>14} {:>8}   {:>12} {:>12}",
+        "pair", "bulk_ns", "incremental_ns", "speedup", "bulk_mem", "inc_mem"
+    );
+    let mut speedups = Vec::new();
+    for (name, data) in &report.sections {
+        // Measurement sections are `<construction>_<n>`; skip meta/table.
+        let field = |k: &str| data.get(k).and_then(Json::as_u64);
+        let (Some(bulk), Some(inc)) = (field("bulk_median_ns"), field("incremental_median_ns"))
+        else {
+            continue;
+        };
+        let speedup = data.get("speedup").and_then(Json::as_f64).unwrap_or(0.0);
+        // Scale for the sparkline: 1.00x -> 100, so parity is visible.
+        speedups.push((speedup * 100.0).round() as u64);
+        println!(
+            "  {:<12} {:>12} {:>14} {:>7.2}x   {:>12} {:>12}",
+            name,
+            bulk,
+            inc,
+            speedup,
+            field("bulk_memory_bytes").unwrap_or(0),
+            field("incremental_memory_bytes").unwrap_or(0),
+        );
+    }
+    assert!(!speedups.is_empty(), "no measurement sections in {path}");
+    println!("\n  speedup across pairs: {}", sparkline(&speedups, 32));
+    let worst = speedups.iter().min().copied().unwrap_or(0);
+    println!(
+        "  worst pair: {:.2}x — {}",
+        worst as f64 / 100.0,
+        if worst >= 100 {
+            "bulk never loses to incremental (the perf_check ordering rule)"
+        } else {
+            "BULK SLOWER THAN INCREMENTAL — perf_check would fail this run"
+        }
+    );
+}
+
 /// Renders the serve-side view of a `BENCH_serve.json` report written by
 /// `sgl-stress`: per-op latency quantiles (p50 sparkline across ops),
 /// queue pressure, and the compiled-network cache hit ratio.
-fn render_serve_report(path: &str) {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    let report = RunReport::from_jsonl(&text).unwrap_or_else(|e| panic!("bad report: {e:?}"));
+fn render_serve_report(report: &RunReport, path: &str) {
     println!("# sgl-serve report `{}` ({path})\n", report.name);
 
     if let Some(config) = report.get("config") {
@@ -143,7 +207,7 @@ fn render_serve_report(path: &str) {
 
 fn main() {
     if let Some(path) = std::env::args().nth(1) {
-        render_serve_report(&path);
+        render_report_file(&path);
         return;
     }
     let mut phases = PhaseProfiler::new();
