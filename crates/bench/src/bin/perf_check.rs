@@ -23,6 +23,32 @@ use sgl_observe::parse_json;
 const FAIL_RATIO: f64 = 2.0;
 /// Below this ratio the delta is reported as noise, not a regression.
 const WARN_RATIO: f64 = 1.10;
+/// Relative slack on the intra-run ordering rules: `a <= b` fails only
+/// when `a > b * (1 + ORDER_EPSILON)`. Same-run medians remove machine
+/// skew but not sampling jitter; a genuine ordering inversion shows up
+/// as tens of percent, so 5% slack silences ties without masking one.
+const ORDER_EPSILON: f64 = 0.05;
+
+/// Checks the intra-run ordering `fast <= slow` with [`ORDER_EPSILON`]
+/// slack and prints the raw margin either way. Returns 1 on failure so
+/// callers can accumulate a failure count.
+fn check_ordering(rule: &str, fast_name: &str, fast: u64, slow_name: &str, slow: u64) -> usize {
+    let margin = (slow as f64 - fast as f64) / slow.max(1) as f64 * 100.0;
+    if fast as f64 > slow as f64 * (1.0 + ORDER_EPSILON) {
+        println!(
+            "FAIL  {rule} ordering: {fast_name} ({fast} ns) above {slow_name} ({slow} ns) \
+             by more than {:.0}% (margin {margin:.1}%)",
+            ORDER_EPSILON * 100.0
+        );
+        1
+    } else {
+        println!(
+            "ok    {rule} ordering: {fast_name} ({fast} ns) <= {slow_name} ({slow} ns) \
+             (margin {margin:.1}%)"
+        );
+        0
+    }
+}
 
 fn load(path: &str) -> BTreeMap<String, u64> {
     let text = std::fs::read_to_string(path)
@@ -82,21 +108,13 @@ fn main() -> ExitCode {
     }
 
     // Intra-run ordering rule: a warm compiled-network cache hit must be
-    // strictly cheaper than a cold compile+run — otherwise the serve
-    // cache is pure overhead. Same-run medians, so noise-fair.
+    // cheaper than a cold compile+run — otherwise the serve cache is
+    // pure overhead. Same-run medians, so noise-fair.
     if let (Some(&warm), Some(&cold)) = (
         current.get("serve/sssp_warm/256"),
         current.get("serve/sssp_cold/256"),
     ) {
-        if warm >= cold {
-            println!(
-                "FAIL  serve ordering: sssp_warm/256 ({warm} ns) not strictly below \
-                 sssp_cold/256 ({cold} ns) — the compiled-network cache must pay for itself"
-            );
-            failures += 1;
-        } else {
-            println!("ok    serve ordering: sssp_warm/256 ({warm} ns) < sssp_cold/256 ({cold} ns)");
-        }
+        failures += check_ordering("serve", "sssp_warm/256", warm, "sssp_cold/256", cold);
     }
 
     // Intra-run ordering rule: batched APSP must beat per-source rebuild.
@@ -104,17 +122,7 @@ fn main() -> ExitCode {
         current.get("apsp_batch/batch/256"),
         current.get("apsp_batch/rebuild/256"),
     ) {
-        if batch > rebuild {
-            println!(
-                "FAIL  apsp_batch ordering: batch/256 ({batch} ns) slower than rebuild/256 \
-                 ({rebuild} ns) — the batch runtime must never lose to rebuilding"
-            );
-            failures += 1;
-        } else {
-            println!(
-                "ok    apsp_batch ordering: batch/256 ({batch} ns) <= rebuild/256 ({rebuild} ns)"
-            );
-        }
+        failures += check_ordering("apsp_batch", "batch/256", batch, "rebuild/256", rebuild);
     }
 
     // Intra-run ordering rule: bulk compilation must never lose to the
@@ -136,15 +144,37 @@ fn main() -> ExitCode {
             println!("WARN  compile ordering: {name} has no {sibling} sibling");
             continue;
         };
-        if bulk > incremental {
-            println!(
-                "FAIL  compile ordering: {name} ({bulk} ns) slower than {sibling} \
-                 ({incremental} ns) — the bulk kernel must never lose to per-edge connect"
-            );
-            failures += 1;
-        } else {
-            println!("ok    compile ordering: {name} ({bulk} ns) <= {sibling} ({incremental} ns)");
-        }
+        failures += check_ordering(
+            "compile",
+            name.strip_prefix("compile/").unwrap_or(name),
+            bulk,
+            sibling.strip_prefix("compile/").unwrap_or(&sibling),
+            incremental,
+        );
+    }
+
+    // Intra-run ordering rule: the bit-plane engine must not lose to the
+    // literal dense engine it specialises — on any workload both run.
+    // Every `snn_engines/bitplane*` entry is checked against the
+    // `snn_engines/dense*` sibling obtained by substituting the engine
+    // name (`bitplane/256` -> `dense/256`, `bitplane_gnp_mask/1024` ->
+    // `dense_gnp_mask/1024`).
+    for (name, &bp) in current.range("snn_engines/bitplane".to_string()..) {
+        let Some(rest) = name.strip_prefix("snn_engines/bitplane") else {
+            break; // past the bitplane rows in BTreeMap order
+        };
+        let sibling = format!("snn_engines/dense{rest}");
+        let Some(&dense) = current.get(&sibling) else {
+            println!("WARN  snn_engines ordering: {name} has no {sibling} sibling");
+            continue;
+        };
+        failures += check_ordering(
+            "snn_engines",
+            name.strip_prefix("snn_engines/").unwrap_or(name),
+            bp,
+            sibling.strip_prefix("snn_engines/").unwrap_or(&sibling),
+            dense,
+        );
     }
 
     println!("perf_check: {compared} compared, {failures} hard failure(s)");

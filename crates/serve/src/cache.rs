@@ -37,7 +37,9 @@ use std::time::Duration;
 use sgl_core::{khop_layered, sssp_pseudo::SpikingSssp};
 use sgl_graph::{Graph, Len};
 use sgl_observe::PhaseProfiler;
-use sgl_snn::engine::{DenseEngine, EngineChoice, EventEngine, RunConfig, RunResult, RunScratch};
+use sgl_snn::engine::{
+    BitplaneEngine, DenseEngine, EngineChoice, EventEngine, RunConfig, RunResult, RunScratch,
+};
 use sgl_snn::{Network, NeuronId, SnnError};
 
 /// Structural fingerprint of a graph: 64-bit FNV-1a over `(n, m)` and the
@@ -297,6 +299,9 @@ impl CompiledNet {
         match self.engine {
             EngineChoice::Dense => {
                 DenseEngine.run_with_scratch(&self.net, &spikes, &config, scratch)
+            }
+            EngineChoice::Bitplane => {
+                BitplaneEngine.run_with_scratch(&self.net, &spikes, &config, scratch)
             }
             _ => EventEngine.run_with_scratch(&self.net, &spikes, &config, scratch),
         }

@@ -31,13 +31,14 @@
 //! neurons) or is dense enough that per-step sorting of touched neurons
 //! costs more than a linear sweep.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use sgl_observe::{BatchSummary, NullObserver};
 
 use super::wheel::TimeWheel;
-use super::{DenseEngine, EventEngine, ParallelDenseEngine, RunConfig, RunResult};
+use super::{BitplaneEngine, DenseEngine, EventEngine, ParallelDenseEngine, RunConfig, RunResult};
 use crate::error::SnnError;
 use crate::network::Network;
 use crate::types::{NeuronId, Time};
@@ -71,6 +72,16 @@ pub struct RunScratch {
     pub(super) touched_idx: Vec<usize>,
     /// Event engine: neurons receiving input this step.
     pub(super) touched_ids: Vec<NeuronId>,
+    /// Bit-plane engine: ring of spike-frontier bit-planes
+    /// (`ring_len * words` u64 words).
+    pub(super) bp_planes: Vec<u64>,
+    /// Bit-plane engine: per-ring-slot "any bit set" flags.
+    pub(super) bp_nonempty: Vec<bool>,
+    /// Bit-plane engine: the current step's fired bits (`words` words).
+    pub(super) bp_fired_words: Vec<u64>,
+    /// Bit-plane engine: beyond-horizon deliveries by arrival time (the
+    /// ring's analogue of the wheel's overflow map).
+    pub(super) bp_overflow: BTreeMap<Time, Vec<(NeuronId, f64)>>,
 }
 
 impl RunScratch {
@@ -101,24 +112,62 @@ impl RunScratch {
         self.dirty.resize(n, false);
         self.touched_idx.clear();
         self.touched_ids.clear();
+        // The bit-plane engine re-sizes (zero-filling) these after reset,
+        // so clearing to empty — capacity retained — is both cheap for the
+        // other engines and pristine for the next bit-plane run.
+        self.bp_planes.clear();
+        self.bp_nonempty.clear();
+        self.bp_fired_words.clear();
+        self.bp_overflow.clear();
     }
 }
+
+/// Density crossover for [`EngineChoice::Auto`], as an inverse fraction
+/// of `n²`: networks with `m >= n² / 4` synapses route to the bit-plane
+/// engine, sparser ones to the event engine.
+///
+/// Measured, not guessed (BENCH_engines gather-mode gate networks,
+/// `n ∈ {256, 1024}`, delays 1–9): at `m = n²/4` the bit-plane engine
+/// beats the event engine ~3.8x (saturated frontiers make touched-set
+/// bookkeeping pure overhead), and it stays ahead down to `m = n²/16`
+/// (~1.5x at `n = 256`, ~3.9x at `n = 1024`). On the sparse delay-encoded
+/// SSSP nets (`m = 4n`) the event engine wins ~1.4x by skipping quiet
+/// steps. The threshold stays at a conservative `n²/4` because the
+/// bit-plane advantage below it depends on *activity* density (saturated
+/// frontiers), which edge density alone does not guarantee — and the
+/// event engine is the asymptotic winner the paper banks on wherever
+/// sparsity gives it a chance.
+const DENSE_CROSSOVER_INV: u128 = 4;
+
+/// Temporal-density gate for the bit-plane route: graph density alone
+/// does not justify dense stepping when delays are huge, because a
+/// delay-encoded wavefront then leaves almost every step quiet and the
+/// event engine skips those steps entirely (a 2-neuron, delay-5000 edge
+/// is "half of all possible edges" yet runs 5000× fewer updates
+/// event-driven). Dense stepping walks at most this many empty steps
+/// between any fire and its furthest in-flight arrival.
+const DENSE_MAX_DELAY: u32 = 64;
 
 /// Which engine a batch (or job) runs on.
 #[derive(Clone, Copy, Debug, Default)]
 pub enum EngineChoice {
     /// Pick per network: [`DenseEngine`] when the network has spontaneous
-    /// neurons (the event engine rejects them) or when its topology is
-    /// dense enough that a per-step linear sweep beats sorting the
-    /// touched set (≥ `n²/2` synapses); [`EventEngine`] otherwise — the
-    /// right default for the sparse, delay-encoded graph circuits the
-    /// paper builds.
+    /// neurons (the event engine rejects them; the reference engine is
+    /// the conservative choice), [`BitplaneEngine`] when the topology is
+    /// dense in space — `m >= n² /` [`DENSE_CROSSOVER_INV`], a measured
+    /// crossover — *and* in time (`max_delay <=` [`DENSE_MAX_DELAY`]),
+    /// so a word-parallel frontier sweep beats touched-set bookkeeping;
+    /// [`EventEngine`] otherwise — the right default for the sparse,
+    /// delay-encoded graph circuits the paper builds.
     #[default]
     Auto,
     /// Always the reference dense engine.
     Dense,
     /// Always the event-driven engine (fails on spontaneous neurons).
     Event,
+    /// Always the bit-plane dense engine (dense semantics, wheel-free
+    /// bitmask spike routing; see DESIGN.md "Bit-plane execution").
+    Bitplane,
     /// Always the given thread-parallel dense engine. Note the batch
     /// runner already parallelizes *across* runs; nesting a parallel
     /// engine inside it oversubscribes unless the batch pool is small.
@@ -133,11 +182,16 @@ impl EngineChoice {
     pub fn resolve(self, net: &Network) -> Self {
         match self {
             Self::Auto => {
-                let n = net.neuron_count();
+                let n = net.neuron_count() as u128;
                 let spontaneous = net.params_slice().iter().any(|p| !p.is_input_driven());
-                let near_complete = n > 0 && net.synapse_count() >= n.saturating_mul(n) / 2;
-                if spontaneous || near_complete {
+                // u128 arithmetic: `n * n` overflows u64 from n = 2^32,
+                // and usize on 32-bit targets far earlier.
+                let near_complete =
+                    n > 0 && (net.synapse_count() as u128) * DENSE_CROSSOVER_INV >= n * n;
+                if spontaneous {
                     Self::Dense
+                } else if near_complete && net.max_delay() <= DENSE_MAX_DELAY {
+                    Self::Bitplane
                 } else {
                     Self::Event
                 }
@@ -317,6 +371,9 @@ fn run_resolved(
         EngineChoice::Event => {
             EventEngine.run_core(net, &spec.initial_spikes, &spec.config, scratch, obs)
         }
+        EngineChoice::Bitplane => {
+            BitplaneEngine.run_core(net, &spec.initial_spikes, &spec.config, scratch, obs)
+        }
         EngineChoice::Parallel(engine) => {
             engine.run_core(net, &spec.initial_spikes, &spec.config, scratch, obs)
         }
@@ -464,8 +521,8 @@ mod tests {
     }
 
     #[test]
-    fn auto_picks_dense_for_near_complete_topologies() {
-        // Complete digraph on 4 nodes: 12 synapses >= 16 / 2.
+    fn auto_picks_bitplane_for_near_complete_topologies() {
+        // Complete digraph on 4 nodes: 12 synapses >= 16 / 4.
         let mut net = Network::new();
         let ids = net.add_neurons(LifParams::gate_at_least(1), 4);
         for &u in &ids {
@@ -477,8 +534,32 @@ mod tests {
         }
         assert!(matches!(
             EngineChoice::Auto.resolve(&net),
-            EngineChoice::Dense
+            EngineChoice::Bitplane
         ));
+        // And the batch result is (exactly) the dense engine's.
+        let specs = [RunSpec::new(
+            vec![ids[0]],
+            RunConfig::fixed(5).with_raster(),
+        )];
+        let results = BatchRunner::new(&net).run(&specs).unwrap();
+        let dense = DenseEngine
+            .run(&net, &specs[0].initial_spikes, &specs[0].config)
+            .unwrap();
+        assert_eq!(results[0], dense);
+    }
+
+    #[test]
+    fn auto_crossover_math_survives_huge_counts() {
+        // Regression: the old `n * n / 2` test overflowed usize for large
+        // n (or u64 semantics on 32-bit targets); the u128 rewrite must
+        // stay exact at any realistic scale. Exercise `resolve` right at
+        // the boundary with a synthetic count via a real (tiny) network —
+        // and the arithmetic itself at u64-overflowing magnitudes.
+        let n: u128 = 1 << 33; // n² = 2^66 overflows u64
+        let m_below = (n * n / DENSE_CROSSOVER_INV) - 1;
+        let m_at = n * n / DENSE_CROSSOVER_INV;
+        assert!(m_below * DENSE_CROSSOVER_INV < n * n);
+        assert!(m_at * DENSE_CROSSOVER_INV >= n * n);
     }
 
     #[test]

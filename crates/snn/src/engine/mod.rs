@@ -7,6 +7,7 @@
 //! firing state *at time `T`* may be read out).
 
 mod batch;
+mod bitplane;
 mod dense;
 mod event;
 mod parallel;
@@ -14,6 +15,7 @@ mod stepper;
 pub(crate) mod wheel;
 
 pub use batch::{run_jobs, summarize, BatchRunner, EngineChoice, RunScratch, RunSpec};
+pub use bitplane::BitplaneEngine;
 pub use dense::DenseEngine;
 pub use event::EventEngine;
 pub use parallel::{ParallelDenseEngine, DEFAULT_MIN_CHUNK};

@@ -27,7 +27,12 @@ pub(crate) type Delivery = (NeuronId, f64);
 /// Wheel slots beyond this are not allocated up front; longer delays go to
 /// the overflow map. Bounds memory to O(cap) even for networks whose
 /// delay-encoded edges are enormous.
-const HORIZON_CAP: usize = 4096;
+///
+/// Shared with [`crate::network::BitplaneTopology`]: the bit-plane engine
+/// splits synapses into in-horizon and overflow sets with the *same*
+/// boundary, so both engines classify — and therefore order — every
+/// delivery identically.
+pub(crate) const HORIZON_CAP: usize = 4096;
 
 /// A calendar queue over discrete time, sized to the network's maximum
 /// synaptic delay (capped; see [`HORIZON_CAP`]).

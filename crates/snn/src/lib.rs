@@ -71,12 +71,12 @@ pub mod types;
 pub use builder::NetworkBuilder;
 pub use encoding::{read_value, value_to_bits};
 pub use engine::{
-    run_jobs, BatchRunner, DenseEngine, Engine, EngineChoice, EventEngine, NullObserver,
-    ParallelDenseEngine, RunConfig, RunObserver, RunResult, RunScratch, RunSpec, SimStats,
-    StopCondition, StopReason, TimeSeriesObserver,
+    run_jobs, BatchRunner, BitplaneEngine, DenseEngine, Engine, EngineChoice, EventEngine,
+    NullObserver, ParallelDenseEngine, RunConfig, RunObserver, RunResult, RunScratch, RunSpec,
+    SimStats, StopCondition, StopReason, TimeSeriesObserver,
 };
 pub use error::SnnError;
-pub use network::{Network, Synapse};
+pub use network::{BitplaneTopology, Network, Synapse};
 pub use params::LifParams;
 pub use raster::SpikeRaster;
 pub use types::{NeuronId, Time};

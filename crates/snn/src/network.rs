@@ -78,6 +78,214 @@ impl CsrTopology {
     }
 }
 
+/// One delay bucket of a [`BitplaneTopology`]: the synapses of a single
+/// source that share one in-horizon delay, as a `start..end` range into the
+/// flat target/weight arrays.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DelayBucket {
+    /// The shared synaptic delay (`1..=horizon`).
+    pub(crate) delay: u32,
+    /// Start of the bucket's synapses in `targets`/`weights`.
+    pub(crate) start: usize,
+    /// One past the bucket's last synapse.
+    pub(crate) end: usize,
+}
+
+/// Delay-bucketed view of the synapse table for the bit-plane engine.
+///
+/// The bit-plane engine keeps spike frontiers as `u64` bit-planes in a
+/// ring buffer and, at step `t`, delivers the arrivals due from each plane
+/// still inside the delay horizon. That inverts the time wheel's layout:
+/// instead of "which deliveries land at `t`" it asks "which synapses of
+/// source `s` have delay `t - t_fire`" — so this snapshot groups each
+/// source's in-horizon synapses into per-delay buckets (delays ascending,
+/// CSR order preserved within a bucket, which keeps floating-point
+/// accumulation order — and therefore whole `RunResult`s — bit-identical
+/// to the wheel-based engines).
+///
+/// Two delivery modes hang off the same buckets:
+///
+/// * **Gather** (always available) — walk a bucket's target/weight pairs
+///   and accumulate `f64` synaptic input, exactly like the wheel drain.
+/// * **OR-mask** — when every neuron has `v_reset == 0`,
+///   `v_threshold >= 0`, and every synapse weight strictly exceeds its
+///   target's threshold, a neuron fires iff at least one arrival lands on
+///   it and membrane voltages are identically zero between events. Spike
+///   propagation then reduces to OR-ing each bucket's precomputed target
+///   bitmask into the step's fired plane — no floating point at all. The
+///   masks are materialised only for such networks, and only while small
+///   and dense enough to beat the gather (see [`Self::uses_masks`]).
+///
+/// Synapses with delays beyond the wheel horizon ([`HORIZON_CAP`]) go to a
+/// per-source overflow list; the engine parks them in an ordered map just
+/// as the wheel does, so both engines classify every delivery identically.
+///
+/// Built lazily by [`Network::bitplane`] (like the CSR snapshot) and
+/// invalidated by any topology mutation.
+#[derive(Clone, Debug)]
+pub struct BitplaneTopology {
+    /// Delay horizon: `clamp(max_delay, 1, HORIZON_CAP)` — identical to
+    /// the time wheel's slot count for the same network.
+    pub(crate) horizon: u32,
+    /// `u64` words per bit-plane: `ceil(n / 64)`.
+    pub(crate) words: usize,
+    /// `n + 1` offsets into `buckets`; source `i`'s delay buckets are
+    /// `buckets[bucket_offsets[i]..bucket_offsets[i + 1]]`.
+    pub(crate) bucket_offsets: Vec<usize>,
+    /// All delay buckets, grouped by source, delays ascending per source.
+    pub(crate) buckets: Vec<DelayBucket>,
+    /// Flat bucket-ordered synapse targets (dense neuron indices).
+    pub(crate) targets: Vec<u32>,
+    /// Flat bucket-ordered synapse weights (parallel to `targets`).
+    pub(crate) weights: Vec<f64>,
+    /// Per-source in-horizon out-degree (sum of its bucket sizes).
+    pub(crate) horizon_degree: Vec<u32>,
+    /// `n + 1` offsets into `overflow`.
+    pub(crate) overflow_offsets: Vec<usize>,
+    /// Beyond-horizon synapses per source, in CSR order:
+    /// `(delay, target, weight)`.
+    pub(crate) overflow: Vec<(u32, NeuronId, f64)>,
+    /// Per-bucket target bitmasks (`buckets.len() * words` words), present
+    /// only in OR-mask mode.
+    pub(crate) masks: Option<Vec<u64>>,
+}
+
+/// Upper bound on the resident bytes of the optional per-bucket target
+/// masks; above it the topology stays in gather mode regardless of
+/// density ("CSR-gather fallback for large graphs").
+const MASK_BYTES_CAP: usize = 1 << 24; // 16 MiB
+
+impl BitplaneTopology {
+    pub(crate) fn build(csr: &CsrTopology, params: &[LifParams], max_delay: u32) -> Self {
+        let n = params.len();
+        let horizon =
+            u32::try_from((max_delay as usize).clamp(1, crate::engine::wheel::HORIZON_CAP))
+                .expect("HORIZON_CAP fits in u32");
+        let words = n.div_ceil(64);
+
+        let mut bucket_offsets = Vec::with_capacity(n + 1);
+        let mut buckets = Vec::new();
+        let mut targets = Vec::new();
+        let mut weights = Vec::new();
+        let mut horizon_degree = vec![0u32; n];
+        let mut overflow_offsets = Vec::with_capacity(n + 1);
+        let mut overflow = Vec::new();
+        // OR-mask eligibility: voltages provably pinned at zero between
+        // events, every arrival fires its target (see type-level docs).
+        let mut or_eligible = params
+            .iter()
+            .all(|p| p.v_reset == 0.0 && p.v_threshold >= 0.0);
+
+        bucket_offsets.push(0);
+        overflow_offsets.push(0);
+        // (delay, CSR position) per in-horizon synapse of one source; the
+        // CSR position tiebreak makes the sort a stable partition, so CSR
+        // relative order survives within each bucket.
+        let mut row: Vec<(u32, usize)> = Vec::new();
+        for i in 0..n {
+            row.clear();
+            for (k, s) in csr.out(i).iter().enumerate() {
+                or_eligible &= s.weight > params[s.target.index()].v_threshold;
+                if s.delay <= horizon {
+                    row.push((s.delay, k));
+                } else {
+                    overflow.push((s.delay, s.target, s.weight));
+                }
+            }
+            row.sort_unstable();
+            horizon_degree[i] = row.len() as u32;
+            let out = csr.out(i);
+            let mut j = 0;
+            while j < row.len() {
+                let delay = row[j].0;
+                let start = targets.len();
+                while j < row.len() && row[j].0 == delay {
+                    let s = &out[row[j].1];
+                    targets.push(s.target.0);
+                    weights.push(s.weight);
+                    j += 1;
+                }
+                buckets.push(DelayBucket {
+                    delay,
+                    start,
+                    end: targets.len(),
+                });
+            }
+            bucket_offsets.push(buckets.len());
+            overflow_offsets.push(overflow.len());
+        }
+
+        // Mask mode pays `words` OR-ops per (fired source, delay) bucket
+        // where the gather pays `bucket len` adds: worth it only for
+        // eligible networks whose buckets are reasonably full (avg bucket
+        // length >= words / 8 — OR words are SIMD-wide), and only while
+        // the mask table stays small.
+        let use_masks = or_eligible
+            && !buckets.is_empty()
+            && targets.len() * 8 >= buckets.len() * words
+            && buckets.len().saturating_mul(words).saturating_mul(8) <= MASK_BYTES_CAP;
+        let masks = use_masks.then(|| {
+            let mut m = vec![0u64; buckets.len() * words];
+            for (b, bucket) in buckets.iter().enumerate() {
+                let plane = &mut m[b * words..(b + 1) * words];
+                for &t in &targets[bucket.start..bucket.end] {
+                    plane[(t >> 6) as usize] |= 1u64 << (t & 63);
+                }
+            }
+            m
+        });
+
+        Self {
+            horizon,
+            words,
+            bucket_offsets,
+            buckets,
+            targets,
+            weights,
+            horizon_degree,
+            overflow_offsets,
+            overflow,
+            masks,
+        }
+    }
+
+    /// Delay horizon shared with the time wheel.
+    #[must_use]
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// Whether spike propagation runs in OR-mask mode (see type docs).
+    #[must_use]
+    pub fn uses_masks(&self) -> bool {
+        self.masks.is_some()
+    }
+
+    /// Number of synapses whose delay exceeds the horizon (these take the
+    /// ordered-map overflow path, exactly like the wheel's).
+    #[must_use]
+    pub fn overflow_synapses(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// Resident heap bytes of this snapshot (all capacities counted).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.bucket_offsets.capacity() * size_of::<usize>()
+            + self.buckets.capacity() * size_of::<DelayBucket>()
+            + self.targets.capacity() * size_of::<u32>()
+            + self.weights.capacity() * size_of::<f64>()
+            + self.horizon_degree.capacity() * size_of::<u32>()
+            + self.overflow_offsets.capacity() * size_of::<usize>()
+            + self.overflow.capacity() * size_of::<(u32, NeuronId, f64)>()
+            + self
+                .masks
+                .as_ref()
+                .map_or(0, |m| m.capacity() * size_of::<u64>())
+    }
+}
+
 /// A spiking neural network: a directed graph (cycles and self-loops
 /// allowed) whose vertices are LIF neurons and whose edges are synapses.
 ///
@@ -111,6 +319,9 @@ pub struct Network {
     /// Build-side adjacency; empty (never allocated) while `frozen`.
     synapses: Vec<Vec<Synapse>>,
     csr: OnceLock<CsrTopology>,
+    /// Bit-plane engine snapshot, derived from the CSR on first use and
+    /// invalidated together with it.
+    bitplane: OnceLock<BitplaneTopology>,
     /// When set, `csr` is the authoritative topology and `synapses` is
     /// dropped.
     frozen: bool,
@@ -157,6 +368,7 @@ impl Network {
             params,
             synapses: Vec::new(),
             csr: lock,
+            bitplane: OnceLock::new(),
             frozen: true,
             inputs,
             outputs,
@@ -174,6 +386,7 @@ impl Network {
         self.params.push(params);
         self.synapses.push(Vec::new());
         self.csr.take();
+        self.bitplane.take();
         id
     }
 
@@ -185,6 +398,7 @@ impl Network {
         debug_assert!(params.validate().is_ok(), "invalid LIF parameters");
         self.thaw();
         self.csr.take();
+        self.bitplane.take();
         self.params.reserve(count);
         self.synapses.reserve(count);
         let start = self.params.len();
@@ -227,6 +441,7 @@ impl Network {
             delay,
         });
         self.csr.take();
+        self.bitplane.take();
         self.synapse_count += 1;
         self.max_delay = self.max_delay.max(delay);
         Ok(())
@@ -238,6 +453,20 @@ impl Network {
     #[must_use]
     pub fn csr(&self) -> &CsrTopology {
         self.csr.get_or_init(|| CsrTopology::build(&self.synapses))
+    }
+
+    /// Delay-bucketed bit-plane snapshot of the synapse table (see
+    /// [`BitplaneTopology`]), built from the CSR on first use and cached
+    /// until the topology next changes. The bit-plane engine routes spikes
+    /// through this.
+    ///
+    /// Built lazily — not eagerly by [`Self::freeze`] — so networks that
+    /// never run on the bit-plane engine pay nothing for it; once built it
+    /// is counted by [`Self::memory_bytes`].
+    #[must_use]
+    pub fn bitplane(&self) -> &BitplaneTopology {
+        self.bitplane
+            .get_or_init(|| BitplaneTopology::build(self.csr(), &self.params, self.max_delay))
     }
 
     /// Builds the CSR snapshot (if not already cached) and **drops the
@@ -265,6 +494,7 @@ impl Network {
             return;
         }
         let csr = self.csr.take().expect("frozen implies a resident CSR");
+        self.bitplane.take();
         self.synapses = (0..self.params.len())
             .map(|i| csr.out(i).to_vec())
             .collect();
@@ -279,9 +509,10 @@ impl Network {
     }
 
     /// Approximate resident heap bytes of the topology: parameters,
-    /// build-side adjacency (rows + per-row buffers), the cached CSR, and
-    /// the designation lists. The figure the `compile` bench reports to
-    /// show what [`Self::freeze`] / bulk construction save.
+    /// build-side adjacency (rows + per-row buffers), the cached CSR and
+    /// bit-plane snapshots, and the designation lists — all counted at
+    /// `Vec` capacity, not length. The figure the `compile` bench reports
+    /// to show what [`Self::freeze`] / bulk construction save.
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
@@ -292,6 +523,9 @@ impl Network {
         }
         if let Some(csr) = self.csr.get() {
             total += csr.memory_bytes();
+        }
+        if let Some(bp) = self.bitplane.get() {
+            total += bp.memory_bytes();
         }
         total += (self.inputs.capacity() + self.outputs.capacity()) * size_of::<NeuronId>();
         total
@@ -363,6 +597,7 @@ impl Network {
     pub fn synapses_from_mut(&mut self, id: NeuronId) -> &mut [Synapse] {
         self.thaw();
         self.csr.take();
+        self.bitplane.take();
         &mut self.synapses[id.index()]
     }
 
@@ -653,6 +888,80 @@ mod tests {
         assert_eq!(net.synapse_count(), 3);
         assert!(net.validate(false).is_ok());
         assert_eq!(net.csr().all().len(), 3);
+    }
+
+    #[test]
+    fn freeze_reclaims_at_least_the_adjacency_capacity() {
+        use std::mem::size_of;
+        let mut net = Network::new();
+        let ids = net.add_neurons(LifParams::gate(0.5), 64);
+        for i in 0..ids.len() {
+            for j in 0..ids.len() {
+                if i != j && (i + j) % 3 == 0 {
+                    net.connect(ids[i], ids[j], 1.0, 1 + (i % 5) as u32)
+                        .unwrap();
+                }
+            }
+        }
+        // Build the CSR up front so the before/after figures differ only by
+        // what freeze is supposed to shed: the build-side adjacency.
+        let _ = net.csr();
+        let adjacency_bytes = net.synapses.capacity() * size_of::<Vec<Synapse>>()
+            + net
+                .synapses
+                .iter()
+                .map(|row| row.capacity() * size_of::<Synapse>())
+                .sum::<usize>();
+        assert!(adjacency_bytes > 0);
+        let before = net.memory_bytes();
+        net.freeze();
+        let after = net.memory_bytes();
+        assert!(
+            before - after >= adjacency_bytes,
+            "freeze must reclaim at least the adjacency capacity: \
+             before {before}, after {after}, adjacency {adjacency_bytes}"
+        );
+    }
+
+    #[test]
+    fn memory_bytes_counts_the_bitplane_snapshot() {
+        let mut net = Network::new();
+        let ids = net.add_neurons(LifParams::gate(0.5), 8);
+        for w in ids.windows(2) {
+            net.connect(w[0], w[1], 1.0, 2).unwrap();
+        }
+        let _ = net.csr();
+        let before = net.memory_bytes();
+        let bp_bytes = net.bitplane().memory_bytes();
+        assert!(bp_bytes > 0);
+        assert_eq!(net.memory_bytes(), before + bp_bytes);
+    }
+
+    #[test]
+    fn bitplane_snapshot_invalidates_on_mutation_and_thaw() {
+        let mut net = Network::new();
+        let ids = net.add_neurons(LifParams::gate(0.5), 4);
+        net.connect(ids[0], ids[1], 1.0, 3).unwrap();
+        assert_eq!(net.bitplane().horizon(), 3);
+
+        // connect drops the cached snapshot; the rebuild sees the new edge.
+        net.connect(ids[1], ids[2], 1.0, 9).unwrap();
+        assert!(net.bitplane.get().is_none());
+        assert_eq!(net.bitplane().horizon(), 9);
+
+        // freeze keeps it resident (topology unchanged); thaw drops it.
+        net.freeze();
+        let _ = net.bitplane();
+        net.thaw();
+        assert!(net.bitplane.get().is_none());
+
+        // add_neuron and synapses_from_mut invalidate too.
+        let _ = net.bitplane();
+        net.add_neuron(LifParams::gate(0.5));
+        assert!(net.bitplane.get().is_none());
+        let _ = net.bitplane();
+        net.synapses_from_mut(ids[0])[0].weight = -1.0;
+        assert!(net.bitplane.get().is_none());
     }
 
     #[test]

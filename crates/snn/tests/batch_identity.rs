@@ -13,8 +13,8 @@
 use proptest::prelude::*;
 use sgl_snn::{
     engine::{
-        BatchRunner, DenseEngine, Engine, EngineChoice, EventEngine, ParallelDenseEngine,
-        RunConfig, RunSpec,
+        BatchRunner, BitplaneEngine, DenseEngine, Engine, EngineChoice, EventEngine,
+        ParallelDenseEngine, RunConfig, RunSpec,
     },
     LifParams, Network, NeuronId,
 };
@@ -98,6 +98,7 @@ proptest! {
         let choices = [
             EngineChoice::Dense,
             EngineChoice::Event,
+            EngineChoice::Bitplane,
             EngineChoice::Parallel(ParallelDenseEngine { threads: 3, min_chunk: 1 }),
         ];
         for choice in choices {
@@ -112,6 +113,9 @@ proptest! {
                     let fresh = match choice {
                         EngineChoice::Dense => DenseEngine.run(&net, &s.initial_spikes, &s.config),
                         EngineChoice::Event => EventEngine.run(&net, &s.initial_spikes, &s.config),
+                        EngineChoice::Bitplane => {
+                            BitplaneEngine.run(&net, &s.initial_spikes, &s.config)
+                        }
                         EngineChoice::Parallel(e) => e.run(&net, &s.initial_spikes, &s.config),
                         EngineChoice::Auto => unreachable!(),
                     }

@@ -12,7 +12,7 @@
 
 use proptest::prelude::*;
 use sgl_snn::{
-    engine::{DenseEngine, Engine, EventEngine, ParallelDenseEngine, RunConfig},
+    engine::{BitplaneEngine, DenseEngine, Engine, EventEngine, ParallelDenseEngine, RunConfig},
     LifParams, Network, NetworkBuilder, NeuronId,
 };
 
@@ -133,6 +133,9 @@ proptest! {
             let p_inc = parallel.run(&inc, &initial, &config).unwrap();
             let p_bulk = parallel.run(&bulk, &initial, &config).unwrap();
             prop_assert_eq!(p_inc, p_bulk);
+            let b_inc = BitplaneEngine.run(&inc, &initial, &config).unwrap();
+            let b_bulk = BitplaneEngine.run(&bulk, &initial, &config).unwrap();
+            prop_assert_eq!(b_inc, b_bulk);
         }
     }
 

@@ -1,20 +1,21 @@
-//! Differential harness: the dense (literal), event-driven, and parallel
-//! dense engines must produce *bit-identical* [`RunResult`]s — spike
-//! times, counts, raster, termination time and reason, and work counters
-//! (modulo the documented `neuron_updates` semantic difference) — across
-//! random networks.
+//! Differential harness: the dense (literal), event-driven, bit-plane,
+//! and parallel dense engines must produce *bit-identical* [`RunResult`]s
+//! — spike times, counts, raster, termination time and reason, and work
+//! counters (modulo the documented `neuron_updates` semantic difference)
+//! — across random networks.
 //!
 //! Weights are drawn from a continuous range, so per-target synaptic sums
 //! genuinely depend on accumulation order: these tests fail if any engine
 //! deviates from the shared (sorted firing id) × (CSR synapse order)
 //! delivery order. Delays occasionally exceed the time-wheel horizon to
-//! exercise the overflow path.
+//! exercise the overflow path (the wheel's ordered map, and the bit-plane
+//! ring's equivalent), and networks run both thawed and frozen.
 
 use proptest::prelude::*;
 use sgl_snn::{
     engine::{
-        DenseEngine, Engine, EventEngine, ParallelDenseEngine, RunConfig, RunResult,
-        TimeSeriesObserver,
+        BitplaneEngine, DenseEngine, Engine, EventEngine, ParallelDenseEngine, RunConfig,
+        RunResult, TimeSeriesObserver,
     },
     LifParams, Network, NeuronId,
 };
@@ -72,6 +73,59 @@ fn build(spec: &NetSpec) -> (Network, Vec<NeuronId>) {
     (net, initial)
 }
 
+/// A random OR-mask-eligible network: reset 0, thresholds in `[0, 1)`,
+/// every weight in `(1, 3]` — strictly above any threshold — and varied
+/// decays. The bit-plane engine runs these in pure-bitmask mode (for
+/// small nets the density gate is permissive), which this strategy
+/// differentially pins against the FP engines.
+#[derive(Debug, Clone)]
+struct OrNetSpec {
+    neurons: Vec<(f64, u8)>,
+    synapses: Vec<(usize, usize, f64, u32, u32, u8)>,
+    initial: Vec<usize>,
+}
+
+fn or_net_spec() -> impl Strategy<Value = OrNetSpec> {
+    let n_range = 2usize..10;
+    n_range.prop_flat_map(|n| {
+        let neurons = proptest::collection::vec((0.0f64..0.95, 0u8..3), n);
+        let synapse = (0..n, 0..n, 1.01f64..3.0, 1u32..6, 4097u32..6000, 0u8..8);
+        let synapses = proptest::collection::vec(synapse, 1..25);
+        let initial = proptest::collection::vec(0..n, 1..4);
+        (neurons, synapses, initial).prop_map(|(neurons, synapses, initial)| OrNetSpec {
+            neurons,
+            synapses,
+            initial,
+        })
+    })
+}
+
+fn build_or(spec: &OrNetSpec) -> (Network, Vec<NeuronId>) {
+    let mut net = Network::new();
+    let ids: Vec<NeuronId> = spec
+        .neurons
+        .iter()
+        .map(|&(threshold, kind)| {
+            let decay = match kind {
+                0 => 0.0,
+                1 => 1.0,
+                _ => 0.5,
+            };
+            net.add_neuron(LifParams {
+                v_reset: 0.0,
+                v_threshold: threshold,
+                decay,
+            })
+        })
+        .collect();
+    for &(s, d, w, small, large, kind) in &spec.synapses {
+        let delay = if kind == 7 { large } else { small };
+        net.connect(ids[s], ids[d], w, delay).unwrap();
+    }
+    let initial: Vec<NeuronId> = spec.initial.iter().map(|&i| ids[i]).collect();
+    (net, initial)
+}
+
 /// Exact equality up to the documented per-engine `neuron_updates`
 /// semantics (dense engines count neurons × steps, the event engine counts
 /// touched (neuron, step) pairs — see DESIGN.md).
@@ -85,11 +139,13 @@ fn assert_identical_modulo_updates(a: &RunResult, b: &RunResult) -> Result<(), S
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// The core differential property: all three engines, one random
-    /// network, bit-identical results.
+    /// The core differential property: all four engines, one random
+    /// network, bit-identical results — on the thawed *and* frozen form.
     #[test]
     fn engines_agree_on_random_networks(spec in net_spec()) {
         let (net, initial) = build(&spec);
+        let mut frozen = net.clone();
+        frozen.freeze();
         for cfg in [
             RunConfig::fixed(60).with_raster(),
             RunConfig::until_quiescent(300).with_raster(),
@@ -97,10 +153,18 @@ proptest! {
             let dense = DenseEngine.run(&net, &initial, &cfg).unwrap();
             let event = EventEngine.run(&net, &initial, &cfg).unwrap();
             let par = ParallelDenseEngine { threads: 4, min_chunk: 1 }.run(&net, &initial, &cfg).unwrap();
-            // Parallel dense shares the dense engine's update semantics, so
-            // its whole result (work counters included) must match exactly.
+            let bp = BitplaneEngine.run(&net, &initial, &cfg).unwrap();
+            // Parallel dense and bit-plane share the dense engine's update
+            // semantics, so their whole results (work counters included)
+            // must match exactly.
             prop_assert_eq!(&dense, &par);
+            prop_assert_eq!(&dense, &bp);
             assert_identical_modulo_updates(&dense, &event)?;
+            // A frozen network is observationally the same network.
+            let dense_frozen = DenseEngine.run(&frozen, &initial, &cfg).unwrap();
+            let bp_frozen = BitplaneEngine.run(&frozen, &initial, &cfg).unwrap();
+            prop_assert_eq!(&dense, &dense_frozen);
+            prop_assert_eq!(&dense, &bp_frozen);
         }
     }
 
@@ -115,8 +179,29 @@ proptest! {
         let dense = DenseEngine.run(&net, &initial, &cfg).unwrap();
         let event = EventEngine.run(&net, &initial, &cfg).unwrap();
         let par = ParallelDenseEngine { threads: 3, min_chunk: 1 }.run(&net, &initial, &cfg).unwrap();
+        let bp = BitplaneEngine.run(&net, &initial, &cfg).unwrap();
         prop_assert_eq!(&dense, &par);
+        prop_assert_eq!(&dense, &bp);
         assert_identical_modulo_updates(&dense, &event)?;
+    }
+
+    /// OR-mask-eligible networks (reset 0, non-negative thresholds, every
+    /// weight above its target's threshold) flip the bit-plane engine into
+    /// pure-bitmask delivery; the result must still be exactly the dense
+    /// engine's, and the event engine's modulo updates.
+    #[test]
+    fn mask_mode_agrees_on_or_eligible_networks(spec in or_net_spec()) {
+        let (net, initial) = build_or(&spec);
+        for cfg in [
+            RunConfig::fixed(40).with_raster(),
+            RunConfig::until_quiescent(200).with_raster(),
+        ] {
+            let dense = DenseEngine.run(&net, &initial, &cfg).unwrap();
+            let event = EventEngine.run(&net, &initial, &cfg).unwrap();
+            let bp = BitplaneEngine.run(&net, &initial, &cfg).unwrap();
+            prop_assert_eq!(&dense, &bp);
+            assert_identical_modulo_updates(&dense, &event)?;
+        }
     }
 
     /// Observation must be a pure read: each engine's instrumented run is
@@ -130,20 +215,23 @@ proptest! {
             RunConfig::until_quiescent(300).with_raster(),
         ] {
             let par_engine = ParallelDenseEngine { threads: 4, min_chunk: 1 };
-            let plain: [RunResult; 3] = [
+            let plain: [RunResult; 4] = [
                 DenseEngine.run(&net, &initial, &cfg).unwrap(),
                 EventEngine.run(&net, &initial, &cfg).unwrap(),
                 par_engine.run(&net, &initial, &cfg).unwrap(),
+                BitplaneEngine.run(&net, &initial, &cfg).unwrap(),
             ];
             let mut observers = [
                 TimeSeriesObserver::new(),
                 TimeSeriesObserver::new(),
                 TimeSeriesObserver::new(),
+                TimeSeriesObserver::new(),
             ];
-            let observed: [RunResult; 3] = [
+            let observed: [RunResult; 4] = [
                 DenseEngine.run_observed(&net, &initial, &cfg, &mut observers[0]).unwrap(),
                 EventEngine.run_observed(&net, &initial, &cfg, &mut observers[1]).unwrap(),
                 par_engine.run_observed(&net, &initial, &cfg, &mut observers[2]).unwrap(),
+                BitplaneEngine.run_observed(&net, &initial, &cfg, &mut observers[3]).unwrap(),
             ];
             for (p, (o, obs)) in plain.iter().zip(observed.iter().zip(&observers)) {
                 prop_assert_eq!(p, o);
@@ -165,4 +253,128 @@ proptest! {
         // updates are bounded by the dense engine's neurons-times-steps.
         prop_assert!(event.stats.neuron_updates <= dense.stats.neuron_updates);
     }
+}
+
+/// Observer that records the per-step delivery batches announced via
+/// `on_spike_batch` and the per-step spike counts from `on_step` — the
+/// two channels whose agreement across engines the duplicate-stimulus
+/// test pins down.
+#[derive(Default)]
+struct BatchTally {
+    batch_deliveries: Vec<(u64, u64)>,
+    step_spikes: Vec<(u64, u64)>,
+}
+
+impl sgl_snn::engine::RunObserver for BatchTally {
+    fn on_step(&mut self, t: u64, step: sgl_snn::engine::StepRecord) {
+        self.step_spikes.push((t, step.spikes));
+    }
+    fn on_spike_batch(&mut self, t: u64, deliveries: u64) {
+        self.batch_deliveries.push((t, deliveries));
+    }
+}
+
+/// Duplicate induced spikes: every engine dedups the `t = 0` frontier
+/// (`fired.sort_unstable(); fired.dedup()`), and `SimStats::spike_events`
+/// plus the observer channels must agree on the *deduped* counts,
+/// engine-to-engine, across all four engines.
+#[test]
+fn duplicate_initial_spikes_dedup_identically() {
+    let mut net = Network::new();
+    let a = net.add_neuron(LifParams::gate_at_least(1));
+    let b = net.add_neuron(LifParams::gate_at_least(1));
+    let c = net.add_neuron(LifParams::gate_at_least(2));
+    net.connect(a, c, 1.0, 2).unwrap();
+    net.connect(b, c, 1.0, 2).unwrap();
+    // a twice, b three times: the deduped frontier is {a, b}. `c` is a
+    // coincidence gate, so it fires iff each source is delivered exactly
+    // once — an engine that kept the duplicates would over-deliver.
+    let initial = [a, a, b, b, a, b];
+    let cfg = RunConfig::until_quiescent(20).with_raster();
+
+    let par = ParallelDenseEngine {
+        threads: 3,
+        min_chunk: 1,
+    };
+    let mut tallies: Vec<(&str, RunResult, BatchTally)> = Vec::new();
+    for name in ["dense", "event", "parallel", "bitplane"] {
+        let mut tally = BatchTally::default();
+        let r = match name {
+            "dense" => DenseEngine.run_observed(&net, &initial, &cfg, &mut tally),
+            "event" => EventEngine.run_observed(&net, &initial, &cfg, &mut tally),
+            "parallel" => par.run_observed(&net, &initial, &cfg, &mut tally),
+            _ => BitplaneEngine.run_observed(&net, &initial, &cfg, &mut tally),
+        }
+        .unwrap();
+        tallies.push((name, r, tally));
+    }
+
+    let (_, dense, dense_tally) = &tallies[0];
+    // Deduped: a, b at t=0 and c at t=2 — not 6 + 1.
+    assert_eq!(dense.stats.spike_events, 3);
+    assert_eq!(dense.spike_counts, vec![1, 1, 1]);
+    assert_eq!(
+        dense_tally.step_spikes.first(),
+        Some(&(0, 2)),
+        "t = 0 frontier must be deduped before recording"
+    );
+    for (name, r, tally) in &tallies[1..] {
+        let mut r = r.clone();
+        r.stats.neuron_updates = dense.stats.neuron_updates;
+        assert_eq!(&r, dense, "{name} diverged");
+        // The event engine only visits steps with activity, so its per-step
+        // announcements are a subsequence of the dense trace; engines with
+        // dense stepping must match the dense trace exactly, and all four
+        // must agree on the steps where something happened.
+        let nonzero = |v: &Vec<(u64, u64)>| -> Vec<(u64, u64)> {
+            v.iter().copied().filter(|&(_, d)| d > 0).collect()
+        };
+        if *name == "event" {
+            assert_eq!(
+                nonzero(&tally.step_spikes),
+                nonzero(&dense_tally.step_spikes),
+                "{name} active-step spike counts diverged"
+            );
+        } else {
+            assert_eq!(
+                tally.step_spikes, dense_tally.step_spikes,
+                "{name} per-step spike counts diverged"
+            );
+        }
+        assert_eq!(
+            nonzero(&tally.batch_deliveries),
+            nonzero(&dense_tally.batch_deliveries),
+            "{name} delivery batches diverged"
+        );
+    }
+}
+
+/// Wheel-vs-ring overflow unit: a delay beyond the shared horizon cap
+/// (4096) takes the wheel's ordered-map path in the dense engine and the
+/// ring's ordered-map path in the bit-plane engine; both classifications
+/// and both results must agree exactly.
+#[test]
+fn beyond_horizon_overflow_matches_wheel() {
+    let mut net = Network::new();
+    let a = net.add_neuron(LifParams::gate_at_least(1));
+    let b = net.add_neuron(LifParams::gate_at_least(1));
+    let c = net.add_neuron(LifParams::gate_at_least(2));
+    net.connect(a, b, 1.0, 4096).unwrap(); // last in-horizon delay
+    net.connect(a, c, 1.5, 4097).unwrap(); // first overflow delay
+    net.connect(b, c, 1.5, 1).unwrap(); // coincides with the overflow arrival
+    let topo = net.bitplane();
+    assert_eq!(topo.horizon(), 4096);
+    assert_eq!(
+        topo.overflow_synapses(),
+        1,
+        "exactly the 4097-delay synapse must overflow"
+    );
+
+    let cfg = RunConfig::until_quiescent(10_000).with_raster();
+    let dense = DenseEngine.run(&net, &[a], &cfg).unwrap();
+    let bp = BitplaneEngine.run(&net, &[a], &cfg).unwrap();
+    assert_eq!(dense, bp);
+    // c needs both the in-horizon relay (via b) and the overflow arrival
+    // in the same step: 0 + 4096 + 1 == 0 + 4097.
+    assert_eq!(bp.first_spike(c), Some(4097));
 }

@@ -20,6 +20,11 @@
 //!   incremental graph→SNN construction medians, speedups, and resident
 //!   synapse memory at each size:
 //!   `cargo run --release --example run_report -- artifacts/BENCH_compile.json`
+//! - `BENCH_engines.json` (raw `SGL_BENCH_JSON` criterion lines from the
+//!   engines bench, not a [`RunReport`]): one row per benchmark, plus a
+//!   bitplane-vs-dense speedup table over the paired rows the perf_check
+//!   ordering rule is enforced on:
+//!   `cargo run --release --example run_report -- artifacts/BENCH_engines.json`
 
 use rand::SeedableRng;
 use spiking_graphs::algorithms::sssp_pseudo::SpikingSssp;
@@ -52,11 +57,82 @@ fn print_histogram(label: &str, hist: &LogHistogram) {
 /// (`serve` and `compile` have dedicated views).
 fn render_report_file(path: &str) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    // Criterion-shim line files (`SGL_BENCH_JSON`) are flat benchmark
+    // rows, not RunReports; dispatch on the first line's shape.
+    if let Some(first) = text.lines().find(|l| !l.trim().is_empty()) {
+        if let Ok(v) = spiking_graphs::observe::parse_json(first) {
+            if v.get("median_ns").is_some() {
+                render_bench_lines(&text, path);
+                return;
+            }
+        }
+    }
     let report = RunReport::from_jsonl(&text).unwrap_or_else(|e| panic!("bad report: {e:?}"));
     match report.name.as_str() {
         "serve" => render_serve_report(&report, path),
         "compile" => render_compile_report(&report, path),
         other => panic!("no renderer for report `{other}` (expected serve or compile)"),
+    }
+}
+
+/// Renders a criterion-shim `SGL_BENCH_JSON` line file (the format of
+/// `BENCH_engines.json`): every row's median, then — for each
+/// `bitplane*` row with a `dense*` sibling under the same parameter —
+/// the speedup the bit-plane engine delivers, with a sparkline. This is
+/// the human view of the `bitplane <= dense` perf_check ordering rule.
+fn render_bench_lines(text: &str, path: &str) {
+    let mut rows: Vec<(String, u64)> = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let v = spiking_graphs::observe::parse_json(line)
+            .unwrap_or_else(|e| panic!("bad bench line in {path}: {e:?}"));
+        let (Some(group), Some(id), Some(median)) = (
+            v.get("group").and_then(Json::as_str),
+            v.get("id").and_then(Json::as_str),
+            v.get("median_ns").and_then(Json::as_u64),
+        ) else {
+            panic!("bench line in {path} is missing group/id/median_ns: {line}");
+        };
+        rows.push((format!("{group}/{id}"), median));
+    }
+    println!("# bench lines report ({path})\n");
+    println!("  {:<36} {:>14}", "benchmark", "median_ns");
+    for (name, median) in &rows {
+        println!("  {name:<36} {median:>14}");
+    }
+
+    let mut speedups = Vec::new();
+    let mut printed_header = false;
+    for (name, bp) in &rows {
+        let Some((prefix, rest)) = name.split_once("bitplane") else {
+            continue;
+        };
+        let sibling = format!("{prefix}dense{rest}");
+        let Some(&(_, dense)) = rows.iter().find(|(n, _)| n == &sibling) else {
+            continue;
+        };
+        if !printed_header {
+            println!(
+                "\n  {:<36} {:>9}",
+                "bitplane row vs dense sibling", "speedup"
+            );
+            printed_header = true;
+        }
+        let speedup = dense as f64 / (*bp).max(1) as f64;
+        speedups.push((speedup * 100.0).round() as u64);
+        println!("  {name:<36} {speedup:>8.2}x");
+    }
+    if !speedups.is_empty() {
+        println!("\n  speedup across pairs: {}", sparkline(&speedups, 32));
+        let worst = speedups.iter().min().copied().unwrap_or(0);
+        println!(
+            "  worst pair: {:.2}x — {}",
+            worst as f64 / 100.0,
+            if worst >= 100 {
+                "bitplane never loses to dense (the perf_check ordering rule)"
+            } else {
+                "BITPLANE SLOWER THAN DENSE — perf_check would flag this run"
+            }
+        );
     }
 }
 
