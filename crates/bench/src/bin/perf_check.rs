@@ -13,6 +13,11 @@
 //! batching ever loses to rebuilding, the batch runtime is pure
 //! complexity, and that fails CI even on a noisy runner (both medians come
 //! from the same run on the same machine, so the comparison is fair).
+//!
+//! One baseline-relative rule is also hard below 2x: `serve/sssp_warm`
+//! medians from the perf job's *traced* run must stay within 5% of the
+//! committed *untraced* baseline — the budget on what per-request span
+//! recording may cost the serve hot path.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -115,6 +120,35 @@ fn main() -> ExitCode {
         current.get("serve/sssp_cold/256"),
     ) {
         failures += check_ordering("serve", "sssp_warm/256", warm, "sssp_cold/256", cold);
+    }
+
+    // Tracing-overhead rule: the perf job's serve run has every-request
+    // tracing armed (`sgl-stress --trace`) while the committed baseline
+    // was measured untraced, so the warm-path ratio bounds what span
+    // recording costs on the hot path. Unlike the general 2x drift
+    // limit, this one is hard at [`ORDER_EPSILON`]: tracing that slows
+    // the warm p50 by more than 5% is a regression, not noise.
+    for (name, &cur) in &current {
+        let Some(rest) = name.strip_prefix("serve/sssp_warm") else {
+            continue;
+        };
+        let Some(&base) = baseline.get(name) else {
+            continue;
+        };
+        if cur as f64 > base as f64 * (1.0 + ORDER_EPSILON) {
+            println!(
+                "FAIL  serve tracing overhead: sssp_warm{rest} {base} ns -> {cur} ns \
+                 exceeds the {:.0}% traced-vs-untraced budget",
+                ORDER_EPSILON * 100.0
+            );
+            failures += 1;
+        } else {
+            println!(
+                "ok    serve tracing overhead: sssp_warm{rest} {base} ns -> {cur} ns \
+                 (within {:.0}%)",
+                ORDER_EPSILON * 100.0
+            );
+        }
     }
 
     // Intra-run ordering rule: batched APSP must beat per-source rebuild.

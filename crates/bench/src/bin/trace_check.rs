@@ -1,0 +1,80 @@
+//! Validates a Chrome trace-event JSON file emitted by `sgl-serve` /
+//! `sgl-stress --trace`: the file must parse, every duration event must
+//! nest properly within its track, and — with `--require-chain` — at
+//! least one trace must carry the full request pipeline
+//! `admit → queue_wait → compile → engine_run → serialize → write`.
+//!
+//! Usage: `trace_check <trace.json> [--require-chain]`
+//!
+//! Exits non-zero with a diagnostic on the first violation, so CI can
+//! gate the serve-smoke trace artifact on it.
+
+use std::process::ExitCode;
+
+use sgl_observe::{parse_json, validate_chrome};
+
+/// The stage chain every fully-served traced query must exhibit.
+const CHAIN: [&str; 6] = [
+    "admit",
+    "queue_wait",
+    "compile",
+    "engine_run",
+    "serialize",
+    "write",
+];
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: trace_check <trace.json> [--require-chain]");
+        return ExitCode::FAILURE;
+    };
+    let mut require_chain = false;
+    for extra in args {
+        if extra == "--require-chain" {
+            require_chain = true;
+        } else {
+            eprintln!("trace_check: unknown flag {extra}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let v = match parse_json(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("trace_check: {path} is not valid JSON: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = match validate_chrome(&v) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace_check: {path} failed validation: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "trace_check: {path}: {} events across {} tracks, {} traces, nesting ok",
+        summary.events,
+        summary.tracks,
+        summary.stages_by_trace.len(),
+    );
+    if require_chain && !summary.any_trace_with_stages(&CHAIN) {
+        eprintln!(
+            "trace_check: no trace in {path} contains the full chain {}",
+            CHAIN.join(" -> ")
+        );
+        return ExitCode::FAILURE;
+    }
+    if require_chain {
+        println!("trace_check: full {} chain present", CHAIN.join(" -> "));
+    }
+    ExitCode::SUCCESS
+}

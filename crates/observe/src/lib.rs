@@ -22,6 +22,10 @@
 //! * [`RunReport`] + [`Json`] — a dependency-free JSON-lines format for
 //!   `BENCH_*.json` perf-trajectory artifacts, with a parser so CI can
 //!   diff reports against committed baselines.
+//! * [`trace`] (`sgl-trace`) — request-scoped span records with a fixed
+//!   pipeline taxonomy, fixed-capacity overwrite-oldest [`SpanRing`]
+//!   flight recorders, Chrome trace-event export, and the nesting
+//!   validator CI runs against emitted trace artifacts.
 //!
 //! Dependency direction: this crate is a leaf. `sgl-snn` (the engines),
 //! `sgl-core` (accounting) and `sgl-bench` (the report sink) all depend
@@ -37,6 +41,7 @@ pub mod json;
 pub mod observer;
 pub mod phase;
 pub mod report;
+pub mod trace;
 
 pub use batch::BatchSummary;
 pub use hist::LogHistogram;
@@ -44,6 +49,9 @@ pub use json::{parse as parse_json, Json, JsonError};
 pub use observer::{NullObserver, RunObserver, SchedulerStats, StepRecord, TimeSeriesObserver};
 pub use phase::PhaseProfiler;
 pub use report::{table_json, RunReport, SCHEMA_VERSION};
+pub use trace::{
+    chrome_trace, validate_chrome, ChromeSummary, SpanBuf, SpanEvent, SpanRing, Stage,
+};
 
 /// Renders a spikes-per-step series as a Unicode sparkline (`▁▂▃▄▅▆▇█`),
 /// downsampling to `width` columns by taking per-bucket maxima so narrow

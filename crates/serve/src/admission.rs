@@ -20,10 +20,12 @@
 //!   (The check lives in the worker loop; this module carries the data.)
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::protocol::{Envelope, Response};
+use crate::trace::TraceCtx;
 
 /// Server lifecycle states (monotone).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -38,10 +40,13 @@ pub enum Lifecycle {
 
 /// One-shot response rendezvous between the admitting thread and the
 /// worker that executes the job. `fill` is called exactly once per
-/// admitted job (the drain invariant above).
+/// admitted job (the drain invariant above). The job's trace context
+/// (if it was a traced request) rides back with the response so the
+/// intake thread can keep recording spans after the worker is done.
 #[derive(Debug, Default)]
 pub struct ResponseSlot {
-    value: Mutex<Option<Response>>,
+    #[allow(clippy::type_complexity)] // one tuple, named right here
+    value: Mutex<Option<(Response, Option<Box<TraceCtx>>)>>,
     ready: Condvar,
 }
 
@@ -52,13 +57,14 @@ impl ResponseSlot {
         Self::default()
     }
 
-    /// Delivers the response and wakes the waiter.
+    /// Delivers the response (and the trace context back) and wakes the
+    /// waiter.
     ///
     /// # Panics
     /// Panics if the slot lock is poisoned.
-    pub fn fill(&self, response: Response) {
+    pub fn fill(&self, response: Response, trace: Option<Box<TraceCtx>>) {
         let mut v = self.value.lock().expect("slot lock");
-        *v = Some(response);
+        *v = Some((response, trace));
         self.ready.notify_all();
     }
 
@@ -67,7 +73,7 @@ impl ResponseSlot {
     /// # Panics
     /// Panics if the slot lock is poisoned.
     #[must_use]
-    pub fn wait(&self) -> Response {
+    pub fn wait(&self) -> (Response, Option<Box<TraceCtx>>) {
         let mut v = self.value.lock().expect("slot lock");
         loop {
             if let Some(r) = v.take() {
@@ -90,15 +96,18 @@ pub struct Job {
     pub deadline: Option<Duration>,
     /// Response rendezvous shared with the admitting thread.
     pub slot: std::sync::Arc<ResponseSlot>,
+    /// Span context of a traced request (almost always `None`).
+    pub trace: Option<Box<TraceCtx>>,
 }
 
-/// Why admission failed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Why admission failed. The rejected job is handed back so the caller
+/// keeps its slot and trace context.
+#[derive(Debug)]
 pub enum AdmissionError {
     /// The queue is at capacity — shed.
-    Full,
+    Full(Job),
     /// The server is draining or stopped.
-    Draining,
+    Draining(Job),
 }
 
 #[derive(Debug)]
@@ -113,6 +122,9 @@ pub struct AdmissionQueue {
     state: Mutex<QueueState>,
     takeable: Condvar,
     capacity: usize,
+    /// Jobs handed to workers after drain began — the backlog the drain
+    /// invariant promises to finish, made countable for `server_stats`.
+    drained: AtomicU64,
 }
 
 impl AdmissionQueue {
@@ -130,6 +142,7 @@ impl AdmissionQueue {
             }),
             takeable: Condvar::new(),
             capacity,
+            drained: AtomicU64::new(0),
         }
     }
 
@@ -137,17 +150,21 @@ impl AdmissionQueue {
     ///
     /// # Errors
     /// [`AdmissionError::Full`] when at capacity (load shed),
-    /// [`AdmissionError::Draining`] after drain began.
+    /// [`AdmissionError::Draining`] after drain began — both hand the
+    /// job back.
     ///
     /// # Panics
     /// Panics if the queue lock is poisoned.
+    // The large Err variants are the point: rejection returns the whole
+    // job so the caller keeps its response slot and trace context.
+    #[allow(clippy::result_large_err)]
     pub fn try_push(&self, job: Job) -> Result<(), AdmissionError> {
         let mut s = self.state.lock().expect("queue lock");
         if s.lifecycle != Lifecycle::Running {
-            return Err(AdmissionError::Draining);
+            return Err(AdmissionError::Draining(job));
         }
         if s.jobs.len() >= self.capacity {
-            return Err(AdmissionError::Full);
+            return Err(AdmissionError::Full(job));
         }
         s.jobs.push_back(job);
         drop(s);
@@ -166,6 +183,9 @@ impl AdmissionQueue {
         let mut s = self.state.lock().expect("queue lock");
         loop {
             if let Some(job) = s.jobs.pop_front() {
+                if s.lifecycle != Lifecycle::Running {
+                    self.drained.fetch_add(1, Ordering::Relaxed);
+                }
                 return Some(job);
             }
             if s.lifecycle != Lifecycle::Running {
@@ -173,6 +193,12 @@ impl AdmissionQueue {
             }
             s = self.takeable.wait(s).expect("queue lock");
         }
+    }
+
+    /// Jobs handed to workers after drain began (cumulative).
+    #[must_use]
+    pub fn drained(&self) -> u64 {
+        self.drained.load(Ordering::Relaxed)
     }
 
     /// Begins draining: no new admissions, workers finish the backlog and
@@ -234,6 +260,7 @@ mod tests {
             enqueued: Instant::now(),
             deadline: None,
             slot: Arc::new(ResponseSlot::new()),
+            trace: None,
         }
     }
 
@@ -242,7 +269,7 @@ mod tests {
         let q = AdmissionQueue::new(2);
         assert!(q.try_push(job()).is_ok());
         assert!(q.try_push(job()).is_ok());
-        assert_eq!(q.try_push(job()), Err(AdmissionError::Full));
+        assert!(matches!(q.try_push(job()), Err(AdmissionError::Full(_))));
         assert_eq!(q.depth(), 2, "shed push must not grow the queue");
     }
 
@@ -252,11 +279,15 @@ mod tests {
         q.try_push(job()).unwrap();
         q.try_push(job()).unwrap();
         q.drain();
-        assert_eq!(q.try_push(job()), Err(AdmissionError::Draining));
+        assert!(matches!(
+            q.try_push(job()),
+            Err(AdmissionError::Draining(_))
+        ));
         assert!(q.pop().is_some());
         assert!(q.pop().is_some());
         assert!(q.pop().is_none(), "empty + draining terminates workers");
         assert_eq!(q.lifecycle(), Lifecycle::Draining);
+        assert_eq!(q.drained(), 2, "backlog handed out after drain is counted");
     }
 
     #[test]
@@ -281,11 +312,16 @@ mod tests {
         let s2 = Arc::clone(&slot);
         let t = std::thread::spawn(move || s2.wait());
         std::thread::sleep(Duration::from_millis(10));
-        slot.fill(Response::error(crate::protocol::ErrorKind::Internal, "x"));
+        slot.fill(
+            Response::error(crate::protocol::ErrorKind::Internal, "x"),
+            None,
+        );
+        let (resp, trace) = t.join().unwrap();
         assert_eq!(
-            t.join().unwrap().error_kind(),
+            resp.error_kind(),
             Some(crate::protocol::ErrorKind::Internal)
         );
+        assert!(trace.is_none());
     }
 
     #[test]

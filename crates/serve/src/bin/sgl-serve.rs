@@ -3,12 +3,17 @@
 //! ```text
 //! sgl-serve [--addr 127.0.0.1:7687] [--workers N] [--queue-capacity N]
 //!           [--deadline-ms MS] [--max-connections N]
+//!           [--trace-sample N] [--trace-slow-us US] [--trace-out PATH]
 //! ```
 //!
 //! Serves the JSON-lines protocol until a `shutdown` request arrives,
 //! then drains (admitted queries finish, new ones get `draining`) and
-//! exits 0. Argument parsing is hand-rolled: the workspace is offline,
-//! and two flags don't justify a dependency.
+//! exits 0. `--trace-sample N` traces one request in N (1 = all),
+//! `--trace-slow-us` retains traces of requests slower than the
+//! threshold, and `--trace-out` writes every retained trace as Chrome
+//! trace-event JSON on exit (traces are also available live over the
+//! wire via the `trace_dump` op). Argument parsing is hand-rolled: the
+//! workspace is offline, and a few flags don't justify a dependency.
 
 use std::net::TcpListener;
 use std::process::ExitCode;
@@ -18,7 +23,7 @@ use sgl_serve::tcp;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: sgl-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N] [--deadline-ms MS] [--max-connections N]"
+        "usage: sgl-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N] [--deadline-ms MS] [--max-connections N] [--trace-sample N] [--trace-slow-us US] [--trace-out PATH]"
     );
     ExitCode::FAILURE
 }
@@ -26,6 +31,7 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7687".to_string();
     let mut config = ServerConfig::default();
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let Some(value) = args.next() else {
@@ -50,6 +56,18 @@ fn main() -> ExitCode {
                 .parse()
                 .map(|v| config.max_connections = v)
                 .map_err(|_| ()),
+            "--trace-sample" => value
+                .parse()
+                .map(|v| config.trace.sample_one_in = v)
+                .map_err(|_| ()),
+            "--trace-slow-us" => value
+                .parse()
+                .map(|v| config.trace.slow_threshold_us = Some(v))
+                .map_err(|_| ()),
+            "--trace-out" => {
+                trace_out = Some(value);
+                Ok(())
+            }
             _ => {
                 eprintln!("unknown flag {flag}");
                 return usage();
@@ -63,6 +81,11 @@ fn main() -> ExitCode {
     if config.workers == 0 || config.queue_capacity == 0 || config.max_connections == 0 {
         eprintln!("--workers, --queue-capacity and --max-connections must be positive");
         return usage();
+    }
+    if trace_out.is_some() && !config.trace.enabled() {
+        // An output path with nothing armed would silently write an
+        // empty trace; default to tracing everything instead.
+        config.trace.sample_one_in = 1;
     }
     let listener = match TcpListener::bind(&addr) {
         Ok(l) => l,
@@ -81,6 +104,13 @@ fn main() -> ExitCode {
     let session = Session::open(config);
     tcp::serve(&listener, &session);
     session.shutdown();
+    if let Some(path) = trace_out {
+        let dump = session.tracing().chrome(None).to_string();
+        match std::fs::write(&path, dump) {
+            Ok(()) => println!("sgl-serve wrote traces to {path}"),
+            Err(e) => eprintln!("sgl-serve could not write {path}: {e}"),
+        }
+    }
     println!("sgl-serve drained cleanly");
     ExitCode::SUCCESS
 }

@@ -6,7 +6,7 @@
 //!            [--n NODES] [--m EDGES] [--seed S]
 //!            [--mix sssp=6,khop3=2,apsp_row=1,graph_stats=1]
 //!            [--deadline-ms MS] [--interval-ms MS | --quiet]
-//!            [--samples N] [--expect-clean]
+//!            [--samples N] [--expect-clean] [--trace PATH]
 //! ```
 //!
 //! Without `--addr`, spawns a loopback server in-process (workers = 4),
@@ -24,6 +24,13 @@
 //!
 //! `--expect-clean` exits non-zero if any operation failed or was shed —
 //! the CI smoke job's low-load assertion.
+//!
+//! `--trace PATH` arms request tracing on the spawned server (every
+//! request sampled), and after the run fetches the retained traces via
+//! the `trace_dump` op and writes them to `PATH` as Chrome trace-event
+//! JSON (`chrome://tracing` / Perfetto-loadable) — the committed-able
+//! trace artifact next to `BENCH_serve.json`. With `--addr`, the dump is
+//! still requested, but the target server decides whether tracing is on.
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -41,6 +48,7 @@ use sgl_serve::stress::{
     measure_cold_warm, run_stress, Client, LoopMode, Mix, StressConfig, TcpClient,
 };
 use sgl_serve::tcp::LoopbackServer;
+use sgl_serve::trace::TraceConfig;
 
 struct Args {
     addr: Option<SocketAddr>,
@@ -55,6 +63,7 @@ struct Args {
     interval_ms: Option<u64>,
     samples: usize,
     expect_clean: bool,
+    trace: Option<String>,
 }
 
 impl Default for Args {
@@ -72,6 +81,7 @@ impl Default for Args {
             interval_ms: Some(1000),
             samples: 15,
             expect_clean: false,
+            trace: None,
         }
     }
 }
@@ -104,6 +114,7 @@ fn parse_args() -> Result<Args, String> {
             "--deadline-ms" => out.deadline_ms = Some(value.parse().map_err(|_| bad("ms"))?),
             "--interval-ms" => out.interval_ms = Some(value.parse().map_err(|_| bad("ms"))?),
             "--samples" => out.samples = value.parse().map_err(|_| bad("count"))?,
+            "--trace" => out.trace = Some(value),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -148,11 +159,22 @@ fn main() -> ExitCode {
         }
     };
 
-    // Target: an external server, or a spawned loopback one.
+    // Target: an external server, or a spawned loopback one. `--trace`
+    // arms every-request sampling on the spawned server; an external
+    // server keeps whatever trace configuration it was started with.
     let spawned = if args.addr.is_none() {
+        let trace = if args.trace.is_some() {
+            TraceConfig {
+                sample_one_in: 1,
+                ..TraceConfig::default()
+            }
+        } else {
+            TraceConfig::default()
+        };
         Some(LoopbackServer::start(ServerConfig {
             workers: 4,
             queue_capacity: 64,
+            trace,
             ..ServerConfig::default()
         }))
     } else {
@@ -251,6 +273,24 @@ fn main() -> ExitCode {
             Json::Null
         }
     };
+
+    // The trace artifact: fetch retained traces over the wire and write
+    // them as Chrome trace-event JSON next to the run report.
+    if let Some(path) = &args.trace {
+        match probe.call(Envelope::of(Request::TraceDump { limit: None })) {
+            Response::Ok { data, .. } => match std::fs::write(path, data.to_string()) {
+                Ok(()) => println!("trace: {path}"),
+                Err(e) => {
+                    eprintln!("sgl-stress: cannot write trace to {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Response::Error { message, .. } => {
+                eprintln!("sgl-stress: trace_dump failed: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let mut sink = ReportSink::new("serve");
     sink.phase("run");

@@ -36,7 +36,7 @@ use std::time::Duration;
 
 use sgl_core::{khop_layered, sssp_pseudo::SpikingSssp};
 use sgl_graph::{Graph, Len};
-use sgl_observe::PhaseProfiler;
+use sgl_observe::{PhaseProfiler, RunObserver};
 use sgl_snn::engine::{
     BitplaneEngine, DenseEngine, EngineChoice, EventEngine, RunConfig, RunResult, RunScratch,
 };
@@ -203,6 +203,8 @@ pub struct CompiledNet {
     n: usize,
     algo: Algo,
     compile: Duration,
+    build: Duration,
+    load: Duration,
 }
 
 impl CompiledNet {
@@ -233,8 +235,16 @@ impl CompiledNet {
                 khop_layered::step_budget(g, k),
             ),
         };
+        profiler.stop();
+        let build = profiler.total();
+        // "load": making the built network runnable — engine selection
+        // over its structure (and wherever future engine-resident state
+        // preparation lands). Split out so traces can attribute cold-path
+        // time to construction vs engine placement.
+        profiler.start("load");
         let engine = EngineChoice::Auto.resolve(&net);
         profiler.stop();
+        let load = profiler.total().saturating_sub(build);
         Self {
             net,
             engine,
@@ -242,13 +252,22 @@ impl CompiledNet {
             n: g.n(),
             algo,
             compile: profiler.total(),
+            build,
+            load,
         }
     }
 
-    /// Wall-clock time the graph→SNN compile took (the "build" phase).
+    /// Wall-clock time the whole graph→SNN compile took (build + load).
     #[must_use]
     pub fn compile_time(&self) -> Duration {
         self.compile
+    }
+
+    /// The compile's `(build, load)` phase split: graph→network
+    /// construction vs engine selection/placement.
+    #[must_use]
+    pub fn phase_times(&self) -> (Duration, Duration) {
+        (self.build, self.load)
     }
 
     /// Resident heap bytes of the compiled network (CSR + parameters).
@@ -304,6 +323,35 @@ impl CompiledNet {
                 BitplaneEngine.run_with_scratch(&self.net, &spikes, &config, scratch)
             }
             _ => EventEngine.run_with_scratch(&self.net, &spikes, &config, scratch),
+        }
+    }
+
+    /// [`Self::run`] with a [`RunObserver`] attached — the traced query
+    /// path, reusing the engines' existing observed entry points so
+    /// tracing needs no new engine instrumentation.
+    ///
+    /// # Errors
+    /// Propagates simulator errors (none expected for validated inputs).
+    pub fn run_observed<O: RunObserver>(
+        &self,
+        source: usize,
+        target: Option<usize>,
+        scratch: &mut RunScratch,
+        obs: &mut O,
+    ) -> Result<RunResult, SnnError> {
+        let config = match (self.algo, target) {
+            (Algo::Sssp, Some(t)) => RunConfig::until_all(vec![NeuronId(t as u32)], self.budget),
+            _ => RunConfig::until_quiescent(self.budget),
+        };
+        let spikes = self.initial_spikes(source);
+        match self.engine {
+            EngineChoice::Dense => {
+                DenseEngine.run_with_scratch_observed(&self.net, &spikes, &config, scratch, obs)
+            }
+            EngineChoice::Bitplane => {
+                BitplaneEngine.run_with_scratch_observed(&self.net, &spikes, &config, scratch, obs)
+            }
+            _ => EventEngine.run_with_scratch_observed(&self.net, &spikes, &config, scratch, obs),
         }
     }
 
@@ -480,6 +528,9 @@ mod tests {
                 "bulk compile must not leave adjacency resident"
             );
             assert!(c.compile_time() > Duration::ZERO);
+            let (build, load) = c.phase_times();
+            assert_eq!(build + load, c.compile_time(), "phases tile the compile");
+            assert!(build > Duration::ZERO, "construction dominates, never 0");
             assert!(c.memory_bytes() > 0);
         }
     }

@@ -20,6 +20,11 @@
 //!   [`sgl_observe::LogHistogram`] shards, combined on read.
 //! * [`session`] — the server core and in-process client ([`Session`]):
 //!   the full service without sockets, for tests and embedding.
+//! * [`trace`] — `sgl-trace`: request-scoped span capture across the
+//!   pipeline (`accept → parse → admit → queue_wait → cache_lookup →
+//!   compile → engine_run → serialize → write`), with sampling,
+//!   slow-request retention, and Chrome trace-event export via the
+//!   `trace_dump` op.
 //! * [`tcp`] — `std::net` JSON-lines transport and [`tcp::LoopbackServer`].
 //! * [`stress`] — the load harness behind the `sgl-stress` binary:
 //!   closed- and open-loop generators, live interval reporting, and the
@@ -37,9 +42,11 @@ pub mod session;
 pub mod stats;
 pub mod stress;
 pub mod tcp;
+pub mod trace;
 
 pub use admission::Lifecycle;
 pub use cache::{Algo, CacheOutcome, CompiledNet, NetCache};
 pub use protocol::{CacheMode, Envelope, ErrorKind, OpKind, Request, Response};
 pub use session::{ServerConfig, Session};
 pub use tcp::LoopbackServer;
+pub use trace::{TraceConfig, Tracing};

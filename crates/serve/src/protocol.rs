@@ -39,19 +39,22 @@ pub enum OpKind {
     GraphStats,
     /// Server-side latency/cache/shed counters.
     ServerStats,
+    /// Dump retained traces as Chrome trace-event JSON.
+    TraceDump,
     /// Initiate graceful drain.
     Shutdown,
 }
 
 impl OpKind {
     /// All kinds, in [`Self::index`] order.
-    pub const ALL: [Self; 7] = [
+    pub const ALL: [Self; 8] = [
         Self::LoadGraph,
         Self::Sssp,
         Self::Khop,
         Self::ApspRow,
         Self::GraphStats,
         Self::ServerStats,
+        Self::TraceDump,
         Self::Shutdown,
     ];
 
@@ -65,6 +68,7 @@ impl OpKind {
             Self::ApspRow => "apsp_row",
             Self::GraphStats => "graph_stats",
             Self::ServerStats => "server_stats",
+            Self::TraceDump => "trace_dump",
             Self::Shutdown => "shutdown",
         }
     }
@@ -143,6 +147,11 @@ pub enum Request {
     },
     /// Server counters and latency quantiles.
     ServerStats,
+    /// Retained traces as Chrome trace-event JSON.
+    TraceDump {
+        /// Cap on traces in the dump (`None` = everything retained).
+        limit: Option<usize>,
+    },
     /// Begin graceful drain.
     Shutdown,
 }
@@ -158,6 +167,7 @@ impl Request {
             Self::ApspRow { .. } => OpKind::ApspRow,
             Self::GraphStats { .. } => OpKind::GraphStats,
             Self::ServerStats => OpKind::ServerStats,
+            Self::TraceDump { .. } => OpKind::TraceDump,
             Self::Shutdown => OpKind::Shutdown,
         }
     }
@@ -171,17 +181,22 @@ pub struct Envelope {
     /// Relative deadline: the request is answered `deadline_exceeded`
     /// instead of executed if it waited longer than this in the queue.
     pub deadline_ms: Option<u64>,
+    /// Client-supplied trace id. Forces the request to be traced (when
+    /// tracing is enabled server-side) and is echoed in the response;
+    /// absent, the server assigns one to sampled requests.
+    pub trace_id: Option<u64>,
     /// The operation.
     pub request: Request,
 }
 
 impl Envelope {
-    /// An envelope with no id and no deadline.
+    /// An envelope with no id, no deadline, and no trace id.
     #[must_use]
     pub fn of(request: Request) -> Self {
         Self {
             id: None,
             deadline_ms: None,
+            trace_id: None,
             request,
         }
     }
@@ -289,26 +304,37 @@ impl Response {
     /// Serializes with the request's echoed `id` (JSON `null` when absent).
     #[must_use]
     pub fn to_json(&self, id: Option<u64>) -> Json {
+        self.to_json_traced(id, None)
+    }
+
+    /// Like [`Self::to_json`] but echoing a `trace_id` when the request
+    /// was traced. With `trace_id = None` the output is byte-identical
+    /// to [`Self::to_json`] — untraced responses carry no trace field.
+    #[must_use]
+    pub fn to_json_traced(&self, id: Option<u64>, trace_id: Option<u64>) -> Json {
         let id = id.map_or(Json::Null, Json::UInt);
+        let mut fields = vec![("id", id)];
+        if let Some(t) = trace_id {
+            fields.push(("trace_id", Json::UInt(t)));
+        }
         match self {
-            Self::Ok { op, data } => Json::obj(vec![
-                ("id", id),
-                ("status", Json::Str("ok".into())),
-                ("op", Json::Str(op.name().into())),
-                ("data", data.clone()),
-            ]),
-            Self::Error { kind, message } => Json::obj(vec![
-                ("id", id),
-                ("status", Json::Str("error".into())),
-                (
+            Self::Ok { op, data } => {
+                fields.push(("status", Json::Str("ok".into())));
+                fields.push(("op", Json::Str(op.name().into())));
+                fields.push(("data", data.clone()));
+            }
+            Self::Error { kind, message } => {
+                fields.push(("status", Json::Str("error".into())));
+                fields.push((
                     "error",
                     Json::obj(vec![
                         ("kind", Json::Str(kind.as_str().into())),
                         ("message", Json::Str(message.clone())),
                     ]),
-                ),
-            ]),
+                ));
+            }
         }
+        Json::obj(fields)
     }
 }
 
@@ -374,12 +400,23 @@ pub fn parse_request(v: &Json) -> Result<Envelope, String> {
             graph: field_str(v, "graph")?,
         },
         "server_stats" => Request::ServerStats,
+        "trace_dump" => Request::TraceDump {
+            limit: match v.get("limit") {
+                None | Some(Json::Null) => None,
+                Some(l) => Some(
+                    l.as_u64()
+                        .and_then(|u| usize::try_from(u).ok())
+                        .ok_or("non-integer field \"limit\"")?,
+                ),
+            },
+        },
         "shutdown" => Request::Shutdown,
         other => return Err(format!("unknown op {other:?}")),
     };
     Ok(Envelope {
         id: v.get("id").and_then(Json::as_u64),
         deadline_ms: v.get("deadline_ms").and_then(Json::as_u64),
+        trace_id: v.get("trace_id").and_then(Json::as_u64),
         request,
     })
 }
@@ -436,6 +473,11 @@ pub fn request_json(envelope: &Envelope) -> Json {
         Request::GraphStats { graph } => {
             fields.push(("graph", Json::Str(graph.clone())));
         }
+        Request::TraceDump { limit } => {
+            if let Some(l) = limit {
+                fields.push(("limit", Json::UInt(*l as u64)));
+            }
+        }
         Request::ServerStats | Request::Shutdown => {}
     }
     if let Some(id) = envelope.id {
@@ -444,7 +486,17 @@ pub fn request_json(envelope: &Envelope) -> Json {
     if let Some(d) = envelope.deadline_ms {
         fields.push(("deadline_ms", Json::UInt(d)));
     }
+    if let Some(t) = envelope.trace_id {
+        fields.push(("trace_id", Json::UInt(t)));
+    }
     Json::obj(fields)
+}
+
+/// The `trace_id` a response line echoes, if the request was traced —
+/// the client half of [`Response::to_json_traced`].
+#[must_use]
+pub fn response_trace_id(v: &Json) -> Option<u64> {
+    v.get("trace_id").and_then(Json::as_u64)
 }
 
 /// Parses a response line into `(echoed id, response)` — the client half
@@ -538,6 +590,8 @@ mod tests {
             ),
             (r#"{"op":"graph_stats","graph":"g"}"#, OpKind::GraphStats),
             (r#"{"op":"server_stats"}"#, OpKind::ServerStats),
+            (r#"{"op":"trace_dump"}"#, OpKind::TraceDump),
+            (r#"{"op":"trace_dump","limit":5}"#, OpKind::TraceDump),
             (r#"{"op":"shutdown"}"#, OpKind::Shutdown),
         ] {
             let env = parse_request(&parse_json(line).unwrap()).unwrap();
@@ -553,6 +607,7 @@ mod tests {
         let env = parse_request(&v).unwrap();
         assert_eq!(env.id, Some(12));
         assert_eq!(env.deadline_ms, Some(50));
+        assert_eq!(env.trace_id, None);
         assert_eq!(
             env.request,
             Request::Sssp {
@@ -604,6 +659,24 @@ mod tests {
     }
 
     #[test]
+    fn trace_id_echo_and_untraced_byte_identity() {
+        let ok = Response::Ok {
+            op: OpKind::Sssp,
+            data: Json::obj(vec![("x", Json::UInt(1))]),
+        };
+        let traced = ok.to_json_traced(Some(3), Some(0xABC));
+        assert_eq!(response_trace_id(&traced), Some(0xABC));
+        assert_eq!(traced.get("id").and_then(Json::as_u64), Some(3));
+        // An untraced response must serialize exactly as before tracing
+        // existed — no trace field, byte for byte.
+        assert_eq!(
+            ok.to_json_traced(Some(3), None).to_string(),
+            ok.to_json(Some(3)).to_string()
+        );
+        assert_eq!(response_trace_id(&ok.to_json(Some(3))), None);
+    }
+
+    #[test]
     fn error_kind_names_round_trip() {
         for kind in [
             ErrorKind::BadRequest,
@@ -643,6 +716,7 @@ mod tests {
             Envelope {
                 id: Some(4),
                 deadline_ms: Some(100),
+                trace_id: Some(0xBEEF),
                 request: Request::Sssp {
                     graph: "g".into(),
                     source: 3,
@@ -667,6 +741,8 @@ mod tests {
             }),
             Envelope::of(Request::GraphStats { graph: "g".into() }),
             Envelope::of(Request::ServerStats),
+            Envelope::of(Request::TraceDump { limit: None }),
+            Envelope::of(Request::TraceDump { limit: Some(10) }),
             Envelope::of(Request::Shutdown),
         ];
         for env in envelopes {

@@ -26,6 +26,7 @@ use std::time::{Duration, Instant};
 
 use sgl_graph::io::parse_dimacs;
 use sgl_graph::stats::GraphStats;
+use sgl_observe::trace::Stage;
 use sgl_observe::{parse_json, Json};
 use sgl_snn::engine::RunScratch;
 
@@ -35,6 +36,7 @@ use crate::protocol::{
     distances_json, parse_request, CacheMode, Envelope, ErrorKind, OpKind, Request, Response,
 };
 use crate::stats::{latency_json, Counters, ShardedStats};
+use crate::trace::{TraceConfig, TraceCtx, TraceRunObserver, Tracing};
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -52,6 +54,9 @@ pub struct ServerConfig {
     /// idle or slow clients* (in-process [`Session`] callers are not
     /// counted; they bring their own threads).
     pub max_connections: usize,
+    /// Request tracing (sampling / slow-capture). Disabled by default;
+    /// when disabled the request path never touches the tracer.
+    pub trace: TraceConfig,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +66,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             default_deadline_ms: None,
             max_connections: 128,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -73,6 +79,7 @@ pub(crate) struct ServerInner {
     pub(crate) stats: ShardedStats,
     pub(crate) counters: Counters,
     pub(crate) config: ServerConfig,
+    pub(crate) tracing: Tracing,
     started: Instant,
 }
 
@@ -100,6 +107,7 @@ impl Session {
             queue: AdmissionQueue::new(config.queue_capacity),
             stats: ShardedStats::new(config.workers),
             counters: Counters::default(),
+            tracing: Tracing::new(config.trace.clone(), config.workers),
             config: config.clone(),
             started: Instant::now(),
         });
@@ -129,9 +137,20 @@ impl Session {
     /// every failure is a typed error response.
     #[must_use]
     pub fn call(&self, envelope: Envelope) -> Response {
+        self.call_traced(envelope, None).0
+    }
+
+    /// [`Self::call`] carrying a span context through the pipeline. The
+    /// context (when some) comes back with the response so the caller can
+    /// record serialize/write spans before finishing it.
+    fn call_traced(
+        &self,
+        envelope: Envelope,
+        trace: Option<Box<TraceCtx>>,
+    ) -> (Response, Option<Box<TraceCtx>>) {
         match envelope.request.kind() {
-            OpKind::Sssp | OpKind::Khop | OpKind::ApspRow => self.admit(envelope),
-            _ => self.execute_inline(&envelope.request),
+            OpKind::Sssp | OpKind::Khop | OpKind::ApspRow => self.admit(envelope, trace),
+            _ => (self.execute_inline(&envelope.request), trace),
         }
     }
 
@@ -146,27 +165,85 @@ impl Session {
     /// handler and any JSONL transport are this function plus framing.
     #[must_use]
     pub fn call_line(&self, line: &str) -> String {
+        let (out, trace) = self.call_line_traced(line, Instant::now());
+        // No transport underneath: the trace (if any) ends here.
+        if let Some(ctx) = trace {
+            self.inner.tracing.finish(ctx);
+        }
+        out
+    }
+
+    /// [`Self::call_line`] for transports: `received_at` is when the full
+    /// request line came off the wire (the root span's start), and the
+    /// span context (for traced requests) is returned *unfinished* so the
+    /// transport can record its write span and then hand the context to
+    /// [`Self::finish_trace`]. Records `accept → parse → … → serialize`;
+    /// the response line echoes the `trace_id` of traced requests.
+    #[must_use]
+    pub fn call_line_traced(
+        &self,
+        line: &str,
+        received_at: Instant,
+    ) -> (String, Option<Box<TraceCtx>>) {
+        let parse_start = Instant::now();
         let parsed = match parse_json(line) {
             Ok(v) => v,
             Err(e) => {
-                return Response::error(ErrorKind::BadRequest, format!("invalid JSON: {e}"))
-                    .to_json(None)
-                    .to_string()
+                return (
+                    Response::error(ErrorKind::BadRequest, format!("invalid JSON: {e}"))
+                        .to_json(None)
+                        .to_string(),
+                    None,
+                )
             }
         };
         match parse_request(&parsed) {
             Ok(env) => {
                 let id = env.id;
-                self.call(env).to_json(id).to_string()
+                let client_trace = env.trace_id;
+                let mut trace = self.inner.tracing.begin(client_trace, received_at);
+                if let Some(ctx) = trace.as_deref_mut() {
+                    let t1 = ctx.ns_at(parse_start);
+                    ctx.record(Stage::Accept, ctx.start_ns, t1);
+                    ctx.record(Stage::Parse, t1, ctx.now_ns());
+                }
+                let (response, mut trace) = self.call_traced(env, trace);
+                let ser_start = trace.as_deref().map(|c| c.now_ns());
+                // A client-supplied trace id is echoed even when tracing
+                // is off server-side; otherwise only traced requests
+                // carry one, so untraced lines stay byte-identical.
+                let echo = client_trace.or(trace.as_deref().map(|c| c.trace_id));
+                let out = response.to_json_traced(id, echo).to_string();
+                if let (Some(ctx), Some(s)) = (trace.as_deref_mut(), ser_start) {
+                    ctx.record(Stage::Serialize, s, ctx.now_ns());
+                }
+                (out, trace)
             }
             Err(msg) => {
                 // Echo the id even for malformed requests when present.
                 let id = parsed.get("id").and_then(Json::as_u64);
-                Response::error(ErrorKind::BadRequest, msg)
-                    .to_json(id)
-                    .to_string()
+                (
+                    Response::error(ErrorKind::BadRequest, msg)
+                        .to_json(id)
+                        .to_string(),
+                    None,
+                )
             }
         }
+    }
+
+    /// Completes a trace context returned by [`Self::call_line_traced`]
+    /// (after the transport recorded its final spans): the root span is
+    /// closed and the trace retained per the capture-mode rules.
+    pub fn finish_trace(&self, ctx: Box<TraceCtx>) {
+        self.inner.tracing.finish(ctx);
+    }
+
+    /// The tracer (diagnostic/test hook; the `trace_dump` op and
+    /// `--trace-out` read through this).
+    #[must_use]
+    pub fn tracing(&self) -> &Tracing {
+        &self.inner.tracing
     }
 
     /// Current lifecycle state.
@@ -212,37 +289,62 @@ impl Session {
         &self.inner.config
     }
 
-    fn admit(&self, envelope: Envelope) -> Response {
+    /// Shared counters/gauges (the TCP layer maintains the connection
+    /// gauge through this).
+    pub(crate) fn counters(&self) -> &Counters {
+        &self.inner.counters
+    }
+
+    fn admit(
+        &self,
+        envelope: Envelope,
+        mut trace: Option<Box<TraceCtx>>,
+    ) -> (Response, Option<Box<TraceCtx>>) {
         let inner = &self.inner;
+        let admit_start = Instant::now();
         let deadline = envelope
             .deadline_ms
             .or(inner.config.default_deadline_ms)
             .map(Duration::from_millis);
         let slot = Arc::new(ResponseSlot::new());
+        let enqueued = Instant::now();
+        if let Some(ctx) = trace.as_deref_mut() {
+            // The admit span ends exactly where queue_wait begins (the
+            // worker measures its wait from the same `enqueued` instant),
+            // so the two spans tile without overlap.
+            ctx.record(Stage::Admit, ctx.ns_at(admit_start), ctx.ns_at(enqueued));
+        }
         let job = Job {
             envelope,
-            enqueued: Instant::now(),
+            enqueued,
             deadline,
             slot: Arc::clone(&slot),
+            trace,
         };
         match inner.queue.try_push(job) {
             Ok(()) => {
                 Counters::bump(&inner.counters.admitted);
                 slot.wait()
             }
-            Err(AdmissionError::Full) => {
+            Err(AdmissionError::Full(job)) => {
                 Counters::bump(&inner.counters.shed);
-                Response::error(
-                    ErrorKind::Overloaded,
-                    format!(
-                        "admission queue full ({} waiting); retry later",
-                        inner.queue.capacity()
+                (
+                    Response::error(
+                        ErrorKind::Overloaded,
+                        format!(
+                            "admission queue full ({} waiting); retry later",
+                            inner.queue.capacity()
+                        ),
                     ),
+                    job.trace,
                 )
             }
-            Err(AdmissionError::Draining) => {
+            Err(AdmissionError::Draining(job)) => {
                 Counters::bump(&inner.counters.rejected_draining);
-                Response::error(ErrorKind::Draining, "server is draining")
+                (
+                    Response::error(ErrorKind::Draining, "server is draining"),
+                    job.trace,
+                )
             }
         }
     }
@@ -267,30 +369,46 @@ impl Drop for Session {
 
 fn worker_loop(inner: &ServerInner, shard: usize) {
     let mut scratch = RunScratch::new();
-    while let Some(job) = inner.queue.pop() {
-        let waited = job.enqueued.elapsed();
+    while let Some(mut job) = inner.queue.pop() {
+        let popped = Instant::now();
+        let waited = popped.duration_since(job.enqueued);
         let depth = inner.queue.depth() as u64;
         inner.stats.with_shard(shard, |s| {
             s.queue_wait_us.record(micros(waited));
             s.queue_depth.record(depth);
         });
+        if let Some(ctx) = job.trace.as_deref_mut() {
+            // Starts exactly where the admit span ended (same instant).
+            ctx.record(Stage::QueueWait, ctx.ns_at(job.enqueued), ctx.ns_at(popped));
+        }
         let kind = job.envelope.request.kind();
         if job.deadline.is_some_and(|d| waited > d) {
             Counters::bump(&inner.counters.deadline_exceeded);
             inner.stats.with_shard(shard, |s| s.record(kind, 0, false));
-            job.slot.fill(Response::error(
-                ErrorKind::DeadlineExceeded,
-                format!("waited {} µs in queue, past the deadline", micros(waited)),
-            ));
+            job.slot.fill(
+                Response::error(
+                    ErrorKind::DeadlineExceeded,
+                    format!("waited {} µs in queue, past the deadline", micros(waited)),
+                ),
+                job.trace,
+            );
             continue;
         }
+        Counters::gauge_inc(&inner.counters.in_flight);
         let t0 = Instant::now();
-        let response = execute_query(inner, &job.envelope.request, &mut scratch, shard);
+        let response = execute_query(
+            inner,
+            &job.envelope.request,
+            &mut scratch,
+            shard,
+            &mut job.trace,
+        );
         inner.stats.with_shard(shard, |s| {
             s.record(kind, micros(t0.elapsed()), response.is_ok());
         });
+        Counters::gauge_dec(&inner.counters.in_flight);
         // Every admitted job is answered — the drain-safety invariant.
-        job.slot.fill(response);
+        job.slot.fill(response, job.trace);
     }
 }
 
@@ -323,6 +441,7 @@ fn execute_query(
     request: &Request,
     scratch: &mut RunScratch,
     shard: usize,
+    trace: &mut Option<Box<TraceCtx>>,
 ) -> Response {
     let result = match request {
         Request::Sssp {
@@ -340,6 +459,7 @@ fn execute_query(
             *cache,
             scratch,
             shard,
+            trace,
         ),
         Request::ApspRow {
             graph,
@@ -355,6 +475,7 @@ fn execute_query(
             *cache,
             scratch,
             shard,
+            trace,
         ),
         Request::Khop {
             graph,
@@ -371,6 +492,7 @@ fn execute_query(
             *cache,
             scratch,
             shard,
+            trace,
         ),
         other => Err(Response::error(
             ErrorKind::Internal,
@@ -395,6 +517,7 @@ fn run_distance_query(
     cache: CacheMode,
     scratch: &mut RunScratch,
     shard: usize,
+    trace: &mut Option<Box<TraceCtx>>,
 ) -> Result<Response, Response> {
     let handle = lookup(inner, graph)?;
     let g = &handle.graph;
@@ -421,10 +544,12 @@ fn run_distance_query(
             Algo::Khop(k)
         }
     };
+    let lookup_start = Instant::now();
     let (net, outcome) = match cache {
         CacheMode::Bypass => inner.cache.compile_bypass(g, algo),
         CacheMode::Default => inner.cache.get_or_compile(&handle, algo),
     };
+    let after_cache = Instant::now();
     if outcome != CacheOutcome::Hit {
         // This worker paid for a compile: histogram its wall time so the
         // cold-path cost shows up in server_stats, not just in benches.
@@ -433,10 +558,45 @@ fn run_distance_query(
             .stats
             .with_shard(shard, |s| s.record_compile(compile_us));
     }
-    let run = net
-        .run(source, target, scratch)
-        .map_err(|e| Response::error(ErrorKind::Internal, format!("simulation failed: {e}")))?;
+    if let Some(ctx) = trace.as_deref_mut() {
+        let lk_s = ctx.ns_at(lookup_start);
+        let end = ctx.ns_at(after_cache);
+        if outcome == CacheOutcome::Hit {
+            ctx.record(Stage::CacheLookup, lk_s, end);
+        } else {
+            // The compile happened inside the lookup window; reconstruct
+            // its sub-spans from the profiler's phase split so the trace
+            // shows lookup | compile(build | load) tiling that window.
+            let (build, load) = net.phase_times();
+            let build = u64::try_from(build.as_nanos()).unwrap_or(u64::MAX);
+            let load = u64::try_from(load.as_nanos()).unwrap_or(u64::MAX);
+            let compile_s = end.saturating_sub(build.saturating_add(load)).max(lk_s);
+            ctx.record(Stage::CacheLookup, lk_s, compile_s);
+            ctx.record(Stage::Compile, compile_s, end);
+            let build_e = compile_s.saturating_add(build).min(end);
+            ctx.record(Stage::CompileBuild, compile_s, build_e);
+            ctx.record(Stage::CompileLoad, build_e, end);
+        }
+    }
+    let run_start = Instant::now();
+    let run = if let Some(ctx) = trace.as_deref_mut() {
+        let mut obs = TraceRunObserver::new(ctx.clock_base());
+        let run = net.run_observed(source, target, scratch, &mut obs);
+        let end = ctx.now_ns();
+        ctx.record(Stage::EngineRun, ctx.ns_at(run_start), end);
+        if let Some(sim) = obs.sim_span(ctx.trace_id) {
+            ctx.record(Stage::Sim, sim.start_ns, sim.end_ns.min(end));
+        }
+        run
+    } else {
+        net.run(source, target, scratch)
+    }
+    .map_err(|e| Response::error(ErrorKind::Internal, format!("simulation failed: {e}")))?;
+    let readout_start = Instant::now();
     let distances = net.decode(&run);
+    if let Some(ctx) = trace.as_deref_mut() {
+        ctx.record(Stage::Readout, ctx.ns_at(readout_start), ctx.now_ns());
+    }
     let mut fields = vec![("source", Json::UInt(source as u64))];
     if let Some(k) = k {
         fields.push(("k", Json::UInt(u64::from(k))));
@@ -488,6 +648,10 @@ fn execute_control(inner: &ServerInner, request: &Request) -> Response {
             }
         },
         Request::ServerStats => server_stats(inner),
+        Request::TraceDump { limit } => Response::Ok {
+            op: OpKind::TraceDump,
+            data: inner.tracing.chrome(*limit),
+        },
         Request::Shutdown => {
             inner.queue.drain();
             Response::Ok {
@@ -631,6 +795,12 @@ fn server_stats(inner: &ServerInner) -> Response {
                 "deadline_exceeded",
                 counter_json(&inner.counters.deadline_exceeded),
             ),
+            ("drained", Json::UInt(inner.queue.drained())),
+            // Instantaneous gauges: workers mid-query and open TCP
+            // connection handlers, right now.
+            ("in_flight", counter_json(&inner.counters.in_flight)),
+            ("connections", counter_json(&inner.counters.connections)),
+            ("tracing", inner.tracing.stats_json()),
             ("ops", ops),
         ]),
     }

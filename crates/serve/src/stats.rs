@@ -156,7 +156,9 @@ impl ShardedStats {
     }
 }
 
-/// Atomically-updated counters written outside worker context.
+/// Atomically-updated counters written outside worker context, plus the
+/// server's instantaneous gauges (shared atomics incremented and
+/// decremented around the guarded activity).
 #[derive(Debug, Default)]
 pub struct Counters {
     /// Requests rejected `overloaded` (queue full).
@@ -167,12 +169,29 @@ pub struct Counters {
     pub deadline_exceeded: AtomicU64,
     /// Jobs admitted to the queue.
     pub admitted: AtomicU64,
+    /// Gauge: jobs currently executing on a worker.
+    pub in_flight: AtomicU64,
+    /// Gauge: open TCP connection handlers.
+    pub connections: AtomicU64,
 }
 
 impl Counters {
     /// Relaxed increment (these are monotone counters, not synchronization).
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Gauge up: the guarded activity (a query, a connection) began.
+    pub fn gauge_inc(gauge: &AtomicU64) {
+        gauge.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Gauge down: the guarded activity ended. Saturates at zero rather
+    /// than wrapping if ever mispaired.
+    pub fn gauge_dec(gauge: &AtomicU64) {
+        let _ = gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
     }
 
     /// Relaxed read.
@@ -182,13 +201,18 @@ impl Counters {
     }
 }
 
-/// Latency-summary JSON for one histogram: count plus p50/p95/p99/max µs.
+/// Latency-summary JSON for one histogram: count, the exact observed
+/// min/max, the count-weighted mean, and p50/p90/p95/p99 (µs). Min, max
+/// and mean are tracked exactly — quantiles are bucket lower bounds, so
+/// without the exact extremes the JSON would understate the true tail.
 #[must_use]
 pub fn latency_json(h: &LogHistogram) -> Json {
     let q = |q: f64| h.quantile(q).map_or(Json::Null, Json::UInt);
     Json::obj(vec![
         ("count", Json::UInt(h.count())),
+        ("min_us", h.min().map_or(Json::Null, Json::UInt)),
         ("p50_us", q(0.5)),
+        ("p90_us", q(0.9)),
         ("p95_us", q(0.95)),
         ("p99_us", q(0.99)),
         ("max_us", h.max().map_or(Json::Null, Json::UInt)),
@@ -253,10 +277,29 @@ mod tests {
         }
         let j = latency_json(&h);
         assert_eq!(j.get("count").and_then(Json::as_u64), Some(100));
+        assert!(j.get("p90_us").and_then(Json::as_u64).is_some());
         assert!(j.get("p95_us").and_then(Json::as_u64).is_some());
         assert!(j.get("p99_us").and_then(Json::as_u64).is_some());
+        // Exact extremes and mean, not bucket floors: 1..=100 uniform.
+        assert_eq!(j.get("min_us").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("max_us").and_then(Json::as_u64), Some(100));
+        let mean = j.get("mean_us").and_then(Json::as_f64).unwrap();
+        assert!((mean - 50.5).abs() < 1e-9, "mean = {mean}");
         // Empty histogram: quantiles serialize as null, not a panic.
         let j = latency_json(&LogHistogram::new());
         assert_eq!(j.get("p50_us"), Some(&Json::Null));
+        assert_eq!(j.get("min_us"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn gauges_pair_and_saturate() {
+        let c = Counters::default();
+        Counters::gauge_inc(&c.in_flight);
+        Counters::gauge_inc(&c.in_flight);
+        Counters::gauge_dec(&c.in_flight);
+        assert_eq!(Counters::read(&c.in_flight), 1);
+        Counters::gauge_dec(&c.in_flight);
+        Counters::gauge_dec(&c.in_flight);
+        assert_eq!(Counters::read(&c.in_flight), 0, "never wraps below zero");
     }
 }

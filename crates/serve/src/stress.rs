@@ -447,6 +447,7 @@ pub fn run_stress<C: Client, F: Fn(usize) -> C + Sync>(
                     let envelope = Envelope {
                         id: None,
                         deadline_ms: config.deadline_ms,
+                        trace_id: None,
                         request,
                     };
                     let start = Instant::now();

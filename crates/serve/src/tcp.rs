@@ -11,13 +11,15 @@
 
 use std::io::{BufRead, BufReader, ErrorKind as IoErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use sgl_observe::trace::Stage;
 
 use crate::admission::Lifecycle;
 use crate::protocol::{ErrorKind, Response};
 use crate::session::{ServerConfig, Session};
+use crate::stats::Counters;
 
 /// How often the accept loop and idle connections check the lifecycle.
 pub const POLL_INTERVAL: Duration = Duration::from_millis(5);
@@ -46,21 +48,22 @@ pub fn serve(listener: &TcpListener, session: &Session) {
     listener
         .set_nonblocking(true)
         .expect("set_nonblocking on listener");
-    let max_connections = session.config().max_connections.max(1);
-    let active = AtomicUsize::new(0);
+    let max_connections = session.config().max_connections.max(1) as u64;
+    // The open-connection gauge doubles as the admission check and the
+    // `server_stats` "connections" reading.
+    let gauge = &session.counters().connections;
     std::thread::scope(|scope| {
-        let active = &active;
         while session.lifecycle() == Lifecycle::Running {
             match listener.accept() {
                 Ok((stream, _peer)) => {
-                    if active.load(Ordering::Acquire) >= max_connections {
+                    if Counters::read(gauge) >= max_connections {
                         reject_connection(stream);
                         continue;
                     }
-                    active.fetch_add(1, Ordering::AcqRel);
+                    Counters::gauge_inc(gauge);
                     scope.spawn(move || {
                         handle_connection(stream, session);
-                        active.fetch_sub(1, Ordering::AcqRel);
+                        Counters::gauge_dec(gauge);
                     });
                 }
                 Err(e) if e.kind() == IoErrorKind::WouldBlock => {
@@ -95,17 +98,26 @@ fn reject_connection(mut stream: TcpStream) {
 /// written — the handler's signal to hang up. Non-UTF-8 bytes survive as
 /// replacement characters into JSON parsing, which answers `bad_request`.
 fn respond(writer: &mut TcpStream, session: &Session, raw: &[u8]) -> bool {
+    let received = Instant::now();
     let line = String::from_utf8_lossy(raw);
     let trimmed = line.trim();
     if trimmed.is_empty() {
         return true;
     }
-    let response = session.call_line(trimmed);
-    writer
+    let (response, trace) = session.call_line_traced(trimmed, received);
+    let write_start = trace.as_deref().map(|c| c.now_ns());
+    let ok = writer
         .write_all(response.as_bytes())
         .and_then(|()| writer.write_all(b"\n"))
         .and_then(|()| writer.flush())
-        .is_ok()
+        .is_ok();
+    if let Some(mut ctx) = trace {
+        if let Some(s) = write_start {
+            ctx.record(Stage::Write, s, ctx.now_ns());
+        }
+        session.finish_trace(ctx);
+    }
+    ok
 }
 
 fn handle_connection(stream: TcpStream, session: &Session) {

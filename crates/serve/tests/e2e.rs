@@ -223,6 +223,7 @@ fn queued_work_past_its_deadline_is_rejected_typed() {
                     let resp = session.call(Envelope {
                         id: None,
                         deadline_ms: Some(0),
+                        trace_id: None,
                         request: Request::Sssp {
                             graph: "g".into(),
                             source: i % 300,

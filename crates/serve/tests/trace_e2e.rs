@@ -1,0 +1,222 @@
+//! End-to-end tests for `sgl-trace` over the real serve pipeline:
+//!
+//! * `trace_id` echo over real TCP, including pipelined batches where
+//!   several requests are in flight on one connection.
+//! * A fully-sampled server's `trace_dump` passes the Chrome nesting
+//!   validator and contains the complete
+//!   `admit → queue_wait → compile → engine_run → serialize → write`
+//!   stage chain.
+//! * Slow-request promotion retains traces past the threshold even when
+//!   sampling is off.
+//! * With tracing disabled, responses are byte-identical to an untraced
+//!   server's — the zero-cost-when-off contract, observed on the wire.
+
+use std::io::{BufRead, BufReader, Write};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgl_graph::io::to_dimacs;
+use sgl_graph::{generators, Graph};
+use sgl_observe::{validate_chrome, Json};
+use sgl_serve::protocol::{response_trace_id, CacheMode, Envelope, Request, Response};
+use sgl_serve::session::ServerConfig;
+use sgl_serve::stress::{Client, TcpClient};
+use sgl_serve::tcp::LoopbackServer;
+use sgl_serve::trace::TraceConfig;
+
+fn traced_config(sample_one_in: u32, slow_threshold_us: Option<u64>) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        trace: TraceConfig {
+            sample_one_in,
+            slow_threshold_us,
+            ..TraceConfig::default()
+        },
+        ..ServerConfig::default()
+    }
+}
+
+fn load(client: &mut dyn Client, g: &Graph) {
+    let resp = client.call(Envelope::of(Request::LoadGraph {
+        name: "g".into(),
+        dimacs: to_dimacs(g, "trace_e2e"),
+    }));
+    assert!(resp.is_ok(), "{resp:?}");
+}
+
+fn sssp(source: usize) -> Request {
+    Request::Sssp {
+        graph: "g".into(),
+        source,
+        target: None,
+        cache: CacheMode::Default,
+    }
+}
+
+/// Client-supplied trace_ids come back on their responses over real
+/// TCP — sequentially and pipelined — even with several ids in flight
+/// on the same connection.
+#[test]
+fn trace_ids_echo_over_tcp_including_pipelined() {
+    let server = LoopbackServer::start(traced_config(0, None));
+    let mut client = TcpClient::connect(server.addr).unwrap();
+    let mut rng = StdRng::seed_from_u64(41);
+    let g = generators::gnm_connected(&mut rng, 16, 48, 1..=5);
+    load(&mut client, &g);
+
+    // Sequential echo.
+    let stream = std::net::TcpStream::connect(server.addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writer
+        .write_all(b"{\"op\":\"sssp\",\"graph\":\"g\",\"source\":0,\"id\":1,\"trace_id\":9001}\n")
+        .unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let v = sgl_observe::parse_json(line.trim()).unwrap();
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(response_trace_id(&v), Some(9001));
+
+    // Pipelined: ten requests with distinct trace_ids written before any
+    // response is read; each response must carry its own id back.
+    let mut batch = String::new();
+    for i in 0u64..10 {
+        batch.push_str(&format!(
+            "{{\"op\":\"sssp\",\"graph\":\"g\",\"source\":{},\"id\":{i},\"trace_id\":{}}}\n",
+            i % 16,
+            1000 + i
+        ));
+    }
+    writer.write_all(batch.as_bytes()).unwrap();
+    writer.flush().unwrap();
+    for i in 0u64..10 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let v = sgl_observe::parse_json(line.trim()).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(i));
+        assert_eq!(response_trace_id(&v), Some(1000 + i), "pipelined echo {i}");
+    }
+    server.stop();
+}
+
+/// A fully-sampled server's dump parses, nests, and shows the complete
+/// request pipeline for the queries just served; server-assigned
+/// trace_ids on those responses appear as traces in the dump.
+#[test]
+fn full_chain_dump_validates_and_matches_response_echoes() {
+    let server = LoopbackServer::start(traced_config(1, None));
+    let mut client = TcpClient::connect(server.addr).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    let g = generators::gnm_connected(&mut rng, 24, 90, 1..=9);
+    load(&mut client, &g);
+
+    for source in 0..8 {
+        let resp = client.call(Envelope::of(sssp(source)));
+        assert!(resp.is_ok(), "{resp:?}");
+    }
+    // Read one echo straight off the wire for exactness.
+    let stream = std::net::TcpStream::connect(server.addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writer
+        .write_all(b"{\"op\":\"sssp\",\"graph\":\"g\",\"source\":3,\"id\":7}\n")
+        .unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let v = sgl_observe::parse_json(line.trim()).unwrap();
+    let assigned = response_trace_id(&v).expect("sampled request gets a server-assigned trace_id");
+
+    let dump = match client.call(Envelope::of(Request::TraceDump { limit: None })) {
+        Response::Ok { data, .. } => data,
+        other => panic!("trace_dump failed: {other:?}"),
+    };
+    let summary = validate_chrome(&dump).expect("dump passes the Chrome validator");
+    assert!(summary.events > 0);
+    assert!(
+        summary.any_trace_with_stages(&[
+            "admit",
+            "queue_wait",
+            "compile",
+            "engine_run",
+            "serialize",
+            "write"
+        ]),
+        "some trace must show the full pipeline: {:?}",
+        summary.stages_by_trace
+    );
+    assert!(
+        summary.stages_by_trace.contains_key(&assigned),
+        "the trace_id echoed on the wire ({assigned}) must appear in the dump"
+    );
+    server.stop();
+}
+
+/// With sampling off and a zero slow threshold, every request is
+/// promoted to the keep buffer and shows up in the dump; with a huge
+/// threshold, none are.
+#[test]
+fn slow_promotion_retains_traces_past_threshold_over_tcp() {
+    for (threshold, expect_traces) in [(Some(0u64), true), (Some(u64::MAX / 2000), false)] {
+        let server = LoopbackServer::start(traced_config(0, threshold));
+        let mut client = TcpClient::connect(server.addr).unwrap();
+        let mut rng = StdRng::seed_from_u64(43);
+        let g = generators::gnm_connected(&mut rng, 16, 48, 1..=5);
+        load(&mut client, &g);
+        for source in 0..4 {
+            assert!(client.call(Envelope::of(sssp(source))).is_ok());
+        }
+        let dump = match client.call(Envelope::of(Request::TraceDump { limit: None })) {
+            Response::Ok { data, .. } => data,
+            other => panic!("trace_dump failed: {other:?}"),
+        };
+        let summary = validate_chrome(&dump).expect("valid dump either way");
+        assert_eq!(
+            !summary.stages_by_trace.is_empty(),
+            expect_traces,
+            "threshold {threshold:?}"
+        );
+        server.stop();
+    }
+}
+
+/// Disabled tracing is invisible on the wire: the response bytes from a
+/// tracing-disabled server are identical to a default server's, with no
+/// trace_id field anywhere.
+#[test]
+fn disabled_tracing_responses_are_byte_identical() {
+    let capture = |config: ServerConfig| -> Vec<String> {
+        let server = LoopbackServer::start(config);
+        let mut setup = TcpClient::connect(server.addr).unwrap();
+        let mut rng = StdRng::seed_from_u64(44);
+        let g = generators::gnm_connected(&mut rng, 16, 48, 1..=5);
+        load(&mut setup, &g);
+        let stream = std::net::TcpStream::connect(server.addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut lines = Vec::new();
+        for (id, source) in [(1u64, 0usize), (2, 5), (3, 11)] {
+            writer
+                .write_all(
+                    format!(
+                        "{{\"op\":\"sssp\",\"graph\":\"g\",\"source\":{source},\"id\":{id}}}\n"
+                    )
+                    .as_bytes(),
+                )
+                .unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            lines.push(line);
+        }
+        server.stop();
+        lines
+    };
+    let default_lines = capture(ServerConfig::default());
+    let disabled_lines = capture(traced_config(0, None));
+    assert_eq!(default_lines, disabled_lines, "byte-identical responses");
+    for line in &default_lines {
+        assert!(
+            !line.contains("trace_id"),
+            "untraced response must not mention trace_id: {line}"
+        );
+    }
+}

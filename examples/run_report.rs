@@ -25,6 +25,10 @@
 //!   bitplane-vs-dense speedup table over the paired rows the perf_check
 //!   ordering rule is enforced on:
 //!   `cargo run --release --example run_report -- artifacts/BENCH_engines.json`
+//! - Chrome trace-event files (written by `sgl-stress --trace` /
+//!   `sgl-serve --trace-out`): the ten slowest requests broken down by
+//!   pipeline stage, plus a sparkline of where traced time goes:
+//!   `cargo run --release --example run_report -- TRACE_serve.json`
 
 use rand::SeedableRng;
 use spiking_graphs::algorithms::sssp_pseudo::SpikingSssp;
@@ -58,9 +62,14 @@ fn print_histogram(label: &str, hist: &LogHistogram) {
 fn render_report_file(path: &str) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
     // Criterion-shim line files (`SGL_BENCH_JSON`) are flat benchmark
-    // rows, not RunReports; dispatch on the first line's shape.
+    // rows, not RunReports; Chrome trace files (`sgl-stress --trace`)
+    // are one JSON object with `traceEvents`. Dispatch on shape.
     if let Some(first) = text.lines().find(|l| !l.trim().is_empty()) {
         if let Ok(v) = spiking_graphs::observe::parse_json(first) {
+            if v.get("traceEvents").is_some() {
+                render_trace_file(&v, path);
+                return;
+            }
             if v.get("median_ns").is_some() {
                 render_bench_lines(&text, path);
                 return;
@@ -73,6 +82,114 @@ fn render_report_file(path: &str) {
         "compile" => render_compile_report(&report, path),
         other => panic!("no renderer for report `{other}` (expected serve or compile)"),
     }
+}
+
+/// Renders a Chrome trace-event file written by `sgl-stress --trace` or
+/// `sgl-serve --trace-out`: the ten slowest requests as a stage
+/// breakdown table (queue / compile / run / write µs), then a sparkline
+/// of where the traced wall time goes across the whole file — the
+/// terminal answer to "what is the slow part" without opening Perfetto.
+fn render_trace_file(v: &Json, path: &str) {
+    let summary = spiking_graphs::observe::validate_chrome(v)
+        .unwrap_or_else(|e| panic!("{path} failed trace validation: {e}"));
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("validated trace has traceEvents");
+
+    // Per trace: total wall µs (the `request` root span) and summed
+    // duration per stage name. Durations are in µs as f64 in the file.
+    struct Trace {
+        id: u64,
+        total: f64,
+        by_stage: std::collections::BTreeMap<String, f64>,
+    }
+    let mut traces: Vec<Trace> = Vec::new();
+    for ev in events {
+        let (Some("X"), Some(name), Some(dur), Some(id)) = (
+            ev.get("ph").and_then(Json::as_str),
+            ev.get("name").and_then(Json::as_str),
+            ev.get("dur").and_then(Json::as_f64),
+            ev.get("args")
+                .and_then(|a| a.get("trace_id"))
+                .and_then(Json::as_u64),
+        ) else {
+            continue;
+        };
+        let t = match traces.iter_mut().find(|t| t.id == id) {
+            Some(t) => t,
+            None => {
+                traces.push(Trace {
+                    id,
+                    total: 0.0,
+                    by_stage: std::collections::BTreeMap::new(),
+                });
+                traces.last_mut().expect("just pushed")
+            }
+        };
+        if name == "request" {
+            t.total += dur;
+        } else {
+            *t.by_stage.entry(name.to_string()).or_insert(0.0) += dur;
+        }
+    }
+    println!(
+        "# trace report ({path}): {} events, {} traces, nesting ok\n",
+        summary.events,
+        traces.len()
+    );
+
+    traces.sort_by(|a, b| b.total.total_cmp(&a.total));
+    const COLS: [(&str, &str); 4] = [
+        ("queue_wait", "queue"),
+        ("compile", "compile"),
+        ("engine_run", "run"),
+        ("write", "write"),
+    ];
+    println!(
+        "slowest requests (µs):\n  {:<10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "trace", "total", COLS[0].1, COLS[1].1, COLS[2].1, COLS[3].1
+    );
+    for t in traces.iter().take(10) {
+        let stage = |s: &str| t.by_stage.get(s).copied().unwrap_or(0.0);
+        println!(
+            "  {:<#10x} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            t.id,
+            t.total,
+            stage(COLS[0].0),
+            stage(COLS[1].0),
+            stage(COLS[2].0),
+            stage(COLS[3].0),
+        );
+    }
+
+    // Where the time goes, summed over every trace in the file. The
+    // sparkline is scaled to the largest stage, so the tall bar is the
+    // bottleneck stage.
+    let totals: Vec<(&str, f64)> = COLS
+        .iter()
+        .map(|&(stage, label)| {
+            (
+                label,
+                traces
+                    .iter()
+                    .map(|t| t.by_stage.get(stage).copied().unwrap_or(0.0))
+                    .sum(),
+            )
+        })
+        .collect();
+    let grand: f64 = traces.iter().map(|t| t.total).sum();
+    let bars: Vec<u64> = totals.iter().map(|&(_, v)| v.round() as u64).collect();
+    println!("\nstage shares of traced wall time:");
+    println!(
+        "  {}  ({})",
+        sparkline(&bars, totals.len()),
+        totals
+            .iter()
+            .map(|&(label, v)| format!("{label} {:.1}%", v / grand.max(1.0) * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
 }
 
 /// Renders a criterion-shim `SGL_BENCH_JSON` line file (the format of
