@@ -18,6 +18,12 @@
 //! medians from the perf job's *traced* run must stay within 5% of the
 //! committed *untraced* baseline — the budget on what per-request span
 //! recording may cost the serve hot path.
+//!
+//! One rule is absolute against a frozen constant:
+//! `serve/ns_per_op/<connections>` rows (the sharded server's sustained
+//! loopback cost per op) must beat the committed single-shared-queue
+//! baseline at any pipelined connection count — the rebuilt
+//! architecture is never allowed to lose to the one it replaced.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -28,6 +34,18 @@ use sgl_observe::parse_json;
 const FAIL_RATIO: f64 = 2.0;
 /// Below this ratio the delta is reported as noise, not a regression.
 const WARN_RATIO: f64 = 1.10;
+/// The single-shared-queue serve architecture's committed loopback cost
+/// per op (1e9 / 11,643.57 ops/s, the last BENCH_serve.json before the
+/// shard-per-core rebuild). Frozen, not re-measured: it is the floor the
+/// sharded server must beat. Any `serve/ns_per_op/<connections>` row at
+/// pipelined concurrency (8+ connections) that comes in above this
+/// means sharding lost to the architecture it replaced — a hard
+/// failure regardless of baseline drift.
+const SINGLE_QUEUE_BASELINE_NS_PER_OP: u64 = 85_898;
+/// Connection counts below this are latency-bound (one request in
+/// flight rides full round trips), so the throughput floor only applies
+/// at or above it.
+const THROUGHPUT_RULE_MIN_CONNECTIONS: u64 = 8;
 /// Relative slack on the intra-run ordering rules: `a <= b` fails only
 /// when `a > b * (1 + ORDER_EPSILON)`. Same-run medians remove machine
 /// skew but not sampling jitter; a genuine ordering inversion shows up
@@ -147,6 +165,37 @@ fn main() -> ExitCode {
                 "ok    serve tracing overhead: sssp_warm{rest} {base} ns -> {cur} ns \
                  (within {:.0}%)",
                 ORDER_EPSILON * 100.0
+            );
+        }
+    }
+
+    // Sharded-throughput floor: every `serve/ns_per_op/<connections>`
+    // row at pipelined concurrency must beat the frozen single-queue
+    // baseline. This is absolute, not baseline-relative — the committed
+    // constant IS the architecture being replaced.
+    for (name, &cur) in current.range("serve/ns_per_op/".to_string()..) {
+        let Some(conns) = name.strip_prefix("serve/ns_per_op/") else {
+            break; // past the ns_per_op rows in BTreeMap order
+        };
+        let Ok(conns) = conns.parse::<u64>() else {
+            continue;
+        };
+        if conns < THROUGHPUT_RULE_MIN_CONNECTIONS {
+            println!("ok    serve throughput floor: {name} ({cur} ns) exempt below {THROUGHPUT_RULE_MIN_CONNECTIONS} connections");
+            continue;
+        }
+        if cur > SINGLE_QUEUE_BASELINE_NS_PER_OP {
+            println!(
+                "FAIL  serve throughput floor: {name} {cur} ns/op above the single-queue \
+                 baseline {SINGLE_QUEUE_BASELINE_NS_PER_OP} ns/op — sharding lost to the \
+                 architecture it replaced"
+            );
+            failures += 1;
+        } else {
+            println!(
+                "ok    serve throughput floor: {name} {cur} ns/op <= single-queue \
+                 baseline {SINGLE_QUEUE_BASELINE_NS_PER_OP} ns/op ({:.1}x headroom)",
+                SINGLE_QUEUE_BASELINE_NS_PER_OP as f64 / cur.max(1) as f64
             );
         }
     }

@@ -28,6 +28,14 @@ pub enum Json {
     Arr(Vec<Json>),
     /// An object, in insertion order.
     Obj(Vec<(String, Json)>),
+    /// A pre-serialized JSON fragment, emitted verbatim by the writer.
+    ///
+    /// This is the splice point for response memoization: a serve-side
+    /// result cache stores the exact bytes a fresh serialization once
+    /// produced and replays them without re-walking a value tree. The
+    /// fragment must itself be valid JSON — the writer does not check.
+    /// Accessors (`get`, `as_u64`, …) treat it as opaque.
+    Raw(std::sync::Arc<str>),
 }
 
 impl Json {
@@ -146,6 +154,7 @@ impl Json {
                 }
                 out.push('}');
             }
+            Self::Raw(fragment) => out.push_str(fragment),
         }
     }
 }

@@ -84,6 +84,29 @@ impl ResponseSlot {
     }
 }
 
+/// Where an executed job's answer goes.
+///
+/// In-process callers ([`crate::Session::call`]) block on a
+/// [`ResponseSlot`]; TCP requests instead carry the coordinates of the
+/// connection that issued them — owning shard, connection id, and the
+/// per-connection sequence number that keeps pipelined responses in
+/// request order — and the executing shard mails the *serialized* line
+/// back to that connection's shard.
+#[derive(Debug)]
+pub enum ReplyTo {
+    /// Fill this slot and wake the blocked caller thread.
+    Slot(std::sync::Arc<ResponseSlot>),
+    /// Mail the rendered response line to a connection's shard.
+    Conn {
+        /// Shard that owns the connection.
+        shard: usize,
+        /// Connection id within that shard.
+        conn: u64,
+        /// Position in the connection's pipelined-response order.
+        seq: u64,
+    },
+}
+
 /// An admitted job: the request, when it was admitted, its queue-wait
 /// deadline, and where to deliver the answer.
 #[derive(Debug)]
@@ -94,8 +117,8 @@ pub struct Job {
     pub enqueued: Instant,
     /// Maximum tolerated queue wait, if any.
     pub deadline: Option<Duration>,
-    /// Response rendezvous shared with the admitting thread.
-    pub slot: std::sync::Arc<ResponseSlot>,
+    /// Where the answer is delivered.
+    pub reply: ReplyTo,
     /// Span context of a traced request (almost always `None`).
     pub trace: Option<Box<TraceCtx>>,
 }
@@ -108,6 +131,18 @@ pub enum AdmissionError {
     Full(Job),
     /// The server is draining or stopped.
     Draining(Job),
+}
+
+/// Result of a non-blocking [`AdmissionQueue::try_pop`].
+#[derive(Debug)]
+pub enum Popped {
+    /// The next admitted job.
+    Job(Job),
+    /// Nothing queued right now; more work may still be admitted.
+    Empty,
+    /// Draining (or stopped) **and** the backlog is exhausted — the
+    /// consumer's signal that no job will ever arrive again.
+    ShuttingDown,
 }
 
 #[derive(Debug)]
@@ -195,6 +230,28 @@ impl AdmissionQueue {
         }
     }
 
+    /// Non-blocking pop for shard event loops (which must return to their
+    /// poller instead of parking on a condvar). Hands out the backlog
+    /// while draining — the drain invariant — and reports
+    /// [`Popped::ShuttingDown`] only once draining **and** empty.
+    ///
+    /// # Panics
+    /// Panics if the queue lock is poisoned.
+    #[must_use]
+    pub fn try_pop(&self) -> Popped {
+        let mut s = self.state.lock().expect("queue lock");
+        if let Some(job) = s.jobs.pop_front() {
+            if s.lifecycle != Lifecycle::Running {
+                self.drained.fetch_add(1, Ordering::Relaxed);
+            }
+            return Popped::Job(job);
+        }
+        if s.lifecycle != Lifecycle::Running {
+            return Popped::ShuttingDown;
+        }
+        Popped::Empty
+    }
+
     /// Jobs handed to workers after drain began (cumulative).
     #[must_use]
     pub fn drained(&self) -> u64 {
@@ -259,7 +316,7 @@ mod tests {
             envelope: Envelope::of(Request::ServerStats),
             enqueued: Instant::now(),
             deadline: None,
-            slot: Arc::new(ResponseSlot::new()),
+            reply: ReplyTo::Slot(Arc::new(ResponseSlot::new())),
             trace: None,
         }
     }
@@ -322,6 +379,24 @@ mod tests {
             Some(crate::protocol::ErrorKind::Internal)
         );
         assert!(trace.is_none());
+    }
+
+    #[test]
+    fn try_pop_distinguishes_empty_from_shutdown() {
+        let q = AdmissionQueue::new(2);
+        assert!(matches!(q.try_pop(), Popped::Empty), "running + empty");
+        q.try_push(job()).unwrap();
+        q.try_push(job()).unwrap();
+        q.drain();
+        // The drain invariant: backlog first, then the terminal signal.
+        assert!(matches!(q.try_pop(), Popped::Job(_)));
+        assert!(matches!(q.try_pop(), Popped::Job(_)));
+        assert!(matches!(q.try_pop(), Popped::ShuttingDown));
+        assert!(
+            matches!(q.try_pop(), Popped::ShuttingDown),
+            "stays terminal"
+        );
+        assert_eq!(q.drained(), 2);
     }
 
     #[test]

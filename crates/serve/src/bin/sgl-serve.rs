@@ -1,7 +1,7 @@
 //! `sgl-serve` — the graph-query daemon.
 //!
 //! ```text
-//! sgl-serve [--addr 127.0.0.1:7687] [--workers N] [--queue-capacity N]
+//! sgl-serve [--addr 127.0.0.1:7687] [--shards N] [--queue-capacity N]
 //!           [--deadline-ms MS] [--max-connections N]
 //!           [--trace-sample N] [--trace-slow-us US] [--trace-out PATH]
 //! ```
@@ -12,8 +12,10 @@
 //! `--trace-slow-us` retains traces of requests slower than the
 //! threshold, and `--trace-out` writes every retained trace as Chrome
 //! trace-event JSON on exit (traces are also available live over the
-//! wire via the `trace_dump` op). Argument parsing is hand-rolled: the
-//! workspace is offline, and a few flags don't justify a dependency.
+//! wire via the `trace_dump` op). `--shards N` runs N independent event
+//! loops (0, the default, means one per core). Argument parsing is
+//! hand-rolled: the workspace is offline, and a few flags don't justify
+//! a dependency.
 
 use std::net::TcpListener;
 use std::process::ExitCode;
@@ -23,7 +25,7 @@ use sgl_serve::tcp;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: sgl-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N] [--deadline-ms MS] [--max-connections N] [--trace-sample N] [--trace-slow-us US] [--trace-out PATH]"
+        "usage: sgl-serve [--addr HOST:PORT] [--shards N] [--queue-capacity N] [--deadline-ms MS] [--max-connections N] [--trace-sample N] [--trace-slow-us US] [--trace-out PATH]"
     );
     ExitCode::FAILURE
 }
@@ -43,7 +45,7 @@ fn main() -> ExitCode {
                 addr = value;
                 Ok(())
             }
-            "--workers" => value.parse().map(|v| config.workers = v).map_err(|_| ()),
+            "--shards" => value.parse().map(|v| config.shards = v).map_err(|_| ()),
             "--queue-capacity" => value
                 .parse()
                 .map(|v| config.queue_capacity = v)
@@ -78,8 +80,8 @@ fn main() -> ExitCode {
             return usage();
         }
     }
-    if config.workers == 0 || config.queue_capacity == 0 || config.max_connections == 0 {
-        eprintln!("--workers, --queue-capacity and --max-connections must be positive");
+    if config.queue_capacity == 0 || config.max_connections == 0 {
+        eprintln!("--queue-capacity and --max-connections must be positive");
         return usage();
     }
     if trace_out.is_some() && !config.trace.enabled() {
@@ -97,11 +99,12 @@ fn main() -> ExitCode {
     let bound = listener
         .local_addr()
         .map_or(addr.clone(), |a| a.to_string());
-    println!(
-        "sgl-serve listening on {bound} ({} workers, queue capacity {})",
-        config.workers, config.queue_capacity
-    );
     let session = Session::open(config);
+    println!(
+        "sgl-serve listening on {bound} ({} shards, queue capacity {} each)",
+        session.config().shards,
+        session.config().queue_capacity
+    );
     tcp::serve(&listener, &session);
     session.shutdown();
     if let Some(path) = trace_out {

@@ -3,24 +3,42 @@
 //! ```text
 //! sgl-stress [--addr HOST:PORT]        target a running server
 //!            [--ops N] [--concurrency N] [--rate OPS_PER_SEC]
+//!            [--connections N] [--pipeline D] [--shards N]
+//!            [--scale C1,C2,...]
 //!            [--n NODES] [--m EDGES] [--seed S]
 //!            [--mix sssp=6,khop3=2,apsp_row=1,graph_stats=1]
 //!            [--deadline-ms MS] [--interval-ms MS | --quiet]
 //!            [--samples N] [--expect-clean] [--trace PATH]
 //! ```
 //!
-//! Without `--addr`, spawns a loopback server in-process (workers = 4),
-//! runs the workload against it over real TCP, and shuts it down — the
-//! CI smoke configuration. Always: generates a G(n, m) reference graph,
-//! loads it, drives the mixed workload (closed loop, or open loop with
-//! `--rate`), then measures cold-compile vs warm-cache `sssp` latency.
+//! Without `--addr`, spawns a loopback server in-process (`--shards`
+//! shard event loops; 0 = one per core), runs the workload against it
+//! over real TCP, and shuts it down — the CI smoke configuration.
+//! Always: generates a G(n, m) reference graph, loads it, drives the
+//! mixed workload (closed loop, or open loop with `--rate`), then
+//! measures cold-compile vs warm-cache `sssp` latency.
+//!
+//! `--connections N` switches the workload phase from one thread per
+//! connection to a single reactor-driven thread multiplexing `N`
+//! pipelined connections (`--pipeline` requests in flight on each) —
+//! the high-concurrency mode. Before opening them it preflights the
+//! process fd limit, raising the soft `RLIMIT_NOFILE` toward the hard
+//! cap when possible and failing with a clear error when not.
+//!
+//! `--scale C1,C2,...` runs the high-concurrency driver once per listed
+//! connection count against the same (warm) server and writes the rows
+//! as a `scaling` section in the run report plus one
+//! `ns_per_op/<connections>` bench line per rung — the
+//! connection-scaling table committed in `artifacts/BENCH_serve.json`.
 //!
 //! Outputs: a live interval table (cql-stress style), a final summary,
 //! a `BENCH_serve.json` run report (into `$SGL_BENCH_DIR` or the working
 //! directory), and — when `$SGL_BENCH_JSON` is set — `group: "serve"`
-//! measurement lines (`sssp_cold/<n>`, `sssp_warm/<n>`) in the shared
+//! measurement lines (`sssp_cold/<n>`, `sssp_warm/<n>`, and in
+//! high-concurrency mode `ns_per_op/<connections>`) in the shared
 //! bench-line format, over which `perf_check` enforces the
-//! warm-strictly-below-cold ordering rule.
+//! warm-strictly-below-cold ordering rule and the sharded-throughput
+//! floor.
 //!
 //! `--expect-clean` exits non-zero if any operation failed or was shed —
 //! the CI smoke job's low-load assertion.
@@ -45,7 +63,8 @@ use sgl_observe::Json;
 use sgl_serve::protocol::{Envelope, Request, Response};
 use sgl_serve::session::ServerConfig;
 use sgl_serve::stress::{
-    measure_cold_warm, run_stress, Client, LoopMode, Mix, StressConfig, TcpClient,
+    measure_cold_warm, run_connection_stress, run_stress, Client, ConnStressConfig, LoopMode, Mix,
+    StressConfig, TcpClient,
 };
 use sgl_serve::tcp::LoopbackServer;
 use sgl_serve::trace::TraceConfig;
@@ -54,6 +73,10 @@ struct Args {
     addr: Option<SocketAddr>,
     ops: u64,
     concurrency: usize,
+    connections: usize,
+    pipeline: usize,
+    shards: usize,
+    scale: Vec<usize>,
     rate: Option<f64>,
     n: usize,
     m: usize,
@@ -72,6 +95,10 @@ impl Default for Args {
             addr: None,
             ops: 2000,
             concurrency: 4,
+            connections: 0,
+            pipeline: 8,
+            shards: 0,
+            scale: Vec::new(),
             rate: None,
             n: 256,
             m: 1024,
@@ -106,6 +133,15 @@ fn parse_args() -> Result<Args, String> {
             "--addr" => out.addr = Some(value.parse().map_err(|_| bad("address"))?),
             "--ops" => out.ops = value.parse().map_err(|_| bad("count"))?,
             "--concurrency" => out.concurrency = value.parse().map_err(|_| bad("count"))?,
+            "--connections" => out.connections = value.parse().map_err(|_| bad("count"))?,
+            "--pipeline" => out.pipeline = value.parse().map_err(|_| bad("count"))?,
+            "--shards" => out.shards = value.parse().map_err(|_| bad("count"))?,
+            "--scale" => {
+                out.scale = value
+                    .split(',')
+                    .map(|c| c.trim().parse::<usize>().map_err(|_| bad("count list")))
+                    .collect::<Result<_, _>>()?;
+            }
             "--rate" => out.rate = Some(value.parse().map_err(|_| bad("rate"))?),
             "--n" => out.n = value.parse().map_err(|_| bad("count"))?,
             "--m" => out.m = value.parse().map_err(|_| bad("count"))?,
@@ -120,6 +156,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if out.concurrency == 0 || out.ops == 0 || out.n < 2 || out.samples == 0 {
         return Err("--concurrency, --ops, --n and --samples must be positive".into());
+    }
+    if (out.connections > 0 || !out.scale.is_empty()) && out.pipeline == 0 {
+        return Err("--pipeline must be positive".into());
+    }
+    if out.scale.contains(&0) {
+        return Err("--scale counts must be positive".into());
     }
     Ok(out)
 }
@@ -150,6 +192,25 @@ fn append_bench_line(id: &str, samples_us: &[u64]) {
     }
 }
 
+/// A single already-in-nanoseconds measurement (whole-run throughput
+/// rows, where per-sample µs quantization would lose the signal).
+fn append_bench_line_ns(id: &str, ns: u64) {
+    let Some(path) = std::env::var_os("SGL_BENCH_JSON") else {
+        return;
+    };
+    let line = format!(
+        "{{\"group\":\"serve\",\"id\":\"{id}\",\"median_ns\":{ns},\"min_ns\":{ns},\"mean_ns\":{ns},\"samples\":1}}\n",
+    );
+    let r = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = r {
+        eprintln!("SGL_BENCH_JSON: cannot append to {path:?}: {e}");
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -158,6 +219,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // High-concurrency mode holds `connections` client sockets — and, when
+    // the server is spawned in-process, the same number of server-side
+    // sockets — so preflight the fd limit before opening any of them. A
+    // `--scale` sweep is sized by its largest rung.
+    let peak_connections = args
+        .scale
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(args.connections);
+    if peak_connections > 0 {
+        let per_conn = if args.addr.is_none() { 2 } else { 1 };
+        let need = (peak_connections as u64).saturating_mul(per_conn) + 64;
+        if let Err(e) = sgl_serve::reactor::ensure_fd_limit(need) {
+            eprintln!("sgl-stress: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     // Target: an external server, or a spawned loopback one. `--trace`
     // arms every-request sampling on the spawned server; an external
@@ -171,11 +252,18 @@ fn main() -> ExitCode {
         } else {
             TraceConfig::default()
         };
+        let defaults = ServerConfig::default();
+        // Closed-loop pipelining keeps connections × pipeline requests in
+        // flight; size the admission queue so a healthy run never sheds.
+        let queue_capacity = defaults
+            .queue_capacity
+            .max(peak_connections.saturating_mul(args.pipeline) + 64);
         Some(LoopbackServer::start(ServerConfig {
-            workers: 4,
-            queue_capacity: 64,
+            shards: args.shards,
+            queue_capacity,
+            max_connections: defaults.max_connections.max(peak_connections + 16),
             trace,
-            ..ServerConfig::default()
+            ..defaults
         }))
     } else {
         None
@@ -209,30 +297,116 @@ fn main() -> ExitCode {
     }
 
     let mode = args.rate.map_or(LoopMode::Closed, LoopMode::Open);
-    println!(
-        "sgl-stress: {} ops, {} threads, {:?}, graph n={} m={} against {addr}",
-        args.ops, args.concurrency, mode, args.n, args.m
-    );
-    let config = StressConfig {
-        graph: "stress".into(),
-        graph_n: args.n,
-        concurrency: args.concurrency,
-        total_ops: args.ops,
-        mode,
-        mix: args.mix.clone(),
-        deadline_ms: args.deadline_ms,
-        seed: args.seed,
-        report_interval: args.interval_ms.map(Duration::from_millis),
+    let mut scaling_rows: Vec<Json> = Vec::new();
+    let summary = if !args.scale.is_empty() {
+        // Connection-scaling sweep: one reactor-driven run per rung, all
+        // against the same server (and its warmed compiled-net caches),
+        // so the table isolates what concurrency costs.
+        let mut last = None;
+        for &count in &args.scale {
+            // Enough ops per rung to reach steady state even at the
+            // largest pipelined counts, without stretching small rungs.
+            let total = args.ops.max(count.saturating_mul(args.pipeline) as u64 * 4);
+            println!(
+                "sgl-stress: scale rung {count} connections (pipeline {}), {total} ops against {addr}",
+                args.pipeline
+            );
+            let config = ConnStressConfig {
+                graph: "stress".into(),
+                graph_n: args.n,
+                connections: count,
+                pipeline: args.pipeline,
+                total_ops: total,
+                rate: args.rate,
+                mix: args.mix.clone(),
+                deadline_ms: args.deadline_ms,
+                seed: args.seed,
+                report_interval: args.interval_ms.map(Duration::from_millis),
+            };
+            let s = match run_connection_stress(addr, &config) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("sgl-stress: connection driver failed at {count} connections: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let ns_per_op =
+                u64::try_from(s.elapsed.as_nanos()).unwrap_or(u64::MAX) / s.issued.max(1);
+            append_bench_line_ns(&format!("ns_per_op/{count}"), ns_per_op);
+            println!(
+                "  rung {count}: {:.0} ops/s ({ns_per_op} ns/op), errors {}",
+                s.ops_per_sec(),
+                s.errors()
+            );
+            scaling_rows.push(Json::obj(vec![
+                ("connections", Json::UInt(count as u64)),
+                ("pipeline", Json::UInt(args.pipeline as u64)),
+                ("ops", Json::UInt(s.issued)),
+                ("ops_per_sec", Json::Num(s.ops_per_sec())),
+                ("ns_per_op", Json::UInt(ns_per_op)),
+                (
+                    "p50_us",
+                    Json::UInt(s.overall_us.quantile(0.5).unwrap_or(0)),
+                ),
+                (
+                    "p99_us",
+                    Json::UInt(s.overall_us.quantile(0.99).unwrap_or(0)),
+                ),
+                ("errors", Json::UInt(s.errors())),
+            ]));
+            last = Some(s);
+        }
+        last.expect("scale list is non-empty")
+    } else if args.connections > 0 {
+        println!(
+            "sgl-stress: {} ops, {} connections (pipeline {}), {:?}, graph n={} m={} against {addr}",
+            args.ops, args.connections, args.pipeline, mode, args.n, args.m
+        );
+        let config = ConnStressConfig {
+            graph: "stress".into(),
+            graph_n: args.n,
+            connections: args.connections,
+            pipeline: args.pipeline,
+            total_ops: args.ops,
+            rate: args.rate,
+            mix: args.mix.clone(),
+            deadline_ms: args.deadline_ms,
+            seed: args.seed,
+            report_interval: args.interval_ms.map(Duration::from_millis),
+        };
+        match run_connection_stress(addr, &config) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("sgl-stress: connection driver failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        println!(
+            "sgl-stress: {} ops, {} threads, {:?}, graph n={} m={} against {addr}",
+            args.ops, args.concurrency, mode, args.n, args.m
+        );
+        let config = StressConfig {
+            graph: "stress".into(),
+            graph_n: args.n,
+            concurrency: args.concurrency,
+            total_ops: args.ops,
+            mode,
+            mix: args.mix.clone(),
+            deadline_ms: args.deadline_ms,
+            seed: args.seed,
+            report_interval: args.interval_ms.map(Duration::from_millis),
+        };
+        // One TCP connection per driver thread; a connect failure inside
+        // the run surfaces as counted internal errors, not a panic.
+        run_stress(
+            |i| {
+                TcpClient::connect(addr)
+                    .unwrap_or_else(|e| panic!("thread {i}: cannot connect to {addr}: {e}"))
+            },
+            &config,
+        )
     };
-    // One TCP connection per driver thread; a connect failure inside the
-    // run surfaces as counted internal errors, not a panic.
-    let summary = run_stress(
-        |i| {
-            TcpClient::connect(addr)
-                .unwrap_or_else(|e| panic!("thread {i}: cannot connect to {addr}: {e}"))
-        },
-        &config,
-    );
 
     println!(
         "\n{} ops in {:?} ({:.0} ops/s), ok {}, errors {} (shed {}, deadline {})",
@@ -264,6 +438,13 @@ fn main() -> ExitCode {
     );
     append_bench_line(&format!("sssp_cold/{}", args.n), &cold_warm.cold_us);
     append_bench_line(&format!("sssp_warm/{}", args.n), &cold_warm.warm_us);
+    // High-concurrency mode also reports sustained cost per op at this
+    // connection count — the row `perf_check`'s throughput floor guards.
+    if args.connections > 0 && summary.issued > 0 {
+        let ns_per_op =
+            u64::try_from(summary.elapsed.as_nanos()).unwrap_or(u64::MAX) / summary.issued;
+        append_bench_line_ns(&format!("ns_per_op/{}", args.connections), ns_per_op);
+    }
 
     // Server-side view for the report artifact.
     let server_stats = match probe.call(Envelope::of(Request::ServerStats)) {
@@ -299,6 +480,8 @@ fn main() -> ExitCode {
         Json::obj(vec![
             ("ops", Json::UInt(args.ops)),
             ("concurrency", Json::UInt(args.concurrency as u64)),
+            ("connections", Json::UInt(args.connections as u64)),
+            ("pipeline", Json::UInt(args.pipeline as u64)),
             (
                 "mode",
                 Json::Str(match mode {
@@ -312,10 +495,12 @@ fn main() -> ExitCode {
         ]),
     );
     sink.section("summary", summary.to_json());
+    if !scaling_rows.is_empty() {
+        sink.section("scaling", Json::Arr(scaling_rows));
+    }
     sink.section("cold_warm", cold_warm.to_json());
     sink.section("server_stats", server_stats);
-    let path = sink.finish();
-    println!("report: {}", path.display());
+    sink.finish();
 
     // Drain the spawned server (also proves clean shutdown end-to-end).
     if let Some(server) = spawned {

@@ -36,7 +36,7 @@ use std::time::Duration;
 
 use sgl_core::{khop_layered, sssp_pseudo::SpikingSssp};
 use sgl_graph::{Graph, Len};
-use sgl_observe::{PhaseProfiler, RunObserver};
+use sgl_observe::{Json, PhaseProfiler, RunObserver};
 use sgl_snn::engine::{
     BitplaneEngine, DenseEngine, EngineChoice, EventEngine, RunConfig, RunResult, RunScratch,
 };
@@ -78,6 +78,71 @@ pub fn same_structure(a: &Graph, b: &Graph) -> bool {
     a.n() == b.n() && a.m() == b.m() && a.edges().eq(b.edges())
 }
 
+/// FNV-1a over a registry name's bytes — the shard-routing hash. Every
+/// operation naming a graph executes on shard `name_hash(name) % shards`,
+/// so a graph's handle (and its compiled networks and memoized results)
+/// lives on exactly one shard and no cross-shard cache locking exists.
+/// Same FNV constants as [`fingerprint`]; hashing the *name* rather than
+/// the structure means the route is known before the graph is loaded.
+#[must_use]
+pub fn name_hash(name: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Identity of a memoized query answer on one handle. The compiled
+/// networks are source-independent, but an *answer* is a pure function of
+/// `(graph, algorithm, params, source, target)` — so on an immutable
+/// handle it can be memoized outright. Keys never mention the graph:
+/// they are scoped to the handle exactly like compiled networks, for the
+/// same collision-soundness reason.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ResultKey {
+    /// An `sssp` answer (full distances, or a single target's distance).
+    Sssp {
+        /// Query source node.
+        source: u32,
+        /// Target node for early-stop queries, if any.
+        target: Option<u32>,
+    },
+    /// A `khop` answer.
+    Khop {
+        /// Query source node.
+        source: u32,
+        /// Hop bound.
+        k: u32,
+    },
+    /// An `apsp_row` answer.
+    ApspRow {
+        /// Row source node.
+        source: u32,
+    },
+}
+
+/// A memoized query answer: the structured `data` object (already
+/// carrying `"cache": "hit"`) for in-process callers that inspect fields,
+/// plus the same object pre-serialized for the TCP path to splice
+/// verbatim into a response line without re-rendering distances.
+#[derive(Clone, Debug)]
+pub struct CachedResult {
+    /// Structured `data` payload, `cache` field already `"hit"`.
+    pub data: Json,
+    /// `data.to_string()` of that payload, rendered exactly once.
+    pub rendered: Arc<str>,
+}
+
+/// Per-handle cap on memoized answers. A 10k-node graph has at most
+/// `n · (n + 1)` distinct untargeted+targeted SSSP queries, so the cap
+/// only bites adversarial key churn; when it does we stop inserting
+/// (the networks still answer everything) rather than evicting.
+const RESULT_CACHE_CAP: usize = 65_536;
+
 /// A graph registered with the server, plus the compiled networks built
 /// from it. Scoping the cache to the handle ties every compiled network's
 /// lifetime to the exact graph instance it answers for (see the module
@@ -92,6 +157,15 @@ pub struct GraphHandle {
     pub fingerprint: u64,
     /// Compiled networks built from `graph`, by construction/params.
     nets: Mutex<HashMap<Algo, Arc<CompiledNet>>>,
+    /// Memoized query answers (see [`ResultKey`]); sound because the
+    /// graph behind a handle is immutable — replacement makes a new
+    /// handle, and the memo dies with this one.
+    results: Mutex<HashMap<ResultKey, CachedResult>>,
+    /// Rendered bytes held by `results` (the `server_stats` gauge).
+    result_bytes: AtomicU64,
+    /// Memoized `graph_stats` answer (eccentricity etc. are O(n + m)
+    /// per call but constant per handle).
+    stats: Mutex<Option<Json>>,
 }
 
 impl GraphHandle {
@@ -103,6 +177,9 @@ impl GraphHandle {
             fingerprint: fingerprint(&graph),
             graph,
             nets: Mutex::new(HashMap::new()),
+            results: Mutex::new(HashMap::new()),
+            result_bytes: AtomicU64::new(0),
+            stats: Mutex::new(None),
         }
     }
 
@@ -113,6 +190,90 @@ impl GraphHandle {
     #[must_use]
     pub fn resident_nets(&self) -> usize {
         self.nets.lock().expect("handle cache lock").len()
+    }
+
+    /// Heap bytes held by this handle's compiled networks.
+    ///
+    /// # Panics
+    /// Panics if the handle's cache lock is poisoned.
+    #[must_use]
+    pub fn resident_net_bytes(&self) -> usize {
+        self.nets
+            .lock()
+            .expect("handle cache lock")
+            .values()
+            .map(|n| n.memory_bytes())
+            .sum()
+    }
+
+    /// The memoized answer for `key`, if one is stored.
+    ///
+    /// # Panics
+    /// Panics if the handle's result lock is poisoned.
+    #[must_use]
+    pub fn cached_result(&self, key: &ResultKey) -> Option<CachedResult> {
+        self.results
+            .lock()
+            .expect("handle result lock")
+            .get(key)
+            .cloned()
+    }
+
+    /// The rendered bytes of a memoized answer, without cloning the
+    /// structured tree — the TCP hot path splices these verbatim, so a
+    /// hit must cost an `Arc` bump, not a deep copy of a distances
+    /// array.
+    ///
+    /// # Panics
+    /// Panics if the handle's result lock is poisoned.
+    #[must_use]
+    pub fn cached_rendered(&self, key: &ResultKey) -> Option<Arc<str>> {
+        self.results
+            .lock()
+            .expect("handle result lock")
+            .get(key)
+            .map(|r| Arc::clone(&r.rendered))
+    }
+
+    /// Memoizes an answer. Past [`RESULT_CACHE_CAP`] entries the store is
+    /// a no-op — correctness never depends on an insert landing.
+    ///
+    /// # Panics
+    /// Panics if the handle's result lock is poisoned.
+    pub fn store_result(&self, key: ResultKey, result: CachedResult) {
+        let mut map = self.results.lock().expect("handle result lock");
+        if map.len() >= RESULT_CACHE_CAP {
+            return;
+        }
+        let bytes = result.rendered.len() as u64;
+        if map.insert(key, result).is_none() {
+            self.result_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of memoized answers resident on this handle.
+    ///
+    /// # Panics
+    /// Panics if the handle's result lock is poisoned.
+    #[must_use]
+    pub fn resident_results(&self) -> usize {
+        self.results.lock().expect("handle result lock").len()
+    }
+
+    /// Rendered bytes held by the memoized answers.
+    #[must_use]
+    pub fn resident_result_bytes(&self) -> u64 {
+        self.result_bytes.load(Ordering::Relaxed)
+    }
+
+    /// The memoized `graph_stats` payload, computing it via `f` on the
+    /// first call.
+    ///
+    /// # Panics
+    /// Panics if the handle's stats lock is poisoned.
+    pub fn stats_or_compute(&self, f: impl FnOnce() -> Json) -> Json {
+        let mut memo = self.stats.lock().expect("handle stats lock");
+        memo.get_or_insert_with(f).clone()
     }
 }
 
@@ -181,6 +342,27 @@ impl GraphRegistry {
             .values()
             .map(|h| h.resident_nets())
             .sum()
+    }
+
+    /// `(net entries, net bytes, result entries, result bytes)` resident
+    /// across registered handles — one pass for a shard's stats snapshot.
+    ///
+    /// # Panics
+    /// Panics if the registry lock is poisoned.
+    #[must_use]
+    pub fn resident_footprint(&self) -> (usize, usize, usize, u64) {
+        let graphs = self.graphs.lock().expect("registry lock");
+        let mut nets = 0;
+        let mut net_bytes = 0;
+        let mut results = 0;
+        let mut result_bytes = 0;
+        for h in graphs.values() {
+            nets += h.resident_nets();
+            net_bytes += h.resident_net_bytes();
+            results += h.resident_results();
+            result_bytes += h.resident_result_bytes();
+        }
+        (nets, net_bytes, results, result_bytes)
     }
 }
 
@@ -455,6 +637,14 @@ impl NetCache {
         )
     }
 
+    /// Counts a memoized-result hit. A memo hit short-circuits before
+    /// the network is even looked up, but it *is* a cache hit from the
+    /// operator's view — the hit ratio must reflect work avoided, not
+    /// which of the two layers (network, result) avoided it.
+    pub fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// (hits, misses) so far. Bypass compiles count as misses.
     #[must_use]
     pub fn counters(&self) -> (u64, u64) {
@@ -605,6 +795,63 @@ mod tests {
         assert_eq!(reg.resident_entries(), 0);
         drop(old);
         assert_eq!(reg.resident_entries(), 0);
+    }
+
+    #[test]
+    fn name_hash_routes_by_name_alone() {
+        assert_eq!(name_hash("stress"), name_hash("stress"));
+        assert_ne!(name_hash("stress"), name_hash("stress2"));
+        assert_ne!(name_hash(""), name_hash("a"));
+    }
+
+    #[test]
+    fn result_memo_round_trips_and_counts_bytes() {
+        let handle = GraphHandle::new("g", ref_graph(110));
+        let key = ResultKey::Sssp {
+            source: 3,
+            target: None,
+        };
+        assert!(handle.cached_result(&key).is_none());
+        let rendered: Arc<str> = Arc::from(r#"{"cache":"hit","source":3}"#);
+        handle.store_result(
+            key,
+            CachedResult {
+                data: Json::obj(vec![("source", Json::UInt(3))]),
+                rendered: Arc::clone(&rendered),
+            },
+        );
+        let got = handle.cached_result(&key).expect("memoized");
+        assert_eq!(&*got.rendered, &*rendered);
+        assert_eq!(got.data.get("source").and_then(Json::as_u64), Some(3));
+        assert_eq!(handle.resident_results(), 1);
+        assert_eq!(handle.resident_result_bytes(), rendered.len() as u64);
+        // Distinct params are distinct keys.
+        assert!(handle
+            .cached_result(&ResultKey::Sssp {
+                source: 3,
+                target: Some(5),
+            })
+            .is_none());
+        assert!(handle
+            .cached_result(&ResultKey::Khop { source: 3, k: 2 })
+            .is_none());
+    }
+
+    #[test]
+    fn graph_stats_memo_computes_once() {
+        let handle = GraphHandle::new("g", ref_graph(111));
+        let mut calls = 0;
+        let first = handle.stats_or_compute(|| {
+            calls += 1;
+            Json::UInt(41)
+        });
+        let second = handle.stats_or_compute(|| {
+            calls += 1;
+            Json::UInt(42)
+        });
+        assert_eq!(first, Json::UInt(41));
+        assert_eq!(second, Json::UInt(41), "memo wins");
+        assert_eq!(calls, 1);
     }
 
     #[test]

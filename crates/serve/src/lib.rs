@@ -14,31 +14,52 @@
 //!   entries live on their [`cache::GraphHandle`], keyed by
 //!   `(algorithm, params)`, so a network can only ever answer for the
 //!   exact graph it was compiled from.
-//! * [`admission`] — bounded queue, load shedding, deadlines, and the
-//!   `Running → Draining → Stopped` lifecycle.
-//! * [`stats`] — cql-stress-style sharded statistics: per-worker
-//!   [`sgl_observe::LogHistogram`] shards, combined on read.
-//! * [`session`] — the server core and in-process client ([`Session`]):
-//!   the full service without sockets, for tests and embedding.
+//! * [`admission`] — per-shard bounded queues, load shedding, deadlines,
+//!   and the `Running → Draining → Stopped` lifecycle.
+//! * [`reactor`] — readiness-based I/O: a minimal `poll(2)` wrapper
+//!   with a self-pipe [`reactor::Waker`] (std-only FFI shim on Linux, a
+//!   portable fallback elsewhere) plus the `RLIMIT_NOFILE` preflight.
+//! * [`ring`] — the SPSC handoff ring the accept loop uses to pass
+//!   accepted sockets to shards.
+//! * [`shard`] — the shard event loop: each of N shards single-threadedly
+//!   owns its connection set, registry partition, compiled-net cache,
+//!   and run queue; graphs route to shards by FNV name hash, so a
+//!   graph's networks live on exactly one shard with no cross-shard
+//!   locking on the query path.
+//! * [`stats`] — cql-stress-style sharded statistics: per-shard
+//!   [`sgl_observe::LogHistogram`] shards, combined on read, plus the
+//!   per-shard balance gauges `server_stats` reports.
+//! * [`session`] — the server core (shard spawning, routing, cross-shard
+//!   stats/drain composition) and in-process client ([`Session`]): the
+//!   full service without sockets, for tests and embedding.
 //! * [`trace`] — `sgl-trace`: request-scoped span capture across the
 //!   pipeline (`accept → parse → admit → queue_wait → cache_lookup →
 //!   compile → engine_run → serialize → write`), with sampling,
 //!   slow-request retention, and Chrome trace-event export via the
 //!   `trace_dump` op.
-//! * [`tcp`] — `std::net` JSON-lines transport and [`tcp::LoopbackServer`].
+//! * [`tcp`] — the reactor-driven accept loop (idle server: zero
+//!   syscalls) and [`tcp::LoopbackServer`].
 //! * [`stress`] — the load harness behind the `sgl-stress` binary:
-//!   closed- and open-loop generators, live interval reporting, and the
-//!   cold/warm cache measurement committed as `BENCH_serve.json`.
+//!   closed- and open-loop generators, a thread-per-connection driver
+//!   and a single-threaded reactor driver multiplexing thousands of
+//!   pipelined connections, live interval reporting, and the cold/warm
+//!   and connection-scaling measurements committed as
+//!   `BENCH_serve.json`.
 //!
 //! Binaries: `sgl-serve` (the daemon) and `sgl-stress` (the harness).
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the reactor's poll(2) FFI shim carries the one
+// module-scoped `#[allow(unsafe_code)]` in the crate.
+#![deny(unsafe_code)]
 
 pub mod admission;
 pub mod cache;
 pub mod protocol;
+pub mod reactor;
+pub mod ring;
 pub mod session;
+pub mod shard;
 pub mod stats;
 pub mod stress;
 pub mod tcp;

@@ -171,6 +171,22 @@ impl Request {
             Self::Shutdown => OpKind::Shutdown,
         }
     }
+
+    /// The registry name this request is about, if it concerns one graph —
+    /// the shard-routing key: every op that touches a graph executes (or
+    /// registers) on the shard that owns that name, so a graph's compiled
+    /// networks live on exactly one shard.
+    #[must_use]
+    pub fn graph_name(&self) -> Option<&str> {
+        match self {
+            Self::LoadGraph { name, .. } => Some(name),
+            Self::Sssp { graph, .. }
+            | Self::Khop { graph, .. }
+            | Self::ApspRow { graph, .. }
+            | Self::GraphStats { graph } => Some(graph),
+            Self::ServerStats | Self::TraceDump { .. } | Self::Shutdown => None,
+        }
+    }
 }
 
 /// A request plus its wire envelope (client correlation id, deadline).

@@ -1,0 +1,636 @@
+//! Readiness-based I/O for the shard event loops: a minimal `poll(2)`
+//! wrapper with a self-pipe wakeup, plus the `RLIMIT_NOFILE` helpers the
+//! high-concurrency harness needs for its fd preflight.
+//!
+//! The workspace is offline and `libc`-free, so on Linux the four
+//! syscalls this module needs (`poll`, `pipe`, `fcntl`, `get/setrlimit`)
+//! are declared directly in a small FFI shim — the only `unsafe` code in
+//! the crate, confined to this module. Everywhere else a portable
+//! fallback applies: sockets are still driven non-blocking
+//! (`TcpStream::set_nonblocking`), but [`Poller::wait`] degrades to a
+//! short condvar-timed sleep that reports every registered source as
+//! possibly-ready, and the [`Waker`] interrupts the sleep instead of
+//! writing to a pipe. Spurious readiness is part of the contract either
+//! way (`poll(2)` itself permits it): callers must treat "readable" as
+//! "try a non-blocking read", never as a guarantee.
+//!
+//! Why `poll(2)` and not `epoll`: the per-shard connection sets are
+//! rebuilt-rarely, iterated-wholesale, and the shim stays at one
+//! syscall + one `#[repr(C)]` struct. At 10k+ connections per *shard*
+//! the O(fds) scan would start to matter; connections are spread across
+//! shards precisely so it does not.
+
+#![allow(unsafe_code)] // the FFI shim below; nothing else in the crate.
+
+/// A raw file descriptor, aliased so non-unix builds still typecheck
+/// (the fallback poller never dereferences it).
+#[cfg(unix)]
+pub type RawFd = std::os::unix::io::RawFd;
+/// A raw file descriptor (non-unix stand-in).
+#[cfg(not(unix))]
+pub type RawFd = i32;
+
+/// The raw fd of a TCP stream (fallback: a dummy the poller ignores).
+#[must_use]
+pub fn stream_fd(stream: &std::net::TcpStream) -> RawFd {
+    #[cfg(unix)]
+    {
+        std::os::unix::io::AsRawFd::as_raw_fd(stream)
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = stream;
+        -1
+    }
+}
+
+/// The raw fd of a TCP listener (fallback: a dummy the poller ignores).
+#[must_use]
+pub fn listener_fd(listener: &std::net::TcpListener) -> RawFd {
+    #[cfg(unix)]
+    {
+        std::os::unix::io::AsRawFd::as_raw_fd(listener)
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = listener;
+        -1
+    }
+}
+
+/// What a registered source wants to be woken for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Interest {
+    /// Readability only (the steady state of an idle connection).
+    Read,
+    /// Readability and writability (a partially-flushed response).
+    ReadWrite,
+}
+
+impl Interest {
+    fn wants_write(self) -> bool {
+        matches!(self, Self::ReadWrite)
+    }
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the source was registered under.
+    pub token: usize,
+    /// The source may be readable (or at EOF — read to find out).
+    pub readable: bool,
+    /// The source may accept writes.
+    pub writable: bool,
+    /// The peer hung up or the fd errored; the source should be closed
+    /// after draining whatever still reads.
+    pub closed: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Registration {
+    fd: RawFd,
+    token: usize,
+    interest: Interest,
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! The Linux FFI shim: `poll(2)`, a non-blocking self-pipe, and the
+    //! rlimit pair. Constants are the x86-64/aarch64 Linux values.
+
+    use std::os::raw::{c_int, c_short, c_ulong, c_void};
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+    pub const POLLNVAL: c_short = 0x020;
+    const F_GETFL: c_int = 3;
+    const F_SETFL: c_int = 4;
+    const O_NONBLOCK: c_int = 0o4000;
+    pub const RLIMIT_NOFILE: c_int = 7;
+
+    #[repr(C)]
+    #[derive(Clone, Copy, Debug)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    #[repr(C)]
+    pub struct RLimit {
+        pub cur: c_ulong,
+        pub max: c_ulong,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+        fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+        fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+    }
+
+    /// `poll(2)` over `fds`; retries on `EINTR`. Returns the number of
+    /// fds with events.
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: c_int) -> std::io::Result<usize> {
+        loop {
+            // SAFETY: `fds` is a valid mutable slice of `#[repr(C)]`
+            // pollfd-layout structs; the kernel writes only `revents`.
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = std::io::Error::last_os_error();
+            if err.kind() != std::io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+
+    /// A pipe with both ends non-blocking: `(read_fd, write_fd)`.
+    pub fn nonblocking_pipe() -> std::io::Result<(c_int, c_int)> {
+        let mut fds = [0 as c_int; 2];
+        // SAFETY: `fds` is a valid 2-element c_int array.
+        if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        for fd in fds {
+            // SAFETY: plain fcntl flag manipulation on fds we just made.
+            let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+            if flags < 0 || unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } != 0 {
+                let err = std::io::Error::last_os_error();
+                close_fd(fds[0]);
+                close_fd(fds[1]);
+                return Err(err);
+            }
+        }
+        Ok((fds[0], fds[1]))
+    }
+
+    /// Writes one byte (a wakeup token); a full pipe is success — the
+    /// reader is already pending a wakeup.
+    pub fn write_byte(fd: c_int) {
+        let byte = [1u8];
+        // SAFETY: valid 1-byte buffer; EAGAIN/EPIPE are ignored by design.
+        let _ = unsafe { write(fd, byte.as_ptr().cast(), 1) };
+    }
+
+    /// Drains every pending wakeup byte.
+    pub fn drain_pipe(fd: c_int) {
+        let mut buf = [0u8; 64];
+        loop {
+            // SAFETY: valid buffer; the fd is the non-blocking pipe read
+            // end, so this returns -1/EAGAIN when empty.
+            let n = unsafe { read(fd, buf.as_mut_ptr().cast(), buf.len()) };
+            if n <= 0 || (n as usize) < buf.len() {
+                return;
+            }
+        }
+    }
+
+    /// Closes an fd, ignoring errors (used on teardown paths only).
+    pub fn close_fd(fd: c_int) {
+        // SAFETY: closing an owned fd; double-close is prevented by the
+        // owning types' Drop running once.
+        let _ = unsafe { close(fd) };
+    }
+
+    /// The `RLIMIT_NOFILE` soft and hard limits.
+    pub fn nofile_limits() -> std::io::Result<(u64, u64)> {
+        let mut lim = RLimit { cur: 0, max: 0 };
+        // SAFETY: valid pointer to an RLimit the kernel fills in.
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok((lim.cur, lim.max))
+    }
+
+    /// Raises the `RLIMIT_NOFILE` soft limit to `want` (≤ hard limit).
+    pub fn raise_nofile(want: u64, hard: u64) -> std::io::Result<()> {
+        let lim = RLimit {
+            cur: want as c_ulong,
+            max: hard as c_ulong,
+        };
+        // SAFETY: valid pointer to a fully-initialized RLimit.
+        if unsafe { setrlimit(RLIMIT_NOFILE, &lim) } != 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(())
+    }
+}
+
+/// The soft and hard `RLIMIT_NOFILE` limits, when the platform exposes
+/// them (`None` on the portable fallback — no preflight possible).
+#[must_use]
+pub fn fd_limits() -> Option<(u64, u64)> {
+    #[cfg(target_os = "linux")]
+    {
+        sys::nofile_limits().ok()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Ensures at least `need` file descriptors are available, raising the
+/// soft `RLIMIT_NOFILE` toward the hard limit when necessary.
+///
+/// # Errors
+/// A human-readable message when the hard limit itself is too low (the
+/// caller should surface it and exit) or the raise syscall fails.
+pub fn ensure_fd_limit(need: u64) -> Result<(), String> {
+    let Some((soft, hard)) = fd_limits() else {
+        return Ok(()); // Fallback platform: nothing to check.
+    };
+    if soft >= need {
+        return Ok(());
+    }
+    if hard < need {
+        return Err(format!(
+            "need {need} file descriptors but the hard RLIMIT_NOFILE is {hard} \
+             (soft {soft}); raise it (e.g. `ulimit -Hn`) or lower --connections"
+        ));
+    }
+    #[cfg(target_os = "linux")]
+    {
+        sys::raise_nofile(need, hard)
+            .map_err(|e| format!("raising RLIMIT_NOFILE {soft} -> {need} failed: {e}"))
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    //! Linux poller: one `poll(2)` call per wait over the registered set
+    //! plus the self-pipe read end in slot 0.
+
+    use super::{sys, Event, Registration};
+    use std::io;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[derive(Debug)]
+    struct PipeOwner(i32);
+
+    impl Drop for PipeOwner {
+        fn drop(&mut self) {
+            sys::close_fd(self.0);
+        }
+    }
+
+    /// Wakes a [`Poller`] blocked in `wait` from any thread.
+    #[derive(Clone, Debug)]
+    pub struct Waker {
+        write_end: Arc<PipeOwner>,
+    }
+
+    impl Waker {
+        /// Interrupts the poller (one byte down the self-pipe).
+        pub fn wake(&self) {
+            sys::write_byte(self.write_end.0);
+        }
+    }
+
+    /// A registered set of fds and the `poll(2)` loop over them.
+    #[derive(Debug)]
+    pub struct Poller {
+        read_end: PipeOwner,
+        registrations: Vec<Registration>,
+        pollfds: Vec<sys::PollFd>,
+        dirty: bool,
+    }
+
+    impl Poller {
+        /// A poller and the waker that can interrupt it.
+        ///
+        /// # Errors
+        /// When the self-pipe cannot be created.
+        pub fn new() -> io::Result<(Self, Waker)> {
+            let (r, w) = sys::nonblocking_pipe()?;
+            Ok((
+                Self {
+                    read_end: PipeOwner(r),
+                    registrations: Vec::new(),
+                    pollfds: Vec::new(),
+                    dirty: true,
+                },
+                Waker {
+                    write_end: Arc::new(PipeOwner(w)),
+                },
+            ))
+        }
+
+        pub(super) fn set(&mut self, reg: Registration) {
+            match self.registrations.iter_mut().find(|r| r.token == reg.token) {
+                Some(r) => *r = reg,
+                None => self.registrations.push(reg),
+            }
+            self.dirty = true;
+        }
+
+        pub(super) fn remove(&mut self, token: usize) {
+            self.registrations.retain(|r| r.token != token);
+            self.dirty = true;
+        }
+
+        /// Blocks until a registered source is ready, the waker fires,
+        /// or `timeout` elapses; appends events to `events`.
+        ///
+        /// # Errors
+        /// When `poll(2)` itself fails (never for `EINTR`, which retries).
+        pub fn wait(
+            &mut self,
+            timeout: Option<Duration>,
+            events: &mut Vec<Event>,
+        ) -> io::Result<()> {
+            if self.dirty {
+                self.pollfds.clear();
+                self.pollfds.push(sys::PollFd {
+                    fd: self.read_end.0,
+                    events: sys::POLLIN,
+                    revents: 0,
+                });
+                for r in &self.registrations {
+                    let mut ev = sys::POLLIN;
+                    if r.interest.wants_write() {
+                        ev |= sys::POLLOUT;
+                    }
+                    self.pollfds.push(sys::PollFd {
+                        fd: r.fd,
+                        events: ev,
+                        revents: 0,
+                    });
+                }
+                self.dirty = false;
+            } else {
+                for p in &mut self.pollfds {
+                    p.revents = 0;
+                }
+            }
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                Some(d) => i32::try_from(d.as_millis().min(i32::MAX as u128)).unwrap_or(i32::MAX),
+            };
+            let n = sys::poll_fds(&mut self.pollfds, timeout_ms)?;
+            if n == 0 {
+                return Ok(());
+            }
+            if self.pollfds[0].revents != 0 {
+                sys::drain_pipe(self.read_end.0);
+            }
+            for (p, r) in self.pollfds[1..].iter().zip(&self.registrations) {
+                if p.revents == 0 {
+                    continue;
+                }
+                events.push(Event {
+                    token: r.token,
+                    readable: p.revents & (sys::POLLIN | sys::POLLHUP) != 0,
+                    writable: p.revents & sys::POLLOUT != 0,
+                    closed: p.revents & (sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    //! Portable fallback: no readiness syscall, so `wait` is a short
+    //! condvar-timed sleep (interruptible by the waker) after which every
+    //! registered source is reported possibly-ready. Callers drive their
+    //! sockets non-blocking, so a spurious "readable" costs one
+    //! `WouldBlock` read — correct, just not zero-CPU-idle.
+
+    use super::{Event, Interest, Registration};
+    use std::io;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Duration;
+
+    const FALLBACK_TICK: Duration = Duration::from_millis(2);
+
+    #[derive(Debug, Default)]
+    struct Signal {
+        pending: Mutex<bool>,
+        cond: Condvar,
+    }
+
+    /// Wakes a [`Poller`] blocked in `wait` from any thread.
+    #[derive(Clone, Debug)]
+    pub struct Waker {
+        signal: Arc<Signal>,
+    }
+
+    impl Waker {
+        /// Interrupts the poller.
+        pub fn wake(&self) {
+            *self.signal.pending.lock().expect("waker lock") = true;
+            self.signal.cond.notify_all();
+        }
+    }
+
+    /// The fallback registered set.
+    #[derive(Debug)]
+    pub struct Poller {
+        signal: Arc<Signal>,
+        registrations: Vec<Registration>,
+    }
+
+    impl Poller {
+        /// A poller and the waker that can interrupt it.
+        ///
+        /// # Errors
+        /// Never fails on the fallback.
+        pub fn new() -> io::Result<(Self, Waker)> {
+            let signal = Arc::new(Signal::default());
+            Ok((
+                Self {
+                    signal: Arc::clone(&signal),
+                    registrations: Vec::new(),
+                },
+                Waker { signal },
+            ))
+        }
+
+        pub(super) fn set(&mut self, reg: Registration) {
+            match self.registrations.iter_mut().find(|r| r.token == reg.token) {
+                Some(r) => *r = reg,
+                None => self.registrations.push(reg),
+            }
+        }
+
+        pub(super) fn remove(&mut self, token: usize) {
+            self.registrations.retain(|r| r.token != token);
+        }
+
+        /// Sleeps briefly (or until woken), then reports every
+        /// registered source as possibly-ready.
+        ///
+        /// # Errors
+        /// Never fails on the fallback.
+        pub fn wait(
+            &mut self,
+            timeout: Option<Duration>,
+            events: &mut Vec<Event>,
+        ) -> io::Result<()> {
+            let nap = timeout.unwrap_or(FALLBACK_TICK).min(FALLBACK_TICK);
+            {
+                let mut pending = self.signal.pending.lock().expect("waker lock");
+                if !*pending && !nap.is_zero() {
+                    let (guard, _) = self
+                        .signal
+                        .cond
+                        .wait_timeout(pending, nap)
+                        .expect("waker lock");
+                    pending = guard;
+                }
+                *pending = false;
+            }
+            for r in &self.registrations {
+                events.push(Event {
+                    token: r.token,
+                    readable: true,
+                    writable: r.interest.wants_write(),
+                    closed: false,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+pub use imp::{Poller, Waker};
+
+impl Poller {
+    /// Registers (or updates) a source under `token`.
+    pub fn register(&mut self, fd: RawFd, token: usize, interest: Interest) {
+        self.set(Registration {
+            fd,
+            token,
+            interest,
+        });
+    }
+
+    /// Removes the source registered under `token`, if any.
+    pub fn deregister(&mut self, token: usize) {
+        self.remove(token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn waker_interrupts_a_blocking_wait() {
+        let (mut poller, waker) = Poller::new().unwrap();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.wake();
+        });
+        let start = Instant::now();
+        let mut events = Vec::new();
+        poller
+            .wait(Some(Duration::from_secs(10)), &mut events)
+            .unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "wake must interrupt the wait long before the timeout"
+        );
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn timeout_bounds_an_unwoken_wait() {
+        let (mut poller, _waker) = Poller::new().unwrap();
+        let start = Instant::now();
+        let mut events = Vec::new();
+        poller
+            .wait(Some(Duration::from_millis(20)), &mut events)
+            .unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn readable_socket_reports_an_event() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let (mut poller, _waker) = Poller::new().unwrap();
+        poller.register(stream_fd(&server), 7, Interest::Read);
+        client.write_all(b"ping").unwrap();
+        client.flush().unwrap();
+
+        let mut events = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut got = None;
+        while Instant::now() < deadline {
+            events.clear();
+            poller
+                .wait(Some(Duration::from_millis(100)), &mut events)
+                .unwrap();
+            if let Some(ev) = events.iter().find(|e| e.token == 7 && e.readable) {
+                got = Some(*ev);
+                break;
+            }
+        }
+        let ev = got.expect("socket with pending bytes must report readable");
+        assert_eq!(ev.token, 7);
+        let mut buf = [0u8; 8];
+        let mut server = server;
+        let n = server.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+    }
+
+    #[test]
+    fn deregistered_sources_stop_reporting() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let (mut poller, _waker) = Poller::new().unwrap();
+        poller.register(stream_fd(&server), 3, Interest::ReadWrite);
+        poller.deregister(3);
+        client.write_all(b"x").unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        let mut events = Vec::new();
+        poller
+            .wait(Some(Duration::from_millis(20)), &mut events)
+            .unwrap();
+        assert!(
+            events.iter().all(|e| e.token != 3),
+            "deregistered token must not appear: {events:?}"
+        );
+    }
+
+    #[test]
+    fn fd_limit_preflight_is_satisfiable_for_small_needs() {
+        // 64 fds is below any sane default soft limit; the preflight must
+        // succeed without raising anything.
+        ensure_fd_limit(64).expect("64 fds must always be available");
+        // An absurd requirement gives a clear error on platforms that
+        // expose limits (and Ok on the fallback).
+        if let Some((_, hard)) = fd_limits() {
+            let msg = ensure_fd_limit(hard + 1).expect_err("past the hard limit");
+            assert!(msg.contains("RLIMIT_NOFILE"), "{msg}");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! SPSC handoff rings: the acceptor → shard channel for new connections.
+//!
+//! One producer (the accept loop) and one consumer (a shard event loop)
+//! share a fixed ring of slots. Head and tail are atomics, so the
+//! steady-state hot path is wait-free coordination plus one uncontended
+//! per-slot lock (`unsafe` is reserved for the reactor's FFI shim, so
+//! the slot itself is a `Mutex<Option<T>>` rather than an
+//! `UnsafeCell` — the lock is only ever taken by the one producer or the
+//! one consumer, and never blocks). A full ring fails the push back to
+//! the producer, which round-robins the connection to the next shard —
+//! handoff pressure load-balances instead of queueing unboundedly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A bounded single-producer single-consumer handoff ring.
+#[derive(Debug)]
+pub struct HandoffRing<T> {
+    slots: Vec<Mutex<Option<T>>>,
+    /// Next slot the producer writes (monotone; slot = index % capacity).
+    tail: AtomicUsize,
+    /// Next slot the consumer reads (monotone).
+    head: AtomicUsize,
+}
+
+impl<T> HandoffRing<T> {
+    /// A ring holding at most `capacity` in-flight items.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Self {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            tail: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    /// Producer side: hands `item` to the consumer, or returns it when
+    /// the ring is full.
+    ///
+    /// # Errors
+    /// The item itself, when the consumer is `capacity` items behind.
+    ///
+    /// # Panics
+    /// Panics if a slot lock is poisoned.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) >= self.slots.len() {
+            return Err(item);
+        }
+        *self.slots[tail % self.slots.len()]
+            .lock()
+            .expect("ring slot") = Some(item);
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Consumer side: the next handed-off item, if any.
+    ///
+    /// # Panics
+    /// Panics if a slot lock is poisoned.
+    pub fn pop(&self) -> Option<T> {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let item = self.slots[head % self.slots.len()]
+            .lock()
+            .expect("ring slot")
+            .take();
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        item
+    }
+
+    /// Items currently in flight.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.head.load(Ordering::Acquire))
+    }
+
+    /// Whether the ring is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_round_trips_in_order() {
+        let ring = HandoffRing::new(4);
+        for i in 0..4 {
+            ring.push(i).unwrap();
+        }
+        assert_eq!(ring.push(99), Err(99), "full ring hands the item back");
+        for i in 0..4 {
+            assert_eq!(ring.pop(), Some(i));
+        }
+        assert_eq!(ring.pop(), None);
+        // Wrap-around reuses slots.
+        for round in 0..10 {
+            ring.push(round).unwrap();
+            assert_eq!(ring.pop(), Some(round));
+        }
+    }
+
+    #[test]
+    fn spsc_threads_transfer_every_item() {
+        let ring = Arc::new(HandoffRing::new(8));
+        let producer_ring = Arc::clone(&ring);
+        const N: usize = 10_000;
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut item = i;
+                loop {
+                    match producer_ring.push(item) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            item = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut got = Vec::with_capacity(N);
+        while got.len() < N {
+            match ring.pop() {
+                Some(v) => got.push(v),
+                None => std::thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..N).collect::<Vec<_>>(), "in order, none lost");
+        assert!(ring.is_empty());
+    }
+}

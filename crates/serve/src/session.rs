@@ -1,24 +1,38 @@
 //! The server core and its in-process client API.
 //!
-//! [`Session`] owns the whole service: graph registry, compiled-network
-//! cache, admission queue, worker pool, and statistics. The TCP layer
-//! ([`crate::tcp`]) is a thin framing adapter over [`Session::call_line`];
+//! [`Session`] owns the whole service as N **shards** (default: one per
+//! core), each a single-threaded event loop ([`crate::shard`]) owning
+//! its own graph-registry partition, compiled-network and memoized-result
+//! caches (resident on the partition's handles), bounded admission
+//! queue, and non-blocking connection set. Graphs route to shards by
+//! [`crate::cache::name_hash`] of the registry name, so everything
+//! cached for a graph lives on exactly one shard and the hot query path
+//! takes no cross-shard locks. The TCP layer ([`crate::tcp`]) is a thin
+//! reactor-driven accept loop that hands sockets to shards round-robin;
 //! tests and the stress harness's in-process mode talk to [`Session`]
-//! directly, so the entire admission/caching/drain machinery is exercised
-//! without sockets.
+//! directly, so the entire admission/caching/drain machinery is
+//! exercised without sockets.
 //!
 //! Request routing:
 //!
-//! * **Query ops** (`sssp`, `khop`, `apsp_row`) go through the bounded
-//!   admission queue to the worker pool. Each worker owns a
-//!   [`RunScratch`] (the `BatchRunner` recycling pattern), so steady-state
-//!   queries allocate nothing in the simulator.
+//! * **Query ops** (`sssp`, `khop`, `apsp_row`) go through the owning
+//!   shard's bounded admission queue and execute on that shard's thread.
+//!   Each shard owns a [`RunScratch`] (the `BatchRunner` recycling
+//!   pattern), so steady-state queries allocate nothing in the
+//!   simulator. Repeat queries short-circuit in the per-graph **result
+//!   memo**: answers are pure functions of `(graph, algo, params)`, so a
+//!   memo hit skips compile, simulation, readout, *and* (for TCP
+//!   clients) JSON rendering — the pre-rendered bytes are spliced
+//!   verbatim via [`Json::Raw`].
 //! * **Control ops** (`load_graph`, `graph_stats`, `server_stats`,
-//!   `shutdown`) execute inline on the calling thread. `server_stats` and
-//!   `shutdown` **must** bypass the queue: they are exactly the requests
-//!   that have to keep working while the queue is full or draining — an
-//!   operator's view into an overloaded server, and the way out of it.
+//!   `shutdown`) execute inline on the calling thread. `server_stats`
+//!   and `shutdown` **must** bypass the queues: they are exactly the
+//!   requests that have to keep working while the queues are full or
+//!   draining — an operator's view into an overloaded server, and the
+//!   way out of it.
 
+use std::collections::VecDeque;
+use std::net::TcpStream;
 use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -30,29 +44,38 @@ use sgl_observe::trace::Stage;
 use sgl_observe::{parse_json, Json};
 use sgl_snn::engine::RunScratch;
 
-use crate::admission::{AdmissionError, AdmissionQueue, Job, Lifecycle, ResponseSlot};
-use crate::cache::{Algo, CacheOutcome, GraphRegistry, NetCache};
+use crate::admission::{AdmissionError, AdmissionQueue, Job, Lifecycle, ReplyTo, ResponseSlot};
+use crate::cache::{
+    name_hash, Algo, CacheOutcome, CachedResult, GraphRegistry, NetCache, ResultKey,
+};
 use crate::protocol::{
     distances_json, parse_request, CacheMode, Envelope, ErrorKind, OpKind, Request, Response,
 };
-use crate::stats::{latency_json, Counters, ShardedStats};
+use crate::reactor::{Poller, Waker};
+use crate::ring::HandoffRing;
+use crate::shard::{ShardIo, RING_CAPACITY};
+use crate::stats::{latency_json, Counters, ShardGauges, ShardedStats};
 use crate::trace::{TraceConfig, TraceCtx, TraceRunObserver, Tracing};
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Worker threads executing queued queries.
-    pub workers: usize,
-    /// Admission-queue capacity (jobs waiting beyond this are shed).
+    /// Independent event-loop shards. `0` (the default) resolves to one
+    /// shard per core (`available_parallelism`). [`Session::open`]
+    /// stores the resolved count back, so [`Session::config`] always
+    /// reports the real value.
+    pub shards: usize,
+    /// Per-shard admission-queue capacity (jobs waiting beyond this on
+    /// one shard are shed).
     pub queue_capacity: usize,
     /// Deadline applied to requests that don't carry their own
     /// `deadline_ms` (`None`: no default deadline).
     pub default_deadline_ms: Option<u64>,
-    /// Maximum concurrent TCP connection handlers. Connections beyond
-    /// this get a typed `overloaded` response and are closed — the
-    /// admission queue bounds *queued jobs*, this bounds *threads held by
-    /// idle or slow clients* (in-process [`Session`] callers are not
-    /// counted; they bring their own threads).
+    /// Maximum concurrent TCP connections. Connections beyond this get a
+    /// typed `overloaded` response and are closed — the admission queues
+    /// bound *queued jobs*, this bounds *file descriptors held by idle
+    /// or slow clients* (in-process [`Session`] callers are not counted;
+    /// they bring their own threads).
     pub max_connections: usize,
     /// Request tracing (sampling / slow-capture). Disabled by default;
     /// when disabled the request path never touches the tracer.
@@ -62,67 +85,133 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
-            workers: 2,
+            shards: 0,
             queue_capacity: 64,
             default_deadline_ms: None,
-            max_connections: 128,
+            max_connections: 10_240,
             trace: TraceConfig::default(),
         }
     }
 }
 
-/// Shared server state (everything the workers and intake threads touch).
+/// Shared server state (everything the shard and intake threads touch).
 pub(crate) struct ServerInner {
-    pub(crate) registry: GraphRegistry,
+    /// Shard `i` owns `partitions[i]`: the graphs whose names hash there,
+    /// with their compiled networks and memoized results.
+    pub(crate) partitions: Vec<GraphRegistry>,
+    /// Hit/miss counters (entries themselves live on the handles).
     pub(crate) cache: NetCache,
-    pub(crate) queue: AdmissionQueue,
+    /// Shard `i` executes jobs from `queues[i]`; any thread may push.
+    pub(crate) queues: Vec<AdmissionQueue>,
+    /// Each shard's cross-thread surface: waker, reply inbox, conn ring.
+    pub(crate) shard_io: Vec<ShardIo>,
+    /// Per-shard instantaneous gauges for the balance table.
+    pub(crate) gauges: Vec<ShardGauges>,
     pub(crate) stats: ShardedStats,
     pub(crate) counters: Counters,
     pub(crate) config: ServerConfig,
     pub(crate) tracing: Tracing,
+    /// Wakers of accept loops parked in their own pollers, so shutdown
+    /// reaches them too.
+    pub(crate) acceptor_wakers: Mutex<Vec<Waker>>,
     started: Instant,
+}
+
+impl ServerInner {
+    pub(crate) fn nshards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The shard that owns graph `name` — the single routing invariant:
+    /// a pure function of the name, so every thread agrees without
+    /// coordination.
+    pub(crate) fn route(&self, name: &str) -> usize {
+        (name_hash(name) % self.nshards() as u64) as usize
+    }
+
+    /// The registry partition that owns graph `name`.
+    pub(crate) fn partition(&self, name: &str) -> &GraphRegistry {
+        &self.partitions[self.route(name)]
+    }
+
+    /// Interrupts every parked poll wait (shards and accept loops) so
+    /// each re-checks lifecycle. Used by drain: the state change alone
+    /// would not be observed by a thread blocked in `poll`.
+    pub(crate) fn wake_everyone(&self) {
+        for io in &self.shard_io {
+            io.waker.wake();
+        }
+        for w in self.acceptor_wakers.lock().expect("acceptor wakers").iter() {
+            w.wake();
+        }
+    }
 }
 
 /// A running server plus its in-process client handle.
 pub struct Session {
     inner: Arc<ServerInner>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    shards: Mutex<Vec<JoinHandle<()>>>,
 }
 
-fn micros(d: Duration) -> u64 {
+pub(crate) fn micros(d: Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 impl Session {
-    /// Starts a server: spawns the worker pool, ready for [`Self::call`].
+    /// Starts a server: spawns the shard event loops, ready for
+    /// [`Self::call`].
     ///
     /// # Panics
-    /// Panics if `config.workers` is zero or thread spawning fails.
+    /// Panics if poller creation or thread spawning fails.
     #[must_use]
     pub fn open(config: ServerConfig) -> Self {
-        assert!(config.workers > 0, "need at least one worker");
+        let nshards = if config.shards == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            config.shards
+        };
+        let mut resolved = config.clone();
+        resolved.shards = nshards;
+        let mut pollers = Vec::with_capacity(nshards);
+        let mut shard_io = Vec::with_capacity(nshards);
+        for _ in 0..nshards {
+            let (poller, waker) = Poller::new().expect("create shard poller");
+            pollers.push(poller);
+            shard_io.push(ShardIo {
+                waker,
+                inbox: Mutex::new(VecDeque::new()),
+                ring: HandoffRing::new(RING_CAPACITY),
+            });
+        }
         let inner = Arc::new(ServerInner {
-            registry: GraphRegistry::default(),
+            partitions: (0..nshards).map(|_| GraphRegistry::default()).collect(),
             cache: NetCache::new(),
-            queue: AdmissionQueue::new(config.queue_capacity),
-            stats: ShardedStats::new(config.workers),
+            queues: (0..nshards)
+                .map(|_| AdmissionQueue::new(config.queue_capacity))
+                .collect(),
+            shard_io,
+            gauges: (0..nshards).map(|_| ShardGauges::default()).collect(),
+            stats: ShardedStats::new(nshards),
             counters: Counters::default(),
-            tracing: Tracing::new(config.trace.clone(), config.workers),
-            config: config.clone(),
+            tracing: Tracing::new(config.trace.clone(), nshards),
+            config: resolved,
+            acceptor_wakers: Mutex::new(Vec::new()),
             started: Instant::now(),
         });
-        let workers = (0..config.workers)
-            .map(|i| {
+        let shards = pollers
+            .into_iter()
+            .enumerate()
+            .map(|(i, poller)| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
-                    .name(format!("sgl-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&inner, i))
-                    .expect("spawn worker")
+                    .name(format!("sgl-serve-shard-{i}"))
+                    .spawn(move || crate::shard::shard_loop(&inner, i, poller))
+                    .expect("spawn shard")
             })
             .collect();
         Self {
             inner,
-            workers: Mutex::new(workers),
+            shards: Mutex::new(shards),
         }
     }
 
@@ -132,9 +221,10 @@ impl Session {
         Self::open(ServerConfig::default())
     }
 
-    /// Executes one request to completion (queueing query ops, inline for
-    /// control ops) and returns its response. Never panics on bad input;
-    /// every failure is a typed error response.
+    /// Executes one request to completion (queueing query ops on the
+    /// owning shard, inline for control ops) and returns its response.
+    /// Never panics on bad input; every failure is a typed error
+    /// response.
     #[must_use]
     pub fn call(&self, envelope: Envelope) -> Response {
         self.call_traced(envelope, None).0
@@ -161,8 +251,9 @@ impl Session {
     }
 
     /// Full wire round trip: parses one JSON request line, executes it,
-    /// and renders the response line (without trailing newline). The TCP
-    /// handler and any JSONL transport are this function plus framing.
+    /// and renders the response line (without trailing newline). Shard
+    /// connection handlers are this logic plus framing; any JSONL
+    /// transport built on [`Session`] gets byte-identical lines.
     #[must_use]
     pub fn call_line(&self, line: &str) -> String {
         let (out, trace) = self.call_line_traced(line, Instant::now());
@@ -246,53 +337,98 @@ impl Session {
         &self.inner.tracing
     }
 
-    /// Current lifecycle state.
+    /// Current lifecycle state (queues transition together; shard 0
+    /// speaks for all).
     #[must_use]
     pub fn lifecycle(&self) -> Lifecycle {
-        self.inner.queue.lifecycle()
+        self.inner.queues[0].lifecycle()
     }
 
-    /// Drains and stops the server: rejects new work, lets workers finish
-    /// the backlog, joins them. Idempotent; safe to call concurrently
-    /// with in-flight requests (they complete or get typed rejections)
-    /// and with other `shutdown` calls: the worker-list lock is held
-    /// across the join, so a concurrent caller blocks until the workers
-    /// are actually joined, and `Stopped` is only ever reported after the
-    /// backlog has finished. Exactly one caller — the one that drained a
-    /// non-empty handle list — runs the join and the `Stopped` transition.
+    /// Drains and stops the server: rejects new work, lets shards finish
+    /// the backlog (including answers owed to open connections), joins
+    /// them. Idempotent; safe to call concurrently with in-flight
+    /// requests (they complete or get typed rejections) and with other
+    /// `shutdown` calls: the shard-list lock is held across the join and
+    /// the `Stopped` transition, so a concurrent caller blocks until the
+    /// shards are actually joined, and `Stopped` is only ever reported
+    /// after the backlog has finished. Exactly one caller — the one that
+    /// drained a non-empty handle list — runs the join and the `Stopped`
+    /// transition.
     ///
     /// # Panics
-    /// Panics if a worker thread panicked (it never should — all request
+    /// Panics if a shard thread panicked (it never should — all request
     /// failures are typed responses).
     pub fn shutdown(&self) {
-        self.inner.queue.drain();
-        let mut workers = self.workers.lock().expect("worker list");
-        if workers.is_empty() {
+        for q in &self.inner.queues {
+            q.drain();
+        }
+        self.inner.wake_everyone();
+        let mut shards = self.shards.lock().expect("shard list");
+        if shards.is_empty() {
             return; // Another caller joined (or is past joining) them.
         }
-        for h in workers.drain(..) {
-            h.join().expect("worker panicked");
+        for h in shards.drain(..) {
+            h.join().expect("shard panicked");
         }
-        self.inner.queue.mark_stopped();
+        for q in &self.inner.queues {
+            q.mark_stopped();
+        }
     }
 
-    /// Queue depth right now (test/diagnostic hook).
+    /// Total queue depth across shards right now (test/diagnostic hook).
     #[must_use]
     pub fn queue_depth(&self) -> usize {
-        self.inner.queue.depth()
+        self.inner.queues.iter().map(AdmissionQueue::depth).sum()
     }
 
-    /// The server's configuration (the TCP layer reads its connection cap
-    /// from here).
+    /// The server's configuration with `shards` resolved (the TCP layer
+    /// reads its connection cap from here).
     #[must_use]
     pub fn config(&self) -> &ServerConfig {
         &self.inner.config
     }
 
-    /// Shared counters/gauges (the TCP layer maintains the connection
-    /// gauge through this).
+    /// Shared counters/gauges (the TCP layer maintains the global
+    /// connection gauge through this).
     pub(crate) fn counters(&self) -> &Counters {
         &self.inner.counters
+    }
+
+    /// Registers an accept loop's waker so [`ServerInner::wake_everyone`]
+    /// (drain, shutdown) can interrupt its poll wait.
+    pub(crate) fn register_acceptor_waker(&self, waker: Waker) {
+        self.inner
+            .acceptor_wakers
+            .lock()
+            .expect("acceptor wakers")
+            .push(waker);
+    }
+
+    /// Hands an accepted connection to a shard, round-robin from
+    /// `*next_shard`. A shard with a full ring is skipped; if every ring
+    /// is full the accept loop briefly yields and retries (the shards
+    /// are busy adopting — backpressure, not failure). Dropped without a
+    /// response if the server stops running first.
+    pub(crate) fn hand_off(&self, mut stream: TcpStream, next_shard: &mut usize) {
+        loop {
+            if self.lifecycle() != Lifecycle::Running {
+                Counters::gauge_dec(&self.inner.counters.connections);
+                return;
+            }
+            let n = self.inner.nshards();
+            for _ in 0..n {
+                let target = *next_shard;
+                *next_shard = (*next_shard + 1) % n;
+                match self.inner.shard_io[target].ring.push(stream) {
+                    Ok(()) => {
+                        self.inner.shard_io[target].waker.wake();
+                        return;
+                    }
+                    Err(back) => stream = back,
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 
     fn admit(
@@ -301,6 +437,7 @@ impl Session {
         mut trace: Option<Box<TraceCtx>>,
     ) -> (Response, Option<Box<TraceCtx>>) {
         let inner = &self.inner;
+        let target = inner.route(envelope.request.graph_name().unwrap_or(""));
         let admit_start = Instant::now();
         let deadline = envelope
             .deadline_ms
@@ -310,7 +447,7 @@ impl Session {
         let enqueued = Instant::now();
         if let Some(ctx) = trace.as_deref_mut() {
             // The admit span ends exactly where queue_wait begins (the
-            // worker measures its wait from the same `enqueued` instant),
+            // shard measures its wait from the same `enqueued` instant),
             // so the two spans tile without overlap.
             ctx.record(Stage::Admit, ctx.ns_at(admit_start), ctx.ns_at(enqueued));
         }
@@ -318,12 +455,13 @@ impl Session {
             envelope,
             enqueued,
             deadline,
-            slot: Arc::clone(&slot),
+            reply: ReplyTo::Slot(Arc::clone(&slot)),
             trace,
         };
-        match inner.queue.try_push(job) {
+        match inner.queues[target].try_push(job) {
             Ok(()) => {
                 Counters::bump(&inner.counters.admitted);
+                inner.shard_io[target].waker.wake();
                 slot.wait()
             }
             Err(AdmissionError::Full(job)) => {
@@ -333,7 +471,7 @@ impl Session {
                         ErrorKind::Overloaded,
                         format!(
                             "admission queue full ({} waiting); retry later",
-                            inner.queue.capacity()
+                            inner.queues[target].capacity()
                         ),
                     ),
                     job.trace,
@@ -367,54 +505,9 @@ impl Drop for Session {
     }
 }
 
-fn worker_loop(inner: &ServerInner, shard: usize) {
-    let mut scratch = RunScratch::new();
-    while let Some(mut job) = inner.queue.pop() {
-        let popped = Instant::now();
-        let waited = popped.duration_since(job.enqueued);
-        let depth = inner.queue.depth() as u64;
-        inner.stats.with_shard(shard, |s| {
-            s.queue_wait_us.record(micros(waited));
-            s.queue_depth.record(depth);
-        });
-        if let Some(ctx) = job.trace.as_deref_mut() {
-            // Starts exactly where the admit span ended (same instant).
-            ctx.record(Stage::QueueWait, ctx.ns_at(job.enqueued), ctx.ns_at(popped));
-        }
-        let kind = job.envelope.request.kind();
-        if job.deadline.is_some_and(|d| waited > d) {
-            Counters::bump(&inner.counters.deadline_exceeded);
-            inner.stats.with_shard(shard, |s| s.record(kind, 0, false));
-            job.slot.fill(
-                Response::error(
-                    ErrorKind::DeadlineExceeded,
-                    format!("waited {} µs in queue, past the deadline", micros(waited)),
-                ),
-                job.trace,
-            );
-            continue;
-        }
-        Counters::gauge_inc(&inner.counters.in_flight);
-        let t0 = Instant::now();
-        let response = execute_query(
-            inner,
-            &job.envelope.request,
-            &mut scratch,
-            shard,
-            &mut job.trace,
-        );
-        inner.stats.with_shard(shard, |s| {
-            s.record(kind, micros(t0.elapsed()), response.is_ok());
-        });
-        Counters::gauge_dec(&inner.counters.in_flight);
-        // Every admitted job is answered — the drain-safety invariant.
-        job.slot.fill(response, job.trace);
-    }
-}
-
-/// Looks a graph up or produces the typed miss.
+/// Looks a graph up in its owning partition or produces the typed miss.
 fn lookup(inner: &ServerInner, name: &str) -> Result<Arc<crate::cache::GraphHandle>, Response> {
-    inner.registry.get(name).ok_or_else(|| {
+    inner.partition(name).get(name).ok_or_else(|| {
         Response::error(
             ErrorKind::UnknownGraph,
             format!("no graph named {name:?} is loaded"),
@@ -433,15 +526,21 @@ fn check_node(n: usize, node: usize, what: &str) -> Result<(), Response> {
     }
 }
 
-/// Executes a query op on a worker thread. All panicking preconditions of
-/// the compiled constructions are validated here first, so workers never
-/// die: every failure becomes a typed response.
-fn execute_query(
+/// Executes a query op on its owning shard's thread. All panicking
+/// preconditions of the compiled constructions are validated here first,
+/// so shards never die: every failure becomes a typed response.
+///
+/// `prefer_raw`: a memoized answer comes back as [`Json::Raw`]
+/// pre-rendered bytes instead of a structured value — only valid when
+/// the caller serializes the response without inspecting `data` (the
+/// TCP path). In-process callers get the structured clone.
+pub(crate) fn execute_query(
     inner: &ServerInner,
     request: &Request,
     scratch: &mut RunScratch,
     shard: usize,
     trace: &mut Option<Box<TraceCtx>>,
+    prefer_raw: bool,
 ) -> Response {
     let result = match request {
         Request::Sssp {
@@ -460,6 +559,7 @@ fn execute_query(
             scratch,
             shard,
             trace,
+            prefer_raw,
         ),
         Request::ApspRow {
             graph,
@@ -476,6 +576,7 @@ fn execute_query(
             scratch,
             shard,
             trace,
+            prefer_raw,
         ),
         Request::Khop {
             graph,
@@ -493,6 +594,7 @@ fn execute_query(
             scratch,
             shard,
             trace,
+            prefer_raw,
         ),
         other => Err(Response::error(
             ErrorKind::Internal,
@@ -518,6 +620,7 @@ fn run_distance_query(
     scratch: &mut RunScratch,
     shard: usize,
     trace: &mut Option<Box<TraceCtx>>,
+    prefer_raw: bool,
 ) -> Result<Response, Response> {
     let handle = lookup(inner, graph)?;
     let g = &handle.graph;
@@ -544,14 +647,51 @@ fn run_distance_query(
             Algo::Khop(k)
         }
     };
+    // Answers are pure functions of (graph, algo, params): once computed
+    // they memoize on the handle, and a repeat skips compile, simulation,
+    // readout and (for raw-preferring callers) rendering. `Bypass` skips
+    // the memo in both directions — it exists to measure the cold path.
+    let memo_key = match cache {
+        CacheMode::Bypass => None,
+        CacheMode::Default => Some(match (op, k) {
+            (OpKind::ApspRow, _) => ResultKey::ApspRow {
+                source: source as u32,
+            },
+            (_, Some(k)) => ResultKey::Khop {
+                source: source as u32,
+                k,
+            },
+            _ => ResultKey::Sssp {
+                source: source as u32,
+                target: target.map(|t| t as u32),
+            },
+        }),
+    };
     let lookup_start = Instant::now();
+    if let Some(key) = memo_key {
+        // Raw-preferring callers (the TCP path) take only the rendered
+        // bytes — an Arc bump — never a deep clone of the structured
+        // tree they would immediately discard.
+        let hit_data = if prefer_raw {
+            handle.cached_rendered(&key).map(Json::Raw)
+        } else {
+            handle.cached_result(&key).map(|hit| hit.data)
+        };
+        if let Some(data) = hit_data {
+            inner.cache.note_hit();
+            if let Some(ctx) = trace.as_deref_mut() {
+                ctx.record(Stage::CacheLookup, ctx.ns_at(lookup_start), ctx.now_ns());
+            }
+            return Ok(Response::Ok { op, data });
+        }
+    }
     let (net, outcome) = match cache {
         CacheMode::Bypass => inner.cache.compile_bypass(g, algo),
         CacheMode::Default => inner.cache.get_or_compile(&handle, algo),
     };
     let after_cache = Instant::now();
     if outcome != CacheOutcome::Hit {
-        // This worker paid for a compile: histogram its wall time so the
+        // This shard paid for a compile: histogram its wall time so the
         // cold-path cost shows up in server_stats, not just in benches.
         let compile_us = micros(net.compile_time());
         inner
@@ -613,6 +753,17 @@ fn run_distance_query(
         ));
         fields.push(("distances", distances_json(&distances)));
     }
+    if let Some(key) = memo_key {
+        // The memoized copy reports `cache: "hit"` — that is what every
+        // future reader of it will truthfully be — and pre-renders the
+        // JSON so raw-preferring callers splice bytes without touching
+        // the structure again.
+        let mut memo_fields = fields.clone();
+        memo_fields.push(("cache", Json::Str("hit".into())));
+        let data = Json::obj(memo_fields);
+        let rendered: Arc<str> = data.to_string().into();
+        handle.store_result(key, CachedResult { data, rendered });
+    }
     fields.push(("cache", Json::Str(outcome.as_str().into())));
     Ok(Response::Ok {
         op,
@@ -621,16 +772,17 @@ fn run_distance_query(
 }
 
 /// Executes a control op inline on the calling thread.
-fn execute_control(inner: &ServerInner, request: &Request) -> Response {
+pub(crate) fn execute_control(inner: &ServerInner, request: &Request) -> Response {
     match request {
         Request::LoadGraph { name, dimacs } => load_graph(inner, name, dimacs),
         Request::GraphStats { graph } => match lookup(inner, graph) {
             Err(resp) => resp,
             Ok(handle) => {
-                let s = GraphStats::compute(&handle.graph, 0);
-                Response::Ok {
-                    op: OpKind::GraphStats,
-                    data: Json::obj(vec![
+                // Pure function of the immutable graph: computed once per
+                // handle, memoized alongside its other derived artifacts.
+                let data = handle.stats_or_compute(|| {
+                    let s = GraphStats::compute(&handle.graph, 0);
+                    Json::obj(vec![
                         ("name", Json::Str(handle.name.clone())),
                         ("fingerprint", Json::UInt(handle.fingerprint)),
                         ("n", Json::UInt(s.n as u64)),
@@ -643,7 +795,11 @@ fn execute_control(inner: &ServerInner, request: &Request) -> Response {
                             "eccentricity_from_0",
                             s.eccentricity.map_or(Json::Null, Json::UInt),
                         ),
-                    ]),
+                    ])
+                });
+                Response::Ok {
+                    op: OpKind::GraphStats,
+                    data,
                 }
             }
         },
@@ -653,7 +809,10 @@ fn execute_control(inner: &ServerInner, request: &Request) -> Response {
             data: inner.tracing.chrome(*limit),
         },
         Request::Shutdown => {
-            inner.queue.drain();
+            for q in &inner.queues {
+                q.drain();
+            }
+            inner.wake_everyone();
             Response::Ok {
                 op: OpKind::Shutdown,
                 data: Json::obj(vec![("draining", Json::Bool(true))]),
@@ -678,20 +837,23 @@ fn load_graph(inner: &ServerInner, name: &str, dimacs: &str) -> Response {
         );
     }
     // Re-loading a structurally identical graph keeps the existing
-    // handle — and the compiled networks resident on it — warm. The
-    // fingerprint is only a pre-filter; the full structural check is what
-    // prevents an adversarial hash collision from keeping the *wrong*
-    // graph's networks alive. Any other replacement installs a fresh,
-    // cold handle; the old one (and its networks) is freed once in-flight
-    // queries release it.
-    let handle = match inner.registry.get(name) {
+    // handle — and the compiled networks and memoized results resident
+    // on it — warm. The fingerprint is only a pre-filter; the full
+    // structural check is what prevents an adversarial hash collision
+    // from keeping the *wrong* graph's artifacts alive. Any other
+    // replacement installs a fresh, cold handle; the old one (and its
+    // networks) is freed once in-flight queries release it. The
+    // partition is chosen by the same name hash that routes queries, so
+    // the handle lands where its queries will execute.
+    let registry = inner.partition(name);
+    let handle = match registry.get(name) {
         Some(old)
             if old.fingerprint == crate::cache::fingerprint(&graph)
                 && crate::cache::same_structure(&old.graph, &graph) =>
         {
             old
         }
-        _ => inner.registry.insert(name, graph),
+        _ => registry.insert(name, graph),
     };
     Response::Ok {
         op: OpKind::LoadGraph,
@@ -730,11 +892,46 @@ fn server_stats(inner: &ServerInner) -> Response {
             })
             .collect(),
     );
-    let lifecycle = match inner.queue.lifecycle() {
+    let lifecycle = match inner.queues[0].lifecycle() {
         Lifecycle::Running => "running",
         Lifecycle::Draining => "draining",
         Lifecycle::Stopped => "stopped",
     };
+    // The balance table: each shard's gauges plus its partition's cache
+    // footprint, composed here into one snapshot (the only place
+    // per-shard state is read across shards — a read-only stats path).
+    let mut graphs_total = 0u64;
+    let mut net_entries_total = 0u64;
+    let mut net_bytes_total = 0u64;
+    let mut result_entries_total = 0u64;
+    let mut result_bytes_total = 0u64;
+    let per_shard = Json::Arr(
+        (0..inner.nshards())
+            .map(|i| {
+                let (nets, net_bytes, results, result_bytes) =
+                    inner.partitions[i].resident_footprint();
+                let graphs = inner.partitions[i].len() as u64;
+                graphs_total += graphs;
+                net_entries_total += nets as u64;
+                net_bytes_total += net_bytes as u64;
+                result_entries_total += results as u64;
+                result_bytes_total += result_bytes;
+                Json::obj(vec![
+                    ("shard", Json::UInt(i as u64)),
+                    ("connections", counter_json(&inner.gauges[i].connections)),
+                    ("in_flight", counter_json(&inner.gauges[i].in_flight)),
+                    ("queue_depth", Json::UInt(inner.queues[i].depth() as u64)),
+                    ("graphs", Json::UInt(graphs)),
+                    ("net_entries", Json::UInt(nets as u64)),
+                    ("net_bytes", Json::UInt(net_bytes as u64)),
+                    ("result_entries", Json::UInt(results as u64)),
+                    ("result_bytes", Json::UInt(result_bytes)),
+                ])
+            })
+            .collect(),
+    );
+    let depth: usize = inner.queues.iter().map(AdmissionQueue::depth).sum();
+    let drained: u64 = inner.queues.iter().map(AdmissionQueue::drained).sum();
     Response::Ok {
         op: OpKind::ServerStats,
         data: Json::obj(vec![
@@ -743,12 +940,12 @@ fn server_stats(inner: &ServerInner) -> Response {
                 Json::UInt(u64::try_from(inner.started.elapsed().as_millis()).unwrap_or(u64::MAX)),
             ),
             ("lifecycle", Json::Str(lifecycle.into())),
-            ("workers", Json::UInt(inner.config.workers as u64)),
+            ("shards", Json::UInt(inner.nshards() as u64)),
             (
                 "queue",
                 Json::obj(vec![
-                    ("capacity", Json::UInt(inner.queue.capacity() as u64)),
-                    ("depth", Json::UInt(inner.queue.depth() as u64)),
+                    ("capacity", Json::UInt(inner.config.queue_capacity as u64)),
+                    ("depth", Json::UInt(depth as u64)),
                     ("wait", latency_json(&combined.queue_wait_us)),
                     (
                         "depth_at_pop",
@@ -774,17 +971,17 @@ fn server_stats(inner: &ServerInner) -> Response {
                 Json::obj(vec![
                     ("hits", Json::UInt(hits)),
                     ("misses", Json::UInt(misses)),
-                    (
-                        "entries",
-                        Json::UInt(inner.registry.resident_entries() as u64),
-                    ),
+                    ("entries", Json::UInt(net_entries_total)),
+                    ("net_bytes", Json::UInt(net_bytes_total)),
+                    ("result_entries", Json::UInt(result_entries_total)),
+                    ("result_bytes", Json::UInt(result_bytes_total)),
                     ("hit_ratio", Json::Num(hit_ratio)),
                     // Per-compile wall time (misses + bypasses): the
                     // cold-path cost as production sees it.
                     ("compile", latency_json(&combined.compile_us)),
                 ]),
             ),
-            ("graphs", Json::UInt(inner.registry.len() as u64)),
+            ("graphs", Json::UInt(graphs_total)),
             ("admitted", counter_json(&inner.counters.admitted)),
             ("shed", counter_json(&inner.counters.shed)),
             (
@@ -795,11 +992,12 @@ fn server_stats(inner: &ServerInner) -> Response {
                 "deadline_exceeded",
                 counter_json(&inner.counters.deadline_exceeded),
             ),
-            ("drained", Json::UInt(inner.queue.drained())),
-            // Instantaneous gauges: workers mid-query and open TCP
-            // connection handlers, right now.
+            ("drained", Json::UInt(drained)),
+            // Instantaneous gauges: shards mid-query and open TCP
+            // connections, right now.
             ("in_flight", counter_json(&inner.counters.in_flight)),
             ("connections", counter_json(&inner.counters.connections)),
+            ("per_shard", per_shard),
             ("tracing", inner.tracing.stats_json()),
             ("ops", ops),
         ]),
@@ -851,6 +1049,49 @@ mod tests {
         assert_eq!(data.get("cache").and_then(Json::as_str), Some("hit"));
         session.shutdown();
         assert_eq!(session.lifecycle(), Lifecycle::Stopped);
+    }
+
+    #[test]
+    fn repeat_query_is_memoized_and_byte_identical() {
+        let session = Session::open_default();
+        load(&session, "g", 3, 24, 90);
+        let line = r#"{"op":"sssp","graph":"g","source":4,"id":1}"#;
+        let cold = session.call_line(line);
+        let warm = session.call_line(line);
+        let cold_v = parse_json(&cold).unwrap();
+        let warm_v = parse_json(&warm).unwrap();
+        assert_eq!(
+            cold_v
+                .get("data")
+                .and_then(|d| d.get("cache"))
+                .and_then(Json::as_str),
+            Some("miss")
+        );
+        assert_eq!(
+            warm_v
+                .get("data")
+                .and_then(|d| d.get("cache"))
+                .and_then(Json::as_str),
+            Some("hit")
+        );
+        assert_eq!(
+            cold_v.get("data").and_then(|d| d.get("distances")),
+            warm_v.get("data").and_then(|d| d.get("distances")),
+            "memoized distances replay the computed ones"
+        );
+        // A third call replays the same memo entry.
+        assert_eq!(session.call_line(line), warm, "memo replays are stable");
+        // Bypass skips the memo in both directions.
+        let resp = session.call_request(Request::Sssp {
+            graph: "g".into(),
+            source: 4,
+            target: None,
+            cache: CacheMode::Bypass,
+        });
+        let Response::Ok { data, .. } = &resp else {
+            panic!("{resp:?}");
+        };
+        assert_eq!(data.get("cache").and_then(Json::as_str), Some("bypass"));
     }
 
     #[test]
@@ -957,13 +1198,32 @@ mod tests {
         assert!(sssp.get("p50_us").and_then(Json::as_u64).is_some());
         assert_eq!(data.get("admitted").and_then(Json::as_u64), Some(4));
         assert_eq!(data.get("shed").and_then(Json::as_u64), Some(0));
+        // The per-shard balance table covers every shard and accounts
+        // all four memoized answers to the graph's owner shard.
+        let Some(Json::Arr(per_shard)) = data.get("per_shard") else {
+            panic!("per_shard missing: {data:?}");
+        };
+        assert_eq!(
+            per_shard.len() as u64,
+            data.get("shards").and_then(Json::as_u64).unwrap()
+        );
+        let results: u64 = per_shard
+            .iter()
+            .map(|s| s.get("result_entries").and_then(Json::as_u64).unwrap())
+            .sum();
+        assert_eq!(results, 4, "each distinct source memoizes one answer");
+        assert_eq!(
+            cache.get("result_entries").and_then(Json::as_u64),
+            Some(4),
+            "rollup agrees with the per-shard table"
+        );
     }
 
     #[test]
     fn server_stats_histogram_compile_time_per_compile() {
         let session = Session::open_default();
         load(&session, "g", 9, 16, 50);
-        // One miss, one hit, one bypass: exactly two compiles happened.
+        // One miss, one memo hit, one bypass: exactly two compiles.
         for cache in [CacheMode::Default, CacheMode::Default, CacheMode::Bypass] {
             let resp = session.call_request(Request::Sssp {
                 graph: "g".into(),
@@ -998,7 +1258,8 @@ mod tests {
             cache: CacheMode::Default,
         });
         assert!(resp.is_ok(), "{resp:?}");
-        // Same name, different graph: the old compiled network must go.
+        // Same name, different graph: the old compiled network — and the
+        // old memoized answers — must go.
         load(&session, "g", 12, 12, 40);
         let resp = session.call_request(Request::Sssp {
             graph: "g".into(),
@@ -1058,12 +1319,12 @@ mod tests {
     #[test]
     fn concurrent_shutdown_reports_stopped_only_after_the_backlog() {
         let session = Session::open(ServerConfig {
-            workers: 1,
+            shards: 1,
             ..ServerConfig::default()
         });
         load(&session, "g", 17, 64, 256);
         std::thread::scope(|scope| {
-            // Keep the single worker busy while two shutdowns race.
+            // Keep the single shard busy while two shutdowns race.
             for source in 0..4 {
                 let session = &session;
                 scope.spawn(move || {
@@ -1079,7 +1340,7 @@ mod tests {
                 let session = &session;
                 scope.spawn(move || {
                     session.shutdown();
-                    // Whichever caller returns first: the workers must be
+                    // Whichever caller returns first: the shards must be
                     // joined by then, never "Stopped with jobs running".
                     assert_eq!(session.lifecycle(), Lifecycle::Stopped);
                     assert_eq!(session.queue_depth(), 0);

@@ -201,6 +201,19 @@ impl Counters {
     }
 }
 
+/// Per-shard instantaneous gauges, read by `server_stats` to render the
+/// per-shard balance table. Each shard thread is the only writer of its
+/// own gauges (plain relaxed atomics); queue depth and cache footprint
+/// are *not* duplicated here — they are computed on read from the shard's
+/// own [`crate::admission::AdmissionQueue`] and registry partition.
+#[derive(Debug, Default)]
+pub struct ShardGauges {
+    /// Open connections owned by this shard's event loop.
+    pub connections: AtomicU64,
+    /// Jobs currently executing on this shard.
+    pub in_flight: AtomicU64,
+}
+
 /// Latency-summary JSON for one histogram: count, the exact observed
 /// min/max, the count-weighted mean, and p50/p90/p95/p99 (µs). Min, max
 /// and mean are tracked exactly — quantiles are bucket lower bounds, so

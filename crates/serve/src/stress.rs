@@ -14,7 +14,8 @@
 //! a thread that claims an id past the total stops, so the harness
 //! issues *exactly* `total_ops` operations across however many threads.
 
-use std::io::{BufRead, BufReader, Write};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind as IoErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -26,6 +27,7 @@ use sgl_observe::{parse_json, Json, LogHistogram};
 use crate::protocol::{
     parse_response, request_json, CacheMode, Envelope, ErrorKind, OpKind, Request, Response,
 };
+use crate::reactor::{stream_fd, Interest, Poller};
 use crate::session::Session;
 use crate::stats::{ShardedStats, WorkerStats};
 
@@ -520,6 +522,391 @@ pub fn run_stress<C: Client, F: Fn(usize) -> C + Sync>(
     }
 }
 
+/// Configuration for [`run_connection_stress`]: one driver thread
+/// multiplexing many pipelined connections over a reactor.
+#[derive(Clone, Debug)]
+pub struct ConnStressConfig {
+    /// Registry name of the target graph (must already be loaded).
+    pub graph: String,
+    /// Node count of that graph (random sources are drawn below this).
+    pub graph_n: usize,
+    /// Concurrent TCP connections to hold open.
+    pub connections: usize,
+    /// Requests kept in flight per connection.
+    pub pipeline: usize,
+    /// Total operations to issue across all connections.
+    pub total_ops: u64,
+    /// Open-loop arrival rate in ops/s across the whole run
+    /// (`None`: closed loop — refill a connection as soon as it answers).
+    pub rate: Option<f64>,
+    /// Workload mix.
+    pub mix: Mix,
+    /// Per-request deadline forwarded to the server.
+    pub deadline_ms: Option<u64>,
+    /// RNG seed for the pre-rendered request pool.
+    pub seed: u64,
+    /// Print a live stats line every interval (`None`: quiet).
+    pub report_interval: Option<Duration>,
+}
+
+impl Default for ConnStressConfig {
+    fn default() -> Self {
+        Self {
+            graph: "stress".into(),
+            graph_n: 256,
+            connections: 128,
+            pipeline: 8,
+            total_ops: 10_000,
+            rate: None,
+            mix: Mix::default(),
+            deadline_ms: None,
+            seed: 7,
+            report_interval: None,
+        }
+    }
+}
+
+/// Number of pre-rendered request lines the driver cycles through.
+const REQUEST_POOL: usize = 1024;
+
+struct DriverConn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    /// FIFO of in-flight requests (send instant, op kind); responses come
+    /// back in order on a connection, so the front matches the next line.
+    inflight: VecDeque<(Instant, OpKind)>,
+    dead: bool,
+    /// Dead connection already deregistered and its in-flight ops counted.
+    reaped: bool,
+    wants_write: bool,
+}
+
+fn find_bytes(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    hay.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Classifies a response line without building a JSON tree (or even a
+/// string): the driver's per-response cost must stay far below the
+/// server's per-op cost or the client becomes the bottleneck it is
+/// trying to measure.
+fn classify_response(line: &[u8]) -> Result<(), ErrorKind> {
+    // The status field leads the canonical rendering, so the common case
+    // scans a handful of bytes.
+    if find_bytes(line, b"\"status\":\"ok\"").is_some() {
+        return Ok(());
+    }
+    let kind = find_bytes(line, b"\"kind\":\"")
+        .map(|at| &line[at + 8..])
+        .and_then(|rest| {
+            let end = rest.iter().position(|&b| b == b'"')?;
+            std::str::from_utf8(&rest[..end]).ok()
+        })
+        .and_then(ErrorKind::from_name)
+        .unwrap_or(ErrorKind::Internal);
+    Err(kind)
+}
+
+fn render_pool(config: &ConnStressConfig) -> Vec<(OpKind, Vec<u8>)> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let count = REQUEST_POOL
+        .min(usize::try_from(config.total_ops).unwrap_or(REQUEST_POOL))
+        .max(1);
+    (0..count)
+        .map(|_| {
+            let spec = config.mix.pick(&mut rng);
+            let source = rng.gen_range(0..config.graph_n);
+            let request = spec.request(&config.graph, source);
+            let kind = request.kind();
+            let envelope = Envelope {
+                id: None,
+                deadline_ms: config.deadline_ms,
+                trace_id: None,
+                request,
+            };
+            let mut line = request_json(&envelope).to_string().into_bytes();
+            line.push(b'\n');
+            (kind, line)
+        })
+        .collect()
+}
+
+/// Drives `connections` pipelined non-blocking connections from a single
+/// thread over a [`Poller`] — the high-concurrency companion to
+/// [`run_stress`], which spends a whole thread (and scheduler slot) per
+/// connection and cannot reach reactor-scale counts.
+///
+/// Request lines are pre-rendered ([`REQUEST_POOL`] of them, cycled) so the
+/// steady-state client cost per op is a buffer copy, a `poll` share, and a
+/// substring scan of the response line.
+///
+/// # Errors
+/// Returns an error if connecting or polling fails; per-request failures
+/// are counted in the summary instead.
+pub fn run_connection_stress(
+    addr: SocketAddr,
+    config: &ConnStressConfig,
+) -> std::io::Result<StressSummary> {
+    let pool = render_pool(config);
+    let (mut poller, _waker) = Poller::new()?;
+    let mut conns = Vec::with_capacity(config.connections);
+    for token in 0..config.connections {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        poller.register(stream_fd(&stream), token, Interest::Read);
+        conns.push(DriverConn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            inflight: VecDeque::new(),
+            dead: false,
+            reaped: false,
+            wants_write: false,
+        });
+    }
+    let mut stats = WorkerStats::default();
+    let mut errors_by_kind = [0u64; ErrorKind::ALL.len()];
+    let mut issued: u64 = 0;
+    let mut completed: u64 = 0;
+    let mut lost: u64 = 0; // in-flight ops on connections that died
+    let mut pool_idx = 0usize;
+    let mut events = Vec::new();
+    let t0 = Instant::now();
+    let mut last_report = t0;
+    let mut report_base: u64 = 0;
+    let mut printed_header = false;
+    let mut interval = WorkerStats::default();
+
+    let mut dead_count = 0usize;
+    let mut open_cursor = 0usize;
+
+    // One request appended to `conn`'s write buffer from the pool.
+    let issue = |conn: &mut DriverConn, pool_idx: &mut usize, issued: &mut u64| {
+        let (kind, line) = &pool[*pool_idx % pool.len()];
+        *pool_idx += 1;
+        conn.wbuf.extend_from_slice(line);
+        conn.inflight.push_back((Instant::now(), *kind));
+        *issued += 1;
+    };
+    // Flush, sync write interest, and reap on death — the complete
+    // post-touch bookkeeping for one connection.
+    let settle = |conn: &mut DriverConn,
+                  token: usize,
+                  poller: &mut Poller,
+                  lost: &mut u64,
+                  dead_count: &mut usize| {
+        if !conn.dead && !conn.wbuf.is_empty() {
+            flush_driver_conn(conn);
+        }
+        let wants = !conn.wbuf.is_empty() && !conn.dead;
+        if !conn.dead && wants != conn.wants_write {
+            conn.wants_write = wants;
+            let interest = if wants {
+                Interest::ReadWrite
+            } else {
+                Interest::Read
+            };
+            poller.register(stream_fd(&conn.stream), token, interest);
+        }
+        if conn.dead && !conn.reaped {
+            conn.reaped = true;
+            *lost += conn.inflight.len() as u64;
+            conn.inflight.clear();
+            poller.deregister(token);
+            *dead_count += 1;
+        }
+    };
+
+    // Initial fill: closed loop packs every pipeline; open loop starts
+    // from a zero allowance and paces below.
+    if config.rate.is_none() {
+        for (token, conn) in conns.iter_mut().enumerate() {
+            while issued < config.total_ops && conn.inflight.len() < config.pipeline {
+                issue(conn, &mut pool_idx, &mut issued);
+            }
+            settle(conn, token, &mut poller, &mut lost, &mut dead_count);
+        }
+    }
+
+    loop {
+        if dead_count == conns.len() || (issued >= config.total_ops && completed + lost >= issued) {
+            break;
+        }
+        // Open-loop pacing: issue whatever the arrival schedule has
+        // released since the last pass, round-robin from a moving cursor.
+        // (Closed-loop refills happen per completion in the event path,
+        // so the steady state does no full-fleet scans.)
+        let mut timeout = Duration::from_millis(100);
+        if let Some(rate) = config.rate {
+            let allowed = ((t0.elapsed().as_secs_f64() * rate) as u64).min(config.total_ops);
+            let mut stalled = 0usize;
+            while issued < allowed && stalled < conns.len() {
+                let token = open_cursor % conns.len();
+                open_cursor += 1;
+                let conn = &mut conns[token];
+                if !conn.dead && conn.inflight.len() < config.pipeline {
+                    issue(conn, &mut pool_idx, &mut issued);
+                    settle(conn, token, &mut poller, &mut lost, &mut dead_count);
+                    stalled = 0;
+                } else {
+                    stalled += 1;
+                }
+            }
+            if issued < config.total_ops {
+                // Wake in time for the next scheduled arrival.
+                let gap = Duration::from_secs_f64(1.0 / rate.max(1.0));
+                timeout = timeout.min(gap.max(Duration::from_micros(50)));
+            }
+        }
+        events.clear();
+        poller.wait(Some(timeout), &mut events)?;
+        for event in &events {
+            let token = event.token;
+            let Some(conn) = conns.get_mut(token) else {
+                continue;
+            };
+            if event.writable {
+                flush_driver_conn(conn);
+            }
+            if event.readable || event.closed {
+                read_driver_conn(
+                    conn,
+                    &mut stats,
+                    &mut interval,
+                    &mut errors_by_kind,
+                    &mut completed,
+                );
+            }
+            // Closed loop: refill what this connection just answered.
+            if config.rate.is_none() {
+                while issued < config.total_ops
+                    && !conn.dead
+                    && conn.inflight.len() < config.pipeline
+                {
+                    issue(conn, &mut pool_idx, &mut issued);
+                }
+            }
+            settle(conn, token, &mut poller, &mut lost, &mut dead_count);
+        }
+        if let Some(every) = config.report_interval {
+            if last_report.elapsed() >= every {
+                last_report = Instant::now();
+                if !printed_header {
+                    println!(
+                        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+                        "total_ops", "int_ops", "p50_us", "p95_us", "p99_us", "errors"
+                    );
+                    printed_header = true;
+                }
+                let mut all = LogHistogram::new();
+                for h in &interval.latency_us {
+                    all.merge(h);
+                }
+                let q = |q: f64| {
+                    all.quantile(q)
+                        .map_or_else(|| "-".into(), |v| v.to_string())
+                };
+                println!(
+                    "{completed:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+                    completed - report_base,
+                    q(0.5),
+                    q(0.95),
+                    q(0.99),
+                    interval.errors.iter().sum::<u64>(),
+                );
+                report_base = completed;
+                interval = WorkerStats::default();
+            }
+        }
+    }
+    errors_by_kind[ErrorKind::Internal.index()] += lost;
+    let elapsed = t0.elapsed();
+    let mut overall = LogHistogram::new();
+    for h in &stats.latency_us {
+        overall.merge(h);
+    }
+    Ok(StressSummary {
+        elapsed,
+        issued: completed + lost,
+        ok: stats.ok.iter().sum(),
+        errors_by_kind,
+        latency_us: stats.latency_us.to_vec(),
+        overall_us: overall,
+    })
+}
+
+fn flush_driver_conn(conn: &mut DriverConn) {
+    let mut written = 0usize;
+    while written < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[written..]) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == IoErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == IoErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    conn.wbuf.drain(..written);
+}
+
+fn read_driver_conn(
+    conn: &mut DriverConn,
+    stats: &mut WorkerStats,
+    interval: &mut WorkerStats,
+    errors_by_kind: &mut [u64; ErrorKind::ALL.len()],
+    completed: &mut u64,
+) {
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                let mut start = 0usize;
+                while let Some(pos) = conn.rbuf[start..].iter().position(|&b| b == b'\n') {
+                    let end = start + pos;
+                    let line = &conn.rbuf[start..end];
+                    start = end + 1;
+                    let Some((sent, kind)) = conn.inflight.pop_front() else {
+                        // Unsolicited line: protocol desync — count and drop.
+                        errors_by_kind[ErrorKind::Internal.index()] += 1;
+                        *completed += 1;
+                        continue;
+                    };
+                    let latency = micros(sent.elapsed());
+                    let outcome = classify_response(line);
+                    stats.record(kind, latency, outcome.is_ok());
+                    interval.record(kind, latency, outcome.is_ok());
+                    if let Err(k) = outcome {
+                        errors_by_kind[k.index()] += 1;
+                    }
+                    *completed += 1;
+                }
+                conn.rbuf.drain(..start);
+                if n < chunk.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == IoErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == IoErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+}
+
 /// Cold vs warm compiled-network latency on one graph, measured through a
 /// client (µs medians; the perf ordering rule's input).
 #[derive(Clone, Debug)]
@@ -740,5 +1127,66 @@ mod tests {
             Some(0)
         );
         session.shutdown();
+    }
+
+    #[test]
+    fn connection_driver_completes_cleanly() {
+        let server = crate::tcp::LoopbackServer::start(ServerConfig {
+            queue_capacity: 32 * 4 + 64,
+            ..ServerConfig::default()
+        });
+        let mut setup = TcpClient::connect(server.addr).expect("connect");
+        let mut rng = TestRng::seed_from_u64(31);
+        let g = generators::gnm_connected(&mut rng, 24, 80, 1..=9);
+        let resp = setup.call(Envelope::of(Request::LoadGraph {
+            name: "stress".into(),
+            dimacs: to_dimacs(&g, "stress graph"),
+        }));
+        assert!(resp.is_ok());
+        let config = ConnStressConfig {
+            graph_n: 24,
+            connections: 32,
+            pipeline: 4,
+            total_ops: 600,
+            ..ConnStressConfig::default()
+        };
+        let summary = run_connection_stress(server.addr, &config).expect("driver");
+        assert_eq!(summary.issued, 600);
+        assert_eq!(summary.ok, 600, "errors: {:?}", summary.errors_by_kind);
+        assert_eq!(summary.overall_us.count(), 600);
+        assert!(setup.call(Envelope::of(Request::Shutdown)).is_ok());
+        server.stop();
+    }
+
+    #[test]
+    fn connection_driver_open_loop_paces() {
+        let server = crate::tcp::LoopbackServer::start(ServerConfig::default());
+        let mut setup = TcpClient::connect(server.addr).expect("connect");
+        let mut rng = TestRng::seed_from_u64(32);
+        let g = generators::gnm_connected(&mut rng, 12, 40, 1..=9);
+        assert!(setup
+            .call(Envelope::of(Request::LoadGraph {
+                name: "stress".into(),
+                dimacs: to_dimacs(&g, "stress graph"),
+            }))
+            .is_ok());
+        let config = ConnStressConfig {
+            graph_n: 12,
+            connections: 4,
+            pipeline: 2,
+            total_ops: 40,
+            rate: Some(4000.0),
+            ..ConnStressConfig::default()
+        };
+        let summary = run_connection_stress(server.addr, &config).expect("driver");
+        assert_eq!(summary.ok + summary.errors(), 40);
+        // 40 ops at 4000/s arrive over ≥ ~9.75 ms of schedule.
+        assert!(
+            summary.elapsed >= Duration::from_millis(8),
+            "{:?}",
+            summary.elapsed
+        );
+        assert!(setup.call(Envelope::of(Request::Shutdown)).is_ok());
+        server.stop();
     }
 }

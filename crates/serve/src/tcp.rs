@@ -1,59 +1,53 @@
 //! TCP transport: JSON-lines over `std::net`, one request per line.
 //!
-//! Deliberately thin — every request line is handed to
-//! [`Session::call_line`], so the socket layer adds framing and lifecycle
-//! polling, nothing else. The accept loop runs non-blocking and polls the
-//! session lifecycle between accepts; connection handlers run as scoped
-//! threads with a short read timeout so they notice a drain within
-//! ~[`POLL_INTERVAL`] even while idle. During drain, in-flight requests
-//! finish (the session answers them — admitted work is always answered)
-//! and idle connections are closed.
+//! Deliberately thin — the accept loop owns only the listener. It parks
+//! in its own [`Poller`] with the listener registered, so an idle server
+//! makes **no syscalls at all**: the loop runs only when `poll` reports
+//! a pending connection or a [`crate::reactor::Waker`] fires (drain).
+//! Accepted sockets are handed to the shard event loops round-robin via
+//! [`Session::hand_off`]; from then on the owning shard does all reads,
+//! parsing, and writes ([`crate::shard`]). During drain, in-flight
+//! requests finish (the session answers them — admitted work is always
+//! answered) and idle connections are closed by their shards.
 
-use std::io::{BufRead, BufReader, ErrorKind as IoErrorKind, Write};
+use std::io::{ErrorKind as IoErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
-
-use sgl_observe::trace::Stage;
+use std::time::Duration;
 
 use crate::admission::Lifecycle;
 use crate::protocol::{ErrorKind, Response};
+use crate::reactor::{listener_fd, Interest, Poller};
 use crate::session::{ServerConfig, Session};
 use crate::stats::Counters;
 
-/// How often the accept loop and idle connections check the lifecycle.
-pub const POLL_INTERVAL: Duration = Duration::from_millis(5);
-
-/// Read timeout on client sockets — the drain-notice latency bound for
-/// idle connections.
-const READ_TIMEOUT: Duration = Duration::from_millis(50);
-
-/// Hard cap on one request line. A client streaming an endless line
-/// would otherwise grow the accumulation buffer without bound; past this
-/// it gets a `bad_request` and the connection is closed (framing can't be
-/// resynchronized mid-line). Generous enough for `load_graph` DIMACS
-/// payloads in the hundreds of thousands of edges.
-const MAX_LINE_BYTES: usize = 16 << 20;
-
 /// Serves `session` on `listener` until the session drains. Blocks the
-/// calling thread; connection handlers are scoped threads, all joined
-/// before this returns, so a clean return means no handler is left. At
-/// most [`ServerConfig::max_connections`] handlers run at once; excess
-/// connections get one typed `overloaded` response line and are closed,
-/// so idle or slow clients cannot exhaust threads.
+/// calling thread; connections are owned by the session's shard event
+/// loops, which the session joins on shutdown, so a clean return plus
+/// [`Session::shutdown`] means no connection is left. At most
+/// [`ServerConfig::max_connections`] connections are open at once;
+/// excess connections get one typed `overloaded` response line and are
+/// closed, so idle or slow clients cannot exhaust descriptors.
 ///
 /// # Panics
-/// Panics if the listener cannot be switched to non-blocking mode.
+/// Panics if the listener cannot be switched to non-blocking mode or the
+/// accept poller cannot be created.
 pub fn serve(listener: &TcpListener, session: &Session) {
     listener
         .set_nonblocking(true)
         .expect("set_nonblocking on listener");
+    let (mut poller, waker) = Poller::new().expect("create accept poller");
+    poller.register(listener_fd(listener), 0, Interest::Read);
+    session.register_acceptor_waker(waker);
     let max_connections = session.config().max_connections.max(1) as u64;
     // The open-connection gauge doubles as the admission check and the
-    // `server_stats` "connections" reading.
+    // `server_stats` "connections" reading. Incremented here at accept;
+    // decremented by the owning shard at close.
     let gauge = &session.counters().connections;
-    std::thread::scope(|scope| {
-        while session.lifecycle() == Lifecycle::Running {
+    let mut next_shard = 0usize;
+    let mut events = Vec::new();
+    while session.lifecycle() == Lifecycle::Running {
+        loop {
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     if Counters::read(gauge) >= max_connections {
@@ -61,22 +55,24 @@ pub fn serve(listener: &TcpListener, session: &Session) {
                         continue;
                     }
                     Counters::gauge_inc(gauge);
-                    scope.spawn(move || {
-                        handle_connection(stream, session);
-                        Counters::gauge_dec(gauge);
-                    });
+                    session.hand_off(stream, &mut next_shard);
                 }
-                Err(e) if e.kind() == IoErrorKind::WouldBlock => {
-                    std::thread::sleep(POLL_INTERVAL);
+                Err(e) if e.kind() == IoErrorKind::WouldBlock => break,
+                // Transient accept errors (aborted handshakes, fd
+                // pressure) must not take the server down — but the
+                // listener may still report readable, so back off
+                // instead of spinning on the failure.
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(5));
+                    break;
                 }
-                // Transient accept errors (e.g. aborted handshakes) must
-                // not take the server down.
-                Err(_) => std::thread::sleep(POLL_INTERVAL),
             }
         }
-        // Scope exit joins every connection handler: each sees the drain
-        // via its read timeout and returns.
-    });
+        events.clear();
+        // Parks until a connection arrives or a waker fires; an idle
+        // accept loop costs nothing.
+        let _ = poller.wait(None, &mut events);
+    }
 }
 
 /// Tells an over-cap client why it is being dropped (one typed line, then
@@ -91,97 +87,6 @@ fn reject_connection(mut stream: TcpStream) {
     let _ = stream
         .write_all(line.as_bytes())
         .and_then(|()| stream.write_all(b"\n"));
-}
-
-/// Answers one complete request line (raw bytes, possibly with the
-/// trailing newline). Returns `false` when the response could not be
-/// written — the handler's signal to hang up. Non-UTF-8 bytes survive as
-/// replacement characters into JSON parsing, which answers `bad_request`.
-fn respond(writer: &mut TcpStream, session: &Session, raw: &[u8]) -> bool {
-    let received = Instant::now();
-    let line = String::from_utf8_lossy(raw);
-    let trimmed = line.trim();
-    if trimmed.is_empty() {
-        return true;
-    }
-    let (response, trace) = session.call_line_traced(trimmed, received);
-    let write_start = trace.as_deref().map(|c| c.now_ns());
-    let ok = writer
-        .write_all(response.as_bytes())
-        .and_then(|()| writer.write_all(b"\n"))
-        .and_then(|()| writer.flush())
-        .is_ok();
-    if let Some(mut ctx) = trace {
-        if let Some(s) = write_start {
-            ctx.record(Stage::Write, s, ctx.now_ns());
-        }
-        session.finish_trace(ctx);
-    }
-    ok
-}
-
-fn handle_connection(stream: TcpStream, session: &Session) {
-    stream
-        .set_read_timeout(Some(READ_TIMEOUT))
-        .expect("set_read_timeout");
-    // One small JSON line each way per request: Nagle + delayed ACK would
-    // add tens of milliseconds per round trip.
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    // Accumulates exactly one request line across reads. Bytes survive
-    // read timeouts: `read_until` may append a partial line before
-    // returning `WouldBlock`/`TimedOut`, and the request resumes from
-    // those bytes — a request spanning a pause mid-line must not be
-    // truncated or re-framed. The buffer is cleared only after a line is
-    // fully processed.
-    let mut buf = Vec::new();
-    loop {
-        match reader.read_until(b'\n', &mut buf) {
-            Ok(0) => {
-                // Client closed. Answer a final unterminated line (a
-                // client may half-close after its last request) before
-                // hanging up.
-                let _ = respond(&mut writer, session, &buf);
-                return;
-            }
-            Ok(_) => {
-                if buf.last() == Some(&b'\n') {
-                    if !respond(&mut writer, session, &buf) {
-                        return;
-                    }
-                    buf.clear();
-                }
-                // No newline means `read_until` stopped at EOF mid-line;
-                // the next read returns `Ok(0)` and answers the rest.
-            }
-            Err(e) if e.kind() == IoErrorKind::WouldBlock || e.kind() == IoErrorKind::TimedOut => {
-                // Idle/slow poll: keep accumulated bytes, drop the
-                // connection once draining.
-                if session.lifecycle() != Lifecycle::Running {
-                    return;
-                }
-            }
-            Err(_) => return,
-        }
-        if buf.len() > MAX_LINE_BYTES {
-            // An over-long line is unframeable; synthesize the typed
-            // rejection directly rather than parsing 16 MiB of it.
-            let line = Response::error(
-                ErrorKind::BadRequest,
-                format!("request line exceeds {MAX_LINE_BYTES} bytes"),
-            )
-            .to_json(None)
-            .to_string();
-            let _ = writer
-                .write_all(line.as_bytes())
-                .and_then(|()| writer.write_all(b"\n"));
-            return;
-        }
-    }
 }
 
 /// A server on an ephemeral loopback port, for tests, the CI smoke job,
@@ -222,7 +127,7 @@ impl LoopbackServer {
         &self.session
     }
 
-    /// Drains the server, joins the accept loop and all workers.
+    /// Drains the server, joins the accept loop and all shards.
     ///
     /// # Panics
     /// Panics if the accept thread panicked.
@@ -248,6 +153,8 @@ mod tests {
     use super::*;
     use crate::protocol::{ErrorKind, Request};
     use sgl_observe::{parse_json, Json};
+    use std::io::BufRead;
+    use std::io::BufReader;
 
     fn send(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Json {
         stream.write_all(line.as_bytes()).unwrap();
@@ -293,11 +200,10 @@ mod tests {
         server.stop();
     }
 
-    /// The high-severity regression this loop was rewritten for: a
-    /// request whose bytes arrive with pauses longer than the socket read
-    /// timeout must be answered intact — partial reads accumulate across
-    /// `WouldBlock`/`TimedOut` polls instead of being dropped and
-    /// re-framed as garbage.
+    /// The high-severity regression the line framing is built around: a
+    /// request whose bytes arrive with long pauses mid-line must be
+    /// answered intact — partial reads accumulate in the connection's
+    /// buffer instead of being dropped and re-framed as garbage.
     #[test]
     fn request_spanning_read_timeouts_mid_line_is_not_corrupted() {
         let server = LoopbackServer::start(ServerConfig::default());
@@ -308,8 +214,8 @@ mod tests {
             r#"{"op":"load_graph","name":"g","dimacs":"p sp 3 3\na 1 2 2\na 2 3 2\na 1 3 5\n","id":1}"#,
         );
         assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
-        // Three chunks, each gap several read-timeout periods long, with
-        // the splits inside the JSON — not at a line boundary.
+        // Three chunks with long gaps, the splits inside the JSON — not
+        // at a line boundary.
         let request = "{\"op\":\"sssp\",\"graph\":\"g\",\"source\":0,\"id\":42}\n";
         for chunk in [&request[..14], &request[14..30], &request[30..]] {
             stream.write_all(chunk.as_bytes()).unwrap();
@@ -351,7 +257,7 @@ mod tests {
     }
 
     /// Connections beyond `max_connections` get one typed `overloaded`
-    /// line and are closed; they never tie up a handler thread.
+    /// line and are closed; they never tie up a shard slot.
     #[test]
     fn excess_connections_are_rejected_typed() {
         let server = LoopbackServer::start(ServerConfig {
@@ -359,8 +265,8 @@ mod tests {
             ..ServerConfig::default()
         });
         let (mut stream, mut reader) = connect(server.addr);
-        // A round trip guarantees the first handler is up and counted
-        // before the second connection races the accept loop.
+        // A round trip guarantees the first connection is adopted and
+        // counted before the second connection races the accept loop.
         let v = send(&mut stream, &mut reader, r#"{"op":"server_stats"}"#);
         assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
 

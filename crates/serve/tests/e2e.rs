@@ -118,14 +118,16 @@ fn served_answers_match_baselines_over_tcp() {
 }
 
 /// The dedicated overload test from the acceptance criteria: a
-/// 1-worker/capacity-2 server flooded by 8 closed-loop threads must shed
+/// 1-shard/capacity-2 server flooded by 8 closed-loop threads must shed
 /// with typed `overloaded` (no panics, no hangs, no unbounded queue),
 /// keep answering control ops throughout, and drain cleanly with every
-/// admitted request answered.
+/// admitted request answered. The flood bypasses the caches so every
+/// query does real compile work (memoized hits would answer too fast to
+/// ever back up the queue).
 #[test]
 fn overload_sheds_typed_stays_responsive_and_drains_cleanly() {
     let session = Session::open(ServerConfig {
-        workers: 1,
+        shards: 1,
         queue_capacity: 2,
         ..ServerConfig::default()
     });
@@ -148,7 +150,7 @@ fn overload_sheds_typed_stays_responsive_and_drains_cleanly() {
                         graph: "g".into(),
                         source: (i * 7) % 300,
                         target: None,
-                        cache: CacheMode::Default,
+                        cache: CacheMode::Bypass,
                     });
                     match resp.error_kind() {
                         None => ok.fetch_add(1, Ordering::Relaxed),
@@ -207,7 +209,7 @@ fn overload_sheds_typed_stays_responsive_and_drains_cleanly() {
 #[test]
 fn queued_work_past_its_deadline_is_rejected_typed() {
     let session = Session::open(ServerConfig {
-        workers: 1,
+        shards: 1,
         queue_capacity: 8,
         ..ServerConfig::default()
     });
@@ -284,4 +286,113 @@ fn tcp_pipelining_echoes_ids_in_order() {
         assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
     }
     server.stop();
+}
+
+/// One request line sent over TCP connections landing on every shard,
+/// and through the in-process session, yields byte-identical response
+/// lines — the memoized raw-splice fast path must not be observable.
+#[test]
+fn responses_are_byte_identical_across_shards_and_session() {
+    let server = LoopbackServer::start(ServerConfig {
+        shards: 3,
+        ..ServerConfig::default()
+    });
+    let mut setup = TcpClient::connect(server.addr).unwrap();
+    let mut rng = StdRng::seed_from_u64(41);
+    // Several graph names so the routing hash spreads them over shards.
+    for name in ["alpha", "beta", "gamma", "delta"] {
+        let g = generators::gnm_connected(&mut rng, 20, 70, 1..=9);
+        load(&mut setup, name, &g);
+    }
+    for name in ["alpha", "beta", "gamma", "delta"] {
+        let line = format!("{{\"op\":\"sssp\",\"graph\":\"{name}\",\"source\":3,\"id\":9}}");
+        // Prime the result memo, then take the canonical warm rendering.
+        let _ = server.session().call_line(&line);
+        let want = server.session().call_line(&line);
+        // New connections round-robin over the 3 shards; each must splice
+        // the exact same bytes.
+        for conn in 0..3 {
+            use std::io::{BufRead, BufReader, Write};
+            let stream = std::net::TcpStream::connect(server.addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            writer.write_all(line.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            let mut got = String::new();
+            reader.read_line(&mut got).unwrap();
+            assert_eq!(got.trim_end(), want, "graph {name}, connection {conn}");
+        }
+    }
+    server.stop();
+}
+
+/// A graph loaded on one connection is immediately queryable from fresh
+/// connections that land on other shards: the registry partition is
+/// owned by the graph's home shard, not by whichever connection loaded
+/// it.
+#[test]
+fn graph_loaded_on_one_connection_visible_from_all_shards() {
+    let server = LoopbackServer::start(ServerConfig {
+        shards: 4,
+        ..ServerConfig::default()
+    });
+    let mut loader = TcpClient::connect(server.addr).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    let g = generators::gnm_connected(&mut rng, 24, 90, 1..=9);
+    load(&mut loader, "shared", &g);
+    let want = dijkstra(&g, 5).distances;
+    // More fresh connections than shards, so every shard serves at least
+    // one of them.
+    for conn in 0..8 {
+        let mut client = TcpClient::connect(server.addr).unwrap();
+        let resp = client.call(Envelope::of(Request::Sssp {
+            graph: "shared".into(),
+            source: 5,
+            target: None,
+            cache: CacheMode::Default,
+        }));
+        assert_eq!(distances_of(&resp), want, "connection {conn}");
+    }
+    server.stop();
+}
+
+/// Drain with 1000 idle connections parked on the shards completes
+/// promptly, and queries admitted before the drain are all answered.
+#[test]
+fn drain_with_a_thousand_idle_connections_is_prompt() {
+    let server = LoopbackServer::start(ServerConfig {
+        shards: 2,
+        max_connections: 2048,
+        ..ServerConfig::default()
+    });
+    let mut client = TcpClient::connect(server.addr).unwrap();
+    let mut rng = StdRng::seed_from_u64(43);
+    let g = generators::gnm_connected(&mut rng, 24, 90, 1..=9);
+    load(&mut client, "g", &g);
+
+    let idle: Vec<std::net::TcpStream> = (0..1000)
+        .map(|i| {
+            std::net::TcpStream::connect(server.addr)
+                .unwrap_or_else(|e| panic!("idle connection {i}: {e}"))
+        })
+        .collect();
+    // Work admitted before the drain must still be answered.
+    for i in 0..20 {
+        let resp = client.call(Envelope::of(Request::Sssp {
+            graph: "g".into(),
+            source: i % 24,
+            target: None,
+            cache: CacheMode::Default,
+        }));
+        assert!(resp.is_ok(), "{resp:?}");
+    }
+    let t0 = std::time::Instant::now();
+    assert!(client.call(Envelope::of(Request::Shutdown)).is_ok());
+    server.stop();
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "drain took {:?} with idle connections parked",
+        t0.elapsed()
+    );
+    drop(idle);
 }

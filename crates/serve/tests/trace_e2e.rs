@@ -26,7 +26,7 @@ use sgl_serve::trace::TraceConfig;
 
 fn traced_config(sample_one_in: u32, slow_threshold_us: Option<u64>) -> ServerConfig {
     ServerConfig {
-        workers: 2,
+        shards: 2,
         trace: TraceConfig {
             sample_one_in,
             slow_threshold_us,

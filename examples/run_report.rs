@@ -319,10 +319,80 @@ fn render_serve_report(report: &RunReport, path: &str) {
         );
     }
 
+    // Connection-scaling table (written by `sgl-stress --scale`): one
+    // row per rung, with the throughput sparkline showing where the
+    // reactor starts paying for poll's O(connections) kernel scan.
+    if let Some(Json::Arr(rows)) = report.get("scaling") {
+        let mut tputs = Vec::new();
+        println!("\nconnection scaling:");
+        println!(
+            "  {:>12} {:>9} {:>10} {:>10} {:>10} {:>10}",
+            "connections", "pipeline", "ops_per_s", "ns_per_op", "p50_us", "p99_us"
+        );
+        for row in rows {
+            let f = |k: &str| row.get(k).and_then(Json::as_u64).unwrap_or(0);
+            let ops_s = row.get("ops_per_sec").and_then(Json::as_f64).unwrap_or(0.0);
+            tputs.push(ops_s.round() as u64);
+            println!(
+                "  {:>12} {:>9} {:>10.0} {:>10} {:>10} {:>10}",
+                f("connections"),
+                f("pipeline"),
+                ops_s,
+                f("ns_per_op"),
+                f("p50_us"),
+                f("p99_us"),
+            );
+        }
+        if !tputs.is_empty() {
+            println!("  throughput across rungs: {}", sparkline(&tputs, 32));
+        }
+    }
+
     let Some(stats) = report.get("server_stats") else {
         println!("(no server_stats section)");
         return;
     };
+
+    // Per-shard balance: connections, load, and cache residency per
+    // shard event loop, so routing skew (graphs hashing to one shard,
+    // the accept loop failing to round-robin) is visible at a glance.
+    if let Some(Json::Arr(shards)) = stats.get("per_shard") {
+        println!(
+            "\nper-shard balance ({} shard{}):",
+            shards.len(),
+            if shards.len() == 1 { "" } else { "s" }
+        );
+        println!(
+            "  {:>5} {:>11} {:>9} {:>11} {:>7} {:>10} {:>12} {:>13}",
+            "shard",
+            "connections",
+            "in_flight",
+            "queue_depth",
+            "graphs",
+            "nets",
+            "net_bytes",
+            "result_bytes"
+        );
+        let mut conn_counts = Vec::new();
+        for s in shards {
+            let f = |k: &str| s.get(k).and_then(Json::as_u64).unwrap_or(0);
+            conn_counts.push(f("connections"));
+            println!(
+                "  {:>5} {:>11} {:>9} {:>11} {:>7} {:>10} {:>12} {:>13}",
+                f("shard"),
+                f("connections"),
+                f("in_flight"),
+                f("queue_depth"),
+                f("graphs"),
+                f("net_entries"),
+                f("net_bytes"),
+                f("result_bytes"),
+            );
+        }
+        if shards.len() > 1 {
+            println!("  connections per shard: {}", sparkline(&conn_counts, 32));
+        }
+    }
 
     // Per-op latency table + a p50 sparkline across ops.
     if let Some(Json::Obj(ops)) = stats.get("ops") {
