@@ -19,6 +19,13 @@
 //! committed *untraced* baseline — the budget on what per-request span
 //! recording may cost the serve hot path.
 //!
+//! Two intra-run rules cover the `partition` group: `partition/p1/<n>`
+//! must stay within 10% of `partition/event/<n>` (at one partition the
+//! cut is empty, so the partition machinery may cost bookkeeping only),
+//! and each doubling of the partition count may at most double the
+//! median (`p2 <= 2*p1`, `p4 <= 2*p2`, `p8 <= 2*p4` — cut overhead must
+//! grow smoothly with the cut, not cliff).
+//!
 //! One rule is absolute against a frozen constant:
 //! `serve/ns_per_op/<connections>` rows (the sharded server's sustained
 //! loopback cost per op) must beat the committed single-shared-queue
@@ -51,6 +58,12 @@ const THROUGHPUT_RULE_MIN_CONNECTIONS: u64 = 8;
 /// skew but not sampling jitter; a genuine ordering inversion shows up
 /// as tens of percent, so 5% slack silences ties without masking one.
 const ORDER_EPSILON: f64 = 0.05;
+/// Slack for the partitioned@1-vs-event rule. One partition runs the
+/// same event-driven kernel through the partition driver with an empty
+/// cut, so only bookkeeping (superstep scan, single-stream merge) may
+/// separate the two medians; 10% bounds that bookkeeping while riding
+/// out sub-millisecond jitter on the smallest rung.
+const PARTITION_P1_EPSILON: f64 = 0.10;
 
 /// Checks the intra-run ordering `fast <= slow` with [`ORDER_EPSILON`]
 /// slack and prints the raw margin either way. Returns 1 on failure so
@@ -197,6 +210,50 @@ fn main() -> ExitCode {
                  baseline {SINGLE_QUEUE_BASELINE_NS_PER_OP} ns/op ({:.1}x headroom)",
                 SINGLE_QUEUE_BASELINE_NS_PER_OP as f64 / cur.max(1) as f64
             );
+        }
+    }
+
+    // Intra-run partition rules, per problem size in the current run.
+    // (a) One partition is the no-cut degenerate case: its median must
+    // stay within [`PARTITION_P1_EPSILON`] of the event engine's — the
+    // best single engine for the sparse SSSP nets this bench runs.
+    // (b) Each doubling of the partition count must at most double the
+    // median: the per-rung cut overhead grows with the cut, and a cliff
+    // (>2x per doubling) means the channel/merge path stopped scaling.
+    for (name, &p1) in current.range("partition/p1/".to_string()..) {
+        let Some(n) = name.strip_prefix("partition/p1/") else {
+            break; // past the p1 rows in BTreeMap order
+        };
+        if let Some(&event) = current.get(&format!("partition/event/{n}")) {
+            let margin = (event as f64 - p1 as f64) / event.max(1) as f64 * 100.0;
+            if p1 as f64 > event as f64 * (1.0 + PARTITION_P1_EPSILON) {
+                println!(
+                    "FAIL  partition ordering: p1/{n} ({p1} ns) above event/{n} ({event} ns) \
+                     by more than {:.0}% (margin {margin:.1}%)",
+                    PARTITION_P1_EPSILON * 100.0
+                );
+                failures += 1;
+            } else {
+                println!(
+                    "ok    partition ordering: p1/{n} ({p1} ns) within {:.0}% of event/{n} \
+                     ({event} ns, margin {margin:.1}%)",
+                    PARTITION_P1_EPSILON * 100.0
+                );
+            }
+        }
+        let mut prev = p1;
+        for (low, high) in [(1u32, 2u32), (2, 4), (4, 8)] {
+            let Some(&cur) = current.get(&format!("partition/p{high}/{n}")) else {
+                continue;
+            };
+            failures += check_ordering(
+                "partition",
+                &format!("p{high}/{n}"),
+                cur,
+                &format!("2x p{low}/{n}"),
+                prev.saturating_mul(2),
+            );
+            prev = cur;
         }
     }
 

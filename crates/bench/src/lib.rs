@@ -19,6 +19,7 @@ pub mod approx;
 pub mod distance_bounds;
 pub mod parallel;
 pub mod report;
+pub mod synth;
 pub mod table1;
 pub mod table2;
 pub mod table3;

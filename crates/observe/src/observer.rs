@@ -76,6 +76,16 @@ pub trait RunObserver {
         let _ = (t, nanos);
     }
 
+    /// The partitioned engine's tick-`t` exchange moved `messages`
+    /// boundary-synapse deliveries over the `from -> to` spike channel.
+    /// Called once per channel with traffic this tick, only when
+    /// [`Self::ENABLED`] — the per-tick view of the cut-traffic vs
+    /// partition-count tradeoff.
+    #[inline]
+    fn on_cut_traffic(&mut self, t: u64, from: u32, to: u32, messages: u64) {
+        let _ = (t, from, to, messages);
+    }
+
     /// The run finished: termination time and final work totals.
     #[inline]
     fn on_finish(&mut self, steps: u64, spikes: u64, deliveries: u64, updates: u64) {
@@ -121,6 +131,9 @@ pub struct TimeSeriesObserver {
     pub barrier_wait: LogHistogram,
     /// Total barrier-wait nanoseconds.
     pub barrier_wait_total_ns: u64,
+    /// Total boundary-synapse deliveries moved over inter-partition spike
+    /// channels (partitioned engine only; 0 for monolithic runs).
+    pub cut_traffic_total: u64,
     /// Totals reported by the engine at the end of the run.
     pub finished: Option<StepRecord>,
     /// Termination time reported by the engine.
@@ -149,6 +162,7 @@ impl TimeSeriesObserver {
             step_latency: LogHistogram::new(),
             barrier_wait: LogHistogram::new(),
             barrier_wait_total_ns: 0,
+            cut_traffic_total: 0,
             finished: None,
             final_step: 0,
             last_step_at: None,
@@ -214,6 +228,7 @@ impl TimeSeriesObserver {
                 "barrier_wait_total_ns",
                 Json::UInt(self.barrier_wait_total_ns),
             ),
+            ("cut_traffic_total", Json::UInt(self.cut_traffic_total)),
         ])
     }
 }
@@ -240,6 +255,10 @@ impl RunObserver for TimeSeriesObserver {
     fn on_barrier_wait(&mut self, _t: u64, nanos: u64) {
         self.barrier_wait.record(nanos);
         self.barrier_wait_total_ns += nanos;
+    }
+
+    fn on_cut_traffic(&mut self, _t: u64, _from: u32, _to: u32, messages: u64) {
+        self.cut_traffic_total += messages;
     }
 
     fn on_finish(&mut self, steps: u64, spikes: u64, deliveries: u64, updates: u64) {
@@ -313,6 +332,19 @@ mod tests {
         obs.on_barrier_wait(2, 250);
         assert_eq!(obs.barrier_wait_total_ns, 350);
         assert_eq!(obs.barrier_wait.count(), 2);
+    }
+
+    #[test]
+    fn cut_traffic_accumulates_across_channels() {
+        let mut obs = TimeSeriesObserver::new();
+        obs.on_cut_traffic(1, 0, 1, 10);
+        obs.on_cut_traffic(1, 1, 0, 4);
+        obs.on_cut_traffic(2, 0, 1, 3);
+        assert_eq!(obs.cut_traffic_total, 17);
+        assert_eq!(
+            obs.to_json().get("cut_traffic_total").and_then(Json::as_u64),
+            Some(17)
+        );
     }
 
     #[test]

@@ -38,8 +38,10 @@ use sgl_core::{khop_layered, sssp_pseudo::SpikingSssp};
 use sgl_graph::{Graph, Len};
 use sgl_observe::{Json, PhaseProfiler, RunObserver};
 use sgl_snn::engine::{
-    BitplaneEngine, DenseEngine, EngineChoice, EventEngine, RunConfig, RunResult, RunScratch,
+    BitplaneEngine, DenseEngine, Engine, EngineChoice, EventEngine, RunConfig, RunResult,
+    RunScratch,
 };
+use sgl_snn::partition::PartitionedEngine;
 use sgl_snn::{Network, NeuronId, SnnError};
 
 /// Structural fingerprint of a graph: 64-bit FNV-1a over `(n, m)` and the
@@ -504,6 +506,11 @@ impl CompiledNet {
             EngineChoice::Bitplane => {
                 BitplaneEngine.run_with_scratch(&self.net, &spikes, &config, scratch)
             }
+            // No scratch path: the partitioned engine owns per-partition
+            // state (chosen by Auto only for nets too big for one engine).
+            EngineChoice::Partitioned { parts } => {
+                PartitionedEngine::new(parts).run(&self.net, &spikes, &config)
+            }
             _ => EventEngine.run_with_scratch(&self.net, &spikes, &config, scratch),
         }
     }
@@ -532,6 +539,9 @@ impl CompiledNet {
             }
             EngineChoice::Bitplane => {
                 BitplaneEngine.run_with_scratch_observed(&self.net, &spikes, &config, scratch, obs)
+            }
+            EngineChoice::Partitioned { parts } => {
+                PartitionedEngine::new(parts).run_observed(&self.net, &spikes, &config, obs)
             }
             _ => EventEngine.run_with_scratch_observed(&self.net, &spikes, &config, scratch, obs),
         }

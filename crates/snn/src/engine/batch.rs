@@ -148,6 +148,19 @@ const DENSE_CROSSOVER_INV: u128 = 4;
 /// between any fire and its furthest in-flight arrival.
 const DENSE_MAX_DELAY: u32 = 64;
 
+/// Default monolithic-footprint budget for [`EngineChoice::Auto`]'s
+/// partitioned route, in bytes. Networks whose [`Network::memory_bytes`]
+/// stays within the budget run on a single engine (partitioning buys
+/// nothing and costs cut traffic); larger ones route to
+/// [`crate::partition::PartitionedEngine`], which bounds the per-address-
+/// space footprint. Callers with real budgets (a chip's SRAM, a cgroup
+/// limit) pass their own via [`EngineChoice::resolve_with_partition_budget`].
+pub const DEFAULT_PARTITION_MEMORY_BUDGET: usize = 1 << 30;
+
+/// Most partitions the `Auto` gate will pick on its own. Explicit
+/// [`EngineChoice::Partitioned`] choices are not clamped.
+const AUTO_MAX_PARTS: usize = 16;
+
 /// Which engine a batch (or job) runs on.
 #[derive(Clone, Copy, Debug, Default)]
 pub enum EngineChoice {
@@ -172,14 +185,34 @@ pub enum EngineChoice {
     /// runner already parallelizes *across* runs; nesting a parallel
     /// engine inside it oversubscribes unless the batch pool is small.
     Parallel(ParallelDenseEngine),
+    /// Always the partitioned engine with `parts` partitions (default
+    /// cut strategy; fails on spontaneous neurons, like `Event`). `Auto`
+    /// also routes here when the monolithic footprint would exceed the
+    /// partition memory budget.
+    Partitioned {
+        /// Number of partitions to compile and drive.
+        parts: usize,
+    },
 }
 
 impl EngineChoice {
     /// Resolves `Auto` against a concrete network (identity for explicit
-    /// choices). Exposed so callers can log or override what a batch
-    /// would pick.
+    /// choices), with the default partition memory budget. Exposed so
+    /// callers can log or override what a batch would pick.
     #[must_use]
     pub fn resolve(self, net: &Network) -> Self {
+        self.resolve_with_partition_budget(net, DEFAULT_PARTITION_MEMORY_BUDGET)
+    }
+
+    /// [`Self::resolve`] with an explicit memory budget (bytes) for the
+    /// partitioned route: an `Auto` network whose
+    /// [`Network::memory_bytes`] exceeds `budget` resolves to
+    /// [`Self::Partitioned`] with enough partitions to bring each
+    /// partition's share back under budget (capped; spontaneous networks
+    /// still take the dense route, which the partitioned engine cannot
+    /// replace).
+    #[must_use]
+    pub fn resolve_with_partition_budget(self, net: &Network, budget: usize) -> Self {
         match self {
             Self::Auto => {
                 let n = net.neuron_count() as u128;
@@ -188,8 +221,13 @@ impl EngineChoice {
                 // and usize on 32-bit targets far earlier.
                 let near_complete =
                     n > 0 && (net.synapse_count() as u128) * DENSE_CROSSOVER_INV >= n * n;
+                let memory = net.memory_bytes();
                 if spontaneous {
                     Self::Dense
+                } else if memory > budget && budget > 0 {
+                    Self::Partitioned {
+                        parts: memory.div_ceil(budget).clamp(2, AUTO_MAX_PARTS),
+                    }
                 } else if near_complete && net.max_delay() <= DENSE_MAX_DELAY {
                     Self::Bitplane
                 } else {
@@ -202,7 +240,7 @@ impl EngineChoice {
 
     /// Whether the resolved engine needs event-mode network validation.
     fn event_mode(self) -> bool {
-        matches!(self, Self::Event)
+        matches!(self, Self::Event | Self::Partitioned { .. })
     }
 }
 
@@ -377,6 +415,18 @@ fn run_resolved(
         EngineChoice::Parallel(engine) => {
             engine.run_core(net, &spec.initial_spikes, &spec.config, scratch, obs)
         }
+        // Compiles a fresh plan per run: the partitioned engine targets
+        // nets too large for one address space, where the run dwarfs the
+        // compile. Batch callers wanting compile-once reuse should hold a
+        // `PartitionPlan` and call `PartitionPlan::run` themselves.
+        EngineChoice::Partitioned { parts } => {
+            use crate::engine::Engine;
+            crate::partition::PartitionedEngine::new(parts).run(
+                net,
+                &spec.initial_spikes,
+                &spec.config,
+            )
+        }
     }
 }
 
@@ -518,6 +568,50 @@ mod tests {
         let specs = [RunSpec::new(vec![], RunConfig::fixed(3))];
         let results = BatchRunner::new(&net).run(&specs).unwrap();
         assert_eq!(results[0].spike_counts[0], 3);
+    }
+
+    #[test]
+    fn auto_routes_over_budget_nets_to_partitioned() {
+        let (net, ids) = chain(64, 2);
+        // A budget below the net's footprint forces the partitioned route;
+        // the partition count scales with the overshoot and stays clamped.
+        let tiny = net.memory_bytes() / 3;
+        let choice = EngineChoice::Auto.resolve_with_partition_budget(&net, tiny);
+        match choice {
+            EngineChoice::Partitioned { parts } => {
+                assert!((2..=16).contains(&parts), "parts = {parts}");
+            }
+            other => panic!("expected Partitioned, got {other:?}"),
+        }
+        // A generous budget leaves the sparse net on the event engine, and
+        // a zero budget disables the gate entirely.
+        assert!(matches!(
+            EngineChoice::Auto.resolve_with_partition_budget(&net, usize::MAX),
+            EngineChoice::Event
+        ));
+        assert!(matches!(
+            EngineChoice::Auto.resolve_with_partition_budget(&net, 0),
+            EngineChoice::Event
+        ));
+        // Spontaneous neurons still win: partitioned is event-style and
+        // would reject them, so the dense route takes precedence.
+        let mut spont = Network::new();
+        spont.add_neuron(LifParams {
+            v_reset: 2.0,
+            v_threshold: 1.0,
+            decay: 0.0,
+        });
+        assert!(matches!(
+            EngineChoice::Auto.resolve_with_partition_budget(&spont, 1),
+            EngineChoice::Dense
+        ));
+        // And the routed choice runs, bit-identical to the event engine.
+        let spec = RunSpec::new(vec![ids[0]], RunConfig::until_quiescent(300));
+        let got = run_resolved(choice, &net, &spec, &mut RunScratch::new()).unwrap();
+        let want = EventEngine
+            .run(&net, &spec.initial_spikes, &spec.config)
+            .unwrap();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -14,7 +14,10 @@ mod parallel;
 mod stepper;
 pub(crate) mod wheel;
 
-pub use batch::{run_jobs, summarize, BatchRunner, EngineChoice, RunScratch, RunSpec};
+pub use batch::{
+    run_jobs, summarize, BatchRunner, EngineChoice, RunScratch, RunSpec,
+    DEFAULT_PARTITION_MEMORY_BUDGET,
+};
 pub use bitplane::BitplaneEngine;
 pub use dense::DenseEngine;
 pub use event::EventEngine;
@@ -242,9 +245,20 @@ pub(crate) struct Recorder {
 
 impl Recorder {
     pub(crate) fn new(net: &Network, config: &RunConfig) -> Result<Self, SnnError> {
-        let n = net.neuron_count();
+        Self::with_shape(net.neuron_count(), net.terminal(), config)
+    }
+
+    /// [`Self::new`] from a network *shape* (neuron count + terminal)
+    /// instead of a `Network`. The partitioned engine records against
+    /// global ids, but at run time it only holds per-partition
+    /// sub-networks — the original network's shape lives in the plan.
+    pub(crate) fn with_shape(
+        n: usize,
+        net_terminal: Option<NeuronId>,
+        config: &RunConfig,
+    ) -> Result<Self, SnnError> {
         let terminal = match &config.stop {
-            StopCondition::Terminal => Some(net.terminal().ok_or(SnnError::NoTerminal)?),
+            StopCondition::Terminal => Some(net_terminal.ok_or(SnnError::NoTerminal)?),
             _ => None,
         };
         let pending_targets = match &config.stop {

@@ -64,6 +64,7 @@ pub mod engine;
 pub mod error;
 pub mod network;
 pub mod params;
+pub mod partition;
 pub mod probe;
 pub mod raster;
 pub mod types;
@@ -77,6 +78,7 @@ pub use engine::{
 };
 pub use error::SnnError;
 pub use network::{BitplaneTopology, Network, Synapse};
+pub use partition::{CutStrategy, PartitionPlan, PartitionRunStats, PartitionedEngine};
 pub use params::LifParams;
 pub use raster::SpikeRaster;
 pub use types::{NeuronId, Time};

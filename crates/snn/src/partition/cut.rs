@@ -1,0 +1,249 @@
+//! Edge-cut partitioners: assign every neuron to one of `parts` regions.
+//!
+//! The quality of an assignment is the number of synapses whose endpoints
+//! land in different regions (the *cut*): cut synapses become channel
+//! traffic every time their source fires, so a smaller cut is cheaper.
+//! Correctness never depends on the assignment — the partitioned engine
+//! is bit-identical to a monolithic run under *any* valid assignment —
+//! which is what makes the strategy pluggable.
+
+use std::collections::VecDeque;
+
+use crate::network::Network;
+
+/// A strategy for assigning neurons to partitions.
+pub trait Partitioner {
+    /// Maps each neuron (by dense id) to a partition in `0..parts`.
+    ///
+    /// Must return exactly `net.neuron_count()` entries, each `< parts`
+    /// (checked by [`super::PartitionPlan::compile`]). Partitions may be
+    /// empty. Implementations must be deterministic: the same network and
+    /// `parts` must always produce the same assignment.
+    fn assign(&self, net: &Network, parts: usize) -> Vec<u32>;
+}
+
+/// Built-in edge-cut strategies, for callers that pick by name (e.g.
+/// `EngineChoice::Partitioned`) rather than supplying a [`Partitioner`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CutStrategy {
+    /// [`BfsGrowPartitioner`]: greedy BFS-grown regions.
+    #[default]
+    BfsGrow,
+    /// [`RangePartitioner`]: contiguous id ranges.
+    Range,
+}
+
+impl CutStrategy {
+    /// The partitioner implementing this strategy.
+    #[must_use]
+    pub fn partitioner(self) -> &'static dyn Partitioner {
+        match self {
+            Self::BfsGrow => &BfsGrowPartitioner,
+            Self::Range => &RangePartitioner,
+        }
+    }
+}
+
+/// Contiguous id-range partitioning: neuron `i` goes to `i / ceil(n/parts)`.
+///
+/// Zero-cost to compute and a surprisingly good cut for builder-order
+/// locality (e.g. layered graphs built layer by layer). The baseline every
+/// smarter strategy must beat.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RangePartitioner;
+
+impl Partitioner for RangePartitioner {
+    fn assign(&self, net: &Network, parts: usize) -> Vec<u32> {
+        let n = net.neuron_count();
+        let parts = parts.max(1);
+        let chunk = n.div_ceil(parts).max(1);
+        (0..n)
+            .map(|i| ((i / chunk) as u32).min(parts as u32 - 1))
+            .collect()
+    }
+}
+
+/// Greedy BFS-grown regions over the undirected view of the synapse graph.
+///
+/// Seeds each region at the lowest-id unassigned neuron and grows it
+/// breadth-first (out- and in-neighbours alike) until the region reaches
+/// `ceil(n/parts)` neurons, then starts the next region. Connected
+/// neighbourhoods tend to land in one region, so cuts follow sparse
+/// frontiers instead of slicing through dense cores. Deterministic:
+/// expansion order is (BFS queue order) × (CSR synapse order).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BfsGrowPartitioner;
+
+impl Partitioner for BfsGrowPartitioner {
+    fn assign(&self, net: &Network, parts: usize) -> Vec<u32> {
+        let n = net.neuron_count();
+        let parts = parts.max(1);
+        if n == 0 {
+            return Vec::new();
+        }
+        let csr = net.csr();
+
+        // In-neighbour lists (counting sort), for undirected growth.
+        let m = csr.all().len();
+        let mut in_off = vec![0usize; n + 1];
+        for s in csr.all() {
+            in_off[s.target.index() + 1] += 1;
+        }
+        for i in 0..n {
+            in_off[i + 1] += in_off[i];
+        }
+        let mut in_adj = vec![0u32; m];
+        let mut cursor: Vec<usize> = in_off[..n].to_vec();
+        for u in 0..n {
+            for s in csr.out(u) {
+                let t = s.target.index();
+                in_adj[cursor[t]] = u as u32;
+                cursor[t] += 1;
+            }
+        }
+
+        let target = n.div_ceil(parts);
+        let mut assignment = vec![u32::MAX; n];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut seed_cursor = 0usize;
+        let mut part = 0u32;
+        let mut region = 0usize;
+        let mut assigned = 0usize;
+        while assigned < n {
+            // Close a full region (the last region absorbs any remainder).
+            if region >= target && (part as usize) + 1 < parts {
+                part += 1;
+                region = 0;
+                queue.clear();
+            }
+            let u = if let Some(u) = queue.pop_front() {
+                u
+            } else {
+                // Frontier exhausted (or region just closed): seed at the
+                // lowest-id unassigned neuron.
+                while assignment[seed_cursor] != u32::MAX {
+                    seed_cursor += 1;
+                }
+                assignment[seed_cursor] = part;
+                assigned += 1;
+                region += 1;
+                seed_cursor
+            };
+            for s in csr.out(u) {
+                if region >= target && (part as usize) + 1 < parts {
+                    break;
+                }
+                let v = s.target.index();
+                if assignment[v] == u32::MAX {
+                    assignment[v] = part;
+                    assigned += 1;
+                    region += 1;
+                    queue.push_back(v);
+                }
+            }
+            for &v in &in_adj[in_off[u]..in_off[u + 1]] {
+                if region >= target && (part as usize) + 1 < parts {
+                    break;
+                }
+                let v = v as usize;
+                if assignment[v] == u32::MAX {
+                    assignment[v] = part;
+                    assigned += 1;
+                    region += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        assignment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::LifParams;
+
+    fn chain(n: usize) -> Network {
+        let mut net = Network::new();
+        let ids = net.add_neurons(LifParams::gate_at_least(1), n);
+        for w in ids.windows(2) {
+            net.connect(w[0], w[1], 1.0, 1).unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn range_covers_all_parts_evenly() {
+        let net = chain(10);
+        let a = RangePartitioner.assign(&net, 4);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn range_with_more_parts_than_neurons_leaves_tail_empty() {
+        let net = chain(3);
+        let a = RangePartitioner.assign(&net, 8);
+        assert_eq!(a, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_grow_assigns_every_neuron_in_range() {
+        let net = chain(17);
+        for parts in [1, 2, 4, 8] {
+            let a = BfsGrowPartitioner.assign(&net, parts);
+            assert_eq!(a.len(), 17);
+            assert!(a.iter().all(|&p| (p as usize) < parts));
+            // Balanced to the ceiling.
+            let mut sizes = vec![0usize; parts];
+            for &p in &a {
+                sizes[p as usize] += 1;
+            }
+            assert!(sizes.iter().all(|&s| s <= 17usize.div_ceil(parts)));
+        }
+    }
+
+    #[test]
+    fn bfs_grow_keeps_chain_regions_contiguous() {
+        // On a chain, BFS growth from the lowest id must produce the
+        // minimal (parts - 1)-edge cut: contiguous blocks.
+        let net = chain(16);
+        let a = BfsGrowPartitioner.assign(&net, 4);
+        let mut cut = 0;
+        for u in 0..16 {
+            for s in net.csr().out(u) {
+                if a[u] != a[s.target.index()] {
+                    cut += 1;
+                }
+            }
+        }
+        assert_eq!(cut, 3);
+    }
+
+    #[test]
+    fn bfs_grow_handles_disconnected_components() {
+        // Two disjoint chains: seeding must hop to the second component.
+        let mut net = Network::new();
+        let a = net.add_neurons(LifParams::gate_at_least(1), 4);
+        let b = net.add_neurons(LifParams::gate_at_least(1), 4);
+        net.connect(a[0], a[1], 1.0, 1).unwrap();
+        net.connect(b[2], b[3], 1.0, 1).unwrap();
+        let asg = BfsGrowPartitioner.assign(&net, 2);
+        assert_eq!(asg.len(), 8);
+        assert!(asg.iter().all(|&p| p < 2));
+        assert_eq!(asg.iter().filter(|&&p| p == 0).count(), 4);
+    }
+
+    #[test]
+    fn partitioners_are_deterministic() {
+        let net = chain(31);
+        assert_eq!(
+            BfsGrowPartitioner.assign(&net, 4),
+            BfsGrowPartitioner.assign(&net, 4)
+        );
+        assert_eq!(
+            RangePartitioner.assign(&net, 4),
+            RangePartitioner.assign(&net, 4)
+        );
+    }
+}

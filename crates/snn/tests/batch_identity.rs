@@ -16,7 +16,7 @@ use sgl_snn::{
         BatchRunner, BitplaneEngine, DenseEngine, Engine, EngineChoice, EventEngine,
         ParallelDenseEngine, RunConfig, RunSpec,
     },
-    LifParams, Network, NeuronId,
+    LifParams, Network, NeuronId, PartitionedEngine,
 };
 
 /// A compact, shrinkable description of a random network plus a batch of
@@ -100,6 +100,7 @@ proptest! {
             EngineChoice::Event,
             EngineChoice::Bitplane,
             EngineChoice::Parallel(ParallelDenseEngine { threads: 3, min_chunk: 1 }),
+            EngineChoice::Partitioned { parts: 3 },
         ];
         for choice in choices {
             for threads in [1, 4] {
@@ -117,6 +118,9 @@ proptest! {
                             BitplaneEngine.run(&net, &s.initial_spikes, &s.config)
                         }
                         EngineChoice::Parallel(e) => e.run(&net, &s.initial_spikes, &s.config),
+                        EngineChoice::Partitioned { parts } => {
+                            PartitionedEngine::new(parts).run(&net, &s.initial_spikes, &s.config)
+                        }
                         EngineChoice::Auto => unreachable!(),
                     }
                     .unwrap();

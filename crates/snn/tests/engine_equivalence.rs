@@ -1,8 +1,10 @@
 //! Differential harness: the dense (literal), event-driven, bit-plane,
-//! and parallel dense engines must produce *bit-identical* [`RunResult`]s
-//! — spike times, counts, raster, termination time and reason, and work
-//! counters (modulo the documented `neuron_updates` semantic difference)
-//! — across random networks.
+//! parallel dense, and partitioned engines must produce *bit-identical*
+//! [`RunResult`]s — spike times, counts, raster, termination time and
+//! reason, and work counters (modulo the documented `neuron_updates`
+//! semantic difference; the partitioned engine matches the event engine
+//! exactly, counters included) — across random networks. The partitioned
+//! engine is swept at 1/2/4/8 partitions.
 //!
 //! Weights are drawn from a continuous range, so per-target synaptic sums
 //! genuinely depend on accumulation order: these tests fail if any engine
@@ -17,8 +19,13 @@ use sgl_snn::{
         BitplaneEngine, DenseEngine, Engine, EventEngine, ParallelDenseEngine, RunConfig,
         RunResult, TimeSeriesObserver,
     },
-    LifParams, Network, NeuronId,
+    CutStrategy, LifParams, Network, NeuronId, PartitionedEngine,
 };
+
+/// Partition counts every partitioned differential test sweeps: the
+/// degenerate single partition, balanced splits, and more partitions
+/// than some random nets have neurons (empty partitions).
+const PART_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 /// A compact description of a random network we can generate shrinkable
 /// instances of.
@@ -160,11 +167,26 @@ proptest! {
             prop_assert_eq!(&dense, &par);
             prop_assert_eq!(&dense, &bp);
             assert_identical_modulo_updates(&dense, &event)?;
+            // The partitioned engine shares the event engine's lazy-decay
+            // update and touched-set accounting, so its *entire* result —
+            // work counters included — must equal the event engine's, at
+            // every partition count and under both cut strategies.
+            for parts in PART_COUNTS {
+                for strategy in [CutStrategy::BfsGrow, CutStrategy::Range] {
+                    let part = PartitionedEngine::new(parts)
+                        .with_strategy(strategy)
+                        .run(&net, &initial, &cfg)
+                        .unwrap();
+                    prop_assert_eq!(&event, &part);
+                }
+            }
             // A frozen network is observationally the same network.
             let dense_frozen = DenseEngine.run(&frozen, &initial, &cfg).unwrap();
             let bp_frozen = BitplaneEngine.run(&frozen, &initial, &cfg).unwrap();
+            let part_frozen = PartitionedEngine::new(4).run(&frozen, &initial, &cfg).unwrap();
             prop_assert_eq!(&dense, &dense_frozen);
             prop_assert_eq!(&dense, &bp_frozen);
+            prop_assert_eq!(&event, &part_frozen);
         }
     }
 
@@ -183,6 +205,10 @@ proptest! {
         prop_assert_eq!(&dense, &par);
         prop_assert_eq!(&dense, &bp);
         assert_identical_modulo_updates(&dense, &event)?;
+        for parts in PART_COUNTS {
+            let part = PartitionedEngine::new(parts).run(&net, &initial, &cfg).unwrap();
+            prop_assert_eq!(&event, &part);
+        }
     }
 
     /// OR-mask-eligible networks (reset 0, non-negative thresholds, every
@@ -239,6 +265,19 @@ proptest! {
                 prop_assert_eq!(obs.total_deliveries(), o.stats.synaptic_deliveries);
                 prop_assert_eq!(obs.total_updates(), o.stats.neuron_updates);
                 prop_assert_eq!(obs.final_step, o.steps);
+            }
+            // Same purity for the partitioned engine, whose observed path
+            // additionally reports per-channel cut traffic.
+            for parts in PART_COUNTS {
+                let engine = PartitionedEngine::new(parts);
+                let plain_part = engine.run(&net, &initial, &cfg).unwrap();
+                let mut obs = TimeSeriesObserver::new();
+                let observed_part = engine.run_observed(&net, &initial, &cfg, &mut obs).unwrap();
+                prop_assert_eq!(&plain_part, &observed_part);
+                prop_assert_eq!(obs.total_spikes(), observed_part.stats.spike_events);
+                prop_assert_eq!(obs.total_deliveries(), observed_part.stats.synaptic_deliveries);
+                prop_assert_eq!(obs.total_updates(), observed_part.stats.neuron_updates);
+                prop_assert_eq!(obs.final_step, observed_part.steps);
             }
         }
     }
@@ -297,12 +336,13 @@ fn duplicate_initial_spikes_dedup_identically() {
         min_chunk: 1,
     };
     let mut tallies: Vec<(&str, RunResult, BatchTally)> = Vec::new();
-    for name in ["dense", "event", "parallel", "bitplane"] {
+    for name in ["dense", "event", "parallel", "bitplane", "partitioned"] {
         let mut tally = BatchTally::default();
         let r = match name {
             "dense" => DenseEngine.run_observed(&net, &initial, &cfg, &mut tally),
             "event" => EventEngine.run_observed(&net, &initial, &cfg, &mut tally),
             "parallel" => par.run_observed(&net, &initial, &cfg, &mut tally),
+            "partitioned" => PartitionedEngine::new(2).run_observed(&net, &initial, &cfg, &mut tally),
             _ => BitplaneEngine.run_observed(&net, &initial, &cfg, &mut tally),
         }
         .unwrap();
@@ -329,7 +369,9 @@ fn duplicate_initial_spikes_dedup_identically() {
         let nonzero = |v: &Vec<(u64, u64)>| -> Vec<(u64, u64)> {
             v.iter().copied().filter(|&(_, d)| d > 0).collect()
         };
-        if *name == "event" {
+        if *name == "event" || *name == "partitioned" {
+            // Both visit only steps with activity, so their per-step
+            // announcements are a subsequence of the dense trace.
             assert_eq!(
                 nonzero(&tally.step_spikes),
                 nonzero(&dense_tally.step_spikes),
@@ -377,4 +419,16 @@ fn beyond_horizon_overflow_matches_wheel() {
     // c needs both the in-horizon relay (via b) and the overflow arrival
     // in the same step: 0 + 4096 + 1 == 0 + 4097.
     assert_eq!(bp.first_spike(c), Some(4097));
+    // Partition wheels are sized to the *global* max delay, so the
+    // in-horizon/overflow classification — and the slots-before-overflow
+    // drain order at the coinciding step — must match the monolithic
+    // wheel at every partition count, including across the cut.
+    let event = EventEngine.run(&net, &[a], &cfg).unwrap();
+    for parts in PART_COUNTS {
+        let part = PartitionedEngine::new(parts).run(&net, &[a], &cfg).unwrap();
+        assert_eq!(event, part, "parts = {parts}");
+    }
+    let mut as_dense = event.clone();
+    as_dense.stats.neuron_updates = dense.stats.neuron_updates;
+    assert_eq!(dense, as_dense);
 }

@@ -25,6 +25,10 @@
 //!   bitplane-vs-dense speedup table over the paired rows the perf_check
 //!   ordering rule is enforced on:
 //!   `cargo run --release --example run_report -- artifacts/BENCH_engines.json`
+//! - `BENCH_partition.json` (written by the `partition` bench): the
+//!   cut-traffic vs partition-count table per problem size with a
+//!   speedup-over-event sparkline:
+//!   `cargo run --release --example run_report -- artifacts/BENCH_partition.json`
 //! - Chrome trace-event files (written by `sgl-stress --trace` /
 //!   `sgl-serve --trace-out`): the ten slowest requests broken down by
 //!   pipeline stage, plus a sparkline of where traced time goes:
@@ -80,7 +84,98 @@ fn render_report_file(path: &str) {
     match report.name.as_str() {
         "serve" => render_serve_report(&report, path),
         "compile" => render_compile_report(&report, path),
-        other => panic!("no renderer for report `{other}` (expected serve or compile)"),
+        "partition" => render_partition_report(&report, path),
+        other => panic!("no renderer for report `{other}` (expected serve, compile, or partition)"),
+    }
+}
+
+/// Renders a `BENCH_partition.json` report written by the `partition`
+/// bench: per problem size, the cut-traffic vs partition-count table
+/// (static cut, messages carried, spill count, median) plus a sparkline
+/// of the speedup each partition rung achieves over the event-engine
+/// baseline — the terminal view of the von Seeler cut-traffic tradeoff.
+fn render_partition_report(report: &RunReport, path: &str) {
+    println!("# partitioned SSSP report `{}` ({path})\n", report.name);
+
+    let mut rendered = 0usize;
+    for (name, data) in &report.sections {
+        let Some(size) = name.strip_prefix("table:cut_traffic_") else {
+            continue;
+        };
+        let (Some(Json::Arr(header)), Some(Json::Arr(rows))) =
+            (data.get("header"), data.get("rows"))
+        else {
+            continue;
+        };
+        rendered += 1;
+        println!("cut traffic vs partitions, n = {size}:");
+        let cells = |row: &Json| -> Vec<String> {
+            row.as_arr()
+                .map(|r| {
+                    r.iter()
+                        .map(|c| c.as_str().unwrap_or("?").to_string())
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let head: Vec<String> = header
+            .iter()
+            .map(|c| c.as_str().unwrap_or("?").to_string())
+            .collect();
+        println!(
+            "  {:<8} {:>10} {:>13} {:>8} {:>14} {:>9}",
+            head[0], head[1], head[2], head[3], head[4], head[5]
+        );
+        // Speedup per rung = event_median / rung_median, i.e. the
+        // inverse of the emitted `vs_event` ratio; 100 = parity.
+        let mut speedups = Vec::new();
+        for row in rows {
+            let c = cells(row);
+            if c.len() != head.len() {
+                continue;
+            }
+            println!(
+                "  {:<8} {:>10} {:>13} {:>8} {:>14} {:>9}",
+                c[0], c[1], c[2], c[3], c[4], c[5]
+            );
+            if c[0] != "event" {
+                if let Ok(ratio) = c[5].parse::<f64>() {
+                    speedups.push((100.0 / ratio.max(0.01)).round() as u64);
+                }
+            }
+        }
+        if !speedups.is_empty() {
+            let worst = speedups.iter().min().copied().unwrap_or(0);
+            println!(
+                "  speedup vs event across rungs: {}  (worst {:.2}x)",
+                sparkline(&speedups, 32),
+                worst as f64 / 100.0
+            );
+        }
+        println!();
+    }
+    assert!(rendered > 0, "no cut_traffic tables in {path}");
+
+    if let Some(summary) = report.get("summary") {
+        println!("completed runs:");
+        for key in ["n_10k", "n_100k", "n_1m"] {
+            let Some(s) = summary.get(key) else { continue };
+            let f = |k: &str| s.get(k).and_then(Json::as_u64).unwrap_or(0);
+            println!(
+                "  n = {:>8}: m = {}, {} supersteps, {}/{} nodes reached, event median {:.3} ms{}",
+                f("n"),
+                f("m"),
+                f("steps"),
+                f("reached"),
+                f("n"),
+                f("event_median_ns") as f64 / 1e6,
+                if matches!(s.get("completed"), Some(Json::Bool(true))) {
+                    ""
+                } else {
+                    " (INCOMPLETE)"
+                },
+            );
+        }
     }
 }
 
