@@ -10,12 +10,22 @@
 //! partitioned result is asserted bit-identical to the event run before
 //! any timing.
 //!
+//! The threaded BSP driver is swept on top: `p{2,4,8}` partitions at
+//! `t{1,2,4}` worker threads, every combination asserted bit-identical
+//! to the event run before timing, with per-worker balance (imbalance
+//! ratio, max barrier wait) read back through
+//! [`PartitionPlan::run_with_stats_threaded`].
+//!
 //! Emits `SGL_BENCH_JSON` lines (`group: "partition"`, ids `event/<n>`,
-//! `p1/<n>` ... `p8/<n>`) for `perf_check`, which enforces two intra-run
-//! rules: `p1/<n>` within 10% of `event/<n>` (the partition machinery at
-//! one partition is bookkeeping only), and each doubling of the partition
-//! count at most 2x the previous rung (cut overhead grows smoothly, it
-//! does not cliff). The cut-traffic table lands in `BENCH_partition.json`.
+//! `p1/<n>` ... `p8/<n>`, and `p<K>t<T>/<n>` for the threaded sweep) for
+//! `perf_check`, which enforces intra-run rules: `p1/<n>` within 10% of
+//! `event/<n>` (the partition machinery at one partition is bookkeeping
+//! only), each doubling of the partition count at most 2x the previous
+//! rung (cut overhead grows smoothly, it does not cliff), `p<K>t1`
+//! within 5% of `p<K>` (threads = 1 delegates to the sequential driver),
+//! and — on a multi-core runner at n >= 10^5 — `p<K>t<T>` no slower
+//! than `p<K>t1` (the worker pool helps or stays out of the way). The
+//! cut-traffic and worker-balance tables land in `BENCH_partition.json`.
 
 use std::time::{Duration, Instant};
 
@@ -28,6 +38,9 @@ use sgl_snn::partition::{PartitionPlan, PartitionedEngine};
 use sgl_snn::{Network, NeuronId};
 
 const PART_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Worker-thread counts for the threaded-driver sweep (t1 delegates to
+/// the sequential driver and anchors the speedup column).
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 const SEED: u64 = 2021;
 
 /// (n, layers, fanout, max edge length, timing samples). Width is
@@ -112,7 +125,10 @@ fn main() {
         sink.phase("run");
         let event = run_event(&net, &config);
         let reached = event.first_spikes.iter().flatten().count();
-        println!("  event engine: {} steps, {reached}/{n} reached", event.steps);
+        println!(
+            "  event engine: {} steps, {reached}/{n} reached",
+            event.steps
+        );
 
         // Compile one plan per rung; correctness gate before any timing.
         let plans: Vec<PartitionPlan> = PART_COUNTS
@@ -127,7 +143,13 @@ fn main() {
         let (event_median, event_min, event_mean) = measure(samples, || {
             std::hint::black_box(run_event(&net, &config));
         });
-        append_json_line(&format!("event/{n}"), event_median, event_min, event_mean, samples);
+        append_json_line(
+            &format!("event/{n}"),
+            event_median,
+            event_min,
+            event_mean,
+            samples,
+        );
         rows.push(vec![
             "event".into(),
             "-".into(),
@@ -164,11 +186,89 @@ fn main() {
             ]);
         }
 
+        // Threaded sweep: same plans, worker pool at 1/2/4 threads.
+        // Bit-identity is asserted per combination before timing, and the
+        // stats run doubles as the worker-balance readout.
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let mut trows: Vec<Vec<String>> = Vec::new();
+        for (plan, &parts) in plans.iter().zip(&PART_COUNTS) {
+            if parts == 1 {
+                continue; // single partition sheds to the sequential path
+            }
+            let mut t1_median = Duration::ZERO;
+            for &threads in &THREAD_COUNTS {
+                let (result, stats) = plan
+                    .run_with_stats_threaded(&[NeuronId(0)], &config, threads)
+                    .expect("valid SSSP net");
+                assert_eq!(
+                    event, result,
+                    "partitioned@{parts} t{threads} diverged from the event engine at n = {n}"
+                );
+                let (median, min, mean) = measure(samples, || {
+                    std::hint::black_box(
+                        plan.run_threaded(&[NeuronId(0)], &config, threads).unwrap(),
+                    );
+                });
+                append_json_line(
+                    &format!("p{parts}t{threads}/{n}"),
+                    median,
+                    min,
+                    mean,
+                    samples,
+                );
+                if threads == 1 {
+                    t1_median = median;
+                }
+                let rel = median.as_secs_f64() / t1_median.as_secs_f64().max(1e-12);
+                let max_wait_us = stats
+                    .workers
+                    .iter()
+                    .map(|w| w.barrier_wait_ns)
+                    .max()
+                    .unwrap_or(0)
+                    / 1_000;
+                println!(
+                    "  partitioned@{parts} t{threads}: {median:?} ({rel:.2}x t1, \
+                     imbalance max {:.2}, max barrier wait {max_wait_us}us)",
+                    stats.imbalance_max
+                );
+                trows.push(vec![
+                    format!("p{parts}"),
+                    threads.to_string(),
+                    format!("{median:?}"),
+                    format!("{rel:.2}"),
+                    format!("{:.2}", stats.imbalance_max),
+                    max_wait_us.to_string(),
+                ]);
+            }
+        }
+
         sink.phase("readout");
         sink.table(
             &format!("cut_traffic_{n}"),
-            &["engine", "cut_edges", "cut_messages", "spilled", "median", "vs_event"],
+            &[
+                "engine",
+                "cut_edges",
+                "cut_messages",
+                "spilled",
+                "median",
+                "vs_event",
+            ],
             &rows,
+        );
+        sink.table(
+            &format!("threaded_{n}"),
+            &[
+                "config",
+                "threads",
+                "median",
+                "vs_t1",
+                "imbalance_max",
+                "max_wait_us",
+            ],
+            &trows,
         );
         summaries.push((
             match n {
@@ -181,7 +281,11 @@ fn main() {
                 ("m", Json::UInt(g.m() as u64)),
                 ("steps", Json::UInt(event.steps)),
                 ("reached", Json::UInt(reached as u64)),
-                ("event_median_ns", Json::UInt(event_median.as_nanos() as u64)),
+                (
+                    "event_median_ns",
+                    Json::UInt(event_median.as_nanos() as u64),
+                ),
+                ("cores", Json::UInt(cores as u64)),
                 ("completed", Json::Bool(true)),
             ]),
         ));

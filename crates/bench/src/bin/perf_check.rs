@@ -19,12 +19,20 @@
 //! committed *untraced* baseline — the budget on what per-request span
 //! recording may cost the serve hot path.
 //!
-//! Two intra-run rules cover the `partition` group: `partition/p1/<n>`
+//! Intra-run rules cover the `partition` group: `partition/p1/<n>`
 //! must stay within 10% of `partition/event/<n>` (at one partition the
 //! cut is empty, so the partition machinery may cost bookkeeping only),
 //! and each doubling of the partition count may at most double the
 //! median (`p2 <= 2*p1`, `p4 <= 2*p2`, `p8 <= 2*p4` — cut overhead must
-//! grow smoothly with the cut, not cliff).
+//! grow smoothly with the cut, not cliff). The threaded BSP driver adds
+//! two more: `p<K>t1/<n>` must stay within 5% of the sequential
+//! `p<K>/<n>` (threads = 1 delegates to the sequential driver, so only
+//! dispatch may separate them), and on a multi-core runner `p<K>t<T>/<n>`
+//! at n >= 10^5 must not be slower than `p<K>t1/<n>` — the worker pool
+//! either speeds the run up or stays out of the way. The multi-thread
+//! rule is gated on this process's `available_parallelism()`: a
+//! single-core runner serialises the workers, so barrier overhead
+//! without speedup is expected there, not a regression.
 //!
 //! One rule is absolute against a frozen constant:
 //! `serve/ns_per_op/<connections>` rows (the sharded server's sustained
@@ -254,6 +262,61 @@ fn main() -> ExitCode {
                 prev.saturating_mul(2),
             );
             prev = cur;
+        }
+    }
+
+    // Threaded-driver rules, per `partition/p<K>t<T>/<n>` row.
+    // (a) `t1` delegates to the sequential driver (no pool, no barrier),
+    //     so `p<K>t1` must stay within [`ORDER_EPSILON`] of `p<K>`.
+    // (b) On a multi-core runner, more threads must not lose to one
+    //     thread at n >= 10^5 — real work per superstep is then large
+    //     enough that barrier costs amortise, so a loss means the pool
+    //     is overhead, not parallelism. Single-core runners serialise
+    //     the workers; there the rule is vacuous and skipped.
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    for (name, &cur) in current.range("partition/p".to_string()..) {
+        let Some(rest) = name.strip_prefix("partition/p") else {
+            break; // past the partition p-rows in BTreeMap order
+        };
+        let Some((combo, n)) = rest.split_once('/') else {
+            continue;
+        };
+        let Some((parts, threads)) = combo.split_once('t') else {
+            continue; // sequential `p<K>` row, covered above
+        };
+        let (Ok(threads), Ok(size)) = (threads.parse::<u64>(), n.parse::<u64>()) else {
+            continue;
+        };
+        if threads == 1 {
+            if let Some(&seq) = current.get(&format!("partition/p{parts}/{n}")) {
+                failures += check_ordering(
+                    "partition threaded",
+                    &format!("p{parts}t1/{n}"),
+                    cur,
+                    &format!("p{parts}/{n}"),
+                    seq,
+                );
+            }
+        } else if size >= 100_000 {
+            let Some(&t1) = current.get(&format!("partition/p{parts}t1/{n}")) else {
+                continue;
+            };
+            if cores < 2 {
+                println!(
+                    "ok    partition threaded: p{parts}t{threads}/{n} ({cur} ns) exempt \
+                     from the speedup rule on a single-core runner"
+                );
+            } else {
+                failures += check_ordering(
+                    "partition threaded",
+                    &format!("p{parts}t{threads}/{n}"),
+                    cur,
+                    &format!("p{parts}t1/{n}"),
+                    t1,
+                );
+            }
         }
     }
 

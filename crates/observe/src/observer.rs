@@ -76,6 +76,25 @@ pub trait RunObserver {
         let _ = (t, nanos);
     }
 
+    /// A threaded partitioned-engine worker finished superstep `t`:
+    /// `busy_ns` spent in its compute and merge phases, `wait_ns` blocked
+    /// at the superstep barriers since its previous report. Called once
+    /// per worker per superstep, only when [`Self::ENABLED`] and only by
+    /// the threaded driver (the sequential driver has no workers).
+    #[inline]
+    fn on_worker_superstep(&mut self, t: u64, worker: u32, busy_ns: u64, wait_ns: u64) {
+        let _ = (t, worker, busy_ns, wait_ns);
+    }
+
+    /// Load imbalance of superstep `t` across the threaded partitioned
+    /// workers: the slowest worker's busy nanoseconds and the mean across
+    /// workers. `max == mean` is a perfectly balanced superstep. Only
+    /// called when [`Self::ENABLED`], by the threaded driver.
+    #[inline]
+    fn on_superstep_imbalance(&mut self, t: u64, max_busy_ns: u64, mean_busy_ns: u64) {
+        let _ = (t, max_busy_ns, mean_busy_ns);
+    }
+
     /// The partitioned engine's tick-`t` exchange moved `messages`
     /// boundary-synapse deliveries over the `from -> to` spike channel.
     /// Called once per channel with traffic this tick, only when
@@ -131,6 +150,18 @@ pub struct TimeSeriesObserver {
     pub barrier_wait: LogHistogram,
     /// Total barrier-wait nanoseconds.
     pub barrier_wait_total_ns: u64,
+    /// Per-worker busy nanoseconds per superstep (threaded partitioned
+    /// driver only).
+    pub worker_busy: LogHistogram,
+    /// Per-worker barrier-wait nanoseconds per superstep (threaded
+    /// partitioned driver only).
+    pub worker_wait: LogHistogram,
+    /// Total worker barrier-wait nanoseconds across all workers.
+    pub worker_wait_total_ns: u64,
+    /// Superstep load imbalance in permille: `max_busy * 1000 / mean_busy`
+    /// per superstep (1000 = perfectly balanced). Empty for sequential
+    /// runs.
+    pub imbalance_permille: Vec<u64>,
     /// Total boundary-synapse deliveries moved over inter-partition spike
     /// channels (partitioned engine only; 0 for monolithic runs).
     pub cut_traffic_total: u64,
@@ -162,6 +193,10 @@ impl TimeSeriesObserver {
             step_latency: LogHistogram::new(),
             barrier_wait: LogHistogram::new(),
             barrier_wait_total_ns: 0,
+            worker_busy: LogHistogram::new(),
+            worker_wait: LogHistogram::new(),
+            worker_wait_total_ns: 0,
+            imbalance_permille: Vec::new(),
             cut_traffic_total: 0,
             finished: None,
             final_step: 0,
@@ -228,6 +263,13 @@ impl TimeSeriesObserver {
                 "barrier_wait_total_ns",
                 Json::UInt(self.barrier_wait_total_ns),
             ),
+            ("worker_busy_ns", self.worker_busy.to_json()),
+            ("worker_wait_ns", self.worker_wait.to_json()),
+            (
+                "worker_wait_total_ns",
+                Json::UInt(self.worker_wait_total_ns),
+            ),
+            ("imbalance_permille", Json::uints(&self.imbalance_permille)),
             ("cut_traffic_total", Json::UInt(self.cut_traffic_total)),
         ])
     }
@@ -255,6 +297,18 @@ impl RunObserver for TimeSeriesObserver {
     fn on_barrier_wait(&mut self, _t: u64, nanos: u64) {
         self.barrier_wait.record(nanos);
         self.barrier_wait_total_ns += nanos;
+    }
+
+    fn on_worker_superstep(&mut self, _t: u64, _worker: u32, busy_ns: u64, wait_ns: u64) {
+        self.worker_busy.record(busy_ns);
+        self.worker_wait.record(wait_ns);
+        self.worker_wait_total_ns += wait_ns;
+    }
+
+    fn on_superstep_imbalance(&mut self, _t: u64, max_busy_ns: u64, mean_busy_ns: u64) {
+        if let Some(permille) = max_busy_ns.saturating_mul(1000).checked_div(mean_busy_ns) {
+            self.imbalance_permille.push(permille);
+        }
     }
 
     fn on_cut_traffic(&mut self, _t: u64, _from: u32, _to: u32, messages: u64) {
@@ -335,6 +389,24 @@ mod tests {
     }
 
     #[test]
+    fn worker_series_accumulate() {
+        let mut obs = TimeSeriesObserver::new();
+        obs.on_worker_superstep(1, 0, 500, 40);
+        obs.on_worker_superstep(1, 1, 300, 60);
+        obs.on_superstep_imbalance(1, 500, 400);
+        obs.on_superstep_imbalance(2, 0, 0); // quiet superstep: no entry
+        assert_eq!(obs.worker_busy.count(), 2);
+        assert_eq!(obs.worker_wait_total_ns, 100);
+        assert_eq!(obs.imbalance_permille, vec![1250]);
+        assert_eq!(
+            obs.to_json()
+                .get("worker_wait_total_ns")
+                .and_then(Json::as_u64),
+            Some(100)
+        );
+    }
+
+    #[test]
     fn cut_traffic_accumulates_across_channels() {
         let mut obs = TimeSeriesObserver::new();
         obs.on_cut_traffic(1, 0, 1, 10);
@@ -342,7 +414,9 @@ mod tests {
         obs.on_cut_traffic(2, 0, 1, 3);
         assert_eq!(obs.cut_traffic_total, 17);
         assert_eq!(
-            obs.to_json().get("cut_traffic_total").and_then(Json::as_u64),
+            obs.to_json()
+                .get("cut_traffic_total")
+                .and_then(Json::as_u64),
             Some(17)
         );
     }

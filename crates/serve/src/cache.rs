@@ -508,9 +508,9 @@ impl CompiledNet {
             }
             // No scratch path: the partitioned engine owns per-partition
             // state (chosen by Auto only for nets too big for one engine).
-            EngineChoice::Partitioned { parts } => {
-                PartitionedEngine::new(parts).run(&self.net, &spikes, &config)
-            }
+            EngineChoice::Partitioned { parts, threads } => PartitionedEngine::new(parts)
+                .with_threads(threads)
+                .run(&self.net, &spikes, &config),
             _ => EventEngine.run_with_scratch(&self.net, &spikes, &config, scratch),
         }
     }
@@ -540,9 +540,9 @@ impl CompiledNet {
             EngineChoice::Bitplane => {
                 BitplaneEngine.run_with_scratch_observed(&self.net, &spikes, &config, scratch, obs)
             }
-            EngineChoice::Partitioned { parts } => {
-                PartitionedEngine::new(parts).run_observed(&self.net, &spikes, &config, obs)
-            }
+            EngineChoice::Partitioned { parts, threads } => PartitionedEngine::new(parts)
+                .with_threads(threads)
+                .run_observed(&self.net, &spikes, &config, obs),
             _ => EventEngine.run_with_scratch_observed(&self.net, &spikes, &config, scratch, obs),
         }
     }

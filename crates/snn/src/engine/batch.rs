@@ -188,10 +188,13 @@ pub enum EngineChoice {
     /// Always the partitioned engine with `parts` partitions (default
     /// cut strategy; fails on spontaneous neurons, like `Event`). `Auto`
     /// also routes here when the monolithic footprint would exceed the
-    /// partition memory budget.
+    /// partition memory budget, picking `parts` and `threads` together
+    /// from the machine's core count.
     Partitioned {
         /// Number of partitions to compile and drive.
         parts: usize,
+        /// Worker threads for the superstep driver (1 = sequential).
+        threads: usize,
     },
 }
 
@@ -210,9 +213,28 @@ impl EngineChoice {
     /// [`Self::Partitioned`] with enough partitions to bring each
     /// partition's share back under budget (capped; spontaneous networks
     /// still take the dense route, which the partitioned engine cannot
-    /// replace).
+    /// replace). The partitioned pick is core-aware — see
+    /// [`Self::resolve_with_budget_and_cores`], which this calls with
+    /// [`std::thread::available_parallelism`].
     #[must_use]
     pub fn resolve_with_partition_budget(self, net: &Network, budget: usize) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        self.resolve_with_budget_and_cores(net, budget, cores)
+    }
+
+    /// [`Self::resolve_with_partition_budget`] with the core count made
+    /// explicit (and testable). When the memory gate fires, the pick is
+    /// core-aware: `threads` is the largest worker count up to `cores`
+    /// (never more than the memory-required partition count) for which
+    /// rounding the partition count up to a multiple of `threads` stays
+    /// within the `Auto` cap — so every worker owns the same number of
+    /// partitions and no superstep waits on a straggler by construction.
+    /// On a single-core machine this degrades to the former pick exactly:
+    /// the memory-required partition count, driven sequentially.
+    #[must_use]
+    pub fn resolve_with_budget_and_cores(self, net: &Network, budget: usize, cores: usize) -> Self {
         match self {
             Self::Auto => {
                 let n = net.neuron_count() as u128;
@@ -225,9 +247,13 @@ impl EngineChoice {
                 if spontaneous {
                     Self::Dense
                 } else if memory > budget && budget > 0 {
-                    Self::Partitioned {
-                        parts: memory.div_ceil(budget).clamp(2, AUTO_MAX_PARTS),
-                    }
+                    let base = memory.div_ceil(budget).clamp(2, AUTO_MAX_PARTS);
+                    let (parts, threads) = (1..=cores.clamp(1, base))
+                        .rev()
+                        .map(|t| (base.div_ceil(t) * t, t))
+                        .find(|&(parts, _)| parts <= AUTO_MAX_PARTS)
+                        .unwrap_or((base, 1));
+                    Self::Partitioned { parts, threads }
                 } else if near_complete && net.max_delay() <= DENSE_MAX_DELAY {
                     Self::Bitplane
                 } else {
@@ -419,13 +445,11 @@ fn run_resolved(
         // nets too large for one address space, where the run dwarfs the
         // compile. Batch callers wanting compile-once reuse should hold a
         // `PartitionPlan` and call `PartitionPlan::run` themselves.
-        EngineChoice::Partitioned { parts } => {
+        EngineChoice::Partitioned { parts, threads } => {
             use crate::engine::Engine;
-            crate::partition::PartitionedEngine::new(parts).run(
-                net,
-                &spec.initial_spikes,
-                &spec.config,
-            )
+            crate::partition::PartitionedEngine::new(parts)
+                .with_threads(threads)
+                .run(net, &spec.initial_spikes, &spec.config)
         }
     }
 }
@@ -571,6 +595,34 @@ mod tests {
     }
 
     #[test]
+    fn partition_gate_is_core_aware() {
+        let (net, _) = chain(64, 2);
+        let m = net.memory_bytes();
+        let pick = |budget: usize, cores: usize| match EngineChoice::Auto
+            .resolve_with_budget_and_cores(&net, budget, cores)
+        {
+            EngineChoice::Partitioned { parts, threads } => (parts, threads),
+            other => panic!("expected Partitioned, got {other:?}"),
+        };
+        // Overshoot far past the cap: base clamps to 16; threads divide
+        // parts so every worker owns the same number of partitions.
+        assert_eq!(pick(1, 1), (16, 1));
+        assert_eq!(pick(1, 4), (16, 4));
+        // No multiple of 5 fits within the cap at base 16: the gate steps
+        // down to 4 workers rather than over-partitioning past the cap.
+        assert_eq!(pick(1, 5), (16, 4));
+        assert_eq!(pick(1, 16), (16, 16));
+        // Threads never exceed the partition count.
+        assert_eq!(pick(1, 64), (16, 16));
+        // Minimal overshoot: base 2, single-core keeps the old pick.
+        assert_eq!(pick(m - 1, 1), (2, 1));
+        assert_eq!(pick(m - 1, 2), (2, 2));
+        assert_eq!(pick(m - 1, 3), (2, 2));
+        // Degenerate core count is treated as one.
+        assert_eq!(pick(m - 1, 0), (2, 1));
+    }
+
+    #[test]
     fn auto_routes_over_budget_nets_to_partitioned() {
         let (net, ids) = chain(64, 2);
         // A budget below the net's footprint forces the partitioned route;
@@ -578,8 +630,9 @@ mod tests {
         let tiny = net.memory_bytes() / 3;
         let choice = EngineChoice::Auto.resolve_with_partition_budget(&net, tiny);
         match choice {
-            EngineChoice::Partitioned { parts } => {
+            EngineChoice::Partitioned { parts, threads } => {
                 assert!((2..=16).contains(&parts), "parts = {parts}");
+                assert!(threads >= 1 && parts % threads == 0, "threads = {threads}");
             }
             other => panic!("expected Partitioned, got {other:?}"),
         }

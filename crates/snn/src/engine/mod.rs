@@ -12,6 +12,7 @@ mod dense;
 mod event;
 mod parallel;
 mod stepper;
+pub(crate) mod sync;
 pub(crate) mod wheel;
 
 pub use batch::{

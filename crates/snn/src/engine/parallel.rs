@@ -29,14 +29,15 @@
 //!   machines (fewer cores than parties) don't burn whole scheduler
 //!   quanta spinning for a peer that cannot be running.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use sgl_observe::{NullObserver, RunObserver, StepRecord};
 
 use super::batch::RunScratch;
 use super::dense::route_spikes;
+use super::sync::SpinBarrier;
 use super::{
     check_initial, DenseEngine, Engine, Recorder, RunConfig, RunResult, StopCondition, StopReason,
 };
@@ -49,16 +50,6 @@ use crate::Network;
 /// worker, a step's arithmetic is cheaper than its two barrier crossings,
 /// so splitting finer only adds synchronisation overhead.
 pub const DEFAULT_MIN_CHUNK: usize = 64;
-
-/// Spins before yielding in [`SpinBarrier::wait`]. Dense steps over
-/// `min_chunk`-sized chunks complete in well under this many spins; the
-/// yield path only triggers when a peer is descheduled.
-const SPIN_LIMIT: u32 = 1 << 10;
-
-/// Yield rounds after the spin budget before parking on the condvar.
-/// Yielding is enough when peers are merely timesliced out; parking only
-/// happens when the system is genuinely oversubscribed for a while.
-const YIELD_LIMIT: u32 = 64;
 
 /// Dense engine with per-step neuron-range parallelism over `threads`
 /// worker threads (1 = sequential, identical to [`super::DenseEngine`]).
@@ -93,74 +84,6 @@ impl ParallelDenseEngine {
         Self {
             threads,
             min_chunk: DEFAULT_MIN_CHUNK,
-        }
-    }
-}
-
-/// Sense-reversing barrier with a tiered wait: spin on the generation
-/// counter (with [`std::hint::spin_loop`]) for [`SPIN_LIMIT`] rounds, then
-/// [`std::thread::yield_now`] for [`YIELD_LIMIT`] rounds, then park on a
-/// condvar. The common microsecond-scale step resolves in the spin tier
-/// without entering the kernel; the park tier keeps the barrier from
-/// burning scheduler quanta when there are fewer cores than parties (a
-/// waiter's spin cycles are then stolen from the very peer it waits for —
-/// spinning is skipped outright in that case).
-struct SpinBarrier {
-    parties: usize,
-    /// Per-instance spin budget: [`SPIN_LIMIT`], or 0 when the machine
-    /// cannot run all parties concurrently anyway.
-    spin: u32,
-    arrived: AtomicUsize,
-    generation: AtomicUsize,
-    lock: Mutex<()>,
-    parked: Condvar,
-}
-
-impl SpinBarrier {
-    fn new(parties: usize) -> Self {
-        let cores = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        Self {
-            parties,
-            spin: if cores >= parties { SPIN_LIMIT } else { 0 },
-            arrived: AtomicUsize::new(0),
-            generation: AtomicUsize::new(0),
-            lock: Mutex::new(()),
-            parked: Condvar::new(),
-        }
-    }
-
-    fn wait(&self) {
-        let gen = self.generation.load(Ordering::Acquire);
-        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
-            // Last arriver: reset the count, then open the next generation.
-            // The release store on `generation` publishes the reset (and
-            // all pre-barrier writes) to every waiter's acquire load.
-            self.arrived.store(0, Ordering::Relaxed);
-            self.generation.fetch_add(1, Ordering::Release);
-            // Taking (and dropping) the lock between the generation bump
-            // and the notify closes the park race: a waiter that saw the
-            // old generation either re-checks it under this lock before
-            // parking, or is already parked and receives the notify.
-            drop(self.lock.lock().expect("barrier lock poisoned"));
-            self.parked.notify_all();
-        } else {
-            let mut rounds = 0u32;
-            while self.generation.load(Ordering::Acquire) == gen {
-                if rounds < self.spin {
-                    std::hint::spin_loop();
-                } else if rounds < self.spin + YIELD_LIMIT {
-                    std::thread::yield_now();
-                } else {
-                    let mut guard = self.lock.lock().expect("barrier lock poisoned");
-                    while self.generation.load(Ordering::Acquire) == gen {
-                        guard = self.parked.wait(guard).expect("barrier lock poisoned");
-                    }
-                    break;
-                }
-                rounds += 1;
-            }
         }
     }
 }

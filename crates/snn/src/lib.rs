@@ -78,7 +78,9 @@ pub use engine::{
 };
 pub use error::SnnError;
 pub use network::{BitplaneTopology, Network, Synapse};
-pub use partition::{CutStrategy, PartitionPlan, PartitionRunStats, PartitionedEngine};
 pub use params::LifParams;
+pub use partition::{
+    CutStrategy, PartitionPlan, PartitionRunStats, PartitionedEngine, WorkerStats,
+};
 pub use raster::SpikeRaster;
 pub use types::{NeuronId, Time};

@@ -25,17 +25,18 @@
 //! scheduling order. Per-target floating-point accumulation order — and
 //! with it every `RunResult` bit — is preserved.
 //!
-//! The driver here is sequential: partitions take their compute phase in
-//! turn within one thread. The phase structure (no shared mutable state
-//! during compute, channels as the only cross-partition edge) is what a
-//! threaded or multi-process driver would need; see DESIGN.md.
+//! Two drivers share this phase structure. The sequential driver in this
+//! module takes partitions in turn within one thread; the threaded
+//! driver in [`super::driver`] gives each worker thread a fixed set of
+//! partitions and meets the others at a tiered barrier between phases —
+//! same phases, same merge, bit-identical results. `threads <= 1` (or a
+//! plan with at most one non-empty partition) always takes the
+//! sequential path, so single-threaded runs pay zero barrier overhead.
 
 use sgl_observe::{NullObserver, RunObserver, SchedulerStats, StepRecord};
 
 use crate::engine::wheel::TimeWheel;
-use crate::engine::{
-    Engine, Recorder, RunConfig, RunResult, StopCondition, StopReason,
-};
+use crate::engine::{Engine, Recorder, RunConfig, RunResult, StopCondition, StopReason};
 use crate::error::SnnError;
 use crate::network::Network;
 use crate::params::LifParams;
@@ -60,12 +61,27 @@ pub struct ChannelTraffic {
     pub spilled: u64,
 }
 
+/// Per-worker totals for one threaded run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index.
+    pub worker: u32,
+    /// Partitions this worker owned.
+    pub partitions: u32,
+    /// Nanoseconds spent in compute + merge phases across the run.
+    pub busy_ns: u64,
+    /// Nanoseconds blocked at superstep barriers across the run.
+    pub barrier_wait_ns: u64,
+}
+
 /// Partition-level counters for one run — the measurable side of the
 /// cut-traffic vs partition-count tradeoff.
 #[derive(Clone, Debug, Default)]
 pub struct PartitionRunStats {
     /// Number of partitions driven.
     pub parts: usize,
+    /// Worker threads that drove the supersteps (1 = sequential driver).
+    pub threads: usize,
     /// Static edge cut of the plan.
     pub cut_edges: u64,
     /// Total spike events carried over all channels.
@@ -76,15 +92,23 @@ pub struct PartitionRunStats {
     pub supersteps: u64,
     /// Per-channel breakdown, ordered by `(from, to)`.
     pub channels: Vec<ChannelTraffic>,
+    /// Per-worker busy/barrier-wait totals (empty for the sequential
+    /// driver).
+    pub workers: Vec<WorkerStats>,
+    /// Worst superstep imbalance: the slowest worker's busy time over the
+    /// per-worker mean (1.0 = perfectly balanced; 0 for sequential runs).
+    pub imbalance_max: f64,
+    /// Mean superstep imbalance across all supersteps the workers drove.
+    pub imbalance_mean: f64,
 }
 
 /// Per-partition run state: the partition's scheduler wheel plus the
 /// event engine's lazy-decay bookkeeping, all indexed by local id.
-struct PartState {
-    wheel: TimeWheel,
+pub(super) struct PartState {
+    pub(super) wheel: TimeWheel,
     batch: Vec<(NeuronId, f64)>,
     /// Local ids fired this superstep, ascending (== ascending global).
-    fired: Vec<u32>,
+    pub(super) fired: Vec<u32>,
     voltages: Vec<f64>,
     last_update: Vec<Time>,
     accum: Vec<f64>,
@@ -97,7 +121,7 @@ struct PartState {
 }
 
 impl PartState {
-    fn new(local_count: usize, global_max_delay: u32, parts: usize) -> Self {
+    pub(super) fn new(local_count: usize, global_max_delay: u32, parts: usize) -> Self {
         Self {
             // Sized to the *global* max delay: in-horizon vs overflow
             // classification must match the monolithic wheel (see
@@ -118,7 +142,7 @@ impl PartState {
     /// The compute phase: drain deliveries due at `t`, apply the event
     /// engine's lazy-decay update to every touched neuron, and collect
     /// fired local ids. Returns `(batch_len, updates)`.
-    fn step(&mut self, t: Time, params: &[LifParams]) -> (u64, u64) {
+    pub(super) fn step(&mut self, t: Time, params: &[LifParams]) -> (u64, u64) {
         self.batch.clear();
         self.wheel.drain_at(t, &mut self.batch);
         for &(id, w) in &self.batch {
@@ -162,7 +186,7 @@ impl PartState {
 }
 
 /// Earliest superstep with a pending delivery in any partition.
-fn next_superstep(states: &mut [PartState]) -> Option<Time> {
+pub(super) fn next_superstep(states: &mut [PartState]) -> Option<Time> {
     let mut best: Option<Time> = None;
     for st in states.iter_mut() {
         if let Some(t) = st.wheel.next_time() {
@@ -176,7 +200,9 @@ fn next_superstep(states: &mut [PartState]) -> Option<Time> {
 /// `overflow_hits` sum to exactly the monolithic values; `occupied_slots`
 /// and `overflow_entries` may exceed them (the same arrival time can
 /// occupy a slot in several wheels).
-fn aggregate_scheduler(states: &[PartState]) -> SchedulerStats {
+pub(super) fn aggregate_scheduler<'a>(
+    states: impl IntoIterator<Item = &'a PartState>,
+) -> SchedulerStats {
     let mut agg = SchedulerStats::default();
     for st in states {
         let s = st.wheel.observe();
@@ -202,7 +228,22 @@ impl PartitionPlan {
         initial_spikes: &[NeuronId],
         config: &RunConfig,
     ) -> Result<RunResult, SnnError> {
-        self.run_observed(initial_spikes, config, &mut NullObserver)
+        self.run_threaded(initial_spikes, config, 1)
+    }
+
+    /// [`Self::run`] driven by `threads` worker threads (1 = the
+    /// sequential driver; see [`super::driver`]). Bit-identical to
+    /// [`Self::run`] at any thread count.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Self::run`].
+    pub fn run_threaded(
+        &self,
+        initial_spikes: &[NeuronId],
+        config: &RunConfig,
+        threads: usize,
+    ) -> Result<RunResult, SnnError> {
+        self.run_observed_threaded(initial_spikes, config, threads, &mut NullObserver)
             .map(|(result, _)| result)
     }
 
@@ -218,6 +259,21 @@ impl PartitionPlan {
         self.run_observed(initial_spikes, config, &mut NullObserver)
     }
 
+    /// [`Self::run_threaded`] returning the run stats — including the
+    /// per-worker busy/barrier-wait totals and superstep imbalance when
+    /// the threaded driver actually engaged.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Self::run`].
+    pub fn run_with_stats_threaded(
+        &self,
+        initial_spikes: &[NeuronId],
+        config: &RunConfig,
+        threads: usize,
+    ) -> Result<(RunResult, PartitionRunStats), SnnError> {
+        self.run_observed_threaded(initial_spikes, config, threads, &mut NullObserver)
+    }
+
     /// [`Self::run`] with telemetry hooks. Alongside the usual step and
     /// scheduler series (aggregated across partitions), the observer
     /// receives [`RunObserver::on_cut_traffic`] once per channel with
@@ -231,7 +287,26 @@ impl PartitionPlan {
         config: &RunConfig,
         obs: &mut O,
     ) -> Result<(RunResult, PartitionRunStats), SnnError> {
-        let (result, stats) = self.run_core(initial_spikes, config, obs)?;
+        self.run_observed_threaded(initial_spikes, config, 1, obs)
+    }
+
+    /// [`Self::run_observed`] driven by `threads` workers. The step,
+    /// scheduler, and cut-traffic series are bit-identical to the
+    /// sequential driver's; the threaded driver additionally reports
+    /// [`RunObserver::on_worker_superstep`],
+    /// [`RunObserver::on_superstep_imbalance`], and the coordinator's
+    /// [`RunObserver::on_barrier_wait`].
+    ///
+    /// # Errors
+    /// Same failure modes as [`Self::run`].
+    pub fn run_observed_threaded<O: RunObserver>(
+        &self,
+        initial_spikes: &[NeuronId],
+        config: &RunConfig,
+        threads: usize,
+        obs: &mut O,
+    ) -> Result<(RunResult, PartitionRunStats), SnnError> {
+        let (result, stats) = self.run_core(initial_spikes, config, threads, obs)?;
         obs.on_finish(
             result.steps,
             result.stats.spike_events,
@@ -245,6 +320,7 @@ impl PartitionPlan {
         &self,
         initial_spikes: &[NeuronId],
         config: &RunConfig,
+        threads: usize,
         obs: &mut O,
     ) -> Result<(RunResult, PartitionRunStats), SnnError> {
         let p = self.parts();
@@ -277,8 +353,7 @@ impl PartitionPlan {
             states[q].fired.push(self.local_of()[id.index()]);
         }
         let mut stop_hit = rec.record_step(0, &fired_global, &config.stop);
-        let deliveries =
-            self.exchange(0, &mut states, &channels, &mut tick_traffic, &mut rec);
+        let deliveries = self.exchange(0, &mut states, &channels, &mut tick_traffic, &mut rec);
         obs.on_step(
             0,
             StepRecord {
@@ -299,6 +374,32 @@ impl PartitionPlan {
         {
             let result = rec.finish(0, StopReason::ConditionMet, config)?;
             return Ok((result, self.traffic_stats(&channels, supersteps)));
+        }
+
+        // Occupancy-aware worker shedding (the PR 3 fix, applied here):
+        // a worker can only be busy when it owns a non-empty partition,
+        // so cap the pool at the busy-partition count and take the
+        // sequential path outright when one worker would own everything —
+        // zero barrier overhead at `threads == 1` or single-partition
+        // plans.
+        let busy_parts = (0..p)
+            .filter(|&q| self.subnet(q).neuron_count() > 0)
+            .count()
+            .max(1);
+        let workers = threads.clamp(1, busy_parts);
+        if workers > 1 {
+            return super::driver::run_threaded(
+                self,
+                config,
+                obs,
+                rec,
+                states,
+                channels,
+                fired_global,
+                tick_traffic,
+                supersteps,
+                workers,
+            );
         }
 
         let mut last_active: Time = 0;
@@ -331,8 +432,7 @@ impl PartitionPlan {
             last_active = t;
 
             stop_hit = rec.record_step(t, &fired_global, &config.stop);
-            let deliveries =
-                self.exchange(t, &mut states, &channels, &mut tick_traffic, &mut rec);
+            let deliveries = self.exchange(t, &mut states, &channels, &mut tick_traffic, &mut rec);
             obs.on_step(
                 t,
                 StepRecord {
@@ -378,123 +478,18 @@ impl PartitionPlan {
         tick_traffic: &mut [u64],
         rec: &mut Recorder,
     ) -> u64 {
-        let p = self.parts();
-
-        // Publish: one event per (fired source) × (cut synapse). A plan
-        // with an empty cut (one partition, or a cut-aligned topology)
-        // skips the scan entirely.
-        if self.cut_edge_count() > 0 {
-            for q in 0..p {
-                for &l in &states[q].fired {
-                    let cuts = self.cut_out(q, l as usize);
-                    if cuts.is_empty() {
-                        continue;
-                    }
-                    let src = self.globals(q)[l as usize].0;
-                    for c in cuts {
-                        channels[q * p + c.part as usize]
-                            .as_ref()
-                            .expect("cut synapse implies a channel")
-                            .push(SpikeEvent {
-                                src,
-                                due: Self::due(t, c),
-                                target_local: c.target_local,
-                                weight: c.weight,
-                            });
-                    }
-                }
-            }
+        for (q, st) in states.iter().enumerate() {
+            publish_cut(self, q, &st.fired, channels, t);
         }
-
-        // Schedule: per-partition k-way merge of disjoint-source streams.
         let mut deliveries = 0u64;
-        for q in 0..p {
-            let csr = self.subnet(q).csr();
-            let globals = self.globals(q);
-            let PartState {
-                wheel,
-                fired,
-                inbox,
-                merge_idx,
-                ..
-            } = &mut states[q];
-
-            let mut inbound = 0usize;
-            for peer in 0..p {
-                inbox[peer].clear();
-                merge_idx[peer] = 0;
-                if peer == q {
-                    continue;
-                }
-                if let Some(ch) = channels[peer * p + q].as_ref() {
-                    let got = ch.drain_into(&mut inbox[peer]);
-                    tick_traffic[peer * p + q] += got as u64;
-                    inbound += got;
-                }
-            }
-
-            // Nothing inbound (always true at one partition, and the
-            // common case on quiet boundaries): own-fired is the only
-            // stream, already in ascending global order — route it
-            // directly, skipping the per-source merge scan.
-            if inbound == 0 {
-                for &l in fired.iter() {
-                    for s in csr.out(l as usize) {
-                        wheel.schedule(t + Time::from(s.delay), s.target, s.weight);
-                        deliveries += 1;
-                    }
-                }
-                continue;
-            }
-
-            let mut own_i = 0usize;
-            loop {
-                // Lowest next global source across own fired + inboxes.
-                let mut best_src = u32::MAX;
-                let mut best_stream = p; // p = the own-fired stream
-                let mut found = false;
-                if own_i < fired.len() {
-                    best_src = globals[fired[own_i] as usize].0;
-                    found = true;
-                }
-                for peer in 0..p {
-                    if let Some(ev) = inbox[peer].get(merge_idx[peer]) {
-                        if !found || ev.src < best_src {
-                            best_src = ev.src;
-                            best_stream = peer;
-                            found = true;
-                        }
-                    }
-                }
-                if !found {
-                    break;
-                }
-                if best_stream == p {
-                    let l = fired[own_i] as usize;
-                    own_i += 1;
-                    for s in csr.out(l) {
-                        wheel.schedule(t + Time::from(s.delay), s.target, s.weight);
-                        deliveries += 1;
-                    }
-                } else {
-                    // Consume the whole same-source group (events arrive
-                    // grouped by source, in CSR order within a group).
-                    while let Some(ev) = inbox[best_stream].get(merge_idx[best_stream]) {
-                        if ev.src != best_src {
-                            break;
-                        }
-                        wheel.schedule(ev.due, NeuronId(ev.target_local), ev.weight);
-                        deliveries += 1;
-                        merge_idx[best_stream] += 1;
-                    }
-                }
-            }
+        for (q, st) in states.iter_mut().enumerate() {
+            deliveries += merge_schedule(self, q, st, channels, t, tick_traffic);
         }
         rec.add_deliveries(deliveries);
         deliveries
     }
 
-    fn traffic_stats(
+    pub(super) fn traffic_stats(
         &self,
         channels: &[Option<SpikeChannel>],
         supersteps: u64,
@@ -502,6 +497,7 @@ impl PartitionPlan {
         let p = self.parts();
         let mut out = PartitionRunStats {
             parts: p,
+            threads: 1,
             cut_edges: self.cut_edge_count(),
             supersteps,
             ..PartitionRunStats::default()
@@ -526,9 +522,150 @@ impl PartitionPlan {
     }
 }
 
+/// The publish half of the exchange for one partition: one [`SpikeEvent`]
+/// per (fired source) × (cut synapse), pushed onto the destination's
+/// channel. In the threaded driver this runs concurrently across
+/// partitions — each channel still has exactly one producer (the owner of
+/// `q`), so the SPSC ring contract holds, and within a channel the push
+/// order is `q`'s fired order × CSR order, identical to the sequential
+/// driver. A plan with an empty cut skips the scan entirely.
+pub(super) fn publish_cut(
+    plan: &PartitionPlan,
+    q: usize,
+    fired: &[u32],
+    channels: &[Option<SpikeChannel>],
+    t: Time,
+) {
+    if plan.cut_edge_count() == 0 {
+        return;
+    }
+    let p = plan.parts();
+    for &l in fired {
+        let cuts = plan.cut_out(q, l as usize);
+        if cuts.is_empty() {
+            continue;
+        }
+        let src = plan.globals(q)[l as usize].0;
+        for c in cuts {
+            channels[q * p + c.part as usize]
+                .as_ref()
+                .expect("cut synapse implies a channel")
+                .push(SpikeEvent {
+                    src,
+                    due: PartitionPlan::due(t, c),
+                    target_local: c.target_local,
+                    weight: c.weight,
+                });
+        }
+    }
+}
+
+/// The schedule half of the exchange for one partition: drain every
+/// inbound channel, then k-way merge the disjoint-source streams (own
+/// intra-partition routing + one stream per peer) into the wheel by
+/// global source id. Returns the deliveries scheduled; inbound message
+/// counts accumulate into `tick_traffic[peer * parts + q]`.
+pub(super) fn merge_schedule(
+    plan: &PartitionPlan,
+    q: usize,
+    st: &mut PartState,
+    channels: &[Option<SpikeChannel>],
+    t: Time,
+    tick_traffic: &mut [u64],
+) -> u64 {
+    let p = plan.parts();
+    let csr = plan.subnet(q).csr();
+    let globals = plan.globals(q);
+    let PartState {
+        wheel,
+        fired,
+        inbox,
+        merge_idx,
+        ..
+    } = st;
+
+    let mut deliveries = 0u64;
+    let mut inbound = 0usize;
+    for peer in 0..p {
+        inbox[peer].clear();
+        merge_idx[peer] = 0;
+        if peer == q {
+            continue;
+        }
+        if let Some(ch) = channels[peer * p + q].as_ref() {
+            let got = ch.drain_into(&mut inbox[peer]);
+            tick_traffic[peer * p + q] += got as u64;
+            inbound += got;
+        }
+    }
+
+    // Nothing inbound (always true at one partition, and the common case
+    // on quiet boundaries): own-fired is the only stream, already in
+    // ascending global order — route it directly, skipping the per-source
+    // merge scan.
+    if inbound == 0 {
+        for &l in fired.iter() {
+            for s in csr.out(l as usize) {
+                wheel.schedule(t + Time::from(s.delay), s.target, s.weight);
+                deliveries += 1;
+            }
+        }
+        return deliveries;
+    }
+
+    let mut own_i = 0usize;
+    loop {
+        // Lowest next global source across own fired + inboxes.
+        let mut best_src = u32::MAX;
+        let mut best_stream = p; // p = the own-fired stream
+        let mut found = false;
+        if own_i < fired.len() {
+            best_src = globals[fired[own_i] as usize].0;
+            found = true;
+        }
+        for peer in 0..p {
+            if let Some(ev) = inbox[peer].get(merge_idx[peer]) {
+                if !found || ev.src < best_src {
+                    best_src = ev.src;
+                    best_stream = peer;
+                    found = true;
+                }
+            }
+        }
+        if !found {
+            break;
+        }
+        if best_stream == p {
+            let l = fired[own_i] as usize;
+            own_i += 1;
+            for s in csr.out(l) {
+                wheel.schedule(t + Time::from(s.delay), s.target, s.weight);
+                deliveries += 1;
+            }
+        } else {
+            // Consume the whole same-source group (events arrive grouped
+            // by source, in CSR order within a group).
+            while let Some(ev) = inbox[best_stream].get(merge_idx[best_stream]) {
+                if ev.src != best_src {
+                    break;
+                }
+                wheel.schedule(ev.due, NeuronId(ev.target_local), ev.weight);
+                deliveries += 1;
+                merge_idx[best_stream] += 1;
+            }
+        }
+    }
+    deliveries
+}
+
 /// Reports this superstep's per-channel traffic to the observer and
 /// resets the per-tick counters.
-fn emit_cut_traffic<O: RunObserver>(obs: &mut O, t: Time, p: usize, tick_traffic: &mut [u64]) {
+pub(super) fn emit_cut_traffic<O: RunObserver>(
+    obs: &mut O,
+    t: Time,
+    p: usize,
+    tick_traffic: &mut [u64],
+) {
     if O::ENABLED {
         for from in 0..p {
             for to in 0..p {
@@ -555,15 +692,21 @@ pub struct PartitionedEngine {
     pub parts: usize,
     /// Edge-cut strategy used at compile time.
     pub strategy: CutStrategy,
+    /// Worker threads driving the supersteps (1 = sequential driver; more
+    /// engages the threaded BSP driver, capped at the busy-partition
+    /// count).
+    pub threads: usize,
 }
 
 impl PartitionedEngine {
-    /// An engine with `parts` partitions and the default cut strategy.
+    /// An engine with `parts` partitions, the default cut strategy, and
+    /// the sequential driver.
     #[must_use]
     pub fn new(parts: usize) -> Self {
         Self {
             parts,
             strategy: CutStrategy::default(),
+            threads: 1,
         }
     }
 
@@ -571,6 +714,14 @@ impl PartitionedEngine {
     #[must_use]
     pub fn with_strategy(mut self, strategy: CutStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Sets the worker-thread count for the superstep driver. `0` and `1`
+    /// both mean the sequential driver.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -595,7 +746,7 @@ impl PartitionedEngine {
         obs: &mut O,
     ) -> Result<RunResult, SnnError> {
         self.compile(net)?
-            .run_observed(initial_spikes, config, obs)
+            .run_observed_threaded(initial_spikes, config, self.threads, obs)
             .map(|(result, _)| result)
     }
 
@@ -609,7 +760,8 @@ impl PartitionedEngine {
         initial_spikes: &[NeuronId],
         config: &RunConfig,
     ) -> Result<(RunResult, PartitionRunStats), SnnError> {
-        self.compile(net)?.run_with_stats(initial_spikes, config)
+        self.compile(net)?
+            .run_with_stats_threaded(initial_spikes, config, self.threads)
     }
 }
 

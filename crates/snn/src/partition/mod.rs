@@ -24,18 +24,26 @@
 //!   bulk-synchronous supersteps, exchanging [`channel::SpikeEvent`]s
 //!   over SPSC [`channel::SpikeChannel`] rings. Because every synapse
 //!   has delay >= 1, the exchange horizon is exactly one tick.
+//! * [`driver`] — the threaded BSP driver: a persistent worker pool
+//!   where each worker owns a fixed set of partitions and meets the
+//!   others at a tiered barrier between the compute and merge phases.
+//!   Engaged by [`PartitionedEngine::with_threads`] (or
+//!   [`PartitionPlan::run_threaded`]); `threads <= 1` stays on the
+//!   sequential driver with zero barrier overhead.
 //!
 //! Results are bit-identical to [`crate::engine::EventEngine`] — same
 //! spike times, same raster, same work counters — under any partition
-//! count or strategy; the differential proptests in
-//! `tests/engine_equivalence.rs` enforce this at 1/2/4/8 partitions.
+//! count or strategy *and any thread count*; the differential proptests
+//! in `tests/engine_equivalence.rs` enforce this at 1/2/4/8 partitions
+//! and 1/2/4 worker threads.
 
 pub mod channel;
 pub mod cut;
+mod driver;
 pub mod engine;
 pub mod plan;
 
 pub use channel::{SpikeChannel, SpikeEvent};
 pub use cut::{BfsGrowPartitioner, CutStrategy, Partitioner, RangePartitioner};
-pub use engine::{ChannelTraffic, PartitionRunStats, PartitionedEngine};
+pub use engine::{ChannelTraffic, PartitionRunStats, PartitionedEngine, WorkerStats};
 pub use plan::{CutSynapse, PartitionPlan};

@@ -24,6 +24,16 @@ use crate::types::{NeuronId, Time};
 use super::channel::{ring_capacity, slot_bytes};
 use super::cut::Partitioner;
 
+/// Compile-size floor (neurons + synapses) below which
+/// [`PartitionPlan::compile_with_threads`] builds partitions
+/// sequentially: under this much work the per-thread spawn cost
+/// outweighs the fan-out.
+pub const PARALLEL_COMPILE_MIN_WORK: usize = 32_768;
+
+/// One partition's compile output: the frozen sub-network, the
+/// CSR-style per-source offsets into the cut table, and the cut table.
+type BuiltPartition = (Network, Vec<usize>, Vec<CutSynapse>);
+
 /// One boundary synapse, rewritten for channel transport: the owner of
 /// the source pushes `(due, target_local, weight)` to partition `part`
 /// whenever the source fires.
@@ -85,6 +95,32 @@ impl PartitionPlan {
         parts: usize,
         partitioner: &dyn Partitioner,
     ) -> Result<Self, SnnError> {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::compile_with_threads(net, parts, partitioner, threads)
+    }
+
+    /// [`Self::compile`] with an explicit thread count for the
+    /// per-partition sub-network builds. The builds are independent
+    /// (each reads the shared CSR and writes only its own partition's
+    /// tables), so they fan out across a scoped worker pool; the
+    /// resulting plan is identical to a sequential compile, and build
+    /// errors surface in partition order. Small compiles (below
+    /// [`PARALLEL_COMPILE_MIN_WORK`] neurons + synapses) stay sequential
+    /// — thread spawns would cost more than the build.
+    ///
+    /// # Errors
+    /// Fails when the network is invalid for event-style execution.
+    ///
+    /// # Panics
+    /// Same partitioner-contract panics as [`Self::compile`].
+    pub fn compile_with_threads(
+        net: &Network,
+        parts: usize,
+        partitioner: &dyn Partitioner,
+        threads: usize,
+    ) -> Result<Self, SnnError> {
         net.validate(true)?;
         let parts = parts.max(1);
         let n = net.neuron_count();
@@ -128,10 +164,14 @@ impl PartitionPlan {
         }
         let cut_edge_count = pair_cut.iter().sum();
 
-        let mut subnets = Vec::with_capacity(parts);
-        let mut cut_offsets = Vec::with_capacity(parts);
-        let mut cut_syn = Vec::with_capacity(parts);
-        for p in 0..parts {
+        // Per-partition sub-network builds: independent by construction
+        // (partition `p` reads the shared CSR and writes only its own
+        // builder + cut table), so they fan out over a scoped pool with
+        // work-stealing claims when the compile is big enough to pay for
+        // the spawns. Results land in index-order slots, so the compiled
+        // plan — and which error wins when several partitions fail — is
+        // identical to the sequential build.
+        let build_one = |p: usize| -> Result<BuiltPartition, SnnError> {
             let mut b = NetworkBuilder::with_capacity(globals[p].len(), intra_counts[p]);
             let mut offs = Vec::with_capacity(globals[p].len() + 1);
             let mut cuts: Vec<CutSynapse> = Vec::with_capacity(cut_counts[p]);
@@ -159,7 +199,48 @@ impl PartitionPlan {
                 }
                 offs.push(cuts.len());
             }
-            subnets.push(b.build()?);
+            Ok((b.build()?, offs, cuts))
+        };
+
+        let workers = threads.clamp(1, parts);
+        let work = n + net.synapse_count();
+        let built: Vec<Result<BuiltPartition, SnnError>> =
+            if workers >= 2 && work >= PARALLEL_COMPILE_MIN_WORK {
+                use std::sync::atomic::{AtomicUsize, Ordering};
+                use std::sync::Mutex;
+                let next = AtomicUsize::new(0);
+                let slots: Vec<Mutex<Option<_>>> = (0..parts).map(|_| Mutex::new(None)).collect();
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(|| loop {
+                            let p = next.fetch_add(1, Ordering::Relaxed);
+                            if p >= parts {
+                                break;
+                            }
+                            // Written exactly once, by the claiming
+                            // worker; the mutex exists for `Sync`.
+                            *slots[p].lock().expect("compile slot poisoned") = Some(build_one(p));
+                        });
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|slot| {
+                        slot.into_inner()
+                            .expect("compile slot poisoned")
+                            .expect("every partition below `parts` was claimed")
+                    })
+                    .collect()
+            } else {
+                (0..parts).map(build_one).collect()
+            };
+
+        let mut subnets = Vec::with_capacity(parts);
+        let mut cut_offsets = Vec::with_capacity(parts);
+        let mut cut_syn = Vec::with_capacity(parts);
+        for r in built {
+            let (sub, offs, cuts) = r?;
+            subnets.push(sub);
             cut_offsets.push(offs);
             cut_syn.push(cuts);
         }
@@ -373,6 +454,35 @@ mod tests {
         let sub_total: usize = (0..4).map(|p| plan.subnet(p).memory_bytes()).sum();
         assert!(plan.memory_bytes() >= sub_total + plan.channel_ring_bytes());
         assert!(plan.channel_ring_bytes() > 0);
+    }
+
+    #[test]
+    fn parallel_compile_matches_sequential() {
+        // 1500 neurons x 25 fanout = ~39k work units: above
+        // PARALLEL_COMPILE_MIN_WORK, so 4 threads take the pooled path.
+        let n = 1500;
+        let mut net = Network::new();
+        let ids = net.add_neurons(LifParams::gate_at_least(1), n);
+        for i in 0..n {
+            for k in 1..=25 {
+                let j = (i + k * 53) % n;
+                net.connect(ids[i], ids[j], 0.5, 1 + (k % 3) as u32)
+                    .unwrap();
+            }
+        }
+        assert!(n + net.synapse_count() >= PARALLEL_COMPILE_MIN_WORK);
+        let seq = PartitionPlan::compile_with_threads(&net, 4, &RangePartitioner, 1).unwrap();
+        let par = PartitionPlan::compile_with_threads(&net, 4, &RangePartitioner, 4).unwrap();
+        assert_eq!(seq.cut_edge_count(), par.cut_edge_count());
+        assert_eq!(seq.assignment(), par.assignment());
+        assert_eq!(seq.local_of(), par.local_of());
+        for p in 0..4 {
+            assert_eq!(seq.globals(p), par.globals(p));
+            assert_eq!(seq.subnet(p).neuron_count(), par.subnet(p).neuron_count());
+            assert_eq!(seq.subnet(p).synapse_count(), par.subnet(p).synapse_count());
+            assert_eq!(seq.cut_out(p, 0), par.cut_out(p, 0));
+        }
+        assert_eq!(seq.memory_bytes(), par.memory_bytes());
     }
 
     #[test]

@@ -100,7 +100,7 @@ proptest! {
             EngineChoice::Event,
             EngineChoice::Bitplane,
             EngineChoice::Parallel(ParallelDenseEngine { threads: 3, min_chunk: 1 }),
-            EngineChoice::Partitioned { parts: 3 },
+            EngineChoice::Partitioned { parts: 3, threads: 2 },
         ];
         for choice in choices {
             for threads in [1, 4] {
@@ -118,8 +118,10 @@ proptest! {
                             BitplaneEngine.run(&net, &s.initial_spikes, &s.config)
                         }
                         EngineChoice::Parallel(e) => e.run(&net, &s.initial_spikes, &s.config),
-                        EngineChoice::Partitioned { parts } => {
-                            PartitionedEngine::new(parts).run(&net, &s.initial_spikes, &s.config)
+                        EngineChoice::Partitioned { parts, threads } => {
+                            PartitionedEngine::new(parts)
+                                .with_threads(threads)
+                                .run(&net, &s.initial_spikes, &s.config)
                         }
                         EngineChoice::Auto => unreachable!(),
                     }

@@ -4,7 +4,9 @@
 //! reason, and work counters (modulo the documented `neuron_updates`
 //! semantic difference; the partitioned engine matches the event engine
 //! exactly, counters included) — across random networks. The partitioned
-//! engine is swept at 1/2/4/8 partitions.
+//! engine is swept at 1/2/4/8 partitions and, via the threaded BSP
+//! driver, at 1/2/4 worker threads — the threaded sweep pins the f64
+//! accumulation order, work counters, and observer series alike.
 //!
 //! Weights are drawn from a continuous range, so per-target synaptic sums
 //! genuinely depend on accumulation order: these tests fail if any engine
@@ -26,6 +28,10 @@ use sgl_snn::{
 /// degenerate single partition, balanced splits, and more partitions
 /// than some random nets have neurons (empty partitions).
 const PART_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Worker-thread counts the threaded-driver sweeps exercise: the
+/// sequential delegate, one busy/idle split, and full fan-out.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
 /// A compact description of a random network we can generate shrinkable
 /// instances of.
@@ -206,8 +212,13 @@ proptest! {
         prop_assert_eq!(&dense, &bp);
         assert_identical_modulo_updates(&dense, &event)?;
         for parts in PART_COUNTS {
-            let part = PartitionedEngine::new(parts).run(&net, &initial, &cfg).unwrap();
-            prop_assert_eq!(&event, &part);
+            for threads in THREAD_COUNTS {
+                let part = PartitionedEngine::new(parts)
+                    .with_threads(threads)
+                    .run(&net, &initial, &cfg)
+                    .unwrap();
+                prop_assert_eq!(&event, &part, "parts {} threads {}", parts, threads);
+            }
         }
     }
 
@@ -269,15 +280,17 @@ proptest! {
             // Same purity for the partitioned engine, whose observed path
             // additionally reports per-channel cut traffic.
             for parts in PART_COUNTS {
-                let engine = PartitionedEngine::new(parts);
-                let plain_part = engine.run(&net, &initial, &cfg).unwrap();
-                let mut obs = TimeSeriesObserver::new();
-                let observed_part = engine.run_observed(&net, &initial, &cfg, &mut obs).unwrap();
-                prop_assert_eq!(&plain_part, &observed_part);
-                prop_assert_eq!(obs.total_spikes(), observed_part.stats.spike_events);
-                prop_assert_eq!(obs.total_deliveries(), observed_part.stats.synaptic_deliveries);
-                prop_assert_eq!(obs.total_updates(), observed_part.stats.neuron_updates);
-                prop_assert_eq!(obs.final_step, observed_part.steps);
+                for threads in [1, 4] {
+                    let engine = PartitionedEngine::new(parts).with_threads(threads);
+                    let plain_part = engine.run(&net, &initial, &cfg).unwrap();
+                    let mut obs = TimeSeriesObserver::new();
+                    let observed_part = engine.run_observed(&net, &initial, &cfg, &mut obs).unwrap();
+                    prop_assert_eq!(&plain_part, &observed_part);
+                    prop_assert_eq!(obs.total_spikes(), observed_part.stats.spike_events);
+                    prop_assert_eq!(obs.total_deliveries(), observed_part.stats.synaptic_deliveries);
+                    prop_assert_eq!(obs.total_updates(), observed_part.stats.neuron_updates);
+                    prop_assert_eq!(obs.final_step, observed_part.steps);
+                }
             }
         }
     }
@@ -291,6 +304,49 @@ proptest! {
         // The event-driven advantage the paper banks on: touched-neuron
         // updates are bounded by the dense engine's neurons-times-steps.
         prop_assert!(event.stats.neuron_updates <= dense.stats.neuron_updates);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The threaded BSP driver sweep: every (threads, parts, strategy)
+    /// combination of the worker pool must reproduce the event engine's
+    /// result bit-for-bit — raster, termination, and work counters — on
+    /// random networks with order-sensitive f64 weights, beyond-horizon
+    /// delays, and both thawed and frozen forms.
+    #[test]
+    fn threaded_partition_driver_matches_event(spec in net_spec()) {
+        let (net, initial) = build(&spec);
+        let mut frozen = net.clone();
+        frozen.freeze();
+        for cfg in [
+            RunConfig::fixed(60).with_raster(),
+            RunConfig::until_quiescent(300).with_raster(),
+        ] {
+            let event = EventEngine.run(&net, &initial, &cfg).unwrap();
+            for parts in [2usize, 4, 8] {
+                for strategy in [CutStrategy::BfsGrow, CutStrategy::Range] {
+                    for threads in THREAD_COUNTS {
+                        let part = PartitionedEngine::new(parts)
+                            .with_strategy(strategy)
+                            .with_threads(threads)
+                            .run(&net, &initial, &cfg)
+                            .unwrap();
+                        prop_assert_eq!(
+                            &event, &part,
+                            "parts {} threads {} strategy {:?}", parts, threads, strategy
+                        );
+                    }
+                }
+            }
+            let event_frozen = EventEngine.run(&frozen, &initial, &cfg).unwrap();
+            let part_frozen = PartitionedEngine::new(4)
+                .with_threads(4)
+                .run(&frozen, &initial, &cfg)
+                .unwrap();
+            prop_assert_eq!(&event_frozen, &part_frozen);
+        }
     }
 }
 
@@ -336,13 +392,25 @@ fn duplicate_initial_spikes_dedup_identically() {
         min_chunk: 1,
     };
     let mut tallies: Vec<(&str, RunResult, BatchTally)> = Vec::new();
-    for name in ["dense", "event", "parallel", "bitplane", "partitioned"] {
+    for name in [
+        "dense",
+        "event",
+        "parallel",
+        "bitplane",
+        "partitioned",
+        "partitioned-mt",
+    ] {
         let mut tally = BatchTally::default();
         let r = match name {
             "dense" => DenseEngine.run_observed(&net, &initial, &cfg, &mut tally),
             "event" => EventEngine.run_observed(&net, &initial, &cfg, &mut tally),
             "parallel" => par.run_observed(&net, &initial, &cfg, &mut tally),
-            "partitioned" => PartitionedEngine::new(2).run_observed(&net, &initial, &cfg, &mut tally),
+            "partitioned" => {
+                PartitionedEngine::new(2).run_observed(&net, &initial, &cfg, &mut tally)
+            }
+            "partitioned-mt" => PartitionedEngine::new(3)
+                .with_threads(2)
+                .run_observed(&net, &initial, &cfg, &mut tally),
             _ => BitplaneEngine.run_observed(&net, &initial, &cfg, &mut tally),
         }
         .unwrap();
@@ -369,7 +437,7 @@ fn duplicate_initial_spikes_dedup_identically() {
         let nonzero = |v: &Vec<(u64, u64)>| -> Vec<(u64, u64)> {
             v.iter().copied().filter(|&(_, d)| d > 0).collect()
         };
-        if *name == "event" || *name == "partitioned" {
+        if *name == "event" || name.starts_with("partitioned") {
             // Both visit only steps with activity, so their per-step
             // announcements are a subsequence of the dense trace.
             assert_eq!(
@@ -425,8 +493,13 @@ fn beyond_horizon_overflow_matches_wheel() {
     // wheel at every partition count, including across the cut.
     let event = EventEngine.run(&net, &[a], &cfg).unwrap();
     for parts in PART_COUNTS {
-        let part = PartitionedEngine::new(parts).run(&net, &[a], &cfg).unwrap();
-        assert_eq!(event, part, "parts = {parts}");
+        for threads in THREAD_COUNTS {
+            let part = PartitionedEngine::new(parts)
+                .with_threads(threads)
+                .run(&net, &[a], &cfg)
+                .unwrap();
+            assert_eq!(event, part, "parts = {parts}, threads = {threads}");
+        }
     }
     let mut as_dense = event.clone();
     as_dense.stats.neuron_updates = dense.stats.neuron_updates;

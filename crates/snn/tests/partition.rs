@@ -4,7 +4,8 @@
 //! engine bit-identical to the event engine on random networks; this file
 //! covers the channel plumbing those nets may miss by construction —
 //! empty partitions, partitions with zero cut edges, all-cut star
-//! topologies, ring overflow into the spill path — plus two conservation
+//! topologies, ring overflow into the spill path (sequential, and under
+//! threaded-driver contention with two rings racing) — plus conservation
 //! properties: channel traffic must equal the boundary-synapse share of
 //! `SimStats::synaptic_deliveries`, and the plan's memory accounting must
 //! cover the sum of its parts.
@@ -90,6 +91,68 @@ fn channel_spill_path_is_lossless_and_ordered() {
     );
 }
 
+/// Two rings spilling concurrently while worker threads race: each hub
+/// fires at t = 1 *inside* the threaded compute phase and overflows its
+/// own channel (18k-wide fan-out vs the 16384-slot ring). Spill lists
+/// are per-channel with a single producer each, so push order — and
+/// bit-identity with the monolith — must survive the contention.
+#[test]
+fn threaded_spill_under_contention_is_lossless() {
+    let n_leaves = 18_000;
+    let mut net = Network::new();
+    let driver0 = net.add_neuron(LifParams::gate_at_least(1));
+    let hub0 = net.add_neuron(LifParams::gate_at_least(1));
+    let driver1 = net.add_neuron(LifParams::gate_at_least(1));
+    let hub1 = net.add_neuron(LifParams::gate_at_least(1));
+    let leaves0 = net.add_neurons(LifParams::gate_at_least(1), n_leaves);
+    let leaves1 = net.add_neurons(LifParams::gate_at_least(1), n_leaves);
+    net.connect(driver0, hub0, 1.0, 1).unwrap();
+    net.connect(driver1, hub1, 1.0, 1).unwrap();
+    for &l in &leaves0 {
+        net.connect(hub0, l, 1.0, 1).unwrap();
+    }
+    for &l in &leaves1 {
+        net.connect(hub1, l, 1.0, 1).unwrap();
+    }
+
+    // p0 = {driver0, hub0}, p1 = {driver1, hub1}, p2 = hub0's leaves,
+    // p3 = hub1's leaves: two disjoint producer/consumer channel pairs,
+    // owned by different workers at every thread count below.
+    let mut assignment = vec![0u32; net.neuron_count()];
+    assignment[driver1.index()] = 1;
+    assignment[hub1.index()] = 1;
+    for &l in &leaves0 {
+        assignment[l.index()] = 2;
+    }
+    for &l in &leaves1 {
+        assignment[l.index()] = 3;
+    }
+    struct Fixed(Vec<u32>);
+    impl sgl_snn::partition::Partitioner for Fixed {
+        fn assign(&self, _net: &Network, _parts: usize) -> Vec<u32> {
+            self.0.clone()
+        }
+    }
+    let plan = PartitionPlan::compile(&net, 4, &Fixed(assignment)).unwrap();
+    let cfg = RunConfig::until_quiescent(10);
+    let mono = EventEngine.run(&net, &[driver0, driver1], &cfg).unwrap();
+    for threads in [2, 4] {
+        let (part, stats) = plan
+            .run_with_stats_threaded(&[driver0, driver1], &cfg, threads)
+            .unwrap();
+        assert_eq!(mono, part, "threads = {threads}");
+        assert_eq!(stats.threads, threads);
+        assert_eq!(stats.cut_messages, 2 * n_leaves as u64);
+        assert!(
+            stats.spilled_messages > 0,
+            "both 18k fan-outs must overflow the rings"
+        );
+        assert_eq!(stats.workers.len(), threads);
+        let owned: u32 = stats.workers.iter().map(|w| w.partitions).sum();
+        assert_eq!(owned, 4, "round-robin ownership covers every partition");
+    }
+}
+
 /// Partitions that exist but own no neurons (parts > n) and partitions
 /// with zero cut edges (disconnected clusters) both run cleanly.
 #[test]
@@ -129,7 +192,8 @@ fn plan_memory_accounting_covers_subnets_and_channels() {
     let mut net = Network::new();
     let ids = net.add_neurons(LifParams::gate_at_least(1), 64);
     for i in 0..64usize {
-        net.connect(ids[i], ids[(i * 7 + 1) % 64], 1.0, 1 + (i as u32 % 5)).unwrap();
+        net.connect(ids[i], ids[(i * 7 + 1) % 64], 1.0, 1 + (i as u32 % 5))
+            .unwrap();
         net.connect(ids[i], ids[(i * 3 + 2) % 64], -0.5, 1).unwrap();
     }
     net.freeze();

@@ -27,7 +27,9 @@
 //!   `cargo run --release --example run_report -- artifacts/BENCH_engines.json`
 //! - `BENCH_partition.json` (written by the `partition` bench): the
 //!   cut-traffic vs partition-count table per problem size with a
-//!   speedup-over-event sparkline:
+//!   speedup-over-event sparkline, plus the threaded-driver
+//!   worker-balance table (speedup over one thread, superstep imbalance,
+//!   barrier waits):
 //!   `cargo run --release --example run_report -- artifacts/BENCH_partition.json`
 //! - Chrome trace-event files (written by `sgl-stress --trace` /
 //!   `sgl-serve --trace-out`): the ten slowest requests broken down by
@@ -93,7 +95,9 @@ fn render_report_file(path: &str) {
 /// bench: per problem size, the cut-traffic vs partition-count table
 /// (static cut, messages carried, spill count, median) plus a sparkline
 /// of the speedup each partition rung achieves over the event-engine
-/// baseline — the terminal view of the von Seeler cut-traffic tradeoff.
+/// baseline — the terminal view of the von Seeler cut-traffic tradeoff —
+/// followed by the threaded-driver worker-balance tables (speedup over
+/// one thread, superstep imbalance, max barrier wait per rung).
 fn render_partition_report(report: &RunReport, path: &str) {
     println!("# partitioned SSSP report `{}` ({path})\n", report.name);
 
@@ -155,6 +159,57 @@ fn render_partition_report(report: &RunReport, path: &str) {
         println!();
     }
     assert!(rendered > 0, "no cut_traffic tables in {path}");
+
+    // Threaded-driver worker balance, one table per problem size: the
+    // speedup each thread count buys over t1 (the sequential driver) and
+    // how evenly the supersteps split across the worker pool.
+    for (name, data) in &report.sections {
+        let Some(size) = name.strip_prefix("table:threaded_") else {
+            continue;
+        };
+        let (Some(Json::Arr(header)), Some(Json::Arr(rows))) =
+            (data.get("header"), data.get("rows"))
+        else {
+            continue;
+        };
+        println!("worker balance (threaded driver), n = {size}:");
+        let head: Vec<String> = header
+            .iter()
+            .map(|c| c.as_str().unwrap_or("?").to_string())
+            .collect();
+        println!(
+            "  {:<8} {:>8} {:>14} {:>7} {:>14} {:>12}",
+            head[0], head[1], head[2], head[3], head[4], head[5]
+        );
+        let mut speedups = Vec::new();
+        for row in rows {
+            let Some(c) = row.as_arr() else { continue };
+            let c: Vec<String> = c
+                .iter()
+                .map(|v| v.as_str().unwrap_or("?").to_string())
+                .collect();
+            if c.len() != head.len() {
+                continue;
+            }
+            println!(
+                "  {:<8} {:>8} {:>14} {:>7} {:>14} {:>12}",
+                c[0], c[1], c[2], c[3], c[4], c[5]
+            );
+            // `vs_t1` is median / t1_median; invert for speedup bars.
+            if let Ok(ratio) = c[3].parse::<f64>() {
+                speedups.push((100.0 / ratio.max(0.01)).round() as u64);
+            }
+        }
+        if !speedups.is_empty() {
+            let best = speedups.iter().max().copied().unwrap_or(0);
+            println!(
+                "  speedup vs t1 across rows: {}  (best {:.2}x)",
+                sparkline(&speedups, 32),
+                best as f64 / 100.0
+            );
+        }
+        println!();
+    }
 
     if let Some(summary) = report.get("summary") {
         println!("completed runs:");
